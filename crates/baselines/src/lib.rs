@@ -1,0 +1,24 @@
+//! Baseline engines for the paper's comparison experiments.
+//!
+//! The paper compares StreamBox-HBM against Apache Flink 1.4 (Figure 7) and
+//! qualitatively against Spark, Storm, SABER and Tersecades — all engines of
+//! the *random-access row-at-a-time* class: records are deserialized and
+//! pushed through per-record operator calls, and grouping state lives in
+//! hash tables. We cannot ship Flink, so [`RowEngine`] implements that class
+//! faithfully on the same simulated substrate:
+//!
+//! * per-record dispatch overhead (deserialization, operator invocation,
+//!   managed-runtime costs), calibrated per machine,
+//! * hash-table grouping (random access, no KPA),
+//! * hardware-managed (cache-mode) hybrid memory — no explicit placement.
+//!
+//! Calibration comes from the paper's own observations: StreamBox-HBM shows
+//! **18x** higher per-core YSB throughput than Flink on KNL, and Flink on
+//! the X56 Xeon saturates 10 GbE with 32 of 56 cores.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod row_engine;
+
+pub use row_engine::{RowEngine, RowEngineConfig, RowPipeline, RowRunReport};

@@ -1,0 +1,7 @@
+//! `cargo bench --bench ablation_design` — design-choice ablations
+//! (early aggregation, bundle size, fused extract).
+
+fn main() {
+    let out = sbx_bench::ablation::run();
+    sbx_bench::save_experiment("ablation_design", &out);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig10_balance` — regenerates the paper's Figure 10 series.
+
+fn main() {
+    let out = sbx_bench::fig10::run();
+    sbx_bench::save_experiment("fig10_balance", &out);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig11_parsing` — regenerates the paper's Figure 11 series.
+
+fn main() {
+    let out = sbx_bench::fig11::run();
+    sbx_bench::save_experiment("fig11_parsing", &out);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig2_groupby` — regenerates the paper's Figure 2 series.
+
+fn main() {
+    let out = sbx_bench::fig2::run();
+    sbx_bench::save_experiment("fig2_groupby", &out);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig7_ysb` — regenerates the paper's Figure 7 series.
+
+fn main() {
+    let out = sbx_bench::fig7::run();
+    sbx_bench::save_experiment("fig7_ysb", &out);
+}

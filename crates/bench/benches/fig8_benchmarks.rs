@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig8_benchmarks` — regenerates the paper's Figure 8 series.
+
+fn main() {
+    let out = sbx_bench::fig8::run();
+    sbx_bench::save_experiment("fig8_benchmarks", &out);
+}

@@ -1,0 +1,6 @@
+//! `cargo bench --bench fig9_ablation` — regenerates the paper's Figure 9 series.
+
+fn main() {
+    let out = sbx_bench::fig9::run();
+    sbx_bench::save_experiment("fig9_ablation", &out);
+}

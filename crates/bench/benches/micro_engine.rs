@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of end-to-end engine runs (host wall-clock):
+//! how long the functional execution itself takes, independent of the
+//! simulated-time model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sbx_engine::{benchmarks, Engine, RunConfig};
+use sbx_ingress::{KvSource, NicModel, SenderConfig, YsbSource};
+
+fn quick_cfg(threads: usize) -> RunConfig {
+    RunConfig {
+        cores: 16,
+        threads,
+        sender: SenderConfig {
+            bundle_rows: 5_000,
+            bundles_per_watermark: 5,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_e2e");
+    group.sample_size(10);
+
+    group.bench_function("sum_per_key_100k", |b| {
+        b.iter(|| {
+            Engine::new(quick_cfg(2))
+                .run(
+                    KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
+                    benchmarks::sum_per_key(),
+                    20,
+                )
+                .unwrap()
+        })
+    });
+
+    group.bench_function("ysb_100k", |b| {
+        b.iter(|| {
+            Engine::new(quick_cfg(2))
+                .run(YsbSource::new(1, 1_000, 100, 1_000_000), benchmarks::ysb(100), 20)
+                .unwrap()
+        })
+    });
+
+    group.bench_function("topk_100k_serial", |b| {
+        b.iter(|| {
+            Engine::new(quick_cfg(1))
+                .run(
+                    KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
+                    benchmarks::topk_per_key(3),
+                    20,
+                )
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

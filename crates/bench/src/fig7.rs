@@ -1,0 +1,125 @@
+//! Figure 7: YSB throughput (a) and peak HBM bandwidth (b) vs cores, for
+//! StreamBox-HBM with RDMA and 10 GbE ingestion on KNL, and the Flink-class
+//! row engine on KNL and X56 over 10 GbE.
+
+use sbx_baselines::{RowEngine, RowEngineConfig, RowPipeline};
+use sbx_engine::{benchmarks, Engine, RunConfig};
+use sbx_ingress::{NicModel, SenderConfig, YsbSource};
+use sbx_simmem::MachineConfig;
+
+use crate::table::{f1, Table};
+use crate::CORE_SWEEP;
+
+const NUM_ADS: u64 = 10_000;
+const NUM_CAMPAIGNS: u64 = 1_000;
+/// Event-time rate: high enough that a run spans a few windows.
+const EVENT_RATE: u64 = 10_000_000;
+const BUNDLE_ROWS: usize = 20_000;
+const BUNDLES: usize = 50;
+
+fn sender(nic: NicModel) -> SenderConfig {
+    SenderConfig { bundle_rows: BUNDLE_ROWS, bundles_per_watermark: 10, nic }
+}
+
+/// One StreamBox-HBM YSB run; returns (throughput Mrec/s, peak HBM GB/s).
+pub fn streambox_point(cores: u32, nic: NicModel) -> (f64, f64) {
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores,
+        sender: sender(nic),
+        ..RunConfig::default()
+    };
+    let report = Engine::new(cfg)
+        .run(
+            YsbSource::new(7, NUM_ADS, NUM_CAMPAIGNS, EVENT_RATE),
+            benchmarks::ysb(NUM_CAMPAIGNS),
+            BUNDLES,
+        )
+        .expect("run succeeds");
+    (report.throughput_mrps(), report.peak_hbm_bw_gbps)
+}
+
+/// One Flink-class YSB run; returns throughput in Mrec/s.
+pub fn flink_point(cores: u32, x56: bool) -> f64 {
+    let cfg = if x56 {
+        RowEngineConfig::flink_x56(cores.min(56), sender(NicModel::ethernet_10g_x56()))
+    } else {
+        RowEngineConfig::flink_knl(cores, sender(NicModel::ethernet_10g()))
+    };
+    RowEngine::new(cfg)
+        .run(
+            YsbSource::new(7, NUM_ADS, NUM_CAMPAIGNS, EVENT_RATE),
+            RowPipeline::YsbCount { campaigns: NUM_CAMPAIGNS },
+            1_000_000_000,
+            BUNDLES,
+        )
+        .expect("run succeeds")
+        .throughput_mrps()
+}
+
+/// Regenerates both panels of Figure 7.
+pub fn run() -> String {
+    let mut a = Table::new(
+        "Figure 7a: YSB input throughput under 1 s target delay, M records/s",
+        &["cores", "SBX KNL RDMA", "SBX KNL 10GbE", "Flink KNL 10GbE", "Flink X56 10GbE"],
+    );
+    let mut b = Table::new(
+        "Figure 7b: peak HBM bandwidth, GB/s",
+        &["cores", "SBX KNL RDMA", "SBX KNL 10GbE"],
+    );
+    for &cores in &CORE_SWEEP {
+        let (rdma_t, rdma_bw) = streambox_point(cores, NicModel::rdma_40g());
+        let (eth_t, eth_bw) = streambox_point(cores, NicModel::ethernet_10g());
+        let flink_knl = flink_point(cores, false);
+        let flink_x56 = flink_point(cores, true);
+        a.row(vec![
+            cores.to_string(),
+            f1(rdma_t),
+            f1(eth_t),
+            f1(flink_knl),
+            f1(flink_x56),
+        ]);
+        b.row(vec![cores.to_string(), f1(rdma_bw), f1(eth_bw)]);
+    }
+    let limits = format!(
+        "ingestion limits: RDMA {:.1} M rec/s, 10GbE {:.1} M rec/s (56-byte records)\n",
+        NicModel::rdma_40g().record_rate_limit(56) / 1e6,
+        NicModel::ethernet_10g().record_rate_limit(56) / 1e6,
+    );
+    println!("{limits}");
+    let mut out = limits;
+    out.push_str(&a.print());
+    out.push_str(&b.print());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline comparison of §7.1: StreamBox-HBM's per-core YSB
+    /// throughput is ~18x Flink's, and it saturates 10 GbE with a handful
+    /// of cores while Flink cannot with all 64.
+    #[test]
+    fn per_core_gap_is_about_18x() {
+        // StreamBox at its 10 GbE saturation point (few cores).
+        let (sbx_t, _) = streambox_point(8, NicModel::ethernet_10g());
+        let eth_limit = NicModel::ethernet_10g().record_rate_limit(56) / 1e6;
+        assert!(sbx_t > 0.9 * eth_limit, "SBX should saturate 10GbE at 8 cores: {sbx_t}");
+
+        // SBX saturates with ~5 cores => per-core = limit / 5.
+        let sbx_per_core = eth_limit / 5.0;
+        let flink64 = flink_point(64, false);
+        assert!(flink64 < eth_limit, "Flink must not saturate 10GbE: {flink64}");
+        let flink_per_core = flink64 / 64.0;
+        let gap = sbx_per_core / flink_per_core;
+        assert!(gap > 10.0 && gap < 30.0, "per-core gap {gap} should be ~18x");
+    }
+
+    #[test]
+    fn rdma_beats_ethernet_at_high_cores() {
+        let (rdma, _) = streambox_point(64, NicModel::rdma_40g());
+        let (eth, _) = streambox_point(64, NicModel::ethernet_10g());
+        assert!(rdma > 2.0 * eth, "rdma {rdma} vs eth {eth}");
+    }
+}

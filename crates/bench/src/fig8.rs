@@ -1,0 +1,130 @@
+//! Figure 8: the nine synthetic benchmarks — throughput and peak HBM
+//! bandwidth vs cores, under RDMA ingestion and 1 s target delay.
+
+use sbx_engine::{benchmarks, Engine, Pipeline, RunConfig, RunReport};
+use sbx_ingress::{KvSource, NicModel, PowerGridSource, SenderConfig};
+use sbx_simmem::MachineConfig;
+
+use crate::table::{f1, Table};
+use crate::CORE_SWEEP;
+
+const BUNDLE_ROWS: usize = 20_000;
+const BUNDLES: usize = 30;
+const EVENT_RATE: u64 = 20_000_000;
+const KEYS: u64 = 10_000;
+
+/// The nine Figure-8 benchmarks, in the paper's panel order.
+pub const BENCHMARKS: [&str; 9] = [
+    "TopK Per Key",
+    "Windowed Sum Per Key",
+    "Windowed Med Per Key",
+    "Windowed Avg Per Key",
+    "Windowed Average",
+    "Unique Count Per Key",
+    "Temporal Join",
+    "Windowed Filter",
+    "Power Grid",
+];
+
+fn pipeline_for(name: &str) -> Pipeline {
+    match name {
+        "TopK Per Key" => benchmarks::topk_per_key(3),
+        "Windowed Sum Per Key" => benchmarks::sum_per_key(),
+        "Windowed Med Per Key" => benchmarks::median_per_key(),
+        "Windowed Avg Per Key" => benchmarks::avg_per_key(),
+        "Windowed Average" => benchmarks::avg_all(),
+        "Unique Count Per Key" => benchmarks::unique_count_per_key(),
+        "Temporal Join" => benchmarks::temporal_join(),
+        "Windowed Filter" => benchmarks::windowed_filter(),
+        "Power Grid" => benchmarks::power_grid(),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// Runs one benchmark at one core count; returns the report.
+pub fn run_benchmark(name: &str, cores: u32) -> RunReport {
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores,
+        sender: SenderConfig {
+            bundle_rows: BUNDLE_ROWS,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+    let pipeline = pipeline_for(name);
+    let engine = Engine::new(cfg);
+    match name {
+        "Temporal Join" | "Windowed Filter" => {
+            let l = KvSource::new(31, KEYS, EVENT_RATE).with_value_range(1_000_000);
+            let r = KvSource::new(32, KEYS, EVENT_RATE).with_value_range(1_000_000);
+            engine.run_pair(l, r, pipeline, BUNDLES / 2).expect("run")
+        }
+        "Power Grid" => {
+            let src = PowerGridSource::new(33, 100, 20, EVENT_RATE);
+            engine.run(src, pipeline, BUNDLES).expect("run")
+        }
+        _ => {
+            let src = KvSource::new(34, KEYS, EVENT_RATE).with_value_range(1_000_000);
+            engine.run(src, pipeline, BUNDLES).expect("run")
+        }
+    }
+}
+
+/// Regenerates Figure 8: one row per benchmark per core count.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Figure 8: throughput (M rec/s) and peak HBM bandwidth (GB/s) under RDMA, 1 s delay",
+        &["benchmark", "cores", "Mrec/s", "HBM GB/s", "delay s"],
+    );
+    for name in BENCHMARKS {
+        for &cores in &CORE_SWEEP {
+            let r = run_benchmark(name, cores);
+            t.row(vec![
+                name.to_string(),
+                cores.to_string(),
+                f1(r.throughput_mrps()),
+                f1(r.peak_hbm_bw_gbps),
+                format!("{:.3}", r.max_output_delay_secs),
+            ]);
+        }
+    }
+    t.print()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_benchmarks_run_at_16_cores() {
+        for name in BENCHMARKS {
+            let r = run_benchmark(name, 16);
+            assert!(r.records_in > 0, "{name} ingested nothing");
+            assert!(r.windows_closed > 0, "{name} closed no windows");
+            assert!(r.throughput_rps > 0.0, "{name} zero throughput");
+        }
+    }
+
+    /// Windowed Average is the cheapest pipeline and must be
+    /// ingestion-bound at high core counts (the paper's 110 M rec/s).
+    #[test]
+    fn windowed_average_hits_the_rdma_plateau() {
+        let r = run_benchmark("Windowed Average", 64);
+        let limit = NicModel::rdma_40g().record_rate_limit(24) / 1e6;
+        assert!(
+            r.throughput_mrps() > 0.75 * limit,
+            "got {} of limit {limit}",
+            r.throughput_mrps()
+        );
+    }
+
+    /// Grouping-heavy pipelines scale with cores before any plateau.
+    #[test]
+    fn topk_scales_with_cores() {
+        let t2 = run_benchmark("TopK Per Key", 2).throughput_rps;
+        let t16 = run_benchmark("TopK Per Key", 16).throughput_rps;
+        assert!(t16 > 3.0 * t2, "t2={t2} t16={t16}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 9: the design ablation on TopK Per Key — full StreamBox-HBM vs
+//! hardware-cached KPA placement vs DRAM-only vs full records under
+//! hardware caching (no KPA).
+
+use sbx_engine::{benchmarks, Engine, EngineMode, RunConfig};
+use sbx_ingress::{KvSource, NicModel, SenderConfig};
+use sbx_simmem::MachineConfig;
+
+use crate::table::{f1, f2, Table};
+use crate::CORE_SWEEP;
+
+const BUNDLE_ROWS: usize = 20_000;
+const BUNDLES: usize = 30;
+
+/// Runs TopK Per Key in `mode` at `cores`; returns throughput in Mrec/s.
+pub fn ablation_point(mode: EngineMode, cores: u32) -> f64 {
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores,
+        mode,
+        sender: SenderConfig {
+            bundle_rows: BUNDLE_ROWS,
+            bundles_per_watermark: 10,
+            // Isolate the memory system: no ingestion ceiling.
+            nic: NicModel::unlimited(),
+        },
+        ..RunConfig::default()
+    };
+    Engine::new(cfg)
+        .run(
+            KvSource::new(9, 10_000, 20_000_000).with_value_range(1_000_000),
+            benchmarks::topk_per_key(3),
+            BUNDLES,
+        )
+        .expect("run")
+        .throughput_mrps()
+}
+
+/// Regenerates Figure 9.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "Figure 9: TopK Per Key throughput by configuration, M rec/s",
+        &["cores", "StreamBox-HBM", "Caching", "DRAM", "Caching NoKPA", "vs NoKPA"],
+    );
+    for &cores in &CORE_SWEEP {
+        let hybrid = ablation_point(EngineMode::Hybrid, cores);
+        let caching = ablation_point(EngineMode::CachingKpa, cores);
+        let dram = ablation_point(EngineMode::DramOnly, cores);
+        let nokpa = ablation_point(EngineMode::CachingNoKpa, cores);
+        t.row(vec![
+            cores.to_string(),
+            f1(hybrid),
+            f1(caching),
+            f1(dram),
+            f1(nokpa),
+            format!("{}x", f2(hybrid / nokpa)),
+        ]);
+    }
+    t.print()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's ablation ordering at full parallelism:
+    /// Hybrid > Caching > DRAM-only > Caching-NoKPA, with Hybrid/NoKPA
+    /// approaching 7x and DRAM costing roughly half.
+    #[test]
+    fn ablation_ordering_and_factors() {
+        let hybrid = ablation_point(EngineMode::Hybrid, 64);
+        let caching = ablation_point(EngineMode::CachingKpa, 64);
+        let dram = ablation_point(EngineMode::DramOnly, 64);
+        let nokpa = ablation_point(EngineMode::CachingNoKpa, 64);
+
+        assert!(hybrid > caching, "hybrid {hybrid} <= caching {caching}");
+        assert!(caching > dram, "caching {caching} <= dram {dram}");
+        assert!(dram > nokpa, "dram {dram} <= nokpa {nokpa}");
+
+        // Paper: DRAM-only loses ~47%; accept a broad band around it.
+        let dram_loss = 1.0 - dram / hybrid;
+        assert!(dram_loss > 0.25 && dram_loss < 0.65, "DRAM loss {dram_loss}");
+        // Paper: caching loses up to 23%.
+        let caching_loss = 1.0 - caching / hybrid;
+        assert!(caching_loss > 0.05 && caching_loss < 0.40, "caching loss {caching_loss}");
+        // Paper: NoKPA is up to 7x slower.
+        let nokpa_factor = hybrid / nokpa;
+        assert!(nokpa_factor > 3.0 && nokpa_factor < 9.0, "NoKPA factor {nokpa_factor}");
+    }
+
+    /// At 2 cores everything is compute-bound and the gaps shrink.
+    #[test]
+    fn gaps_shrink_at_low_parallelism() {
+        let hybrid = ablation_point(EngineMode::Hybrid, 2);
+        let dram = ablation_point(EngineMode::DramOnly, 2);
+        let loss = 1.0 - dram / hybrid;
+        assert!(loss < 0.15, "low-core DRAM loss should be small: {loss}");
+    }
+}

@@ -1,0 +1,194 @@
+use sbx_simmem::{MemKind, Priority};
+
+use crate::ImpactTag;
+
+/// Increment by which the knob moves per monitor sample (paper §5: Δ = 0.05).
+pub const BALANCER_DELTA: f64 = 0.05;
+
+/// HBM capacity usage above which the balancer sheds load to DRAM.
+const HBM_PRESSURE: f64 = 0.80;
+/// DRAM bandwidth fraction above which the balancer pulls load back to HBM.
+/// Deliberately higher than the HBM threshold: capacity is a *hard* limit —
+/// when HBM fills, every KPA is forced to spill regardless of tags (paper
+/// §5) — while bandwidth saturation only slows tasks down, so under joint
+/// pressure the knob sheds capacity first.
+const DRAM_PRESSURE: f64 = 0.90;
+
+/// Snapshot of the knob (see [`DemandBalancer::knob`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnobState {
+    /// Probability that a `Low`-tagged KPA allocates on HBM.
+    pub k_low: f64,
+    /// Probability that a `High`-tagged KPA allocates on HBM.
+    pub k_high: f64,
+}
+
+/// The demand-balance knob: decides, per KPA allocation, which memory tier
+/// it lands on (paper §5).
+///
+/// `Urgent` tasks always allocate from the reserved HBM pool. `High` and
+/// `Low` tasks allocate on HBM with probabilities `k_high` and `k_low`,
+/// which the balancer nudges by [`BALANCER_DELTA`] whenever the resource
+/// monitor observes imbalance between HBM capacity usage and DRAM bandwidth
+/// usage. `k_low` moves first; `k_high` only moves when `k_low` is pinned at
+/// an extreme *and* the pipeline's output delay has at least 10% headroom
+/// below its target (for downward moves, which risk delaying output).
+///
+/// Placement "randomness" is implemented with deterministic per-tag
+/// accumulators (a fraction `k` of allocations goes to HBM, exactly), so
+/// runs are reproducible.
+#[derive(Debug, Clone)]
+pub struct DemandBalancer {
+    k_low: f64,
+    k_high: f64,
+    acc_low: f64,
+    acc_high: f64,
+}
+
+impl Default for DemandBalancer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DemandBalancer {
+    /// A balancer with both knobs at their initial value of 1.0 (all KPAs
+    /// to HBM).
+    pub fn new() -> Self {
+        DemandBalancer { k_low: 1.0, k_high: 1.0, acc_low: 0.0, acc_high: 0.0 }
+    }
+
+    /// The current knob values.
+    pub fn knob(&self) -> KnobState {
+        KnobState { k_low: self.k_low, k_high: self.k_high }
+    }
+
+    /// Decides the placement of a new KPA for a task tagged `tag`.
+    pub fn place(&mut self, tag: ImpactTag) -> (MemKind, Priority) {
+        match tag {
+            ImpactTag::Urgent => (MemKind::Hbm, Priority::Reserved),
+            ImpactTag::High => (Self::draw(&mut self.acc_high, self.k_high), Priority::Normal),
+            ImpactTag::Low => (Self::draw(&mut self.acc_low, self.k_low), Priority::Normal),
+        }
+    }
+
+    fn draw(acc: &mut f64, k: f64) -> MemKind {
+        *acc += k;
+        if *acc >= 1.0 - 1e-12 {
+            *acc -= 1.0;
+            MemKind::Hbm
+        } else {
+            MemKind::Dram
+        }
+    }
+
+    /// One monitor sample: adjusts the knob toward balance.
+    ///
+    /// * `hbm_usage` — HBM capacity usage fraction in `[0, 1]`.
+    /// * `dram_bw_frac` — DRAM bandwidth usage as a fraction of its peak.
+    /// * `delay_headroom` — whether output delay is at least 10% below the
+    ///   target (gates `k_high` reductions).
+    pub fn update(&mut self, hbm_usage: f64, dram_bw_frac: f64, delay_headroom: bool) {
+        let hbm_over = hbm_usage - HBM_PRESSURE;
+        let dram_over = dram_bw_frac - DRAM_PRESSURE;
+
+        if hbm_over > 0.0 && hbm_over > dram_over {
+            // HBM capacity is the scarcer resource: shed new KPAs to DRAM.
+            if self.k_low > 0.0 {
+                self.k_low = (self.k_low - BALANCER_DELTA).max(0.0);
+            } else if delay_headroom {
+                self.k_high = (self.k_high - BALANCER_DELTA).max(0.0);
+            }
+        } else if dram_over > 0.0 && dram_over > hbm_over {
+            // DRAM bandwidth is the scarcer resource: pull KPAs back to HBM.
+            if self.k_low < 1.0 {
+                self.k_low = (self.k_low + BALANCER_DELTA).min(1.0);
+            } else {
+                self.k_high = (self.k_high + BALANCER_DELTA).min(1.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_start_at_one() {
+        let b = DemandBalancer::new();
+        assert_eq!(b.knob(), KnobState { k_low: 1.0, k_high: 1.0 });
+    }
+
+    #[test]
+    fn urgent_always_gets_reserved_hbm() {
+        let mut b = DemandBalancer::new();
+        for _ in 0..10 {
+            b.update(1.0, 0.0, true); // crush k_low to zero
+        }
+        assert_eq!(b.place(ImpactTag::Urgent), (MemKind::Hbm, Priority::Reserved));
+    }
+
+    #[test]
+    fn placement_fraction_matches_knob() {
+        let mut b = DemandBalancer::new();
+        // Drive k_low to 0.75 (five downward steps of 0.05).
+        for _ in 0..5 {
+            b.update(1.0, 0.0, true);
+        }
+        assert!((b.knob().k_low - 0.75).abs() < 1e-12);
+        let hbm = (0..1000)
+            .filter(|_| b.place(ImpactTag::Low).0 == MemKind::Hbm)
+            .count();
+        assert_eq!(hbm, 750, "deterministic fraction must match knob exactly");
+    }
+
+    #[test]
+    fn k_high_only_moves_after_k_low_exhausted_and_with_headroom() {
+        let mut b = DemandBalancer::new();
+        for _ in 0..20 {
+            b.update(1.0, 0.0, true);
+        }
+        assert_eq!(b.knob().k_low, 0.0);
+        assert_eq!(b.knob().k_high, 1.0);
+        // Without delay headroom k_high must hold.
+        b.update(1.0, 0.0, false);
+        assert_eq!(b.knob().k_high, 1.0);
+        b.update(1.0, 0.0, true);
+        assert!((b.knob().k_high - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_bandwidth_pressure_raises_knob() {
+        let mut b = DemandBalancer::new();
+        for _ in 0..4 {
+            b.update(1.0, 0.0, true);
+        }
+        let before = b.knob().k_low;
+        b.update(0.1, 1.0, true); // DRAM saturated, HBM empty
+        assert!((b.knob().k_low - (before + BALANCER_DELTA)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_state_leaves_knob_alone() {
+        let mut b = DemandBalancer::new();
+        b.update(0.5, 0.5, true);
+        b.update(0.85, 0.95, true); // equal overage on both sides: hold
+        assert_eq!(b.knob(), KnobState { k_low: 1.0, k_high: 1.0 });
+    }
+
+    #[test]
+    fn knob_stays_within_bounds() {
+        let mut b = DemandBalancer::new();
+        for _ in 0..100 {
+            b.update(1.0, 0.0, true);
+        }
+        assert_eq!(b.knob().k_low, 0.0);
+        assert_eq!(b.knob().k_high, 0.0);
+        for _ in 0..100 {
+            b.update(0.0, 1.0, true);
+        }
+        assert_eq!(b.knob().k_low, 1.0);
+        assert_eq!(b.knob().k_high, 1.0);
+    }
+}

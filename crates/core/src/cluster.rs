@@ -1,0 +1,196 @@
+//! Multi-instance (distributed) execution (paper §3: "StreamBox-HBM runs
+//! standalone on one machine or as multiple distributed instances on many
+//! machines").
+//!
+//! The distributed design itself is out of the paper's scope ("our
+//! contribution is the single-machine design"), so this layer is
+//! deliberately simple: one logical stream is sharded by key across `n`
+//! independent engine instances, each with its own hybrid memory and NIC;
+//! results are the union of the instances' outputs, and cluster throughput
+//! is their sum (the machines run concurrently).
+
+use sbx_ingress::{Partitioned, Source};
+
+use crate::{EngineError, Engine, Pipeline, RunConfig, RunReport};
+
+/// Aggregate result of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-instance reports, in instance order.
+    pub per_instance: Vec<RunReport>,
+}
+
+impl ClusterReport {
+    /// Total records ingested across instances.
+    pub fn records_in(&self) -> u64 {
+        self.per_instance.iter().map(|r| r.records_in).sum()
+    }
+
+    /// Total output records across instances.
+    pub fn output_records(&self) -> u64 {
+        self.per_instance.iter().map(|r| r.output_records).sum()
+    }
+
+    /// Cluster throughput: instances run concurrently, so the cluster
+    /// completes when the slowest instance does.
+    pub fn throughput_rps(&self) -> f64 {
+        let makespan =
+            self.per_instance.iter().map(|r| r.sim_secs).fold(0.0f64, f64::max);
+        if makespan > 0.0 {
+            self.records_in() as f64 / makespan
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst output delay across instances.
+    pub fn max_output_delay_secs(&self) -> f64 {
+        self.per_instance
+            .iter()
+            .map(|r| r.max_output_delay_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A set of identical engine instances sharing one logical input stream by
+/// key partitioning.
+///
+/// # Example
+///
+/// ```
+/// use sbx_engine::{benchmarks, Cluster, RunConfig};
+/// use sbx_ingress::KvSource;
+///
+/// let cluster = Cluster::new(2, RunConfig::default());
+/// let report = cluster
+///     .run(|| KvSource::new(1, 100, 1_000_000), benchmarks::sum_per_key, 0, 8)
+///     .unwrap();
+/// assert_eq!(report.per_instance.len(), 2);
+/// assert!(report.throughput_rps() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    instances: u64,
+    cfg: RunConfig,
+}
+
+impl Cluster {
+    /// A cluster of `instances` engines, each configured with `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instances` is zero.
+    pub fn new(instances: u64, cfg: RunConfig) -> Self {
+        assert!(instances > 0, "need at least one instance");
+        Cluster { instances, cfg }
+    }
+
+    /// Number of instances.
+    pub fn instances(&self) -> u64 {
+        self.instances
+    }
+
+    /// Runs `make_pipeline()` on every instance over key-partitioned
+    /// shards of `make_source()` (column `key_col`), each instance
+    /// ingesting `bundles` bundles.
+    ///
+    /// `make_source` must construct identically seeded sources so the
+    /// shards are disjoint views of one logical stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first instance failure.
+    pub fn run<S: Source>(
+        &self,
+        make_source: impl Fn() -> S,
+        make_pipeline: impl Fn() -> Pipeline,
+        key_col: usize,
+        bundles: usize,
+    ) -> Result<ClusterReport, EngineError> {
+        let mut per_instance = Vec::with_capacity(self.instances as usize);
+        for id in 0..self.instances {
+            let source = Partitioned::new(make_source(), key_col, self.instances, id);
+            let engine = Engine::new(self.cfg.clone());
+            per_instance.push(engine.run(source, make_pipeline(), bundles)?);
+        }
+        Ok(ClusterReport { per_instance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use sbx_ingress::{KvSource, NicModel, SenderConfig};
+    use sbx_records::Col;
+
+    use super::*;
+    use crate::benchmarks;
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            cores: 16,
+            collect_outputs: true,
+            sender: SenderConfig {
+                bundle_rows: 1_000,
+                bundles_per_watermark: 5,
+                nic: NicModel::rdma_40g(),
+            },
+            ..RunConfig::default()
+        }
+    }
+
+    fn sums(reports: &[RunReport]) -> HashMap<(u64, u64), u64> {
+        let mut m = HashMap::new();
+        for r in reports {
+            for b in &r.outputs {
+                for row in 0..b.rows() {
+                    let w = b.value(row, Col(2));
+                    *m.entry((w, b.value(row, Col(0)))).or_insert(0) += b.value(row, Col(1));
+                }
+            }
+        }
+        m
+    }
+
+    /// Sharding must not change the computed aggregates: every instance's
+    /// outputs equal the oracle computed over exactly its shard of the
+    /// logical stream, and no key is computed on two instances.
+    #[test]
+    fn cluster_outputs_match_per_shard_oracles() {
+        use sbx_ingress::{Partitioned, Source};
+        let mk_src = || KvSource::new(9, 200, 1_000_000).with_value_range(1_000);
+        let cluster = Cluster::new(3, cfg());
+        let creport = cluster.run(mk_src, benchmarks::sum_per_key, 0, 10).unwrap();
+        assert_eq!(creport.per_instance.len(), 3);
+        assert_eq!(creport.records_in(), 30_000);
+
+        let mut seen = std::collections::HashSet::new();
+        for (id, r) in creport.per_instance.iter().enumerate() {
+            // Oracle: replay this shard's exact records.
+            let mut shard = Partitioned::new(mk_src(), 0, 3, id as u64);
+            let mut flat = Vec::new();
+            shard.fill(10_000, &mut flat);
+            let mut expect: HashMap<(u64, u64), u64> = HashMap::new();
+            for row in flat.chunks(3) {
+                let w = (row[2] / benchmarks::WINDOW_TICKS) * benchmarks::WINDOW_TICKS;
+                *expect.entry((w, row[0])).or_insert(0) += row[1];
+            }
+            assert_eq!(sums(std::slice::from_ref(r)), expect, "instance {id}");
+            for key in expect.keys() {
+                assert!(seen.insert(*key), "key {key:?} computed on two instances");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_throughput_aggregates_instances() {
+        let mk_src = || KvSource::new(3, 1_000, 1_000_000).with_value_range(100);
+        let one = Cluster::new(1, cfg()).run(mk_src, benchmarks::sum_per_key, 0, 10).unwrap();
+        let four = Cluster::new(4, cfg()).run(mk_src, benchmarks::sum_per_key, 0, 10).unwrap();
+        // Four concurrent machines ingest ~4x the records in similar time.
+        assert!(four.throughput_rps() > 2.0 * one.throughput_rps());
+        assert!(four.max_output_delay_secs() >= 0.0);
+        assert_eq!(four.output_records(), sums(&four.per_instance).len() as u64);
+    }
+}

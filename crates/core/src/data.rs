@@ -1,0 +1,105 @@
+use std::sync::Arc;
+
+use sbx_kpa::Kpa;
+use sbx_records::{RecordBundle, Watermark, WindowId};
+
+/// Data flowing between operators.
+///
+/// Full-record bundles live in DRAM; KPAs are the extracted grouping
+/// representation; `Windowed` KPAs carry the temporal window they were
+/// partitioned into (paper §4.2, Windowing).
+#[derive(Debug)]
+pub enum StreamData {
+    /// A bundle of full records (row format, DRAM).
+    Bundle(Arc<RecordBundle>),
+    /// An extracted key/pointer array.
+    Kpa(Kpa),
+    /// A KPA assigned to one temporal window.
+    Windowed(WindowId, Kpa),
+}
+
+impl StreamData {
+    /// Number of records this item represents.
+    pub fn len(&self) -> usize {
+        match self {
+            StreamData::Bundle(b) => b.rows(),
+            StreamData::Kpa(k) | StreamData::Windowed(_, k) => k.len(),
+        }
+    }
+
+    /// Whether the item carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The window this item belongs to, if assigned.
+    pub fn window(&self) -> Option<WindowId> {
+        match self {
+            StreamData::Windowed(w, _) => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+/// A message on a pipeline edge: data on an input port, or a watermark.
+///
+/// Ports distinguish the two input streams of two-stream operators
+/// (Temporal Join, Windowed Filter); single-stream operators only ever see
+/// port 0.
+#[derive(Debug)]
+pub enum Message {
+    /// Data arriving on `port`.
+    Data {
+        /// Input port (0 for single-stream operators).
+        port: u8,
+        /// The payload.
+        data: StreamData,
+    },
+    /// A watermark (applies to all ports).
+    Watermark(Watermark),
+}
+
+impl Message {
+    /// Convenience constructor for port-0 data.
+    pub fn data(data: StreamData) -> Message {
+        Message::Data { port: 0, data }
+    }
+
+    /// Records carried by this message (0 for watermarks).
+    pub fn data_len(&self) -> usize {
+        match self {
+            Message::Data { data, .. } => data.len(),
+            Message::Watermark(_) => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_records::Schema;
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    #[test]
+    fn len_reports_underlying_records() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &[1, 2, 3, 4, 5, 6]).unwrap();
+        let d = StreamData::Bundle(b);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.window(), None);
+    }
+
+    #[test]
+    fn message_data_defaults_to_port_zero() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &[]).unwrap();
+        match Message::data(StreamData::Bundle(b)) {
+            Message::Data { port, data } => {
+                assert_eq!(port, 0);
+                assert!(data.is_empty());
+            }
+            Message::Watermark(_) => panic!("expected data"),
+        }
+    }
+}

@@ -1,0 +1,729 @@
+use sbx_ingress::{IngestFormat, IngressEvent, Sender, SenderConfig, Source};
+use sbx_records::Watermark;
+use sbx_simmem::{AccessProfile, AllocError, MachineConfig, MemEnv, MemKind};
+
+use crate::{
+    DemandBalancer, EngineError, EngineMode, ImpactTag, Message, Pipeline, RoundSample,
+    RunReport, StreamData,
+};
+
+/// Configuration of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The modelled machine. Defaults to the paper's KNL scaled to 1/256
+    /// capacity (64 MiB HBM / 384 MiB DRAM) so capacity dynamics are
+    /// observable at test scale; figure harnesses pass the full machine.
+    pub machine: MachineConfig,
+    /// Modelled cores the engine may use (the x-axis of most figures).
+    pub cores: u32,
+    /// Memory-management mode (the Figure 9 ablation axis).
+    pub mode: EngineMode,
+    /// Ingestion configuration (bundle size, watermark cadence, NIC).
+    pub sender: SenderConfig,
+    /// Target output delay in seconds (the paper evaluates under 1 s).
+    pub target_delay_secs: f64,
+    /// Host threads for parallel primitives (functional parallelism only;
+    /// modelled parallelism comes from `cores`).
+    pub threads: usize,
+    /// Whether to keep sink output bundles in the report.
+    pub collect_outputs: bool,
+    /// Whether to record the executed task graph (profiles + chain
+    /// dependencies) for replay on the fluid simulator
+    /// ([`RunReport::replay`]).
+    pub record_trace: bool,
+    /// Encoding of records on the ingestion wire (paper §7.4): non-`Raw`
+    /// formats are decoded for real per bundle and their parse cost is
+    /// charged to the pipeline.
+    pub ingest_format: IngestFormat,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            machine: MachineConfig::knl().scaled(1.0 / 256.0),
+            cores: 64,
+            mode: EngineMode::Hybrid,
+            sender: SenderConfig::default(),
+            target_delay_secs: 1.0,
+            threads: 2,
+            collect_outputs: false,
+            record_trace: false,
+            ingest_format: IngestFormat::Raw,
+        }
+    }
+}
+
+/// Engine-level CPU cycles charged per record per operator invocation:
+/// scheduling, work tracking and allocation overheads beyond the raw
+/// primitive costs (see [`Engine::drive_chain`]).
+pub const ENGINE_OVERHEAD_CYCLES: f64 = 75.0;
+
+#[derive(Debug, Default)]
+struct Round {
+    profile: AccessProfile,
+    close_profile: AccessProfile,
+    max_task_secs: f64,
+    ingest_ns: u64,
+    records: u64,
+    closed_windows: u64,
+}
+
+/// The StreamBox-HBM runtime: pulls bundles from a sender, drives them
+/// through the operator pipeline, places KPAs via the demand balancer, and
+/// accounts simulated time per watermark round.
+///
+/// Execution is functionally exact (every record flows through the real
+/// primitives); *timing* comes from the calibrated cost model evaluated at
+/// the configured core count, with ingestion overlapping computation — see
+/// DESIGN.md §6.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: RunConfig,
+    env: MemEnv,
+    balancer: DemandBalancer,
+    trace: Vec<sbx_simmem::TaskSpec>,
+    next_task: u64,
+}
+
+impl Engine {
+    /// An engine for `cfg` with fresh memory pools.
+    pub fn new(cfg: RunConfig) -> Self {
+        let machine = cfg.machine.with_cores(cfg.cores);
+        Engine {
+            cfg,
+            env: MemEnv::new(machine),
+            balancer: DemandBalancer::new(),
+            trace: Vec::new(),
+            next_task: 0,
+        }
+    }
+
+    /// The engine's hybrid-memory environment.
+    pub fn env(&self) -> &MemEnv {
+        &self.env
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.cfg
+    }
+
+    /// Runs `pipeline` over `bundles` bundles pulled from `source`.
+    ///
+    /// A final watermark flush closes all remaining windows so the report
+    /// covers every ingested record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] if memory is exhausted beyond recovery or
+    /// the pipeline is misconfigured.
+    pub fn run<S: Source>(
+        self,
+        source: S,
+        pipeline: Pipeline,
+        bundles: usize,
+    ) -> Result<RunReport, EngineError> {
+        let mut sender = Sender::new(&self.env, source, self.cfg.sender);
+        let mut remaining = bundles;
+        self.run_feed(pipeline, &mut move || {
+            if remaining == 0 {
+                return Ok(None);
+            }
+            let ev = sender.next_event()?;
+            if matches!(ev, IngressEvent::Bundle(..)) {
+                remaining -= 1;
+            }
+            Ok(Some((ev, 0)))
+        })
+    }
+
+    /// Runs a two-stream `pipeline` (Temporal Join, Windowed Filter) over
+    /// `bundle_pairs` pairs of bundles pulled alternately from the two
+    /// sources. Watermarks are the minimum of the two sources' promises.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on memory exhaustion or misconfiguration.
+    pub fn run_pair<A: Source, B: Source>(
+        self,
+        left: A,
+        right: B,
+        pipeline: Pipeline,
+        bundle_pairs: usize,
+    ) -> Result<RunReport, EngineError> {
+        let mut cfg_a = self.cfg.sender;
+        cfg_a.bundles_per_watermark = usize::MAX;
+        let wm_every = self.cfg.sender.bundles_per_watermark;
+        let mut sa = Sender::new(&self.env, left, cfg_a);
+        let mut sb = Sender::new(&self.env, right, cfg_a);
+        let mut pairs_left = bundle_pairs;
+        let mut phase = 0u8; // 0 => left, 1 => right
+        let mut pairs_since_wm = 0usize;
+        self.run_feed(pipeline, &mut move || {
+            if pairs_since_wm >= wm_every {
+                pairs_since_wm = 0;
+                let wm = sa.source().low_watermark().min(sb.source().low_watermark());
+                return Ok(Some((IngressEvent::Watermark(Watermark(wm)), 0)));
+            }
+            if pairs_left == 0 {
+                return Ok(None);
+            }
+            let (ev, port) = match phase {
+                0 => (sa.next_event()?, 0u8),
+                _ => (sb.next_event()?, 1u8),
+            };
+            if phase == 1 {
+                pairs_left -= 1;
+                pairs_since_wm += 1;
+            }
+            phase ^= 1;
+            Ok(Some((ev, port)))
+        })
+    }
+
+    fn run_feed(
+        mut self,
+        mut pipeline: Pipeline,
+        feed: &mut dyn FnMut() -> Result<Option<(IngressEvent, u8)>, AllocError>,
+    ) -> Result<RunReport, EngineError> {
+        let spec = pipeline.spec();
+        let stride = spec.stride();
+        let cores = self.cfg.cores;
+        let cost = self.env.cost().clone();
+        let dram_bw_limit = self.env.machine().spec(MemKind::Dram).bandwidth_bytes_per_sec;
+
+        let mut round = Round::default();
+        let mut samples: Vec<RoundSample> = Vec::new();
+        let mut records_in = 0u64;
+        let mut bundles_in = 0u64;
+        let mut windows_closed = 0u64;
+        let mut output_records = 0u64;
+        let mut outputs = Vec::new();
+        let mut next_to_close = 0u64;
+        let mut max_window_seen = 0u64;
+        let mut delay_sum = 0.0f64;
+        let mut delay_max = 0.0f64;
+        let mut delay_count = 0u64;
+
+        // Bundles buffer within the watermark round and are flushed as a
+        // batch, letting the stateless pipeline prefix run on parallel
+        // worker threads (the paper's data parallelism across bundles).
+        let mut batch: Vec<(Message, ImpactTag)> = Vec::new();
+
+        loop {
+            let ev = feed()?;
+            let (ev, port, last) = match ev {
+                Some((ev, port)) => (ev, port, false),
+                None => (IngressEvent::Watermark(Watermark::from(u64::MAX)), 0, true),
+            };
+            let mut sink = Vec::new();
+            let is_wm = match ev {
+                IngressEvent::Bundle(b, wire_ns) => {
+                    let fmt = self.cfg.ingest_format;
+                    let wire_ns = if fmt == IngestFormat::Raw {
+                        wire_ns
+                    } else {
+                        // Encoded ingestion (paper §7.4): decode every
+                        // record for real (round-trip through the codec)
+                        // and charge the parse cost plus the fatter wire.
+                        let schema = b.schema();
+                        let mut rows = Vec::with_capacity(b.rows() * schema.ncols());
+                        for r in 0..b.rows() {
+                            rows.extend_from_slice(b.row(r));
+                        }
+                        let decoded = fmt.round_trip(schema, &rows);
+                        assert_eq!(decoded, rows, "ingest codec corrupted records");
+                        round.profile = round
+                            .profile
+                            .merge(&AccessProfile::new().cpu(
+                                b.rows() as f64 * fmt.cycles_per_record(),
+                            ));
+                        self.cfg.sender.nic.transfer_ns(
+                            (b.rows() * fmt.wire_bytes_per_record(schema)) as u64,
+                        )
+                    };
+                    round.ingest_ns += wire_ns;
+                    round.records += b.rows() as u64;
+                    records_in += b.rows() as u64;
+                    bundles_in += 1;
+                    let wid = if b.is_empty() { next_to_close } else { b.ts(0).raw() / stride };
+                    max_window_seen = max_window_seen.max(wid);
+                    let tag = ImpactTag::from_window_distance(wid.saturating_sub(next_to_close));
+                    batch.push((Message::Data { port, data: StreamData::Bundle(b) }, tag));
+                    false
+                }
+                IngressEvent::Watermark(wm) => {
+                    sink.extend(self.flush_batch(
+                        &mut pipeline,
+                        &mut round,
+                        std::mem::take(&mut batch),
+                    )?);
+                    sink.extend(self.drive_chain_from(
+                        &mut pipeline,
+                        &mut round,
+                        0,
+                        vec![Message::Watermark(wm)],
+                        ImpactTag::Urgent,
+                        true,
+                    )?);
+                    let new_next =
+                        (wm.time().raw() / stride).min(max_window_seen + 1).max(next_to_close);
+                    round.closed_windows += new_next - next_to_close;
+                    next_to_close = new_next;
+                    true
+                }
+            };
+
+            for msg in sink {
+                if let Message::Data { data, .. } = msg {
+                    output_records += data.len() as u64;
+                    if self.cfg.collect_outputs {
+                        if let StreamData::Bundle(b) = data {
+                            outputs.push(b);
+                        }
+                    }
+                }
+            }
+
+            if is_wm {
+                // End of round: account time, sample resources, update knob.
+                let compute_secs =
+                    cost.time_secs(&round.profile, cores).max(round.max_task_secs);
+                let ingest_secs = round.ingest_ns as f64 / 1e9;
+                let round_secs = compute_secs.max(ingest_secs);
+                let start_ns = self.env.clock().now_ns();
+                if round_secs > 0.0 {
+                    self.env.charge_traffic(&round.profile, start_ns, (round_secs * 1e9) as u64);
+                    self.env.clock().advance((round_secs * 1e9) as u64);
+                }
+                let close_secs = cost.time_secs(&round.close_profile, cores);
+                if round.closed_windows > 0 {
+                    delay_sum += close_secs * round.closed_windows as f64;
+                    delay_max = delay_max.max(close_secs);
+                    delay_count += round.closed_windows;
+                    windows_closed += round.closed_windows;
+                }
+                let dram_bytes = round.profile.bytes_on(MemKind::Dram);
+                let hbm_bytes = round.profile.bytes_on(MemKind::Hbm);
+                // Traffic flows while computing: when a round is
+                // ingestion-bound, extra cores still compress the compute
+                // phase and raise peak bandwidth (paper Fig. 7b).
+                let (dram_bw, hbm_bw) = if compute_secs > 0.0 {
+                    (dram_bytes / compute_secs, hbm_bytes / compute_secs)
+                } else {
+                    (0.0, 0.0)
+                };
+                let hbm_usage = self.env.pool(MemKind::Hbm).usage();
+                samples.push(RoundSample {
+                    at_secs: self.env.clock().now_secs(),
+                    hbm_usage,
+                    hbm_used_bytes: self.env.pool(MemKind::Hbm).used_bytes(),
+                    dram_bw_gbps: dram_bw / 1e9,
+                    hbm_bw_gbps: hbm_bw / 1e9,
+                    k_low: self.balancer.knob().k_low,
+                    k_high: self.balancer.knob().k_high,
+                    records: round.records,
+                });
+                let headroom =
+                    close_secs < 0.9 * self.cfg.target_delay_secs;
+                self.balancer.update(hbm_usage, dram_bw / dram_bw_limit, headroom);
+                round = Round::default();
+            }
+
+            if last {
+                break;
+            }
+        }
+
+        let sim_secs = self.env.clock().now_secs();
+        let throughput = if sim_secs > 0.0 { records_in as f64 / sim_secs } else { 0.0 };
+        Ok(RunReport {
+            records_in,
+            bundles_in,
+            windows_closed,
+            output_records,
+            sim_secs,
+            throughput_rps: throughput,
+            peak_hbm_bw_gbps: samples.iter().map(|s| s.hbm_bw_gbps).fold(0.0, f64::max),
+            peak_dram_bw_gbps: samples.iter().map(|s| s.dram_bw_gbps).fold(0.0, f64::max),
+            hbm_peak_used_bytes: self.env.pool(MemKind::Hbm).stats().high_water_bytes,
+            max_output_delay_secs: delay_max,
+            avg_output_delay_secs: if delay_count > 0 {
+                delay_sum / delay_count as f64
+            } else {
+                0.0
+            },
+            samples,
+            outputs,
+            trace: std::mem::take(&mut self.trace),
+        })
+    }
+
+    /// Pushes one message through the whole operator chain, accumulating
+    /// per-task profiles into the round. Returns the sink-level messages.
+    ///
+    /// Each operator invocation over data additionally charges
+    /// [`ENGINE_OVERHEAD_CYCLES`] per record: scheduling, work tracking and
+    /// allocator costs that the raw primitives do not capture. The constant
+    /// is calibrated so that YSB saturates 10 GbE with ~5 cores and RDMA
+    /// with ~16, and Windowed Average All plateaus near 110 M records/s —
+    /// the paper's §7.1/§7.2 operating points.
+    fn drive_chain_from(
+        &mut self,
+        pipeline: &mut Pipeline,
+        round: &mut Round,
+        start: usize,
+        frontier: Vec<Message>,
+        tag: ImpactTag,
+        closing: bool,
+    ) -> Result<Vec<Message>, EngineError> {
+        let cost = self.env.cost().clone();
+        let cores = self.cfg.cores;
+        let mut frontier: Vec<(Message, Option<sbx_simmem::TaskId>)> =
+            frontier.into_iter().map(|m| (m, None)).collect();
+        for op in &mut pipeline.ops_mut()[start..] {
+            let mut next = Vec::new();
+            for (m, parent) in frontier {
+                let data_len = match &m {
+                    Message::Data { data, .. } => data.len(),
+                    Message::Watermark(_) => 0,
+                };
+                let mut ctx = crate::OpCtx::new(
+                    &self.env,
+                    &mut self.balancer,
+                    self.cfg.mode,
+                    self.cfg.threads,
+                    tag,
+                );
+                let outs = match op {
+                    crate::pipeline::OpNode::Stateless(op) => op.apply(&mut ctx, m)?,
+                    crate::pipeline::OpNode::Stateful(op) => op.on_message(&mut ctx, m)?,
+                };
+                let task = ctx
+                    .take_profile()
+                    .cpu(data_len as f64 * ENGINE_OVERHEAD_CYCLES);
+                let task_secs = cost.time_secs(&task, cores);
+                round.max_task_secs = round.max_task_secs.max(task_secs);
+                round.profile = round.profile.merge(&task);
+                if closing {
+                    round.close_profile = round.close_profile.merge(&task);
+                }
+                let task_id = if self.cfg.record_trace {
+                    let id = sbx_simmem::TaskId(self.next_task);
+                    self.next_task += 1;
+                    self.trace.push(sbx_simmem::TaskSpec {
+                        id,
+                        profile: task,
+                        deps: parent.into_iter().collect(),
+                    });
+                    Some(id)
+                } else {
+                    None
+                };
+                next.extend(outs.into_iter().map(|o| (o, task_id)));
+            }
+            frontier = next;
+        }
+        Ok(frontier.into_iter().map(|(m, _)| m).collect())
+    }
+
+    /// Flushes a round's buffered bundles through the pipeline. When the
+    /// pipeline starts with stateless operators and more than one worker
+    /// thread is configured, the stateless prefix runs concurrently across
+    /// bundles (each worker caching a snapshot of the demand-balance knob,
+    /// as the paper's worker threads do); the stateful suffix then consumes
+    /// the staged results in arrival order, so results are deterministic.
+    fn flush_batch(
+        &mut self,
+        pipeline: &mut Pipeline,
+        round: &mut Round,
+        batch: Vec<(Message, ImpactTag)>,
+    ) -> Result<Vec<Message>, EngineError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        let prefix_len = pipeline.stateless_prefix_len();
+        let parallel = self.cfg.threads > 1
+            && prefix_len > 0
+            && batch.len() > 1
+            && !self.cfg.record_trace;
+        let mut sink = Vec::new();
+        if parallel {
+            let staged = self.run_prefix_parallel(pipeline, round, batch)?;
+            for (frontier, tag) in staged {
+                sink.extend(self.drive_chain_from(
+                    pipeline, round, prefix_len, frontier, tag, false,
+                )?);
+            }
+        } else {
+            for (msg, tag) in batch {
+                sink.extend(self.drive_chain_from(pipeline, round, 0, vec![msg], tag, false)?);
+            }
+        }
+        Ok(sink)
+    }
+
+    /// Runs the stateless pipeline prefix over `batch` on up to
+    /// `cfg.threads` worker threads, returning each bundle's staged
+    /// frontier in arrival order.
+    fn run_prefix_parallel(
+        &mut self,
+        pipeline: &Pipeline,
+        round: &mut Round,
+        batch: Vec<(Message, ImpactTag)>,
+    ) -> Result<Vec<(Vec<Message>, ImpactTag)>, EngineError> {
+        let prefix = pipeline.prefix();
+        let env = self.env.clone();
+        let cost = env.cost().clone();
+        let cores = self.cfg.cores;
+        let mode = self.cfg.mode;
+        let threads = self.cfg.threads;
+
+        let nworkers = threads.min(batch.len());
+        let n = batch.len();
+        // Priority-ordered shared queue: Urgent tasks are claimed first
+        // (paper §5), FIFO within a tag; workers drain it cooperatively.
+        let queue = crate::scheduler::TaskBatch::new(
+            batch.into_iter().map(|(m, t)| ((m, t), t)).collect(),
+        );
+        let balancers: Vec<DemandBalancer> =
+            (0..nworkers).map(|_| self.balancer.clone()).collect();
+
+        type WorkerOut =
+            Result<(Vec<(usize, Vec<Message>, ImpactTag)>, AccessProfile, f64), EngineError>;
+        let results: Vec<WorkerOut> = crossbeam::scope(|s| {
+            let handles: Vec<_> = balancers
+                .into_iter()
+                .map(|mut bal| {
+                    let prefix = &prefix;
+                    let env = &env;
+                    let cost = &cost;
+                    let queue = &queue;
+                    s.spawn(move |_| -> WorkerOut {
+                        let mut staged = Vec::new();
+                        let mut prof = AccessProfile::new();
+                        let mut max_task = 0.0f64;
+                        while let Some((idx, (msg, tag))) = queue.claim() {
+                            let mut frontier = vec![msg];
+                            for op in prefix.iter() {
+                                let mut next = Vec::new();
+                                for m in frontier {
+                                    let data_len = m.data_len();
+                                    let mut ctx = crate::OpCtx::new(
+                                        env, &mut bal, mode, threads, tag,
+                                    );
+                                    next.extend(op.apply(&mut ctx, m)?);
+                                    let t = ctx
+                                        .take_profile()
+                                        .cpu(data_len as f64 * ENGINE_OVERHEAD_CYCLES);
+                                    max_task = max_task.max(cost.time_secs(&t, cores));
+                                    prof = prof.merge(&t);
+                                }
+                                frontier = next;
+                            }
+                            staged.push((idx, frontier, tag));
+                        }
+                        Ok((staged, prof, max_task))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("prefix worker panicked"))
+                .collect()
+        })
+        .expect("worker scope");
+
+        // Reassemble in arrival order so the stateful suffix is
+        // deterministic regardless of thread scheduling.
+        let mut by_index: Vec<Option<(Vec<Message>, ImpactTag)>> = (0..n).map(|_| None).collect();
+        for r in results {
+            let (out, prof, max_task) = r?;
+            round.profile = round.profile.merge(&prof);
+            round.max_task_secs = round.max_task_secs.max(max_task);
+            for (idx, frontier, tag) in out {
+                by_index[idx] = Some((frontier, tag));
+            }
+        }
+        Ok(by_index.into_iter().map(|o| o.expect("every task staged")).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::benchmarks;
+    use sbx_ingress::{KvSource, NicModel};
+    use sbx_records::Col;
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            cores: 16,
+            sender: SenderConfig {
+                bundle_rows: 1_000,
+                bundles_per_watermark: 5,
+                nic: NicModel::rdma_40g(),
+            },
+            collect_outputs: true,
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn sum_per_key_end_to_end_matches_oracle() {
+        use std::collections::HashMap;
+        let cfg = quick_cfg();
+        // Mirror the generator to build the oracle.
+        let mut oracle_src = KvSource::new(7, 50, 100_000).with_value_range(1_000);
+        let mut flat = Vec::new();
+        oracle_src.fill(20 * 1_000, &mut flat);
+        let mut expect: HashMap<(u64, u64), u64> = HashMap::new();
+        for row in flat.chunks(3) {
+            let w = row[2] / benchmarks::WINDOW_TICKS;
+            *expect.entry((w, row[0])).or_insert(0) += row[1];
+        }
+
+        let engine = Engine::new(cfg);
+        let source = KvSource::new(7, 50, 100_000).with_value_range(1_000);
+        let report = engine.run(source, benchmarks::sum_per_key(), 20).unwrap();
+
+        let mut got: HashMap<(u64, u64), u64> = HashMap::new();
+        for b in &report.outputs {
+            for r in 0..b.rows() {
+                let w = b.value(r, Col(2)) / benchmarks::WINDOW_TICKS;
+                *got.entry((w, b.value(r, Col(0)))).or_insert(0) += b.value(r, Col(1));
+            }
+        }
+        assert_eq!(got, expect);
+        assert_eq!(report.records_in, 20_000);
+        assert!(report.windows_closed > 0);
+        assert!(report.sim_secs > 0.0);
+    }
+
+    #[test]
+    fn final_flush_closes_all_windows() {
+        let engine = Engine::new(quick_cfg());
+        let source = KvSource::new(1, 10, 1_000_000);
+        let report = engine.run(source, benchmarks::avg_all(), 12).unwrap();
+        // 12 bundles x 1000 records at 1M rec/s event time ≈ 0.012 s of
+        // event time => exactly 1 window, closed by the final flush.
+        assert_eq!(report.windows_closed, 1);
+        assert_eq!(report.output_records, 1);
+    }
+
+    #[test]
+    fn slower_nic_caps_throughput() {
+        let mut fast_cfg = quick_cfg();
+        fast_cfg.sender.nic = NicModel::rdma_40g();
+        let mut slow_cfg = quick_cfg();
+        slow_cfg.sender.nic = NicModel::ethernet_10g();
+        let fast = Engine::new(fast_cfg)
+            .run(KvSource::new(3, 100, 10_000_000), benchmarks::avg_all(), 40)
+            .unwrap();
+        let slow = Engine::new(slow_cfg)
+            .run(KvSource::new(3, 100, 10_000_000), benchmarks::avg_all(), 40)
+            .unwrap();
+        assert!(
+            fast.throughput_rps > 1.5 * slow.throughput_rps,
+            "fast {} vs slow {}",
+            fast.throughput_rps,
+            slow.throughput_rps
+        );
+    }
+
+    #[test]
+    fn dram_only_mode_is_slower_at_scale() {
+        let mk = |mode: EngineMode| {
+            let mut cfg = quick_cfg();
+            cfg.mode = mode;
+            cfg.cores = 64;
+            cfg.sender.bundle_rows = 20_000;
+            Engine::new(cfg)
+                .run(
+                    KvSource::new(5, 1_000, 50_000_000),
+                    benchmarks::topk_per_key(3),
+                    30,
+                )
+                .unwrap()
+        };
+        let hybrid = mk(EngineMode::Hybrid);
+        let dram = mk(EngineMode::DramOnly);
+        let nokpa = mk(EngineMode::CachingNoKpa);
+        assert!(hybrid.throughput_rps > dram.throughput_rps);
+        assert!(dram.throughput_rps > nokpa.throughput_rps);
+    }
+
+    #[test]
+    fn two_stream_join_runs_end_to_end() {
+        let engine = Engine::new(quick_cfg());
+        let l = KvSource::new(11, 20, 100_000);
+        let r = KvSource::new(12, 20, 100_000);
+        let report = engine
+            .run_pair(l, r, benchmarks::temporal_join(), 10)
+            .unwrap();
+        assert_eq!(report.bundles_in, 20);
+        assert!(report.output_records > 0, "some keys must match");
+    }
+
+    #[test]
+    fn trace_replay_cross_validates_round_model() {
+        let mut cfg = quick_cfg();
+        cfg.record_trace = true;
+        cfg.cores = 32;
+        let engine = Engine::new(cfg);
+        let model = engine.env().cost().clone();
+        let report = engine
+            .run(
+                KvSource::new(21, 1_000, 1_000_000).with_value_range(100),
+                benchmarks::sum_per_key(),
+                20,
+            )
+            .unwrap();
+        assert!(!report.trace.is_empty());
+        // One task per operator per message: at least ops x bundles tasks.
+        assert!(report.trace.len() >= 2 * 20);
+
+        let replay = report.replay(model.clone(), 32).expect("trace recorded");
+        // The fluid replay ignores ingestion and models contention per
+        // task; it must be optimistic relative to serial execution and in
+        // the same regime as the round model's simulated time.
+        let serial: f64 =
+            report.trace.iter().map(|t| model.time_secs(&t.profile, 1)).sum();
+        assert!(replay.makespan_secs <= serial + 1e-9);
+        assert!(replay.makespan_secs > 0.0);
+        // Same regime: the replay serializes chain dependencies that the
+        // round model overlaps, so allow a small constant factor.
+        assert!(
+            replay.makespan_secs < report.sim_secs * 5.0
+                && replay.makespan_secs > report.sim_secs * 0.05,
+            "replay {} vs sim {}",
+            replay.makespan_secs,
+            report.sim_secs
+        );
+    }
+
+    #[test]
+    fn trace_is_empty_unless_requested() {
+        let engine = Engine::new(quick_cfg());
+        let model = engine.env().cost().clone();
+        let report = engine
+            .run(KvSource::new(22, 10, 1_000_000), benchmarks::avg_all(), 5)
+            .unwrap();
+        assert!(report.trace.is_empty());
+        assert!(report.replay(model, 16).is_none());
+    }
+
+    #[test]
+    fn report_samples_track_rounds() {
+        let engine = Engine::new(quick_cfg());
+        let report = engine
+            .run(KvSource::new(2, 10, 1_000_000), benchmarks::sum_per_key(), 15)
+            .unwrap();
+        // 15 bundles at 5 per watermark => 3 senders watermarks + final flush.
+        assert!(report.samples.len() >= 3);
+        for s in &report.samples {
+            assert!(s.k_low >= 0.0 && s.k_low <= 1.0);
+            assert!(s.hbm_usage >= 0.0 && s.hbm_usage <= 1.0);
+        }
+    }
+}

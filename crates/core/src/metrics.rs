@@ -1,0 +1,121 @@
+use std::sync::Arc;
+
+use sbx_records::RecordBundle;
+use sbx_simmem::{CostModel, FluidSim, SimReport, TaskSpec};
+
+/// One resource-monitor sample, taken at the end of each watermark round
+/// (the runtime's 10 ms PCM sampling aggregated to round granularity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundSample {
+    /// Simulated time of the sample, seconds.
+    pub at_secs: f64,
+    /// HBM capacity usage fraction in `[0, 1]`.
+    pub hbm_usage: f64,
+    /// HBM bytes in use.
+    pub hbm_used_bytes: u64,
+    /// DRAM bandwidth over the round, GB/s.
+    pub dram_bw_gbps: f64,
+    /// HBM bandwidth over the round, GB/s.
+    pub hbm_bw_gbps: f64,
+    /// Demand-balance knob for `Low` tasks.
+    pub k_low: f64,
+    /// Demand-balance knob for `High` tasks.
+    pub k_high: f64,
+    /// Records ingested this round.
+    pub records: u64,
+}
+
+/// Result of one engine run (see [`crate::Engine::run`]).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Records ingested.
+    pub records_in: u64,
+    /// Bundles ingested.
+    pub bundles_in: u64,
+    /// Temporal windows externalized.
+    pub windows_closed: u64,
+    /// Output records emitted by the sink.
+    pub output_records: u64,
+    /// Total simulated time, seconds.
+    pub sim_secs: f64,
+    /// Input throughput, records per second.
+    pub throughput_rps: f64,
+    /// Peak HBM bandwidth over any round, GB/s.
+    pub peak_hbm_bw_gbps: f64,
+    /// Peak DRAM bandwidth over any round, GB/s.
+    pub peak_dram_bw_gbps: f64,
+    /// High-water HBM usage in bytes.
+    pub hbm_peak_used_bytes: u64,
+    /// Worst window-close output delay, seconds.
+    pub max_output_delay_secs: f64,
+    /// Mean window-close output delay, seconds.
+    pub avg_output_delay_secs: f64,
+    /// Per-round monitor samples (Figure 10's time series).
+    pub samples: Vec<RoundSample>,
+    /// Sink output bundles (only when `collect_outputs` was set).
+    pub outputs: Vec<Arc<RecordBundle>>,
+    /// The executed task graph (only when `record_trace` was set): one task
+    /// per operator invocation, with chain dependencies.
+    pub trace: Vec<TaskSpec>,
+}
+
+impl RunReport {
+    /// Throughput in millions of records per second (the paper's unit).
+    pub fn throughput_mrps(&self) -> f64 {
+        self.throughput_rps / 1e6
+    }
+
+    /// Whether every window met the target output delay.
+    pub fn meets_delay_target(&self, target_secs: f64) -> bool {
+        self.max_output_delay_secs <= target_secs
+    }
+
+    /// Replays the recorded task graph on the fluid (processor-sharing)
+    /// simulator with `cores` cores — an independent timing estimate that
+    /// models per-task bandwidth contention and dependency stalls, used to
+    /// cross-validate the engine's round-based accounting.
+    ///
+    /// Returns `None` if the run was not recorded
+    /// (`RunConfig::record_trace`).
+    pub fn replay(&self, model: CostModel, cores: u32) -> Option<SimReport> {
+        if self.trace.is_empty() {
+            return None;
+        }
+        Some(FluidSim::new(model, cores).run(&self.trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            records_in: 2_000_000,
+            bundles_in: 10,
+            windows_closed: 2,
+            output_records: 100,
+            sim_secs: 0.5,
+            throughput_rps: 4e6,
+            peak_hbm_bw_gbps: 100.0,
+            peak_dram_bw_gbps: 40.0,
+            hbm_peak_used_bytes: 1 << 20,
+            max_output_delay_secs: 0.8,
+            avg_output_delay_secs: 0.5,
+            samples: Vec::new(),
+            outputs: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn mrps_converts_units() {
+        assert!((report().throughput_mrps() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_target_compares_worst_case() {
+        assert!(report().meets_delay_target(1.0));
+        assert!(!report().meets_delay_target(0.5));
+    }
+}

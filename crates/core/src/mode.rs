@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// Which memory-management configuration the engine runs under — the four
+/// axes of the paper's Figure 9 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineMode {
+    /// Full StreamBox-HBM: KPAs explicitly placed by the demand-balance
+    /// knob, grouping on HBM.
+    #[default]
+    Hybrid,
+    /// `StreamBox-HBM Caching`: KPA mechanisms retained, but placement is
+    /// left to a hardware-managed cache — every KPA is first instantiated
+    /// in DRAM and migrated, costing extra copies (paper: up to 23% lower
+    /// throughput).
+    CachingKpa,
+    /// `StreamBox-HBM DRAM`: hybrid memory disabled; every KPA lives in
+    /// DRAM, which saturates DRAM bandwidth (paper: −47% throughput).
+    DramOnly,
+    /// `StreamBox-HBM Caching NoKPA`: no extraction — grouping moves *full
+    /// records* under a hardware-managed cache; this is StreamBox with
+    /// sequential algorithms on cache-mode memory (paper: up to 7x slower).
+    CachingNoKpa,
+}
+
+impl EngineMode {
+    /// All modes, in Figure 9's legend order.
+    pub const ALL: [EngineMode; 4] = [
+        EngineMode::Hybrid,
+        EngineMode::CachingKpa,
+        EngineMode::DramOnly,
+        EngineMode::CachingNoKpa,
+    ];
+}
+
+impl fmt::Display for EngineMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EngineMode::Hybrid => "StreamBox-HBM",
+            EngineMode::CachingKpa => "StreamBox-HBM Caching",
+            EngineMode::DramOnly => "StreamBox-HBM DRAM",
+            EngineMode::CachingNoKpa => "StreamBox-HBM Caching NoKPA",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Performance-impact tag of a task (paper §5): how soon the window the
+/// task contributes to will be externalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ImpactTag {
+    /// On the critical path of pipeline output (e.g. window-close
+    /// aggregation). Always allocates from the reserved HBM pool.
+    Urgent,
+    /// Externalized in the near future (within the next two windows).
+    High,
+    /// Externalized in the far future.
+    Low,
+}
+
+impl ImpactTag {
+    /// Tags a task by how many windows ahead of the next-to-close window
+    /// its data lies. `0` = the window currently being closed.
+    pub fn from_window_distance(distance: u64) -> ImpactTag {
+        match distance {
+            0 => ImpactTag::Urgent,
+            1 | 2 => ImpactTag::High,
+            _ => ImpactTag::Low,
+        }
+    }
+}
+
+impl fmt::Display for ImpactTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ImpactTag::Urgent => "urgent",
+            ImpactTag::High => "high",
+            ImpactTag::Low => "low",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_distance_bands_match_paper() {
+        assert_eq!(ImpactTag::from_window_distance(0), ImpactTag::Urgent);
+        assert_eq!(ImpactTag::from_window_distance(1), ImpactTag::High);
+        assert_eq!(ImpactTag::from_window_distance(2), ImpactTag::High);
+        assert_eq!(ImpactTag::from_window_distance(3), ImpactTag::Low);
+        assert_eq!(ImpactTag::from_window_distance(100), ImpactTag::Low);
+    }
+
+    #[test]
+    fn urgent_orders_before_low() {
+        assert!(ImpactTag::Urgent < ImpactTag::High);
+        assert!(ImpactTag::High < ImpactTag::Low);
+    }
+
+    #[test]
+    fn mode_display_matches_figure9_legend() {
+        assert_eq!(EngineMode::Hybrid.to_string(), "StreamBox-HBM");
+        assert_eq!(EngineMode::CachingNoKpa.to_string(), "StreamBox-HBM Caching NoKPA");
+        assert_eq!(EngineMode::ALL.len(), 4);
+    }
+}

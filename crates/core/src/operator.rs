@@ -1,0 +1,306 @@
+use std::sync::Arc;
+
+use sbx_kpa::{profile, ExecCtx, Kpa};
+use sbx_records::{Col, RecordBundle};
+use sbx_simmem::{AccessProfile, MemEnv, MemKind, Priority};
+
+use crate::{DemandBalancer, EngineError, EngineMode, ImpactTag, Message};
+
+/// Fraction of every byte of HBM traffic echoed onto DRAM under
+/// hardware-managed caching (`CachingKpa`): KPAs are first instantiated in
+/// DRAM and migrated by the cache. Calibrated to the paper's "up to 23%"
+/// throughput loss (Fig. 9).
+const CACHING_DRAM_ECHO: f64 = 0.75;
+
+/// Cache-thrash amplification for `CachingNoKpa`: grouping full records
+/// with a working set far beyond the HBM cache fetches from and writes back
+/// to DRAM on every pass. Together with the record-width factor this yields
+/// the paper's "up to 7x" gap (Fig. 9).
+const NOKPA_THRASH: f64 = 2.0;
+
+/// Per-task execution context handed to operators.
+///
+/// Wraps the primitive-level [`ExecCtx`] with the engine-level concerns:
+/// the demand-balance placement decision for new KPAs, the task's
+/// [`ImpactTag`], the thread budget for parallel primitives, and the
+/// [`EngineMode`] cost adjustments for the Figure-9 ablation
+/// configurations.
+pub struct OpCtx<'a> {
+    exec: ExecCtx,
+    balancer: &'a mut DemandBalancer,
+    mode: EngineMode,
+    /// Worker threads available to parallel primitives (sort).
+    pub threads: usize,
+    /// Impact tag of the task being executed.
+    pub tag: ImpactTag,
+}
+
+impl<'a> OpCtx<'a> {
+    /// A context for one task.
+    pub fn new(
+        env: &MemEnv,
+        balancer: &'a mut DemandBalancer,
+        mode: EngineMode,
+        threads: usize,
+        tag: ImpactTag,
+    ) -> Self {
+        OpCtx { exec: ExecCtx::new(env), balancer, mode, threads, tag }
+    }
+
+    /// The hybrid-memory environment.
+    pub fn env(&self) -> MemEnv {
+        self.exec.env().clone()
+    }
+
+    /// Direct access to the primitive execution context.
+    pub fn exec(&mut self) -> &mut ExecCtx {
+        &mut self.exec
+    }
+
+    /// Takes the profile accumulated by this task.
+    pub fn take_profile(&mut self) -> AccessProfile {
+        self.exec.take_profile()
+    }
+
+    /// Decides where a new KPA for this task should live.
+    pub fn place(&mut self) -> (MemKind, Priority) {
+        match self.mode {
+            EngineMode::DramOnly => (MemKind::Dram, Priority::Normal),
+            // Caching modes let the "hardware" fill HBM greedily.
+            EngineMode::CachingKpa | EngineMode::CachingNoKpa => {
+                (MemKind::Hbm, Priority::Normal)
+            }
+            EngineMode::Hybrid => self.balancer.place(self.tag),
+        }
+    }
+
+    /// Runs a primitive closure and applies the engine-mode cost
+    /// adjustments to the profile it charged.
+    pub fn charged<R>(
+        &mut self,
+        record_bytes: usize,
+        f: impl FnOnce(&mut ExecCtx) -> R,
+    ) -> R {
+        let held = self.exec.take_profile();
+        let r = f(&mut self.exec);
+        let delta = self.exec.take_profile();
+        let adjusted = self.adjust(delta, record_bytes);
+        self.exec.charge(&held.merge(&adjusted));
+        r
+    }
+
+    fn adjust(&self, mut p: AccessProfile, record_bytes: usize) -> AccessProfile {
+        match self.mode {
+            EngineMode::Hybrid | EngineMode::DramOnly => p,
+            EngineMode::CachingKpa => {
+                // Hardware caching: every HBM byte was first written to and
+                // read from DRAM by the migration machinery.
+                let hbm = p.seq_bytes[MemKind::Hbm.index()];
+                p.seq_bytes[MemKind::Dram.index()] += hbm * CACHING_DRAM_ECHO;
+                p
+            }
+            EngineMode::CachingNoKpa => {
+                // No extraction: grouping moves full records, and the
+                // working set thrashes the HBM cache, so the widened
+                // traffic lands on DRAM.
+                let width = (record_bytes as f64 / profile::PAIR_BYTES).max(1.0);
+                let total_seq: f64 = p.seq_bytes.iter().sum();
+                p.seq_bytes[MemKind::Dram.index()] = total_seq * width * NOKPA_THRASH;
+                p
+            }
+        }
+    }
+
+    /// Extracts a KPA from `bundle` at the placement chosen for this task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when both tiers are exhausted.
+    pub fn extract(&mut self, bundle: &Arc<RecordBundle>, col: Col) -> Result<Kpa, EngineError> {
+        let (kind, prio) = self.place();
+        let rb = bundle.schema().record_bytes();
+        self.charged(rb, |e| Kpa::extract(e, bundle, col, kind, prio))
+            .map_err(EngineError::from)
+    }
+
+    /// Extract fused with a filter predicate (`Filter`-style ParDo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when both tiers are exhausted.
+    pub fn extract_select(
+        &mut self,
+        bundle: &Arc<RecordBundle>,
+        col: Col,
+        pred: impl FnMut(u64) -> bool,
+    ) -> Result<Kpa, EngineError> {
+        let (kind, prio) = self.place();
+        let rb = bundle.schema().record_bytes();
+        self.charged(rb, |e| Kpa::extract_select(e, bundle, col, kind, prio, pred))
+            .map_err(EngineError::from)
+    }
+
+    /// Sorts `kpa` with this task's thread budget and mode costs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when scratch cannot be allocated.
+    pub fn sort(&mut self, kpa: &mut Kpa) -> Result<(), EngineError> {
+        let rb = self.record_bytes_of(kpa);
+        let threads = self.threads;
+        self.charged(rb, |e| kpa.sort(e, threads)).map_err(EngineError::from)
+    }
+
+    /// Merges sorted KPAs pairwise into one, placed per this task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when both tiers are exhausted.
+    pub fn merge_many(&mut self, kpas: Vec<Kpa>) -> Result<Kpa, EngineError> {
+        let (kind, prio) = self.place();
+        let rb = kpas.first().map_or(16, |k| self.record_bytes_of(k));
+        self.charged(rb, |e| Kpa::merge_many(e, kpas, kind, prio))
+            .map_err(EngineError::from)
+    }
+
+    fn record_bytes_of(&self, kpa: &Kpa) -> usize {
+        if kpa.is_empty() || kpa.source_count() == 0 {
+            16
+        } else {
+            kpa.schema().record_bytes()
+        }
+    }
+}
+
+/// A compound (declarative) stream operator.
+///
+/// Operators receive [`Message`]s — data on an input port or a watermark —
+/// and emit messages for the next operator. Stateful operators buffer
+/// per-window state and release it when a watermark closes the window.
+pub trait Operator: Send {
+    /// Operator name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Processes one message, returning downstream messages in order.
+    ///
+    /// Watermarks must be forwarded (typically after any results they
+    /// triggered) so downstream operators can close their own windows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on unrecoverable allocation or
+    /// configuration failure.
+    fn on_message(&mut self, ctx: &mut OpCtx<'_>, msg: Message)
+        -> Result<Vec<Message>, EngineError>;
+}
+
+/// A stateless stream operator: processes each message independently with
+/// no cross-message state, so the runtime may execute it concurrently on
+/// many bundles (the paper's data parallelism within windows, Fig. 1c).
+///
+/// Every `StatelessOperator` also implements [`Operator`] by delegation,
+/// so pipelines mix the two freely; the engine runs the longest stateless
+/// *prefix* of a pipeline on parallel worker threads.
+pub trait StatelessOperator: Send + Sync {
+    /// Operator name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Processes one message by shared reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on unrecoverable allocation or
+    /// configuration failure.
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message)
+        -> Result<Vec<Message>, EngineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_records::Schema;
+    use sbx_simmem::MachineConfig;
+
+    fn env() -> MemEnv {
+        MemEnv::new(MachineConfig::knl().scaled(0.01))
+    }
+
+    fn bundle(env: &MemEnv, n: u64) -> Arc<RecordBundle> {
+        let flat: Vec<u64> = (0..n).flat_map(|i| [i % 7, i, i * 10]).collect();
+        RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap()
+    }
+
+    #[test]
+    fn dram_only_mode_never_places_on_hbm() {
+        let env = env();
+        let mut bal = DemandBalancer::new();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::DramOnly, 2, ImpactTag::Urgent);
+        assert_eq!(ctx.place(), (MemKind::Dram, Priority::Normal));
+        let b = bundle(&env, 100);
+        let kpa = ctx.extract(&b, Col(0)).unwrap();
+        assert_eq!(kpa.kind(), MemKind::Dram);
+        assert_eq!(env.pool(MemKind::Hbm).used_bytes(), 0);
+    }
+
+    #[test]
+    fn caching_mode_echoes_hbm_traffic_to_dram() {
+        let env = env();
+        let mut bal = DemandBalancer::new();
+        let b = bundle(&env, 1000);
+
+        let mut hybrid = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let _ = hybrid.extract(&b, Col(0)).unwrap();
+        let p_hybrid = hybrid.take_profile();
+
+        let mut bal2 = DemandBalancer::new();
+        let mut caching = OpCtx::new(&env, &mut bal2, EngineMode::CachingKpa, 2, ImpactTag::High);
+        let _ = caching.extract(&b, Col(0)).unwrap();
+        let p_caching = caching.take_profile();
+
+        assert!(
+            p_caching.seq_bytes[MemKind::Dram.index()]
+                > p_hybrid.seq_bytes[MemKind::Dram.index()]
+        );
+        assert_eq!(
+            p_caching.seq_bytes[MemKind::Hbm.index()],
+            p_hybrid.seq_bytes[MemKind::Hbm.index()]
+        );
+    }
+
+    #[test]
+    fn nokpa_mode_widens_traffic_by_record_size() {
+        let env = env();
+        let mut bal = DemandBalancer::new();
+        let b = bundle(&env, 1000);
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::CachingNoKpa, 2, ImpactTag::High);
+        let mut kpa = ctx.extract(&b, Col(0)).unwrap();
+        ctx.take_profile();
+        ctx.sort(&mut kpa).unwrap();
+        let p = ctx.take_profile();
+
+        let mut bal2 = DemandBalancer::new();
+        let mut ctx2 = OpCtx::new(&env, &mut bal2, EngineMode::Hybrid, 2, ImpactTag::High);
+        let mut kpa2 = ctx2.extract(&b, Col(0)).unwrap();
+        ctx2.take_profile();
+        ctx2.sort(&mut kpa2).unwrap();
+        let p2 = ctx2.take_profile();
+
+        // kvt records are 24 bytes vs 16-byte pairs => x1.5, times thrash x2.
+        let expect = (p2.seq_bytes[0] + p2.seq_bytes[1]) * 1.5 * 2.0;
+        assert!((p.seq_bytes[MemKind::Dram.index()] - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_mode_defers_to_balancer() {
+        let env = env();
+        let mut bal = DemandBalancer::new();
+        // Push k_low to 0: Low-tagged tasks go to DRAM.
+        for _ in 0..25 {
+            bal.update(1.0, 0.0, true);
+        }
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::Low);
+        assert_eq!(ctx.place().0, MemKind::Dram);
+        ctx.tag = ImpactTag::Urgent;
+        assert_eq!(ctx.place(), (MemKind::Hbm, Priority::Reserved));
+    }
+}

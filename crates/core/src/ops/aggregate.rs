@@ -1,0 +1,523 @@
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sbx_kpa::{agg, reduce_keyed};
+use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
+
+use crate::ops::{closable, window_start, LateGuard};
+use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
+
+/// Which per-key aggregate a [`KeyedAggregate`] computes — the benchmark
+/// suite's statefull operator family (paper §6, benchmarks 1–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Windowed Sum Per Key (wrapping `u64` addition).
+    Sum,
+    /// Windowed Average Per Key.
+    Avg,
+    /// Windowed Median Per Key.
+    Median,
+    /// Count of records per key (YSB's per-campaign count).
+    Count,
+    /// TopK Per Key: the K largest values; emits one row per kept value.
+    TopK(usize),
+    /// Unique Count Per Key: number of distinct values.
+    UniqueCount,
+}
+
+/// Keyed Aggregation (paper Fig. 4a): as windowed KPAs arrive they are
+/// swapped to the grouping key, sorted, and saved as window state; when the
+/// watermark closes the window, the saved KPAs are merged by key and a
+/// per-key reduction emits one output record per key (or per kept value for
+/// `TopK`).
+///
+/// For `Sum` and `Count` the operator applies the paper's *early
+/// aggregation* optimization: each arriving KPA is pre-reduced to per-key
+/// partials, shrinking window state and the final merge.
+pub struct KeyedAggregate {
+    key_col: Col,
+    value_col: Col,
+    kind: AggKind,
+    spec: WindowSpec,
+    key_map: Option<Box<dyn Fn(u64) -> u64 + Send>>,
+    early_aggregation: bool,
+    state: BTreeMap<WindowId, Vec<sbx_kpa::Kpa>>,
+    /// Pane-combining mode: per-pane partial bundles (key, partial, 0),
+    /// each pane computed once and shared by every window containing it.
+    pane_state: BTreeMap<u64, Vec<Arc<RecordBundle>>>,
+    pane_combining: bool,
+    /// Next window to externalize in pane mode.
+    pane_next_window: u64,
+    out_schema: Arc<Schema>,
+    late: LateGuard,
+}
+
+impl KeyedAggregate {
+    /// Aggregates `value_col` grouped by `key_col` over `spec` windows.
+    pub fn new(spec: WindowSpec, key_col: Col, value_col: Col, kind: AggKind) -> Self {
+        KeyedAggregate {
+            key_col,
+            value_col,
+            kind,
+            spec,
+            key_map: None,
+            early_aggregation: matches!(kind, AggKind::Sum | AggKind::Count),
+            state: BTreeMap::new(),
+            pane_state: BTreeMap::new(),
+            pane_combining: false,
+            pane_next_window: 0,
+            out_schema: Schema::kvt(),
+            late: LateGuard::default(),
+        }
+    }
+
+    /// Enables CQL-style pane combining for sliding windows: feed this
+    /// operator from
+    /// [`PipelineBuilder::windowed_panes`](crate::PipelineBuilder::windowed_panes)
+    /// and each pane's per-key partial is computed once and combined into
+    /// every window that contains it, instead of duplicating the pane's
+    /// records per window.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the aggregate is `Sum` or `Count` (the combinable
+    /// kinds).
+    pub fn with_pane_combining(mut self) -> Self {
+        assert!(
+            matches!(self.kind, AggKind::Sum | AggKind::Count),
+            "pane combining requires a combinable aggregate (Sum or Count)"
+        );
+        self.pane_combining = true;
+        self
+    }
+
+    /// Applies `map` to every grouping key before aggregation (YSB's
+    /// ad→campaign mapping applied at the aggregation key swap).
+    pub fn with_key_map(mut self, map: impl Fn(u64) -> u64 + Send + 'static) -> Self {
+        self.key_map = Some(Box::new(map));
+        self
+    }
+
+    /// Disables the early-aggregation optimization (used by the ablation
+    /// tests; the paper enables it by default).
+    pub fn without_early_aggregation(mut self) -> Self {
+        self.early_aggregation = false;
+        self
+    }
+
+    /// Number of windows currently buffered.
+    pub fn open_windows(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Records dropped because their window had already been closed by a
+    /// watermark.
+    pub fn late_records(&self) -> u64 {
+        self.late.dropped()
+    }
+
+    fn ingest(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        w: WindowId,
+        mut kpa: sbx_kpa::Kpa,
+    ) -> Result<(), EngineError> {
+        if kpa.resident() != self.key_col {
+            ctx.charged(16, |e| kpa.key_swap(e, self.key_col));
+        }
+        if let Some(map) = &self.key_map {
+            ctx.charged(16, |e| kpa.update_keys(e, map));
+        }
+        ctx.sort(&mut kpa)?;
+        if self.early_aggregation && kpa.len() > 1 {
+            kpa = self.pre_reduce(ctx, kpa)?;
+        }
+        self.state.entry(w).or_default().push(kpa);
+        Ok(())
+    }
+
+    /// Early aggregation: reduce one sorted KPA to per-key partials stored
+    /// in a fresh (small) bundle, and return a KPA over it.
+    fn pre_reduce(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        kpa: sbx_kpa::Kpa,
+    ) -> Result<sbx_kpa::Kpa, EngineError> {
+        let value_col = self.value_col;
+        let mut rows: Vec<u64> = Vec::new();
+        ctx.charged(16, |e| {
+            reduce_keyed(e, &kpa, value_col, |g| {
+                let partial = match self.kind {
+                    AggKind::Sum => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                    AggKind::Count => g.values.len() as u64,
+                    _ => unreachable!("early aggregation only for sum/count"),
+                };
+                rows.extend_from_slice(&[g.key, partial, 0]);
+            })
+        });
+        let env = ctx.env();
+        let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &rows)?;
+        // The partial bundle was just written: fuse its extraction
+        // (paper §4.3 optimization 1).
+        let (kind, prio) = ctx.place();
+        let mut out = ctx.charged(24, |e| {
+            sbx_kpa::Kpa::extract_fused(e, &bundle, Col(0), kind, prio)
+        })?;
+        // reduce_keyed emitted the partials in ascending key order.
+        out.mark_sorted();
+        Ok(out)
+    }
+
+    /// Pane-mode ingest: pre-reduce the pane's KPA to per-key partials and
+    /// store the partial *bundle* (shareable across windows).
+    fn ingest_pane(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        pane: u64,
+        mut kpa: sbx_kpa::Kpa,
+    ) -> Result<(), EngineError> {
+        if kpa.resident() != self.key_col {
+            ctx.charged(16, |e| kpa.key_swap(e, self.key_col));
+        }
+        if let Some(map) = &self.key_map {
+            ctx.charged(16, |e| kpa.update_keys(e, map));
+        }
+        ctx.sort(&mut kpa)?;
+        let value_col = self.value_col;
+        let mut rows: Vec<u64> = Vec::new();
+        let kind = self.kind;
+        ctx.charged(16, |e| {
+            reduce_keyed(e, &kpa, value_col, |g| {
+                let partial = match kind {
+                    AggKind::Sum => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                    AggKind::Count => g.values.len() as u64,
+                    _ => unreachable!("pane combining only for sum/count"),
+                };
+                rows.extend_from_slice(&[g.key, partial, 0]);
+            })
+        });
+        let env = ctx.env();
+        let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &rows)?;
+        self.pane_state.entry(pane).or_default().push(bundle);
+        Ok(())
+    }
+
+    /// Pane-mode close: combine the partials of panes `[w, w + overlap)`.
+    fn close_window_of_panes(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        w: u64,
+    ) -> Result<Option<Message>, EngineError> {
+        ctx.tag = ImpactTag::Urgent;
+        let overlap = self.spec.size() / self.spec.stride();
+        let mut kpas = Vec::new();
+        for pane in w..w + overlap {
+            for bundle in self.pane_state.get(&pane).into_iter().flatten() {
+                let (kind, prio) = ctx.place();
+                let mut kpa = ctx.charged(24, |e| {
+                    sbx_kpa::Kpa::extract_fused(e, bundle, Col(0), kind, prio)
+                })?;
+                kpa.mark_sorted();
+                kpas.push(kpa);
+            }
+        }
+        if kpas.is_empty() {
+            return Ok(None);
+        }
+        let merged = ctx.merge_many(kpas)?;
+        let start = window_start(&self.spec, WindowId(w)).raw();
+        let mut rows: Vec<u64> = Vec::new();
+        ctx.charged(16, |e| {
+            reduce_keyed(e, &merged, Col(1), |g| {
+                rows.extend_from_slice(&[
+                    g.key,
+                    g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                    start,
+                ]);
+            })
+        });
+        let env = ctx.env();
+        let out = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
+        Ok(Some(Message::data(StreamData::Bundle(out))))
+    }
+
+    fn on_watermark_panes(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        wm: sbx_records::Watermark,
+    ) -> Result<Vec<Message>, EngineError> {
+        // Windows strictly below `boundary` are closed by this watermark.
+        let boundary = if wm.time().raw() >= self.spec.size() {
+            (wm.time().raw() - self.spec.size()) / self.spec.stride() + 1
+        } else {
+            0
+        };
+        let mut out = Vec::new();
+        if let Some(&max_pane) = self.pane_state.keys().next_back() {
+            // Windows past the last pane hold no data; skip them.
+            let close_until = boundary.min(max_pane + 1);
+            for w in self.pane_next_window..close_until {
+                if let Some(msg) = self.close_window_of_panes(ctx, w)? {
+                    out.push(msg);
+                }
+            }
+        }
+        self.pane_next_window = self.pane_next_window.max(boundary);
+        let keep_from = self.pane_next_window;
+        self.pane_state.retain(|&p, _| p >= keep_from);
+        out.push(Message::Watermark(wm));
+        Ok(out)
+    }
+
+    fn close(&mut self, ctx: &mut OpCtx<'_>, w: WindowId) -> Result<Message, EngineError> {
+        ctx.tag = ImpactTag::Urgent;
+        let kpas = self.state.remove(&w).unwrap_or_default();
+        let start = window_start(&self.spec, w).raw();
+        let mut rows: Vec<u64> = Vec::new();
+        if !kpas.is_empty() {
+            let merged = ctx.merge_many(kpas)?;
+            // When early aggregation ran, the stored "values" are partials
+            // living in column 1 of the partial bundles.
+            let value_col = if self.early_aggregation { Col(1) } else { self.value_col };
+            let kind = self.kind;
+            let early = self.early_aggregation;
+            ctx.charged(16, |e| {
+                reduce_keyed(e, &merged, value_col, |g| {
+                    match kind {
+                        AggKind::Sum => {
+                            rows.extend_from_slice(&[
+                                g.key,
+                                g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                                start,
+                            ]);
+                        }
+                        AggKind::Count => {
+                            // With early aggregation the values are partial
+                            // counts; otherwise each value is one record.
+                            let c = if early {
+                                g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+                            } else {
+                                g.values.len() as u64
+                            };
+                            rows.extend_from_slice(&[g.key, c, start]);
+                        }
+                        AggKind::Avg => {
+                            rows.extend_from_slice(&[g.key, agg::average(g.values), start]);
+                        }
+                        AggKind::Median => {
+                            let mut v = g.values.to_vec();
+                            rows.extend_from_slice(&[g.key, agg::median(&mut v), start]);
+                        }
+                        AggKind::TopK(k) => {
+                            for v in agg::top_k(g.values, k) {
+                                rows.extend_from_slice(&[g.key, v, start]);
+                            }
+                        }
+                        AggKind::UniqueCount => {
+                            let mut v = g.values.to_vec();
+                            rows.extend_from_slice(&[g.key, agg::unique_count(&mut v), start]);
+                        }
+                    }
+                })
+            });
+        }
+        let env = ctx.env();
+        let out = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
+        Ok(Message::data(StreamData::Bundle(out)))
+    }
+}
+
+impl std::fmt::Debug for KeyedAggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeyedAggregate")
+            .field("key_col", &self.key_col)
+            .field("value_col", &self.value_col)
+            .field("kind", &self.kind)
+            .field("open_windows", &self.state.len())
+            .finish()
+    }
+}
+
+impl Operator for KeyedAggregate {
+    fn name(&self) -> &'static str {
+        "KeyedAggregate"
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        msg: Message,
+    ) -> Result<Vec<Message>, EngineError> {
+        match msg {
+            Message::Data { data: StreamData::Windowed(w, kpa), .. } => {
+                if self.pane_combining {
+                    // `w` is a pane id; a pane is late once no open window
+                    // can include it.
+                    if w.0 < self.pane_next_window {
+                        self.late.is_late(&self.spec, w, kpa.len());
+                        return Ok(Vec::new());
+                    }
+                    self.ingest_pane(ctx, w.0, kpa)?;
+                    return Ok(Vec::new());
+                }
+                if self.late.is_late(&self.spec, w, kpa.len()) {
+                    return Ok(Vec::new());
+                }
+                self.ingest(ctx, w, kpa)?;
+                Ok(Vec::new())
+            }
+            Message::Data { data, .. } => Err(EngineError::Config(format!(
+                "KeyedAggregate requires windowed KPAs, got {} unwindowed records",
+                data.len()
+            ))),
+            Message::Watermark(wm) => {
+                self.late.observe(wm);
+                if self.pane_combining {
+                    return self.on_watermark_panes(ctx, wm);
+                }
+                let mut out = Vec::new();
+                for w in closable(&self.state, &self.spec, wm) {
+                    out.push(self.close(ctx, w)?);
+                }
+                out.push(Message::Watermark(wm));
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::WindowInto;
+    use crate::{DemandBalancer, EngineMode};
+    use sbx_records::Watermark;
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    fn run_agg(kind: AggKind, rows: &[(u64, u64, u64)], early: bool) -> Vec<(u64, u64, u64)> {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(10);
+        let mut window = WindowInto::new(spec);
+        let mut agg_op = KeyedAggregate::new(spec, Col(0), Col(1), kind);
+        if !early {
+            agg_op = agg_op.without_early_aggregation();
+        }
+        let flat: Vec<u64> = rows.iter().flat_map(|&(k, v, t)| [k, v, t]).collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let windowed = window
+            .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
+            .unwrap();
+        let mut outs = Vec::new();
+        for m in windowed {
+            outs.extend(agg_op.on_message(&mut ctx, m).unwrap());
+        }
+        assert!(outs.is_empty(), "no output before watermark");
+        let closed = agg_op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(1_000)))
+            .unwrap();
+        let mut result = Vec::new();
+        for m in closed {
+            if let Message::Data { data: StreamData::Bundle(b), .. } = m {
+                for r in 0..b.rows() {
+                    result.push((b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2))));
+                }
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn sum_per_key_per_window() {
+        let rows = [(1, 10, 0), (2, 5, 3), (1, 7, 5), (1, 1, 15)];
+        let got = run_agg(AggKind::Sum, &rows, true);
+        assert_eq!(got, vec![(1, 17, 0), (2, 5, 0), (1, 1, 10)]);
+    }
+
+    #[test]
+    fn early_aggregation_is_transparent() {
+        let rows: Vec<(u64, u64, u64)> =
+            (0..200).map(|i| (i % 5, i, (i % 20))).collect();
+        let with = run_agg(AggKind::Sum, &rows, true);
+        let without = run_agg(AggKind::Sum, &rows, false);
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn count_avg_median_unique_topk() {
+        let rows = [(1, 10, 0), (1, 20, 1), (1, 30, 2), (2, 5, 3), (2, 5, 4)];
+        assert_eq!(run_agg(AggKind::Count, &rows, true), vec![(1, 3, 0), (2, 2, 0)]);
+        assert_eq!(run_agg(AggKind::Avg, &rows, false), vec![(1, 20, 0), (2, 5, 0)]);
+        assert_eq!(run_agg(AggKind::Median, &rows, false), vec![(1, 20, 0), (2, 5, 0)]);
+        assert_eq!(
+            run_agg(AggKind::UniqueCount, &rows, false),
+            vec![(1, 3, 0), (2, 1, 0)]
+        );
+        assert_eq!(
+            run_agg(AggKind::TopK(2), &rows, false),
+            vec![(1, 30, 0), (1, 20, 0), (2, 5, 0), (2, 5, 0)]
+        );
+    }
+
+    #[test]
+    fn key_map_rewrites_grouping_keys() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(10);
+        let mut window = WindowInto::new(spec);
+        let mut op =
+            KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Count).with_key_map(|k| k % 2);
+        let flat: Vec<u64> = [(1u64, 0u64), (2, 0), (3, 0), (4, 0)]
+            .iter()
+            .flat_map(|&(k, t)| [k, 0, t])
+            .collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let mut outs = Vec::new();
+        for m in window
+            .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
+            .unwrap()
+        {
+            outs.extend(op.on_message(&mut ctx, m).unwrap());
+        }
+        let closed = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(100)))
+            .unwrap();
+        let Message::Data { data: StreamData::Bundle(out), .. } = &closed[0] else {
+            panic!("expected bundle");
+        };
+        assert_eq!(out.rows(), 2); // keys collapsed to {0, 1}
+        assert_eq!(out.value(0, Col(1)), 2);
+        assert_eq!(out.value(1, Col(1)), 2);
+    }
+
+    #[test]
+    fn watermark_only_closes_elapsed_windows() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(10);
+        let mut window = WindowInto::new(spec);
+        let mut op = KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum);
+        let flat: Vec<u64> = [(1u64, 5u64), (1, 25)]
+            .iter()
+            .flat_map(|&(k, t)| [k, 1, t])
+            .collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        for m in window
+            .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
+            .unwrap()
+        {
+            op.on_message(&mut ctx, m).unwrap();
+        }
+        assert_eq!(op.open_windows(), 2);
+        // Watermark at 12: only window 0 (ends at 10) closes.
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(12)))
+            .unwrap();
+        assert_eq!(out.len(), 2); // one bundle + the watermark
+        assert_eq!(op.open_windows(), 1);
+    }
+}

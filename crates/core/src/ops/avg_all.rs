@@ -1,0 +1,188 @@
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sbx_kpa::{reduce_unkeyed_bundle, reduce_unkeyed_kpa};
+use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
+
+use crate::ops::{closable, window_start, LateGuard};
+use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
+
+/// Windowed Average All (benchmark 5): the average of a value column over
+/// *all* records in each window — a pure unkeyed reduction, the cheapest
+/// pipeline in the suite (it is ingestion-bound in Fig. 8 at 110 M rec/s).
+#[derive(Debug)]
+pub struct AvgAll {
+    value_col: Col,
+    spec: WindowSpec,
+    state: BTreeMap<WindowId, (u128, u64)>,
+    out_schema: Arc<Schema>,
+    late: LateGuard,
+}
+
+impl AvgAll {
+    /// Averages `value_col` per `spec` window.
+    pub fn new(spec: WindowSpec, value_col: Col) -> Self {
+        AvgAll {
+            value_col,
+            spec,
+            state: BTreeMap::new(),
+            out_schema: Schema::kvt(),
+            late: LateGuard::default(),
+        }
+    }
+
+    /// Records dropped because their window had already closed.
+    pub fn late_records(&self) -> u64 {
+        self.late.dropped()
+    }
+}
+
+impl Operator for AvgAll {
+    fn name(&self) -> &'static str {
+        "AvgAll"
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        msg: Message,
+    ) -> Result<Vec<Message>, EngineError> {
+        match msg {
+            Message::Data { data, .. } => {
+                let value_col = self.value_col;
+                match data {
+                    StreamData::Windowed(w, kpa) => {
+                        if self.late.is_late(&self.spec, w, kpa.len()) {
+                            return Ok(Vec::new());
+                        }
+                        let (sum, count) = ctx.charged(16, |e| {
+                            reduce_unkeyed_kpa(e, &kpa, value_col, (0u128, 0u64), |a, v| {
+                                (a.0 + v as u128, a.1 + 1)
+                            })
+                        });
+                        let entry = self.state.entry(w).or_insert((0, 0));
+                        entry.0 += sum;
+                        entry.1 += count;
+                    }
+                    StreamData::Bundle(b) => {
+                        // Unwindowed bundle: assign rows by timestamp
+                        // directly (unkeyed reduction touches every record
+                        // once either way).
+                        let spec = self.spec;
+                        let mut per_window: BTreeMap<WindowId, (u128, u64)> = BTreeMap::new();
+                        ctx.charged(16, |e| {
+                            reduce_unkeyed_bundle(e, &b, value_col, (), |(), _| ())
+                        });
+                        for r in 0..b.rows() {
+                            let w = spec.window_of(b.ts(r));
+                            let e = per_window.entry(w).or_insert((0, 0));
+                            e.0 += b.value(r, value_col) as u128;
+                            e.1 += 1;
+                        }
+                        for (w, (s, c)) in per_window {
+                            let e = self.state.entry(w).or_insert((0, 0));
+                            e.0 += s;
+                            e.1 += c;
+                        }
+                    }
+                    StreamData::Kpa(kpa) => {
+                        return Err(EngineError::Config(format!(
+                            "AvgAll needs windowed or bundle input, got bare KPA of {}",
+                            kpa.len()
+                        )));
+                    }
+                }
+                Ok(Vec::new())
+            }
+            Message::Watermark(wm) => {
+                self.late.observe(wm);
+                ctx.tag = ImpactTag::Urgent;
+                let mut out = Vec::new();
+                for w in closable(&self.state, &self.spec, wm) {
+                    let (sum, count) = self.state.remove(&w).expect("window exists");
+                    let avg = if count == 0 { 0 } else { (sum / count as u128) as u64 };
+                    let start = window_start(&self.spec, w).raw();
+                    let env = ctx.env();
+                    let b = RecordBundle::from_rows(
+                        &env,
+                        Arc::clone(&self.out_schema),
+                        &[0, avg, start],
+                    )?;
+                    out.push(Message::data(StreamData::Bundle(b)));
+                }
+                out.push(Message::Watermark(wm));
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::WindowInto;
+    use crate::{DemandBalancer, EngineMode};
+    use sbx_records::Watermark;
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    fn close_all(op: &mut AvgAll, ctx: &mut OpCtx<'_>) -> Vec<(u64, u64)> {
+        let out = op
+            .on_message(ctx, Message::Watermark(Watermark::from(u64::MAX)))
+            .unwrap();
+        out.iter()
+            .filter_map(|m| match m {
+                Message::Data { data: StreamData::Bundle(b), .. } => {
+                    Some((b.value(0, Col(1)), b.value(0, Col(2))))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn averages_each_window_via_windowed_kpas() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let spec = WindowSpec::fixed(10);
+        let mut window = WindowInto::new(spec);
+        let mut op = AvgAll::new(spec, Col(1));
+        let flat: Vec<u64> = [(10u64, 0u64), (20, 5), (40, 15)]
+            .iter()
+            .flat_map(|&(v, t)| [1, v, t])
+            .collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+        for m in window
+            .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
+            .unwrap()
+        {
+            op.on_message(&mut ctx, m).unwrap();
+        }
+        assert_eq!(close_all(&mut op, &mut ctx), vec![(15, 0), (40, 10)]);
+    }
+
+    #[test]
+    fn accepts_raw_bundles_without_windowing_op() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let spec = WindowSpec::fixed(10);
+        let mut op = AvgAll::new(spec, Col(1));
+        let flat: Vec<u64> = [(6u64, 1u64), (8, 2)].iter().flat_map(|&(v, t)| [0, v, t]).collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+        op.on_message(&mut ctx, Message::data(StreamData::Bundle(b))).unwrap();
+        assert_eq!(close_all(&mut op, &mut ctx), vec![(7, 0)]);
+    }
+
+    #[test]
+    fn empty_window_is_not_emitted() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let mut op = AvgAll::new(WindowSpec::fixed(10), Col(1));
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(100)))
+            .unwrap();
+        assert_eq!(out.len(), 1); // just the forwarded watermark
+    }
+}

@@ -1,0 +1,238 @@
+//! Cogroup (Table 1): groups two streams by key within each window and
+//! emits one record per key combining a per-side aggregate.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use sbx_kpa::{reduce_keyed, Kpa};
+use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
+
+use crate::ops::{closable, window_start, LateGuard};
+use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
+
+/// Per-side aggregate applied by [`Cogroup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SideAgg {
+    /// Number of records on this side.
+    Count,
+    /// Wrapping sum of the value column on this side.
+    Sum,
+}
+
+impl SideAgg {
+    fn apply(self, values: &[u64]) -> u64 {
+        match self {
+            SideAgg::Count => values.len() as u64,
+            SideAgg::Sum => values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        }
+    }
+}
+
+/// Cogroup: for every key present on *either* input stream within a window,
+/// emits `(key, left_agg, right_agg, window_start)` at window close — keys
+/// absent from one side contribute that side's identity (0).
+///
+/// Implemented on the sort/merge primitives like Keyed Aggregation: each
+/// arriving KPA is key-swapped and sorted; the window state is one sorted
+/// KPA per side; closure merges, reduces per side, and zips the two sorted
+/// key sets in one co-scan.
+pub struct Cogroup {
+    key_col: Col,
+    value_col: Col,
+    agg: [SideAgg; 2],
+    spec: WindowSpec,
+    state: BTreeMap<WindowId, [Vec<Kpa>; 2]>,
+    out_schema: Arc<Schema>,
+    late: LateGuard,
+}
+
+impl Cogroup {
+    /// A cogroup on `key_col`, aggregating `value_col` with `agg[side]`.
+    pub fn new(spec: WindowSpec, key_col: Col, value_col: Col, agg: [SideAgg; 2]) -> Self {
+        Cogroup {
+            key_col,
+            value_col,
+            agg,
+            spec,
+            state: BTreeMap::new(),
+            out_schema: Schema::new(vec!["key", "l_agg", "r_agg", "ts"], Col(3)),
+            late: LateGuard::default(),
+        }
+    }
+
+    /// Records dropped because their window had already closed.
+    pub fn late_records(&self) -> u64 {
+        self.late.dropped()
+    }
+}
+
+impl std::fmt::Debug for Cogroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cogroup")
+            .field("key_col", &self.key_col)
+            .field("open_windows", &self.state.len())
+            .finish()
+    }
+}
+
+impl Operator for Cogroup {
+    fn name(&self) -> &'static str {
+        "Cogroup"
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        msg: Message,
+    ) -> Result<Vec<Message>, EngineError> {
+        match msg {
+            Message::Data { port, data: StreamData::Windowed(w, mut kpa) } => {
+                if self.late.is_late(&self.spec, w, kpa.len()) {
+                    return Ok(Vec::new());
+                }
+                let side = (port as usize).min(1);
+                if kpa.resident() != self.key_col {
+                    ctx.charged(16, |e| kpa.key_swap(e, self.key_col));
+                }
+                ctx.sort(&mut kpa)?;
+                self.state.entry(w).or_default()[side].push(kpa);
+                Ok(Vec::new())
+            }
+            Message::Data { data, .. } => Err(EngineError::Config(format!(
+                "Cogroup requires windowed KPAs, got {} unwindowed records",
+                data.len()
+            ))),
+            Message::Watermark(wm) => {
+                self.late.observe(wm);
+                ctx.tag = ImpactTag::Urgent;
+                let mut out = Vec::new();
+                for w in closable(&self.state, &self.spec, wm) {
+                    let [l, r] = self.state.remove(&w).expect("window exists");
+                    let start = window_start(&self.spec, w).raw();
+                    let mut sides: [Vec<(u64, u64)>; 2] = [Vec::new(), Vec::new()];
+                    for (side, kpas) in [(0usize, l), (1, r)] {
+                        if kpas.is_empty() {
+                            continue;
+                        }
+                        let merged = ctx.merge_many(kpas)?;
+                        let agg = self.agg[side];
+                        let value_col = self.value_col;
+                        let acc = &mut sides[side];
+                        ctx.charged(16, |e| {
+                            reduce_keyed(e, &merged, value_col, |g| {
+                                acc.push((g.key, agg.apply(g.values)));
+                            })
+                        });
+                    }
+                    // Co-scan the two sorted per-key aggregate lists.
+                    let (mut i, mut j) = (0usize, 0usize);
+                    let (ls, rs) = (&sides[0], &sides[1]);
+                    let mut rows = Vec::new();
+                    while i < ls.len() || j < rs.len() {
+                        let lk = ls.get(i).map(|p| p.0);
+                        let rk = rs.get(j).map(|p| p.0);
+                        match (lk, rk) {
+                            (Some(a), Some(b)) if a == b => {
+                                rows.extend_from_slice(&[a, ls[i].1, rs[j].1, start]);
+                                i += 1;
+                                j += 1;
+                            }
+                            (Some(a), Some(b)) if a < b => {
+                                rows.extend_from_slice(&[a, ls[i].1, 0, start]);
+                                i += 1;
+                            }
+                            (Some(_), Some(_)) | (None, Some(_)) => {
+                                rows.extend_from_slice(&[rs[j].0, 0, rs[j].1, start]);
+                                j += 1;
+                            }
+                            (Some(a), None) => {
+                                rows.extend_from_slice(&[a, ls[i].1, 0, start]);
+                                i += 1;
+                            }
+                            (None, None) => unreachable!(),
+                        }
+                    }
+                    let env = ctx.env();
+                    let b =
+                        RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
+                    out.push(Message::data(StreamData::Bundle(b)));
+                }
+                out.push(Message::Watermark(wm));
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::WindowInto;
+    use crate::{DemandBalancer, EngineMode};
+    use sbx_records::Watermark;
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    fn feed(
+        op: &mut Cogroup,
+        window: &mut WindowInto,
+        ctx: &mut OpCtx<'_>,
+        env: &MemEnv,
+        port: u8,
+        rows: &[(u64, u64)],
+    ) {
+        let flat: Vec<u64> = rows.iter().flat_map(|&(k, v)| [k, v, 0]).collect();
+        let b = RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap();
+        for m in window
+            .on_message(ctx, Message::Data { port, data: StreamData::Bundle(b) })
+            .unwrap()
+        {
+            op.on_message(ctx, m).unwrap();
+        }
+    }
+
+    #[test]
+    fn cogroup_zips_both_sides_per_key() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(100);
+        let mut window = WindowInto::new(spec);
+        let mut op = Cogroup::new(spec, Col(0), Col(1), [SideAgg::Sum, SideAgg::Count]);
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+
+        feed(&mut op, &mut window, &mut ctx, &env, 0, &[(1, 10), (1, 5), (3, 7)]);
+        feed(&mut op, &mut window, &mut ctx, &env, 1, &[(1, 99), (2, 42), (2, 43)]);
+
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
+            .unwrap();
+        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+            panic!("expected bundle");
+        };
+        let got: Vec<(u64, u64, u64)> = (0..b.rows())
+            .map(|r| (b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2))))
+            .collect();
+        // key 1: left sum 15, right count 1; key 2: right only, count 2;
+        // key 3: left only, sum 7.
+        assert_eq!(got, vec![(1, 15, 1), (2, 0, 2), (3, 7, 0)]);
+    }
+
+    #[test]
+    fn one_sided_windows_still_emit() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(100);
+        let mut window = WindowInto::new(spec);
+        let mut op = Cogroup::new(spec, Col(0), Col(1), [SideAgg::Count, SideAgg::Count]);
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        feed(&mut op, &mut window, &mut ctx, &env, 0, &[(9, 1), (9, 2)]);
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
+            .unwrap();
+        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+            panic!("expected bundle");
+        };
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.value(0, Col(1)), 2);
+        assert_eq!(b.value(0, Col(2)), 0);
+    }
+}

@@ -1,0 +1,200 @@
+use std::collections::BTreeMap;
+
+use sbx_kpa::{reduce_unkeyed_kpa, Kpa};
+use sbx_records::{Col, WindowId, WindowSpec};
+
+use crate::ops::{closable, LateGuard};
+use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
+
+/// Windowed Filter (benchmark 8): takes two input streams, computes the
+/// per-window average of the *control* stream's values (port 1), and at
+/// window close keeps the records of the *data* stream (port 0) whose value
+/// exceeds that average. Survivors are materialized as full records.
+pub struct WindowedFilter {
+    value_col: Col,
+    spec: WindowSpec,
+    /// Per-window: saved data-stream KPAs (resident = value column).
+    data_state: BTreeMap<WindowId, Vec<Kpa>>,
+    /// Per-window running (sum, count) of the control stream.
+    control_state: BTreeMap<WindowId, (u128, u64)>,
+    late: LateGuard,
+}
+
+impl WindowedFilter {
+    /// Filters port-0 records by comparing `value_col` against port 1's
+    /// window average.
+    pub fn new(spec: WindowSpec, value_col: Col) -> Self {
+        WindowedFilter {
+            value_col,
+            spec,
+            data_state: BTreeMap::new(),
+            control_state: BTreeMap::new(),
+            late: LateGuard::default(),
+        }
+    }
+
+    /// Records dropped because their window had already closed.
+    pub fn late_records(&self) -> u64 {
+        self.late.dropped()
+    }
+}
+
+impl std::fmt::Debug for WindowedFilter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WindowedFilter")
+            .field("open_windows", &self.data_state.len())
+            .finish()
+    }
+}
+
+impl Operator for WindowedFilter {
+    fn name(&self) -> &'static str {
+        "WindowedFilter"
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        msg: Message,
+    ) -> Result<Vec<Message>, EngineError> {
+        match msg {
+            Message::Data { port, data: StreamData::Windowed(w, mut kpa) } => {
+                if self.late.is_late(&self.spec, w, kpa.len()) {
+                    return Ok(Vec::new());
+                }
+                let value_col = self.value_col;
+                if port == 0 {
+                    if kpa.resident() != value_col {
+                        ctx.charged(16, |e| kpa.key_swap(e, value_col));
+                    }
+                    self.data_state.entry(w).or_default().push(kpa);
+                } else {
+                    let (sum, count) = ctx.charged(16, |e| {
+                        reduce_unkeyed_kpa(e, &kpa, value_col, (0u128, 0u64), |a, v| {
+                            (a.0 + v as u128, a.1 + 1)
+                        })
+                    });
+                    let e = self.control_state.entry(w).or_insert((0, 0));
+                    e.0 += sum;
+                    e.1 += count;
+                }
+                Ok(Vec::new())
+            }
+            Message::Data { data, .. } => Err(EngineError::Config(format!(
+                "WindowedFilter requires windowed KPAs, got {} unwindowed records",
+                data.len()
+            ))),
+            Message::Watermark(wm) => {
+                self.late.observe(wm);
+                ctx.tag = ImpactTag::Urgent;
+                let mut out = Vec::new();
+                let mut windows = closable(&self.data_state, &self.spec, wm);
+                for w in closable(&self.control_state, &self.spec, wm) {
+                    if !windows.contains(&w) {
+                        windows.push(w);
+                    }
+                }
+                windows.sort_unstable();
+                for w in windows {
+                    let kpas = self.data_state.remove(&w).unwrap_or_default();
+                    let (sum, count) = self.control_state.remove(&w).unwrap_or((0, 0));
+                    let avg = if count == 0 { 0 } else { (sum / count as u128) as u64 };
+                    for kpa in kpas {
+                        let (_, prio) = ctx.place();
+                        let kept =
+                            ctx.charged(16, |e| kpa.select(e, prio, |v| v > avg))?;
+                        if kept.is_empty() {
+                            continue;
+                        }
+                        let bundle = ctx.charged(16, |e| kept.materialize(e))?;
+                        out.push(Message::data(StreamData::Bundle(bundle)));
+                    }
+                }
+                out.push(Message::Watermark(wm));
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::WindowInto;
+    use crate::{DemandBalancer, EngineMode};
+    use sbx_records::{RecordBundle, Schema, Watermark};
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    #[test]
+    fn keeps_data_records_above_control_average() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(100);
+        let mut window = WindowInto::new(spec);
+        let mut op = WindowedFilter::new(spec, Col(1));
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+
+        // Control stream (port 1): values 10 and 30 => average 20.
+        let control: Vec<u64> = [(0u64, 10u64), (0, 30)]
+            .iter()
+            .flat_map(|&(k, v)| [k, v, 0])
+            .collect();
+        let cb = RecordBundle::from_rows(&env, Schema::kvt(), &control).unwrap();
+        for m in window
+            .on_message(&mut ctx, Message::Data { port: 1, data: StreamData::Bundle(cb) })
+            .unwrap()
+        {
+            op.on_message(&mut ctx, m).unwrap();
+        }
+
+        // Data stream (port 0): keep values > 20.
+        let data: Vec<u64> = [(1u64, 15u64), (2, 25), (3, 99)]
+            .iter()
+            .flat_map(|&(k, v)| [k, v, 1])
+            .collect();
+        let db = RecordBundle::from_rows(&env, Schema::kvt(), &data).unwrap();
+        for m in window
+            .on_message(&mut ctx, Message::Data { port: 0, data: StreamData::Bundle(db) })
+            .unwrap()
+        {
+            op.on_message(&mut ctx, m).unwrap();
+        }
+
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
+            .unwrap();
+        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+            panic!("expected survivors bundle");
+        };
+        let keys: Vec<u64> = (0..b.rows()).map(|r| b.value(r, Col(0))).collect();
+        assert_eq!(keys, vec![2, 3]);
+        assert!(matches!(out.last(), Some(Message::Watermark(_))));
+    }
+
+    #[test]
+    fn missing_control_stream_filters_against_zero() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut bal = DemandBalancer::new();
+        let spec = WindowSpec::fixed(100);
+        let mut window = WindowInto::new(spec);
+        let mut op = WindowedFilter::new(spec, Col(1));
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let data: Vec<u64> = [(1u64, 0u64), (2, 5)].iter().flat_map(|&(k, v)| [k, v, 0]).collect();
+        let db = RecordBundle::from_rows(&env, Schema::kvt(), &data).unwrap();
+        for m in window
+            .on_message(&mut ctx, Message::Data { port: 0, data: StreamData::Bundle(db) })
+            .unwrap()
+        {
+            op.on_message(&mut ctx, m).unwrap();
+        }
+        let out = op
+            .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
+            .unwrap();
+        // avg = 0, keep values > 0: only key 2 survives.
+        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+            panic!("expected bundle");
+        };
+        assert_eq!(b.rows(), 1);
+        assert_eq!(b.value(0, Col(0)), 2);
+    }
+}

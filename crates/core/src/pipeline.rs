@@ -1,0 +1,380 @@
+use std::sync::Arc;
+
+use sbx_records::{Col, WindowSpec};
+
+use crate::ops::{
+    AggKind, AvgAll, Cogroup, ExternalJoin, Filter, KeyedAggregate, MapRecords, PowerGrid,
+    Sample, SideAgg, TemporalJoin, Union, WindowInto, WindowedFilter,
+};
+use crate::{Operator, StatelessOperator};
+
+/// One pipeline stage: stateless stages are shareable across worker
+/// threads, stateful ones are exclusively owned.
+pub(crate) enum OpNode {
+    /// A per-message operator the engine may run concurrently.
+    Stateless(Arc<dyn StatelessOperator>),
+    /// An operator with cross-message (window) state.
+    Stateful(Box<dyn Operator>),
+}
+
+impl OpNode {
+    pub(crate) fn name(&self) -> &'static str {
+        match self {
+            OpNode::Stateless(op) => op.name(),
+            OpNode::Stateful(op) => op.name(),
+        }
+    }
+}
+
+/// A declarative operator pipeline (paper Listing 1): a chain of compound
+/// operators sharing one window specification.
+pub struct Pipeline {
+    spec: WindowSpec,
+    ops: Vec<OpNode>,
+}
+
+impl Pipeline {
+    /// The pipeline's window specification.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the pipeline has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Operator names, source to sink.
+    pub fn op_names(&self) -> Vec<&'static str> {
+        self.ops.iter().map(|o| o.name()).collect()
+    }
+
+    /// Number of leading operators that are stateless (runnable in
+    /// parallel across bundles).
+    pub fn stateless_prefix_len(&self) -> usize {
+        self.ops
+            .iter()
+            .take_while(|o| matches!(o, OpNode::Stateless(_)))
+            .count()
+    }
+
+    pub(crate) fn ops_mut(&mut self) -> &mut [OpNode] {
+        &mut self.ops
+    }
+
+    pub(crate) fn prefix(&self) -> Vec<Arc<dyn StatelessOperator>> {
+        self.ops
+            .iter()
+            .take_while(|o| matches!(o, OpNode::Stateless(_)))
+            .map(|o| match o {
+                OpNode::Stateless(op) => Arc::clone(op),
+                OpNode::Stateful(_) => unreachable!(),
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("spec", &self.spec)
+            .field("ops", &self.op_names())
+            .finish()
+    }
+}
+
+/// Builder connecting declarative operators into a [`Pipeline`]
+/// (the `connect_ops` calls of the paper's Listing 1).
+pub struct PipelineBuilder {
+    spec: WindowSpec,
+    ops: Vec<OpNode>,
+}
+
+impl PipelineBuilder {
+    /// Starts a pipeline whose windows follow `spec`.
+    pub fn new(spec: WindowSpec) -> Self {
+        PipelineBuilder { spec, ops: Vec::new() }
+    }
+
+    /// Appends a `Filter` ParDo on `col`.
+    pub fn filter(
+        mut self,
+        col: Col,
+        pred: impl Fn(u64) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(Filter::new(col, pred))));
+        self
+    }
+
+    /// Appends an external key-value join rewriting resident keys.
+    pub fn external_join(
+        mut self,
+        table: impl Fn(u64) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(ExternalJoin::new(table))));
+        self
+    }
+
+    /// Appends the windowing operator for this pipeline's spec.
+    pub fn windowed(mut self) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(WindowInto::new(self.spec))));
+        self
+    }
+
+    /// Appends the pane-mode windowing operator: each slide-length pane is
+    /// emitted once, for downstream pane-combining aggregation.
+    pub fn windowed_panes(mut self) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(WindowInto::panes(self.spec))));
+        self
+    }
+
+    /// Appends a keyed aggregation.
+    pub fn keyed_aggregate(mut self, key: Col, value: Col, kind: AggKind) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(KeyedAggregate::new(
+            self.spec, key, value, kind,
+        ))));
+        self
+    }
+
+    /// Appends a keyed aggregation whose grouping keys pass through `map`
+    /// first (YSB's ad→campaign count).
+    pub fn keyed_aggregate_mapped(
+        mut self,
+        key: Col,
+        value: Col,
+        kind: AggKind,
+        map: impl Fn(u64) -> u64 + Send + 'static,
+    ) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(
+            KeyedAggregate::new(self.spec, key, value, kind).with_key_map(map),
+        )));
+        self
+    }
+
+    /// Appends a sampling ParDo keeping roughly `fraction` of records.
+    pub fn sample(mut self, col: Col, fraction: f64) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(Sample::new(col, fraction))));
+        self
+    }
+
+    /// Appends a producing ParDo (`FlatMap`/`Map`) emitting rows of
+    /// `out_schema`.
+    pub fn map_records(
+        mut self,
+        out_schema: Arc<sbx_records::Schema>,
+        f: impl Fn(&[u64], &mut Vec<u64>) + Send + Sync + 'static,
+    ) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(MapRecords::new(out_schema, f))));
+        self
+    }
+
+    /// Appends a two-stream union.
+    pub fn union(mut self) -> Self {
+        self.ops.push(OpNode::Stateless(Arc::new(Union::new())));
+        self
+    }
+
+    /// Appends a two-stream cogroup on `key`, aggregating `value` per side.
+    pub fn cogroup(mut self, key: Col, value: Col, agg: [SideAgg; 2]) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(Cogroup::new(self.spec, key, value, agg))));
+        self
+    }
+
+    /// Appends an unkeyed windowed average.
+    pub fn avg_all(mut self, value: Col) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(AvgAll::new(self.spec, value))));
+        self
+    }
+
+    /// Appends a two-stream temporal join on `key`.
+    pub fn temporal_join(mut self, key: Col, value: Col) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(TemporalJoin::new(self.spec, key, value))));
+        self
+    }
+
+    /// Appends a two-stream windowed filter on `value`.
+    pub fn windowed_filter(mut self, value: Col) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(WindowedFilter::new(self.spec, value))));
+        self
+    }
+
+    /// Appends the Power Grid composite operator.
+    pub fn power_grid(mut self, house: Col, plug: Col, load: Col) -> Self {
+        self.ops
+            .push(OpNode::Stateful(Box::new(PowerGrid::new(self.spec, house, plug, load))));
+        self
+    }
+
+    /// Appends a custom (stateful) operator.
+    pub fn op(mut self, op: Box<dyn Operator>) -> Self {
+        self.ops.push(OpNode::Stateful(op));
+        self
+    }
+
+    /// Appends a custom stateless operator (parallelizable per message).
+    pub fn stateless_op(mut self, op: Arc<dyn StatelessOperator>) -> Self {
+        self.ops.push(OpNode::Stateless(op));
+        self
+    }
+
+    /// Finishes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no operators were added.
+    pub fn build(self) -> Pipeline {
+        assert!(!self.ops.is_empty(), "pipeline needs at least one operator");
+        Pipeline { spec: self.spec, ops: self.ops }
+    }
+}
+
+/// Canned pipelines for the paper's ten benchmarks (§6).
+///
+/// # Example
+///
+/// ```
+/// use sbx_engine::{benchmarks, Engine, RunConfig};
+/// use sbx_ingress::KvSource;
+///
+/// let report = Engine::new(RunConfig::default())
+///     .run(KvSource::new(1, 100, 1_000_000), benchmarks::topk_per_key(3), 8)
+///     .unwrap();
+/// assert!(report.windows_closed >= 1);
+/// ```
+pub mod benchmarks {
+    use super::*;
+
+    /// Event-time ticks per second; windows in the paper span one second.
+    pub const WINDOW_TICKS: u64 = 1_000_000_000;
+
+    fn spec() -> WindowSpec {
+        WindowSpec::fixed(WINDOW_TICKS)
+    }
+
+    /// Benchmark 1: TopK Per Key.
+    pub fn topk_per_key(k: usize) -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::TopK(k))
+            .build()
+    }
+
+    /// Benchmark 2: Windowed Sum Per Key.
+    pub fn sum_per_key() -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::Sum)
+            .build()
+    }
+
+    /// Benchmark 3: Windowed Median Per Key.
+    pub fn median_per_key() -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::Median)
+            .build()
+    }
+
+    /// Benchmark 4: Windowed Average Per Key.
+    pub fn avg_per_key() -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::Avg)
+            .build()
+    }
+
+    /// Benchmark 5: Windowed Average All.
+    pub fn avg_all() -> Pipeline {
+        PipelineBuilder::new(spec()).windowed().avg_all(Col(1)).build()
+    }
+
+    /// Benchmark 6: Unique Count Per Key.
+    pub fn unique_count_per_key() -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::UniqueCount)
+            .build()
+    }
+
+    /// Benchmark 7: Temporal Join of two streams.
+    pub fn temporal_join() -> Pipeline {
+        PipelineBuilder::new(spec()).windowed().temporal_join(Col(0), Col(1)).build()
+    }
+
+    /// Benchmark 8: Windowed Filter of one stream by the other's average.
+    pub fn windowed_filter() -> Pipeline {
+        PipelineBuilder::new(spec()).windowed().windowed_filter(Col(1)).build()
+    }
+
+    /// Benchmark 9: Power Grid (house, plug, load, ts records).
+    pub fn power_grid() -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .power_grid(Col(0), Col(1), Col(2))
+            .build()
+    }
+
+    /// The Yahoo Streaming Benchmark (paper Fig. 1a / Fig. 5): filter on
+    /// `ad_type`, external-join `ad_id` to campaigns, window by event time,
+    /// count per campaign per window.
+    pub fn ysb(num_campaigns: u64) -> Pipeline {
+        // YSB columns: user_id(0) page_id(1) ad_id(2) ad_type(3)
+        // event_type(4) event_time(5) ip(6). Keep "view" ad types (<2 of 5).
+        PipelineBuilder::new(spec())
+            .filter(Col(3), |ad_type| ad_type < 2)
+            .windowed()
+            .keyed_aggregate_mapped(Col(2), Col(0), AggKind::Count, move |ad| {
+                ad % num_campaigns
+            })
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_operators_in_order() {
+        let p = PipelineBuilder::new(WindowSpec::fixed(10))
+            .filter(Col(0), |_| true)
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::Sum)
+            .build();
+        assert_eq!(p.op_names(), vec!["Filter", "Window", "KeyedAggregate"]);
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.spec(), WindowSpec::fixed(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one operator")]
+    fn empty_pipeline_rejected() {
+        let _ = PipelineBuilder::new(WindowSpec::fixed(10)).build();
+    }
+
+    #[test]
+    fn all_ten_benchmarks_construct() {
+        let pipelines = [
+            benchmarks::topk_per_key(3),
+            benchmarks::sum_per_key(),
+            benchmarks::median_per_key(),
+            benchmarks::avg_per_key(),
+            benchmarks::avg_all(),
+            benchmarks::unique_count_per_key(),
+            benchmarks::temporal_join(),
+            benchmarks::windowed_filter(),
+            benchmarks::power_grid(),
+            benchmarks::ysb(100),
+        ];
+        assert_eq!(pipelines.len(), 10);
+        for p in &pipelines {
+            assert!(!p.is_empty());
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! The batch task scheduler used by the parallel workers.
+//!
+//! The paper's scheduler tags every task `Urgent`/`High`/`Low` by its
+//! distance from the next window to be externalized and serves urgent work
+//! first (§5). [`TaskBatch`] implements that policy for one round's worth
+//! of tasks: workers claim tasks through a lock-free cursor over a priority
+//! -then-FIFO order, and each task is handed out exactly once.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::ImpactTag;
+
+/// A fixed batch of prioritized tasks that any number of worker threads can
+/// drain concurrently.
+///
+/// Tasks are served in ascending [`ImpactTag`] order (`Urgent` first),
+/// FIFO within a tag. Every task is claimed exactly once; claims carry the
+/// task's original submission index so results can be reassembled
+/// deterministically.
+#[derive(Debug)]
+pub(crate) struct TaskBatch<T> {
+    /// Claim order: original indices sorted by (tag, submission index).
+    order: Vec<usize>,
+    /// Task payloads, taken by the claiming worker.
+    items: Vec<Mutex<Option<T>>>,
+    cursor: AtomicUsize,
+}
+
+impl<T> TaskBatch<T> {
+    /// Builds a batch from `(task, tag)` pairs in submission order.
+    pub(crate) fn new(tasks: Vec<(T, ImpactTag)>) -> Self {
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        let tags: Vec<ImpactTag> = tasks.iter().map(|(_, t)| *t).collect();
+        order.sort_by_key(|&i| (tags[i], i));
+        TaskBatch {
+            order,
+            items: tasks.into_iter().map(|(t, _)| Mutex::new(Some(t))).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tasks in the batch.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Claims the next task in priority order, returning its original
+    /// submission index and payload; `None` once the batch is drained.
+    pub(crate) fn claim(&self) -> Option<(usize, T)> {
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let &idx = self.order.get(slot)?;
+        let task = self.items[idx].lock().take().expect("task claimed twice");
+        Some((idx, task))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_follow_priority_then_fifo() {
+        let batch = TaskBatch::new(vec![
+            ("low-0", ImpactTag::Low),
+            ("urgent-1", ImpactTag::Urgent),
+            ("high-2", ImpactTag::High),
+            ("low-3", ImpactTag::Low),
+            ("urgent-4", ImpactTag::Urgent),
+        ]);
+        let mut got = Vec::new();
+        while let Some((idx, t)) = batch.claim() {
+            got.push((idx, t));
+        }
+        assert_eq!(
+            got,
+            vec![
+                (1, "urgent-1"),
+                (4, "urgent-4"),
+                (2, "high-2"),
+                (0, "low-0"),
+                (3, "low-3")
+            ]
+        );
+        assert!(batch.claim().is_none());
+    }
+
+    #[test]
+    fn concurrent_workers_claim_each_task_exactly_once() {
+        let n = 1_000usize;
+        let batch = TaskBatch::new(
+            (0..n)
+                .map(|i| {
+                    let tag = match i % 3 {
+                        0 => ImpactTag::Urgent,
+                        1 => ImpactTag::High,
+                        _ => ImpactTag::Low,
+                    };
+                    (i, tag)
+                })
+                .collect(),
+        );
+        assert_eq!(batch.len(), n);
+        let claimed = Mutex::new(vec![false; n]);
+        crossbeam::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    while let Some((idx, payload)) = batch.claim() {
+                        assert_eq!(idx, payload);
+                        let mut seen = claimed.lock();
+                        assert!(!seen[idx], "task {idx} claimed twice");
+                        seen[idx] = true;
+                    }
+                });
+            }
+        })
+        .expect("scope");
+        assert!(claimed.lock().iter().all(|&c| c));
+    }
+
+    #[test]
+    fn empty_batch_claims_nothing() {
+        let batch: TaskBatch<u32> = TaskBatch::new(Vec::new());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.claim().is_none());
+    }
+}

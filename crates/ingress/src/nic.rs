@@ -1,0 +1,116 @@
+/// A modelled network interface: ingestion is limited to `payload_bytes_per_sec`.
+///
+/// Stands in for the paper's two ingestion paths (Table 3): 40 Gb/s
+/// InfiniBand with RDMA delivery into pre-allocated bundles, and 10 GbE with
+/// ZeroMQ. Payload rates are below line rate to account for framing and
+/// transport overhead, calibrated so that the ingestion-limit plateaus of
+/// Figures 7 and 8 land at the paper's record rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicModel {
+    /// Human-readable link name.
+    pub name: &'static str,
+    /// Deliverable payload bandwidth in bytes per second.
+    pub payload_bytes_per_sec: f64,
+    /// Per-bundle delivery overhead in nanoseconds (polling/notification).
+    pub per_bundle_overhead_ns: u64,
+}
+
+impl NicModel {
+    /// 40 Gb/s InfiniBand with RDMA. The *effective* end-to-end payload
+    /// rate (after transport, framing and delivery-notification overheads)
+    /// is calibrated to the paper's ingestion plateaus: ~110 M rec/s for
+    /// 24-byte records (Fig. 8, Windowed Average) and ~47 M rec/s for
+    /// 56-byte YSB records (Fig. 7, saturated with 16 cores).
+    pub fn rdma_40g() -> Self {
+        NicModel {
+            name: "40Gb/s InfiniBand RDMA",
+            payload_bytes_per_sec: 2.64e9,
+            per_bundle_overhead_ns: 2_000,
+        }
+    }
+
+    /// 10 GbE with ZeroMQ: ~0.9 GB/s effective payload after ZeroMQ
+    /// framing and the copy of records out of network messages into
+    /// bundles (calibrated to YSB's ~16 M rec/s 10 GbE plateau, which
+    /// StreamBox-HBM saturates with 5 cores, paper §7.1).
+    pub fn ethernet_10g() -> Self {
+        NicModel {
+            name: "10GbE ZeroMQ",
+            payload_bytes_per_sec: 0.9e9,
+            per_bundle_overhead_ns: 20_000,
+        }
+    }
+
+    /// The X56 machine's slightly faster 10 GbE NIC (paper Fig. 7 note).
+    pub fn ethernet_10g_x56() -> Self {
+        NicModel {
+            name: "10GbE (X56)",
+            payload_bytes_per_sec: 1.0e9,
+            per_bundle_overhead_ns: 20_000,
+        }
+    }
+
+    /// An effectively unlimited link, for experiments that isolate the
+    /// engine from ingestion (the paper's Figure 2 microbenchmarks).
+    pub fn unlimited() -> Self {
+        NicModel {
+            name: "unlimited",
+            payload_bytes_per_sec: f64::INFINITY,
+            per_bundle_overhead_ns: 0,
+        }
+    }
+
+    /// Simulated wire time to deliver `bytes` of payload, in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        if self.payload_bytes_per_sec.is_infinite() {
+            return self.per_bundle_overhead_ns;
+        }
+        self.per_bundle_overhead_ns + (bytes as f64 / self.payload_bytes_per_sec * 1e9) as u64
+    }
+
+    /// Maximum sustainable record rate for `record_bytes`-byte records.
+    pub fn record_rate_limit(&self, record_bytes: usize) -> f64 {
+        self.payload_bytes_per_sec / record_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_outpaces_ethernet() {
+        let rdma = NicModel::rdma_40g();
+        let eth = NicModel::ethernet_10g();
+        assert!(rdma.payload_bytes_per_sec > 2.5 * eth.payload_bytes_per_sec);
+        assert!(rdma.transfer_ns(1 << 20) < eth.transfer_ns(1 << 20));
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let nic = NicModel::ethernet_10g();
+        let t1 = nic.transfer_ns(1_000_000);
+        let t2 = nic.transfer_ns(2_000_000);
+        assert!(t2 > t1);
+        // 0.9 GB/s => ~1.11 ms per MB plus overhead.
+        assert!((t1 as f64 - (20_000.0 + 1e6 / 0.9e9 * 1e9)).abs() < 2.0);
+    }
+
+    #[test]
+    fn unlimited_nic_only_charges_overhead() {
+        assert_eq!(NicModel::unlimited().transfer_ns(u64::MAX), 0);
+    }
+
+    #[test]
+    fn ysb_ingestion_limits_match_paper_plateaus() {
+        // YSB records are 7 columns x 8 bytes = 56 bytes. The paper's YSB
+        // plateaus: ~10 GbE caps below ~20 M rec/s, RDMA near 80 M rec/s.
+        let eth = NicModel::ethernet_10g().record_rate_limit(56) / 1e6;
+        let rdma = NicModel::rdma_40g().record_rate_limit(56) / 1e6;
+        assert!(eth > 12.0 && eth < 20.0, "eth limit {eth} Mrec/s");
+        assert!(rdma > 40.0 && rdma < 55.0, "rdma limit {rdma} Mrec/s");
+        // And the 24-byte plateau of Fig. 8's Windowed Average:
+        let avg_all = NicModel::rdma_40g().record_rate_limit(24) / 1e6;
+        assert!(avg_all > 100.0 && avg_all < 120.0, "{avg_all} Mrec/s");
+    }
+}

@@ -1,0 +1,224 @@
+//! Minimal JSON codec for flat objects of unsigned integers.
+//!
+//! Parsing walks the full text byte-by-byte — key strings, separators,
+//! digits — which is what makes JSON the slowest ingestion format in
+//! Figure 11 regardless of hardware.
+
+use super::ParseError;
+
+/// Encodes a record as a JSON object with the given field names.
+///
+/// # Panics
+///
+/// Panics if `record` and `names` lengths differ.
+pub fn encode(record: &[u64], names: &[&str]) -> String {
+    assert_eq!(record.len(), names.len(), "record/name arity mismatch");
+    let mut s = String::with_capacity(record.len() * 24);
+    s.push('{');
+    for (i, (v, n)) in record.iter().zip(names).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(n);
+        s.push_str("\":");
+        s.push_str(&v.to_string());
+    }
+    s.push('}');
+    s
+}
+
+/// Parses a flat JSON object of unsigned integer fields, appending the
+/// values to `out` in field order.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input. Nested objects, arrays,
+/// strings values, floats and escapes are rejected — YSB records are flat
+/// numeric objects.
+pub fn parse(bytes: &[u8], out: &mut Vec<u64>) -> Result<(), ParseError> {
+    let mut i = 0usize;
+    let err = |reason: &'static str, offset: usize| ParseError { reason, offset };
+    let skip_ws = |bytes: &[u8], mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+
+    i = skip_ws(bytes, i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Ok(());
+        }
+        // Key string.
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(err("expected key string", i));
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' {
+                return Err(err("escapes unsupported", i));
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(err("unterminated key", i));
+        }
+        i += 1;
+        i = skip_ws(bytes, i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        i = skip_ws(bytes, i);
+        // Unsigned integer value.
+        let start = i;
+        let mut v: u64 = 0;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((bytes[i] - b'0') as u64))
+                .ok_or(err("integer overflow", i))?;
+            i += 1;
+        }
+        if i == start {
+            return Err(err("expected digit", i));
+        }
+        out.push(v);
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(()),
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+}
+
+/// DOM-style parse: like general-purpose JSON libraries (RapidJSON in the
+/// paper's Figure 11), this materializes an owned `(key, value)` document —
+/// allocating and copying every field name — rather than scanning in place.
+/// This is the fair stand-in for the paper's JSON measurement; the in-place
+/// [`parse`] above is what a tuned ingestion path could do.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_dom(bytes: &[u8]) -> Result<Vec<(String, u64)>, ParseError> {
+    let mut i = 0usize;
+    let err = |reason: &'static str, offset: usize| ParseError { reason, offset };
+    let skip_ws = |bytes: &[u8], mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    let mut doc = Vec::new();
+
+    i = skip_ws(bytes, i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Ok(doc);
+        }
+        if i >= bytes.len() || bytes[i] != b'"' {
+            return Err(err("expected key string", i));
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' {
+                return Err(err("escapes unsupported", i));
+            }
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return Err(err("unterminated key", i));
+        }
+        // The DOM owns its keys: validate UTF-8 and copy to the heap.
+        let key = std::str::from_utf8(&bytes[key_start..i])
+            .map_err(|_| err("key not utf-8", key_start))?
+            .to_owned();
+        i += 1;
+        i = skip_ws(bytes, i);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        i = skip_ws(bytes, i);
+        let start = i;
+        let mut v: u64 = 0;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            v = v
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((bytes[i] - b'0') as u64))
+                .ok_or(err("integer overflow", i))?;
+            i += 1;
+        }
+        if i == start {
+            return Err(err("expected digit", i));
+        }
+        doc.push((key, v));
+        i = skip_ws(bytes, i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Ok(doc),
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dom_parse_owns_keys_and_values() {
+        let doc = parse_dom(br#"{"a":1,"bee":22}"#).unwrap();
+        assert_eq!(doc, vec![("a".to_string(), 1), ("bee".to_string(), 22)]);
+        assert!(parse_dom(b"{}").unwrap().is_empty());
+        assert!(parse_dom(br#"{"a":}"#).is_err());
+    }
+
+    #[test]
+    fn encode_produces_flat_object() {
+        let s = encode(&[1, 2], &["a", "b"]);
+        assert_eq!(s, r#"{"a":1,"b":2}"#);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace() {
+        let mut out = Vec::new();
+        parse(br#" { "a" : 10 , "b" : 20 } "#, &mut out).unwrap();
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        let mut out = Vec::new();
+        assert!(parse(b"", &mut out).is_err());
+        assert!(parse(b"[1]", &mut out).is_err());
+        assert!(parse(br#"{"a":}"#, &mut out).is_err());
+        assert!(parse(br#"{"a":1"#, &mut out).is_err());
+        assert!(parse(br#"{"a":"s"}"#, &mut out).is_err());
+        assert!(parse(br#"{"a":99999999999999999999999}"#, &mut out).is_err());
+    }
+
+    #[test]
+    fn parse_handles_empty_object_and_max_u64() {
+        let mut out = Vec::new();
+        parse(b"{}", &mut out).unwrap();
+        assert!(out.is_empty());
+        parse(format!(r#"{{"x":{}}}"#, u64::MAX).as_bytes(), &mut out).unwrap();
+        assert_eq!(out, vec![u64::MAX]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Protobuf-compatible wire codec for numeric records.
+//!
+//! Each column is encoded as a varint field (wire type 0) with field number
+//! `i + 1`, matching what Google Protocol Buffers produces for a message of
+//! `uint64` fields. Decoding reads tag + varint per field — no text
+//! scanning, which is why protobuf parses several times faster than JSON in
+//! Figure 11.
+
+use super::ParseError;
+
+fn put_varint(v: u64, out: &mut Vec<u8>) {
+    let mut v = v;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(bytes: &[u8], i: &mut usize) -> Result<u64, ParseError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes
+            .get(*i)
+            .ok_or(ParseError { reason: "truncated varint", offset: *i })?;
+        *i += 1;
+        if shift >= 64 {
+            return Err(ParseError { reason: "varint too long", offset: *i });
+        }
+        let payload = (b & 0x7F) as u64;
+        // Reject bits that would be shifted out of range.
+        if shift == 63 && payload > 1 {
+            return Err(ParseError { reason: "varint overflow", offset: *i });
+        }
+        v |= payload << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes a record as consecutive `(tag, varint)` fields.
+pub fn encode(record: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(record.len() * 6);
+    for (i, &v) in record.iter().enumerate() {
+        // Field number i+1, wire type 0 (varint).
+        put_varint(((i as u64 + 1) << 3) | 0, &mut out);
+        put_varint(v, &mut out);
+    }
+    out
+}
+
+/// Parses `ncols` varint fields, appending values to `out` in field order.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on truncation, non-varint wire types,
+/// out-of-order fields or trailing bytes.
+pub fn parse(bytes: &[u8], ncols: usize, out: &mut Vec<u64>) -> Result<(), ParseError> {
+    let mut i = 0usize;
+    for field in 0..ncols {
+        let tag = get_varint(bytes, &mut i)?;
+        if tag & 0x7 != 0 {
+            return Err(ParseError { reason: "unexpected wire type", offset: i });
+        }
+        if (tag >> 3) != field as u64 + 1 {
+            return Err(ParseError { reason: "unexpected field number", offset: i });
+        }
+        out.push(get_varint(bytes, &mut i)?);
+    }
+    if i != bytes.len() {
+        return Err(ParseError { reason: "trailing bytes", offset: i });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_boundaries_round_trip() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(v, &mut buf);
+            let mut i = 0;
+            assert_eq!(get_varint(&buf, &mut i).unwrap(), v);
+            assert_eq!(i, buf.len());
+        }
+    }
+
+    #[test]
+    fn single_byte_values_encode_compactly() {
+        let enc = encode(&[5]);
+        assert_eq!(enc, vec![0x08, 0x05]); // tag(1,varint)=0x08, value 5
+    }
+
+    #[test]
+    fn parse_rejects_corruption() {
+        let mut out = Vec::new();
+        let good = encode(&[1, 2]);
+        // Truncated.
+        assert!(parse(&good[..good.len() - 1], 2, &mut out).is_err());
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0x00);
+        assert!(parse(&bad, 2, &mut out).is_err());
+        // Wrong wire type.
+        let mut bad2 = good;
+        bad2[0] = 0x09; // wire type 1
+        assert!(parse(&bad2, 2, &mut out).is_err());
+        // Varint that never terminates.
+        assert!(parse(&[0x08, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF], 1, &mut out).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Plain-text codec: comma-separated decimal integers.
+//!
+//! Uses an unrolled accumulate-by-digit `u64` parser in the spirit of the
+//! fast string-to-uint64 conversion the paper cites — the fastest of the
+//! three ingestion formats by a wide margin (Fig. 11: parsing simple text
+//! can be ~29x the engine's processing rate).
+
+use super::ParseError;
+
+/// Encodes a record as comma-separated decimal integers.
+pub fn encode(record: &[u64]) -> String {
+    let mut s = String::with_capacity(record.len() * 12);
+    for (i, v) in record.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&v.to_string());
+    }
+    s
+}
+
+/// Fast decimal `u64` parse of `bytes[*i..]` up to the next non-digit.
+#[inline]
+fn parse_u64(bytes: &[u8], i: &mut usize) -> Result<u64, ParseError> {
+    let start = *i;
+    let mut v: u64 = 0;
+    while let Some(&b) = bytes.get(*i) {
+        let d = b.wrapping_sub(b'0');
+        if d > 9 {
+            break;
+        }
+        v = v
+            .checked_mul(10)
+            .and_then(|v| v.checked_add(d as u64))
+            .ok_or(ParseError { reason: "integer overflow", offset: *i })?;
+        *i += 1;
+    }
+    if *i == start {
+        return Err(ParseError { reason: "expected digit", offset: *i });
+    }
+    Ok(v)
+}
+
+/// Parses a comma-separated record, appending values to `out`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on empty fields, non-digit bytes or overflow.
+pub fn parse(bytes: &[u8], out: &mut Vec<u64>) -> Result<(), ParseError> {
+    let mut i = 0usize;
+    loop {
+        out.push(parse_u64(bytes, &mut i)?);
+        match bytes.get(i) {
+            None => return Ok(()),
+            Some(b',') => i += 1,
+            Some(_) => return Err(ParseError { reason: "expected ','", offset: i }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_then_parse_round_trips() {
+        let rec = [0u64, 7, 1234567890123456789, u64::MAX];
+        let s = encode(&rec);
+        let mut out = Vec::new();
+        parse(s.as_bytes(), &mut out).unwrap();
+        assert_eq!(out, rec);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let mut out = Vec::new();
+        assert!(parse(b"", &mut out).is_err());
+        assert!(parse(b"1,,2", &mut out).is_err());
+        assert!(parse(b"1,2x", &mut out).is_err());
+        assert!(parse(b"18446744073709551616", &mut out).is_err()); // u64::MAX + 1
+    }
+
+    #[test]
+    fn single_field_records_work() {
+        let mut out = Vec::new();
+        parse(b"42", &mut out).unwrap();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,74 @@
+use sbx_simmem::{AccessProfile, MemEnv};
+
+/// Execution context threaded through every primitive: access to the
+/// hybrid-memory environment plus an accumulator for the task's
+/// [`AccessProfile`].
+///
+/// The engine creates one `ExecCtx` per scheduled task, runs the task's
+/// primitives, then takes the accumulated profile to (a) charge the
+/// bandwidth monitor over the task's simulated execution interval and
+/// (b) record the task in the trace replayed by the fluid simulator.
+///
+/// # Example
+///
+/// ```
+/// use sbx_kpa::ExecCtx;
+/// use sbx_simmem::{AccessProfile, MachineConfig, MemEnv, MemKind};
+///
+/// let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
+/// let mut ctx = ExecCtx::new(&env);
+/// ctx.charge(&AccessProfile::new().seq(MemKind::Hbm, 128.0));
+/// let p = ctx.take_profile();
+/// assert_eq!(p.seq_bytes[MemKind::Hbm.index()], 128.0);
+/// assert_eq!(ctx.take_profile(), AccessProfile::new());
+/// ```
+#[derive(Debug)]
+pub struct ExecCtx {
+    env: MemEnv,
+    profile: AccessProfile,
+}
+
+impl ExecCtx {
+    /// A fresh context over `env` with an empty profile.
+    pub fn new(env: &MemEnv) -> Self {
+        ExecCtx { env: env.clone(), profile: AccessProfile::new() }
+    }
+
+    /// The hybrid-memory environment.
+    pub fn env(&self) -> &MemEnv {
+        &self.env
+    }
+
+    /// Accumulates `p` into the task profile.
+    pub fn charge(&mut self, p: &AccessProfile) {
+        self.profile = self.profile.merge(p);
+    }
+
+    /// Returns the accumulated profile, resetting the accumulator.
+    pub fn take_profile(&mut self) -> AccessProfile {
+        std::mem::take(&mut self.profile)
+    }
+
+    /// The profile accumulated so far, without resetting.
+    pub fn profile(&self) -> &AccessProfile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_simmem::{MachineConfig, MemKind};
+
+    #[test]
+    fn charges_accumulate_until_taken() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
+        let mut ctx = ExecCtx::new(&env);
+        ctx.charge(&AccessProfile::new().cpu(10.0));
+        ctx.charge(&AccessProfile::new().cpu(5.0).rand(MemKind::Dram, 2.0));
+        assert_eq!(ctx.profile().cpu_cycles, 15.0);
+        let p = ctx.take_profile();
+        assert_eq!(p.rand_accesses[MemKind::Dram.index()], 2.0);
+        assert_eq!(ctx.profile().cpu_cycles, 0.0);
+    }
+}

@@ -1,0 +1,804 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use sbx_simmem::{AllocError, MemEnv, MemKind, PoolVec, Priority};
+
+use sbx_records::{BundleId, Col, RecordBundle, RecordRef, Schema};
+
+use crate::{profile, ExecCtx};
+
+/// Allocates a pair of `n`-slot buffers on `want`, spilling to DRAM when the
+/// preferred tier is full. Returns the buffers and the tier actually used.
+pub(crate) fn alloc_pair_bufs(
+    env: &MemEnv,
+    n: usize,
+    want: MemKind,
+    prio: Priority,
+) -> Result<(PoolVec, PoolVec, MemKind), AllocError> {
+    match try_alloc_pair(env, n, want, prio) {
+        Ok((k, p)) => Ok((k, p, want)),
+        Err(_) if want == MemKind::Hbm => {
+            let (k, p) = try_alloc_pair(env, n, MemKind::Dram, prio)?;
+            Ok((k, p, MemKind::Dram))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn try_alloc_pair(
+    env: &MemEnv,
+    n: usize,
+    kind: MemKind,
+    prio: Priority,
+) -> Result<(PoolVec, PoolVec), AllocError> {
+    let keys = env.pool(kind).alloc_u64(n, prio)?;
+    let ptrs = env.pool(kind).alloc_u64(n, prio)?;
+    Ok((keys, ptrs))
+}
+
+/// A Key Pointer Array: the only data structure StreamBox-HBM places in HBM.
+///
+/// A `Kpa` pairs one *resident* key column (a copy of one column of the full
+/// records) with packed [`RecordRef`] pointers into DRAM bundles. It also
+/// carries one strong link per source bundle, implementing the paper's
+/// reference-counted bundle reclamation (§5.1): a bundle's memory returns to
+/// the DRAM pool when the last KPA pointing into it is destroyed.
+///
+/// After multiple rounds of grouping a KPA's pointers may reference records
+/// in any number of bundles in any order (paper Fig. 3).
+///
+/// # Example
+///
+/// ```
+/// use sbx_kpa::{ExecCtx, Kpa, reduce_keyed};
+/// use sbx_records::{Col, RecordBundle, Schema};
+/// use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
+///
+/// let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
+/// let mut ctx = ExecCtx::new(&env);
+/// // Two records: (key, value, ts).
+/// let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &[2, 20, 0, 1, 10, 1])?;
+/// let mut kpa = Kpa::extract(&mut ctx, &bundle, Col(0), MemKind::Hbm, Priority::Normal)?;
+/// kpa.sort(&mut ctx, 2)?;
+/// assert_eq!(kpa.keys(), &[1, 2]);
+/// let mut sums = Vec::new();
+/// reduce_keyed(&mut ctx, &kpa, Col(1), |g| sums.push((g.key, g.values[0])));
+/// assert_eq!(sums, vec![(1, 10), (2, 20)]);
+/// # Ok::<(), sbx_simmem::AllocError>(())
+/// ```
+pub struct Kpa {
+    keys: PoolVec,
+    ptrs: PoolVec,
+    resident: Col,
+    sources: HashMap<BundleId, Arc<RecordBundle>>,
+    sorted: bool,
+}
+
+impl Kpa {
+    /// **Extract** (Table 2): creates a KPA from a record bundle, copying
+    /// column `col` as the resident keys and forming a pointer per record.
+    ///
+    /// Allocation prefers `kind` (the placement decided by the runtime's
+    /// demand-balance knob) and spills to DRAM when HBM is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if neither tier can hold the KPA.
+    pub fn extract(
+        ctx: &mut ExecCtx,
+        bundle: &Arc<RecordBundle>,
+        col: Col,
+        kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        let n = bundle.rows();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), n, kind, prio)?;
+        for row in 0..n {
+            keys.push(bundle.value(row, col));
+            ptrs.push(bundle.record_ref(row).pack());
+        }
+        ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
+        let mut sources = HashMap::with_capacity(1);
+        sources.insert(bundle.id(), Arc::clone(bundle));
+        Ok(Kpa { keys, ptrs, resident: col, sources, sorted: n <= 1 })
+    }
+
+    /// Extract fused with bundle emission (paper §4.3 optimization 1:
+    /// "coalesces adjacent Materialize and Extract primitives to exploit
+    /// data locality"). When an operator has just produced `bundle`, the
+    /// records are still hot, so the extraction charges only the KPA write
+    /// — not a second sequential read of the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if neither tier can hold the KPA.
+    pub fn extract_fused(
+        ctx: &mut ExecCtx,
+        bundle: &Arc<RecordBundle>,
+        col: Col,
+        kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        let n = bundle.rows();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), n, kind, prio)?;
+        for row in 0..n {
+            keys.push(bundle.value(row, col));
+            ptrs.push(bundle.record_ref(row).pack());
+        }
+        ctx.charge(
+            &sbx_simmem::AccessProfile::new()
+                .seq(got, n as f64 * profile::PAIR_BYTES)
+                .cpu(n as f64 * profile::EXTRACT_CYCLES),
+        );
+        let mut sources = HashMap::with_capacity(1);
+        sources.insert(bundle.id(), Arc::clone(bundle));
+        Ok(Kpa { keys, ptrs, resident: col, sources, sorted: n <= 1 })
+    }
+
+    /// **Select** fused with Extract: creates a KPA holding only the records
+    /// of `bundle` whose `col` value satisfies `pred` (how `Filter`-style
+    /// `ParDo`s are executed, paper §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if neither tier can hold the KPA.
+    pub fn extract_select(
+        ctx: &mut ExecCtx,
+        bundle: &Arc<RecordBundle>,
+        col: Col,
+        kind: MemKind,
+        prio: Priority,
+        mut pred: impl FnMut(u64) -> bool,
+    ) -> Result<Kpa, AllocError> {
+        let n = bundle.rows();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), n, kind, prio)?;
+        for row in 0..n {
+            let k = bundle.value(row, col);
+            if pred(k) {
+                keys.push(k);
+                ptrs.push(bundle.record_ref(row).pack());
+            }
+        }
+        ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
+        ctx.charge(&sbx_simmem::AccessProfile::new().cpu(n as f64 * profile::SELECT_CYCLES));
+        let sorted = keys.len() <= 1;
+        let mut sources = HashMap::with_capacity(1);
+        sources.insert(bundle.id(), Arc::clone(bundle));
+        Ok(Kpa { keys, ptrs, resident: col, sources, sorted })
+    }
+
+    /// **Select** (Table 2): subsets this KPA, keeping pairs whose resident
+    /// key satisfies `pred`. The output stays on the same tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    pub fn select(
+        &self,
+        ctx: &mut ExecCtx,
+        prio: Priority,
+        mut pred: impl FnMut(u64) -> bool,
+    ) -> Result<Kpa, AllocError> {
+        let n = self.len();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), n, self.kind(), prio)?;
+        for i in 0..n {
+            if pred(self.keys[i]) {
+                keys.push(self.keys[i]);
+                ptrs.push(self.ptrs[i]);
+            }
+        }
+        ctx.charge(&profile::select(n, keys.len(), self.kind(), got));
+        let sorted = self.sorted;
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident: self.resident,
+            sources: self.sources.clone(),
+            sorted,
+        })
+    }
+
+    /// **KeySwap** (Table 2): replaces the resident keys with nonresident
+    /// column `col`, dereferencing each pointer (random DRAM access).
+    ///
+    /// Clears the sorted flag unless the KPA is trivially sorted.
+    pub fn key_swap(&mut self, ctx: &mut ExecCtx, col: Col) {
+        if col == self.resident {
+            return;
+        }
+        for i in 0..self.keys.len() {
+            let r = RecordRef::unpack(self.ptrs[i]);
+            let b = &self.sources[&r.bundle];
+            self.keys[i] = b.value(r.row as usize, col);
+        }
+        ctx.charge(&profile::key_swap(self.len(), self.kind(), false));
+        self.resident = col;
+        self.sorted = self.len() <= 1;
+    }
+
+    /// Updates the resident keys in place (e.g. the External Join of YSB
+    /// replacing `ad_id` with `campaign_id`, paper Fig. 5 step 3).
+    ///
+    /// The cost of writing dirty keys back to the nonresident column is
+    /// charged per the paper's optimization (2) in §4.3.
+    pub fn update_keys(&mut self, ctx: &mut ExecCtx, mut f: impl FnMut(u64) -> u64) {
+        for i in 0..self.keys.len() {
+            self.keys[i] = f(self.keys[i]);
+        }
+        ctx.charge(&profile::key_swap(self.len(), self.kind(), true));
+        self.sorted = self.len() <= 1;
+    }
+
+    /// Replaces the resident keys with a key *computed* from several
+    /// nonresident columns (e.g. the Power Grid pipeline's composite
+    /// `house x plug` key). Costs one random record access per pair, like
+    /// [`Kpa::key_swap`].
+    pub fn key_compose(
+        &mut self,
+        ctx: &mut ExecCtx,
+        cols: &[Col],
+        mut f: impl FnMut(&[u64]) -> u64,
+    ) {
+        let mut vals = vec![0u64; cols.len()];
+        for i in 0..self.keys.len() {
+            let r = RecordRef::unpack(self.ptrs[i]);
+            let b = &self.sources[&r.bundle];
+            for (j, &c) in cols.iter().enumerate() {
+                vals[j] = b.value(r.row as usize, c);
+            }
+            self.keys[i] = f(&vals);
+        }
+        ctx.charge(&profile::key_swap(self.len(), self.kind(), false));
+        self.sorted = self.len() <= 1;
+    }
+
+    /// **Materialize** (Table 2): emits a bundle of full records in DRAM,
+    /// in KPA order, dereferencing each pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if DRAM cannot hold the output bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source bundles disagree on schema shape.
+    pub fn materialize(&self, ctx: &mut ExecCtx) -> Result<Arc<RecordBundle>, AllocError> {
+        let schema = self.schema();
+        let ncols = schema.ncols();
+        let mut rows = Vec::with_capacity(self.len() * ncols);
+        for i in 0..self.len() {
+            let (b, row) = self.deref(i);
+            assert_eq!(b.schema().ncols(), ncols, "source schemas disagree");
+            rows.extend_from_slice(b.row(row));
+        }
+        ctx.charge(&profile::materialize(self.len(), schema.record_bytes(), self.kind()));
+        RecordBundle::from_rows(ctx.env(), schema, &rows)
+    }
+
+    /// **Partition** (Table 2): scatters pairs into groups by
+    /// `classify(resident key)`, preserving order within each group.
+    /// Returns `(group, partition)` pairs in ascending group order.
+    ///
+    /// Windowing operators use `classify = |ts| ts / window_stride`
+    /// (paper §4.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    pub fn partition_by(
+        &self,
+        ctx: &mut ExecCtx,
+        prio: Priority,
+        mut classify: impl FnMut(u64) -> u64,
+    ) -> Result<Vec<(u64, Kpa)>, AllocError> {
+        // Pass 1: count per group.
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for &k in self.keys.iter() {
+            *counts.entry(classify(k)).or_insert(0) += 1;
+        }
+        let mut groups: Vec<u64> = counts.keys().copied().collect();
+        groups.sort_unstable();
+
+        // Pass 2: scatter.
+        let mut outs: HashMap<u64, (PoolVec, PoolVec, MemKind)> = HashMap::new();
+        for &g in &groups {
+            let (k, p, got) = alloc_pair_bufs(ctx.env(), counts[&g], self.kind(), prio)?;
+            outs.insert(g, (k, p, got));
+        }
+        for i in 0..self.len() {
+            let g = classify(self.keys[i]);
+            let (k, p, _) = outs.get_mut(&g).expect("group exists");
+            k.push(self.keys[i]);
+            p.push(self.ptrs[i]);
+        }
+        ctx.charge(&profile::partition(self.len(), self.kind(), self.kind()));
+
+        let mut result = Vec::with_capacity(groups.len());
+        for g in groups {
+            let (keys, ptrs, _) = outs.remove(&g).expect("group exists");
+            let sorted = self.sorted || keys.len() <= 1;
+            result.push((
+                g,
+                Kpa {
+                    keys,
+                    ptrs,
+                    resident: self.resident,
+                    sources: self.sources.clone(),
+                    sorted,
+                },
+            ));
+        }
+        Ok(result)
+    }
+
+    /// **Merge** (Table 2): merges two KPAs sorted on the same resident
+    /// column into one sorted KPA on `out_kind` (falling back to DRAM).
+    ///
+    /// The output inherits the links to all source bundles of both inputs
+    /// (paper §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either input is unsorted or resident columns differ.
+    pub fn merge(
+        ctx: &mut ExecCtx,
+        a: &Kpa,
+        b: &Kpa,
+        out_kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        assert!(a.sorted && b.sorted, "merge requires sorted inputs");
+        assert_eq!(a.resident, b.resident, "resident columns must match");
+        let total = a.len() + b.len();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), total, out_kind, prio)?;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            if a.keys[i] <= b.keys[j] {
+                keys.push(a.keys[i]);
+                ptrs.push(a.ptrs[i]);
+                i += 1;
+            } else {
+                keys.push(b.keys[j]);
+                ptrs.push(b.ptrs[j]);
+                j += 1;
+            }
+        }
+        keys.extend_from_slice(&a.keys[i..]);
+        ptrs.extend_from_slice(&a.ptrs[i..]);
+        keys.extend_from_slice(&b.keys[j..]);
+        ptrs.extend_from_slice(&b.ptrs[j..]);
+        // Charge the scan of both inputs on their (possibly distinct) tiers.
+        let in_kind = if a.kind() == b.kind() { a.kind() } else { MemKind::Dram };
+        ctx.charge(&profile::merge(total, in_kind, got));
+
+        let mut sources = a.sources.clone();
+        for (id, b) in &b.sources {
+            sources.entry(*id).or_insert_with(|| Arc::clone(b));
+        }
+        Ok(Kpa { keys, ptrs, resident: a.resident, sources, sorted: true })
+    }
+
+    /// Merges any number of sorted KPAs pairwise until one remains
+    /// (the window-closure step of Keyed Aggregation, paper Fig. 4a).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kpas` is empty, or on the conditions of [`Kpa::merge`].
+    pub fn merge_many(
+        ctx: &mut ExecCtx,
+        mut kpas: Vec<Kpa>,
+        out_kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        assert!(!kpas.is_empty(), "merge_many needs at least one input");
+        while kpas.len() > 1 {
+            let mut next = Vec::with_capacity(kpas.len().div_ceil(2));
+            let mut iter = kpas.into_iter();
+            while let Some(a) = iter.next() {
+                match iter.next() {
+                    Some(b) => next.push(Kpa::merge(ctx, &a, &b, out_kind, prio)?),
+                    None => next.push(a),
+                }
+            }
+            kpas = next;
+        }
+        Ok(kpas.pop().expect("one KPA remains"))
+    }
+
+    /// Merges any number of sorted KPAs in a *single pass* with a k-way
+    /// tournament (binary heap) instead of `log2(k)` pairwise passes.
+    ///
+    /// Compared to [`Kpa::merge_many`], this moves each pair once
+    /// (bandwidth: one read + one write) at the cost of `log2(k)` heap
+    /// comparisons per pair — the classic multiway-merge trade-off the
+    /// ablation bench quantifies. Results are identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kpas` is empty, any input is unsorted, or resident
+    /// columns differ.
+    pub fn merge_many_kway(
+        ctx: &mut ExecCtx,
+        mut kpas: Vec<Kpa>,
+        out_kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        assert!(!kpas.is_empty(), "merge_many_kway needs at least one input");
+        if kpas.len() == 1 {
+            return Ok(kpas.pop().expect("one"));
+        }
+        let resident = kpas[0].resident();
+        let total: usize = kpas.iter().map(Kpa::len).sum();
+        for k in &kpas {
+            assert!(k.is_sorted(), "k-way merge requires sorted inputs");
+            assert_eq!(k.resident(), resident, "resident columns must match");
+        }
+
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), total, out_kind, prio)?;
+        // Heap of (key, source index, position); Reverse for a min-heap.
+        let mut heap: BinaryHeap<Reverse<(u64, usize, usize)>> = kpas
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !k.is_empty())
+            .map(|(i, k)| Reverse((k.keys()[0], i, 0)))
+            .collect();
+        while let Some(Reverse((key, src, pos))) = heap.pop() {
+            keys.push(key);
+            ptrs.push(kpas[src].ptrs[pos]);
+            let next = pos + 1;
+            if next < kpas[src].len() {
+                heap.push(Reverse((kpas[src].keys[next], src, next)));
+            }
+        }
+
+        // One streaming pass, log2(k) comparisons per pair.
+        let in_kind = if kpas.iter().all(|k| k.kind() == kpas[0].kind()) {
+            kpas[0].kind()
+        } else {
+            MemKind::Dram
+        };
+        let passes = 1.0;
+        let cmp_factor = (kpas.len() as f64).log2().ceil().max(1.0);
+        ctx.charge(
+            &sbx_simmem::AccessProfile::new()
+                .seq(in_kind, total as f64 * profile::PAIR_BYTES * passes)
+                .seq(got, total as f64 * profile::PAIR_BYTES * passes)
+                .cpu(total as f64 * profile::MERGE_CYCLES_PER_PAIR * cmp_factor),
+        );
+
+        let mut sources = HashMap::new();
+        for k in &kpas {
+            for (id, b) in &k.sources {
+                sources.entry(*id).or_insert_with(|| Arc::clone(b));
+            }
+        }
+        Ok(Kpa { keys, ptrs, resident, sources, sorted: true })
+    }
+
+    /// Number of key/pointer pairs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the KPA holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The tier holding the key/pointer arrays.
+    pub fn kind(&self) -> MemKind {
+        self.keys.kind()
+    }
+
+    /// The resident key column.
+    pub fn resident(&self) -> Col {
+        self.resident
+    }
+
+    /// Whether the pairs are sorted by resident key.
+    pub fn is_sorted(&self) -> bool {
+        self.sorted
+    }
+
+    /// The resident keys.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The pointer at index `i`.
+    pub fn record_ref(&self, i: usize) -> RecordRef {
+        RecordRef::unpack(self.ptrs[i])
+    }
+
+    /// Dereferences pair `i` to its source bundle and row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn deref(&self, i: usize) -> (&Arc<RecordBundle>, usize) {
+        let r = RecordRef::unpack(self.ptrs[i]);
+        (&self.sources[&r.bundle], r.row as usize)
+    }
+
+    /// The full-record column `col` of pair `i` (a random DRAM access).
+    pub fn value_at(&self, i: usize, col: Col) -> u64 {
+        let (b, row) = self.deref(i);
+        b.value(row, col)
+    }
+
+    /// The schema of the records this KPA points to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the KPA has no source bundles.
+    pub fn schema(&self) -> Arc<Schema> {
+        Arc::clone(
+            self.sources
+                .values()
+                .next()
+                .expect("KPA without sources has no schema")
+                .schema(),
+        )
+    }
+
+    /// Number of source bundles this KPA links to (pins in memory).
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// HBM/DRAM bytes this KPA's key/pointer arrays occupy.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.keys.accounted_bytes() + self.ptrs.accounted_bytes()
+    }
+
+    pub(crate) fn keys_mut_parts(&mut self) -> (&mut Vec<u64>, &mut Vec<u64>) {
+        // PoolVec derefs to Vec<u64>; split borrows for the sorter.
+        (&mut self.keys, &mut self.ptrs)
+    }
+
+    pub(crate) fn set_sorted(&mut self, sorted: bool) {
+        self.sorted = sorted;
+    }
+
+    /// Marks the KPA as sorted when the caller constructed it in key order
+    /// (e.g. extracting from a bundle whose rows a keyed reduction emitted
+    /// in ascending key order), skipping a redundant sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the keys are not actually nondecreasing.
+    pub fn mark_sorted(&mut self) {
+        debug_assert!(
+            self.keys.windows(2).all(|w| w[0] <= w[1]),
+            "mark_sorted on unsorted keys"
+        );
+        self.sorted = true;
+    }
+}
+
+impl fmt::Debug for Kpa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kpa")
+            .field("len", &self.len())
+            .field("kind", &self.kind())
+            .field("resident", &self.resident)
+            .field("sorted", &self.sorted)
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_records::live_bundles;
+    use sbx_simmem::MachineConfig;
+
+    fn env() -> MemEnv {
+        MemEnv::new(MachineConfig::knl().scaled(0.01))
+    }
+
+    fn kv_bundle(env: &MemEnv, rows: &[(u64, u64, u64)]) -> Arc<RecordBundle> {
+        let flat: Vec<u64> = rows.iter().flat_map(|&(k, v, t)| [k, v, t]).collect();
+        RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap()
+    }
+
+    #[test]
+    fn extract_copies_keys_and_points_back() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(5, 50, 0), (3, 30, 1), (9, 90, 2)]);
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(kpa.len(), 3);
+        assert_eq!(kpa.kind(), MemKind::Hbm);
+        assert_eq!(kpa.keys(), &[5, 3, 9]);
+        assert_eq!(kpa.value_at(1, Col(1)), 30);
+        assert_eq!(kpa.source_count(), 1);
+        assert!(ctx.profile().seq_bytes[MemKind::Hbm.index()] > 0.0);
+    }
+
+    #[test]
+    fn extract_fused_matches_extract_but_charges_less() {
+        let env = env();
+        let b = kv_bundle(&env, &[(5, 50, 0), (3, 30, 1), (9, 90, 2)]);
+
+        let mut ctx_full = ExecCtx::new(&env);
+        let full =
+            Kpa::extract(&mut ctx_full, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let p_full = ctx_full.take_profile();
+
+        let mut ctx_fused = ExecCtx::new(&env);
+        let fused =
+            Kpa::extract_fused(&mut ctx_fused, &b, Col(0), MemKind::Hbm, Priority::Normal)
+                .unwrap();
+        let p_fused = ctx_fused.take_profile();
+
+        assert_eq!(full.keys(), fused.keys());
+        assert_eq!(fused.value_at(2, Col(1)), 90);
+        // The fused variant skips the DRAM re-read of the bundle.
+        assert!(
+            p_fused.seq_bytes[MemKind::Dram.index()] < p_full.seq_bytes[MemKind::Dram.index()]
+        );
+        assert_eq!(
+            p_fused.seq_bytes[MemKind::Hbm.index()],
+            p_full.seq_bytes[MemKind::Hbm.index()]
+        );
+    }
+
+    #[test]
+    fn extract_spills_to_dram_when_hbm_full() {
+        // Tiny HBM (a 20k-row pair-buffer cannot fit) but roomy DRAM.
+        let mut machine = MachineConfig::knl().scaled(0.01);
+        machine.hbm.capacity_bytes = 32 * 1024;
+        let env = MemEnv::new(machine);
+        let mut ctx = ExecCtx::new(&env);
+        let rows: Vec<(u64, u64, u64)> = (0..20_000).map(|i| (i, i, i)).collect();
+        let b = kv_bundle(&env, &rows);
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(kpa.kind(), MemKind::Dram);
+    }
+
+    #[test]
+    fn key_swap_switches_resident_column() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(1, 10, 100), (2, 20, 200)]);
+        let mut kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        kpa.key_swap(&mut ctx, Col(2));
+        assert_eq!(kpa.resident(), Col(2));
+        assert_eq!(kpa.keys(), &[100, 200]);
+        // Swapping to the same column is a no-op.
+        let before = *ctx.profile();
+        kpa.key_swap(&mut ctx, Col(2));
+        assert_eq!(*ctx.profile(), before);
+    }
+
+    #[test]
+    fn update_keys_applies_mapping() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0)]);
+        let mut kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        kpa.update_keys(&mut ctx, |k| k * 100);
+        assert_eq!(kpa.keys(), &[100, 200]);
+    }
+
+    #[test]
+    fn materialize_round_trips_records() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(5, 50, 0), (3, 30, 1)]);
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let out = kpa.materialize(&mut ctx).unwrap();
+        assert_eq!(out.rows(), 2);
+        assert_eq!(out.row(0), b.row(0));
+        assert_eq!(out.row(1), b.row(1));
+        assert_ne!(out.id(), b.id());
+    }
+
+    #[test]
+    fn select_keeps_matching_pairs_only() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0), (3, 0, 0), (4, 0, 0)]);
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let even = kpa.select(&mut ctx, Priority::Normal, |k| k % 2 == 0).unwrap();
+        assert_eq!(even.keys(), &[2, 4]);
+        assert_eq!(even.value_at(0, Col(0)), 2);
+    }
+
+    #[test]
+    fn extract_select_fuses_filter() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0), (3, 0, 0)]);
+        let kpa =
+            Kpa::extract_select(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal, |k| k > 1)
+                .unwrap();
+        assert_eq!(kpa.keys(), &[2, 3]);
+    }
+
+    #[test]
+    fn partition_by_groups_and_preserves_order() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let rows: Vec<(u64, u64, u64)> = vec![(0, 0, 15), (0, 0, 5), (0, 0, 25), (0, 0, 7)];
+        let b = kv_bundle(&env, &rows);
+        let mut kpa = Kpa::extract(&mut ctx, &b, Col(2), MemKind::Hbm, Priority::Normal).unwrap();
+        kpa.set_sorted(false);
+        let parts = kpa.partition_by(&mut ctx, Priority::Normal, |ts| ts / 10).unwrap();
+        let groups: Vec<u64> = parts.iter().map(|(g, _)| *g).collect();
+        assert_eq!(groups, vec![0, 1, 2]);
+        assert_eq!(parts[0].1.keys(), &[5, 7]); // order preserved
+        assert_eq!(parts[1].1.keys(), &[15]);
+        assert_eq!(parts[2].1.keys(), &[25]);
+    }
+
+    #[test]
+    fn merge_interleaves_sorted_inputs_and_unions_sources() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b1 = kv_bundle(&env, &[(1, 0, 0), (5, 0, 0)]);
+        let b2 = kv_bundle(&env, &[(2, 0, 0), (9, 0, 0)]);
+        let k1 = Kpa::extract(&mut ctx, &b1, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let k2 = Kpa::extract(&mut ctx, &b2, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let mut k1 = k1;
+        let mut k2 = k2;
+        k1.set_sorted(true);
+        k2.set_sorted(true);
+        let m = Kpa::merge(&mut ctx, &k1, &k2, MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(m.keys(), &[1, 2, 5, 9]);
+        assert!(m.is_sorted());
+        assert_eq!(m.source_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn merge_rejects_unsorted_inputs() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(5, 0, 0), (1, 0, 0)]);
+        let k1 = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let k2 = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let _ = Kpa::merge(&mut ctx, &k1, &k2, MemKind::Hbm, Priority::Normal);
+    }
+
+    #[test]
+    fn dropping_last_kpa_releases_bundle() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let base = live_bundles();
+        let b = kv_bundle(&env, &[(1, 0, 0)]);
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        drop(b); // KPA still pins the bundle
+        assert_eq!(live_bundles(), base + 1);
+        drop(kpa);
+        assert_eq!(live_bundles(), base);
+    }
+
+    #[test]
+    fn footprint_matches_pool_accounting() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0)]);
+        let before = env.pool(MemKind::Hbm).used_bytes();
+        let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(env.pool(MemKind::Hbm).used_bytes() - before, kpa.footprint_bytes());
+    }
+}

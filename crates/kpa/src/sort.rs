@@ -1,0 +1,361 @@
+use std::ops::Range;
+
+use sbx_simmem::{AllocError, Priority};
+
+use crate::kpa::alloc_pair_bufs;
+use crate::{profile, ExecCtx, Kpa};
+
+impl Kpa {
+    /// **Sort** (Table 2): sorts the KPA by resident key with a
+    /// multi-threaded merge-sort (paper §4.2).
+    ///
+    /// The input is split into `threads` chunks, each chunk is sorted by a
+    /// separate thread with an in-cache kernel (standing in for the paper's
+    /// hand-tuned AVX-512 bitonic sort), and the sorted chunks are then
+    /// merged pairwise in parallel rounds, ping-ponging between the KPA and
+    /// a scratch buffer allocated on the same tier (spilling to DRAM if the
+    /// tier is full).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if no tier can hold the scratch buffer.
+    pub fn sort(&mut self, ctx: &mut ExecCtx, threads: usize) -> Result<(), AllocError> {
+        let n = self.len();
+        if self.is_sorted() || n <= 1 {
+            self.set_sorted(true);
+            return Ok(());
+        }
+        let threads = threads.clamp(1, n);
+        let kind = self.kind();
+
+        // Scratch ping-pong buffers, capacity-accounted like the KPA itself.
+        let (mut sk, mut sp, _got) = alloc_pair_bufs(ctx.env(), n, kind, Priority::Normal)?;
+        sk.resize(n, 0);
+        sp.resize(n, 0);
+
+        {
+            let (keys, ptrs) = self.keys_mut_parts();
+
+            // Phase 1: sort chunks in parallel.
+            let chunk = n.div_ceil(threads);
+            let mut runs: Vec<Range<usize>> = Vec::with_capacity(threads);
+            {
+                let mut jobs: Vec<(&mut [u64], &mut [u64])> = Vec::with_capacity(threads);
+                let (mut krest, mut prest) = (&mut keys[..], &mut ptrs[..]);
+                let mut start = 0usize;
+                while start < n {
+                    let len = chunk.min(n - start);
+                    let (kh, kt) = krest.split_at_mut(len);
+                    let (ph, pt) = prest.split_at_mut(len);
+                    jobs.push((kh, ph));
+                    krest = kt;
+                    prest = pt;
+                    runs.push(start..start + len);
+                    start += len;
+                }
+                crossbeam::scope(|s| {
+                    for (kchunk, pchunk) in jobs {
+                        s.spawn(move |_| sort_chunk(kchunk, pchunk));
+                    }
+                })
+                .expect("sort worker panicked");
+            }
+
+            // Phase 2: pairwise parallel merge rounds.
+            let mut src_is_self = true;
+            while runs.len() > 1 {
+                let next_runs = {
+                    let (src_k, src_p, dst_k, dst_p): (&[u64], &[u64], &mut [u64], &mut [u64]) =
+                        if src_is_self {
+                            (keys, ptrs, &mut sk, &mut sp)
+                        } else {
+                            (&sk, &sp, keys, ptrs)
+                        };
+                    merge_round(src_k, src_p, dst_k, dst_p, &runs)
+                };
+                runs = next_runs;
+                src_is_self = !src_is_self;
+            }
+            if !src_is_self {
+                // Result ended up in scratch; move it home.
+                keys.copy_from_slice(&sk);
+                ptrs.copy_from_slice(&sp);
+            }
+        }
+
+        ctx.charge(&profile::sort(n, kind));
+        self.set_sorted(true);
+        Ok(())
+    }
+}
+
+/// Sorts one chunk of parallel key/pointer arrays by key, using the
+/// bitonic block kernel + block merges (paper §4.2).
+fn sort_chunk(keys: &mut [u64], ptrs: &mut [u64]) {
+    crate::bitonic::sort_chunk(keys, ptrs);
+}
+
+/// One round of pairwise merges from `src` into `dst`; returns the merged
+/// run boundaries. Unpaired trailing runs are copied through.
+fn merge_round(
+    src_k: &[u64],
+    src_p: &[u64],
+    dst_k: &mut [u64],
+    dst_p: &mut [u64],
+    runs: &[Range<usize>],
+) -> Vec<Range<usize>> {
+    struct Job<'a> {
+        a: Range<usize>,
+        b: Option<Range<usize>>,
+        dst_k: &'a mut [u64],
+        dst_p: &'a mut [u64],
+    }
+
+    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(runs.len().div_ceil(2));
+    let mut out_runs = Vec::with_capacity(jobs.capacity());
+    {
+        let (mut krest, mut prest) = (dst_k, dst_p);
+        let mut i = 0;
+        while i < runs.len() {
+            let a = runs[i].clone();
+            let b = runs.get(i + 1).cloned();
+            let out_len = a.len() + b.as_ref().map_or(0, |r| r.len());
+            let out_start = a.start;
+            let (kh, kt) = krest.split_at_mut(out_len);
+            let (ph, pt) = prest.split_at_mut(out_len);
+            jobs.push(Job { a, b, dst_k: kh, dst_p: ph });
+            krest = kt;
+            prest = pt;
+            out_runs.push(out_start..out_start + out_len);
+            i += 2;
+        }
+    }
+
+    crossbeam::scope(|s| {
+        for job in jobs {
+            s.spawn(move |_| match job.b {
+                Some(b) => merge_two(
+                    &src_k[job.a.clone()],
+                    &src_p[job.a.clone()],
+                    &src_k[b.clone()],
+                    &src_p[b],
+                    job.dst_k,
+                    job.dst_p,
+                ),
+                None => {
+                    job.dst_k.copy_from_slice(&src_k[job.a.clone()]);
+                    job.dst_p.copy_from_slice(&src_p[job.a]);
+                }
+            });
+        }
+    })
+    .expect("merge worker panicked");
+
+    out_runs
+}
+
+fn merge_two(
+    ak: &[u64],
+    ap: &[u64],
+    bk: &[u64],
+    bp: &[u64],
+    dk: &mut [u64],
+    dp: &mut [u64],
+) {
+    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
+    while i < ak.len() && j < bk.len() {
+        if ak[i] <= bk[j] {
+            dk[o] = ak[i];
+            dp[o] = ap[i];
+            i += 1;
+        } else {
+            dk[o] = bk[j];
+            dp[o] = bp[j];
+            j += 1;
+        }
+        o += 1;
+    }
+    while i < ak.len() {
+        dk[o] = ak[i];
+        dp[o] = ap[i];
+        i += 1;
+        o += 1;
+    }
+    while j < bk.len() {
+        dk[o] = bk[j];
+        dp[o] = bp[j];
+        j += 1;
+        o += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+
+    use sbx_records::{Col, RecordBundle, Schema};
+    use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
+
+    use super::*;
+
+    fn env() -> MemEnv {
+        MemEnv::new(MachineConfig::knl().scaled(0.01))
+    }
+
+    fn kpa_of(env: &MemEnv, ctx: &mut ExecCtx, keys: &[u64]) -> Kpa {
+        let flat: Vec<u64> = keys.iter().flat_map(|&k| [k, k * 10, 0]).collect();
+        let b = RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap();
+        let mut kpa = Kpa::extract(ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        kpa.set_sorted(keys.len() <= 1);
+        kpa
+    }
+
+    #[test]
+    fn sort_orders_keys_and_keeps_pointers_attached() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut kpa = kpa_of(&env, &mut ctx, &[9, 1, 7, 3, 3, 120, 0]);
+        kpa.sort(&mut ctx, 3).unwrap();
+        assert!(kpa.is_sorted());
+        assert_eq!(kpa.keys(), &[0, 1, 3, 3, 7, 9, 120]);
+        // Each pointer still leads to the record whose key it carries.
+        for i in 0..kpa.len() {
+            assert_eq!(kpa.value_at(i, Col(1)), kpa.keys()[i] * 10);
+        }
+    }
+
+    #[test]
+    fn sort_is_idempotent_and_cheap_when_sorted() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut kpa = kpa_of(&env, &mut ctx, &[4, 2, 8]);
+        kpa.sort(&mut ctx, 2).unwrap();
+        let charged = ctx.take_profile();
+        assert!(charged.cpu_cycles > 0.0);
+        kpa.sort(&mut ctx, 2).unwrap();
+        assert_eq!(ctx.profile().cpu_cycles, 0.0, "re-sort of sorted KPA is free");
+    }
+
+    #[test]
+    fn sort_matches_std_sort_on_random_input() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut rng = StdRng::seed_from_u64(42);
+        let keys: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1000)).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        for threads in [1, 2, 3, 8] {
+            let mut kpa = kpa_of(&env, &mut ctx, &keys);
+            kpa.sort(&mut ctx, threads).unwrap();
+            assert_eq!(kpa.keys(), &expect[..], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sort_handles_tiny_inputs() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        for keys in [vec![], vec![1], vec![2, 1]] {
+            let mut kpa = kpa_of(&env, &mut ctx, &keys);
+            kpa.set_sorted(false);
+            kpa.sort(&mut ctx, 4).unwrap();
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(kpa.keys(), &expect[..]);
+        }
+    }
+
+    #[test]
+    fn kway_merge_matches_pairwise_merge() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mk_parts = |ctx: &mut ExecCtx, seed: u64| -> Vec<Kpa> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..7)
+                .map(|_| {
+                    let n = rng.random_range(0..400);
+                    let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..5_000)).collect();
+                    let mut kpa = kpa_of(&env, ctx, &keys);
+                    kpa.sort(ctx, 2).unwrap();
+                    kpa
+                })
+                .collect()
+        };
+        let parts_a = mk_parts(&mut ctx, 17);
+        let parts_b = mk_parts(&mut ctx, 17);
+
+        let pairwise =
+            Kpa::merge_many(&mut ctx, parts_a, MemKind::Hbm, Priority::Normal).unwrap();
+        let kway =
+            Kpa::merge_many_kway(&mut ctx, parts_b, MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(pairwise.keys(), kway.keys());
+        assert_eq!(pairwise.source_count(), kway.source_count());
+        assert!(kway.is_sorted());
+        for i in 0..kway.len() {
+            assert_eq!(kway.value_at(i, Col(0)), kway.keys()[i]);
+        }
+    }
+
+    #[test]
+    fn kway_merge_single_input_is_identity() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut kpa = kpa_of(&env, &mut ctx, &[3, 1, 2]);
+        kpa.sort(&mut ctx, 2).unwrap();
+        let merged =
+            Kpa::merge_many_kway(&mut ctx, vec![kpa], MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(merged.keys(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_many_produces_one_sorted_kpa() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut parts = Vec::new();
+        for chunk in [&[5u64, 1, 3][..], &[2, 9][..], &[7][..], &[0, 8, 4, 6][..]] {
+            let mut kpa = kpa_of(&env, &mut ctx, chunk);
+            kpa.sort(&mut ctx, 2).unwrap();
+            parts.push(kpa);
+        }
+        let merged =
+            Kpa::merge_many(&mut ctx, parts, MemKind::Hbm, Priority::Normal).unwrap();
+        assert_eq!(merged.keys(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(merged.source_count(), 4);
+    }
+
+    /// Dropping an `Arc<RecordBundle>` after extraction must not break
+    /// pointer dereferencing post-sort (the KPA pins its sources).
+    #[test]
+    fn sorted_kpa_survives_bundle_drop() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let flat: Vec<u64> = [3u64, 1, 2].iter().flat_map(|&k| [k, k + 100, 0]).collect();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
+        let mut kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        drop(b);
+        kpa.set_sorted(false);
+        kpa.sort(&mut ctx, 2).unwrap();
+        assert_eq!(kpa.value_at(0, Col(1)), 101);
+    }
+
+    #[test]
+    fn merge_two_handles_asymmetric_runs() {
+        let ak = [1u64, 4, 9];
+        let ap = [10u64, 40, 90];
+        let bk = [5u64];
+        let bp = [50u64];
+        let mut dk = [0u64; 4];
+        let mut dp = [0u64; 4];
+        merge_two(&ak, &ap, &bk, &bp, &mut dk, &mut dp);
+        assert_eq!(dk, [1, 4, 5, 9]);
+        assert_eq!(dp, [10, 40, 50, 90]);
+    }
+
+    const _: fn() = || {
+        fn assert_send<T: Send>() {}
+        assert_send::<Kpa>();
+    };
+
+}

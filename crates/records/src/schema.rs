@@ -1,0 +1,127 @@
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a column within a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Col(pub usize);
+
+impl fmt::Display for Col {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col{}", self.0)
+    }
+}
+
+/// Shape of a record: named 64-bit numeric columns plus the timestamp
+/// column.
+///
+/// StreamBox-HBM supports numerical data, "very common in data analytics"
+/// (paper §6); every column is a `u64`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    names: Vec<String>,
+    ts_col: Col,
+}
+
+impl Schema {
+    /// A schema with the given column names; `ts_col` identifies the
+    /// event-timestamp column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty or `ts_col` is out of range.
+    pub fn new<S: Into<String>>(names: Vec<S>, ts_col: Col) -> Arc<Self> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "schema needs at least one column");
+        assert!(ts_col.0 < names.len(), "ts_col {ts_col} out of range");
+        Arc::new(Schema { names, ts_col })
+    }
+
+    /// The ubiquitous three-column benchmark schema: `key`, `value`,
+    /// `timestamp` (paper §6: "All benchmarks process input records with
+    /// three columns").
+    pub fn kvt() -> Arc<Self> {
+        Schema::new(vec!["key", "value", "ts"], Col(2))
+    }
+
+    /// The four-column variant with a secondary key, used by benchmarks 8
+    /// and 9.
+    pub fn kkvt() -> Arc<Self> {
+        Schema::new(vec!["key", "key2", "value", "ts"], Col(3))
+    }
+
+    /// The Yahoo Streaming Benchmark's seven numeric columns.
+    ///
+    /// `user_id, page_id, ad_id, ad_type, event_type, event_time, ip`.
+    pub fn ysb() -> Arc<Self> {
+        Schema::new(
+            vec!["user_id", "page_id", "ad_id", "ad_type", "event_type", "event_time", "ip"],
+            Col(5),
+        )
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The timestamp column.
+    pub fn ts_col(&self) -> Col {
+        self.ts_col
+    }
+
+    /// Name of a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn name(&self, col: Col) -> &str {
+        &self.names[col.0]
+    }
+
+    /// Looks up a column by name.
+    pub fn col(&self, name: &str) -> Option<Col> {
+        self.names.iter().position(|n| n == name).map(Col)
+    }
+
+    /// Bytes per record under this schema (8 bytes per column).
+    pub fn record_bytes(&self) -> usize {
+        self.ncols() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kvt_shape() {
+        let s = Schema::kvt();
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.ts_col(), Col(2));
+        assert_eq!(s.col("value"), Some(Col(1)));
+        assert_eq!(s.col("missing"), None);
+        assert_eq!(s.record_bytes(), 24);
+    }
+
+    #[test]
+    fn ysb_has_seven_columns() {
+        let s = Schema::ysb();
+        assert_eq!(s.ncols(), 7);
+        assert_eq!(s.name(s.ts_col()), "event_time");
+        assert_eq!(s.col("ad_id"), Some(Col(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ts_col_must_be_in_range() {
+        Schema::new(vec!["a"], Col(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_schema_rejected() {
+        Schema::new(Vec::<String>::new(), Col(0));
+    }
+}

@@ -1,0 +1,103 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Event time of a record, in source-defined ticks (the benchmarks use
+/// nanoseconds-like integer ticks where 1 second of event time spans one
+/// window of 10 M records).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct EventTime(pub u64);
+
+impl EventTime {
+    /// The earliest representable time.
+    pub const MIN: EventTime = EventTime(0);
+    /// The latest representable time.
+    pub const MAX: EventTime = EventTime(u64::MAX);
+
+    /// The raw tick value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of ticks.
+    pub fn saturating_add(self, ticks: u64) -> EventTime {
+        EventTime(self.0.saturating_add(ticks))
+    }
+}
+
+impl fmt::Display for EventTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for EventTime {
+    fn from(raw: u64) -> Self {
+        EventTime(raw)
+    }
+}
+
+/// A watermark: the source's promise that every subsequent record has an
+/// event timestamp **at or after** this time (paper §2.1).
+///
+/// Watermarks drive window closure — an operator may finalize a window once
+/// a watermark at or past the window's end arrives. Records may still arrive
+/// out of order *between* watermarks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Watermark(pub EventTime);
+
+impl Watermark {
+    /// The time this watermark guarantees.
+    pub fn time(self) -> EventTime {
+        self.0
+    }
+
+    /// Whether this watermark closes a window ending at `window_end`
+    /// (exclusive end).
+    pub fn closes(self, window_end: EventTime) -> bool {
+        self.0 >= window_end
+    }
+}
+
+impl fmt::Display for Watermark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wm@{}", self.0)
+    }
+}
+
+impl From<u64> for Watermark {
+    fn from(raw: u64) -> Self {
+        Watermark(EventTime(raw))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_time_orders_naturally() {
+        assert!(EventTime(1) < EventTime(2));
+        assert_eq!(EventTime::from(7).raw(), 7);
+        assert_eq!(EventTime(u64::MAX).saturating_add(1), EventTime::MAX);
+    }
+
+    #[test]
+    fn watermark_closes_windows_at_or_before_it() {
+        let wm = Watermark::from(100);
+        assert!(wm.closes(EventTime(100)));
+        assert!(wm.closes(EventTime(50)));
+        assert!(!wm.closes(EventTime(101)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(EventTime(3).to_string(), "t3");
+        assert_eq!(Watermark::from(3).to_string(), "wm@t3");
+    }
+}

@@ -1,0 +1,216 @@
+use parking_lot::Mutex;
+
+use crate::MemKind;
+
+/// Width of one bandwidth-accounting bucket: 10 ms of simulated time, the
+/// sampling interval StreamBox-HBM uses for its resource monitor (paper §5.1,
+/// which samples Intel PCM counters every 10 ms).
+pub const SAMPLE_INTERVAL_NS: u64 = 10_000_000;
+
+const NUM_BUCKETS: usize = 64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bucket {
+    epoch: u64,
+    bytes: u64,
+}
+
+#[derive(Debug)]
+struct KindTrack {
+    buckets: [Bucket; NUM_BUCKETS],
+    total_bytes: u64,
+    peak_bytes_per_sec: f64,
+}
+
+impl Default for KindTrack {
+    fn default() -> Self {
+        KindTrack {
+            buckets: [Bucket::default(); NUM_BUCKETS],
+            total_bytes: 0,
+            peak_bytes_per_sec: 0.0,
+        }
+    }
+}
+
+/// One bandwidth observation (see [`BandwidthMonitor::sample`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandwidthSample {
+    /// Tier the sample describes.
+    pub kind: MemKind,
+    /// Simulated time of the sample, nanoseconds.
+    pub at_ns: u64,
+    /// Observed traffic over the trailing window, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+/// Sliding-window memory-traffic accounting, standing in for the Intel PCM
+/// hardware counters the paper reads.
+///
+/// Every primitive reports the bytes it moves per tier via
+/// [`BandwidthMonitor::record`]; the runtime's resource monitor then reads
+/// trailing-window bandwidth with [`BandwidthMonitor::sample`] to drive the
+/// demand-balance knob.
+///
+/// # Example
+///
+/// ```
+/// use sbx_simmem::{BandwidthMonitor, MemKind, SAMPLE_INTERVAL_NS};
+///
+/// let mon = BandwidthMonitor::new();
+/// mon.record(MemKind::Dram, 80_000_000, 0); // 80 MB in the first 10 ms
+/// let s = mon.sample(MemKind::Dram, SAMPLE_INTERVAL_NS);
+/// assert!(s.bytes_per_sec > 0.0);
+/// ```
+#[derive(Debug, Default)]
+pub struct BandwidthMonitor {
+    tracks: [Mutex<KindTrack>; 2],
+}
+
+impl BandwidthMonitor {
+    /// A monitor with empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `bytes` of traffic on `kind` at simulated time `now_ns`.
+    pub fn record(&self, kind: MemKind, bytes: u64, now_ns: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let epoch = now_ns / SAMPLE_INTERVAL_NS;
+        let slot = (epoch as usize) % NUM_BUCKETS;
+        let mut t = self.tracks[kind.index()].lock();
+        let b = &mut t.buckets[slot];
+        if b.epoch != epoch {
+            b.epoch = epoch;
+            b.bytes = 0;
+        }
+        b.bytes += bytes;
+        let bucket_bytes = b.bytes;
+        t.total_bytes += bytes;
+        let rate = bucket_bytes as f64 / (SAMPLE_INTERVAL_NS as f64 / 1e9);
+        if rate > t.peak_bytes_per_sec {
+            t.peak_bytes_per_sec = rate;
+        }
+    }
+
+    /// Records `bytes` of traffic spread uniformly over
+    /// `[start_ns, start_ns + dur_ns)`, splitting across sample buckets so
+    /// a long-running primitive does not inflate a single bucket's rate.
+    pub fn record_spread(&self, kind: MemKind, bytes: u64, start_ns: u64, dur_ns: u64) {
+        if bytes == 0 {
+            return;
+        }
+        if dur_ns == 0 {
+            self.record(kind, bytes, start_ns);
+            return;
+        }
+        let end_ns = start_ns + dur_ns;
+        let mut t = start_ns;
+        let mut remaining = bytes;
+        while t < end_ns {
+            let bucket_end = ((t / SAMPLE_INTERVAL_NS) + 1) * SAMPLE_INTERVAL_NS;
+            let span_end = bucket_end.min(end_ns);
+            let share = ((span_end - t) as u128 * bytes as u128 / dur_ns as u128) as u64;
+            let share = share.min(remaining);
+            self.record(kind, share, t);
+            remaining -= share;
+            t = span_end;
+        }
+        if remaining > 0 {
+            self.record(kind, remaining, end_ns.saturating_sub(1));
+        }
+    }
+
+    /// Trailing-window bandwidth for `kind` ending at `now_ns`.
+    ///
+    /// The window is the last 4 complete sample intervals (40 ms of
+    /// simulated time), smoothing single-bucket spikes the way a periodic
+    /// counter reader would.
+    pub fn sample(&self, kind: MemKind, now_ns: u64) -> BandwidthSample {
+        const WINDOW: u64 = 4;
+        let epoch_now = now_ns / SAMPLE_INTERVAL_NS;
+        let first = epoch_now.saturating_sub(WINDOW - 1);
+        let t = self.tracks[kind.index()].lock();
+        let mut bytes = 0u64;
+        for e in first..=epoch_now {
+            let b = t.buckets[(e as usize) % NUM_BUCKETS];
+            if b.epoch == e {
+                bytes += b.bytes;
+            }
+        }
+        let secs = (epoch_now - first + 1) as f64 * SAMPLE_INTERVAL_NS as f64 / 1e9;
+        BandwidthSample {
+            kind,
+            at_ns: now_ns,
+            bytes_per_sec: bytes as f64 / secs,
+        }
+    }
+
+    /// All traffic ever recorded on `kind`, in bytes.
+    pub fn total_bytes(&self, kind: MemKind) -> u64 {
+        self.tracks[kind.index()].lock().total_bytes
+    }
+
+    /// Highest single-bucket bandwidth ever observed on `kind`.
+    pub fn peak_bytes_per_sec(&self, kind: MemKind) -> f64 {
+        self.tracks[kind.index()].lock().peak_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_in_total() {
+        let m = BandwidthMonitor::new();
+        m.record(MemKind::Hbm, 100, 0);
+        m.record(MemKind::Hbm, 50, SAMPLE_INTERVAL_NS);
+        m.record(MemKind::Dram, 7, 0);
+        assert_eq!(m.total_bytes(MemKind::Hbm), 150);
+        assert_eq!(m.total_bytes(MemKind::Dram), 7);
+    }
+
+    #[test]
+    fn sample_reflects_recent_traffic_only() {
+        let m = BandwidthMonitor::new();
+        m.record(MemKind::Dram, 1_000_000, 0);
+        let early = m.sample(MemKind::Dram, 0).bytes_per_sec;
+        assert!(early > 0.0);
+        // Far in the future the old bucket has aged out of the window.
+        let late = m
+            .sample(MemKind::Dram, 100 * SAMPLE_INTERVAL_NS)
+            .bytes_per_sec;
+        assert_eq!(late, 0.0);
+    }
+
+    #[test]
+    fn stale_bucket_is_reset_on_wraparound() {
+        let m = BandwidthMonitor::new();
+        m.record(MemKind::Hbm, 500, 0);
+        // Same slot, NUM_BUCKETS epochs later.
+        let later = NUM_BUCKETS as u64 * SAMPLE_INTERVAL_NS;
+        m.record(MemKind::Hbm, 300, later);
+        let s = m.sample(MemKind::Hbm, later);
+        let expected = 300.0 / (4.0 * SAMPLE_INTERVAL_NS as f64 / 1e9);
+        assert!((s.bytes_per_sec - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_tracks_highest_bucket_rate() {
+        let m = BandwidthMonitor::new();
+        m.record(MemKind::Hbm, 1000, 0);
+        m.record(MemKind::Hbm, 10, 10 * SAMPLE_INTERVAL_NS);
+        let per_sec = 1000.0 / (SAMPLE_INTERVAL_NS as f64 / 1e9);
+        assert!((m.peak_bytes_per_sec(MemKind::Hbm) - per_sec).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_records_are_ignored() {
+        let m = BandwidthMonitor::new();
+        m.record(MemKind::Hbm, 0, 0);
+        assert_eq!(m.total_bytes(MemKind::Hbm), 0);
+        assert_eq!(m.peak_bytes_per_sec(MemKind::Hbm), 0.0);
+    }
+}

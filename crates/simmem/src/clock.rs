@@ -1,0 +1,99 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically non-decreasing simulated clock, in nanoseconds.
+///
+/// All timing in the substrate — bandwidth samples, the 10 ms resource
+/// monitor interval, ingestion rate limiting — is expressed in simulated
+/// time so that experiments are deterministic and independent of the host
+/// machine. Threads may advance the clock concurrently; time never moves
+/// backwards.
+///
+/// # Example
+///
+/// ```
+/// use sbx_simmem::SimClock;
+///
+/// let clock = SimClock::new();
+/// clock.advance(1_500);
+/// assert_eq!(clock.now_ns(), 1_500);
+/// clock.advance_to(1_000); // no-op: already past
+/// assert_eq!(clock.now_ns(), 1_500);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    now_ns: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at time zero.
+    pub fn new() -> Self {
+        SimClock { now_ns: AtomicU64::new(0) }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Acquire)
+    }
+
+    /// Current simulated time in seconds.
+    #[inline]
+    pub fn now_secs(&self) -> f64 {
+        self.now_ns() as f64 / 1e9
+    }
+
+    /// Advances the clock by `delta_ns` and returns the new time.
+    pub fn advance(&self, delta_ns: u64) -> u64 {
+        self.now_ns.fetch_add(delta_ns, Ordering::AcqRel) + delta_ns
+    }
+
+    /// Moves the clock forward to at least `target_ns` (monotone `max`).
+    pub fn advance_to(&self, target_ns: u64) -> u64 {
+        self.now_ns.fetch_max(target_ns, Ordering::AcqRel).max(target_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance(10), 10);
+        assert_eq!(c.advance(5), 15);
+        assert!((c.now_secs() - 15e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn advance_to_is_monotone_max() {
+        let c = SimClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(50);
+        assert_eq!(c.now_ns(), 100);
+        c.advance_to(200);
+        assert_eq!(c.now_ns(), 200);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = Arc::new(SimClock::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.advance(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now_ns(), 4000);
+    }
+}

@@ -1,0 +1,142 @@
+use std::sync::Arc;
+
+use crate::{
+    AccessProfile, BandwidthMonitor, CostModel, MachineConfig, MemKind, MemPool, SimClock,
+};
+
+/// Fraction of HBM held back for critical-path (`Urgent`) allocations.
+const HBM_RESERVE_FRACTION: f64 = 0.05;
+
+#[derive(Debug)]
+struct EnvInner {
+    machine: MachineConfig,
+    pools: [MemPool; 2],
+    monitor: BandwidthMonitor,
+    clock: SimClock,
+    cost: CostModel,
+}
+
+/// The shared hybrid-memory environment: one pool per tier, a bandwidth
+/// monitor, a simulated clock and the machine cost model.
+///
+/// `MemEnv` is cheaply cloneable (internally `Arc`) and is threaded through
+/// every primitive and runtime component; it is the single place where the
+/// simulation substitutes for the paper's KNL hardware.
+///
+/// # Example
+///
+/// ```
+/// use sbx_simmem::{AccessProfile, MachineConfig, MemEnv, MemKind};
+///
+/// let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
+/// let profile = AccessProfile::new().seq(MemKind::Hbm, 1e6).cpu(1e5);
+/// let secs = env.charge(&profile, 16);
+/// assert!(secs > 0.0);
+/// assert!(env.monitor().total_bytes(MemKind::Hbm) >= 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemEnv {
+    inner: Arc<EnvInner>,
+}
+
+impl MemEnv {
+    /// Builds pools, monitor and cost model for `machine`.
+    pub fn new(machine: MachineConfig) -> Self {
+        let pools = [
+            MemPool::new(MemKind::Hbm, machine.spec(MemKind::Hbm), HBM_RESERVE_FRACTION),
+            MemPool::new(MemKind::Dram, machine.spec(MemKind::Dram), 0.0),
+        ];
+        MemEnv {
+            inner: Arc::new(EnvInner {
+                cost: CostModel::new(machine.clone()),
+                pools,
+                monitor: BandwidthMonitor::new(),
+                clock: SimClock::new(),
+                machine,
+            }),
+        }
+    }
+
+    /// The machine configuration this environment simulates.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.inner.machine
+    }
+
+    /// The allocator for `kind`.
+    pub fn pool(&self, kind: MemKind) -> &MemPool {
+        &self.inner.pools[kind.index()]
+    }
+
+    /// The memory-traffic monitor.
+    pub fn monitor(&self) -> &BandwidthMonitor {
+        &self.inner.monitor
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// The timing model.
+    pub fn cost(&self) -> &CostModel {
+        &self.inner.cost
+    }
+
+    /// Accounts one primitive execution: records its traffic in the
+    /// bandwidth monitor (spread over the execution interval) and advances
+    /// the simulated clock by its modelled duration at `cores` cores.
+    ///
+    /// Returns the simulated duration in seconds.
+    pub fn charge(&self, profile: &AccessProfile, cores: u32) -> f64 {
+        let secs = self.inner.cost.time_secs(profile, cores);
+        let dur_ns = (secs * 1e9) as u64;
+        let start = self.inner.clock.now_ns();
+        for kind in MemKind::ALL {
+            let bytes = profile.bytes_on(kind) as u64;
+            self.inner.monitor.record_spread(kind, bytes, start, dur_ns);
+        }
+        self.inner.clock.advance(dur_ns);
+        secs
+    }
+
+    /// Like [`MemEnv::charge`] but only records traffic without advancing
+    /// the clock — used when several tasks execute concurrently and the
+    /// caller advances the clock once for the whole batch.
+    pub fn charge_traffic(&self, profile: &AccessProfile, start_ns: u64, dur_ns: u64) {
+        for kind in MemKind::ALL {
+            let bytes = profile.bytes_on(kind) as u64;
+            self.inner.monitor.record_spread(kind, bytes, start_ns, dur_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_match_machine_capacities() {
+        let m = MachineConfig::knl().scaled(1.0 / 1024.0);
+        let env = MemEnv::new(m.clone());
+        assert_eq!(env.pool(MemKind::Hbm).capacity_bytes(), m.hbm.capacity_bytes);
+        assert_eq!(env.pool(MemKind::Dram).capacity_bytes(), m.dram.capacity_bytes);
+    }
+
+    #[test]
+    fn charge_advances_clock_and_records_traffic() {
+        let env = MemEnv::new(MachineConfig::knl());
+        let p = AccessProfile::new().seq(MemKind::Dram, 80e9); // 1 s at saturation
+        let secs = env.charge(&p, 64);
+        assert!((secs - 1.0).abs() < 1e-9);
+        assert_eq!(env.clock().now_ns(), 1_000_000_000);
+        assert_eq!(env.monitor().total_bytes(MemKind::Dram), 80_000_000_000);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let env = MemEnv::new(MachineConfig::knl());
+        let env2 = env.clone();
+        env.clock().advance(42);
+        assert_eq!(env2.clock().now_ns(), 42);
+    }
+}

@@ -1,0 +1,437 @@
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{AllocError, MemKind, MemSpec};
+
+/// Allocation priority class (paper §5, "performance impact tags").
+///
+/// `Urgent` tasks on the critical path of pipeline output always allocate
+/// their KPAs from a small reserved slice of HBM; everyone else competes for
+/// the unreserved remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Normal allocation; may not dip into the reserved slice.
+    #[default]
+    Normal,
+    /// Critical-path allocation; may use the reserved slice.
+    Reserved,
+}
+
+/// Number of u64 slots in the smallest slab class (4 KiB).
+const MIN_CLASS_SLOTS: usize = 512;
+/// Number of size classes (powers of two from 4 KiB to 128 MiB).
+const NUM_CLASSES: usize = 16;
+
+fn class_for(len: usize) -> Option<usize> {
+    let mut slots = MIN_CLASS_SLOTS;
+    for c in 0..NUM_CLASSES {
+        if len <= slots {
+            return Some(c);
+        }
+        slots *= 2;
+    }
+    None
+}
+
+fn class_slots(class: usize) -> usize {
+    MIN_CLASS_SLOTS << class
+}
+
+#[derive(Debug, Default)]
+struct Freelists {
+    by_class: Vec<Vec<Vec<u64>>>,
+    /// Total bytes parked in the freelists (still counted as used).
+    cached_bytes: u64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    kind: MemKind,
+    capacity_bytes: u64,
+    reserved_bytes: u64,
+    used_bytes: AtomicU64,
+    high_water_bytes: AtomicU64,
+    allocs: AtomicU64,
+    failed_allocs: AtomicU64,
+    freelists: Mutex<Freelists>,
+}
+
+/// An accounted slab allocator for one memory tier.
+///
+/// The pool hands out real heap buffers ([`PoolVec`]) while enforcing the
+/// simulated tier capacity: allocations fail with [`AllocError`] once the
+/// tier is full, exactly the signal StreamBox-HBM's runtime uses to spill
+/// KPAs to DRAM. Freed buffers return to per-size-class freelists and are
+/// reused, mirroring the paper's custom slab allocator "tuned to typical KPA
+/// sizes, full record bundle sizes, and window sizes" (§5.1).
+///
+/// A configurable slice of capacity is *reserved* for
+/// [`Priority::Reserved`] (critical-path) allocations.
+///
+/// # Example
+///
+/// ```
+/// use sbx_simmem::{MemKind, MemPool, MemSpec, Priority};
+///
+/// let pool = MemPool::new(MemKind::Hbm, MemSpec::new(0.001, 375.0, 172.0), 0.1);
+/// let buf = pool.alloc_u64(1000, Priority::Normal)?;
+/// assert!(buf.capacity() >= 1000);
+/// # Ok::<(), sbx_simmem::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemPool {
+    inner: Arc<PoolInner>,
+}
+
+impl MemPool {
+    /// Creates a pool for `kind` with the capacity from `spec`, reserving
+    /// `reserve_fraction` of it for [`Priority::Reserved`] allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve_fraction` is not within `[0, 1]`.
+    pub fn new(kind: MemKind, spec: MemSpec, reserve_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&reserve_fraction),
+            "reserve_fraction must be in [0,1], got {reserve_fraction}"
+        );
+        MemPool {
+            inner: Arc::new(PoolInner {
+                kind,
+                capacity_bytes: spec.capacity_bytes,
+                reserved_bytes: (spec.capacity_bytes as f64 * reserve_fraction) as u64,
+                used_bytes: AtomicU64::new(0),
+                high_water_bytes: AtomicU64::new(0),
+                allocs: AtomicU64::new(0),
+                failed_allocs: AtomicU64::new(0),
+                freelists: Mutex::new(Freelists {
+                    by_class: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+                    cached_bytes: 0,
+                }),
+            }),
+        }
+    }
+
+    /// The tier this pool accounts for.
+    pub fn kind(&self) -> MemKind {
+        self.inner.kind
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes
+    }
+
+    /// Bytes currently accounted as used (live buffers plus cached
+    /// freelist buffers).
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.used_bytes.load(Ordering::Acquire)
+    }
+
+    /// Fraction of capacity in use, in `[0, 1]`.
+    pub fn usage(&self) -> f64 {
+        if self.inner.capacity_bytes == 0 {
+            return 1.0;
+        }
+        self.used_bytes() as f64 / self.inner.capacity_bytes as f64
+    }
+
+    /// Bytes available to a request of priority `prio`.
+    pub fn available_bytes(&self, prio: Priority) -> u64 {
+        let ceiling = match prio {
+            Priority::Normal => self.inner.capacity_bytes - self.inner.reserved_bytes,
+            Priority::Reserved => self.inner.capacity_bytes,
+        };
+        ceiling.saturating_sub(self.used_bytes())
+    }
+
+    /// Allocates a buffer of at least `len` u64 slots.
+    ///
+    /// The returned [`PoolVec`] has `capacity() >= len` (rounded up to the
+    /// pool's size class) and length 0. Dropping it returns the buffer to the
+    /// pool's freelist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if the tier does not have room for the request
+    /// at the given priority. This is the expected "HBM is full" signal.
+    pub fn alloc_u64(&self, len: usize, prio: Priority) -> Result<PoolVec, AllocError> {
+        let (class, slots) = match class_for(len.max(1)) {
+            Some(c) => (Some(c), class_slots(c)),
+            // Oversized request: exact-sized, not cached in a class.
+            None => (None, len),
+        };
+        let bytes = (slots * 8) as u64;
+
+        // Try to reuse a cached buffer of this class first: it is already
+        // accounted, so no capacity check is needed.
+        if let Some(c) = class {
+            let mut fl = self.inner.freelists.lock();
+            if let Some(buf) = fl.by_class[c].pop() {
+                fl.cached_bytes -= bytes;
+                drop(fl);
+                self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+                return Ok(PoolVec {
+                    buf,
+                    pool: self.inner.clone(),
+                    class,
+                    accounted_bytes: bytes,
+                });
+            }
+        }
+
+        // Fresh allocation: enforce the capacity ceiling for this priority.
+        let ceiling = match prio {
+            Priority::Normal => self.inner.capacity_bytes - self.inner.reserved_bytes,
+            Priority::Reserved => self.inner.capacity_bytes,
+        };
+        let mut used = self.used_bytes();
+        loop {
+            if used + bytes > ceiling {
+                self.inner.failed_allocs.fetch_add(1, Ordering::Relaxed);
+                return Err(AllocError {
+                    kind: self.inner.kind,
+                    requested_bytes: bytes,
+                    available_bytes: ceiling.saturating_sub(used),
+                });
+            }
+            match self.inner.used_bytes.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => used = actual,
+            }
+        }
+        self.inner.high_water_bytes.fetch_max(used + bytes, Ordering::AcqRel);
+        self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+        Ok(PoolVec {
+            buf: Vec::with_capacity(slots),
+            pool: self.inner.clone(),
+            class,
+            accounted_bytes: bytes,
+        })
+    }
+
+    /// Drops all cached freelist buffers, releasing their accounted bytes.
+    pub fn trim(&self) {
+        let mut fl = self.inner.freelists.lock();
+        let released = fl.cached_bytes;
+        for class in fl.by_class.iter_mut() {
+            class.clear();
+        }
+        fl.cached_bytes = 0;
+        drop(fl);
+        self.inner.used_bytes.fetch_sub(released, Ordering::AcqRel);
+    }
+
+    /// Snapshot of allocator statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            kind: self.inner.kind,
+            capacity_bytes: self.inner.capacity_bytes,
+            used_bytes: self.used_bytes(),
+            high_water_bytes: self.inner.high_water_bytes.load(Ordering::Acquire),
+            total_allocs: self.inner.allocs.load(Ordering::Relaxed),
+            failed_allocs: self.inner.failed_allocs.load(Ordering::Relaxed),
+            cached_bytes: self.inner.freelists.lock().cached_bytes,
+        }
+    }
+}
+
+/// Point-in-time allocator statistics (see [`MemPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Tier the stats describe.
+    pub kind: MemKind,
+    /// Pool capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Bytes currently accounted (live + cached).
+    pub used_bytes: u64,
+    /// Highest `used_bytes` ever observed.
+    pub high_water_bytes: u64,
+    /// Number of successful allocations served.
+    pub total_allocs: u64,
+    /// Number of allocations rejected for lack of capacity.
+    pub failed_allocs: u64,
+    /// Bytes parked in size-class freelists.
+    pub cached_bytes: u64,
+}
+
+/// A real heap buffer whose capacity is accounted against a [`MemPool`].
+///
+/// Dereferences to `Vec<u64>`; on drop the buffer returns to the pool's
+/// size-class freelist (or releases its accounting if it was oversized).
+pub struct PoolVec {
+    buf: Vec<u64>,
+    pool: Arc<PoolInner>,
+    class: Option<usize>,
+    accounted_bytes: u64,
+}
+
+impl PoolVec {
+    /// The tier this buffer is accounted against.
+    pub fn kind(&self) -> MemKind {
+        self.pool.kind
+    }
+
+    /// Bytes of pool capacity this buffer holds.
+    pub fn accounted_bytes(&self) -> u64 {
+        self.accounted_bytes
+    }
+}
+
+impl Deref for PoolVec {
+    type Target = Vec<u64>;
+    fn deref(&self) -> &Vec<u64> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PoolVec {
+    fn deref_mut(&mut self) -> &mut Vec<u64> {
+        &mut self.buf
+    }
+}
+
+impl fmt::Debug for PoolVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolVec")
+            .field("kind", &self.pool.kind)
+            .field("len", &self.buf.len())
+            .field("capacity", &self.buf.capacity())
+            .field("accounted_bytes", &self.accounted_bytes)
+            .finish()
+    }
+}
+
+impl Drop for PoolVec {
+    fn drop(&mut self) {
+        match self.class {
+            Some(c) if self.buf.capacity() >= class_slots(c) => {
+                self.buf.clear();
+                let mut fl = self.pool.freelists.lock();
+                fl.by_class[c].push(std::mem::take(&mut self.buf));
+                fl.cached_bytes += self.accounted_bytes;
+                // Bytes stay accounted while cached.
+            }
+            _ => {
+                // Oversized (or reallocated beyond class) buffers release
+                // their accounting outright.
+                self.pool.used_bytes.fetch_sub(self.accounted_bytes, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool(capacity_bytes: u64, reserve: f64) -> MemPool {
+        let spec = MemSpec {
+            capacity_bytes,
+            bandwidth_bytes_per_sec: 375e9,
+            latency_ns: 172.0,
+        };
+        MemPool::new(MemKind::Hbm, spec, reserve)
+    }
+
+    #[test]
+    fn alloc_rounds_to_size_class() {
+        let pool = small_pool(1 << 20, 0.0);
+        let v = pool.alloc_u64(100, Priority::Normal).unwrap();
+        assert_eq!(v.capacity(), MIN_CLASS_SLOTS);
+        assert_eq!(v.accounted_bytes(), (MIN_CLASS_SLOTS * 8) as u64);
+        assert_eq!(pool.used_bytes(), v.accounted_bytes());
+    }
+
+    #[test]
+    fn exhaustion_returns_error_with_context() {
+        let pool = small_pool(8 * MIN_CLASS_SLOTS as u64, 0.0); // one class-0 buffer
+        let _a = pool.alloc_u64(1, Priority::Normal).unwrap();
+        let err = pool.alloc_u64(1, Priority::Normal).unwrap_err();
+        assert_eq!(err.kind, MemKind::Hbm);
+        assert_eq!(err.available_bytes, 0);
+        assert_eq!(pool.stats().failed_allocs, 1);
+    }
+
+    #[test]
+    fn freed_buffers_are_reused_from_freelist() {
+        let pool = small_pool(1 << 20, 0.0);
+        let v = pool.alloc_u64(100, Priority::Normal).unwrap();
+        let used_before = pool.used_bytes();
+        drop(v);
+        // Still accounted while cached.
+        assert_eq!(pool.used_bytes(), used_before);
+        assert_eq!(pool.stats().cached_bytes, used_before);
+        let _v2 = pool.alloc_u64(100, Priority::Normal).unwrap();
+        assert_eq!(pool.used_bytes(), used_before);
+        assert_eq!(pool.stats().cached_bytes, 0);
+    }
+
+    #[test]
+    fn reserved_slice_rejects_normal_but_serves_urgent() {
+        // Capacity of exactly two class-0 buffers, half reserved.
+        let pool = small_pool(2 * 8 * MIN_CLASS_SLOTS as u64, 0.5);
+        let _a = pool.alloc_u64(1, Priority::Normal).unwrap();
+        assert!(pool.alloc_u64(1, Priority::Normal).is_err());
+        let _b = pool.alloc_u64(1, Priority::Reserved).unwrap();
+        assert!(pool.alloc_u64(1, Priority::Reserved).is_err());
+    }
+
+    #[test]
+    fn trim_releases_cached_bytes() {
+        let pool = small_pool(1 << 20, 0.0);
+        drop(pool.alloc_u64(100, Priority::Normal).unwrap());
+        assert!(pool.used_bytes() > 0);
+        pool.trim();
+        assert_eq!(pool.used_bytes(), 0);
+        assert_eq!(pool.stats().cached_bytes, 0);
+    }
+
+    #[test]
+    fn oversized_allocations_release_on_drop() {
+        let huge = class_slots(NUM_CLASSES - 1) + 1;
+        let pool = small_pool(u64::MAX / 2, 0.0);
+        let v = pool.alloc_u64(huge, Priority::Normal).unwrap();
+        assert_eq!(v.capacity(), huge);
+        drop(v);
+        assert_eq!(pool.used_bytes(), 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let pool = small_pool(1 << 20, 0.0);
+        let a = pool.alloc_u64(1, Priority::Normal).unwrap();
+        let b = pool.alloc_u64(1, Priority::Normal).unwrap();
+        let peak = pool.used_bytes();
+        drop(a);
+        drop(b);
+        pool.trim();
+        assert_eq!(pool.stats().high_water_bytes, peak);
+    }
+
+    #[test]
+    fn usage_is_fraction_of_capacity() {
+        let pool = small_pool(16 * 8 * MIN_CLASS_SLOTS as u64, 0.0);
+        assert_eq!(pool.usage(), 0.0);
+        let _v = pool.alloc_u64(MIN_CLASS_SLOTS, Priority::Normal).unwrap();
+        assert!((pool.usage() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_for_boundaries() {
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(MIN_CLASS_SLOTS), Some(0));
+        assert_eq!(class_for(MIN_CLASS_SLOTS + 1), Some(1));
+        assert_eq!(class_for(class_slots(NUM_CLASSES - 1)), Some(NUM_CLASSES - 1));
+        assert_eq!(class_for(class_slots(NUM_CLASSES - 1) + 1), None);
+    }
+}

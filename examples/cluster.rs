@@ -1,0 +1,36 @@
+//! Multi-instance execution (paper §3): shard one logical stream by key
+//! across several engine instances, each with its own hybrid memory, and
+//! aggregate their results.
+//!
+//! Run with: `cargo run --release --example cluster`
+
+use streambox_hbm::engine::Cluster;
+use streambox_hbm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mk_source = || KvSource::new(77, 50_000, 5_000_000).with_value_range(10_000);
+    let cfg = RunConfig {
+        cores: 16,
+        sender: SenderConfig {
+            bundle_rows: 10_000,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+
+    println!("{:>9}  {:>14}  {:>12}  {:>9}", "instances", "records", "M rec/s", "delay s");
+    for n in [1u64, 2, 4, 8] {
+        let cluster = Cluster::new(n, cfg.clone());
+        let report = cluster.run(mk_source, benchmarks::sum_per_key, 0, 40)?;
+        println!(
+            "{:>9}  {:>14}  {:>12.1}  {:>9.4}",
+            n,
+            report.records_in(),
+            report.throughput_rps() / 1e6,
+            report.max_output_delay_secs(),
+        );
+    }
+    println!("\nEach instance owns a disjoint key shard; cluster throughput scales\nwith instances until a single shard's ingestion link saturates.");
+    Ok(())
+}

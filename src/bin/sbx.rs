@@ -1,0 +1,319 @@
+//! `sbx` — the StreamBox-HBM command-line driver.
+//!
+//! ```text
+//! sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]
+//!                  [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]
+//!                  [--keys N] [--rate N] [--samples-csv PATH]
+//! sbx figure <2|7|8|9|10|11|ablation>
+//! sbx machines
+//! sbx list
+//! ```
+
+use std::process::ExitCode;
+
+use streambox_hbm::prelude::*;
+
+const BENCHMARKS: [&str; 10] = [
+    "topk", "sum", "median", "avg", "avg-all", "unique", "join", "filter", "power-grid", "ysb",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]\n\
+         \x20                [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]\n\
+         \x20                [--keys N] [--rate N]\n\
+         \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
+         benchmarks: {}",
+        BENCHMARKS.join(", ")
+    );
+    ExitCode::from(2)
+}
+
+#[derive(Debug, Clone)]
+struct BenchArgs {
+    name: String,
+    cores: u32,
+    bundles: usize,
+    bundle_rows: usize,
+    nic: NicModel,
+    mode: EngineMode,
+    keys: u64,
+    rate: u64,
+    samples_csv: Option<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            name: String::new(),
+            cores: 64,
+            bundles: 50,
+            bundle_rows: 20_000,
+            nic: NicModel::rdma_40g(),
+            mode: EngineMode::Hybrid,
+            keys: 10_000,
+            rate: 20_000_000,
+            samples_csv: None,
+        }
+    }
+}
+
+fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
+    let mut out = BenchArgs { name: args.first().cloned().unwrap_or_default(), ..Default::default() };
+    if !BENCHMARKS.contains(&out.name.as_str()) {
+        return Err(format!("unknown benchmark '{}'", out.name));
+    }
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--cores" => out.cores = value.parse().map_err(|_| "bad --cores")?,
+            "--bundles" => out.bundles = value.parse().map_err(|_| "bad --bundles")?,
+            "--bundle-rows" => {
+                out.bundle_rows = value.parse().map_err(|_| "bad --bundle-rows")?
+            }
+            "--keys" => out.keys = value.parse().map_err(|_| "bad --keys")?,
+            "--samples-csv" => out.samples_csv = Some(value.clone()),
+            "--rate" => out.rate = value.parse().map_err(|_| "bad --rate")?,
+            "--nic" => {
+                out.nic = match value.as_str() {
+                    "rdma" => NicModel::rdma_40g(),
+                    "eth" => NicModel::ethernet_10g(),
+                    "unlimited" => NicModel::unlimited(),
+                    other => return Err(format!("unknown nic '{other}'")),
+                }
+            }
+            "--mode" => {
+                out.mode = match value.as_str() {
+                    "hybrid" => EngineMode::Hybrid,
+                    "caching" => EngineMode::CachingKpa,
+                    "dram" => EngineMode::DramOnly,
+                    "nokpa" => EngineMode::CachingNoKpa,
+                    other => return Err(format!("unknown mode '{other}'")),
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn pipeline_for(name: &str) -> Pipeline {
+    match name {
+        "topk" => benchmarks::topk_per_key(3),
+        "sum" => benchmarks::sum_per_key(),
+        "median" => benchmarks::median_per_key(),
+        "avg" => benchmarks::avg_per_key(),
+        "avg-all" => benchmarks::avg_all(),
+        "unique" => benchmarks::unique_count_per_key(),
+        "join" => benchmarks::temporal_join(),
+        "filter" => benchmarks::windowed_filter(),
+        "power-grid" => benchmarks::power_grid(),
+        "ysb" => benchmarks::ysb(1_000),
+        _ => unreachable!("validated"),
+    }
+}
+
+fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores: a.cores,
+        mode: a.mode,
+        sender: SenderConfig {
+            bundle_rows: a.bundle_rows,
+            bundles_per_watermark: 10,
+            nic: a.nic,
+        },
+        ..RunConfig::default()
+    };
+    println!(
+        "running '{}' on {} ({} cores, {}, {})",
+        a.name, cfg.machine.name, a.cores, a.nic.name, a.mode
+    );
+    let engine = Engine::new(cfg);
+    let pipeline = pipeline_for(&a.name);
+    let report = match a.name.as_str() {
+        "join" | "filter" => {
+            let l = KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000);
+            let r = KvSource::new(2, a.keys, a.rate).with_value_range(1_000_000);
+            engine.run_pair(l, r, pipeline, a.bundles / 2)?
+        }
+        "power-grid" => {
+            engine.run(PowerGridSource::new(1, 100, 20, a.rate), pipeline, a.bundles)?
+        }
+        "ysb" => engine.run(YsbSource::new(1, 10_000, 1_000, a.rate), pipeline, a.bundles)?,
+        _ => engine.run(
+            KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000),
+            pipeline,
+            a.bundles,
+        )?,
+    };
+    println!(
+        "  throughput     : {:>10.2} M records/s ({} records in {:.4} s simulated)",
+        report.throughput_mrps(),
+        report.records_in,
+        report.sim_secs
+    );
+    println!(
+        "  windows        : {:>10} closed, {} output records",
+        report.windows_closed, report.output_records
+    );
+    println!(
+        "  bandwidth peak : {:>10.1} GB/s HBM, {:.1} GB/s DRAM",
+        report.peak_hbm_bw_gbps, report.peak_dram_bw_gbps
+    );
+    println!(
+        "  output delay   : {:>10.4} s max ({:.4} s avg)",
+        report.max_output_delay_secs, report.avg_output_delay_secs
+    );
+    println!("  HBM high water : {:>10} KiB", report.hbm_peak_used_bytes / 1024);
+    if let Some(s) = report.samples.last() {
+        println!("  knob (k_low, k_high): ({:.2}, {:.2})", s.k_low, s.k_high);
+    }
+    if let Some(path) = &a.samples_csv {
+        let mut csv = String::from(
+            "at_secs,hbm_usage,hbm_used_bytes,dram_bw_gbps,hbm_bw_gbps,k_low,k_high,records\n",
+        );
+        for s in &report.samples {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                s.at_secs,
+                s.hbm_usage,
+                s.hbm_used_bytes,
+                s.dram_bw_gbps,
+                s.hbm_bw_gbps,
+                s.k_low,
+                s.k_high,
+                s.records
+            ));
+        }
+        std::fs::write(path, csv)?;
+        println!("  samples        : written to {path}");
+    }
+    Ok(())
+}
+
+fn run_figure(which: &str) -> Result<(), String> {
+    match which {
+        "2" => sbx_bench::fig2::run(),
+        "7" => sbx_bench::fig7::run(),
+        "8" => sbx_bench::fig8::run(),
+        "9" => sbx_bench::fig9::run(),
+        "10" => sbx_bench::fig10::run(),
+        "11" => sbx_bench::fig11::run(),
+        "ablation" => sbx_bench::ablation::run(),
+        other => return Err(format!("unknown figure '{other}'")),
+    };
+    Ok(())
+}
+
+fn print_machines() {
+    for m in [MachineConfig::knl(), MachineConfig::x56()] {
+        println!("{}", m.name);
+        println!("  cores : {} @ {} GHz", m.cores, m.core_ghz);
+        if m.has_hbm {
+            println!(
+                "  HBM   : {} GiB, {:.0} GB/s, {:.0} ns",
+                m.hbm.capacity_bytes >> 30,
+                m.hbm.bandwidth_bytes_per_sec / 1e9,
+                m.hbm.latency_ns
+            );
+        }
+        println!(
+            "  DRAM  : {} GiB, {:.0} GB/s, {:.0} ns",
+            m.dram.capacity_bytes >> 30,
+            m.dram.bandwidth_bytes_per_sec / 1e9,
+            m.dram.latency_ns
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("bench") => match parse_bench_args(&args[1..]) {
+            Ok(a) => match run_bench(a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        Some("figure") => match args.get(1) {
+            Some(which) => match run_figure(which) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    usage()
+                }
+            },
+            None => usage(),
+        },
+        Some("machines") => {
+            print_machines();
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            println!("{}", BENCHMARKS.join("\n"));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let a = parse_bench_args(&s(&[
+            "topk", "--cores", "16", "--bundles", "8", "--bundle-rows", "500", "--nic", "eth",
+            "--mode", "dram", "--keys", "42", "--rate", "1000",
+        ]))
+        .unwrap();
+        assert_eq!(a.cores, 16);
+        assert_eq!(a.bundles, 8);
+        assert_eq!(a.bundle_rows, 500);
+        assert_eq!(a.mode, EngineMode::DramOnly);
+        assert_eq!(a.keys, 42);
+        assert_eq!(a.rate, 1000);
+        assert_eq!(a.nic.name, NicModel::ethernet_10g().name);
+    }
+
+    #[test]
+    fn parses_samples_csv_flag() {
+        let a = parse_bench_args(&s(&["sum", "--samples-csv", "/tmp/x.csv"])).unwrap();
+        assert_eq!(a.samples_csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_bench_args(&s(&["nope"])).is_err());
+        assert!(parse_bench_args(&s(&["topk", "--cores"])).is_err());
+        assert!(parse_bench_args(&s(&["topk", "--nic", "carrier-pigeon"])).is_err());
+        assert!(parse_bench_args(&s(&["topk", "--mode", "quantum"])).is_err());
+        assert!(parse_bench_args(&s(&["topk", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn all_listed_benchmarks_have_pipelines() {
+        for name in BENCHMARKS {
+            let p = pipeline_for(name);
+            assert!(!p.is_empty(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the hybrid-memory demand balancer (paper §5 /
+//! Figure 10): knob dynamics, spilling, and resource accounting under
+//! memory stress.
+
+use streambox_hbm::prelude::*;
+
+/// 10 ms of event time per window at harness scale.
+const WINDOW_TICKS: u64 = 10_000_000;
+
+fn pipeline() -> Pipeline {
+    PipelineBuilder::new(WindowSpec::fixed(WINDOW_TICKS))
+        .windowed()
+        .keyed_aggregate(Col(0), Col(1), AggKind::TopK(3))
+        .build()
+}
+
+fn pressured_engine(hbm_mib: u64, bundles_per_watermark: usize) -> Engine {
+    let mut machine = MachineConfig::knl();
+    machine.hbm.capacity_bytes = hbm_mib << 20;
+    machine.dram.capacity_bytes = 4 << 30;
+    Engine::new(RunConfig {
+        machine,
+        cores: 32,
+        sender: SenderConfig {
+            bundle_rows: 40_000,
+            bundles_per_watermark,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    })
+}
+
+fn source(seed: u64) -> KvSource {
+    // 20 M records per event-second => 200 k records per window.
+    KvSource::new(seed, 100_000, 20_000_000).with_value_range(1_000_000)
+}
+
+#[test]
+fn knob_starts_at_one_and_only_moves_under_pressure() {
+    // Plenty of HBM: the knob must stay at its initial (1.0, 1.0).
+    let report = pressured_engine(1024, 5)
+        .run(source(1), pipeline(), 30)
+        .expect("run");
+    let last = report.samples.last().unwrap();
+    assert_eq!((last.k_low, last.k_high), (1.0, 1.0));
+}
+
+#[test]
+fn hbm_pressure_drives_knob_down_monotonically() {
+    let report = pressured_engine(4, 25)
+        .run(source(2), pipeline(), 150)
+        .expect("run");
+    let ks: Vec<f64> = report.samples.iter().map(|s| s.k_low).collect();
+    assert!(*ks.last().unwrap() < 1.0, "knob must react: {ks:?}");
+    // k_low moves down in BALANCER_DELTA steps and never jumps upward
+    // faster than one step per sample.
+    for w in ks.windows(2) {
+        assert!(w[1] <= w[0] + 0.05 + 1e-9, "knob rose too fast: {ks:?}");
+    }
+}
+
+#[test]
+fn spilled_kpas_add_dram_bandwidth() {
+    let tight = pressured_engine(4, 25)
+        .run(source(3), pipeline(), 100)
+        .expect("run");
+    let roomy = pressured_engine(1024, 25)
+        .run(source(3), pipeline(), 100)
+        .expect("run");
+    assert!(
+        tight.peak_dram_bw_gbps > roomy.peak_dram_bw_gbps,
+        "spilling must shift traffic to DRAM: tight {} vs roomy {}",
+        tight.peak_dram_bw_gbps,
+        roomy.peak_dram_bw_gbps
+    );
+}
+
+#[test]
+fn hbm_high_water_respects_capacity() {
+    for hbm_mib in [2u64, 8, 32] {
+        let engine = pressured_engine(hbm_mib, 20);
+        let env = engine.env().clone();
+        engine.run(source(4), pipeline(), 60).expect("run");
+        let stats = env.pool(MemKind::Hbm).stats();
+        assert!(
+            stats.high_water_bytes <= stats.capacity_bytes,
+            "high water {} exceeded capacity {}",
+            stats.high_water_bytes,
+            stats.capacity_bytes
+        );
+    }
+}
+
+#[test]
+fn output_delay_reported_and_bounded_at_modest_load() {
+    let report = pressured_engine(1024, 5)
+        .run(source(5), pipeline(), 40)
+        .expect("run");
+    assert!(report.max_output_delay_secs >= 0.0);
+    assert!(
+        report.meets_delay_target(1.0),
+        "light load must meet the paper's 1 s target, got {}",
+        report.max_output_delay_secs
+    );
+}

@@ -1,0 +1,162 @@
+//! Failure-injection and edge-condition tests: skewed keys, empty data,
+//! degenerate filters, extreme values, and memory exhaustion must all
+//! surface as defined behaviour — correct results or typed errors, never
+//! panics or corruption.
+
+use streambox_hbm::engine::EngineError;
+use streambox_hbm::prelude::*;
+
+fn base_cfg() -> RunConfig {
+    RunConfig {
+        cores: 16,
+        collect_outputs: true,
+        sender: SenderConfig {
+            bundle_rows: 1_000,
+            bundles_per_watermark: 4,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    }
+}
+
+/// All records share one key: sort/merge degenerate to a single run.
+#[test]
+fn fully_skewed_keys_aggregate_correctly() {
+    let source = KvSource::new(1, 1, 100_000).with_value_range(10);
+    let report = Engine::new(base_cfg())
+        .run(source, benchmarks::sum_per_key(), 10)
+        .expect("run");
+    // One key per window; 10k records in well under one window.
+    assert_eq!(report.output_records, 1);
+    let b = &report.outputs[0];
+    assert_eq!(b.rows(), 1);
+    assert_eq!(b.value(0, Col(0)), 0);
+}
+
+/// A filter that rejects everything still closes (empty) windows.
+#[test]
+fn filter_rejecting_all_records_is_clean() {
+    let spec = WindowSpec::fixed(1_000_000_000);
+    let pipeline = PipelineBuilder::new(spec)
+        .filter(Col(0), |_| false)
+        .windowed()
+        .keyed_aggregate(Col(0), Col(1), AggKind::Count)
+        .build();
+    let report = Engine::new(base_cfg())
+        .run(KvSource::new(2, 100, 100_000), pipeline, 10)
+        .expect("run");
+    assert_eq!(report.output_records, 0);
+    assert!(report.records_in > 0);
+}
+
+/// Extreme u64 values flow through extraction, sorting and reduction.
+#[test]
+fn extreme_values_survive_the_pipeline() {
+    let report = Engine::new(base_cfg())
+        .run(
+            // Full-range values, tiny key space.
+            KvSource::new(3, 4, 100_000),
+            benchmarks::topk_per_key(2),
+            10,
+        )
+        .expect("run");
+    assert!(report.output_records > 0);
+    for b in &report.outputs {
+        for r in 0..b.rows() {
+            assert!(b.value(r, Col(0)) < 4);
+        }
+    }
+}
+
+/// DRAM exhaustion surfaces as a typed allocation error, not a panic.
+#[test]
+fn dram_exhaustion_is_a_typed_error() {
+    let mut machine = MachineConfig::knl();
+    machine.dram.capacity_bytes = 64 * 1024;
+    let cfg = RunConfig { machine, ..base_cfg() };
+    let err = Engine::new(cfg)
+        .run(KvSource::new(4, 100, 100_000), benchmarks::sum_per_key(), 10)
+        .expect_err("must fail");
+    match err {
+        EngineError::Alloc(e) => assert_eq!(e.kind, MemKind::Dram),
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+/// Watermarks that never advance leave windows open (state buffered), and
+/// the final flush still drains everything.
+#[test]
+fn absent_watermarks_defer_all_output_to_flush() {
+    let mut cfg = base_cfg();
+    cfg.sender.bundles_per_watermark = usize::MAX;
+    let report = Engine::new(cfg)
+        .run(
+            KvSource::new(5, 10, 1_000_000).with_value_range(100),
+            benchmarks::sum_per_key(),
+            12,
+        )
+        .expect("run");
+    // Without intermediate watermarks there is exactly one (flush) round.
+    assert_eq!(report.samples.len(), 1);
+    assert!(report.output_records > 0);
+}
+
+/// Out-of-order records (bounded jitter) produce the same windowed results
+/// as their sorted equivalent would.
+#[test]
+fn out_of_order_arrival_is_handled_by_event_time() {
+    use std::collections::HashMap;
+    let jitter = 200_000_000; // 0.2 event-seconds of disorder
+    let source = KvSource::new(6, 10, 100_000).with_value_range(100).with_jitter(jitter);
+    let report = Engine::new(base_cfg())
+        .run(source, benchmarks::sum_per_key(), 20)
+        .expect("run");
+
+    // Oracle over the same jittered records, grouped by event-time window.
+    let mut src = KvSource::new(6, 10, 100_000).with_value_range(100).with_jitter(jitter);
+    let mut flat = Vec::new();
+    src.fill(20_000, &mut flat);
+    let mut expect: HashMap<(u64, u64), u64> = HashMap::new();
+    for r in flat.chunks(3) {
+        *expect.entry((r[2] / 1_000_000_000, r[0])).or_insert(0) += r[1];
+    }
+    let mut got: HashMap<(u64, u64), u64> = HashMap::new();
+    for b in &report.outputs {
+        for r in 0..b.rows() {
+            got.insert(
+                (b.value(r, Col(2)) / 1_000_000_000, b.value(r, Col(0))),
+                b.value(r, Col(1)),
+            );
+        }
+    }
+    assert_eq!(got, expect);
+}
+
+/// Zero-core configs are clamped rather than dividing by zero.
+#[test]
+fn zero_cores_clamps_to_one() {
+    let mut cfg = base_cfg();
+    cfg.cores = 0;
+    let report = Engine::new(cfg)
+        .run(KvSource::new(7, 10, 100_000), benchmarks::avg_all(), 5)
+        .expect("run");
+    assert!(report.sim_secs.is_finite());
+    assert!(report.throughput_rps > 0.0);
+}
+
+/// A pipeline whose operators all pass watermarks through emits exactly one
+/// output record set per closed window even when bundles are empty-ish.
+#[test]
+fn single_record_bundles_work() {
+    let mut cfg = base_cfg();
+    cfg.sender.bundle_rows = 1;
+    let report = Engine::new(cfg)
+        .run(
+            KvSource::new(8, 2, 1_000).with_value_range(5),
+            benchmarks::sum_per_key(),
+            8,
+        )
+        .expect("run");
+    assert_eq!(report.records_in, 8);
+    assert!(report.output_records >= 1);
+}

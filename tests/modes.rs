@@ -1,0 +1,134 @@
+//! Engine-mode invariants: the Figure-9 ablation modes change *where data
+//! lives and what it costs*, never *what is computed*. Every mode must
+//! produce bit-identical results; only the simulated timing and memory
+//! placement may differ.
+
+use std::collections::BTreeMap;
+
+use streambox_hbm::prelude::*;
+
+fn run_mode(mode: EngineMode) -> (BTreeMap<(u64, u64), u64>, RunReport) {
+    let cfg = RunConfig {
+        cores: 32,
+        mode,
+        collect_outputs: true,
+        sender: SenderConfig {
+            bundle_rows: 2_000,
+            bundles_per_watermark: 5,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+    let report = Engine::new(cfg)
+        .run(
+            KvSource::new(99, 500, 200_000).with_value_range(10_000),
+            benchmarks::topk_per_key(3),
+            20,
+        )
+        .expect("run");
+    let mut digest = BTreeMap::new();
+    for b in &report.outputs {
+        for r in 0..b.rows() {
+            *digest
+                .entry((b.value(r, Col(2)), b.value(r, Col(0))))
+                .or_insert(0u64) ^= b.value(r, Col(1)).rotate_left((r % 63) as u32);
+        }
+    }
+    (digest, report)
+}
+
+#[test]
+fn all_modes_compute_identical_results() {
+    let (hybrid, _) = run_mode(EngineMode::Hybrid);
+    for mode in [EngineMode::CachingKpa, EngineMode::DramOnly, EngineMode::CachingNoKpa] {
+        let (digest, _) = run_mode(mode);
+        assert_eq!(digest, hybrid, "{mode} diverged from Hybrid");
+    }
+}
+
+#[test]
+fn dram_only_mode_touches_no_hbm_capacity() {
+    let cfg = RunConfig {
+        cores: 32,
+        mode: EngineMode::DramOnly,
+        sender: SenderConfig {
+            bundle_rows: 2_000,
+            bundles_per_watermark: 5,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+    let engine = Engine::new(cfg);
+    let env = engine.env().clone();
+    engine
+        .run(
+            KvSource::new(1, 100, 200_000).with_value_range(100),
+            benchmarks::sum_per_key(),
+            10,
+        )
+        .expect("run");
+    assert_eq!(env.pool(MemKind::Hbm).stats().high_water_bytes, 0);
+}
+
+#[test]
+fn modes_differ_in_simulated_time_not_output_count() {
+    let (_, hybrid) = run_mode(EngineMode::Hybrid);
+    let (_, nokpa) = run_mode(EngineMode::CachingNoKpa);
+    assert_eq!(hybrid.output_records, nokpa.output_records);
+    assert_eq!(hybrid.records_in, nokpa.records_in);
+    assert!(
+        nokpa.sim_secs >= hybrid.sim_secs,
+        "NoKPA must not be faster: {} vs {}",
+        nokpa.sim_secs,
+        hybrid.sim_secs
+    );
+}
+
+/// The parallel stateless-prefix path (threads > 1) must be
+/// indistinguishable from serial execution in every computed result.
+#[test]
+fn parallel_prefix_matches_serial_execution() {
+    let run_with_threads = |threads: usize| {
+        let cfg = RunConfig {
+            cores: 32,
+            threads,
+            collect_outputs: true,
+            sender: SenderConfig {
+                bundle_rows: 1_000,
+                bundles_per_watermark: 6,
+                nic: NicModel::rdma_40g(),
+            },
+            ..RunConfig::default()
+        };
+        let report = Engine::new(cfg)
+            .run(
+                YsbSource::new(5, 1_000, 50, 200_000),
+                benchmarks::ysb(50),
+                24,
+            )
+            .expect("run");
+        let mut digest: Vec<(u64, u64, u64)> = report
+            .outputs
+            .iter()
+            .flat_map(|b| {
+                (0..b.rows()).map(move |r| {
+                    (b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2)))
+                })
+            })
+            .collect();
+        digest.sort_unstable();
+        (digest, report.records_in, report.windows_closed)
+    };
+    let serial = run_with_threads(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(run_with_threads(threads), serial, "threads={threads}");
+    }
+}
+
+/// The benchmark pipelines expose the expected parallelizable prefixes.
+#[test]
+fn stateless_prefixes_are_detected() {
+    assert_eq!(benchmarks::ysb(10).stateless_prefix_len(), 2); // Filter, Window
+    assert_eq!(benchmarks::sum_per_key().stateless_prefix_len(), 1); // Window
+    assert_eq!(benchmarks::temporal_join().stateless_prefix_len(), 1);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the simulation substrate: the pool allocator's
+//! capacity invariants, the demand balancer's knob, the fluid simulator's
+//! bounds, and the cost model's monotonicity.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use streambox_hbm::engine::DemandBalancer;
+use streambox_hbm::prelude::*;
+use streambox_hbm::simmem::{
+    AccessProfile, CostModel, FluidSim, MemPool, MemSpec, TaskId, TaskSpec,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pool never hands out more than its capacity, and freeing
+    /// everything (plus trim) returns accounting to zero.
+    #[test]
+    fn pool_capacity_is_never_exceeded(
+        sizes in vec(1usize..20_000, 1..40),
+        capacity_kib in 64u64..2_048,
+    ) {
+        let spec = MemSpec {
+            capacity_bytes: capacity_kib * 1024,
+            bandwidth_bytes_per_sec: 375e9,
+            latency_ns: 172.0,
+        };
+        let pool = MemPool::new(MemKind::Hbm, spec, 0.0);
+        let mut live = Vec::new();
+        for &s in &sizes {
+            if let Ok(buf) = pool.alloc_u64(s, Priority::Normal) {
+                live.push(buf);
+            }
+            prop_assert!(pool.used_bytes() <= pool.capacity_bytes());
+        }
+        live.clear();
+        pool.trim();
+        prop_assert_eq!(pool.used_bytes(), 0);
+    }
+
+    /// Reserved-priority allocations can use strictly more of the pool
+    /// than normal ones, but never more than capacity.
+    #[test]
+    fn reserve_ordering_holds(reserve in 0.0f64..=1.0) {
+        let spec = MemSpec {
+            capacity_bytes: 1 << 20,
+            bandwidth_bytes_per_sec: 375e9,
+            latency_ns: 172.0,
+        };
+        let pool = MemPool::new(MemKind::Hbm, spec, reserve);
+        let normal = pool.available_bytes(Priority::Normal);
+        let reserved = pool.available_bytes(Priority::Reserved);
+        prop_assert!(normal <= reserved);
+        prop_assert!(reserved <= pool.capacity_bytes());
+    }
+
+    /// Whatever sequence of monitor samples arrives, the knob stays in
+    /// [0, 1]^2 and k_high never exceeds... (k_high only falls after k_low
+    /// hits zero, so k_low <= k_high can only be violated transiently when
+    /// recovering; both stay bounded).
+    #[test]
+    fn balancer_knob_stays_bounded(
+        samples in vec((0.0f64..=1.2, 0.0f64..=1.5, any::<bool>()), 0..200),
+    ) {
+        let mut b = DemandBalancer::new();
+        for (hbm, dram, headroom) in samples {
+            b.update(hbm, dram, headroom);
+            let k = b.knob();
+            prop_assert!((0.0..=1.0).contains(&k.k_low), "k_low {}", k.k_low);
+            prop_assert!((0.0..=1.0).contains(&k.k_high), "k_high {}", k.k_high);
+        }
+    }
+
+    /// Over many placements, the HBM fraction tracks the knob value.
+    #[test]
+    fn placement_fraction_tracks_knob(steps in 0usize..20) {
+        let mut b = DemandBalancer::new();
+        for _ in 0..steps {
+            b.update(1.0, 0.0, true);
+        }
+        let k = b.knob().k_low;
+        let n = 2_000;
+        let hbm = (0..n)
+            .filter(|_| {
+                b.place(streambox_hbm::engine::ImpactTag::Low).0 == MemKind::Hbm
+            })
+            .count();
+        let frac = hbm as f64 / n as f64;
+        prop_assert!((frac - k).abs() < 1e-3, "frac {frac} vs knob {k}");
+    }
+
+    /// Fluid-simulated makespan is bounded below by the longest task and
+    /// above by the serial sum.
+    #[test]
+    fn fluid_makespan_bounds(cycles in vec(1.0e6f64..1.0e9, 1..30), cores in 1u32..64) {
+        let model = CostModel::new(MachineConfig::knl());
+        let tasks: Vec<TaskSpec> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| TaskSpec {
+                id: TaskId(i as u64),
+                profile: AccessProfile::new().cpu(c),
+                deps: vec![],
+            })
+            .collect();
+        let report = FluidSim::new(model.clone(), cores).run(&tasks);
+        let solo: Vec<f64> = tasks.iter().map(|t| model.time_secs(&t.profile, 1)).collect();
+        let longest = solo.iter().cloned().fold(0.0, f64::max);
+        let serial: f64 = solo.iter().sum();
+        prop_assert!(report.makespan_secs >= longest - 1e-12);
+        prop_assert!(report.makespan_secs <= serial + 1e-9);
+    }
+
+    /// A chain of dependent tasks serializes exactly.
+    #[test]
+    fn fluid_chain_serializes(cycles in vec(1.0e6f64..1.0e8, 1..20)) {
+        let model = CostModel::new(MachineConfig::knl());
+        let tasks: Vec<TaskSpec> = cycles
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| TaskSpec {
+                id: TaskId(i as u64),
+                profile: AccessProfile::new().cpu(c),
+                deps: if i == 0 { vec![] } else { vec![TaskId(i as u64 - 1)] },
+            })
+            .collect();
+        let report = FluidSim::new(model.clone(), 64).run(&tasks);
+        let serial: f64 = tasks.iter().map(|t| model.time_secs(&t.profile, 1)).sum();
+        prop_assert!((report.makespan_secs - serial).abs() < 1e-9 * serial.max(1.0));
+    }
+
+    /// Cost-model time is monotone: more work never takes less time, and
+    /// more cores never take more time.
+    #[test]
+    fn cost_model_is_monotone(
+        seq in 0.0f64..1e12,
+        rand_acc in 0.0f64..1e9,
+        cpu in 0.0f64..1e12,
+        cores in 1u32..128,
+    ) {
+        let m = CostModel::new(MachineConfig::knl());
+        let p = AccessProfile::new()
+            .seq(MemKind::Hbm, seq)
+            .rand(MemKind::Dram, rand_acc)
+            .cpu(cpu);
+        let bigger = p.merge(&AccessProfile::new().seq(MemKind::Hbm, 1.0).cpu(1.0));
+        prop_assert!(m.time_secs(&bigger, cores) >= m.time_secs(&p, cores));
+        prop_assert!(m.time_secs(&p, cores + 1) <= m.time_secs(&p, cores) + 1e-15);
+    }
+
+    /// Bandwidth-monitor totals equal the sum of recorded traffic however
+    /// it is spread over time.
+    #[test]
+    fn bandwidth_monitor_conserves_bytes(
+        chunks in vec((1u64..1_000_000, 0u64..10u64), 0..50),
+    ) {
+        let env = MemEnv::new(MachineConfig::knl());
+        let mut total = 0u64;
+        for (bytes, tens_ms) in chunks {
+            env.monitor().record_spread(
+                MemKind::Dram,
+                bytes,
+                tens_ms * 10_000_000,
+                7_777_777,
+            );
+            total += bytes;
+        }
+        prop_assert_eq!(env.monitor().total_bytes(MemKind::Dram), total);
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1: each compound operator decomposes into the expected streaming
+//! primitives. Verified structurally (pipeline composition) and
+//! behaviourally (the access profile a pipeline charges reflects its
+//! primitives' access patterns from Table 2).
+
+use streambox_hbm::prelude::*;
+
+fn run_profiled(pipeline: Pipeline, seed: u64) -> (RunReport, MemEnv) {
+    let cfg = RunConfig {
+        cores: 16,
+        sender: SenderConfig {
+            bundle_rows: 2_000,
+            bundles_per_watermark: 5,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+    let engine = Engine::new(cfg);
+    let env = engine.env().clone();
+    let report = engine
+        .run(
+            KvSource::new(seed, 100, 100_000).with_value_range(1_000),
+            pipeline,
+            10,
+        )
+        .expect("run");
+    (report, env)
+}
+
+#[test]
+fn benchmark_pipelines_compose_per_table1() {
+    // Grouping operators build on Windowing (Partition) + Sort/Merge;
+    // reductions follow grouping, exactly as Table 1 lays out.
+    assert_eq!(benchmarks::sum_per_key().op_names(), ["Window", "KeyedAggregate"]);
+    assert_eq!(benchmarks::avg_all().op_names(), ["Window", "AvgAll"]);
+    assert_eq!(benchmarks::temporal_join().op_names(), ["Window", "TemporalJoin"]);
+    assert_eq!(benchmarks::windowed_filter().op_names(), ["Window", "WindowedFilter"]);
+    assert_eq!(benchmarks::power_grid().op_names(), ["Window", "PowerGrid"]);
+    assert_eq!(
+        benchmarks::ysb(10).op_names(),
+        ["Filter", "Window", "KeyedAggregate"],
+        "YSB: ParDo filter, windowing, then per-campaign count"
+    );
+}
+
+#[test]
+fn grouping_charges_sequential_kpa_traffic() {
+    // A keyed aggregation is dominated by sequential traffic on the KPA
+    // tier (HBM): Extract + Partition + Sort + Merge are all sequential.
+    let (_, env) = run_profiled(benchmarks::sum_per_key(), 11);
+    let hbm = env.monitor().total_bytes(MemKind::Hbm);
+    assert!(hbm > 0, "grouping must touch HBM");
+}
+
+#[test]
+fn unkeyed_reduction_stays_in_dram() {
+    // AvgAll only extracts/partitions in HBM and reduces by dereferencing
+    // into DRAM — its HBM traffic is far lower than a sort-based pipeline's.
+    let (_, env_sort) = run_profiled(benchmarks::median_per_key(), 12);
+    let (_, env_avg) = run_profiled(benchmarks::avg_all(), 12);
+    let sort_hbm = env_sort.monitor().total_bytes(MemKind::Hbm);
+    let avg_hbm = env_avg.monitor().total_bytes(MemKind::Hbm);
+    assert!(
+        sort_hbm > 2 * avg_hbm,
+        "sort-based grouping ({sort_hbm}) must move far more HBM bytes than \
+         unkeyed reduction ({avg_hbm})"
+    );
+}
+
+#[test]
+fn full_records_never_live_in_hbm() {
+    // Bundles (ingested and materialized) are DRAM-only; HBM holds only
+    // KPA-sized data. With 2k-row bundles of 24 B records, DRAM traffic
+    // must dominate byte-for-byte at ingestion.
+    let (report, env) = run_profiled(benchmarks::avg_all(), 13);
+    assert!(report.records_in > 0);
+    let dram = env.monitor().total_bytes(MemKind::Dram);
+    assert!(
+        dram >= report.records_in * 24,
+        "every record is written to DRAM at ingestion"
+    );
+    // HBM pool never holds more than KPA-sized data: peak usage is bounded
+    // by pairs (16 B per record per live window), far below total records.
+    assert!(env.pool(MemKind::Hbm).stats().high_water_bytes < dram);
+}
