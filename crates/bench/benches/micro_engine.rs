@@ -1,9 +1,11 @@
-//! Criterion microbenchmarks of end-to-end engine runs (host wall-clock):
-//! how long the functional execution itself takes, independent of the
-//! simulated-time model.
+//! Microbenchmarks of end-to-end engine runs (host wall-clock): how long
+//! the functional execution itself takes, independent of the simulated-time
+//! model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 
+use sbx_bench::harness::time_fn;
 use sbx_engine::{benchmarks, Engine, RunConfig};
 use sbx_ingress::{KvSource, NicModel, SenderConfig, YsbSource};
 
@@ -20,44 +22,36 @@ fn quick_cfg(threads: usize) -> RunConfig {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_e2e");
-    group.sample_size(10);
+fn main() {
+    println!("engine_e2e");
 
-    group.bench_function("sum_per_key_100k", |b| {
-        b.iter(|| {
-            Engine::new(quick_cfg(2))
-                .run(
-                    KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
-                    benchmarks::sum_per_key(),
-                    20,
-                )
-                .unwrap()
-        })
+    time_fn("sum_per_key_100k", 10, || {
+        Engine::new(quick_cfg(2))
+            .run(
+                KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
+                benchmarks::sum_per_key(),
+                20,
+            )
+            .expect("bench run")
     });
 
-    group.bench_function("ysb_100k", |b| {
-        b.iter(|| {
-            Engine::new(quick_cfg(2))
-                .run(YsbSource::new(1, 1_000, 100, 1_000_000), benchmarks::ysb(100), 20)
-                .unwrap()
-        })
+    time_fn("ysb_100k", 10, || {
+        Engine::new(quick_cfg(2))
+            .run(
+                YsbSource::new(1, 1_000, 100, 1_000_000),
+                benchmarks::ysb(100),
+                20,
+            )
+            .expect("bench run")
     });
 
-    group.bench_function("topk_100k_serial", |b| {
-        b.iter(|| {
-            Engine::new(quick_cfg(1))
-                .run(
-                    KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
-                    benchmarks::topk_per_key(3),
-                    20,
-                )
-                .unwrap()
-        })
+    time_fn("topk_100k_serial", 10, || {
+        Engine::new(quick_cfg(1))
+            .run(
+                KvSource::new(1, 1_000, 1_000_000).with_value_range(1_000),
+                benchmarks::topk_per_key(3),
+                20,
+            )
+            .expect("bench run")
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

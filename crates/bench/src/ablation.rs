@@ -35,7 +35,10 @@ pub fn early_aggregation_ablation() -> (f64, f64) {
         if !early {
             agg = agg.without_early_aggregation();
         }
-        let pipeline = PipelineBuilder::new(spec).windowed().op(Box::new(agg)).build();
+        let pipeline = PipelineBuilder::new(spec)
+            .windowed()
+            .op(Box::new(agg))
+            .build();
         Engine::new(cfg(20_000))
             .run(
                 KvSource::new(5, 1_000, 20_000_000).with_value_range(1_000_000),
@@ -77,8 +80,7 @@ pub fn sliding_strategy_ablation() -> (f64, f64) {
             PipelineBuilder::new(spec)
                 .windowed_panes()
                 .op(Box::new(
-                    KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum)
-                        .with_pane_combining(),
+                    KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum).with_pane_combining(),
                 ))
                 .build()
         } else {
@@ -156,7 +158,11 @@ pub fn run() -> String {
         &["ablation", "variant", "result"],
     );
     let (with_ea, without_ea) = early_aggregation_ablation();
-    t.row(vec!["early aggregation".into(), "on".into(), format!("{} Mrec/s", f1(with_ea))]);
+    t.row(vec![
+        "early aggregation".into(),
+        "on".into(),
+        format!("{} Mrec/s", f1(with_ea)),
+    ]);
     t.row(vec![
         "early aggregation".into(),
         "off".into(),
@@ -170,14 +176,38 @@ pub fn run() -> String {
         ]);
     }
     let (plain, fused) = fused_extract_ablation(1_000_000);
-    t.row(vec!["extract 1M rows".into(), "plain".into(), format!("{} us", f1(plain))]);
-    t.row(vec!["extract 1M rows".into(), "fused (§4.3)".into(), format!("{} us", f1(fused))]);
+    t.row(vec![
+        "extract 1M rows".into(),
+        "plain".into(),
+        format!("{} us", f1(plain)),
+    ]);
+    t.row(vec![
+        "extract 1M rows".into(),
+        "fused (§4.3)".into(),
+        format!("{} us", f1(fused)),
+    ]);
     let (dup, panes) = sliding_strategy_ablation();
-    t.row(vec!["sliding 4x overlap".into(), "duplicate panes".into(), format!("{} Mrec/s", f1(dup))]);
-    t.row(vec!["sliding 4x overlap".into(), "pane combining".into(), format!("{} Mrec/s", f1(panes))]);
+    t.row(vec![
+        "sliding 4x overlap".into(),
+        "duplicate panes".into(),
+        format!("{} Mrec/s", f1(dup)),
+    ]);
+    t.row(vec![
+        "sliding 4x overlap".into(),
+        "pane combining".into(),
+        format!("{} Mrec/s", f1(panes)),
+    ]);
     let (pairwise, kway) = merge_strategy_ablation(16, 50_000);
-    t.row(vec!["merge 16x50k (DRAM)".into(), "pairwise".into(), format!("{} us", f1(pairwise))]);
-    t.row(vec!["merge 16x50k (DRAM)".into(), "k-way heap".into(), format!("{} us", f1(kway))]);
+    t.row(vec![
+        "merge 16x50k (DRAM)".into(),
+        "pairwise".into(),
+        format!("{} us", f1(pairwise)),
+    ]);
+    t.row(vec![
+        "merge 16x50k (DRAM)".into(),
+        "k-way heap".into(),
+        format!("{} us", f1(kway)),
+    ]);
     t.print()
 }
 

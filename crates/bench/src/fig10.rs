@@ -97,7 +97,15 @@ fn summarize(t: &mut Table, label: String, r: &RunReport) {
 pub fn run() -> String {
     let mut a = Table::new(
         "Figure 10a: increasing ingestion rate (TopK, 16 MiB HBM at harness scale)",
-        &["Mrec/s", "HBM peak MiB", "HBM use %", "DRAM peak GB/s", "DRAM avg GB/s", "k_low", "k_high"],
+        &[
+            "Mrec/s",
+            "HBM peak MiB",
+            "HBM use %",
+            "DRAM peak GB/s",
+            "DRAM avg GB/s",
+            "k_low",
+            "k_high",
+        ],
     );
     for rate in [20.0, 30.0, 40.0, 50.0, 60.0] {
         let r = pressured_run(rate, paced_gap(rate));
@@ -106,7 +114,15 @@ pub fn run() -> String {
 
     let mut b = Table::new(
         "Figure 10b: delaying watermark arrival (bundles between watermarks)",
-        &["bundles/wm", "HBM peak MiB", "HBM use %", "DRAM peak GB/s", "DRAM avg GB/s", "k_low", "k_high"],
+        &[
+            "bundles/wm",
+            "HBM peak MiB",
+            "HBM use %",
+            "DRAM peak GB/s",
+            "DRAM avg GB/s",
+            "k_low",
+            "k_high",
+        ],
     );
     for gap in [5usize, 10, 15, 20, 25] {
         let r = pressured_run(40.0, gap);

@@ -10,7 +10,7 @@
 //! branchy byte-parsing code far slower than a Broadwell Xeon, which is the
 //! paper's observation that "data parsing on X56 is 3-4x faster than KNL").
 
-use std::time::Instant;
+use std::time::Instant; // sbx-lint: allow(wall-clock, host parser microbenchmark, not engine time)
 
 use sbx_engine::{benchmarks, Engine, RunConfig};
 use sbx_ingress::parse::{json, proto, text};
@@ -29,8 +29,15 @@ const X56_IPC: f64 = 1.0;
 /// Records measured per format.
 const RECORDS: usize = 100_000;
 
-const YSB_NAMES: [&str; 7] =
-    ["user_id", "page_id", "ad_id", "ad_type", "event_type", "event_time", "ip"];
+const YSB_NAMES: [&str; 7] = [
+    "user_id",
+    "page_id",
+    "ad_id",
+    "ad_type",
+    "event_type",
+    "event_time",
+    "ip",
+];
 
 /// Measured single-thread parse rates on the host, records/s:
 /// `(json, proto, text)`.
@@ -40,7 +47,10 @@ pub fn measure_host() -> (f64, f64, f64) {
     src.fill(RECORDS, &mut flat);
     let records: Vec<&[u64]> = flat.chunks(7).collect();
 
-    let jsons: Vec<String> = records.iter().map(|r| json::encode(r, &YSB_NAMES)).collect();
+    let jsons: Vec<String> = records
+        .iter()
+        .map(|r| json::encode(r, &YSB_NAMES))
+        .collect();
     let protos: Vec<Vec<u8>> = records.iter().map(|r| proto::encode(r)).collect();
     // The paper's text benchmark is the fast string-to-uint64 conversion it
     // cites ([30]): one numeric string per record.
@@ -50,6 +60,7 @@ pub fn measure_host() -> (f64, f64, f64) {
 
     // JSON is measured DOM-style (owned keys + values), matching the
     // paper's RapidJSON usage.
+    // sbx-lint: allow(wall-clock, host parser microbenchmark, not engine time)
     let t = Instant::now();
     let mut dom_fields = 0usize;
     for j in &jsons {
@@ -58,6 +69,7 @@ pub fn measure_host() -> (f64, f64, f64) {
     assert_eq!(dom_fields, RECORDS * 7);
     let json_rate = RECORDS as f64 / t.elapsed().as_secs_f64();
 
+    // sbx-lint: allow(wall-clock, host parser microbenchmark, not engine time)
     let t = Instant::now();
     for p in &protos {
         out.clear();
@@ -65,6 +77,7 @@ pub fn measure_host() -> (f64, f64, f64) {
     }
     let proto_rate = RECORDS as f64 / t.elapsed().as_secs_f64();
 
+    // sbx-lint: allow(wall-clock, host parser microbenchmark, not engine time)
     let t = Instant::now();
     for s in &texts {
         out.clear();
@@ -114,8 +127,11 @@ pub fn run() -> String {
         "Figure 11: parsing throughput at ingestion, M records/s (all cores)",
         &["format", "KNL", "X56", "host 1-core"],
     );
-    for (name, rate) in [("JSON", json_rate), ("Protocol Buffers", proto_rate), ("Text Strings", text_rate)]
-    {
+    for (name, rate) in [
+        ("JSON", json_rate),
+        ("Protocol Buffers", proto_rate),
+        ("Text Strings", text_rate),
+    ] {
         t.row(vec![
             name.to_string(),
             f1(project(rate, &knl, KNL_IPC) / 1e6),

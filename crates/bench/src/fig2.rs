@@ -7,8 +7,7 @@
 //! the figure series are produced by evaluating those calibrated profiles
 //! at the paper's 100 M-pair scale across the core sweep.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sbx_prng::SbxRng;
 
 use sbx_kpa::hash::group_pairs;
 use sbx_kpa::{profile, ExecCtx, Kpa};
@@ -74,7 +73,7 @@ pub fn run() -> String {
 pub fn validate_real_execution() {
     let env = MemEnv::new(MachineConfig::knl().scaled(0.25));
     let mut ctx = ExecCtx::new(&env);
-    let mut rng = StdRng::seed_from_u64(2019);
+    let mut rng = SbxRng::seed_from_u64(2019);
     let keys_card = (REAL_PAIRS / 100) as u64; // ~100 values per key
 
     let mut rows = Vec::with_capacity(REAL_PAIRS * 3);
@@ -84,16 +83,18 @@ pub fn validate_real_execution() {
     let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &rows).expect("DRAM fits");
 
     // Sort-based grouping.
-    let mut kpa = Kpa::extract(&mut ctx, &bundle, Col(0), MemKind::Hbm, Priority::Normal)
-        .expect("HBM fits");
+    let mut kpa =
+        Kpa::extract(&mut ctx, &bundle, Col(0), MemKind::Hbm, Priority::Normal).expect("HBM fits");
     kpa.sort(&mut ctx, 4).expect("sort");
-    assert!(kpa.keys().windows(2).all(|w| w[0] <= w[1]), "sort must order keys");
+    assert!(
+        kpa.keys().windows(2).all(|w| w[0] <= w[1]),
+        "sort must order keys"
+    );
 
     // Hash-based grouping over the same pairs.
     let keys: Vec<u64> = rows.chunks(3).map(|r| r[0]).collect();
     let vals: Vec<u64> = rows.chunks(3).map(|r| r[1]).collect();
-    let table =
-        group_pairs(&mut ctx, &keys, &vals, MemKind::Dram, Priority::Normal).expect("fits");
+    let table = group_pairs(&mut ctx, &keys, &vals, MemKind::Dram, Priority::Normal).expect("fits");
 
     // Both groupings must agree on the number of groups and group sizes.
     let mut sort_groups = 0usize;
@@ -124,7 +125,11 @@ mod tests {
         let model = CostModel::new(MachineConfig::knl());
         let n = PAPER_PAIRS;
         let tput = |algo: &str, kind: MemKind, cores: u32| {
-            let p = if algo == "sort" { profile::sort(n, kind) } else { profile::hash_group(n, kind) };
+            let p = if algo == "sort" {
+                profile::sort(n, kind)
+            } else {
+                profile::hash_group(n, kind)
+            };
             n as f64 / model.time_secs(&p, cores)
         };
         // (1) Sort on HBM is the overall winner at full parallelism.

@@ -18,7 +18,11 @@ const BUNDLE_ROWS: usize = 20_000;
 const BUNDLES: usize = 50;
 
 fn sender(nic: NicModel) -> SenderConfig {
-    SenderConfig { bundle_rows: BUNDLE_ROWS, bundles_per_watermark: 10, nic }
+    SenderConfig {
+        bundle_rows: BUNDLE_ROWS,
+        bundles_per_watermark: 10,
+        nic,
+    }
 }
 
 /// One StreamBox-HBM YSB run; returns (throughput Mrec/s, peak HBM GB/s).
@@ -49,7 +53,9 @@ pub fn flink_point(cores: u32, x56: bool) -> f64 {
     RowEngine::new(cfg)
         .run(
             YsbSource::new(7, NUM_ADS, NUM_CAMPAIGNS, EVENT_RATE),
-            RowPipeline::YsbCount { campaigns: NUM_CAMPAIGNS },
+            RowPipeline::YsbCount {
+                campaigns: NUM_CAMPAIGNS,
+            },
             1_000_000_000,
             BUNDLES,
         )
@@ -61,7 +67,13 @@ pub fn flink_point(cores: u32, x56: bool) -> f64 {
 pub fn run() -> String {
     let mut a = Table::new(
         "Figure 7a: YSB input throughput under 1 s target delay, M records/s",
-        &["cores", "SBX KNL RDMA", "SBX KNL 10GbE", "Flink KNL 10GbE", "Flink X56 10GbE"],
+        &[
+            "cores",
+            "SBX KNL RDMA",
+            "SBX KNL 10GbE",
+            "Flink KNL 10GbE",
+            "Flink X56 10GbE",
+        ],
     );
     let mut b = Table::new(
         "Figure 7b: peak HBM bandwidth, GB/s",
@@ -105,15 +117,24 @@ mod tests {
         // StreamBox at its 10 GbE saturation point (few cores).
         let (sbx_t, _) = streambox_point(8, NicModel::ethernet_10g());
         let eth_limit = NicModel::ethernet_10g().record_rate_limit(56) / 1e6;
-        assert!(sbx_t > 0.9 * eth_limit, "SBX should saturate 10GbE at 8 cores: {sbx_t}");
+        assert!(
+            sbx_t > 0.9 * eth_limit,
+            "SBX should saturate 10GbE at 8 cores: {sbx_t}"
+        );
 
         // SBX saturates with ~5 cores => per-core = limit / 5.
         let sbx_per_core = eth_limit / 5.0;
         let flink64 = flink_point(64, false);
-        assert!(flink64 < eth_limit, "Flink must not saturate 10GbE: {flink64}");
+        assert!(
+            flink64 < eth_limit,
+            "Flink must not saturate 10GbE: {flink64}"
+        );
         let flink_per_core = flink64 / 64.0;
         let gap = sbx_per_core / flink_per_core;
-        assert!(gap > 10.0 && gap < 30.0, "per-core gap {gap} should be ~18x");
+        assert!(
+            gap > 10.0 && gap < 30.0,
+            "per-core gap {gap} should be ~18x"
+        );
     }
 
     #[test]

@@ -40,7 +40,14 @@ pub fn ablation_point(mode: EngineMode, cores: u32) -> f64 {
 pub fn run() -> String {
     let mut t = Table::new(
         "Figure 9: TopK Per Key throughput by configuration, M rec/s",
-        &["cores", "StreamBox-HBM", "Caching", "DRAM", "Caching NoKPA", "vs NoKPA"],
+        &[
+            "cores",
+            "StreamBox-HBM",
+            "Caching",
+            "DRAM",
+            "Caching NoKPA",
+            "vs NoKPA",
+        ],
     );
     for &cores in &CORE_SWEEP {
         let hybrid = ablation_point(EngineMode::Hybrid, cores);
@@ -79,13 +86,22 @@ mod tests {
 
         // Paper: DRAM-only loses ~47%; accept a broad band around it.
         let dram_loss = 1.0 - dram / hybrid;
-        assert!(dram_loss > 0.25 && dram_loss < 0.65, "DRAM loss {dram_loss}");
+        assert!(
+            dram_loss > 0.25 && dram_loss < 0.65,
+            "DRAM loss {dram_loss}"
+        );
         // Paper: caching loses up to 23%.
         let caching_loss = 1.0 - caching / hybrid;
-        assert!(caching_loss > 0.05 && caching_loss < 0.40, "caching loss {caching_loss}");
+        assert!(
+            caching_loss > 0.05 && caching_loss < 0.40,
+            "caching loss {caching_loss}"
+        );
         // Paper: NoKPA is up to 7x slower.
         let nokpa_factor = hybrid / nokpa;
-        assert!(nokpa_factor > 3.0 && nokpa_factor < 9.0, "NoKPA factor {nokpa_factor}");
+        assert!(
+            nokpa_factor > 3.0 && nokpa_factor < 9.0,
+            "NoKPA factor {nokpa_factor}"
+        );
     }
 
     /// At 2 cores everything is compute-bound and the gaps shrink.

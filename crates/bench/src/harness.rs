@@ -1,0 +1,44 @@
+//! A small wall-clock timing harness for the `benches/` targets.
+//!
+//! The Table-2 and engine microbenchmarks time *host* execution (how long
+//! the real algorithms take to run, independent of the simulated-time
+//! model), so this is one of the few sanctioned wall-clock sites in the
+//! workspace — everything engine-side takes time from `SimClock`.
+
+use std::time::Instant; // sbx-lint: allow(wall-clock, host microbenchmark harness)
+
+/// Runs `f` once for warmup and then `samples` timed times, printing
+/// min/mean/max milliseconds for `name`. Returns the mean seconds.
+pub fn time_fn<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let samples = samples.max(1);
+    std::hint::black_box(f());
+    let mut secs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now(); // sbx-lint: allow(wall-clock, host microbenchmark harness)
+        std::hint::black_box(f());
+        secs.push(t.elapsed().as_secs_f64());
+    }
+    let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = secs.iter().copied().fold(0.0f64, f64::max);
+    let mean = secs.iter().sum::<f64>() / samples as f64;
+    println!(
+        "{name:<28} {:>9.3} ms min  {:>9.3} ms mean  {:>9.3} ms max  ({samples} samples)",
+        min * 1e3,
+        mean * 1e3,
+        max * 1e3,
+    );
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_positive_mean_and_runs_all_samples() {
+        let mut runs = 0u32;
+        let mean = time_fn("noop", 3, || runs += 1);
+        assert_eq!(runs, 4, "1 warmup + 3 samples");
+        assert!(mean >= 0.0);
+    }
+}

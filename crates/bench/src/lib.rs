@@ -10,6 +10,8 @@
 //! executions (the algorithms run, instrumented; the model turns their
 //! access profiles into KNL-scale time — see DESIGN.md §6).
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -20,6 +22,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
 pub mod table;
 
 /// Core counts used on the x-axis of the paper's sweeps.

@@ -55,19 +55,30 @@ impl DemandBalancer {
     /// A balancer with both knobs at their initial value of 1.0 (all KPAs
     /// to HBM).
     pub fn new() -> Self {
-        DemandBalancer { k_low: 1.0, k_high: 1.0, acc_low: 0.0, acc_high: 0.0 }
+        DemandBalancer {
+            k_low: 1.0,
+            k_high: 1.0,
+            acc_low: 0.0,
+            acc_high: 0.0,
+        }
     }
 
     /// The current knob values.
     pub fn knob(&self) -> KnobState {
-        KnobState { k_low: self.k_low, k_high: self.k_high }
+        KnobState {
+            k_low: self.k_low,
+            k_high: self.k_high,
+        }
     }
 
     /// Decides the placement of a new KPA for a task tagged `tag`.
     pub fn place(&mut self, tag: ImpactTag) -> (MemKind, Priority) {
         match tag {
             ImpactTag::Urgent => (MemKind::Hbm, Priority::Reserved),
-            ImpactTag::High => (Self::draw(&mut self.acc_high, self.k_high), Priority::Normal),
+            ImpactTag::High => (
+                Self::draw(&mut self.acc_high, self.k_high),
+                Priority::Normal,
+            ),
             ImpactTag::Low => (Self::draw(&mut self.acc_low, self.k_low), Priority::Normal),
         }
     }
@@ -117,7 +128,13 @@ mod tests {
     #[test]
     fn knobs_start_at_one() {
         let b = DemandBalancer::new();
-        assert_eq!(b.knob(), KnobState { k_low: 1.0, k_high: 1.0 });
+        assert_eq!(
+            b.knob(),
+            KnobState {
+                k_low: 1.0,
+                k_high: 1.0
+            }
+        );
     }
 
     #[test]
@@ -126,7 +143,10 @@ mod tests {
         for _ in 0..10 {
             b.update(1.0, 0.0, true); // crush k_low to zero
         }
-        assert_eq!(b.place(ImpactTag::Urgent), (MemKind::Hbm, Priority::Reserved));
+        assert_eq!(
+            b.place(ImpactTag::Urgent),
+            (MemKind::Hbm, Priority::Reserved)
+        );
     }
 
     #[test]
@@ -174,7 +194,13 @@ mod tests {
         let mut b = DemandBalancer::new();
         b.update(0.5, 0.5, true);
         b.update(0.85, 0.95, true); // equal overage on both sides: hold
-        assert_eq!(b.knob(), KnobState { k_low: 1.0, k_high: 1.0 });
+        assert_eq!(
+            b.knob(),
+            KnobState {
+                k_low: 1.0,
+                k_high: 1.0
+            }
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use sbx_ingress::{Partitioned, Source};
 
-use crate::{EngineError, Engine, Pipeline, RunConfig, RunReport};
+use crate::{Engine, EngineError, Pipeline, RunConfig, RunReport};
 
 /// Aggregate result of one cluster run.
 #[derive(Debug, Clone)]
@@ -34,8 +34,11 @@ impl ClusterReport {
     /// Cluster throughput: instances run concurrently, so the cluster
     /// completes when the slowest instance does.
     pub fn throughput_rps(&self) -> f64 {
-        let makespan =
-            self.per_instance.iter().map(|r| r.sim_secs).fold(0.0f64, f64::max);
+        let makespan = self
+            .per_instance
+            .iter()
+            .map(|r| r.sim_secs)
+            .fold(0.0f64, f64::max);
         if makespan > 0.0 {
             self.records_in() as f64 / makespan
         } else {
@@ -186,8 +189,12 @@ mod tests {
     #[test]
     fn cluster_throughput_aggregates_instances() {
         let mk_src = || KvSource::new(3, 1_000, 1_000_000).with_value_range(100);
-        let one = Cluster::new(1, cfg()).run(mk_src, benchmarks::sum_per_key, 0, 10).unwrap();
-        let four = Cluster::new(4, cfg()).run(mk_src, benchmarks::sum_per_key, 0, 10).unwrap();
+        let one = Cluster::new(1, cfg())
+            .run(mk_src, benchmarks::sum_per_key, 0, 10)
+            .unwrap();
+        let four = Cluster::new(4, cfg())
+            .run(mk_src, benchmarks::sum_per_key, 0, 10)
+            .unwrap();
         // Four concurrent machines ingest ~4x the records in similar time.
         assert!(four.throughput_rps() > 2.0 * one.throughput_rps());
         assert!(four.max_output_delay_secs() >= 0.0);

@@ -3,8 +3,8 @@ use sbx_records::Watermark;
 use sbx_simmem::{AccessProfile, AllocError, MachineConfig, MemEnv, MemKind};
 
 use crate::{
-    DemandBalancer, EngineError, EngineMode, ImpactTag, Message, Pipeline, RoundSample,
-    RunReport, StreamData,
+    DemandBalancer, EngineError, EngineMode, ImpactTag, Message, Pipeline, RoundSample, RunReport,
+    StreamData,
 };
 
 /// Configuration of one engine run.
@@ -190,7 +190,11 @@ impl Engine {
         let stride = spec.stride();
         let cores = self.cfg.cores;
         let cost = self.env.cost().clone();
-        let dram_bw_limit = self.env.machine().spec(MemKind::Dram).bandwidth_bytes_per_sec;
+        let dram_bw_limit = self
+            .env
+            .machine()
+            .spec(MemKind::Dram)
+            .bandwidth_bytes_per_sec;
 
         let mut round = Round::default();
         let mut samples: Vec<RoundSample> = Vec::new();
@@ -233,23 +237,32 @@ impl Engine {
                         }
                         let decoded = fmt.round_trip(schema, &rows);
                         assert_eq!(decoded, rows, "ingest codec corrupted records");
-                        round.profile = round
-                            .profile
-                            .merge(&AccessProfile::new().cpu(
-                                b.rows() as f64 * fmt.cycles_per_record(),
-                            ));
-                        self.cfg.sender.nic.transfer_ns(
-                            (b.rows() * fmt.wire_bytes_per_record(schema)) as u64,
-                        )
+                        round.profile = round.profile.merge(
+                            &AccessProfile::new().cpu(b.rows() as f64 * fmt.cycles_per_record()),
+                        );
+                        self.cfg
+                            .sender
+                            .nic
+                            .transfer_ns((b.rows() * fmt.wire_bytes_per_record(schema)) as u64)
                     };
                     round.ingest_ns += wire_ns;
                     round.records += b.rows() as u64;
                     records_in += b.rows() as u64;
                     bundles_in += 1;
-                    let wid = if b.is_empty() { next_to_close } else { b.ts(0).raw() / stride };
+                    let wid = if b.is_empty() {
+                        next_to_close
+                    } else {
+                        b.ts(0).raw() / stride
+                    };
                     max_window_seen = max_window_seen.max(wid);
                     let tag = ImpactTag::from_window_distance(wid.saturating_sub(next_to_close));
-                    batch.push((Message::Data { port, data: StreamData::Bundle(b) }, tag));
+                    batch.push((
+                        Message::Data {
+                            port,
+                            data: StreamData::Bundle(b),
+                        },
+                        tag,
+                    ));
                     false
                 }
                 IngressEvent::Watermark(wm) => {
@@ -266,8 +279,9 @@ impl Engine {
                         ImpactTag::Urgent,
                         true,
                     )?);
-                    let new_next =
-                        (wm.time().raw() / stride).min(max_window_seen + 1).max(next_to_close);
+                    let new_next = (wm.time().raw() / stride)
+                        .min(max_window_seen + 1)
+                        .max(next_to_close);
                     round.closed_windows += new_next - next_to_close;
                     next_to_close = new_next;
                     true
@@ -287,13 +301,15 @@ impl Engine {
 
             if is_wm {
                 // End of round: account time, sample resources, update knob.
-                let compute_secs =
-                    cost.time_secs(&round.profile, cores).max(round.max_task_secs);
+                let compute_secs = cost
+                    .time_secs(&round.profile, cores)
+                    .max(round.max_task_secs);
                 let ingest_secs = round.ingest_ns as f64 / 1e9;
                 let round_secs = compute_secs.max(ingest_secs);
                 let start_ns = self.env.clock().now_ns();
                 if round_secs > 0.0 {
-                    self.env.charge_traffic(&round.profile, start_ns, (round_secs * 1e9) as u64);
+                    self.env
+                        .charge_traffic(&round.profile, start_ns, (round_secs * 1e9) as u64);
                     self.env.clock().advance((round_secs * 1e9) as u64);
                 }
                 let close_secs = cost.time_secs(&round.close_profile, cores);
@@ -324,9 +340,9 @@ impl Engine {
                     k_high: self.balancer.knob().k_high,
                     records: round.records,
                 });
-                let headroom =
-                    close_secs < 0.9 * self.cfg.target_delay_secs;
-                self.balancer.update(hbm_usage, dram_bw / dram_bw_limit, headroom);
+                let headroom = close_secs < 0.9 * self.cfg.target_delay_secs;
+                self.balancer
+                    .update(hbm_usage, dram_bw / dram_bw_limit, headroom);
                 round = Round::default();
             }
 
@@ -336,7 +352,11 @@ impl Engine {
         }
 
         let sim_secs = self.env.clock().now_secs();
-        let throughput = if sim_secs > 0.0 { records_in as f64 / sim_secs } else { 0.0 };
+        let throughput = if sim_secs > 0.0 {
+            records_in as f64 / sim_secs
+        } else {
+            0.0
+        };
         Ok(RunReport {
             records_in,
             bundles_in,
@@ -443,17 +463,15 @@ impl Engine {
             return Ok(Vec::new());
         }
         let prefix_len = pipeline.stateless_prefix_len();
-        let parallel = self.cfg.threads > 1
-            && prefix_len > 0
-            && batch.len() > 1
-            && !self.cfg.record_trace;
+        let parallel =
+            self.cfg.threads > 1 && prefix_len > 0 && batch.len() > 1 && !self.cfg.record_trace;
         let mut sink = Vec::new();
         if parallel {
             let staged = self.run_prefix_parallel(pipeline, round, batch)?;
             for (frontier, tag) in staged {
-                sink.extend(self.drive_chain_from(
-                    pipeline, round, prefix_len, frontier, tag, false,
-                )?);
+                sink.extend(
+                    self.drive_chain_from(pipeline, round, prefix_len, frontier, tag, false)?,
+                );
             }
         } else {
             for (msg, tag) in batch {
@@ -483,15 +501,13 @@ impl Engine {
         let n = batch.len();
         // Priority-ordered shared queue: Urgent tasks are claimed first
         // (paper §5), FIFO within a tag; workers drain it cooperatively.
-        let queue = crate::scheduler::TaskBatch::new(
-            batch.into_iter().map(|(m, t)| ((m, t), t)).collect(),
-        );
-        let balancers: Vec<DemandBalancer> =
-            (0..nworkers).map(|_| self.balancer.clone()).collect();
+        let queue =
+            crate::scheduler::TaskBatch::new(batch.into_iter().map(|(m, t)| ((m, t), t)).collect());
+        let balancers: Vec<DemandBalancer> = (0..nworkers).map(|_| self.balancer.clone()).collect();
 
         type WorkerOut =
             Result<(Vec<(usize, Vec<Message>, ImpactTag)>, AccessProfile, f64), EngineError>;
-        let results: Vec<WorkerOut> = crossbeam::scope(|s| {
+        let results: Vec<WorkerOut> = std::thread::scope(|s| {
             let handles: Vec<_> = balancers
                 .into_iter()
                 .map(|mut bal| {
@@ -499,7 +515,7 @@ impl Engine {
                     let env = &env;
                     let cost = &cost;
                     let queue = &queue;
-                    s.spawn(move |_| -> WorkerOut {
+                    s.spawn(move || -> WorkerOut {
                         let mut staged = Vec::new();
                         let mut prof = AccessProfile::new();
                         let mut max_task = 0.0f64;
@@ -509,9 +525,8 @@ impl Engine {
                                 let mut next = Vec::new();
                                 for m in frontier {
                                     let data_len = m.data_len();
-                                    let mut ctx = crate::OpCtx::new(
-                                        env, &mut bal, mode, threads, tag,
-                                    );
+                                    let mut ctx =
+                                        crate::OpCtx::new(env, &mut bal, mode, threads, tag);
                                     next.extend(op.apply(&mut ctx, m)?);
                                     let t = ctx
                                         .take_profile()
@@ -529,10 +544,12 @@ impl Engine {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("prefix worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err(EngineError::Internal("prefix worker panicked")))
+                })
                 .collect()
-        })
-        .expect("worker scope");
+        });
 
         // Reassemble in arrival order so the stateful suffix is
         // deterministic regardless of thread scheduling.
@@ -545,7 +562,10 @@ impl Engine {
                 by_index[idx] = Some((frontier, tag));
             }
         }
-        Ok(by_index.into_iter().map(|o| o.expect("every task staged")).collect())
+        by_index
+            .into_iter()
+            .map(|o| o.ok_or(EngineError::Internal("prefix task missing from staging")))
+            .collect()
     }
 }
 
@@ -687,8 +707,11 @@ mod tests {
         // The fluid replay ignores ingestion and models contention per
         // task; it must be optimistic relative to serial execution and in
         // the same regime as the round model's simulated time.
-        let serial: f64 =
-            report.trace.iter().map(|t| model.time_secs(&t.profile, 1)).sum();
+        let serial: f64 = report
+            .trace
+            .iter()
+            .map(|t| model.time_secs(&t.profile, 1))
+            .sum();
         assert!(replay.makespan_secs <= serial + 1e-9);
         assert!(replay.makespan_secs > 0.0);
         // Same regime: the replay serializes chain dependencies that the
@@ -717,7 +740,11 @@ mod tests {
     fn report_samples_track_rounds() {
         let engine = Engine::new(quick_cfg());
         let report = engine
-            .run(KvSource::new(2, 10, 1_000_000), benchmarks::sum_per_key(), 15)
+            .run(
+                KvSource::new(2, 10, 1_000_000),
+                benchmarks::sum_per_key(),
+                15,
+            )
             .unwrap();
         // 15 bundles at 5 per watermark => 3 senders watermarks + final flush.
         assert!(report.samples.len() >= 3);

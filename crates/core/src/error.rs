@@ -10,6 +10,10 @@ pub enum EngineError {
     Alloc(AllocError),
     /// The pipeline or run configuration is invalid.
     Config(String),
+    /// An engine invariant was broken (a bug, not a runtime condition);
+    /// reported instead of panicking so a pipeline failure cannot take the
+    /// process down.
+    Internal(&'static str),
 }
 
 impl fmt::Display for EngineError {
@@ -17,6 +21,7 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Alloc(e) => write!(f, "allocation failed: {e}"),
             EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Internal(msg) => write!(f, "engine invariant broken: {msg}"),
         }
     }
 }
@@ -25,7 +30,7 @@ impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EngineError::Alloc(e) => Some(e),
-            EngineError::Config(_) => None,
+            EngineError::Config(_) | EngineError::Internal(_) => None,
         }
     }
 }
@@ -43,11 +48,23 @@ mod tests {
 
     #[test]
     fn alloc_errors_convert_and_chain() {
-        let a = AllocError { kind: MemKind::Hbm, requested_bytes: 1, available_bytes: 0 };
+        let a = AllocError {
+            kind: MemKind::Hbm,
+            requested_bytes: 1,
+            available_bytes: 0,
+        };
         let e: EngineError = a.clone().into();
         assert_eq!(e, EngineError::Alloc(a));
         assert!(e.source().is_some());
         assert!(e.to_string().contains("allocation failed"));
+    }
+
+    #[test]
+    fn internal_error_displays_message() {
+        let e = EngineError::Internal("task missing");
+        assert!(e.to_string().contains("invariant"));
+        assert!(e.to_string().contains("task missing"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -76,12 +76,13 @@ impl RunReport {
     /// cross-validate the engine's round-based accounting.
     ///
     /// Returns `None` if the run was not recorded
-    /// (`RunConfig::record_trace`).
+    /// (`RunConfig::record_trace`) or the recorded graph is malformed
+    /// (impossible for engine-produced traces).
     pub fn replay(&self, model: CostModel, cores: u32) -> Option<SimReport> {
         if self.trace.is_empty() {
             return None;
         }
-        Some(FluidSim::new(model, cores).run(&self.trace))
+        FluidSim::new(model, cores).run(&self.trace).ok()
     }
 }
 

@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn mode_display_matches_figure9_legend() {
         assert_eq!(EngineMode::Hybrid.to_string(), "StreamBox-HBM");
-        assert_eq!(EngineMode::CachingNoKpa.to_string(), "StreamBox-HBM Caching NoKPA");
+        assert_eq!(
+            EngineMode::CachingNoKpa.to_string(),
+            "StreamBox-HBM Caching NoKPA"
+        );
         assert_eq!(EngineMode::ALL.len(), 4);
     }
 }

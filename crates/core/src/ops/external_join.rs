@@ -1,5 +1,6 @@
 use sbx_simmem::{AccessProfile, MemKind};
 
+use crate::ops::single;
 use crate::{EngineError, Message, OpCtx, Operator, StatelessOperator, StreamData};
 
 /// Joins the stream against a small external key-value table kept in HBM,
@@ -17,7 +18,10 @@ pub struct ExternalJoin {
 impl ExternalJoin {
     /// An external join with lookup function `table`.
     pub fn new(table: impl Fn(u64) -> u64 + Send + Sync + 'static) -> Self {
-        ExternalJoin { table: Box::new(table) }
+        ExternalJoin {
+            // sbx-lint: allow(raw-alloc, one-time operator construction, not per-bundle work)
+            table: Box::new(table),
+        }
     }
 }
 
@@ -46,26 +50,20 @@ impl StatelessOperator for ExternalJoin {
         "ExternalJoin"
     }
 
-    fn apply(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { port, data } => {
                 let data = match data {
                     StreamData::Kpa(mut kpa) => {
                         // One random HBM access per key into the lookup table.
-                        ctx.exec().charge(
-                            &AccessProfile::new().rand(MemKind::Hbm, kpa.len() as f64),
-                        );
+                        ctx.exec()
+                            .charge(&AccessProfile::new().rand(MemKind::Hbm, kpa.len() as f64));
                         ctx.charged(16, |e| kpa.update_keys(e, &self.table));
                         StreamData::Kpa(kpa)
                     }
                     StreamData::Windowed(w, mut kpa) => {
-                        ctx.exec().charge(
-                            &AccessProfile::new().rand(MemKind::Hbm, kpa.len() as f64),
-                        );
+                        ctx.exec()
+                            .charge(&AccessProfile::new().rand(MemKind::Hbm, kpa.len() as f64));
                         ctx.charged(16, |e| kpa.update_keys(e, &self.table));
                         StreamData::Windowed(w, kpa)
                     }
@@ -76,9 +74,9 @@ impl StatelessOperator for ExternalJoin {
                         )));
                     }
                 };
-                Ok(vec![Message::Data { port, data }])
+                Ok(single(Message::Data { port, data }))
             }
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
@@ -103,7 +101,10 @@ mod tests {
             .on_message(&mut ctx, Message::data(StreamData::Kpa(kpa)))
             .unwrap();
         match &out[0] {
-            Message::Data { data: StreamData::Kpa(kpa), .. } => {
+            Message::Data {
+                data: StreamData::Kpa(kpa),
+                ..
+            } => {
                 assert_eq!(kpa.keys(), &[0, 1, 2]);
             }
             other => panic!("unexpected {other:?}"),

@@ -1,5 +1,6 @@
 use sbx_records::Col;
 
+use crate::ops::single;
 use crate::{EngineError, Message, OpCtx, Operator, StatelessOperator, StreamData};
 
 /// A stateless `ParDo` that keeps records whose `col` value satisfies a
@@ -13,7 +14,11 @@ pub struct Filter {
 impl Filter {
     /// Keeps records where `pred(record[col])` holds.
     pub fn new(col: Col, pred: impl Fn(u64) -> bool + Send + Sync + 'static) -> Self {
-        Filter { col, pred: Box::new(pred) }
+        Filter {
+            col,
+            // sbx-lint: allow(raw-alloc, one-time operator construction, not per-bundle work)
+            pred: Box::new(pred),
+        }
     }
 }
 
@@ -42,11 +47,7 @@ impl StatelessOperator for Filter {
         "Filter"
     }
 
-    fn apply(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { port, data } => {
                 let out = match data {
@@ -58,8 +59,7 @@ impl StatelessOperator for Filter {
                             ctx.charged(16, |e| kpa.key_swap(e, self.col));
                         }
                         let (_, prio) = ctx.place();
-                        let selected =
-                            ctx.charged(16, |e| kpa.select(e, prio, &self.pred))?;
+                        let selected = ctx.charged(16, |e| kpa.select(e, prio, &self.pred))?;
                         StreamData::Kpa(selected)
                     }
                     StreamData::Windowed(w, kpa) => {
@@ -68,14 +68,13 @@ impl StatelessOperator for Filter {
                         if kpa.resident() != self.col {
                             ctx.charged(16, |e| kpa.key_swap(e, self.col));
                         }
-                        let selected =
-                            ctx.charged(16, |e| kpa.select(e, prio, &self.pred))?;
+                        let selected = ctx.charged(16, |e| kpa.select(e, prio, &self.pred))?;
                         StreamData::Windowed(w, selected)
                     }
                 };
-                Ok(vec![Message::Data { port, data: out }])
+                Ok(single(Message::Data { port, data: out }))
             }
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
@@ -88,7 +87,10 @@ mod tests {
     use sbx_simmem::{MachineConfig, MemEnv};
 
     fn setup() -> (MemEnv, DemandBalancer) {
-        (MemEnv::new(MachineConfig::knl().scaled(0.01)), DemandBalancer::new())
+        (
+            MemEnv::new(MachineConfig::knl().scaled(0.01)),
+            DemandBalancer::new(),
+        )
     }
 
     #[test]
@@ -103,7 +105,10 @@ mod tests {
             .unwrap();
         assert_eq!(out.len(), 1);
         match &out[0] {
-            Message::Data { data: StreamData::Kpa(kpa), port: 0 } => {
+            Message::Data {
+                data: StreamData::Kpa(kpa),
+                port: 0,
+            } => {
                 assert_eq!(kpa.keys(), &[0, 1, 2]);
             }
             other => panic!("unexpected {other:?}"),
@@ -123,7 +128,10 @@ mod tests {
             .on_message(&mut ctx, Message::data(StreamData::Kpa(kpa)))
             .unwrap();
         match &out[0] {
-            Message::Data { data: StreamData::Kpa(kpa), .. } => {
+            Message::Data {
+                data: StreamData::Kpa(kpa),
+                ..
+            } => {
                 assert_eq!(kpa.keys(), &[104, 105]);
                 assert_eq!(kpa.resident(), Col(1));
             }
@@ -149,7 +157,13 @@ mod tests {
         let b = RecordBundle::from_rows(&env, Schema::kvt(), &[1, 2, 3]).unwrap();
         let mut op = Filter::new(Col(0), |_| true);
         let out = op
-            .on_message(&mut ctx, Message::Data { port: 1, data: StreamData::Bundle(b) })
+            .on_message(
+                &mut ctx,
+                Message::Data {
+                    port: 1,
+                    data: StreamData::Bundle(b),
+                },
+            )
             .unwrap();
         assert!(matches!(out[0], Message::Data { port: 1, .. }));
     }

@@ -52,7 +52,15 @@ pub(crate) fn closable<V>(
         .keys()
         .copied()
         .take_while(|&w| wm.closes(spec.end(w)))
+        // sbx-lint: allow(raw-alloc, window-id list bounded by open windows)
         .collect()
+}
+
+/// A single-message output batch — the common result shape of the
+/// stateless operators' `apply`.
+pub(crate) fn single(msg: crate::Message) -> Vec<crate::Message> {
+    // sbx-lint: allow(raw-alloc, one-element routing vector; record data stays in pools)
+    vec![msg]
 }
 
 /// The window-start timestamp used in output records.

@@ -8,6 +8,7 @@ use sbx_kpa::Kpa;
 use sbx_records::{Col, RecordBundle, Schema};
 use sbx_simmem::AccessProfile;
 
+use crate::ops::single;
 use crate::{EngineError, Message, OpCtx, Operator, StatelessOperator, StreamData};
 
 /// Deterministic sampling ParDo: keeps a fixed fraction of records, chosen
@@ -23,7 +24,10 @@ impl Sample {
     /// hashing column `col`.
     pub fn new(col: Col, fraction: f64) -> Self {
         let f = fraction.clamp(0.0, 1.0);
-        Sample { col, keep_per_1024: (f * 1024.0).round() as u64 }
+        Sample {
+            col,
+            keep_per_1024: (f * 1024.0).round() as u64,
+        }
     }
 
     fn keeps(&self, value: u64) -> bool {
@@ -59,17 +63,13 @@ impl StatelessOperator for Sample {
         "Sample"
     }
 
-    fn apply(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { port, data } => {
                 let out = match data {
-                    StreamData::Bundle(b) => StreamData::Kpa(
-                        ctx.extract_select(&b, self.col, |v| self.keeps(v))?,
-                    ),
+                    StreamData::Bundle(b) => {
+                        StreamData::Kpa(ctx.extract_select(&b, self.col, |v| self.keeps(v))?)
+                    }
                     StreamData::Kpa(mut kpa) => {
                         if kpa.resident() != self.col {
                             ctx.charged(16, |e| kpa.key_swap(e, self.col));
@@ -90,12 +90,16 @@ impl StatelessOperator for Sample {
                         )
                     }
                 };
-                Ok(vec![Message::Data { port, data: out }])
+                Ok(single(Message::Data { port, data: out }))
             }
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
+
+/// The boxed row-mapping function a [`MapRecords`] operator applies: input
+/// row in, zero or more output rows appended to the `Vec`.
+type RowMapFn = Box<dyn Fn(&[u64], &mut Vec<u64>) + Send + Sync>;
 
 /// A producing ParDo (`FlatMap`/`Map`): applies a function to every record
 /// and emits 0..n new records per input to a fresh DRAM bundle
@@ -107,7 +111,7 @@ impl StatelessOperator for Sample {
 /// grouping operators receive a ready KPA.
 pub struct MapRecords {
     out_schema: Arc<Schema>,
-    f: Box<dyn Fn(&[u64], &mut Vec<u64>) + Send + Sync>,
+    f: RowMapFn,
 }
 
 impl MapRecords {
@@ -118,13 +122,19 @@ impl MapRecords {
         out_schema: Arc<Schema>,
         f: impl Fn(&[u64], &mut Vec<u64>) + Send + Sync + 'static,
     ) -> Self {
-        MapRecords { out_schema, f: Box::new(f) }
+        MapRecords {
+            out_schema,
+            // sbx-lint: allow(raw-alloc, one-time operator construction, not per-bundle work)
+            f: Box::new(f),
+        }
     }
 }
 
 impl std::fmt::Debug for MapRecords {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MapRecords").field("out_cols", &self.out_schema.ncols()).finish()
+        f.debug_struct("MapRecords")
+            .field("out_cols", &self.out_schema.ncols())
+            .finish()
     }
 }
 
@@ -147,11 +157,7 @@ impl StatelessOperator for MapRecords {
         "MapRecords"
     }
 
-    fn apply(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { port, data } => {
                 let mut rows: Vec<u64> = Vec::new();
@@ -167,7 +173,11 @@ impl StatelessOperator for MapRecords {
                     }
                     StreamData::Kpa(kpa) | StreamData::Windowed(_, kpa) => {
                         in_rows = kpa.len();
-                        in_bytes = if kpa.is_empty() { 16 } else { kpa.schema().record_bytes() };
+                        in_bytes = if kpa.is_empty() {
+                            16
+                        } else {
+                            kpa.schema().record_bytes()
+                        };
                         for i in 0..kpa.len() {
                             let (b, row) = kpa.deref(i);
                             (self.f)(b.row(row), &mut rows);
@@ -175,14 +185,17 @@ impl StatelessOperator for MapRecords {
                     }
                 }
                 assert!(
-                    rows.len() % self.out_schema.ncols() == 0,
+                    rows.len().is_multiple_of(self.out_schema.ncols()),
                     "map fn emitted a ragged row"
                 );
                 // Charge: stream the input, write the output bundle.
                 let out_bytes = rows.len() * 8;
                 ctx.exec().charge(
                     &AccessProfile::new()
-                        .seq(sbx_simmem::MemKind::Dram, (in_rows * in_bytes + out_bytes) as f64)
+                        .seq(
+                            sbx_simmem::MemKind::Dram,
+                            (in_rows * in_bytes + out_bytes) as f64,
+                        )
                         .cpu(in_rows as f64 * 8.0),
                 );
                 let env = ctx.env();
@@ -193,9 +206,12 @@ impl StatelessOperator for MapRecords {
                 let kpa = ctx.charged(self.out_schema.record_bytes(), |e| {
                     Kpa::extract_fused(e, &bundle, ts_col, kind, prio)
                 })?;
-                Ok(vec![Message::Data { port, data: StreamData::Kpa(kpa) }])
+                Ok(single(Message::Data {
+                    port,
+                    data: StreamData::Kpa(kpa),
+                }))
             }
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
@@ -207,7 +223,10 @@ mod tests {
     use sbx_simmem::{MachineConfig, MemEnv};
 
     fn ctx_env() -> (MemEnv, DemandBalancer) {
-        (MemEnv::new(MachineConfig::knl().scaled(0.01)), DemandBalancer::new())
+        (
+            MemEnv::new(MachineConfig::knl().scaled(0.01)),
+            DemandBalancer::new(),
+        )
     }
 
     #[test]
@@ -220,7 +239,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::data(StreamData::Bundle(Arc::clone(&b))))
             .unwrap();
-        let Message::Data { data: StreamData::Kpa(kpa), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Kpa(kpa),
+            ..
+        } = &out[0]
+        else {
             panic!("expected kpa");
         };
         let frac = kpa.len() as f64 / 10_000.0;
@@ -229,7 +252,11 @@ mod tests {
         let out2 = op
             .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
             .unwrap();
-        let Message::Data { data: StreamData::Kpa(kpa2), .. } = &out2[0] else {
+        let Message::Data {
+            data: StreamData::Kpa(kpa2),
+            ..
+        } = &out2[0]
+        else {
             panic!("expected kpa");
         };
         assert_eq!(kpa.keys(), kpa2.keys());
@@ -246,7 +273,9 @@ mod tests {
             let out = op
                 .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
                 .unwrap();
-            let Message::Data { data, .. } = &out[0] else { panic!() };
+            let Message::Data { data, .. } = &out[0] else {
+                panic!()
+            };
             assert_eq!(data.len(), expect, "fraction {frac}");
         }
     }
@@ -255,8 +284,7 @@ mod tests {
     fn map_records_emits_transformed_rows() {
         let (env, mut bal) = ctx_env();
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
-        let b =
-            RecordBundle::from_rows(&env, Schema::kvt(), &[1, 10, 5, 2, 20, 6]).unwrap();
+        let b = RecordBundle::from_rows(&env, Schema::kvt(), &[1, 10, 5, 2, 20, 6]).unwrap();
         // FlatMap: emit one row per input, doubling the value; drop key 2.
         let mut op = MapRecords::new(Schema::kvt(), |row, out| {
             if row[0] != 2 {
@@ -266,7 +294,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::data(StreamData::Bundle(b)))
             .unwrap();
-        let Message::Data { data: StreamData::Kpa(kpa), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Kpa(kpa),
+            ..
+        } = &out[0]
+        else {
             panic!("expected kpa");
         };
         assert_eq!(kpa.len(), 1);

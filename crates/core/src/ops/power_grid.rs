@@ -72,14 +72,17 @@ impl Operator for PowerGrid {
         msg: Message,
     ) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { data: StreamData::Windowed(w, mut kpa), .. } => {
+            Message::Data {
+                data: StreamData::Windowed(w, mut kpa),
+                ..
+            } => {
                 if self.late.is_late(&self.spec, w, kpa.len()) {
                     return Ok(Vec::new());
                 }
                 // Compose the per-plug grouping key from (house, plug).
                 let (hc, pc) = (self.house_col, self.plug_col);
                 ctx.charged(16, |e| {
-                    kpa.key_compose(e, &[hc, pc], |v| v[0] * HOUSE_FACTOR + v[1])
+                    kpa.key_compose(e, &[hc, pc], |v| v[0] * HOUSE_FACTOR + v[1]);
                 });
                 ctx.sort(&mut kpa)?;
                 // Accumulate the window's global load total as we go.
@@ -104,10 +107,17 @@ impl Operator for PowerGrid {
                 ctx.tag = ImpactTag::Urgent;
                 let mut out = Vec::new();
                 for w in closable(&self.state, &self.spec, wm) {
-                    let kpas = self.state.remove(&w).expect("window exists");
+                    // `closable` returned keys of this map, so the entry
+                    // is present; skip defensively rather than panic.
+                    let Some(kpas) = self.state.remove(&w) else {
+                        continue;
+                    };
                     let (sum, count) = self.totals.remove(&w).unwrap_or((0, 0));
-                    let global_avg =
-                        if count == 0 { 0 } else { (sum / count as u128) as u64 };
+                    let global_avg = if count == 0 {
+                        0
+                    } else {
+                        (sum / count as u128) as u64
+                    };
                     let merged = ctx.merge_many(kpas)?;
                     // Per-plug average, then per-house count of plugs above
                     // the global average.
@@ -131,11 +141,7 @@ impl Operator for PowerGrid {
                         }
                     }
                     let env = ctx.env();
-                    let b = RecordBundle::from_rows(
-                        &env,
-                        Arc::clone(&self.out_schema),
-                        &rows,
-                    )?;
+                    let b = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
                     out.push(Message::data(StreamData::Bundle(b)));
                 }
                 out.push(Message::Watermark(wm));
@@ -185,7 +191,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected bundle");
         };
         assert_eq!(b.rows(), 1);
@@ -216,7 +226,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected bundle");
         };
         let houses: Vec<u64> = (0..b.rows()).map(|r| b.value(r, Col(0))).collect();

@@ -34,6 +34,7 @@ impl TemporalJoin {
             value_col,
             spec,
             state: BTreeMap::new(),
+            // sbx-lint: allow(raw-alloc, one-time schema construction)
             out_schema: Schema::new(vec!["key", "l_value", "r_value", "ts"], Col(3)),
             pending: BTreeMap::new(),
             late: LateGuard::default(),
@@ -62,7 +63,8 @@ impl TemporalJoin {
         let start = window_start(&self.spec, w).raw();
         let value_col = self.value_col;
         let rows = self.pending.entry(w).or_default();
-        if let Some(other) = &self.state.entry(w).or_default()[1 - side] {
+        let entry = self.state.entry(w).or_default();
+        if let Some(other) = &entry[1 - side] {
             ctx.charged(16, |e| {
                 join_sorted(e, &kpa, other, 32, |newcomer, ni, opposite, oi| {
                     let key = newcomer.keys()[ni];
@@ -70,14 +72,18 @@ impl TemporalJoin {
                     let opp_v = opposite.value_at(oi, value_col);
                     // Keep (left, right) orientation stable regardless of
                     // which side the newcomer arrived on.
-                    let (lv, rv) = if side == 0 { (new_v, opp_v) } else { (opp_v, new_v) };
+                    let (lv, rv) = if side == 0 {
+                        (new_v, opp_v)
+                    } else {
+                        (opp_v, new_v)
+                    };
                     rows.extend_from_slice(&[key, lv, rv, start]);
                 })
             });
         }
 
         // (2) Merge the newcomer into its own side's state.
-        let slot = &mut self.state.get_mut(&w).expect("state entry exists")[side];
+        let slot = &mut entry[side];
         let merged = match slot.take() {
             None => kpa,
             Some(existing) => {
@@ -110,7 +116,10 @@ impl Operator for TemporalJoin {
         msg: Message,
     ) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { port, data: StreamData::Windowed(w, kpa) } => {
+            Message::Data {
+                port,
+                data: StreamData::Windowed(w, kpa),
+            } => {
                 if self.late.is_late(&self.spec, w, kpa.len()) {
                     return Ok(Vec::new());
                 }
@@ -129,11 +138,7 @@ impl Operator for TemporalJoin {
                     self.state.remove(&w);
                     let rows = self.pending.remove(&w).unwrap_or_default();
                     let env = ctx.env();
-                    let b = RecordBundle::from_rows(
-                        &env,
-                        Arc::clone(&self.out_schema),
-                        &rows,
-                    )?;
+                    let b = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
                     out.push(Message::data(StreamData::Bundle(b)));
                 }
                 out.push(Message::Watermark(wm));
@@ -167,11 +172,16 @@ mod tests {
 
         for (port, batches) in [(0u8, &left), (1u8, &right)] {
             for batch in batches {
-                let flat: Vec<u64> =
-                    batch.iter().flat_map(|&(k, v, t)| [k, v, t]).collect();
+                let flat: Vec<u64> = batch.iter().flat_map(|&(k, v, t)| [k, v, t]).collect();
                 let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
                 for m in window
-                    .on_message(&mut ctx, Message::Data { port, data: StreamData::Bundle(b) })
+                    .on_message(
+                        &mut ctx,
+                        Message::Data {
+                            port,
+                            data: StreamData::Bundle(b),
+                        },
+                    )
                     .unwrap()
                 {
                     join.on_message(&mut ctx, m).unwrap();
@@ -183,7 +193,11 @@ mod tests {
             .unwrap();
         let mut rows = HashSet::new();
         for m in closed {
-            if let Message::Data { data: StreamData::Bundle(b), .. } = m {
+            if let Message::Data {
+                data: StreamData::Bundle(b),
+                ..
+            } = m
+            {
                 for r in 0..b.rows() {
                     rows.insert((
                         b.value(r, Col(0)),
@@ -222,12 +236,7 @@ mod tests {
         // 2 left x 2 right = 4 distinct pairs.
         assert_eq!(
             rows,
-            HashSet::from([
-                (7, 1, 10, 0),
-                (7, 1, 20, 0),
-                (7, 2, 10, 0),
-                (7, 2, 20, 0)
-            ])
+            HashSet::from([(7, 1, 10, 0), (7, 1, 20, 0), (7, 2, 10, 0), (7, 2, 20, 0)])
         );
     }
 
@@ -240,12 +249,16 @@ mod tests {
 
     #[test]
     fn matches_nested_loop_oracle_on_random_input() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(99);
-        let mk = |rng: &mut StdRng| -> Vec<(u64, u64, u64)> {
+        use sbx_prng::SbxRng;
+        let mut rng = SbxRng::seed_from_u64(99);
+        let mk = |rng: &mut SbxRng| -> Vec<(u64, u64, u64)> {
             (0..60)
                 .map(|_| {
-                    (rng.random_range(0..8), rng.random_range(0..1000), rng.random_range(0..30))
+                    (
+                        rng.random_range(0..8),
+                        rng.random_range(0..1000),
+                        rng.random_range(0..30),
+                    )
                 })
                 .collect()
         };
@@ -256,9 +269,7 @@ mod tests {
         let mut expect = HashSet::new();
         for &(lk, lv, lt) in &l {
             for &(rk, rv, rt) in &r {
-                if lk == rk
-                    && spec.window_of(lt.into()) == spec.window_of(rt.into())
-                {
+                if lk == rk && spec.window_of(lt.into()) == spec.window_of(rt.into()) {
                     expect.insert((lk, lv, rv, spec.start(spec.window_of(lt.into())).raw()));
                 }
             }

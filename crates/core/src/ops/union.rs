@@ -1,3 +1,4 @@
+use crate::ops::single;
 use crate::{EngineError, Message, OpCtx, Operator, StatelessOperator};
 
 /// Union (Table 1): merges the two input streams into one, re-tagging all
@@ -32,14 +33,10 @@ impl StatelessOperator for Union {
         "Union"
     }
 
-    fn apply(
-        &self,
-        _ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, _ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { data, .. } => Ok(vec![Message::Data { port: 0, data }]),
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            Message::Data { data, .. } => Ok(single(Message::Data { port: 0, data })),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
@@ -60,7 +57,13 @@ mod tests {
         for port in [0u8, 1] {
             let b = RecordBundle::from_rows(&env, Schema::kvt(), &[1, 2, 3]).unwrap();
             let out = op
-                .on_message(&mut ctx, Message::Data { port, data: StreamData::Bundle(b) })
+                .on_message(
+                    &mut ctx,
+                    Message::Data {
+                        port,
+                        data: StreamData::Bundle(b),
+                    },
+                )
                 .unwrap();
             assert!(matches!(out[0], Message::Data { port: 0, .. }));
         }

@@ -1,5 +1,6 @@
 use sbx_records::{WindowId, WindowSpec};
 
+use crate::ops::single;
 use crate::{EngineError, Message, OpCtx, Operator, StatelessOperator, StreamData};
 
 /// Assigns records to temporal windows by partitioning KPAs on the
@@ -47,11 +48,7 @@ impl StatelessOperator for WindowInto {
         "Window"
     }
 
-    fn apply(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        msg: Message,
-    ) -> Result<Vec<Message>, EngineError> {
+    fn apply(&self, ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { port, data } => {
                 let mut kpa = match data {
@@ -68,9 +65,12 @@ impl StatelessOperator for WindowInto {
                 }
                 let stride = self.spec.stride();
                 let (_, prio) = ctx.place();
-                let panes =
-                    ctx.charged(16, |e| kpa.partition_by(e, prio, |ts| ts / stride))?;
-                let overlap = if self.panes { 1 } else { self.spec.size() / stride };
+                let panes = ctx.charged(16, |e| kpa.partition_by(e, prio, |ts| ts / stride))?;
+                let overlap = if self.panes {
+                    1
+                } else {
+                    self.spec.size() / stride
+                };
                 let mut out = Vec::new();
                 for (pane, pkpa) in panes {
                     if overlap == 1 {
@@ -93,7 +93,7 @@ impl StatelessOperator for WindowInto {
                 }
                 Ok(out)
             }
-            wm @ Message::Watermark(_) => Ok(vec![wm]),
+            wm @ Message::Watermark(_) => Ok(single(wm)),
         }
     }
 }
@@ -108,9 +108,10 @@ mod tests {
     fn windows_of(out: &[Message]) -> Vec<(u64, Vec<u64>)> {
         out.iter()
             .map(|m| match m {
-                Message::Data { data: StreamData::Windowed(w, kpa), .. } => {
-                    (w.0, kpa.keys().to_vec())
-                }
+                Message::Data {
+                    data: StreamData::Windowed(w, kpa),
+                    ..
+                } => (w.0, kpa.keys().to_vec()),
                 other => panic!("unexpected {other:?}"),
             })
             .collect()
@@ -121,8 +122,7 @@ mod tests {
         let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
         let mut bal = DemandBalancer::new();
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
-        let flat: Vec<u64> =
-            [5u64, 15, 7, 25].iter().flat_map(|&t| [1, 2, t]).collect();
+        let flat: Vec<u64> = [5u64, 15, 7, 25].iter().flat_map(|&t| [1, 2, t]).collect();
         let b = RecordBundle::from_rows(&env, Schema::kvt(), &flat).unwrap();
         let mut op = WindowInto::new(WindowSpec::fixed(10));
         let out = op

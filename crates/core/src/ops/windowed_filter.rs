@@ -58,7 +58,10 @@ impl Operator for WindowedFilter {
         msg: Message,
     ) -> Result<Vec<Message>, EngineError> {
         match msg {
-            Message::Data { port, data: StreamData::Windowed(w, mut kpa) } => {
+            Message::Data {
+                port,
+                data: StreamData::Windowed(w, mut kpa),
+            } => {
                 if self.late.is_late(&self.spec, w, kpa.len()) {
                     return Ok(Vec::new());
                 }
@@ -98,11 +101,14 @@ impl Operator for WindowedFilter {
                 for w in windows {
                     let kpas = self.data_state.remove(&w).unwrap_or_default();
                     let (sum, count) = self.control_state.remove(&w).unwrap_or((0, 0));
-                    let avg = if count == 0 { 0 } else { (sum / count as u128) as u64 };
+                    let avg = if count == 0 {
+                        0
+                    } else {
+                        (sum / count as u128) as u64
+                    };
                     for kpa in kpas {
                         let (_, prio) = ctx.place();
-                        let kept =
-                            ctx.charged(16, |e| kpa.select(e, prio, |v| v > avg))?;
+                        let kept = ctx.charged(16, |e| kpa.select(e, prio, |v| v > avg))?;
                         if kept.is_empty() {
                             continue;
                         }
@@ -141,7 +147,13 @@ mod tests {
             .collect();
         let cb = RecordBundle::from_rows(&env, Schema::kvt(), &control).unwrap();
         for m in window
-            .on_message(&mut ctx, Message::Data { port: 1, data: StreamData::Bundle(cb) })
+            .on_message(
+                &mut ctx,
+                Message::Data {
+                    port: 1,
+                    data: StreamData::Bundle(cb),
+                },
+            )
             .unwrap()
         {
             op.on_message(&mut ctx, m).unwrap();
@@ -154,7 +166,13 @@ mod tests {
             .collect();
         let db = RecordBundle::from_rows(&env, Schema::kvt(), &data).unwrap();
         for m in window
-            .on_message(&mut ctx, Message::Data { port: 0, data: StreamData::Bundle(db) })
+            .on_message(
+                &mut ctx,
+                Message::Data {
+                    port: 0,
+                    data: StreamData::Bundle(db),
+                },
+            )
             .unwrap()
         {
             op.on_message(&mut ctx, m).unwrap();
@@ -163,7 +181,11 @@ mod tests {
         let out = op
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected survivors bundle");
         };
         let keys: Vec<u64> = (0..b.rows()).map(|r| b.value(r, Col(0))).collect();
@@ -179,10 +201,19 @@ mod tests {
         let mut window = WindowInto::new(spec);
         let mut op = WindowedFilter::new(spec, Col(1));
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
-        let data: Vec<u64> = [(1u64, 0u64), (2, 5)].iter().flat_map(|&(k, v)| [k, v, 0]).collect();
+        let data: Vec<u64> = [(1u64, 0u64), (2, 5)]
+            .iter()
+            .flat_map(|&(k, v)| [k, v, 0])
+            .collect();
         let db = RecordBundle::from_rows(&env, Schema::kvt(), &data).unwrap();
         for m in window
-            .on_message(&mut ctx, Message::Data { port: 0, data: StreamData::Bundle(db) })
+            .on_message(
+                &mut ctx,
+                Message::Data {
+                    port: 0,
+                    data: StreamData::Bundle(db),
+                },
+            )
             .unwrap()
         {
             op.on_message(&mut ctx, m).unwrap();
@@ -191,7 +222,11 @@ mod tests {
             .on_message(&mut ctx, Message::Watermark(Watermark::from(1000)))
             .unwrap();
         // avg = 0, keep values > 0: only key 2 survives.
-        let Message::Data { data: StreamData::Bundle(b), .. } = &out[0] else {
+        let Message::Data {
+            data: StreamData::Bundle(b),
+            ..
+        } = &out[0]
+        else {
             panic!("expected bundle");
         };
         assert_eq!(b.rows(), 1);

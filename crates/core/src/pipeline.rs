@@ -3,8 +3,8 @@ use std::sync::Arc;
 use sbx_records::{Col, WindowSpec};
 
 use crate::ops::{
-    AggKind, AvgAll, Cogroup, ExternalJoin, Filter, KeyedAggregate, MapRecords, PowerGrid,
-    Sample, SideAgg, TemporalJoin, Union, WindowInto, WindowedFilter,
+    AggKind, AvgAll, Cogroup, ExternalJoin, Filter, KeyedAggregate, MapRecords, PowerGrid, Sample,
+    SideAgg, TemporalJoin, Union, WindowInto, WindowedFilter,
 };
 use crate::{Operator, StatelessOperator};
 
@@ -51,7 +51,7 @@ impl Pipeline {
 
     /// Operator names, source to sink.
     pub fn op_names(&self) -> Vec<&'static str> {
-        self.ops.iter().map(|o| o.name()).collect()
+        self.ops.iter().map(OpNode::name).collect()
     }
 
     /// Number of leading operators that are stateless (runnable in
@@ -71,9 +71,9 @@ impl Pipeline {
         self.ops
             .iter()
             .take_while(|o| matches!(o, OpNode::Stateless(_)))
-            .map(|o| match o {
-                OpNode::Stateless(op) => Arc::clone(op),
-                OpNode::Stateful(_) => unreachable!(),
+            .filter_map(|o| match o {
+                OpNode::Stateless(op) => Some(Arc::clone(op)),
+                OpNode::Stateful(_) => None,
             })
             .collect()
     }
@@ -98,38 +98,38 @@ pub struct PipelineBuilder {
 impl PipelineBuilder {
     /// Starts a pipeline whose windows follow `spec`.
     pub fn new(spec: WindowSpec) -> Self {
-        PipelineBuilder { spec, ops: Vec::new() }
+        PipelineBuilder {
+            spec,
+            ops: Vec::new(),
+        }
     }
 
     /// Appends a `Filter` ParDo on `col`.
-    pub fn filter(
-        mut self,
-        col: Col,
-        pred: impl Fn(u64) -> bool + Send + Sync + 'static,
-    ) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(Filter::new(col, pred))));
+    pub fn filter(mut self, col: Col, pred: impl Fn(u64) -> bool + Send + Sync + 'static) -> Self {
+        self.ops
+            .push(OpNode::Stateless(Arc::new(Filter::new(col, pred))));
         self
     }
 
     /// Appends an external key-value join rewriting resident keys.
-    pub fn external_join(
-        mut self,
-        table: impl Fn(u64) -> u64 + Send + Sync + 'static,
-    ) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(ExternalJoin::new(table))));
+    pub fn external_join(mut self, table: impl Fn(u64) -> u64 + Send + Sync + 'static) -> Self {
+        self.ops
+            .push(OpNode::Stateless(Arc::new(ExternalJoin::new(table))));
         self
     }
 
     /// Appends the windowing operator for this pipeline's spec.
     pub fn windowed(mut self) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(WindowInto::new(self.spec))));
+        self.ops
+            .push(OpNode::Stateless(Arc::new(WindowInto::new(self.spec))));
         self
     }
 
     /// Appends the pane-mode windowing operator: each slide-length pane is
     /// emitted once, for downstream pane-combining aggregation.
     pub fn windowed_panes(mut self) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(WindowInto::panes(self.spec))));
+        self.ops
+            .push(OpNode::Stateless(Arc::new(WindowInto::panes(self.spec))));
         self
     }
 
@@ -158,7 +158,8 @@ impl PipelineBuilder {
 
     /// Appends a sampling ParDo keeping roughly `fraction` of records.
     pub fn sample(mut self, col: Col, fraction: f64) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(Sample::new(col, fraction))));
+        self.ops
+            .push(OpNode::Stateless(Arc::new(Sample::new(col, fraction))));
         self
     }
 
@@ -169,7 +170,8 @@ impl PipelineBuilder {
         out_schema: Arc<sbx_records::Schema>,
         f: impl Fn(&[u64], &mut Vec<u64>) + Send + Sync + 'static,
     ) -> Self {
-        self.ops.push(OpNode::Stateless(Arc::new(MapRecords::new(out_schema, f))));
+        self.ops
+            .push(OpNode::Stateless(Arc::new(MapRecords::new(out_schema, f))));
         self
     }
 
@@ -181,32 +183,40 @@ impl PipelineBuilder {
 
     /// Appends a two-stream cogroup on `key`, aggregating `value` per side.
     pub fn cogroup(mut self, key: Col, value: Col, agg: [SideAgg; 2]) -> Self {
-        self.ops.push(OpNode::Stateful(Box::new(Cogroup::new(self.spec, key, value, agg))));
+        self.ops.push(OpNode::Stateful(Box::new(Cogroup::new(
+            self.spec, key, value, agg,
+        ))));
         self
     }
 
     /// Appends an unkeyed windowed average.
     pub fn avg_all(mut self, value: Col) -> Self {
-        self.ops.push(OpNode::Stateful(Box::new(AvgAll::new(self.spec, value))));
+        self.ops
+            .push(OpNode::Stateful(Box::new(AvgAll::new(self.spec, value))));
         self
     }
 
     /// Appends a two-stream temporal join on `key`.
     pub fn temporal_join(mut self, key: Col, value: Col) -> Self {
-        self.ops.push(OpNode::Stateful(Box::new(TemporalJoin::new(self.spec, key, value))));
+        self.ops.push(OpNode::Stateful(Box::new(TemporalJoin::new(
+            self.spec, key, value,
+        ))));
         self
     }
 
     /// Appends a two-stream windowed filter on `value`.
     pub fn windowed_filter(mut self, value: Col) -> Self {
-        self.ops.push(OpNode::Stateful(Box::new(WindowedFilter::new(self.spec, value))));
+        self.ops.push(OpNode::Stateful(Box::new(WindowedFilter::new(
+            self.spec, value,
+        ))));
         self
     }
 
     /// Appends the Power Grid composite operator.
     pub fn power_grid(mut self, house: Col, plug: Col, load: Col) -> Self {
-        self.ops
-            .push(OpNode::Stateful(Box::new(PowerGrid::new(self.spec, house, plug, load))));
+        self.ops.push(OpNode::Stateful(Box::new(PowerGrid::new(
+            self.spec, house, plug, load,
+        ))));
         self
     }
 
@@ -229,7 +239,10 @@ impl PipelineBuilder {
     /// Panics if no operators were added.
     pub fn build(self) -> Pipeline {
         assert!(!self.ops.is_empty(), "pipeline needs at least one operator");
-        Pipeline { spec: self.spec, ops: self.ops }
+        Pipeline {
+            spec: self.spec,
+            ops: self.ops,
+        }
     }
 }
 
@@ -290,7 +303,10 @@ pub mod benchmarks {
 
     /// Benchmark 5: Windowed Average All.
     pub fn avg_all() -> Pipeline {
-        PipelineBuilder::new(spec()).windowed().avg_all(Col(1)).build()
+        PipelineBuilder::new(spec())
+            .windowed()
+            .avg_all(Col(1))
+            .build()
     }
 
     /// Benchmark 6: Unique Count Per Key.
@@ -303,12 +319,18 @@ pub mod benchmarks {
 
     /// Benchmark 7: Temporal Join of two streams.
     pub fn temporal_join() -> Pipeline {
-        PipelineBuilder::new(spec()).windowed().temporal_join(Col(0), Col(1)).build()
+        PipelineBuilder::new(spec())
+            .windowed()
+            .temporal_join(Col(0), Col(1))
+            .build()
     }
 
     /// Benchmark 8: Windowed Filter of one stream by the other's average.
     pub fn windowed_filter() -> Pipeline {
-        PipelineBuilder::new(spec()).windowed().windowed_filter(Col(1)).build()
+        PipelineBuilder::new(spec())
+            .windowed()
+            .windowed_filter(Col(1))
+            .build()
     }
 
     /// Benchmark 9: Power Grid (house, plug, load, ts records).
@@ -328,9 +350,7 @@ pub mod benchmarks {
         PipelineBuilder::new(spec())
             .filter(Col(3), |ad_type| ad_type < 2)
             .windowed()
-            .keyed_aggregate_mapped(Col(2), Col(0), AggKind::Count, move |ad| {
-                ad % num_campaigns
-            })
+            .keyed_aggregate_mapped(Col(2), Col(0), AggKind::Count, move |ad| ad % num_campaigns)
             .build()
     }
 }

@@ -8,7 +8,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use sbx_simmem::sync::Mutex;
 
 use crate::ImpactTag;
 
@@ -36,7 +36,10 @@ impl<T> TaskBatch<T> {
         order.sort_by_key(|&i| (tags[i], i));
         TaskBatch {
             order,
-            items: tasks.into_iter().map(|(t, _)| Mutex::new(Some(t))).collect(),
+            items: tasks
+                .into_iter()
+                .map(|(t, _)| Mutex::new(Some(t)))
+                .collect(),
             cursor: AtomicUsize::new(0),
         }
     }
@@ -52,7 +55,9 @@ impl<T> TaskBatch<T> {
     pub(crate) fn claim(&self) -> Option<(usize, T)> {
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
         let &idx = self.order.get(slot)?;
-        let task = self.items[idx].lock().take().expect("task claimed twice");
+        // Each fetch_add slot is claimed exactly once, so the payload is
+        // always present; `?` keeps the path panic-free regardless.
+        let task = self.items[idx].lock().take()?;
         Some((idx, task))
     }
 }
@@ -104,9 +109,9 @@ mod tests {
         );
         assert_eq!(batch.len(), n);
         let claimed = Mutex::new(vec![false; n]);
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|_| {
+                s.spawn(|| {
                     while let Some((idx, payload)) = batch.claim() {
                         assert_eq!(idx, payload);
                         let mut seen = claimed.lock();
@@ -115,8 +120,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .expect("scope");
+        });
         assert!(claimed.lock().iter().all(|&c| c));
     }
 

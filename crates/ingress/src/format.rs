@@ -73,8 +73,9 @@ impl IngestFormat {
         match self {
             IngestFormat::Raw => rows.to_vec(),
             IngestFormat::Json => {
-                let names: Vec<&str> =
-                    (0..ncols).map(|i| schema.name(sbx_records::Col(i))).collect();
+                let names: Vec<&str> = (0..ncols)
+                    .map(|i| schema.name(sbx_records::Col(i)))
+                    .collect();
                 let mut out = Vec::with_capacity(rows.len());
                 for rec in rows.chunks(ncols) {
                     let encoded = json::encode(rec, &names);
@@ -110,8 +111,12 @@ mod tests {
     fn all_formats_round_trip_live_rows() {
         let schema = Schema::ysb();
         let rows: Vec<u64> = (0..7 * 20).map(|i| i * 31 % 1_000_003).collect();
-        for f in [IngestFormat::Raw, IngestFormat::Json, IngestFormat::Proto, IngestFormat::Text]
-        {
+        for f in [
+            IngestFormat::Raw,
+            IngestFormat::Json,
+            IngestFormat::Proto,
+            IngestFormat::Text,
+        ] {
             assert_eq!(f.round_trip(&schema, &rows), rows, "{f:?}");
         }
     }
@@ -120,12 +125,10 @@ mod tests {
     fn decode_costs_order_like_figure_11() {
         assert_eq!(IngestFormat::Raw.cycles_per_record(), 0.0);
         assert!(
-            IngestFormat::Json.cycles_per_record()
-                > 5.0 * IngestFormat::Proto.cycles_per_record()
+            IngestFormat::Json.cycles_per_record() > 5.0 * IngestFormat::Proto.cycles_per_record()
         );
         assert!(
-            IngestFormat::Proto.cycles_per_record()
-                > 2.0 * IngestFormat::Text.cycles_per_record()
+            IngestFormat::Proto.cycles_per_record() > 2.0 * IngestFormat::Text.cycles_per_record()
         );
     }
 

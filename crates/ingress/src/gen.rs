@@ -1,7 +1,6 @@
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sbx_prng::SbxRng;
 
 use sbx_records::{EventTime, Schema};
 
@@ -39,7 +38,7 @@ fn ts_for(count: u64, event_rate: u64) -> u64 {
 #[derive(Debug)]
 pub struct KvSource {
     schema: Arc<Schema>,
-    rng: StdRng,
+    rng: SbxRng,
     key_cardinality: u64,
     key2_cardinality: Option<u64>,
     value_range: u64,
@@ -54,7 +53,7 @@ impl KvSource {
     pub fn new(seed: u64, key_cardinality: u64, event_rate: u64) -> Self {
         KvSource {
             schema: Schema::kvt(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SbxRng::seed_from_u64(seed),
             key_cardinality: key_cardinality.max(1),
             key2_cardinality: None,
             value_range: u64::MAX,
@@ -93,8 +92,11 @@ impl Source for KvSource {
     fn fill(&mut self, rows: usize, out: &mut Vec<u64>) {
         for _ in 0..rows {
             let front = ts_for(self.count, self.event_rate);
-            let jitter =
-                if self.jitter_ticks == 0 { 0 } else { self.rng.random_range(0..=self.jitter_ticks) };
+            let jitter = if self.jitter_ticks == 0 {
+                0
+            } else {
+                self.rng.random_range(0..=self.jitter_ticks)
+            };
             let ts = front.saturating_sub(jitter);
             out.push(self.rng.random_range(0..self.key_cardinality));
             if let Some(c2) = self.key2_cardinality {
@@ -118,7 +120,7 @@ impl Source for KvSource {
 #[derive(Debug)]
 pub struct YsbSource {
     schema: Arc<Schema>,
-    rng: StdRng,
+    rng: SbxRng,
     num_ads: u64,
     num_campaigns: u64,
     event_rate: u64,
@@ -136,7 +138,7 @@ impl YsbSource {
     pub fn new(seed: u64, num_ads: u64, num_campaigns: u64, event_rate: u64) -> Self {
         YsbSource {
             schema: Schema::ysb(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SbxRng::seed_from_u64(seed),
             num_ads: num_ads.max(1),
             num_campaigns: num_campaigns.max(1),
             event_rate: event_rate.max(1),
@@ -191,7 +193,7 @@ impl Source for YsbSource {
 #[derive(Debug)]
 pub struct PowerGridSource {
     schema: Arc<Schema>,
-    rng: StdRng,
+    rng: SbxRng,
     houses: u64,
     plugs_per_house: u64,
     event_rate: u64,
@@ -203,7 +205,7 @@ impl PowerGridSource {
     pub fn new(seed: u64, houses: u64, plugs_per_house: u64, event_rate: u64) -> Self {
         PowerGridSource {
             schema: Schema::new(vec!["house", "plug", "load", "ts"], sbx_records::Col(3)),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SbxRng::seed_from_u64(seed),
             houses: houses.max(1),
             plugs_per_house: plugs_per_house.max(1),
             event_rate: event_rate.max(1),
@@ -223,7 +225,12 @@ impl PowerGridSource {
 
     fn mean_load(house: u64, plug: u64) -> u64 {
         // Deterministic per-plug mean in [100, 1100).
-        (house.wrapping_mul(31).wrapping_add(plug).wrapping_mul(0x9E37_79B9) % 1000) + 100
+        (house
+            .wrapping_mul(31)
+            .wrapping_add(plug)
+            .wrapping_mul(0x9E37_79B9)
+            % 1000)
+            + 100
     }
 }
 
@@ -277,7 +284,14 @@ impl<S: Source> Partitioned<S> {
     pub fn new(inner: S, key_col: usize, instances: u64, id: u64) -> Self {
         assert!(instances > 0, "need at least one instance");
         assert!(id < instances, "instance id {id} out of range");
-        Partitioned { inner, key_col, instances, id, spare: Vec::new(), spare_pos: 0 }
+        Partitioned {
+            inner,
+            key_col,
+            instances,
+            id,
+            spare: Vec::new(),
+            spare_pos: 0,
+        }
     }
 
     fn owns(&self, key: u64) -> bool {

@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn parse_error_displays_context() {
-        let e = ParseError { reason: "expected digit", offset: 7 };
+        let e = ParseError {
+            reason: "expected digit",
+            offset: 7,
+        };
         assert!(e.to_string().contains("byte 7"));
         assert!(e.to_string().contains("expected digit"));
     }
@@ -54,7 +57,15 @@ mod tests {
     #[test]
     fn codecs_round_trip_consistently() {
         let record = [1u64, 22, 333, 4, 0, 1_700_000_000_000, u64::MAX];
-        let names = ["user_id", "page_id", "ad_id", "ad_type", "event_type", "event_time", "ip"];
+        let names = [
+            "user_id",
+            "page_id",
+            "ad_id",
+            "ad_type",
+            "event_type",
+            "event_time",
+            "ip",
+        ];
 
         let j = json::encode(&record, &names);
         let mut out = Vec::new();

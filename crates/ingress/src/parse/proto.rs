@@ -25,17 +25,24 @@ fn get_varint(bytes: &[u8], i: &mut usize) -> Result<u64, ParseError> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let &b = bytes
-            .get(*i)
-            .ok_or(ParseError { reason: "truncated varint", offset: *i })?;
+        let &b = bytes.get(*i).ok_or(ParseError {
+            reason: "truncated varint",
+            offset: *i,
+        })?;
         *i += 1;
         if shift >= 64 {
-            return Err(ParseError { reason: "varint too long", offset: *i });
+            return Err(ParseError {
+                reason: "varint too long",
+                offset: *i,
+            });
         }
         let payload = (b & 0x7F) as u64;
         // Reject bits that would be shifted out of range.
         if shift == 63 && payload > 1 {
-            return Err(ParseError { reason: "varint overflow", offset: *i });
+            return Err(ParseError {
+                reason: "varint overflow",
+                offset: *i,
+            });
         }
         v |= payload << shift;
         if b & 0x80 == 0 {
@@ -50,7 +57,7 @@ pub fn encode(record: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(record.len() * 6);
     for (i, &v) in record.iter().enumerate() {
         // Field number i+1, wire type 0 (varint).
-        put_varint(((i as u64 + 1) << 3) | 0, &mut out);
+        put_varint((i as u64 + 1) << 3, &mut out);
         put_varint(v, &mut out);
     }
     out
@@ -67,15 +74,24 @@ pub fn parse(bytes: &[u8], ncols: usize, out: &mut Vec<u64>) -> Result<(), Parse
     for field in 0..ncols {
         let tag = get_varint(bytes, &mut i)?;
         if tag & 0x7 != 0 {
-            return Err(ParseError { reason: "unexpected wire type", offset: i });
+            return Err(ParseError {
+                reason: "unexpected wire type",
+                offset: i,
+            });
         }
         if (tag >> 3) != field as u64 + 1 {
-            return Err(ParseError { reason: "unexpected field number", offset: i });
+            return Err(ParseError {
+                reason: "unexpected field number",
+                offset: i,
+            });
         }
         out.push(get_varint(bytes, &mut i)?);
     }
     if i != bytes.len() {
-        return Err(ParseError { reason: "trailing bytes", offset: i });
+        return Err(ParseError {
+            reason: "trailing bytes",
+            offset: i,
+        });
     }
     Ok(())
 }
@@ -116,6 +132,11 @@ mod tests {
         bad2[0] = 0x09; // wire type 1
         assert!(parse(&bad2, 2, &mut out).is_err());
         // Varint that never terminates.
-        assert!(parse(&[0x08, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF], 1, &mut out).is_err());
+        assert!(parse(
+            &[0x08, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF],
+            1,
+            &mut out
+        )
+        .is_err());
     }
 }

@@ -32,11 +32,17 @@ fn parse_u64(bytes: &[u8], i: &mut usize) -> Result<u64, ParseError> {
         v = v
             .checked_mul(10)
             .and_then(|v| v.checked_add(d as u64))
-            .ok_or(ParseError { reason: "integer overflow", offset: *i })?;
+            .ok_or(ParseError {
+                reason: "integer overflow",
+                offset: *i,
+            })?;
         *i += 1;
     }
     if *i == start {
-        return Err(ParseError { reason: "expected digit", offset: *i });
+        return Err(ParseError {
+            reason: "expected digit",
+            offset: *i,
+        });
     }
     Ok(v)
 }
@@ -53,7 +59,12 @@ pub fn parse(bytes: &[u8], out: &mut Vec<u64>) -> Result<(), ParseError> {
         match bytes.get(i) {
             None => return Ok(()),
             Some(b',') => i += 1,
-            Some(_) => return Err(ParseError { reason: "expected ','", offset: i }),
+            Some(_) => {
+                return Err(ParseError {
+                    reason: "expected ','",
+                    offset: i,
+                })
+            }
         }
     }
 }

@@ -58,7 +58,10 @@ impl<S: Source> Sender<S> {
     /// A sender feeding `env` from `source`.
     pub fn new(env: &MemEnv, source: S, cfg: SenderConfig) -> Self {
         assert!(cfg.bundle_rows > 0, "bundle_rows must be positive");
-        assert!(cfg.bundles_per_watermark > 0, "bundles_per_watermark must be positive");
+        assert!(
+            cfg.bundles_per_watermark > 0,
+            "bundles_per_watermark must be positive"
+        );
         Sender {
             source,
             cfg,
@@ -88,7 +91,9 @@ impl<S: Source> Sender<S> {
     pub fn next_event(&mut self) -> Result<IngressEvent, AllocError> {
         if self.since_watermark >= self.cfg.bundles_per_watermark {
             self.since_watermark = 0;
-            return Ok(IngressEvent::Watermark(Watermark(self.source.low_watermark())));
+            return Ok(IngressEvent::Watermark(Watermark(
+                self.source.low_watermark(),
+            )));
         }
         self.scratch.clear();
         self.source.fill(self.cfg.bundle_rows, &mut self.scratch);

@@ -31,9 +31,7 @@ pub fn sort_block(keys: &mut [u64], ptrs: &mut [u64]) {
                 let l = i ^ j;
                 if l > i {
                     let ascending = (i & k) == 0;
-                    if (ascending && keys[i] > keys[l])
-                        || (!ascending && keys[i] < keys[l])
-                    {
+                    if (ascending && keys[i] > keys[l]) || (!ascending && keys[i] < keys[l]) {
                         keys.swap(i, l);
                         ptrs.swap(i, l);
                     }
@@ -66,7 +64,9 @@ pub fn sort_chunk(keys: &mut [u64], ptrs: &mut [u64]) {
 
     // Phase 2: merge runs pairwise until one remains.
     let mut run = BLOCK;
+    // sbx-lint: allow(raw-alloc, baseline sorter scratch; the engine path Kpa::sort uses pool buffers)
     let mut sk: Vec<u64> = Vec::with_capacity(n);
+    // sbx-lint: allow(raw-alloc, baseline sorter scratch; the engine path Kpa::sort uses pool buffers)
     let mut sp: Vec<u64> = Vec::with_capacity(n);
     while run < n {
         let mut start = 0;
@@ -129,14 +129,12 @@ fn merge_in_place(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sbx_prng::SbxRng;
 
     fn check_sorted_with_ptrs(keys: &[u64], ptrs: &[u64], orig: &[(u64, u64)]) {
         assert!(keys.windows(2).all(|w| w[0] <= w[1]), "keys out of order");
         // Same multiset of (key, ptr) pairs.
-        let mut got: Vec<(u64, u64)> =
-            keys.iter().copied().zip(ptrs.iter().copied()).collect();
+        let mut got: Vec<(u64, u64)> = keys.iter().copied().zip(ptrs.iter().copied()).collect();
         let mut expect = orig.to_vec();
         got.sort_unstable();
         expect.sort_unstable();
@@ -145,7 +143,7 @@ mod tests {
 
     #[test]
     fn bitonic_block_sorts_all_permutation_shapes() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SbxRng::seed_from_u64(7);
         for case in 0..50 {
             let mut keys: Vec<u64> = match case % 4 {
                 0 => (0..BLOCK as u64).rev().collect(),
@@ -154,8 +152,7 @@ mod tests {
                 _ => (0..BLOCK).map(|_| rng.random_range(0..1000)).collect(),
             };
             let mut ptrs: Vec<u64> = (0..BLOCK as u64).collect();
-            let orig: Vec<(u64, u64)> =
-                keys.iter().copied().zip(ptrs.iter().copied()).collect();
+            let orig: Vec<(u64, u64)> = keys.iter().copied().zip(ptrs.iter().copied()).collect();
             sort_block(&mut keys, &mut ptrs);
             check_sorted_with_ptrs(&keys, &ptrs, &orig);
         }
@@ -163,12 +160,11 @@ mod tests {
 
     #[test]
     fn chunk_sort_handles_every_length_class() {
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = SbxRng::seed_from_u64(8);
         for n in [0usize, 1, 2, 63, 64, 65, 127, 128, 129, 1000, 4096, 5000] {
             let mut keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..500)).collect();
             let mut ptrs: Vec<u64> = (0..n as u64).collect();
-            let orig: Vec<(u64, u64)> =
-                keys.iter().copied().zip(ptrs.iter().copied()).collect();
+            let orig: Vec<(u64, u64)> = keys.iter().copied().zip(ptrs.iter().copied()).collect();
             sort_chunk(&mut keys, &mut ptrs);
             check_sorted_with_ptrs(&keys, &ptrs, &orig);
         }
@@ -180,8 +176,7 @@ mod tests {
         keys[3] = 0;
         keys[40] = 7;
         let mut ptrs: Vec<u64> = (0..BLOCK as u64).collect();
-        let orig: Vec<(u64, u64)> =
-            keys.iter().copied().zip(ptrs.iter().copied()).collect();
+        let orig: Vec<(u64, u64)> = keys.iter().copied().zip(ptrs.iter().copied()).collect();
         sort_block(&mut keys, &mut ptrs);
         check_sorted_with_ptrs(&keys, &ptrs, &orig);
         assert_eq!(keys[0], 0);

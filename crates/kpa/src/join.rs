@@ -28,8 +28,15 @@ pub fn join_sorted(
     out_record_bytes: usize,
     mut emit: impl FnMut(&Kpa, usize, &Kpa, usize),
 ) -> JoinStats {
-    assert!(left.is_sorted() && right.is_sorted(), "join requires sorted inputs");
-    assert_eq!(left.resident(), right.resident(), "resident columns must match");
+    assert!(
+        left.is_sorted() && right.is_sorted(),
+        "join requires sorted inputs"
+    );
+    assert_eq!(
+        left.resident(),
+        right.resident(),
+        "resident columns must match"
+    );
 
     let (lk, rk) = (left.keys(), right.keys());
     let mut stats = JoinStats::default();
@@ -63,7 +70,13 @@ pub fn join_sorted(
         // Mixed placement: charge the slower tier's scan conservatively.
         sbx_simmem::MemKind::Dram
     };
-    ctx.charge(&profile::join(left.len(), right.len(), stats.emitted, kind, out_record_bytes));
+    ctx.charge(&profile::join(
+        left.len(),
+        right.len(),
+        stats.emitted,
+        kind,
+        out_record_bytes,
+    ));
     stats
 }
 

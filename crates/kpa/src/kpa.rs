@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -71,7 +71,10 @@ pub struct Kpa {
     keys: PoolVec,
     ptrs: PoolVec,
     resident: Col,
-    sources: HashMap<BundleId, Arc<RecordBundle>>,
+    schema: Arc<Schema>,
+    // Ordered so source iteration (and hence Debug output and merge
+    // unions) is deterministic.
+    sources: BTreeMap<BundleId, Arc<RecordBundle>>,
     sorted: bool,
 }
 
@@ -99,9 +102,17 @@ impl Kpa {
             ptrs.push(bundle.record_ref(row).pack());
         }
         ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
-        let mut sources = HashMap::with_capacity(1);
+        let mut sources = BTreeMap::new();
         sources.insert(bundle.id(), Arc::clone(bundle));
-        Ok(Kpa { keys, ptrs, resident: col, sources, sorted: n <= 1 })
+        let schema = Arc::clone(bundle.schema());
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident: col,
+            schema,
+            sources,
+            sorted: n <= 1,
+        })
     }
 
     /// Extract fused with bundle emission (paper §4.3 optimization 1:
@@ -131,9 +142,17 @@ impl Kpa {
                 .seq(got, n as f64 * profile::PAIR_BYTES)
                 .cpu(n as f64 * profile::EXTRACT_CYCLES),
         );
-        let mut sources = HashMap::with_capacity(1);
+        let mut sources = BTreeMap::new();
         sources.insert(bundle.id(), Arc::clone(bundle));
-        Ok(Kpa { keys, ptrs, resident: col, sources, sorted: n <= 1 })
+        let schema = Arc::clone(bundle.schema());
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident: col,
+            schema,
+            sources,
+            sorted: n <= 1,
+        })
     }
 
     /// **Select** fused with Extract: creates a KPA holding only the records
@@ -163,9 +182,17 @@ impl Kpa {
         ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
         ctx.charge(&sbx_simmem::AccessProfile::new().cpu(n as f64 * profile::SELECT_CYCLES));
         let sorted = keys.len() <= 1;
-        let mut sources = HashMap::with_capacity(1);
+        let mut sources = BTreeMap::new();
         sources.insert(bundle.id(), Arc::clone(bundle));
-        Ok(Kpa { keys, ptrs, resident: col, sources, sorted })
+        let schema = Arc::clone(bundle.schema());
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident: col,
+            schema,
+            sources,
+            sorted,
+        })
     }
 
     /// **Select** (Table 2): subsets this KPA, keeping pairs whose resident
@@ -194,6 +221,7 @@ impl Kpa {
             keys,
             ptrs,
             resident: self.resident,
+            schema: Arc::clone(&self.schema),
             sources: self.sources.clone(),
             sorted,
         })
@@ -240,6 +268,7 @@ impl Kpa {
         cols: &[Col],
         mut f: impl FnMut(&[u64]) -> u64,
     ) {
+        // sbx-lint: allow(raw-alloc, per-call scratch bounded by column count)
         let mut vals = vec![0u64; cols.len()];
         for i in 0..self.keys.len() {
             let r = RecordRef::unpack(self.ptrs[i]);
@@ -266,13 +295,18 @@ impl Kpa {
     pub fn materialize(&self, ctx: &mut ExecCtx) -> Result<Arc<RecordBundle>, AllocError> {
         let schema = self.schema();
         let ncols = schema.ncols();
+        // sbx-lint: allow(raw-alloc, row staging scratch; the output bundle itself is pool-accounted by from_rows)
         let mut rows = Vec::with_capacity(self.len() * ncols);
         for i in 0..self.len() {
             let (b, row) = self.deref(i);
             assert_eq!(b.schema().ncols(), ncols, "source schemas disagree");
             rows.extend_from_slice(b.row(row));
         }
-        ctx.charge(&profile::materialize(self.len(), schema.record_bytes(), self.kind()));
+        ctx.charge(&profile::materialize(
+            self.len(),
+            schema.record_bytes(),
+            self.kind(),
+        ));
         RecordBundle::from_rows(ctx.env(), schema, &rows)
     }
 
@@ -292,31 +326,30 @@ impl Kpa {
         prio: Priority,
         mut classify: impl FnMut(u64) -> u64,
     ) -> Result<Vec<(u64, Kpa)>, AllocError> {
-        // Pass 1: count per group.
-        let mut counts: HashMap<u64, usize> = HashMap::new();
+        // Pass 1: count per group (ordered map: groups come out ascending).
+        let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
         for &k in self.keys.iter() {
             *counts.entry(classify(k)).or_insert(0) += 1;
         }
-        let mut groups: Vec<u64> = counts.keys().copied().collect();
-        groups.sort_unstable();
 
-        // Pass 2: scatter.
-        let mut outs: HashMap<u64, (PoolVec, PoolVec, MemKind)> = HashMap::new();
-        for &g in &groups {
-            let (k, p, got) = alloc_pair_bufs(ctx.env(), counts[&g], self.kind(), prio)?;
-            outs.insert(g, (k, p, got));
+        // Pass 2: scatter into exactly-sized pool buffers.
+        let mut outs: BTreeMap<u64, (PoolVec, PoolVec)> = BTreeMap::new();
+        for (&g, &c) in &counts {
+            let (k, p, _) = alloc_pair_bufs(ctx.env(), c, self.kind(), prio)?;
+            outs.insert(g, (k, p));
         }
         for i in 0..self.len() {
             let g = classify(self.keys[i]);
-            let (k, p, _) = outs.get_mut(&g).expect("group exists");
-            k.push(self.keys[i]);
-            p.push(self.ptrs[i]);
+            if let Some((k, p)) = outs.get_mut(&g) {
+                k.push(self.keys[i]);
+                p.push(self.ptrs[i]);
+            }
         }
         ctx.charge(&profile::partition(self.len(), self.kind(), self.kind()));
 
-        let mut result = Vec::with_capacity(groups.len());
-        for g in groups {
-            let (keys, ptrs, _) = outs.remove(&g).expect("group exists");
+        // sbx-lint: allow(raw-alloc, group handle list; pair data lives in pool buffers above)
+        let mut result = Vec::with_capacity(outs.len());
+        for (g, (keys, ptrs)) in outs {
             let sorted = self.sorted || keys.len() <= 1;
             result.push((
                 g,
@@ -324,6 +357,7 @@ impl Kpa {
                     keys,
                     ptrs,
                     resident: self.resident,
+                    schema: Arc::clone(&self.schema),
                     sources: self.sources.clone(),
                     sorted,
                 },
@@ -373,14 +407,26 @@ impl Kpa {
         keys.extend_from_slice(&b.keys[j..]);
         ptrs.extend_from_slice(&b.ptrs[j..]);
         // Charge the scan of both inputs on their (possibly distinct) tiers.
-        let in_kind = if a.kind() == b.kind() { a.kind() } else { MemKind::Dram };
+        let in_kind = if a.kind() == b.kind() {
+            a.kind()
+        } else {
+            MemKind::Dram
+        };
         ctx.charge(&profile::merge(total, in_kind, got));
 
         let mut sources = a.sources.clone();
         for (id, b) in &b.sources {
             sources.entry(*id).or_insert_with(|| Arc::clone(b));
         }
-        Ok(Kpa { keys, ptrs, resident: a.resident, sources, sorted: true })
+        let schema = Arc::clone(&a.schema);
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident: a.resident,
+            schema,
+            sources,
+            sorted: true,
+        })
     }
 
     /// Merges any number of sorted KPAs pairwise until one remains
@@ -401,6 +447,7 @@ impl Kpa {
     ) -> Result<Kpa, AllocError> {
         assert!(!kpas.is_empty(), "merge_many needs at least one input");
         while kpas.len() > 1 {
+            // sbx-lint: allow(raw-alloc, round handle list; pair data lives in pool buffers)
             let mut next = Vec::with_capacity(kpas.len().div_ceil(2));
             let mut iter = kpas.into_iter();
             while let Some(a) = iter.next() {
@@ -411,7 +458,13 @@ impl Kpa {
             }
             kpas = next;
         }
-        Ok(kpas.pop().expect("one KPA remains"))
+        // The assert above plus the halving loop leave exactly one KPA; the
+        // error arm is unreachable but keeps this path panic-free.
+        kpas.pop().ok_or(AllocError {
+            kind: out_kind,
+            requested_bytes: 0,
+            available_bytes: 0,
+        })
     }
 
     /// Merges any number of sorted KPAs in a *single pass* with a k-way
@@ -441,7 +494,9 @@ impl Kpa {
 
         assert!(!kpas.is_empty(), "merge_many_kway needs at least one input");
         if kpas.len() == 1 {
-            return Ok(kpas.pop().expect("one"));
+            if let Some(k) = kpas.pop() {
+                return Ok(k);
+            }
         }
         let resident = kpas[0].resident();
         let total: usize = kpas.iter().map(Kpa::len).sum();
@@ -457,6 +512,7 @@ impl Kpa {
             .enumerate()
             .filter(|(_, k)| !k.is_empty())
             .map(|(i, k)| Reverse((k.keys()[0], i, 0)))
+            // sbx-lint: allow(raw-alloc, k-entry tournament heap; pair data lives in pool buffers)
             .collect();
         while let Some(Reverse((key, src, pos))) = heap.pop() {
             keys.push(key);
@@ -482,13 +538,21 @@ impl Kpa {
                 .cpu(total as f64 * profile::MERGE_CYCLES_PER_PAIR * cmp_factor),
         );
 
-        let mut sources = HashMap::new();
+        let mut sources = BTreeMap::new();
         for k in &kpas {
             for (id, b) in &k.sources {
                 sources.entry(*id).or_insert_with(|| Arc::clone(b));
             }
         }
-        Ok(Kpa { keys, ptrs, resident, sources, sorted: true })
+        let schema = Arc::clone(&kpas[0].schema);
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident,
+            sources,
+            schema,
+            sorted: true,
+        })
     }
 
     /// Number of key/pointer pairs.
@@ -542,19 +606,11 @@ impl Kpa {
         b.value(row, col)
     }
 
-    /// The schema of the records this KPA points to.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the KPA has no source bundles.
+    /// The schema of the records this KPA points to (captured from the
+    /// source bundle at extraction, so it is available even when every
+    /// pair was filtered out).
     pub fn schema(&self) -> Arc<Schema> {
-        Arc::clone(
-            self.sources
-                .values()
-                .next()
-                .expect("KPA without sources has no schema")
-                .schema(),
-        )
+        Arc::clone(&self.schema)
     }
 
     /// Number of source bundles this KPA links to (pins in memory).
@@ -639,22 +695,18 @@ mod tests {
         let b = kv_bundle(&env, &[(5, 50, 0), (3, 30, 1), (9, 90, 2)]);
 
         let mut ctx_full = ExecCtx::new(&env);
-        let full =
-            Kpa::extract(&mut ctx_full, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
+        let full = Kpa::extract(&mut ctx_full, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
         let p_full = ctx_full.take_profile();
 
         let mut ctx_fused = ExecCtx::new(&env);
         let fused =
-            Kpa::extract_fused(&mut ctx_fused, &b, Col(0), MemKind::Hbm, Priority::Normal)
-                .unwrap();
+            Kpa::extract_fused(&mut ctx_fused, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
         let p_fused = ctx_fused.take_profile();
 
         assert_eq!(full.keys(), fused.keys());
         assert_eq!(fused.value_at(2, Col(1)), 90);
         // The fused variant skips the DRAM re-read of the bundle.
-        assert!(
-            p_fused.seq_bytes[MemKind::Dram.index()] < p_full.seq_bytes[MemKind::Dram.index()]
-        );
+        assert!(p_fused.seq_bytes[MemKind::Dram.index()] < p_full.seq_bytes[MemKind::Dram.index()]);
         assert_eq!(
             p_fused.seq_bytes[MemKind::Hbm.index()],
             p_full.seq_bytes[MemKind::Hbm.index()]
@@ -718,7 +770,9 @@ mod tests {
         let mut ctx = ExecCtx::new(&env);
         let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0), (3, 0, 0), (4, 0, 0)]);
         let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
-        let even = kpa.select(&mut ctx, Priority::Normal, |k| k % 2 == 0).unwrap();
+        let even = kpa
+            .select(&mut ctx, Priority::Normal, |k| k % 2 == 0)
+            .unwrap();
         assert_eq!(even.keys(), &[2, 4]);
         assert_eq!(even.value_at(0, Col(0)), 2);
     }
@@ -728,9 +782,10 @@ mod tests {
         let env = env();
         let mut ctx = ExecCtx::new(&env);
         let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0), (3, 0, 0)]);
-        let kpa =
-            Kpa::extract_select(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal, |k| k > 1)
-                .unwrap();
+        let kpa = Kpa::extract_select(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal, |k| {
+            k > 1
+        })
+        .unwrap();
         assert_eq!(kpa.keys(), &[2, 3]);
     }
 
@@ -742,7 +797,9 @@ mod tests {
         let b = kv_bundle(&env, &rows);
         let mut kpa = Kpa::extract(&mut ctx, &b, Col(2), MemKind::Hbm, Priority::Normal).unwrap();
         kpa.set_sorted(false);
-        let parts = kpa.partition_by(&mut ctx, Priority::Normal, |ts| ts / 10).unwrap();
+        let parts = kpa
+            .partition_by(&mut ctx, Priority::Normal, |ts| ts / 10)
+            .unwrap();
         let groups: Vec<u64> = parts.iter().map(|(g, _)| *g).collect();
         assert_eq!(groups, vec![0, 1, 2]);
         assert_eq!(parts[0].1.keys(), &[5, 7]); // order preserved
@@ -799,6 +856,9 @@ mod tests {
         let b = kv_bundle(&env, &[(1, 0, 0), (2, 0, 0)]);
         let before = env.pool(MemKind::Hbm).used_bytes();
         let kpa = Kpa::extract(&mut ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).unwrap();
-        assert_eq!(env.pool(MemKind::Hbm).used_bytes() - before, kpa.footprint_bytes());
+        assert_eq!(
+            env.pool(MemKind::Hbm).used_bytes() - before,
+            kpa.footprint_bytes()
+        );
     }
 }

@@ -202,7 +202,10 @@ mod tests {
         // Paper: sort-HBM ~240 M pairs/s at 64 cores, far ahead of hash.
         assert!(sort_hbm > 180.0 && sort_hbm < 320.0, "sort HBM {sort_hbm}");
         // Sort on DRAM is bandwidth-capped near ~110 M pairs/s.
-        assert!(sort_dram > 80.0 && sort_dram < 140.0, "sort DRAM {sort_dram}");
+        assert!(
+            sort_dram > 80.0 && sort_dram < 140.0,
+            "sort DRAM {sort_dram}"
+        );
         // Hash lands in the 130-180 M band and beats sort on DRAM at 64 cores.
         assert!(hash_dram > sort_dram, "hash must win on DRAM at 64 cores");
         assert!(hash_hbm < sort_hbm, "sort must win on HBM");
@@ -218,7 +221,10 @@ mod tests {
             m.throughput(&sort(n, MemKind::Dram), c, n as u64)
                 > m.throughput(&hash_group(n, MemKind::Dram), c, n as u64)
         };
-        assert!(sort_wins_at(32), "sort should still win on DRAM at 32 cores");
+        assert!(
+            sort_wins_at(32),
+            "sort should still win on DRAM at 32 cores"
+        );
         assert!(!sort_wins_at(64), "hash should win on DRAM at 64 cores");
     }
 

@@ -41,7 +41,10 @@ pub fn reduce_keyed(
             values.push(kpa.value_at(i, value_col));
             i += 1;
         }
-        f(KeyGroup { key, values: &values });
+        f(KeyGroup {
+            key,
+            values: &values,
+        });
         groups += 1;
     }
     ctx.charge(&profile::reduce_keyed(keys.len(), kpa.kind()));
@@ -61,7 +64,10 @@ pub fn reduce_unkeyed_bundle<A>(
     for row in 0..bundle.rows() {
         acc = f(acc, bundle.value(row, col));
     }
-    ctx.charge(&profile::reduce_unkeyed(bundle.rows(), bundle.schema().record_bytes()));
+    ctx.charge(&profile::reduce_unkeyed(
+        bundle.rows(),
+        bundle.schema().record_bytes(),
+    ));
     acc
 }
 
@@ -187,7 +193,11 @@ mod tests {
     fn keyed_reduction_groups_contiguous_keys() {
         let env = env();
         let mut ctx = ExecCtx::new(&env);
-        let kpa = kpa_kv(&env, &mut ctx, &[(2, 20), (1, 10), (2, 21), (1, 11), (3, 30)]);
+        let kpa = kpa_kv(
+            &env,
+            &mut ctx,
+            &[(2, 20), (1, 10), (2, 21), (1, 11), (3, 30)],
+        );
         let mut sums = Vec::new();
         let groups = reduce_keyed(&mut ctx, &kpa, Col(1), |g| {
             sums.push((g.key, g.values.iter().sum::<u64>()));
@@ -222,7 +232,7 @@ mod tests {
         let env = env();
         let mut ctx = ExecCtx::new(&env);
         let kpa = kpa_kv(&env, &mut ctx, &[(1, 5), (2, 7)]);
-        let max = reduce_unkeyed_kpa(&mut ctx, &kpa, Col(1), 0u64, |a, v| a.max(v));
+        let max = reduce_unkeyed_kpa(&mut ctx, &kpa, Col(1), 0u64, std::cmp::Ord::max);
         assert_eq!(max, 7);
     }
 

@@ -38,8 +38,10 @@ impl Kpa {
 
             // Phase 1: sort chunks in parallel.
             let chunk = n.div_ceil(threads);
+            // sbx-lint: allow(raw-alloc, per-thread run list; pair data stays in pool buffers)
             let mut runs: Vec<Range<usize>> = Vec::with_capacity(threads);
             {
+                // sbx-lint: allow(raw-alloc, per-thread job list of borrowed slices)
                 let mut jobs: Vec<(&mut [u64], &mut [u64])> = Vec::with_capacity(threads);
                 let (mut krest, mut prest) = (&mut keys[..], &mut ptrs[..]);
                 let mut start = 0usize;
@@ -53,12 +55,11 @@ impl Kpa {
                     runs.push(start..start + len);
                     start += len;
                 }
-                crossbeam::scope(|s| {
+                std::thread::scope(|s| {
                     for (kchunk, pchunk) in jobs {
-                        s.spawn(move |_| sort_chunk(kchunk, pchunk));
+                        s.spawn(move || sort_chunk(kchunk, pchunk));
                     }
-                })
-                .expect("sort worker panicked");
+                });
             }
 
             // Phase 2: pairwise parallel merge rounds.
@@ -111,7 +112,9 @@ fn merge_round(
         dst_p: &'a mut [u64],
     }
 
+    // sbx-lint: allow(raw-alloc, per-round merge-job list of borrowed slices)
     let mut jobs: Vec<Job<'_>> = Vec::with_capacity(runs.len().div_ceil(2));
+    // sbx-lint: allow(raw-alloc, per-round run list; pair data stays in pool buffers)
     let mut out_runs = Vec::with_capacity(jobs.capacity());
     {
         let (mut krest, mut prest) = (dst_k, dst_p);
@@ -119,11 +122,16 @@ fn merge_round(
         while i < runs.len() {
             let a = runs[i].clone();
             let b = runs.get(i + 1).cloned();
-            let out_len = a.len() + b.as_ref().map_or(0, |r| r.len());
+            let out_len = a.len() + b.as_ref().map_or(0, std::iter::ExactSizeIterator::len);
             let out_start = a.start;
             let (kh, kt) = krest.split_at_mut(out_len);
             let (ph, pt) = prest.split_at_mut(out_len);
-            jobs.push(Job { a, b, dst_k: kh, dst_p: ph });
+            jobs.push(Job {
+                a,
+                b,
+                dst_k: kh,
+                dst_p: ph,
+            });
             krest = kt;
             prest = pt;
             out_runs.push(out_start..out_start + out_len);
@@ -131,9 +139,9 @@ fn merge_round(
         }
     }
 
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for job in jobs {
-            s.spawn(move |_| match job.b {
+            s.spawn(move || match job.b {
                 Some(b) => merge_two(
                     &src_k[job.a.clone()],
                     &src_p[job.a.clone()],
@@ -148,20 +156,12 @@ fn merge_round(
                 }
             });
         }
-    })
-    .expect("merge worker panicked");
+    });
 
     out_runs
 }
 
-fn merge_two(
-    ak: &[u64],
-    ap: &[u64],
-    bk: &[u64],
-    bp: &[u64],
-    dk: &mut [u64],
-    dp: &mut [u64],
-) {
+fn merge_two(ak: &[u64], ap: &[u64], bk: &[u64], bp: &[u64], dk: &mut [u64], dp: &mut [u64]) {
     let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
     while i < ak.len() && j < bk.len() {
         if ak[i] <= bk[j] {
@@ -191,7 +191,6 @@ fn merge_two(
 
 #[cfg(test)]
 mod tests {
-
 
     use sbx_records::{Col, RecordBundle, Schema};
     use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
@@ -233,15 +232,19 @@ mod tests {
         let charged = ctx.take_profile();
         assert!(charged.cpu_cycles > 0.0);
         kpa.sort(&mut ctx, 2).unwrap();
-        assert_eq!(ctx.profile().cpu_cycles, 0.0, "re-sort of sorted KPA is free");
+        assert_eq!(
+            ctx.profile().cpu_cycles,
+            0.0,
+            "re-sort of sorted KPA is free"
+        );
     }
 
     #[test]
     fn sort_matches_std_sort_on_random_input() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use sbx_prng::SbxRng;
         let env = env();
         let mut ctx = ExecCtx::new(&env);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SbxRng::seed_from_u64(42);
         let keys: Vec<u64> = (0..10_000).map(|_| rng.random_range(0..1000)).collect();
         let mut expect = keys.clone();
         expect.sort_unstable();
@@ -268,11 +271,11 @@ mod tests {
 
     #[test]
     fn kway_merge_matches_pairwise_merge() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use sbx_prng::SbxRng;
         let env = env();
         let mut ctx = ExecCtx::new(&env);
         let mk_parts = |ctx: &mut ExecCtx, seed: u64| -> Vec<Kpa> {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SbxRng::seed_from_u64(seed);
             (0..7)
                 .map(|_| {
                     let n = rng.random_range(0..400);
@@ -286,10 +289,8 @@ mod tests {
         let parts_a = mk_parts(&mut ctx, 17);
         let parts_b = mk_parts(&mut ctx, 17);
 
-        let pairwise =
-            Kpa::merge_many(&mut ctx, parts_a, MemKind::Hbm, Priority::Normal).unwrap();
-        let kway =
-            Kpa::merge_many_kway(&mut ctx, parts_b, MemKind::Hbm, Priority::Normal).unwrap();
+        let pairwise = Kpa::merge_many(&mut ctx, parts_a, MemKind::Hbm, Priority::Normal).unwrap();
+        let kway = Kpa::merge_many_kway(&mut ctx, parts_b, MemKind::Hbm, Priority::Normal).unwrap();
         assert_eq!(pairwise.keys(), kway.keys());
         assert_eq!(pairwise.source_count(), kway.source_count());
         assert!(kway.is_sorted());
@@ -319,8 +320,7 @@ mod tests {
             kpa.sort(&mut ctx, 2).unwrap();
             parts.push(kpa);
         }
-        let merged =
-            Kpa::merge_many(&mut ctx, parts, MemKind::Hbm, Priority::Normal).unwrap();
+        let merged = Kpa::merge_many(&mut ctx, parts, MemKind::Hbm, Priority::Normal).unwrap();
         assert_eq!(merged.keys(), &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
         assert_eq!(merged.source_count(), 4);
     }
@@ -357,5 +357,4 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<Kpa>();
     };
-
 }

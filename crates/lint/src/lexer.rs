@@ -1,0 +1,532 @@
+//! A small, comment/string-aware Rust token scanner.
+//!
+//! `sbx-lint` deliberately avoids `syn` (the workspace builds fully
+//! offline with no external dependencies), so this module hand-rolls the
+//! minimal lexical analysis the rules need: identifiers and punctuation
+//! with line numbers, comments and string/char literals stripped, nested
+//! block comments handled, raw strings handled, and lifetimes
+//! distinguished from char literals.
+//!
+//! Two pieces of higher-level structure are recovered on top of the raw
+//! token stream because every rule needs them:
+//!
+//! * **allow markers** — `// sbx-lint: allow(rule, reason)` line comments,
+//!   collected with their line numbers so findings on the same or next
+//!   line can be suppressed;
+//! * **test regions** — brace-balanced extents of items annotated
+//!   `#[cfg(test)]` (and items annotated `#[test]`), so rules can skip
+//!   test-only code.
+
+/// Classification of one scanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// A lifetime (`'a`); stored without the quote.
+    Lifetime,
+    /// A numeric literal (scanned as one token).
+    Number,
+}
+
+/// One token of Rust source, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (single char for punctuation).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Token class.
+    pub kind: TokenKind,
+    /// Whether the token lies inside a `#[cfg(test)]`/`#[test]` item.
+    pub in_test: bool,
+}
+
+/// An `// sbx-lint: allow(rule, reason)` suppression marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-based line the marker comment sits on.
+    pub line: u32,
+    /// Rule name the marker suppresses.
+    pub rule: String,
+    /// Free-text justification (required).
+    pub reason: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Token stream, comments and literals stripped.
+    pub tokens: Vec<Token>,
+    /// All allow markers found in comments.
+    pub markers: Vec<AllowMarker>,
+}
+
+/// Scans `src`, producing the token stream and allow markers.
+pub fn scan(src: &str) -> Scan {
+    let mut out = Scan::default();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment: collect text for marker parsing.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && bytes[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                if let Some(marker) = parse_marker(&text, line) {
+                    out.markers.push(marker);
+                }
+                i = j;
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if bytes[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                i = skip_string(&bytes, i, &mut line);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&bytes, i) => {
+                i = skip_raw_or_byte_string(&bytes, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                if i + 1 < n && (bytes[i + 1].is_alphanumeric() || bytes[i + 1] == '_') {
+                    // `'a'` is a char literal; `'a` followed by non-quote is
+                    // a lifetime.
+                    let mut j = i + 1;
+                    while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && bytes[j] == '\'' && j == i + 2 {
+                        // One char between quotes: char literal.
+                        i = j + 1;
+                    } else {
+                        let text: String = bytes[i + 1..j].iter().collect();
+                        out.tokens.push(Token {
+                            text,
+                            line,
+                            kind: TokenKind::Lifetime,
+                            in_test: false,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped char literal like '\n', '\'', '\u{1F600}'.
+                    let mut j = i + 1;
+                    if j < n && bytes[j] == '\\' {
+                        j += 1;
+                        if j < n && bytes[j] == 'u' {
+                            // '\u{...}'
+                            while j < n && bytes[j] != '}' {
+                                j += 1;
+                            }
+                            j += 1;
+                        } else {
+                            j += 1;
+                        }
+                    } else {
+                        j += 1;
+                    }
+                    // Closing quote.
+                    while j < n && bytes[j] != '\'' {
+                        if bytes[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokenKind::Ident,
+                    in_test: false,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '.') {
+                    // Stop at `..` (range) — only consume a dot followed by
+                    // a digit (a float literal).
+                    if bytes[j] == '.' && (j + 1 >= n || !bytes[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[i..j].iter().collect();
+                out.tokens.push(Token {
+                    text,
+                    line,
+                    kind: TokenKind::Number,
+                    in_test: false,
+                });
+                i = j;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            c => {
+                out.tokens.push(Token {
+                    text: c.to_string(),
+                    line,
+                    kind: TokenKind::Punct,
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+/// True if position `i` starts a raw string (`r"`, `r#"`) or byte string
+/// (`b"`, `br"`, `br#"`) rather than an identifier beginning with r/b.
+fn starts_raw_or_byte_string(bytes: &[char], i: usize) -> bool {
+    let n = bytes.len();
+    let mut j = i;
+    if bytes[j] == 'b' {
+        j += 1;
+        if j < n && bytes[j] == 'r' {
+            j += 1;
+        }
+    } else if bytes[j] == 'r' {
+        j += 1;
+    } else {
+        return false;
+    }
+    while j < n && bytes[j] == '#' {
+        j += 1;
+    }
+    j < n && bytes[j] == '"'
+}
+
+/// Skips a plain (possibly byte) string starting at the opening quote.
+fn skip_string(bytes: &[char], start: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = start + 1;
+    while j < n {
+        match bytes[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skips a raw/byte string starting at its `r`/`b` prefix.
+fn skip_raw_or_byte_string(bytes: &[char], start: usize, line: &mut u32) -> usize {
+    let n = bytes.len();
+    let mut j = start;
+    while j < n && (bytes[j] == 'r' || bytes[j] == 'b') {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < n && bytes[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || bytes[j] != '"' {
+        return start + 1; // not actually a string; resync conservatively
+    }
+    if hashes == 0 {
+        return skip_string(bytes, j, line);
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash characters.
+    while j < n {
+        if bytes[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if bytes[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && bytes[k] == '#' && seen < hashes {
+                k += 1;
+                seen += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Parses `sbx-lint: allow(rule, reason...)` out of a line comment body.
+fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
+    let rest = comment.trim().strip_prefix("sbx-lint:")?.trim();
+    let inner = rest.strip_prefix("allow(")?.strip_suffix(')')?;
+    let (rule, reason) = inner.split_once(',')?;
+    let rule = rule.trim();
+    let reason = reason.trim();
+    if rule.is_empty() || reason.is_empty() {
+        return None;
+    }
+    Some(AllowMarker {
+        line,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+/// Marks every token inside a `#[cfg(test)]` or `#[test]` item.
+///
+/// After such an attribute, the item's extent runs to the matching close
+/// of the first `{` (a `mod`/`fn` body) or to the first `;` (an attribute
+/// on a `use`/`mod foo;` item), whichever comes first.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = test_attribute_end(tokens, i) {
+            // Find the extent: first `{` before a `;`.
+            let mut j = after_attr;
+            let mut body_start = None;
+            while j < tokens.len() {
+                let t = &tokens[j].text;
+                if t == "{" {
+                    body_start = Some(j);
+                    break;
+                }
+                if t == ";" {
+                    break;
+                }
+                // Skip over any further attributes (e.g. `#[test]` then
+                // `#[should_panic]`).
+                j += 1;
+            }
+            let end = match body_start {
+                Some(open) => {
+                    let mut depth = 0i64;
+                    let mut k = open;
+                    while k < tokens.len() {
+                        match tokens[k].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k.min(tokens.len().saturating_sub(1))
+                }
+                None => j.min(tokens.len().saturating_sub(1)),
+            };
+            for t in tokens.iter_mut().take(end + 1).skip(i) {
+                t.in_test = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// If tokens at `i` start `#[cfg(test)]` or `#[test]` (also matching
+/// combined forms like `#[cfg(all(test, ...))]`), returns the index just
+/// past the closing `]`.
+fn test_attribute_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    // Find the closing `]` (attributes don't nest brackets except in
+    // token trees we don't care about; track depth to be safe).
+    let mut depth = 0i64;
+    let mut j = i + 1;
+    let mut is_test = false;
+    let head = &tokens.get(i + 2)?.text;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "test" if head == "cfg" || j == i + 2 => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    if is_test && (head == "cfg" || head == "test") {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        scan(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // unwrap in a comment
+            /* unwrap in /* a nested */ block */
+            let x = "unwrap() in a string";
+            let y = r#"raw unwrap()"#;
+            let c = 'u';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(ids.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = scan("fn f<'a>(x: &'a str) { let c = 'x'; }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        // 'x' must not produce a lifetime or identifier token.
+        assert!(!toks
+            .iter()
+            .any(|t| t.text == "x" && t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked_across_literals() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = scan(src).tokens;
+        assert_eq!(toks[0].text, "a");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].text, "b");
+        assert_eq!(toks[1].line, 4);
+    }
+
+    #[test]
+    fn markers_are_parsed_with_rule_and_reason() {
+        let src = "// sbx-lint: allow(no-panic, invariant: len checked above)\nx.unwrap();";
+        let s = scan(src);
+        assert_eq!(s.markers.len(), 1);
+        assert_eq!(s.markers[0].rule, "no-panic");
+        assert_eq!(s.markers[0].line, 1);
+        assert!(s.markers[0].reason.contains("invariant"));
+    }
+
+    #[test]
+    fn marker_without_reason_is_rejected() {
+        let s = scan("// sbx-lint: allow(no-panic)\n// sbx-lint: allow(no-panic, )\n");
+        assert!(s.markers.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "
+fn live() { a.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { b.unwrap(); }
+}
+fn live2() { c.unwrap(); }
+";
+        let toks = scan(src).tokens;
+        let unwraps: Vec<_> = toks.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 3);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+        assert!(!unwraps[2].in_test);
+    }
+
+    #[test]
+    fn test_attribute_functions_are_marked() {
+        let src = "
+#[test]
+fn t() { b.unwrap(); }
+fn live() { a.unwrap(); }
+";
+        let toks = scan(src).tokens;
+        let unwraps: Vec<_> = toks.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(unwraps[0].in_test);
+        assert!(!unwraps[1].in_test);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_only_covers_the_statement() {
+        let src = "
+#[cfg(test)]
+use std::time::Instant;
+fn live() { a.unwrap(); }
+";
+        let toks = scan(src).tokens;
+        let instant = toks.iter().find(|t| t.text == "Instant").expect("token");
+        assert!(instant.in_test);
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("token");
+        assert!(!unwrap.in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(feature = \"x\")]\nfn live() { a.unwrap(); }";
+        let toks = scan(src).tokens;
+        let unwrap = toks.iter().find(|t| t.text == "unwrap").expect("token");
+        assert!(!unwrap.in_test);
+    }
+}

@@ -1,0 +1,176 @@
+//! `sbx-lint`: in-tree static analysis for the StreamBox-HBM workspace.
+//!
+//! The engine's correctness story leans on three invariants the type
+//! system cannot express — all allocation goes through the accounted
+//! simmem pools, all observable behaviour is deterministic (simulated
+//! clock, ordered maps, seeded PRNG), and engine crates never panic. This
+//! crate enforces them with a dependency-free token scan (see
+//! [`lexer`]) plus two structural checks (crate roots forbid `unsafe`,
+//! manifests stay inside the dependency allowlist).
+//!
+//! Run it two ways:
+//!
+//! ```text
+//! cargo run -p sbx-lint            # human-readable findings, exit 1 on any
+//! cargo test -p sbx-lint           # unit + fixture + whole-workspace check
+//! ```
+//!
+//! Violations are suppressed site-by-site with a justified marker:
+//!
+//! ```text
+//! let t = Instant::now(); // sbx-lint: allow(wall-clock, host microbenchmark)
+//! ```
+//!
+//! The reason is mandatory and markers that suppress nothing are
+//! themselves findings, so the allowlist stays honest.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{lint_crate_root, lint_manifest, lint_source, Finding, ALLOWED_DEPS};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into while walking a `src/` tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// Scans every `.rs` file under the root `src/` and each `crates/*/src/`,
+/// checks each crate root for `#![forbid(unsafe_code)]`, and checks the
+/// root and per-crate `Cargo.toml` manifests against the dependency
+/// allowlist. Test directories (`tests/`, `benches/`, `examples/`) and
+/// `#[cfg(test)]` regions are exempt from token rules.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading the tree.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    let mut src_roots: Vec<PathBuf> = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for krate in entries {
+            src_roots.push(krate.join("src"));
+        }
+    }
+
+    let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
+    let mut crate_roots: Vec<PathBuf> = Vec::new();
+
+    for src_root in &src_roots {
+        if !src_root.is_dir() {
+            continue;
+        }
+        for name in ["lib.rs", "main.rs"] {
+            let p = src_root.join(name);
+            if p.is_file() {
+                crate_roots.push(p);
+            }
+        }
+        if let Some(krate) = src_root.parent() {
+            let m = krate.join("Cargo.toml");
+            if m.is_file() && !manifests.contains(&m) {
+                manifests.push(m);
+            }
+        }
+        let mut files = Vec::new();
+        walk_rs(src_root, &mut files)?;
+        files.sort();
+        for f in files {
+            let rel = rel_path(root, &f);
+            let src = std::fs::read_to_string(&f)?;
+            findings.extend(lint_source(&rel, &src));
+        }
+    }
+
+    for p in crate_roots {
+        let rel = rel_path(root, &p);
+        let src = std::fs::read_to_string(&p)?;
+        findings.extend(lint_crate_root(&rel, &src));
+    }
+
+    for m in manifests {
+        let rel = rel_path(root, &m);
+        let src = std::fs::read_to_string(&m)?;
+        findings.extend(lint_manifest(&rel, &src));
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Locates the workspace root from this crate's manifest directory.
+///
+/// Works both under `cargo run -p sbx-lint` (manifest dir is
+/// `crates/lint`) and when invoked from the workspace root.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or(manifest.clone(), Path::to_path_buf)
+}
+
+/// Recursively collects `.rs` files, skipping [`SKIP_DIRS`].
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            let skip = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| SKIP_DIRS.contains(&n));
+            if !skip {
+                walk_rs(&path, out)?;
+            }
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+fn rel_path(root: &Path, p: &Path) -> String {
+    let rel = p.strip_prefix(root).unwrap_or(p);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_contains_cargo_toml() {
+        let root = workspace_root();
+        assert!(
+            root.join("Cargo.toml").is_file(),
+            "bad root: {}",
+            root.display()
+        );
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn rel_paths_use_forward_slashes() {
+        let root = Path::new("/a/b");
+        let p = Path::new("/a/b/crates/kpa/src/sort.rs");
+        assert_eq!(rel_path(root, p), "crates/kpa/src/sort.rs");
+    }
+}

@@ -1,0 +1,28 @@
+//! Command-line entry point: lints the workspace and exits non-zero on
+//! any finding, so CI can gate on `cargo run -p sbx-lint`.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = sbx_lint::workspace_root();
+    match sbx_lint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("sbx-lint: workspace clean ({})", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("sbx-lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("sbx-lint: I/O error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

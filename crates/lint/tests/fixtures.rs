@@ -1,0 +1,82 @@
+//! Runs every rule against its on-disk fixture pair: the `*_bad` fixture
+//! must trigger the rule the expected number of times, the `*_ok` fixture
+//! must come back clean. Fixtures live in `tests/fixtures/` and are linted
+//! as if they sat at a path inside the rule's scope.
+
+use sbx_lint::{lint_crate_root, lint_manifest, lint_source, Finding};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> String {
+    let p = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {}: {e}", p.display()))
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+const HOT_PATH: &str = "crates/kpa/src/fixture.rs";
+const ENGINE: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn raw_alloc_fixtures() {
+    let bad = lint_source(HOT_PATH, &fixture("raw_alloc_bad.rs"));
+    assert_eq!(count(&bad, "raw-alloc"), 4, "bad fixture: {bad:?}");
+    let ok = lint_source(HOT_PATH, &fixture("raw_alloc_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn no_panic_fixtures() {
+    let bad = lint_source(ENGINE, &fixture("no_panic_bad.rs"));
+    assert_eq!(count(&bad, "no-panic"), 3, "bad fixture: {bad:?}");
+    let ok = lint_source(ENGINE, &fixture("no_panic_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn wall_clock_fixtures() {
+    let bad = lint_source(ENGINE, &fixture("wall_clock_bad.rs"));
+    assert_eq!(count(&bad, "wall-clock"), 3, "bad fixture: {bad:?}");
+    let ok = lint_source(ENGINE, &fixture("wall_clock_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn hash_iter_fixtures() {
+    let bad = lint_source(ENGINE, &fixture("hash_iter_bad.rs"));
+    assert_eq!(count(&bad, "hash-iter"), 2, "bad fixture: {bad:?}");
+    let ok = lint_source(ENGINE, &fixture("hash_iter_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn unsafe_forbid_fixtures() {
+    let bad = lint_crate_root("crates/x/src/lib.rs", &fixture("unsafe_forbid_bad.rs"));
+    assert_eq!(count(&bad, "unsafe-forbid"), 1, "bad fixture: {bad:?}");
+    let ok = lint_crate_root("crates/x/src/lib.rs", &fixture("unsafe_forbid_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn dep_allowlist_fixtures() {
+    let bad = lint_manifest("crates/x/Cargo.toml", &fixture("deps_bad.toml"));
+    assert_eq!(count(&bad, "dep-allowlist"), 2, "bad fixture: {bad:?}");
+    assert!(bad.iter().any(|f| f.message.contains("libc")));
+    assert!(bad.iter().any(|f| f.message.contains("tokio")));
+    let ok = lint_manifest("crates/x/Cargo.toml", &fixture("deps_ok.toml"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn fixtures_out_of_scope_are_clean() {
+    // The same bad fixtures are fine outside their rules' scopes: raw
+    // allocation is legal in cold paths, panics are legal outside the
+    // engine crates, hash maps are legal outside engine crates.
+    let cold = "crates/bench/src/fixture.rs";
+    assert!(lint_source(cold, &fixture("raw_alloc_bad.rs")).is_empty());
+    assert!(lint_source(cold, &fixture("no_panic_bad.rs")).is_empty());
+    assert!(lint_source(cold, &fixture("hash_iter_bad.rs")).is_empty());
+}

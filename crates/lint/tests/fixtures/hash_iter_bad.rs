@@ -1,0 +1,8 @@
+//! Fixture: default-hasher map in an engine crate. Expected findings:
+//! 2 × hash-iter (the import and the field type).
+
+use std::collections::HashMap;
+
+pub struct GroupIndex {
+    slots: HashMap<u64, usize>,
+}

@@ -1,0 +1,7 @@
+//! Fixture: ordered map — deterministic iteration, no findings.
+
+use std::collections::BTreeMap;
+
+pub struct GroupIndex {
+    slots: BTreeMap<u64, usize>,
+}

@@ -1,0 +1,9 @@
+//! Fixture: panic paths in engine code. Expected findings: 3 × no-panic.
+
+pub fn claim(slot: &mut Option<Task>) -> Task {
+    let t = slot.take().expect("task claimed twice");
+    if t.done() {
+        panic!("claiming a finished task");
+    }
+    t.check().unwrap()
+}

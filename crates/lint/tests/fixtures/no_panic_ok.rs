@@ -1,0 +1,17 @@
+//! Fixture: the same logic written panic-free; unwrap confined to tests.
+
+pub fn claim(slot: &mut Option<Task>) -> Result<Task, EngineError> {
+    let t = slot.take().ok_or(EngineError::TaskClaimedTwice)?;
+    t.check()?;
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn claim_takes_the_task() {
+        let mut slot = Some(Task::default());
+        claim(&mut slot).unwrap();
+        assert!(slot.is_none());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: every raw-alloc pattern, unmarked. Linted as if it lived in a
+//! hot-path module; expected findings: 4 × raw-alloc.
+
+pub fn build(n: usize) -> Vec<u64> {
+    let mut scratch = Vec::with_capacity(n);
+    let seed = vec![0u64; n];
+    let boxed = Box::new(seed);
+    scratch.extend(boxed.iter().copied());
+    scratch.iter().map(|x| x + 1).collect()
+}

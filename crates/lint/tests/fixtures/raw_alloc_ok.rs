@@ -1,0 +1,10 @@
+//! Fixture: hot-path code that passes raw-alloc — pool allocation for the
+//! real data, plus one justified bounded scratch buffer.
+
+pub fn build(pool: &MemPool, n: usize) -> Result<PoolVec, AllocError> {
+    // sbx-lint: allow(raw-alloc, bounded merge cursors, freed on return)
+    let cursors = Vec::with_capacity(K_WAY);
+    let out = pool.alloc_u64(n, Priority::Normal)?;
+    drop(cursors);
+    Ok(out)
+}

@@ -1,0 +1,4 @@
+//! Fixture: a crate root missing `#![forbid(unsafe_code)]`.
+//! Expected findings: 1 × unsafe-forbid.
+
+pub fn noop() {}

@@ -1,0 +1,5 @@
+//! Fixture: a crate root that carries the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

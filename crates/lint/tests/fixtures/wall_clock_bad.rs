@@ -1,0 +1,11 @@
+//! Fixture: host-clock use without justification. Expected findings:
+//! 3 × wall-clock (two Instant tokens, one sleep call).
+
+use std::time::Instant;
+
+pub fn measure(f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    t0.elapsed().as_secs_f64()
+}

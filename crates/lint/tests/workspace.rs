@@ -1,0 +1,21 @@
+//! The workspace-wide gate: `cargo test` fails if any source file or
+//! manifest in the repository violates an sbx-lint rule. This is the same
+//! check `cargo run -p sbx-lint` performs from the command line.
+
+use sbx_lint::{lint_workspace, workspace_root};
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = workspace_root();
+    let findings = lint_workspace(&root).expect("lint walk failed");
+    assert!(
+        findings.is_empty(),
+        "sbx-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -93,7 +93,7 @@ impl RecordBundle {
     ) -> Result<Arc<Self>, AllocError> {
         let ncols = schema.ncols();
         assert!(
-            rows.len() % ncols == 0,
+            rows.len().is_multiple_of(ncols),
             "row data length {} not a multiple of column count {}",
             rows.len(),
             ncols
@@ -165,7 +165,10 @@ impl RecordBundle {
     #[inline]
     pub fn record_ref(&self, row: usize) -> RecordRef {
         debug_assert!(row < self.rows);
-        RecordRef { bundle: self.id, row: row as u32 }
+        RecordRef {
+            bundle: self.id,
+            row: row as u32,
+        }
     }
 
     /// Iterates over the rows as slices.
@@ -224,7 +227,10 @@ mod tests {
 
     #[test]
     fn record_ref_packs_and_unpacks() {
-        let r = RecordRef { bundle: BundleId(0xDEAD_BEEF), row: 0x1234_5678 };
+        let r = RecordRef {
+            bundle: BundleId(0xDEAD_BEEF),
+            row: 0x1234_5678,
+        };
         assert_eq!(RecordRef::unpack(r.pack()), r);
     }
 

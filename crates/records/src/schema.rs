@@ -1,10 +1,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a column within a record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Col(pub usize);
 
 impl fmt::Display for Col {
@@ -18,7 +16,7 @@ impl fmt::Display for Col {
 ///
 /// StreamBox-HBM supports numerical data, "very common in data analytics"
 /// (paper §6); every column is a `u64`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     names: Vec<String>,
     ts_col: Col,
@@ -56,7 +54,15 @@ impl Schema {
     /// `user_id, page_id, ad_id, ad_type, event_type, event_time, ip`.
     pub fn ysb() -> Arc<Self> {
         Schema::new(
-            vec!["user_id", "page_id", "ad_id", "ad_type", "event_type", "event_time", "ip"],
+            vec![
+                "user_id",
+                "page_id",
+                "ad_id",
+                "ad_type",
+                "event_type",
+                "event_time",
+                "ip",
+            ],
             Col(5),
         )
     }

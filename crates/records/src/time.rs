@@ -1,13 +1,9 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Event time of a record, in source-defined ticks (the benchmarks use
 /// nanoseconds-like integer ticks where 1 second of event time spans one
 /// window of 10 M records).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct EventTime(pub u64);
 
 impl EventTime {
@@ -46,9 +42,7 @@ impl From<u64> for EventTime {
 /// Watermarks drive window closure — an operator may finalize a window once
 /// a watermark at or past the window's end arrives. Records may still arrive
 /// out of order *between* watermarks.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Watermark(pub EventTime);
 
 impl Watermark {

@@ -1,14 +1,10 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::EventTime;
 
 /// Identifier of a temporal window; windows are externalized in `WindowId`
 /// order (record-time order, paper §5).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct WindowId(pub u64);
 
 impl fmt::Display for WindowId {
@@ -34,7 +30,7 @@ impl fmt::Display for WindowId {
 /// assert_eq!(sliding.start(WindowId(2)), EventTime(10));
 /// assert_eq!(sliding.end(WindowId(2)), EventTime(20));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WindowSpec {
     /// Non-overlapping windows of `size` ticks.
     Fixed {
@@ -69,7 +65,7 @@ impl WindowSpec {
     /// divide `size`.
     pub fn sliding(size: u64, slide: u64) -> Self {
         assert!(slide > 0 && slide <= size, "need 0 < slide <= size");
-        assert!(size % slide == 0, "slide must divide size");
+        assert!(size.is_multiple_of(slide), "slide must divide size");
         WindowSpec::Sliding { size, slide }
     }
 

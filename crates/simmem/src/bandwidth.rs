@@ -1,5 +1,4 @@
-use parking_lot::Mutex;
-
+use crate::sync::Mutex;
 use crate::MemKind;
 
 /// Width of one bandwidth-accounting bucket: 10 ms of simulated time, the

@@ -27,7 +27,9 @@ pub struct SimClock {
 impl SimClock {
     /// A clock starting at time zero.
     pub fn new() -> Self {
-        SimClock { now_ns: AtomicU64::new(0) }
+        SimClock {
+            now_ns: AtomicU64::new(0),
+        }
     }
 
     /// Current simulated time in nanoseconds.
@@ -49,7 +51,9 @@ impl SimClock {
 
     /// Moves the clock forward to at least `target_ns` (monotone `max`).
     pub fn advance_to(&self, target_ns: u64) -> u64 {
-        self.now_ns.fetch_max(target_ns, Ordering::AcqRel).max(target_ns)
+        self.now_ns
+            .fetch_max(target_ns, Ordering::AcqRel)
+            .max(target_ns)
     }
 }
 

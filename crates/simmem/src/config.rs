@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::MemKind;
 
 /// Characteristics of one memory tier (paper Table 3).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemSpec {
     /// Usable capacity in bytes.
     pub capacity_bytes: u64,
@@ -29,7 +27,7 @@ impl MemSpec {
 /// The presets encode the two evaluation machines from Table 3 of the paper:
 /// [`MachineConfig::knl`] (Intel Xeon Phi 7210, the hybrid-memory target) and
 /// [`MachineConfig::x56`] (a 4-socket Broadwell Xeon with DRAM only).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Human-readable machine name.
     pub name: String,
@@ -149,7 +147,10 @@ mod tests {
         let knl = MachineConfig::knl();
         let s = knl.scaled(1.0 / 16.0);
         assert_eq!(s.hbm.capacity_bytes, 1 << 30);
-        assert_eq!(s.hbm.bandwidth_bytes_per_sec, knl.hbm.bandwidth_bytes_per_sec);
+        assert_eq!(
+            s.hbm.bandwidth_bytes_per_sec,
+            knl.hbm.bandwidth_bytes_per_sec
+        );
         assert_eq!(s.cores, knl.cores);
     }
 

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{MachineConfig, MemKind};
 
 /// Cache-line granularity charged per random access.
@@ -12,7 +10,7 @@ pub(crate) const LINE_BYTES: f64 = 64.0;
 /// [`CostModel`] converts them into simulated time for a given core count.
 /// Profiles are additive: summing profiles of sub-steps yields the profile
 /// of the whole.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct AccessProfile {
     /// Sequentially streamed bytes (reads + writes) per tier,
     /// indexed by [`MemKind::index`].

@@ -43,7 +43,11 @@ impl MemEnv {
     /// Builds pools, monitor and cost model for `machine`.
     pub fn new(machine: MachineConfig) -> Self {
         let pools = [
-            MemPool::new(MemKind::Hbm, machine.spec(MemKind::Hbm), HBM_RESERVE_FRACTION),
+            MemPool::new(
+                MemKind::Hbm,
+                machine.spec(MemKind::Hbm),
+                HBM_RESERVE_FRACTION,
+            ),
             MemPool::new(MemKind::Dram, machine.spec(MemKind::Dram), 0.0),
         ];
         MemEnv {
@@ -105,7 +109,9 @@ impl MemEnv {
     pub fn charge_traffic(&self, profile: &AccessProfile, start_ns: u64, dur_ns: u64) {
         for kind in MemKind::ALL {
             let bytes = profile.bytes_on(kind) as u64;
-            self.inner.monitor.record_spread(kind, bytes, start_ns, dur_ns);
+            self.inner
+                .monitor
+                .record_spread(kind, bytes, start_ns, dur_ns);
         }
     }
 }
@@ -118,8 +124,14 @@ mod tests {
     fn pools_match_machine_capacities() {
         let m = MachineConfig::knl().scaled(1.0 / 1024.0);
         let env = MemEnv::new(m.clone());
-        assert_eq!(env.pool(MemKind::Hbm).capacity_bytes(), m.hbm.capacity_bytes);
-        assert_eq!(env.pool(MemKind::Dram).capacity_bytes(), m.dram.capacity_bytes);
+        assert_eq!(
+            env.pool(MemKind::Hbm).capacity_bytes(),
+            m.hbm.capacity_bytes
+        );
+        assert_eq!(
+            env.pool(MemKind::Dram).capacity_bytes(),
+            m.dram.capacity_bytes
+        );
     }
 
     #[test]

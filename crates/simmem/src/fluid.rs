@@ -9,9 +9,9 @@
 //! memory tier's bandwidth. The result is a makespan and per-tier bandwidth
 //! series from which figure rows are produced.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
-use crate::{AccessProfile, CostModel, MemKind};
+use crate::{AccessProfile, CostModel, GraphError, MemKind};
 
 /// Identifier of a task inside one simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,8 +33,9 @@ pub struct TaskSpec {
 pub struct SimReport {
     /// Total simulated time to drain the task graph, seconds.
     pub makespan_secs: f64,
-    /// Completion time of every task, seconds.
-    pub finish_secs: HashMap<TaskId, f64>,
+    /// Completion time of every task, seconds (ordered for deterministic
+    /// iteration).
+    pub finish_secs: BTreeMap<TaskId, f64>,
     /// Peak bandwidth per tier observed over any event interval,
     /// bytes per second, indexed by [`MemKind::index`].
     pub peak_bw: [f64; 2],
@@ -70,7 +71,7 @@ struct Running {
 ///         deps: vec![],
 ///     })
 ///     .collect();
-/// let report = FluidSim::new(model, 4).run(&tasks);
+/// let report = FluidSim::new(model, 4).run(&tasks).unwrap();
 /// assert!((report.makespan_secs - 1.0).abs() < 1e-9); // perfect overlap
 /// ```
 #[derive(Debug)]
@@ -82,44 +83,55 @@ pub struct FluidSim {
 impl FluidSim {
     /// A simulator over `model`'s machine with `cores` usable cores.
     pub fn new(model: CostModel, cores: u32) -> Self {
-        FluidSim { model, cores: cores.max(1) }
+        FluidSim {
+            model,
+            cores: cores.max(1),
+        }
     }
 
     /// Runs the task graph to completion.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tasks` contains duplicate ids or dependencies on unknown
-    /// ids (a malformed trace is a programming error, not a runtime
-    /// condition).
-    pub fn run(&self, tasks: &[TaskSpec]) -> SimReport {
+    /// Returns a [`GraphError`] if `tasks` contains duplicate ids,
+    /// dependencies on unknown ids, or a dependency cycle.
+    pub fn run(&self, tasks: &[TaskSpec]) -> Result<SimReport, GraphError> {
         let n = tasks.len();
-        let mut index: HashMap<TaskId, usize> = HashMap::with_capacity(n);
+        let mut index: BTreeMap<TaskId, usize> = BTreeMap::new();
         for (i, t) in tasks.iter().enumerate() {
-            assert!(index.insert(t.id, i).is_none(), "duplicate task id {:?}", t.id);
+            if index.insert(t.id, i).is_some() {
+                return Err(GraphError::DuplicateTask(t.id));
+            }
         }
         let mut pending_deps = vec![0usize; n];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (i, t) in tasks.iter().enumerate() {
             for d in &t.deps {
-                let di = *index.get(d).unwrap_or_else(|| panic!("unknown dep {d:?}"));
+                let Some(&di) = index.get(d) else {
+                    return Err(GraphError::UnknownDep(*d));
+                };
                 pending_deps[i] += 1;
                 dependents[di].push(i);
             }
         }
 
-        let mut ready: VecDeque<usize> =
-            (0..n).filter(|&i| pending_deps[i] == 0).collect();
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| pending_deps[i] == 0).collect();
         let mut running: Vec<Running> = Vec::new();
-        let mut finish = HashMap::with_capacity(n);
+        let mut finish = BTreeMap::new();
         let mut now = 0.0f64;
         let mut peak_bw = [0.0f64; 2];
         let mut total_bytes = [0.0f64; 2];
         let mut completed = 0usize;
 
         let bw_limits = [
-            self.model.machine().spec(MemKind::Hbm).bandwidth_bytes_per_sec,
-            self.model.machine().spec(MemKind::Dram).bandwidth_bytes_per_sec,
+            self.model
+                .machine()
+                .spec(MemKind::Hbm)
+                .bandwidth_bytes_per_sec,
+            self.model
+                .machine()
+                .spec(MemKind::Dram)
+                .bandwidth_bytes_per_sec,
         ];
 
         while completed < n {
@@ -144,12 +156,16 @@ impl FluidSim {
                 for kind in MemKind::ALL {
                     demand[kind.index()] = p.bytes_on(kind) / solo;
                 }
-                running.push(Running { idx: i, remaining: solo, bw_demand: demand });
+                running.push(Running {
+                    idx: i,
+                    remaining: solo,
+                    bw_demand: demand,
+                });
             }
             if running.is_empty() {
                 // Only instant tasks were ready; loop again.
                 if ready.is_empty() && completed < n {
-                    panic!("task graph deadlocked: cyclic dependencies");
+                    return Err(GraphError::Deadlock);
                 }
                 continue;
             }
@@ -205,7 +221,12 @@ impl FluidSim {
         } else {
             [0.0, 0.0]
         };
-        SimReport { makespan_secs: now, finish_secs: finish, peak_bw, avg_bw }
+        Ok(SimReport {
+            makespan_secs: now,
+            finish_secs: finish,
+            peak_bw,
+            avg_bw,
+        })
     }
 }
 
@@ -230,8 +251,8 @@ mod tests {
     fn independent_tasks_run_in_parallel() {
         let cycles = 1.3e9; // 1 s at 1 core on KNL
         let tasks: Vec<_> = (0..4).map(|i| cpu_task(i, cycles, vec![])).collect();
-        let serial = FluidSim::new(model(), 1).run(&tasks);
-        let parallel = FluidSim::new(model(), 4).run(&tasks);
+        let serial = FluidSim::new(model(), 1).run(&tasks).unwrap();
+        let parallel = FluidSim::new(model(), 4).run(&tasks).unwrap();
         assert!((serial.makespan_secs - 4.0).abs() < 1e-9);
         assert!((parallel.makespan_secs - 1.0).abs() < 1e-9);
     }
@@ -240,7 +261,7 @@ mod tests {
     fn dependencies_serialize() {
         let cycles = 1.3e9;
         let tasks = vec![cpu_task(0, cycles, vec![]), cpu_task(1, cycles, vec![0])];
-        let r = FluidSim::new(model(), 64).run(&tasks);
+        let r = FluidSim::new(model(), 64).run(&tasks).unwrap();
         assert!((r.makespan_secs - 2.0).abs() < 1e-9);
         assert!(r.finish_secs[&TaskId(1)] > r.finish_secs[&TaskId(0)]);
     }
@@ -257,7 +278,7 @@ mod tests {
                 deps: vec![],
             })
             .collect();
-        let r = FluidSim::new(model(), 64).run(&tasks);
+        let r = FluidSim::new(model(), 64).run(&tasks).unwrap();
         // Solo time 1 s each; contention doubles it.
         assert!((r.makespan_secs - 2.0).abs() < 1e-6, "{}", r.makespan_secs);
         assert!((r.peak_bw[MemKind::Dram.index()] - 80e9).abs() < 1e-3 * 80e9);
@@ -275,24 +296,38 @@ mod tests {
                 })
                 .collect()
         };
-        let dram = FluidSim::new(model(), 64).run(&mk(MemKind::Dram));
-        let hbm = FluidSim::new(model(), 64).run(&mk(MemKind::Hbm));
+        let dram = FluidSim::new(model(), 64).run(&mk(MemKind::Dram)).unwrap();
+        let hbm = FluidSim::new(model(), 64).run(&mk(MemKind::Hbm)).unwrap();
         assert!(hbm.makespan_secs < 0.6 * dram.makespan_secs);
     }
 
     #[test]
     fn instant_tasks_complete_and_release_deps() {
         let tasks = vec![cpu_task(0, 0.0, vec![]), cpu_task(1, 1.3e9, vec![0])];
-        let r = FluidSim::new(model(), 1).run(&tasks);
+        let r = FluidSim::new(model(), 1).run(&tasks).unwrap();
         assert_eq!(r.finish_secs[&TaskId(0)], 0.0);
         assert!((r.makespan_secs - 1.0).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "duplicate task id")]
-    fn duplicate_ids_panic() {
+    fn duplicate_ids_are_an_error() {
         let tasks = vec![cpu_task(0, 1.0, vec![]), cpu_task(0, 1.0, vec![])];
-        FluidSim::new(model(), 1).run(&tasks);
+        let err = FluidSim::new(model(), 1).run(&tasks).unwrap_err();
+        assert_eq!(err, GraphError::DuplicateTask(TaskId(0)));
+    }
+
+    #[test]
+    fn unknown_dep_is_an_error() {
+        let tasks = vec![cpu_task(0, 1.0, vec![9])];
+        let err = FluidSim::new(model(), 1).run(&tasks).unwrap_err();
+        assert_eq!(err, GraphError::UnknownDep(TaskId(9)));
+    }
+
+    #[test]
+    fn dependency_cycle_is_an_error() {
+        let tasks = vec![cpu_task(0, 1.0, vec![1]), cpu_task(1, 1.0, vec![0])];
+        let err = FluidSim::new(model(), 1).run(&tasks).unwrap_err();
+        assert_eq!(err, GraphError::Deadlock);
     }
 
     #[test]
@@ -302,7 +337,7 @@ mod tests {
             profile: AccessProfile::new().seq(MemKind::Dram, 80e9),
             deps: vec![],
         }];
-        let r = FluidSim::new(model(), 1).run(&tasks);
+        let r = FluidSim::new(model(), 1).run(&tasks).unwrap();
         // Solo: 5 GB/s per core => 16 s; avg bw = 80e9/16 = 5 GB/s.
         assert!((r.avg_bw[MemKind::Dram.index()] - 5e9).abs() < 1e-3 * 5e9);
     }

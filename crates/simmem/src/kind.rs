@@ -1,13 +1,11 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The two tiers of the hybrid memory system.
 ///
 /// StreamBox-HBM places Key Pointer Arrays in [`MemKind::Hbm`] and full
 /// record bundles in [`MemKind::Dram`]; the demand-balance knob (paper §5)
 /// decides per allocation which tier a new KPA lands on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum MemKind {
     /// 3D-stacked high-bandwidth memory: high sequential bandwidth, small
     /// capacity, slightly higher latency than DRAM.

@@ -45,13 +45,14 @@ mod error;
 mod fluid;
 mod kind;
 mod pool;
+pub mod sync;
 
 pub use bandwidth::{BandwidthMonitor, BandwidthSample, SAMPLE_INTERVAL_NS};
 pub use clock::SimClock;
 pub use config::{MachineConfig, MemSpec};
 pub use cost::{AccessProfile, CostModel};
 pub use env::MemEnv;
-pub use error::AllocError;
+pub use error::{AllocError, GraphError};
 pub use fluid::{FluidSim, SimReport, TaskId, TaskSpec};
 pub use kind::MemKind;
 pub use pool::{MemPool, PoolStats, PoolVec, Priority};

@@ -3,8 +3,7 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-
+use crate::sync::Mutex;
 use crate::{AllocError, MemKind, MemSpec};
 
 /// Allocation priority class (paper §5, "performance impact tags").
@@ -209,7 +208,9 @@ impl MemPool {
                 Err(actual) => used = actual,
             }
         }
-        self.inner.high_water_bytes.fetch_max(used + bytes, Ordering::AcqRel);
+        self.inner
+            .high_water_bytes
+            .fetch_max(used + bytes, Ordering::AcqRel);
         self.inner.allocs.fetch_add(1, Ordering::Relaxed);
         Ok(PoolVec {
             buf: Vec::with_capacity(slots),
@@ -324,7 +325,9 @@ impl Drop for PoolVec {
             _ => {
                 // Oversized (or reallocated beyond class) buffers release
                 // their accounting outright.
-                self.pool.used_bytes.fetch_sub(self.accounted_bytes, Ordering::AcqRel);
+                self.pool
+                    .used_bytes
+                    .fetch_sub(self.accounted_bytes, Ordering::AcqRel);
             }
         }
     }
@@ -431,7 +434,10 @@ mod tests {
         assert_eq!(class_for(1), Some(0));
         assert_eq!(class_for(MIN_CLASS_SLOTS), Some(0));
         assert_eq!(class_for(MIN_CLASS_SLOTS + 1), Some(1));
-        assert_eq!(class_for(class_slots(NUM_CLASSES - 1)), Some(NUM_CLASSES - 1));
+        assert_eq!(
+            class_for(class_slots(NUM_CLASSES - 1)),
+            Some(NUM_CLASSES - 1)
+        );
         assert_eq!(class_for(class_slots(NUM_CLASSES - 1) + 1), None);
     }
 }

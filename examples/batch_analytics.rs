@@ -6,8 +6,10 @@
 //!
 //! Run with: `cargo run --release --example batch_analytics`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
+use sbx_prng::SbxRng;
 use streambox_hbm::kpa::{hash, reduce_keyed, ExecCtx, Kpa};
 use streambox_hbm::prelude::*;
 
@@ -16,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rows_n = 500_000usize;
     let customers = 5_000u64;
     let env = MemEnv::new(MachineConfig::knl().scaled(0.25));
-    let mut rng = StdRng::seed_from_u64(2019);
+    let mut rng = SbxRng::seed_from_u64(2019);
     let mut rows = Vec::with_capacity(rows_n * 3);
     for _ in 0..rows_n {
         rows.extend_from_slice(&[
@@ -49,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Both agree, of course.
     assert_eq!(groups, grouped.len());
-    assert_eq!(grouped.get(top_customer.0).map(|(sum, _)| sum), Some(top_customer.1));
+    assert_eq!(
+        grouped.get(top_customer.0).map(|(sum, _)| sum),
+        Some(top_customer.1)
+    );
 
     println!("batch GroupBy over {rows_n} rows, {groups} customer groups");
     println!(

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example cluster`
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use streambox_hbm::engine::Cluster;
 use streambox_hbm::prelude::*;
 
@@ -19,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..RunConfig::default()
     };
 
-    println!("{:>9}  {:>14}  {:>12}  {:>9}", "instances", "records", "M rec/s", "delay s");
+    println!(
+        "{:>9}  {:>14}  {:>12}  {:>9}",
+        "instances", "records", "M rec/s", "delay s"
+    );
     for n in [1u64, 2, 4, 8] {
         let cluster = Cluster::new(n, cfg.clone());
         let report = cluster.run(mk_source, benchmarks::sum_per_key, 0, 40)?;

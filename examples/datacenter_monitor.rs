@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example datacenter_monitor`
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use streambox_hbm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -4,6 +4,9 @@
 //!
 //! Run with: `cargo run --release --example memory_balancing`
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use streambox_hbm::prelude::*;
 
 fn run_with_hbm(hbm_bytes: u64) -> Result<RunReport, Box<dyn std::error::Error>> {

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use streambox_hbm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -51,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(bundle) = report.outputs.first() {
         println!("first window sample (key -> sum):");
         for r in 0..bundle.rows().min(5) {
-            println!("  {:>6} -> {}", bundle.value(r, Col(0)), bundle.value(r, Col(1)));
+            println!(
+                "  {:>6} -> {}",
+                bundle.value(r, Col(0)),
+                bundle.value(r, Col(1))
+            );
         }
     }
     Ok(())

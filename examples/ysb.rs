@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example ysb`
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use streambox_hbm::prelude::*;
 
 const NUM_ADS: u64 = 1_000;
@@ -48,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row = RowEngine::new(RowEngineConfig::flink_knl(64, sender));
     let row_report = row.run(
         YsbSource::new(7, NUM_ADS, NUM_CAMPAIGNS, EVENT_RATE),
-        RowPipeline::YsbCount { campaigns: NUM_CAMPAIGNS },
+        RowPipeline::YsbCount {
+            campaigns: NUM_CAMPAIGNS,
+        },
         1_000_000_000,
         100,
     )?;

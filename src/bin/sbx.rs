@@ -9,12 +9,24 @@
 //! sbx list
 //! ```
 
+// Reporting binaries talk to stdout by design.
+#![allow(clippy::print_stdout, clippy::print_stderr)]
+
 use std::process::ExitCode;
 
 use streambox_hbm::prelude::*;
 
 const BENCHMARKS: [&str; 10] = [
-    "topk", "sum", "median", "avg", "avg-all", "unique", "join", "filter", "power-grid", "ysb",
+    "topk",
+    "sum",
+    "median",
+    "avg",
+    "avg-all",
+    "unique",
+    "join",
+    "filter",
+    "power-grid",
+    "ysb",
 ];
 
 fn usage() -> ExitCode {
@@ -59,7 +71,10 @@ impl Default for BenchArgs {
 }
 
 fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
-    let mut out = BenchArgs { name: args.first().cloned().unwrap_or_default(), ..Default::default() };
+    let mut out = BenchArgs {
+        name: args.first().cloned().unwrap_or_default(),
+        ..Default::default()
+    };
     if !BENCHMARKS.contains(&out.name.as_str()) {
         return Err(format!("unknown benchmark '{}'", out.name));
     }
@@ -73,7 +88,7 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             "--cores" => out.cores = value.parse().map_err(|_| "bad --cores")?,
             "--bundles" => out.bundles = value.parse().map_err(|_| "bad --bundles")?,
             "--bundle-rows" => {
-                out.bundle_rows = value.parse().map_err(|_| "bad --bundle-rows")?
+                out.bundle_rows = value.parse().map_err(|_| "bad --bundle-rows")?;
             }
             "--keys" => out.keys = value.parse().map_err(|_| "bad --keys")?,
             "--samples-csv" => out.samples_csv = Some(value.clone()),
@@ -142,10 +157,16 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
             let r = KvSource::new(2, a.keys, a.rate).with_value_range(1_000_000);
             engine.run_pair(l, r, pipeline, a.bundles / 2)?
         }
-        "power-grid" => {
-            engine.run(PowerGridSource::new(1, 100, 20, a.rate), pipeline, a.bundles)?
-        }
-        "ysb" => engine.run(YsbSource::new(1, 10_000, 1_000, a.rate), pipeline, a.bundles)?,
+        "power-grid" => engine.run(
+            PowerGridSource::new(1, 100, 20, a.rate),
+            pipeline,
+            a.bundles,
+        )?,
+        "ysb" => engine.run(
+            YsbSource::new(1, 10_000, 1_000, a.rate),
+            pipeline,
+            a.bundles,
+        )?,
         _ => engine.run(
             KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000),
             pipeline,
@@ -170,7 +191,10 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         "  output delay   : {:>10.4} s max ({:.4} s avg)",
         report.max_output_delay_secs, report.avg_output_delay_secs
     );
-    println!("  HBM high water : {:>10} KiB", report.hbm_peak_used_bytes / 1024);
+    println!(
+        "  HBM high water : {:>10} KiB",
+        report.hbm_peak_used_bytes / 1024
+    );
     if let Some(s) = report.samples.last() {
         println!("  knob (k_low, k_high): ({:.2}, {:.2})", s.k_low, s.k_high);
     }
@@ -275,14 +299,27 @@ mod tests {
     use super::*;
 
     fn s(v: &[&str]) -> Vec<String> {
-        v.iter().map(|x| x.to_string()).collect()
+        v.iter().map(std::string::ToString::to_string).collect()
     }
 
     #[test]
     fn parses_full_flag_set() {
         let a = parse_bench_args(&s(&[
-            "topk", "--cores", "16", "--bundles", "8", "--bundle-rows", "500", "--nic", "eth",
-            "--mode", "dram", "--keys", "42", "--rate", "1000",
+            "topk",
+            "--cores",
+            "16",
+            "--bundles",
+            "8",
+            "--bundle-rows",
+            "500",
+            "--nic",
+            "eth",
+            "--mode",
+            "dram",
+            "--keys",
+            "42",
+            "--rate",
+            "1000",
         ]))
         .unwrap();
         assert_eq!(a.cores, 16);

@@ -55,8 +55,7 @@ pub mod prelude {
         RunConfig, RunReport,
     };
     pub use sbx_ingress::{
-        IngestFormat, KvSource, NicModel, PowerGridSource, Sender, SenderConfig, Source,
-        YsbSource,
+        IngestFormat, KvSource, NicModel, PowerGridSource, Sender, SenderConfig, Source, YsbSource,
     };
     pub use sbx_kpa::{ExecCtx, Kpa};
     pub use sbx_records::{Col, EventTime, RecordBundle, Schema, Watermark, WindowSpec};

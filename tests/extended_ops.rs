@@ -80,7 +80,10 @@ fn map_records_feeds_downstream_aggregation() {
     let mut got: HashMap<(u64, u64), u64> = HashMap::new();
     for b in &report.outputs {
         for r in 0..b.rows() {
-            got.insert((b.value(r, Col(2)) / WINDOW, b.value(r, Col(0))), b.value(r, Col(1)));
+            got.insert(
+                (b.value(r, Col(2)) / WINDOW, b.value(r, Col(0))),
+                b.value(r, Col(1)),
+            );
         }
     }
     assert_eq!(got, expect);
@@ -161,8 +164,7 @@ fn pane_combining_matches_duplicating_sliding_sum() {
             PipelineBuilder::new(spec)
                 .windowed_panes()
                 .op(Box::new(
-                    KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum)
-                        .with_pane_combining(),
+                    KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum).with_pane_combining(),
                 ))
                 .build()
         } else {
@@ -182,9 +184,8 @@ fn pane_combining_matches_duplicating_sliding_sum() {
             .outputs
             .iter()
             .flat_map(|b| {
-                (0..b.rows()).map(move |r| {
-                    (b.value(r, Col(2)), b.value(r, Col(0)), b.value(r, Col(1)))
-                })
+                (0..b.rows())
+                    .map(move |r| (b.value(r, Col(2)), b.value(r, Col(0)), b.value(r, Col(1))))
             })
             .collect();
         digest.sort_unstable();

@@ -73,9 +73,16 @@ fn extreme_values_survive_the_pipeline() {
 fn dram_exhaustion_is_a_typed_error() {
     let mut machine = MachineConfig::knl();
     machine.dram.capacity_bytes = 64 * 1024;
-    let cfg = RunConfig { machine, ..base_cfg() };
+    let cfg = RunConfig {
+        machine,
+        ..base_cfg()
+    };
     let err = Engine::new(cfg)
-        .run(KvSource::new(4, 100, 100_000), benchmarks::sum_per_key(), 10)
+        .run(
+            KvSource::new(4, 100, 100_000),
+            benchmarks::sum_per_key(),
+            10,
+        )
         .expect_err("must fail");
     match err {
         EngineError::Alloc(e) => assert_eq!(e.kind, MemKind::Dram),
@@ -107,13 +114,17 @@ fn absent_watermarks_defer_all_output_to_flush() {
 fn out_of_order_arrival_is_handled_by_event_time() {
     use std::collections::HashMap;
     let jitter = 200_000_000; // 0.2 event-seconds of disorder
-    let source = KvSource::new(6, 10, 100_000).with_value_range(100).with_jitter(jitter);
+    let source = KvSource::new(6, 10, 100_000)
+        .with_value_range(100)
+        .with_jitter(jitter);
     let report = Engine::new(base_cfg())
         .run(source, benchmarks::sum_per_key(), 20)
         .expect("run");
 
     // Oracle over the same jittered records, grouped by event-time window.
-    let mut src = KvSource::new(6, 10, 100_000).with_value_range(100).with_jitter(jitter);
+    let mut src = KvSource::new(6, 10, 100_000)
+        .with_value_range(100)
+        .with_jitter(jitter);
     let mut flat = Vec::new();
     src.fill(20_000, &mut flat);
     let mut expect: HashMap<(u64, u64), u64> = HashMap::new();

@@ -18,7 +18,10 @@ struct LyingSource {
 
 impl LyingSource {
     fn new(seed: u64) -> Self {
-        LyingSource { inner: KvSource::new(seed, 10, 1_000).with_value_range(100), count: 0 }
+        LyingSource {
+            inner: KvSource::new(seed, 10, 1_000).with_value_range(100),
+            count: 0,
+        }
     }
 }
 
@@ -34,7 +37,7 @@ impl Source for LyingSource {
         // behind any watermark the sender has already promised.
         for (i, row) in out[start..].chunks_mut(3).enumerate() {
             self.count += 1;
-            if (self.count + i as u64) % 7 == 0 {
+            if (self.count + i as u64).is_multiple_of(7) {
                 row[2] = row[2].saturating_sub(2_000_000_000);
             }
         }
@@ -76,9 +79,11 @@ fn violated_watermarks_never_duplicate_windows() {
 
 #[test]
 fn honest_sources_drop_nothing() {
-    use streambox_hbm::engine::ops::{AggKind, KeyedAggregate};
-    use streambox_hbm::engine::{DemandBalancer, EngineMode, ImpactTag, Message, OpCtx, Operator, StreamData};
     use streambox_hbm::engine::ops::WindowInto;
+    use streambox_hbm::engine::ops::{AggKind, KeyedAggregate};
+    use streambox_hbm::engine::{
+        DemandBalancer, EngineMode, ImpactTag, Message, OpCtx, Operator, StreamData,
+    };
     use streambox_hbm::records::{RecordBundle, Watermark};
 
     let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
@@ -95,7 +100,8 @@ fn honest_sources_drop_nothing() {
     {
         agg.on_message(&mut ctx, m).unwrap();
     }
-    agg.on_message(&mut ctx, Message::Watermark(Watermark::from(100))).unwrap();
+    agg.on_message(&mut ctx, Message::Watermark(Watermark::from(100)))
+        .unwrap();
     assert_eq!(agg.late_records(), 0);
 }
 
@@ -130,5 +136,9 @@ fn late_windowed_data_is_counted_and_ignored() {
         assert!(outs.is_empty());
     }
     assert_eq!(agg.late_records(), 1);
-    assert_eq!(agg.open_windows(), 0, "late data must not re-open the window");
+    assert_eq!(
+        agg.open_windows(),
+        0,
+        "late data must not re-open the window"
+    );
 }

@@ -7,7 +7,11 @@ use streambox_hbm::prelude::*;
 use streambox_hbm::records::live_bundles;
 
 fn small_sender() -> SenderConfig {
-    SenderConfig { bundle_rows: 2_000, bundles_per_watermark: 5, nic: NicModel::rdma_40g() }
+    SenderConfig {
+        bundle_rows: 2_000,
+        bundles_per_watermark: 5,
+        nic: NicModel::rdma_40g(),
+    }
 }
 
 #[test]
@@ -20,7 +24,11 @@ fn run_leaves_no_live_bundles_when_outputs_dropped() {
         ..RunConfig::default()
     };
     let report = Engine::new(cfg)
-        .run(KvSource::new(1, 100, 100_000), benchmarks::sum_per_key(), 25)
+        .run(
+            KvSource::new(1, 100, 100_000),
+            benchmarks::sum_per_key(),
+            25,
+        )
         .expect("run");
     assert!(report.records_in > 0);
     assert_eq!(
@@ -41,7 +49,11 @@ fn pool_accounting_returns_to_freelists() {
     let engine = Engine::new(cfg);
     let env = engine.env().clone();
     engine
-        .run(KvSource::new(2, 100, 100_000), benchmarks::topk_per_key(3), 25)
+        .run(
+            KvSource::new(2, 100, 100_000),
+            benchmarks::topk_per_key(3),
+            25,
+        )
         .expect("run");
     // After the run every buffer is back in the freelists: trimming them
     // must drop live accounting to zero.
@@ -74,7 +86,10 @@ fn tiny_hbm_forces_spill_but_run_succeeds() {
     assert!(report.output_records > 0);
     // Spills happened: DRAM must have been used for KPA traffic well beyond
     // bundle storage alone, and some HBM allocations failed.
-    assert!(env.pool(MemKind::Hbm).stats().failed_allocs > 0, "expected HBM pressure");
+    assert!(
+        env.pool(MemKind::Hbm).stats().failed_allocs > 0,
+        "expected HBM pressure"
+    );
 }
 
 #[test]

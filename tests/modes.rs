@@ -40,7 +40,11 @@ fn run_mode(mode: EngineMode) -> (BTreeMap<(u64, u64), u64>, RunReport) {
 #[test]
 fn all_modes_compute_identical_results() {
     let (hybrid, _) = run_mode(EngineMode::Hybrid);
-    for mode in [EngineMode::CachingKpa, EngineMode::DramOnly, EngineMode::CachingNoKpa] {
+    for mode in [
+        EngineMode::CachingKpa,
+        EngineMode::DramOnly,
+        EngineMode::CachingNoKpa,
+    ] {
         let (digest, _) = run_mode(mode);
         assert_eq!(digest, hybrid, "{mode} diverged from Hybrid");
     }
@@ -111,9 +115,8 @@ fn parallel_prefix_matches_serial_execution() {
             .outputs
             .iter()
             .flat_map(|b| {
-                (0..b.rows()).map(move |r| {
-                    (b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2)))
-                })
+                (0..b.rows())
+                    .map(move |r| (b.value(r, Col(0)), b.value(r, Col(1)), b.value(r, Col(2))))
             })
             .collect();
         digest.sort_unstable();

@@ -29,7 +29,9 @@ fn run_benchmark(pipeline: Pipeline, seed: u64, keys: u64, vrange: u64) -> RunRe
         ..RunConfig::default()
     };
     let source = KvSource::new(seed, keys, 60_000).with_value_range(vrange);
-    Engine::new(cfg).run(source, pipeline, 20).expect("engine run")
+    Engine::new(cfg)
+        .run(source, pipeline, 20)
+        .expect("engine run")
 }
 
 fn outputs_as_map(report: &RunReport) -> HashMap<(u64, u64), u64> {
@@ -54,8 +56,10 @@ fn avg_per_key_matches_oracle() {
         e.0 += *v as u128;
         e.1 += 1;
     }
-    let expect: HashMap<(u64, u64), u64> =
-        sums.into_iter().map(|(k, (s, c))| (k, (s / c as u128) as u64)).collect();
+    let expect: HashMap<(u64, u64), u64> = sums
+        .into_iter()
+        .map(|(k, (s, c))| (k, (s / c as u128) as u64))
+        .collect();
     assert_eq!(outputs_as_map(&report), expect);
 }
 
@@ -85,8 +89,10 @@ fn unique_count_per_key_matches_oracle() {
     for [k, v, t] in &rows {
         groups.entry((t / WINDOW, *k)).or_default().insert(*v);
     }
-    let expect: HashMap<(u64, u64), u64> =
-        groups.into_iter().map(|(k, s)| (k, s.len() as u64)).collect();
+    let expect: HashMap<(u64, u64), u64> = groups
+        .into_iter()
+        .map(|(k, s)| (k, s.len() as u64))
+        .collect();
     assert_eq!(outputs_as_map(&report), expect);
 }
 
@@ -103,7 +109,9 @@ fn topk_emits_k_largest_values_per_key() {
     for b in &report.outputs {
         for r in 0..b.rows() {
             let w = b.value(r, Col(2)) / WINDOW;
-            got.entry((w, b.value(r, Col(0)))).or_default().push(b.value(r, Col(1)));
+            got.entry((w, b.value(r, Col(0))))
+                .or_default()
+                .push(b.value(r, Col(1)));
         }
     }
     for (key, mut vs) in groups {
@@ -142,7 +150,9 @@ fn ysb_counts_views_per_campaign() {
     for rec in flat.chunks(7) {
         if rec[3] < 2 {
             // same ad_type filter as the pipeline
-            *expect.entry((rec[5] / WINDOW, rec[2] % campaigns)).or_insert(0) += 1;
+            *expect
+                .entry((rec[5] / WINDOW, rec[2] % campaigns))
+                .or_insert(0) += 1;
         }
     }
     assert_eq!(outputs_as_map(&report), expect);

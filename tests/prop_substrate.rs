@@ -1,80 +1,94 @@
-//! Property-based tests for the simulation substrate: the pool allocator's
-//! capacity invariants, the demand balancer's knob, the fluid simulator's
-//! bounds, and the cost model's monotonicity.
+//! Randomized property tests for the simulation substrate: the pool
+//! allocator's capacity invariants, the demand balancer's knob, the fluid
+//! simulator's bounds, and the cost model's monotonicity.
+//!
+//! Cases are generated from a fixed-seed [`SbxRng`], so every run checks
+//! the exact same inputs (fully deterministic, offline-friendly stand-in
+//! for the earlier proptest suite).
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
+use sbx_prng::SbxRng;
 use streambox_hbm::engine::DemandBalancer;
 use streambox_hbm::prelude::*;
 use streambox_hbm::simmem::{
     AccessProfile, CostModel, FluidSim, MemPool, MemSpec, TaskId, TaskSpec,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// The pool never hands out more than its capacity, and freeing
-    /// everything (plus trim) returns accounting to zero.
-    #[test]
-    fn pool_capacity_is_never_exceeded(
-        sizes in vec(1usize..20_000, 1..40),
-        capacity_kib in 64u64..2_048,
-    ) {
-        let spec = MemSpec {
-            capacity_bytes: capacity_kib * 1024,
-            bandwidth_bytes_per_sec: 375e9,
-            latency_ns: 172.0,
+fn spec(capacity_bytes: u64) -> MemSpec {
+    MemSpec {
+        capacity_bytes,
+        bandwidth_bytes_per_sec: 375e9,
+        latency_ns: 172.0,
+    }
+}
+
+/// The pool never hands out more than its capacity, and freeing everything
+/// (plus trim) returns accounting to zero.
+#[test]
+fn pool_capacity_is_never_exceeded() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0001);
+    for _ in 0..CASES {
+        let sizes: Vec<u64> = {
+            let n = rng.random_range(1..40) as usize;
+            rng.vec_in(n, 1..20_000)
         };
-        let pool = MemPool::new(MemKind::Hbm, spec, 0.0);
+        let capacity_kib = rng.random_range(64..2_048);
+        let pool = MemPool::new(MemKind::Hbm, spec(capacity_kib * 1024), 0.0);
         let mut live = Vec::new();
         for &s in &sizes {
-            if let Ok(buf) = pool.alloc_u64(s, Priority::Normal) {
+            if let Ok(buf) = pool.alloc_u64(s as usize, Priority::Normal) {
                 live.push(buf);
             }
-            prop_assert!(pool.used_bytes() <= pool.capacity_bytes());
+            assert!(pool.used_bytes() <= pool.capacity_bytes());
         }
         live.clear();
         pool.trim();
-        prop_assert_eq!(pool.used_bytes(), 0);
+        assert_eq!(pool.used_bytes(), 0);
     }
+}
 
-    /// Reserved-priority allocations can use strictly more of the pool
-    /// than normal ones, but never more than capacity.
-    #[test]
-    fn reserve_ordering_holds(reserve in 0.0f64..=1.0) {
-        let spec = MemSpec {
-            capacity_bytes: 1 << 20,
-            bandwidth_bytes_per_sec: 375e9,
-            latency_ns: 172.0,
-        };
-        let pool = MemPool::new(MemKind::Hbm, spec, reserve);
+/// Reserved-priority allocations can use strictly more of the pool than
+/// normal ones, but never more than capacity.
+#[test]
+fn reserve_ordering_holds() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0002);
+    for _ in 0..CASES {
+        let reserve = rng.random_f64();
+        let pool = MemPool::new(MemKind::Hbm, spec(1 << 20), reserve);
         let normal = pool.available_bytes(Priority::Normal);
         let reserved = pool.available_bytes(Priority::Reserved);
-        prop_assert!(normal <= reserved);
-        prop_assert!(reserved <= pool.capacity_bytes());
+        assert!(normal <= reserved);
+        assert!(reserved <= pool.capacity_bytes());
     }
+}
 
-    /// Whatever sequence of monitor samples arrives, the knob stays in
-    /// [0, 1]^2 and k_high never exceeds... (k_high only falls after k_low
-    /// hits zero, so k_low <= k_high can only be violated transiently when
-    /// recovering; both stay bounded).
-    #[test]
-    fn balancer_knob_stays_bounded(
-        samples in vec((0.0f64..=1.2, 0.0f64..=1.5, any::<bool>()), 0..200),
-    ) {
+/// Whatever sequence of monitor samples arrives, the knob stays bounded in
+/// [0, 1] on both axes.
+#[test]
+fn balancer_knob_stays_bounded() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0003);
+    for _ in 0..CASES {
         let mut b = DemandBalancer::new();
-        for (hbm, dram, headroom) in samples {
+        let steps = rng.random_range(0..200);
+        for _ in 0..steps {
+            let hbm = rng.random_f64() * 1.2;
+            let dram = rng.random_f64() * 1.5;
+            let headroom = rng.random_bool(0.5);
             b.update(hbm, dram, headroom);
             let k = b.knob();
-            prop_assert!((0.0..=1.0).contains(&k.k_low), "k_low {}", k.k_low);
-            prop_assert!((0.0..=1.0).contains(&k.k_high), "k_high {}", k.k_high);
+            assert!((0.0..=1.0).contains(&k.k_low), "k_low {}", k.k_low);
+            assert!((0.0..=1.0).contains(&k.k_high), "k_high {}", k.k_high);
         }
     }
+}
 
-    /// Over many placements, the HBM fraction tracks the knob value.
-    #[test]
-    fn placement_fraction_tracks_knob(steps in 0usize..20) {
+/// Over many placements, the HBM fraction tracks the knob value.
+#[test]
+fn placement_fraction_tracks_knob() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0004);
+    for _ in 0..20 {
+        let steps = rng.random_range(0..20);
         let mut b = DemandBalancer::new();
         for _ in 0..steps {
             b.update(1.0, 0.0, true);
@@ -82,90 +96,102 @@ proptest! {
         let k = b.knob().k_low;
         let n = 2_000;
         let hbm = (0..n)
-            .filter(|_| {
-                b.place(streambox_hbm::engine::ImpactTag::Low).0 == MemKind::Hbm
-            })
+            .filter(|_| b.place(streambox_hbm::engine::ImpactTag::Low).0 == MemKind::Hbm)
             .count();
         let frac = hbm as f64 / n as f64;
-        prop_assert!((frac - k).abs() < 1e-3, "frac {frac} vs knob {k}");
+        assert!((frac - k).abs() < 1e-3, "frac {frac} vs knob {k}");
     }
+}
 
-    /// Fluid-simulated makespan is bounded below by the longest task and
-    /// above by the serial sum.
-    #[test]
-    fn fluid_makespan_bounds(cycles in vec(1.0e6f64..1.0e9, 1..30), cores in 1u32..64) {
+/// Fluid-simulated makespan is bounded below by the longest task and above
+/// by the serial sum.
+#[test]
+fn fluid_makespan_bounds() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0005);
+    for _ in 0..CASES {
         let model = CostModel::new(MachineConfig::knl());
-        let tasks: Vec<TaskSpec> = cycles
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| TaskSpec {
-                id: TaskId(i as u64),
-                profile: AccessProfile::new().cpu(c),
+        let n = rng.random_range(1..30);
+        let cores = rng.random_range(1..64) as u32;
+        let tasks: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec {
+                id: TaskId(i),
+                profile: AccessProfile::new().cpu(1.0e6 + rng.random_f64() * (1.0e9 - 1.0e6)),
                 deps: vec![],
             })
             .collect();
-        let report = FluidSim::new(model.clone(), cores).run(&tasks);
-        let solo: Vec<f64> = tasks.iter().map(|t| model.time_secs(&t.profile, 1)).collect();
-        let longest = solo.iter().cloned().fold(0.0, f64::max);
-        let serial: f64 = solo.iter().sum();
-        prop_assert!(report.makespan_secs >= longest - 1e-12);
-        prop_assert!(report.makespan_secs <= serial + 1e-9);
-    }
-
-    /// A chain of dependent tasks serializes exactly.
-    #[test]
-    fn fluid_chain_serializes(cycles in vec(1.0e6f64..1.0e8, 1..20)) {
-        let model = CostModel::new(MachineConfig::knl());
-        let tasks: Vec<TaskSpec> = cycles
+        let report = FluidSim::new(model.clone(), cores)
+            .run(&tasks)
+            .expect("valid graph");
+        let solo: Vec<f64> = tasks
             .iter()
-            .enumerate()
-            .map(|(i, &c)| TaskSpec {
-                id: TaskId(i as u64),
-                profile: AccessProfile::new().cpu(c),
-                deps: if i == 0 { vec![] } else { vec![TaskId(i as u64 - 1)] },
+            .map(|t| model.time_secs(&t.profile, 1))
+            .collect();
+        let longest = solo.iter().copied().fold(0.0, f64::max);
+        let serial: f64 = solo.iter().sum();
+        assert!(report.makespan_secs >= longest - 1e-12);
+        assert!(report.makespan_secs <= serial + 1e-9);
+    }
+}
+
+/// A chain of dependent tasks serializes exactly.
+#[test]
+fn fluid_chain_serializes() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0006);
+    for _ in 0..CASES {
+        let model = CostModel::new(MachineConfig::knl());
+        let n = rng.random_range(1..20);
+        let tasks: Vec<TaskSpec> = (0..n)
+            .map(|i| TaskSpec {
+                id: TaskId(i),
+                profile: AccessProfile::new().cpu(1.0e6 + rng.random_f64() * (1.0e8 - 1.0e6)),
+                deps: if i == 0 { vec![] } else { vec![TaskId(i - 1)] },
             })
             .collect();
-        let report = FluidSim::new(model.clone(), 64).run(&tasks);
+        let report = FluidSim::new(model.clone(), 64)
+            .run(&tasks)
+            .expect("valid graph");
         let serial: f64 = tasks.iter().map(|t| model.time_secs(&t.profile, 1)).sum();
-        prop_assert!((report.makespan_secs - serial).abs() < 1e-9 * serial.max(1.0));
+        assert!((report.makespan_secs - serial).abs() < 1e-9 * serial.max(1.0));
     }
+}
 
-    /// Cost-model time is monotone: more work never takes less time, and
-    /// more cores never take more time.
-    #[test]
-    fn cost_model_is_monotone(
-        seq in 0.0f64..1e12,
-        rand_acc in 0.0f64..1e9,
-        cpu in 0.0f64..1e12,
-        cores in 1u32..128,
-    ) {
+/// Cost-model time is monotone: more work never takes less time, and more
+/// cores never take more time.
+#[test]
+fn cost_model_is_monotone() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0007);
+    for _ in 0..CASES {
+        let seq = rng.random_f64() * 1e12;
+        let rand_acc = rng.random_f64() * 1e9;
+        let cpu = rng.random_f64() * 1e12;
+        let cores = rng.random_range(1..128) as u32;
         let m = CostModel::new(MachineConfig::knl());
         let p = AccessProfile::new()
             .seq(MemKind::Hbm, seq)
             .rand(MemKind::Dram, rand_acc)
             .cpu(cpu);
         let bigger = p.merge(&AccessProfile::new().seq(MemKind::Hbm, 1.0).cpu(1.0));
-        prop_assert!(m.time_secs(&bigger, cores) >= m.time_secs(&p, cores));
-        prop_assert!(m.time_secs(&p, cores + 1) <= m.time_secs(&p, cores) + 1e-15);
+        assert!(m.time_secs(&bigger, cores) >= m.time_secs(&p, cores));
+        assert!(m.time_secs(&p, cores + 1) <= m.time_secs(&p, cores) + 1e-15);
     }
+}
 
-    /// Bandwidth-monitor totals equal the sum of recorded traffic however
-    /// it is spread over time.
-    #[test]
-    fn bandwidth_monitor_conserves_bytes(
-        chunks in vec((1u64..1_000_000, 0u64..10u64), 0..50),
-    ) {
+/// Bandwidth-monitor totals equal the sum of recorded traffic however it
+/// is spread over time.
+#[test]
+fn bandwidth_monitor_conserves_bytes() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_0008);
+    for _ in 0..CASES {
         let env = MemEnv::new(MachineConfig::knl());
+        let chunks = rng.random_range(0..50);
         let mut total = 0u64;
-        for (bytes, tens_ms) in chunks {
-            env.monitor().record_spread(
-                MemKind::Dram,
-                bytes,
-                tens_ms * 10_000_000,
-                7_777_777,
-            );
+        for _ in 0..chunks {
+            let bytes = rng.random_range(1..1_000_000);
+            let tens_ms = rng.random_range(0..10);
+            env.monitor()
+                .record_spread(MemKind::Dram, bytes, tens_ms * 10_000_000, 7_777_777);
             total += bytes;
         }
-        prop_assert_eq!(env.monitor().total_bytes(MemKind::Dram), total);
+        assert_eq!(env.monitor().total_bytes(MemKind::Dram), total);
     }
 }

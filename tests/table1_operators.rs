@@ -31,10 +31,19 @@ fn run_profiled(pipeline: Pipeline, seed: u64) -> (RunReport, MemEnv) {
 fn benchmark_pipelines_compose_per_table1() {
     // Grouping operators build on Windowing (Partition) + Sort/Merge;
     // reductions follow grouping, exactly as Table 1 lays out.
-    assert_eq!(benchmarks::sum_per_key().op_names(), ["Window", "KeyedAggregate"]);
+    assert_eq!(
+        benchmarks::sum_per_key().op_names(),
+        ["Window", "KeyedAggregate"]
+    );
     assert_eq!(benchmarks::avg_all().op_names(), ["Window", "AvgAll"]);
-    assert_eq!(benchmarks::temporal_join().op_names(), ["Window", "TemporalJoin"]);
-    assert_eq!(benchmarks::windowed_filter().op_names(), ["Window", "WindowedFilter"]);
+    assert_eq!(
+        benchmarks::temporal_join().op_names(),
+        ["Window", "TemporalJoin"]
+    );
+    assert_eq!(
+        benchmarks::windowed_filter().op_names(),
+        ["Window", "WindowedFilter"]
+    );
     assert_eq!(benchmarks::power_grid().op_names(), ["Window", "PowerGrid"]);
     assert_eq!(
         benchmarks::ysb(10).op_names(),
