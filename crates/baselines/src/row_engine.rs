@@ -220,6 +220,9 @@ impl RowEngine {
                     }
                     flush_round(&mut round_profile, &mut round_ingest_ns);
                 }
+                // The baseline row engine does not checkpoint; barriers
+                // only appear when explicitly requested via the sender.
+                IngressEvent::Barrier(_) => {}
             }
         }
         // Drain remaining windows.

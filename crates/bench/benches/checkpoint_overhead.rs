@@ -1,0 +1,7 @@
+//! `cargo bench --bench checkpoint_overhead` — snapshot interval vs
+//! throughput/latency sweep.
+
+fn main() {
+    let out = sbx_bench::checkpoint_overhead::run();
+    sbx_bench::save_experiment("checkpoint_overhead", &out);
+}

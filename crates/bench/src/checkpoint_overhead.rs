@@ -1,0 +1,154 @@
+//! Checkpoint overhead: snapshot interval vs throughput and output delay.
+//!
+//! Asynchronous barrier snapshotting is not free: every barrier aligns the
+//! in-flight batch, materializes each stateful operator's KPA state
+//! (Table-2 `Materialize`, paper §4.3) and writes the encoded snapshot
+//! into the accounted DRAM pool — sequential DRAM traffic the bandwidth
+//! monitor sees like any other. This harness sweeps the barrier interval
+//! (bundles between checkpoints) over the TopK-per-key workload and
+//! reports the throughput cost and snapshot footprint at each cadence,
+//! with an uncheckpointed baseline as the reference.
+
+use sbx_checkpoint::CheckpointCoordinator;
+use sbx_engine::{benchmarks, Engine, RunConfig, RunReport};
+use sbx_ingress::{KvSource, NicModel, SenderConfig};
+use sbx_simmem::MachineConfig;
+
+use crate::table::{f1, f2, Table};
+
+const CORES: u32 = 64;
+const BUNDLE_ROWS: usize = 20_000;
+const BUNDLES: usize = 60;
+const KEYS: u64 = 10_000;
+const RATE: u64 = 20_000_000;
+
+/// Barrier intervals swept (bundles between checkpoints).
+pub const INTERVALS: [u64; 4] = [2, 5, 10, 20];
+
+fn cfg() -> RunConfig {
+    RunConfig {
+        machine: MachineConfig::knl(),
+        cores: CORES,
+        sender: SenderConfig {
+            bundle_rows: BUNDLE_ROWS,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    }
+}
+
+/// Runs TopK-per-key with a checkpoint every `interval` bundles (`None`
+/// disables checkpointing). Returns the report plus the coordinator
+/// holding the snapshot store and accounting samples.
+pub fn checkpointed_run(interval: Option<u64>) -> (RunReport, CheckpointCoordinator) {
+    let mut coord = CheckpointCoordinator::new();
+    let engine = Engine::new(cfg());
+    let source = KvSource::new(31, KEYS, RATE).with_value_range(1_000_000);
+    let report = engine
+        .run_with_hooks(
+            source,
+            benchmarks::topk_per_key(3),
+            BUNDLES,
+            interval,
+            &mut coord,
+        )
+        .expect("run");
+    (report, coord)
+}
+
+/// Regenerates the checkpoint-overhead sweep.
+pub fn run() -> String {
+    let (base, _) = checkpointed_run(None);
+    let mut t = Table::new(
+        "Checkpoint overhead: snapshot interval vs throughput (TopK, KNL, 64 cores)",
+        &[
+            "interval",
+            "Mrec/s",
+            "overhead %",
+            "checkpoints",
+            "avg snap KiB",
+            "store KiB",
+            "max delay ms",
+        ],
+    );
+    t.row(vec![
+        "off".to_string(),
+        f1(base.throughput_mrps()),
+        f2(0.0),
+        "0".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        f2(base.max_output_delay_secs * 1e3),
+    ]);
+    for interval in INTERVALS {
+        let (r, coord) = checkpointed_run(Some(interval));
+        let n = coord.samples().len().max(1);
+        let avg_snap: u64 = coord
+            .samples()
+            .iter()
+            .map(|s| s.snapshot_bytes)
+            .sum::<u64>()
+            / n as u64;
+        let overhead = 100.0 * (1.0 - r.throughput_rps / base.throughput_rps);
+        t.row(vec![
+            interval.to_string(),
+            f1(r.throughput_mrps()),
+            f2(overhead),
+            coord.samples().len().to_string(),
+            (avg_snap / 1024).to_string(),
+            (coord.store().total_bytes() / 1024).to_string(),
+            f2(r.max_output_delay_secs * 1e3),
+        ]);
+    }
+    t.print()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checkpointing must never change results: every swept cadence
+    /// produces the same outputs as the uncheckpointed baseline.
+    #[test]
+    fn checkpointing_does_not_change_results() {
+        let (base, _) = checkpointed_run(None);
+        for interval in [5u64, 20] {
+            let (r, coord) = checkpointed_run(Some(interval));
+            assert_eq!(r.records_in, base.records_in, "interval {interval}");
+            assert_eq!(r.output_records, base.output_records, "interval {interval}");
+            assert_eq!(r.windows_closed, base.windows_closed, "interval {interval}");
+            assert!(!coord.samples().is_empty());
+        }
+    }
+
+    /// More frequent barriers mean more checkpoints and at least as much
+    /// simulated time; the overhead must stay bounded.
+    #[test]
+    fn overhead_scales_with_cadence() {
+        let (base, _) = checkpointed_run(None);
+        let (fast, c_fast) = checkpointed_run(Some(2));
+        let (slow, c_slow) = checkpointed_run(Some(20));
+        assert!(c_fast.samples().len() > c_slow.samples().len());
+        // Checkpoints add work: simulated time never shrinks.
+        assert!(fast.sim_secs >= base.sim_secs - 1e-12);
+        assert!(slow.sim_secs >= base.sim_secs - 1e-12);
+        // Overhead falls as the interval grows: sparse checkpoints must
+        // beat dense ones, and at 20 bundles the cost is within 5%.
+        assert!(
+            fast.throughput_rps <= slow.throughput_rps * 1.01,
+            "denser checkpoints cannot be faster: {} vs {}",
+            fast.throughput_rps,
+            slow.throughput_rps
+        );
+        assert!(
+            slow.throughput_rps > 0.95 * base.throughput_rps,
+            "checkpointing every 20 bundles must cost under 5%: {} vs {}",
+            slow.throughput_rps,
+            base.throughput_rps
+        );
+        // Snapshot bytes are real and visible in the store accounting.
+        assert!(c_fast.samples().iter().all(|s| s.snapshot_bytes > 0));
+        assert!(c_fast.store().total_bytes() > 0);
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod checkpoint_overhead;
 pub mod fig10;
 pub mod fig11;
 pub mod fig2;

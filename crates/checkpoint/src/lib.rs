@@ -1,0 +1,838 @@
+//! sbx-checkpoint: barrier snapshots, crash injection, and exactly-once
+//! recovery for StreamBox-HBM (DESIGN.md §9).
+//!
+//! The engine side of asynchronous barrier snapshotting lives in
+//! `sbx-engine` ([`sbx_engine::checkpoint`]): the ingress sender injects
+//! [`sbx_engine::CheckpointBarrier`]s in-band, each stateful operator
+//! materializes its window state onto the passing barrier (Table-2
+//! `Materialize`, paper §4.3 — KPAs hold pointers, so snapshots must copy
+//! records out), and the engine assembles a [`PipelineSnapshot`]. This
+//! crate supplies everything *around* that mechanism:
+//!
+//! * a u64-word wire format ([`encode_snapshot`] / [`decode_snapshot`]),
+//! * a [`SnapshotStore`] whose buffers come from the accounted DRAM pool,
+//!   so checkpoint pressure is visible to the bandwidth monitor and the
+//!   demand balancer exactly like any other engine allocation,
+//! * a [`CheckpointCoordinator`] implementing the engine's
+//!   [`CheckpointHooks`]: it persists snapshots, holds sink outputs in a
+//!   *pending* buffer that only commits when the next checkpoint does
+//!   (transactional two-phase output — the half of exactly-once that
+//!   barrier replay alone cannot give), and evaluates a [`CrashPlan`],
+//! * the [`run_with_recovery`] driver: run, crash, restore the latest
+//!   complete snapshot, rewind the deterministic sender to the saved
+//!   offset, resume — committed outputs end up byte-identical to a
+//!   fault-free run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sbx_engine::checkpoint::EntryRepr;
+use sbx_engine::{
+    CheckpointHooks, CrashPhase, CrashSite, Engine, EngineError, KnobState, OpState, Pipeline,
+    PipelineSnapshot, RunConfig, RunReport, StateEntry, StreamData,
+};
+use sbx_ingress::Source;
+use sbx_simmem::{AccessProfile, MemEnv, MemKind, PoolVec, Priority};
+
+/// First word of every encoded snapshot: `b"SBXCKPT1"` as a big-endian
+/// integer. The trailing digit is the format version.
+pub const SNAPSHOT_MAGIC: u64 = u64::from_be_bytes(*b"SBXCKPT1");
+
+fn corrupt(what: &str) -> EngineError {
+    EngineError::Config(format!("corrupt snapshot: {what}"))
+}
+
+/// Serializes a [`PipelineSnapshot`] into the u64-word wire format.
+///
+/// Layout: a fixed header (magic, engine counters, replay offset,
+/// watermark, clock, `{k_low, k_high}` as IEEE-754 bits), then each
+/// operator state as `[has_horizon, horizon, n_scalars, scalars...,
+/// n_entries, entries...]`, each entry as `[window, port, repr_tag,
+/// resident, sorted, ncols, ts_col, n_row_words, rows...]`.
+pub fn encode_snapshot(snap: &PipelineSnapshot) -> Vec<u64> {
+    let mut w: Vec<u64> = Vec::new();
+    w.extend_from_slice(&[
+        SNAPSHOT_MAGIC,
+        snap.epoch,
+        snap.bundles_sent,
+        snap.records_in,
+        snap.bundles_in,
+        snap.output_records,
+        snap.windows_closed,
+        snap.next_to_close,
+        snap.max_window_seen,
+        snap.watermark,
+        snap.clock_ns,
+        snap.knob.k_low.to_bits(),
+        snap.knob.k_high.to_bits(),
+        snap.ops.len() as u64,
+    ]);
+    for op in &snap.ops {
+        w.push(u64::from(op.horizon.is_some()));
+        w.push(op.horizon.unwrap_or(0));
+        w.push(op.scalars.len() as u64);
+        w.extend_from_slice(&op.scalars);
+        w.push(op.entries.len() as u64);
+        for e in &op.entries {
+            w.push(e.window);
+            w.push(u64::from(e.port));
+            let (tag, resident, sorted) = match e.repr {
+                EntryRepr::Rows => (0u64, 0u64, 0u64),
+                EntryRepr::Kpa { resident, sorted } => (1, resident as u64, u64::from(sorted)),
+            };
+            w.push(tag);
+            w.push(resident);
+            w.push(sorted);
+            w.push(e.ncols as u64);
+            w.push(e.ts_col as u64);
+            w.push(e.rows.len() as u64);
+            w.extend_from_slice(&e.rows);
+        }
+    }
+    w
+}
+
+struct Cursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self) -> Result<u64, EngineError> {
+        let v = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| corrupt("truncated"))?;
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn take_usize(&mut self) -> Result<usize, EngineError> {
+        usize::try_from(self.take()?).map_err(|_| corrupt("length overflows usize"))
+    }
+
+    fn take_slice(&mut self, n: usize) -> Result<&'a [u64], EngineError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or_else(|| corrupt("length overflow"))?;
+        let s = self
+            .words
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated"))?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+/// Deserializes a snapshot encoded by [`encode_snapshot`].
+///
+/// # Errors
+///
+/// Returns [`EngineError::Config`] on a bad magic word, truncation, or any
+/// malformed field — never panics, whatever the input bytes.
+pub fn decode_snapshot(words: &[u64]) -> Result<PipelineSnapshot, EngineError> {
+    let mut c = Cursor { words, pos: 0 };
+    if c.take()? != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let mut snap = PipelineSnapshot {
+        epoch: c.take()?,
+        bundles_sent: c.take()?,
+        records_in: c.take()?,
+        bundles_in: c.take()?,
+        output_records: c.take()?,
+        windows_closed: c.take()?,
+        next_to_close: c.take()?,
+        max_window_seen: c.take()?,
+        watermark: c.take()?,
+        clock_ns: c.take()?,
+        knob: KnobState {
+            k_low: f64::from_bits(c.take()?),
+            k_high: f64::from_bits(c.take()?),
+        },
+        ops: Vec::new(),
+    };
+    let n_ops = c.take_usize()?;
+    for _ in 0..n_ops {
+        let has_horizon = c.take()?;
+        let horizon_raw = c.take()?;
+        let horizon = match has_horizon {
+            0 => None,
+            1 => Some(horizon_raw),
+            _ => return Err(corrupt("bad horizon flag")),
+        };
+        let n_scalars = c.take_usize()?;
+        let scalars = c.take_slice(n_scalars)?.to_vec();
+        let n_entries = c.take_usize()?;
+        let mut entries: Vec<StateEntry> = Vec::new();
+        for _ in 0..n_entries {
+            let window = c.take()?;
+            let port = u8::try_from(c.take()?).map_err(|_| corrupt("bad port"))?;
+            let tag = c.take()?;
+            let resident = c.take_usize()?;
+            let sorted = match c.take()? {
+                0 => false,
+                1 => true,
+                _ => return Err(corrupt("bad sorted flag")),
+            };
+            let repr = match tag {
+                0 => EntryRepr::Rows,
+                1 => EntryRepr::Kpa { resident, sorted },
+                _ => return Err(corrupt("bad repr tag")),
+            };
+            let ncols = c.take_usize()?;
+            let ts_col = c.take_usize()?;
+            let n_rows = c.take_usize()?;
+            let rows = c.take_slice(n_rows)?.to_vec();
+            entries.push(StateEntry {
+                window,
+                port,
+                repr,
+                ncols,
+                ts_col,
+                rows,
+            });
+        }
+        snap.ops.push(OpState {
+            horizon,
+            scalars,
+            entries,
+        });
+    }
+    if c.pos != words.len() {
+        return Err(corrupt("trailing words"));
+    }
+    Ok(snap)
+}
+
+/// Snapshot storage backed by the accounted DRAM pool.
+///
+/// Every persisted snapshot lives in a [`PoolVec`] allocated from the
+/// engine's DRAM pool, so checkpoint bytes show up in
+/// `env.pool(MemKind::Dram).used_bytes()` and compete for capacity with
+/// ingested bundles — the balancer observes checkpoint pressure like any
+/// other memory demand. Snapshots are kept per epoch, newest last;
+/// coordinated cluster recovery may need an epoch older than a shard's
+/// newest, so a small history is retained (see
+/// [`CheckpointCoordinator::retain`]).
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    snaps: Vec<(u64, PoolVec)>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        SnapshotStore { snaps: Vec::new() }
+    }
+
+    /// Encodes `snap` and persists it in a DRAM-pool buffer, replacing any
+    /// previous snapshot of the same epoch. Returns the accounted bytes of
+    /// the new buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when the DRAM pool cannot hold the
+    /// encoded snapshot.
+    pub fn persist(&mut self, env: &MemEnv, snap: &PipelineSnapshot) -> Result<u64, EngineError> {
+        let words = encode_snapshot(snap);
+        let mut buf = env
+            .pool(MemKind::Dram)
+            .alloc_u64(words.len(), Priority::Normal)
+            .map_err(EngineError::from)?;
+        buf.extend_from_slice(&words);
+        let bytes = buf.accounted_bytes();
+        self.snaps.retain(|(e, _)| *e != snap.epoch);
+        self.snaps.push((snap.epoch, buf));
+        self.snaps.sort_by_key(|(e, _)| *e);
+        Ok(bytes)
+    }
+
+    /// Number of snapshots held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// Whether no snapshot has been persisted yet.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Epoch of the newest complete snapshot.
+    pub fn latest_epoch(&self) -> Option<u64> {
+        self.snaps.last().map(|(e, _)| *e)
+    }
+
+    /// All held epochs, oldest first.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut es = Vec::new();
+        for (e, _) in &self.snaps {
+            es.push(*e);
+        }
+        es
+    }
+
+    /// Decodes the newest complete snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if the stored bytes are corrupt.
+    pub fn latest(&self) -> Result<Option<PipelineSnapshot>, EngineError> {
+        match self.snaps.last() {
+            Some((_, buf)) => Ok(Some(decode_snapshot(buf)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Decodes the snapshot for `epoch`, if held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if the stored bytes are corrupt.
+    pub fn at_epoch(&self, epoch: u64) -> Result<Option<PipelineSnapshot>, EngineError> {
+        for (e, buf) in &self.snaps {
+            if *e == epoch {
+                return Ok(Some(decode_snapshot(buf)?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Total accounted pool bytes held by the store.
+    pub fn total_bytes(&self) -> u64 {
+        self.snaps.iter().map(|(_, b)| b.accounted_bytes()).sum()
+    }
+
+    /// Drops all snapshots older than the newest `n` (0 keeps everything).
+    pub fn prune_to_last(&mut self, n: usize) {
+        if n > 0 && self.snaps.len() > n {
+            let cut = self.snaps.len() - n;
+            self.snaps.drain(..cut);
+        }
+    }
+}
+
+/// When the fault-injection harness tears the worker down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrashPlan {
+    /// Crash at the first bundle ingest once `bundles_in` reaches the
+    /// given count.
+    AfterBundles(u64),
+    /// Crash at the given phase of the given barrier epoch.
+    AtBarrier {
+        /// Barrier epoch to crash in.
+        epoch: u64,
+        /// Lifecycle phase to crash at.
+        phase: CrashPhase,
+    },
+    /// Crash at the first probe at or after the given simulated time
+    /// (seconds).
+    AtSimTime(f64),
+}
+
+impl CrashPlan {
+    fn fires(self, site: CrashSite) -> bool {
+        match self {
+            CrashPlan::AfterBundles(n) => site.phase == CrashPhase::Ingest && site.bundles_in >= n,
+            CrashPlan::AtBarrier { epoch, phase } => site.phase == phase && site.epoch == epoch,
+            CrashPlan::AtSimTime(secs) => site.sim_secs >= secs,
+        }
+    }
+}
+
+/// DRAM accounting observed at one checkpoint commit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointSample {
+    /// Epoch of the committed snapshot.
+    pub epoch: u64,
+    /// Accounted bytes of this snapshot's buffer.
+    pub snapshot_bytes: u64,
+    /// Accounted bytes of the whole store after pruning.
+    pub store_bytes: u64,
+    /// DRAM pool `used_bytes()` right after the commit.
+    pub dram_used_bytes: u64,
+}
+
+/// The recovery layer's [`CheckpointHooks`] implementation: snapshot store,
+/// transactional two-phase output buffer, and crash plan, for one engine
+/// instance (one per shard in a cluster).
+///
+/// Sink outputs observed via `on_output` are *pending* until the next
+/// checkpoint commits, then move to the *committed* buffer. A crash
+/// discards pending outputs (they precede no durable snapshot and will be
+/// regenerated from the replayed stream), so the committed sequence is
+/// emitted exactly once however often the worker dies.
+#[derive(Debug, Default)]
+pub struct CheckpointCoordinator {
+    store: SnapshotStore,
+    pending: Vec<Vec<u64>>,
+    committed: Vec<Vec<u64>>,
+    plan: Option<CrashPlan>,
+    samples: Vec<CheckpointSample>,
+    retain: usize,
+}
+
+impl CheckpointCoordinator {
+    /// A coordinator with no crash plan, retaining the 4 newest snapshots.
+    pub fn new() -> Self {
+        CheckpointCoordinator {
+            store: SnapshotStore::new(),
+            pending: Vec::new(),
+            committed: Vec::new(),
+            plan: None,
+            samples: Vec::new(),
+            retain: 4,
+        }
+    }
+
+    /// A coordinator armed with `plan`.
+    pub fn with_crash(plan: CrashPlan) -> Self {
+        let mut c = CheckpointCoordinator::new();
+        c.arm(plan);
+        c
+    }
+
+    /// Arms (or replaces) the crash plan. Plans are one-shot: after firing
+    /// once the coordinator disarms itself so the recovered run survives
+    /// the same probe point.
+    pub fn arm(&mut self, plan: CrashPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// The currently armed crash plan, if any.
+    pub fn plan(&self) -> Option<CrashPlan> {
+        self.plan
+    }
+
+    /// Sets how many snapshots [`SnapshotStore`] keeps (0 = unbounded).
+    /// Coordinated cluster recovery needs at least 2: a shard that
+    /// completed epoch `e` may have to serve `e - 1` when a sibling
+    /// crashed during `e`.
+    pub fn retain(mut self, n: usize) -> Self {
+        self.retain = n;
+        self
+    }
+
+    /// The snapshot store.
+    pub fn store(&self) -> &SnapshotStore {
+        &self.store
+    }
+
+    /// Accounting samples, one per committed checkpoint.
+    pub fn samples(&self) -> &[CheckpointSample] {
+        &self.samples
+    }
+
+    /// Outputs committed so far (row-major records, in emission order).
+    pub fn committed(&self) -> &[Vec<u64>] {
+        &self.committed
+    }
+
+    /// Outputs emitted since the last committed checkpoint.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Drops pending outputs after a crash: they precede no durable
+    /// snapshot and the replayed stream will regenerate them.
+    pub fn discard_pending(&mut self) {
+        self.pending.clear();
+    }
+
+    /// Promotes pending outputs to committed (end of a successful run).
+    pub fn commit_pending(&mut self) {
+        self.committed.append(&mut self.pending);
+    }
+}
+
+fn push_rows(out: &mut Vec<Vec<u64>>, data: &StreamData) {
+    match data {
+        StreamData::Bundle(b) => {
+            for r in 0..b.rows() {
+                out.push(b.row(r).to_vec());
+            }
+        }
+        StreamData::Kpa(k) | StreamData::Windowed(_, k) => {
+            for i in 0..k.len() {
+                let (b, row) = k.deref(i);
+                out.push(b.row(row).to_vec());
+            }
+        }
+    }
+}
+
+impl CheckpointHooks for CheckpointCoordinator {
+    fn on_checkpoint(
+        &mut self,
+        env: &MemEnv,
+        snap: PipelineSnapshot,
+    ) -> Result<AccessProfile, EngineError> {
+        let bytes = self.store.persist(env, &snap)?;
+        self.store.prune_to_last(self.retain);
+        // Everything emitted before this barrier is now covered by a
+        // durable snapshot: a resume replays only post-barrier input.
+        self.committed.append(&mut self.pending);
+        self.samples.push(CheckpointSample {
+            epoch: snap.epoch,
+            snapshot_bytes: bytes,
+            store_bytes: self.store.total_bytes(),
+            dram_used_bytes: env.pool(MemKind::Dram).used_bytes(),
+        });
+        // Snapshot persistence is a sequential DRAM write; merging it into
+        // the round makes checkpoint pressure visible to the bandwidth
+        // monitor and the demand balancer.
+        Ok(AccessProfile::new().seq(MemKind::Dram, bytes as f64))
+    }
+
+    fn on_output(&mut self, data: &StreamData) {
+        push_rows(&mut self.pending, data);
+    }
+
+    fn should_crash(&mut self, site: CrashSite) -> bool {
+        let Some(plan) = self.plan else {
+            return false;
+        };
+        if plan.fires(site) {
+            self.plan = None;
+            return true;
+        }
+        false
+    }
+}
+
+/// Outcome of [`run_with_recovery`].
+#[derive(Debug)]
+pub struct RecoveryOutcome {
+    /// Report of the final, successful run segment (counters cover the
+    /// whole logical run: resumed segments inherit the snapshot's).
+    pub report: RunReport,
+    /// Number of injected crashes survived.
+    pub crashes: u64,
+    /// Epoch resumed from after each crash, in order; 0 means no
+    /// checkpoint had committed yet and the run restarted from scratch.
+    pub resumed_epochs: Vec<u64>,
+}
+
+/// Safety valve for [`run_with_recovery`]: give up after this many
+/// crashes. Plans are one-shot, so a well-formed harness never gets near
+/// it.
+pub const MAX_CRASHES: u64 = 64;
+
+/// Runs a checkpointed pipeline to completion, recovering from every
+/// injected crash: on [`EngineError::Crashed`] the engine (and with it
+/// every RC-pinned bundle and KPA) is dropped, pending outputs are
+/// discarded, the latest complete snapshot is decoded, and a fresh engine
+/// resumes from it — rewinding the deterministic sender to the snapshot's
+/// replay offset. With no committed snapshot the run restarts from
+/// scratch.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] for real failures (allocation, configuration),
+/// or the final crash if [`MAX_CRASHES`] is exceeded.
+pub fn run_with_recovery<S: Source>(
+    cfg: &RunConfig,
+    make_source: impl Fn() -> S,
+    make_pipeline: impl Fn() -> Pipeline,
+    bundles: usize,
+    barrier_interval: u64,
+    coord: &mut CheckpointCoordinator,
+) -> Result<RecoveryOutcome, EngineError> {
+    let mut crashes = 0u64;
+    let mut resumed_epochs = Vec::new();
+    loop {
+        let engine = Engine::new(cfg.clone());
+        let snap = coord.store().latest()?;
+        let result = match &snap {
+            Some(s) => engine.resume_with_hooks(
+                make_source(),
+                make_pipeline(),
+                bundles,
+                Some(barrier_interval),
+                coord,
+                s,
+            ),
+            None => engine.run_with_hooks(
+                make_source(),
+                make_pipeline(),
+                bundles,
+                Some(barrier_interval),
+                coord,
+            ),
+        };
+        match result {
+            Ok(report) => {
+                coord.commit_pending();
+                return Ok(RecoveryOutcome {
+                    report,
+                    crashes,
+                    resumed_epochs,
+                });
+            }
+            Err(EngineError::Crashed(_)) if crashes < MAX_CRASHES => {
+                crashes += 1;
+                coord.discard_pending();
+                resumed_epochs.push(coord.store().latest_epoch().unwrap_or(0));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// The newest checkpoint epoch complete on *every* shard — the coordinated
+/// cluster checkpoint. `None` if any shard has no complete snapshot yet.
+pub fn coordinated_epoch(stores: &[&SnapshotStore]) -> Option<u64> {
+    let mut min: Option<u64> = None;
+    for s in stores {
+        let e = s.latest_epoch()?;
+        min = Some(min.map_or(e, |m| m.min(e)));
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_engine::{benchmarks, EngineMode};
+    use sbx_ingress::{KvSource, NicModel, SenderConfig};
+    use sbx_simmem::MachineConfig;
+
+    fn sample_snapshot() -> PipelineSnapshot {
+        PipelineSnapshot {
+            epoch: 3,
+            bundles_sent: 17,
+            records_in: 17_000,
+            bundles_in: 17,
+            output_records: 42,
+            windows_closed: 2,
+            next_to_close: 3,
+            max_window_seen: 4,
+            watermark: 3_100_000_000,
+            clock_ns: 123_456_789,
+            knob: KnobState {
+                k_low: 0.25,
+                k_high: 1.0,
+            },
+            ops: vec![
+                OpState {
+                    horizon: Some(3_100_000_000),
+                    scalars: vec![7, 8, 9],
+                    entries: vec![
+                        StateEntry {
+                            window: 3,
+                            port: 0,
+                            repr: EntryRepr::Kpa {
+                                resident: 0,
+                                sorted: true,
+                            },
+                            ncols: 3,
+                            ts_col: 2,
+                            rows: vec![1, 2, 3, 4, 5, 6],
+                        },
+                        StateEntry {
+                            window: 4,
+                            port: 1,
+                            repr: EntryRepr::Rows,
+                            ncols: 2,
+                            ts_col: 1,
+                            rows: vec![10, 11],
+                        },
+                    ],
+                },
+                OpState::default(),
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_wire_format() {
+        let snap = sample_snapshot();
+        let words = encode_snapshot(&snap);
+        assert_eq!(words[0], SNAPSHOT_MAGIC);
+        assert_eq!(decode_snapshot(&words).unwrap(), snap);
+        // The empty snapshot round-trips too.
+        let empty = PipelineSnapshot::default();
+        assert_eq!(decode_snapshot(&encode_snapshot(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_corruption_without_panicking() {
+        let snap = sample_snapshot();
+        let words = encode_snapshot(&snap);
+        // Bad magic.
+        let mut bad = words.clone();
+        bad[0] ^= 1;
+        assert!(matches!(decode_snapshot(&bad), Err(EngineError::Config(_))));
+        // Every truncation point decodes to an error, never a panic.
+        for cut in 0..words.len() {
+            assert!(
+                decode_snapshot(&words[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        // Trailing garbage is rejected.
+        let mut long = words.clone();
+        long.push(99);
+        assert!(decode_snapshot(&long).is_err());
+        // Arbitrary flips either decode to *something* or error cleanly.
+        for i in 1..words.len() {
+            let mut flipped = words.clone();
+            flipped[i] = flipped[i].wrapping_add(1);
+            let _ = decode_snapshot(&flipped);
+        }
+    }
+
+    #[test]
+    fn store_bytes_are_visible_in_dram_pool_accounting() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let before = env.pool(MemKind::Dram).used_bytes();
+        let mut store = SnapshotStore::new();
+        let mut snap = sample_snapshot();
+        let bytes = store.persist(&env, &snap).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(
+            env.pool(MemKind::Dram).used_bytes(),
+            before + bytes,
+            "snapshot bytes must be accounted in the DRAM pool"
+        );
+        assert_eq!(store.total_bytes(), bytes);
+        assert_eq!(store.latest().unwrap().unwrap(), snap);
+
+        // A second epoch accumulates; pruning keeps the newest.
+        snap.epoch = 4;
+        store.persist(&env, &snap).unwrap();
+        assert_eq!(store.epochs(), vec![3, 4]);
+        store.prune_to_last(1);
+        assert_eq!(store.epochs(), vec![4]);
+        assert_eq!(store.latest_epoch(), Some(4));
+        assert!(store.at_epoch(3).unwrap().is_none());
+    }
+
+    #[test]
+    fn crash_plans_fire_once() {
+        let site = |phase, epoch, bundles_in, sim_secs| CrashSite {
+            phase,
+            epoch,
+            bundles_in,
+            sim_secs,
+        };
+        let mut c = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(5));
+        assert!(!c.should_crash(site(CrashPhase::Ingest, 0, 4, 0.0)));
+        assert!(!c.should_crash(site(CrashPhase::RoundEnd, 0, 9, 0.0)));
+        assert!(c.should_crash(site(CrashPhase::Ingest, 0, 5, 0.0)));
+        // One-shot: the same probe no longer fires.
+        assert!(!c.should_crash(site(CrashPhase::Ingest, 0, 6, 0.0)));
+
+        let mut c = CheckpointCoordinator::with_crash(CrashPlan::AtBarrier {
+            epoch: 2,
+            phase: CrashPhase::BarrierAligned,
+        });
+        assert!(!c.should_crash(site(CrashPhase::BarrierAligned, 1, 0, 0.0)));
+        assert!(!c.should_crash(site(CrashPhase::BarrierBeforeCommit, 2, 0, 0.0)));
+        assert!(c.should_crash(site(CrashPhase::BarrierAligned, 2, 0, 0.0)));
+
+        let mut c = CheckpointCoordinator::with_crash(CrashPlan::AtSimTime(1.5));
+        assert!(!c.should_crash(site(CrashPhase::Ingest, 0, 0, 1.0)));
+        assert!(c.should_crash(site(CrashPhase::Ingest, 0, 0, 2.0)));
+    }
+
+    fn quick_cfg() -> RunConfig {
+        RunConfig {
+            cores: 16,
+            mode: EngineMode::Hybrid,
+            sender: SenderConfig {
+                bundle_rows: 1_000,
+                bundles_per_watermark: 5,
+                nic: NicModel::rdma_40g(),
+            },
+            ..RunConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovery_emits_exactly_once() {
+        let mk_src = || KvSource::new(7, 50, 100_000).with_value_range(1_000);
+        // Fault-free oracle.
+        let mut oracle = CheckpointCoordinator::new();
+        let base = run_with_recovery(
+            &quick_cfg(),
+            mk_src,
+            benchmarks::sum_per_key,
+            20,
+            3,
+            &mut oracle,
+        )
+        .unwrap();
+        assert_eq!(base.crashes, 0);
+        assert!(!oracle.committed().is_empty());
+        assert!(!oracle.samples().is_empty());
+
+        // Crash mid-stream after a checkpoint has committed.
+        let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(11));
+        let out = run_with_recovery(
+            &quick_cfg(),
+            mk_src,
+            benchmarks::sum_per_key,
+            20,
+            3,
+            &mut coord,
+        )
+        .unwrap();
+        assert_eq!(out.crashes, 1);
+        assert!(out.resumed_epochs[0] > 0, "crash fell after a checkpoint");
+        assert_eq!(
+            coord.committed(),
+            oracle.committed(),
+            "committed outputs must be byte-identical to the fault-free run"
+        );
+        assert_eq!(out.report.records_in, base.report.records_in);
+        assert_eq!(out.report.output_records, base.report.output_records);
+    }
+
+    #[test]
+    fn crash_before_first_checkpoint_restarts_from_scratch() {
+        let mk_src = || KvSource::new(9, 20, 100_000);
+        let mut oracle = CheckpointCoordinator::new();
+        run_with_recovery(
+            &quick_cfg(),
+            mk_src,
+            benchmarks::sum_per_key,
+            12,
+            50, // interval longer than the run: no checkpoint ever commits
+            &mut oracle,
+        )
+        .unwrap();
+
+        let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(6));
+        let out = run_with_recovery(
+            &quick_cfg(),
+            mk_src,
+            benchmarks::sum_per_key,
+            12,
+            50,
+            &mut coord,
+        )
+        .unwrap();
+        assert_eq!(out.crashes, 1);
+        assert_eq!(out.resumed_epochs, vec![0]);
+        assert_eq!(coord.committed(), oracle.committed());
+    }
+
+    #[test]
+    fn coordinated_epoch_is_min_over_shards() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
+        let mut a = SnapshotStore::new();
+        let mut b = SnapshotStore::new();
+        assert_eq!(coordinated_epoch(&[&a, &b]), None);
+        let mut snap = sample_snapshot();
+        snap.epoch = 2;
+        a.persist(&env, &snap).unwrap();
+        assert_eq!(coordinated_epoch(&[&a, &b]), None);
+        snap.epoch = 3;
+        b.persist(&env, &snap).unwrap();
+        assert_eq!(coordinated_epoch(&[&a, &b]), Some(2));
+        assert_eq!(coordinated_epoch(&[]), None);
+    }
+}

@@ -15,7 +15,7 @@ const HBM_PRESSURE: f64 = 0.80;
 const DRAM_PRESSURE: f64 = 0.90;
 
 /// Snapshot of the knob (see [`DemandBalancer::knob`]).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct KnobState {
     /// Probability that a `Low`-tagged KPA allocates on HBM.
     pub k_low: f64,
@@ -91,6 +91,18 @@ impl DemandBalancer {
         } else {
             MemKind::Dram
         }
+    }
+
+    /// Restores the knob from a checkpoint snapshot.
+    ///
+    /// The placement accumulators restart from zero: they are sub-record
+    /// rounding state, and resetting them keeps recovered runs deterministic
+    /// regardless of where the crash fell between two allocations.
+    pub fn restore(&mut self, knob: KnobState) {
+        self.k_low = knob.k_low.clamp(0.0, 1.0);
+        self.k_high = knob.k_high.clamp(0.0, 1.0);
+        self.acc_low = 0.0;
+        self.acc_high = 0.0;
     }
 
     /// One monitor sample: adjusts the knob toward balance.

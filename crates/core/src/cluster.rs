@@ -118,6 +118,50 @@ impl Cluster {
         }
         Ok(ClusterReport { per_instance })
     }
+
+    /// Runs like [`Cluster::run`] with per-shard coordinated checkpoints:
+    /// every instance injects a barrier each `barrier_interval` bundles
+    /// and reports its snapshots to its own element of `hooks` (one hook
+    /// per instance, in instance order). Because all shards see the same
+    /// barrier cadence, epoch `e` on every shard covers the same logical
+    /// stream prefix; a coordinated cluster checkpoint is the latest epoch
+    /// complete on *all* shards (computed by the recovery layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `hooks.len()` differs from the
+    /// instance count, otherwise the first instance failure — including
+    /// injected [`EngineError::Crashed`] faults.
+    pub fn run_checkpointed<S: Source>(
+        &self,
+        make_source: impl Fn() -> S,
+        make_pipeline: impl Fn() -> Pipeline,
+        key_col: usize,
+        bundles: usize,
+        barrier_interval: u64,
+        hooks: &mut [&mut dyn crate::checkpoint::CheckpointHooks],
+    ) -> Result<ClusterReport, EngineError> {
+        if hooks.len() as u64 != self.instances {
+            return Err(EngineError::Config(format!(
+                "need one checkpoint hook per instance: {} hooks for {} instances",
+                hooks.len(),
+                self.instances
+            )));
+        }
+        let mut per_instance = Vec::with_capacity(self.instances as usize);
+        for (id, hook) in hooks.iter_mut().enumerate() {
+            let source = Partitioned::new(make_source(), key_col, self.instances, id as u64);
+            let engine = Engine::new(self.cfg.clone());
+            per_instance.push(engine.run_with_hooks(
+                source,
+                make_pipeline(),
+                bundles,
+                Some(barrier_interval),
+                *hook,
+            )?);
+        }
+        Ok(ClusterReport { per_instance })
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,11 @@ pub enum Message {
     },
     /// A watermark (applies to all ports).
     Watermark(Watermark),
+    /// A checkpoint barrier flowing in-band with the data (asynchronous
+    /// barrier snapshotting): every stateful operator snapshots its window
+    /// state when the barrier reaches it, so the snapshot is consistent
+    /// with exactly the records that preceded the barrier.
+    Barrier(crate::checkpoint::CheckpointBarrier),
 }
 
 impl Message {
@@ -65,11 +70,11 @@ impl Message {
         Message::Data { port: 0, data }
     }
 
-    /// Records carried by this message (0 for watermarks).
+    /// Records carried by this message (0 for watermarks and barriers).
     pub fn data_len(&self) -> usize {
         match self {
             Message::Data { data, .. } => data.len(),
-            Message::Watermark(_) => 0,
+            Message::Watermark(_) | Message::Barrier(_) => 0,
         }
     }
 }
@@ -99,7 +104,7 @@ mod tests {
                 assert_eq!(port, 0);
                 assert!(data.is_empty());
             }
-            Message::Watermark(_) => panic!("expected data"),
+            other => panic!("expected data, got {other:?}"),
         }
     }
 }

@@ -2,6 +2,9 @@ use sbx_ingress::{IngestFormat, IngressEvent, Sender, SenderConfig, Source};
 use sbx_records::Watermark;
 use sbx_simmem::{AccessProfile, AllocError, MachineConfig, MemEnv, MemKind};
 
+use crate::checkpoint::{
+    CheckpointBarrier, CheckpointHooks, CrashPhase, CrashSite, NoopHooks, PipelineSnapshot,
+};
 use crate::{
     DemandBalancer, EngineError, EngineMode, ImpactTag, Message, Pipeline, RoundSample, RunReport,
     StreamData,
@@ -123,18 +126,98 @@ impl Engine {
         pipeline: Pipeline,
         bundles: usize,
     ) -> Result<RunReport, EngineError> {
+        let mut hooks = NoopHooks;
+        self.run_with_hooks(source, pipeline, bundles, None, &mut hooks)
+    }
+
+    /// Runs like [`Engine::run`], with asynchronous barrier snapshotting:
+    /// when `barrier_interval` is `Some(n)`, the sender injects a
+    /// checkpoint barrier every `n` bundles and `hooks.on_checkpoint`
+    /// receives the aligned [`PipelineSnapshot`]. `hooks` also observes
+    /// every sink output and may inject crashes (fault-injection harness).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Crashed`] when `hooks.should_crash` fires,
+    /// plus the usual memory/configuration errors.
+    pub fn run_with_hooks<S: Source>(
+        self,
+        source: S,
+        pipeline: Pipeline,
+        bundles: usize,
+        barrier_interval: Option<u64>,
+        hooks: &mut dyn CheckpointHooks,
+    ) -> Result<RunReport, EngineError> {
+        self.run_or_resume(source, pipeline, bundles, barrier_interval, hooks, None)
+    }
+
+    /// Resumes a crashed run from `snap`: restores every stateful
+    /// operator's window state, the demand-balance knob, the simulated
+    /// clock and the engine counters, replays the rate-limited sender to
+    /// the saved bundle offset (the deterministic source regenerates the
+    /// identical stream), then continues pulling until `bundles` total
+    /// bundles — the same target as the original run — have been ingested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Config`] if `snap` does not match the
+    /// pipeline's stateful operators, and the same errors as
+    /// [`Engine::run_with_hooks`] otherwise.
+    pub fn resume_with_hooks<S: Source>(
+        self,
+        source: S,
+        pipeline: Pipeline,
+        bundles: usize,
+        barrier_interval: Option<u64>,
+        hooks: &mut dyn CheckpointHooks,
+        snap: &PipelineSnapshot,
+    ) -> Result<RunReport, EngineError> {
+        self.run_or_resume(
+            source,
+            pipeline,
+            bundles,
+            barrier_interval,
+            hooks,
+            Some(snap),
+        )
+    }
+
+    fn run_or_resume<S: Source>(
+        self,
+        source: S,
+        pipeline: Pipeline,
+        bundles: usize,
+        barrier_interval: Option<u64>,
+        hooks: &mut dyn CheckpointHooks,
+        resume: Option<&PipelineSnapshot>,
+    ) -> Result<RunReport, EngineError> {
         let mut sender = Sender::new(&self.env, source, self.cfg.sender);
-        let mut remaining = bundles;
-        self.run_feed(pipeline, &mut move || {
-            if remaining == 0 {
-                return Ok(None);
-            }
-            let ev = sender.next_event()?;
-            if matches!(ev, IngressEvent::Bundle(..)) {
-                remaining -= 1;
-            }
-            Ok(Some((ev, 0)))
-        })
+        if let Some(interval) = barrier_interval {
+            sender = sender.with_barriers(interval);
+        }
+        // Replay the sender to the snapshot's offset: pull and discard
+        // events so the source's deterministic generator state advances
+        // exactly as it did before the crash.
+        let skip = resume.map_or(0, |s| s.bundles_sent) as usize;
+        while sender.bundles_sent() < skip {
+            sender.next_event()?;
+        }
+        let mut remaining = bundles.saturating_sub(skip);
+        self.run_feed(
+            pipeline,
+            &mut move || {
+                if remaining == 0 {
+                    return Ok(None);
+                }
+                let ev = sender.next_event()?;
+                if matches!(ev, IngressEvent::Bundle(..)) {
+                    remaining -= 1;
+                }
+                Ok(Some((ev, 0)))
+            },
+            hooks,
+            resume,
+        )
     }
 
     /// Runs a two-stream `pipeline` (Temporal Join, Windowed Filter) over
@@ -159,7 +242,7 @@ impl Engine {
         let mut pairs_left = bundle_pairs;
         let mut phase = 0u8; // 0 => left, 1 => right
         let mut pairs_since_wm = 0usize;
-        self.run_feed(pipeline, &mut move || {
+        let mut feed = move || {
             if pairs_since_wm >= wm_every {
                 pairs_since_wm = 0;
                 let wm = sa.source().low_watermark().min(sb.source().low_watermark());
@@ -178,13 +261,39 @@ impl Engine {
             }
             phase ^= 1;
             Ok(Some((ev, port)))
-        })
+        };
+        self.run_feed(pipeline, &mut feed, &mut NoopHooks, None)
+    }
+
+    /// Fires a crash-injection probe; `Err(Crashed)` unwinds the run,
+    /// dropping the pipeline and all its RC-pinned bundles.
+    fn crash_check(
+        &self,
+        hooks: &mut dyn CheckpointHooks,
+        phase: CrashPhase,
+        epoch: u64,
+        bundles_in: u64,
+    ) -> Result<(), EngineError> {
+        let site = CrashSite {
+            phase,
+            epoch,
+            bundles_in,
+            sim_secs: self.env.clock().now_secs(),
+        };
+        if hooks.should_crash(site) {
+            return Err(EngineError::Crashed(format!(
+                "{phase:?} at epoch {epoch}, bundle {bundles_in}"
+            )));
+        }
+        Ok(())
     }
 
     fn run_feed(
         mut self,
         mut pipeline: Pipeline,
         feed: &mut dyn FnMut() -> Result<Option<(IngressEvent, u8)>, AllocError>,
+        hooks: &mut dyn CheckpointHooks,
+        resume: Option<&PipelineSnapshot>,
     ) -> Result<RunReport, EngineError> {
         let spec = pipeline.spec();
         let stride = spec.stride();
@@ -208,6 +317,52 @@ impl Engine {
         let mut delay_sum = 0.0f64;
         let mut delay_max = 0.0f64;
         let mut delay_count = 0u64;
+        let mut last_watermark = 0u64;
+        let mut cur_epoch = 0u64;
+
+        if let Some(snap) = resume {
+            records_in = snap.records_in;
+            bundles_in = snap.bundles_in;
+            windows_closed = snap.windows_closed;
+            output_records = snap.output_records;
+            next_to_close = snap.next_to_close;
+            max_window_seen = snap.max_window_seen;
+            last_watermark = snap.watermark;
+            cur_epoch = snap.epoch;
+            self.env.clock().advance_to(snap.clock_ns);
+            self.balancer.restore(snap.knob);
+            // Rebuild every stateful operator's window state from the
+            // snapshot, pairing states with operators in pipeline order.
+            let mut idx = 0usize;
+            for op in pipeline.ops_mut() {
+                if let crate::pipeline::OpNode::Stateful(op) = op {
+                    let Some(st) = snap.ops.get(idx) else {
+                        return Err(EngineError::Config(format!(
+                            "snapshot holds {} operator states but the pipeline has more \
+                             stateful operators",
+                            snap.ops.len()
+                        )));
+                    };
+                    let mut ctx = crate::OpCtx::new(
+                        &self.env,
+                        &mut self.balancer,
+                        self.cfg.mode,
+                        self.cfg.threads,
+                        ImpactTag::Urgent,
+                    );
+                    op.restore(&mut ctx, st)?;
+                    round.profile = round.profile.merge(&ctx.take_profile());
+                    idx += 1;
+                }
+            }
+            if idx != snap.ops.len() {
+                return Err(EngineError::Config(format!(
+                    "snapshot holds {} operator states but the pipeline has only {idx} \
+                     stateful operators",
+                    snap.ops.len()
+                )));
+            }
+        }
 
         // Bundles buffer within the watermark round and are flushed as a
         // batch, letting the stateless pipeline prefix run on parallel
@@ -223,6 +378,7 @@ impl Engine {
             let mut sink = Vec::new();
             let is_wm = match ev {
                 IngressEvent::Bundle(b, wire_ns) => {
+                    self.crash_check(hooks, CrashPhase::Ingest, cur_epoch, bundles_in)?;
                     let fmt = self.cfg.ingest_format;
                     let wire_ns = if fmt == IngestFormat::Raw {
                         wire_ns
@@ -266,6 +422,7 @@ impl Engine {
                     false
                 }
                 IngressEvent::Watermark(wm) => {
+                    last_watermark = last_watermark.max(wm.time().raw());
                     sink.extend(self.flush_batch(
                         &mut pipeline,
                         &mut round,
@@ -286,11 +443,76 @@ impl Engine {
                     next_to_close = new_next;
                     true
                 }
+                IngressEvent::Barrier(epoch) => {
+                    cur_epoch = epoch;
+                    self.crash_check(hooks, CrashPhase::BarrierBeforeAlignment, epoch, bundles_in)?;
+                    // Barrier alignment: drain every bundle buffered ahead
+                    // of the barrier so the snapshot covers a consistent
+                    // prefix of the stream.
+                    sink.extend(self.flush_batch(
+                        &mut pipeline,
+                        &mut round,
+                        std::mem::take(&mut batch),
+                    )?);
+                    self.crash_check(hooks, CrashPhase::BarrierAligned, epoch, bundles_in)?;
+                    // Drive the barrier through the chain; each stateful
+                    // operator materializes its window state onto it.
+                    let driven = self.drive_chain_from(
+                        &mut pipeline,
+                        &mut round,
+                        0,
+                        vec![Message::Barrier(CheckpointBarrier::new(epoch))],
+                        ImpactTag::Urgent,
+                        false,
+                    )?;
+                    let mut states = Vec::new();
+                    for m in driven {
+                        match m {
+                            Message::Barrier(b) => states = b.states,
+                            other => sink.push(other),
+                        }
+                    }
+                    // Outputs produced by the alignment flush precede the
+                    // snapshot point: count and externalize them *before*
+                    // the checkpoint commits, so a resume from this
+                    // snapshot neither re-emits nor loses them.
+                    for msg in sink.drain(..) {
+                        if let Message::Data { data, .. } = msg {
+                            output_records += data.len() as u64;
+                            hooks.on_output(&data);
+                            if self.cfg.collect_outputs {
+                                if let StreamData::Bundle(b) = data {
+                                    outputs.push(b);
+                                }
+                            }
+                        }
+                    }
+                    let snap = PipelineSnapshot {
+                        epoch,
+                        bundles_sent: bundles_in,
+                        records_in,
+                        bundles_in,
+                        output_records,
+                        windows_closed,
+                        next_to_close,
+                        max_window_seen,
+                        watermark: last_watermark,
+                        clock_ns: self.env.clock().now_ns(),
+                        knob: self.balancer.knob(),
+                        ops: states,
+                    };
+                    self.crash_check(hooks, CrashPhase::BarrierBeforeCommit, epoch, bundles_in)?;
+                    let prof = hooks.on_checkpoint(&self.env, snap)?;
+                    round.profile = round.profile.merge(&prof);
+                    self.crash_check(hooks, CrashPhase::BarrierCommitted, epoch, bundles_in)?;
+                    false
+                }
             };
 
             for msg in sink {
                 if let Message::Data { data, .. } = msg {
                     output_records += data.len() as u64;
+                    hooks.on_output(&data);
                     if self.cfg.collect_outputs {
                         if let StreamData::Bundle(b) = data {
                             outputs.push(b);
@@ -344,6 +566,7 @@ impl Engine {
                 self.balancer
                     .update(hbm_usage, dram_bw / dram_bw_limit, headroom);
                 round = Round::default();
+                self.crash_check(hooks, CrashPhase::RoundEnd, cur_epoch, bundles_in)?;
             }
 
             if last {
@@ -406,7 +629,7 @@ impl Engine {
             for (m, parent) in frontier {
                 let data_len = match &m {
                     Message::Data { data, .. } => data.len(),
-                    Message::Watermark(_) => 0,
+                    Message::Watermark(_) | Message::Barrier(_) => 0,
                 };
                 let mut ctx = crate::OpCtx::new(
                     &self.env,

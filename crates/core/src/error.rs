@@ -14,6 +14,10 @@ pub enum EngineError {
     /// reported instead of panicking so a pipeline failure cannot take the
     /// process down.
     Internal(&'static str),
+    /// The fault-injection harness tore the worker down mid-run. All
+    /// RC-pinned bundles and KPAs are released on unwind; recovery restores
+    /// the latest complete snapshot and resumes from its replay offset.
+    Crashed(String),
 }
 
 impl fmt::Display for EngineError {
@@ -22,6 +26,7 @@ impl fmt::Display for EngineError {
             EngineError::Alloc(e) => write!(f, "allocation failed: {e}"),
             EngineError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Internal(msg) => write!(f, "engine invariant broken: {msg}"),
+            EngineError::Crashed(site) => write!(f, "worker crashed (injected): {site}"),
         }
     }
 }
@@ -30,7 +35,7 @@ impl Error for EngineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             EngineError::Alloc(e) => Some(e),
-            EngineError::Config(_) | EngineError::Internal(_) => None,
+            EngineError::Config(_) | EngineError::Internal(_) | EngineError::Crashed(_) => None,
         }
     }
 }

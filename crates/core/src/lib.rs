@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod balancer;
+pub mod checkpoint;
 mod cluster;
 mod data;
 mod engine;
@@ -54,6 +55,10 @@ mod pipeline;
 mod scheduler;
 
 pub use balancer::{DemandBalancer, KnobState, BALANCER_DELTA};
+pub use checkpoint::{
+    CheckpointBarrier, CheckpointHooks, CrashPhase, CrashSite, EntryRepr, NoopHooks, OpState,
+    PipelineSnapshot, StateEntry,
+};
 pub use cluster::{Cluster, ClusterReport};
 pub use data::{Message, StreamData};
 pub use engine::{Engine, RunConfig, ENGINE_OVERHEAD_CYCLES};

@@ -198,6 +198,44 @@ pub trait Operator: Send {
         ctx: &mut OpCtx<'_>,
         msg: Message,
     ) -> Result<Vec<Message>, EngineError>;
+
+    /// Captures this operator's state for a checkpoint barrier. KPA-backed
+    /// state must be materialized (Table-2 `Materialize`) so the snapshot
+    /// holds self-contained records rather than pointers into RC-pinned
+    /// bundles.
+    ///
+    /// # Errors
+    ///
+    /// The default refuses with [`EngineError::Config`]: operators that
+    /// keep state must opt in explicitly, so a checkpointed run can never
+    /// silently drop state.
+    fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<crate::checkpoint::OpState, EngineError> {
+        let _ = ctx;
+        Err(EngineError::Config(format!(
+            "operator {} does not support checkpoint snapshots",
+            self.name()
+        )))
+    }
+
+    /// Restores this operator's state from a snapshot taken by
+    /// [`Operator::snapshot`]. Must only be called on a freshly built
+    /// operator, before it has seen any message.
+    ///
+    /// # Errors
+    ///
+    /// The default refuses with [`EngineError::Config`], mirroring
+    /// [`Operator::snapshot`].
+    fn restore(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        state: &crate::checkpoint::OpState,
+    ) -> Result<(), EngineError> {
+        let _ = (ctx, state);
+        Err(EngineError::Config(format!(
+            "operator {} does not support checkpoint restore",
+            self.name()
+        )))
+    }
 }
 
 /// A stateless stream operator: processes each message independently with

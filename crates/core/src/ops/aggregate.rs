@@ -4,7 +4,8 @@ use std::sync::Arc;
 use sbx_kpa::{agg, reduce_keyed};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
-use crate::ops::{closable, window_start, LateGuard};
+use crate::checkpoint::{OpState, StateEntry};
+use crate::ops::{closable, single, window_start, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
 
 /// Which per-key aggregate a [`KeyedAggregate`] computes — the benchmark
@@ -393,7 +394,51 @@ impl Operator for KeyedAggregate {
                 out.push(Message::Watermark(wm));
                 Ok(out)
             }
+            Message::Barrier(mut b) => {
+                b.states.push(self.snapshot(ctx)?);
+                Ok(single(Message::Barrier(b)))
+            }
         }
+    }
+
+    fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
+        let mut st = OpState {
+            horizon: self.late.horizon().map(|h| h.time().raw()),
+            scalars: [self.pane_next_window].to_vec(),
+            entries: Vec::new(),
+        };
+        for (w, kpas) in &self.state {
+            for kpa in kpas {
+                st.entries.push(StateEntry::from_kpa(ctx, w.0, 0, kpa)?);
+            }
+        }
+        for (pane, bundles) in &self.pane_state {
+            for b in bundles {
+                st.entries.push(StateEntry::from_bundle(*pane, 1, b));
+            }
+        }
+        Ok(st)
+    }
+
+    fn restore(&mut self, ctx: &mut OpCtx<'_>, state: &OpState) -> Result<(), EngineError> {
+        if let Some(raw) = state.horizon {
+            self.late.observe(sbx_records::Watermark::from(raw));
+        }
+        self.pane_next_window = state.scalars.first().copied().unwrap_or(0);
+        for e in &state.entries {
+            if e.port == 0 {
+                self.state
+                    .entry(WindowId(e.window))
+                    .or_default()
+                    .push(e.to_kpa(ctx)?);
+            } else {
+                self.pane_state
+                    .entry(e.window)
+                    .or_default()
+                    .push(e.to_bundle(ctx)?);
+            }
+        }
+        Ok(())
     }
 }
 

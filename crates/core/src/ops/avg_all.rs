@@ -4,7 +4,8 @@ use std::sync::Arc;
 use sbx_kpa::{reduce_unkeyed_bundle, reduce_unkeyed_kpa};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
-use crate::ops::{closable, window_start, LateGuard};
+use crate::checkpoint::{join_u128, split_u128, OpState};
+use crate::ops::{closable, single, window_start, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
 
 /// Windowed Average All (benchmark 5): the average of a value column over
@@ -121,7 +122,38 @@ impl Operator for AvgAll {
                 out.push(Message::Watermark(wm));
                 Ok(out)
             }
+            Message::Barrier(mut b) => {
+                b.states.push(self.snapshot(ctx)?);
+                Ok(single(Message::Barrier(b)))
+            }
         }
+    }
+
+    fn snapshot(&self, _ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
+        // Pure scalar state: per window, the u128 running sum (split into
+        // two words) and the record count.
+        let mut scalars = Vec::new();
+        for (w, &(sum, count)) in &self.state {
+            let (hi, lo) = split_u128(sum);
+            scalars.extend_from_slice(&[w.0, hi, lo, count]);
+        }
+        Ok(OpState {
+            horizon: self.late.horizon().map(|h| h.time().raw()),
+            scalars,
+            entries: Vec::new(),
+        })
+    }
+
+    fn restore(&mut self, _ctx: &mut OpCtx<'_>, state: &OpState) -> Result<(), EngineError> {
+        if let Some(raw) = state.horizon {
+            self.late.observe(sbx_records::Watermark::from(raw));
+        }
+        for c in state.scalars.chunks_exact(4) {
+            let e = self.state.entry(WindowId(c[0])).or_insert((0, 0));
+            e.0 += join_u128(c[1], c[2]);
+            e.1 += c[3];
+        }
+        Ok(())
     }
 }
 

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use sbx_kpa::{reduce_keyed, Kpa};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
-use crate::ops::{closable, window_start, LateGuard};
+use crate::checkpoint::{OpState, StateEntry};
+use crate::ops::{closable, single, window_start, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
 
 /// Per-side aggregate applied by [`Cogroup`].
@@ -168,7 +169,39 @@ impl Operator for Cogroup {
                 out.push(Message::Watermark(wm));
                 Ok(out)
             }
+            Message::Barrier(mut b) => {
+                b.states.push(self.snapshot(ctx)?);
+                Ok(single(Message::Barrier(b)))
+            }
         }
+    }
+
+    fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
+        let mut st = OpState {
+            horizon: self.late.horizon().map(|h| h.time().raw()),
+            scalars: Vec::new(),
+            entries: Vec::new(),
+        };
+        for (w, sides) in &self.state {
+            for (side, kpas) in sides.iter().enumerate() {
+                for kpa in kpas {
+                    st.entries
+                        .push(StateEntry::from_kpa(ctx, w.0, side as u8, kpa)?);
+                }
+            }
+        }
+        Ok(st)
+    }
+
+    fn restore(&mut self, ctx: &mut OpCtx<'_>, state: &OpState) -> Result<(), EngineError> {
+        if let Some(raw) = state.horizon {
+            self.late.observe(sbx_records::Watermark::from(raw));
+        }
+        for e in &state.entries {
+            let side = (e.port as usize).min(1);
+            self.state.entry(WindowId(e.window)).or_default()[side].push(e.to_kpa(ctx)?);
+        }
+        Ok(())
     }
 }
 

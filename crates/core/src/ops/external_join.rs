@@ -76,7 +76,7 @@ impl StatelessOperator for ExternalJoin {
                 };
                 Ok(single(Message::Data { port, data }))
             }
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }

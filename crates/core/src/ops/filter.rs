@@ -74,7 +74,7 @@ impl StatelessOperator for Filter {
                 };
                 Ok(single(Message::Data { port, data: out }))
             }
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }

@@ -101,6 +101,12 @@ impl LateGuard {
     pub(crate) fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// The highest watermark observed so far, if any. Captured by operator
+    /// snapshots so recovery preserves late-data decisions.
+    pub(crate) fn horizon(&self) -> Option<Watermark> {
+        self.horizon
+    }
 }
 
 #[cfg(test)]

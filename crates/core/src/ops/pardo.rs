@@ -92,7 +92,7 @@ impl StatelessOperator for Sample {
                 };
                 Ok(single(Message::Data { port, data: out }))
             }
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }
@@ -211,7 +211,7 @@ impl StatelessOperator for MapRecords {
                     data: StreamData::Kpa(kpa),
                 }))
             }
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }

@@ -4,7 +4,8 @@ use std::sync::Arc;
 use sbx_kpa::{reduce_keyed, Kpa};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
-use crate::ops::{closable, window_start, LateGuard};
+use crate::checkpoint::{join_u128, split_u128, OpState, StateEntry};
+use crate::ops::{closable, single, window_start, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
 
 /// Multiplier composing `(house, plug)` into a single grouping key.
@@ -147,7 +148,48 @@ impl Operator for PowerGrid {
                 out.push(Message::Watermark(wm));
                 Ok(out)
             }
+            Message::Barrier(mut b) => {
+                b.states.push(self.snapshot(ctx)?);
+                Ok(single(Message::Barrier(b)))
+            }
         }
+    }
+
+    fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
+        let mut st = OpState {
+            horizon: self.late.horizon().map(|h| h.time().raw()),
+            scalars: Vec::new(),
+            entries: Vec::new(),
+        };
+        for (w, kpas) in &self.state {
+            for kpa in kpas {
+                st.entries.push(StateEntry::from_kpa(ctx, w.0, 0, kpa)?);
+            }
+        }
+        // Window load totals: [window, sum_hi, sum_lo, count].
+        for (w, &(sum, count)) in &self.totals {
+            let (hi, lo) = split_u128(sum);
+            st.scalars.extend_from_slice(&[w.0, hi, lo, count]);
+        }
+        Ok(st)
+    }
+
+    fn restore(&mut self, ctx: &mut OpCtx<'_>, state: &OpState) -> Result<(), EngineError> {
+        if let Some(raw) = state.horizon {
+            self.late.observe(sbx_records::Watermark::from(raw));
+        }
+        for e in &state.entries {
+            self.state
+                .entry(WindowId(e.window))
+                .or_default()
+                .push(e.to_kpa(ctx)?);
+        }
+        for c in state.scalars.chunks_exact(4) {
+            let e = self.totals.entry(WindowId(c[0])).or_insert((0, 0));
+            e.0 += join_u128(c[1], c[2]);
+            e.1 += c[3];
+        }
+        Ok(())
     }
 }
 

@@ -4,8 +4,12 @@ use std::sync::Arc;
 use sbx_kpa::{join_sorted, Kpa};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
-use crate::ops::{closable, window_start, LateGuard};
+use crate::checkpoint::{OpState, StateEntry};
+use crate::ops::{closable, single, window_start, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
+
+/// Snapshot port marking a window's pending (already-joined) output rows.
+const PENDING_PORT: u8 = 2;
 
 /// Temporal Join (paper Fig. 4b): joins two record streams by key within
 /// each temporal window.
@@ -144,7 +148,50 @@ impl Operator for TemporalJoin {
                 out.push(Message::Watermark(wm));
                 Ok(out)
             }
+            Message::Barrier(mut b) => {
+                b.states.push(self.snapshot(ctx)?);
+                Ok(single(Message::Barrier(b)))
+            }
         }
+    }
+
+    fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
+        let mut st = OpState {
+            horizon: self.late.horizon().map(|h| h.time().raw()),
+            scalars: Vec::new(),
+            entries: Vec::new(),
+        };
+        for (w, sides) in &self.state {
+            for (side, slot) in sides.iter().enumerate() {
+                if let Some(kpa) = slot {
+                    st.entries
+                        .push(StateEntry::from_kpa(ctx, w.0, side as u8, kpa)?);
+                }
+            }
+        }
+        for (w, rows) in &self.pending {
+            st.entries
+                .push(StateEntry::from_rows(w.0, PENDING_PORT, 4, 3, rows.clone()));
+        }
+        Ok(st)
+    }
+
+    fn restore(&mut self, ctx: &mut OpCtx<'_>, state: &OpState) -> Result<(), EngineError> {
+        if let Some(raw) = state.horizon {
+            self.late.observe(sbx_records::Watermark::from(raw));
+        }
+        for e in &state.entries {
+            if e.port == PENDING_PORT {
+                self.pending
+                    .entry(WindowId(e.window))
+                    .or_default()
+                    .extend_from_slice(&e.rows);
+            } else {
+                let side = (e.port as usize).min(1);
+                self.state.entry(WindowId(e.window)).or_default()[side] = Some(e.to_kpa(ctx)?);
+            }
+        }
+        Ok(())
     }
 }
 

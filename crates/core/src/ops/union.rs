@@ -36,7 +36,7 @@ impl StatelessOperator for Union {
     fn apply(&self, _ctx: &mut OpCtx<'_>, msg: Message) -> Result<Vec<Message>, EngineError> {
         match msg {
             Message::Data { data, .. } => Ok(single(Message::Data { port: 0, data })),
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }

@@ -93,7 +93,7 @@ impl StatelessOperator for WindowInto {
                 }
                 Ok(out)
             }
-            wm @ Message::Watermark(_) => Ok(single(wm)),
+            other => Ok(single(other)),
         }
     }
 }

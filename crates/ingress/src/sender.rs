@@ -28,7 +28,7 @@ impl Default for SenderConfig {
 }
 
 /// One ingress arrival: a record bundle (with its simulated wire-transfer
-/// time) or a watermark.
+/// time), a watermark, or a checkpoint barrier.
 #[derive(Debug, Clone)]
 pub enum IngressEvent {
     /// A bundle of records plus the nanoseconds its transfer occupied the
@@ -36,6 +36,10 @@ pub enum IngressEvent {
     Bundle(Arc<RecordBundle>, u64),
     /// A watermark promising no earlier timestamps will follow.
     Watermark(Watermark),
+    /// A checkpoint barrier carrying its epoch number. Injected at the
+    /// sender — the source of truth for replay offsets — so that a
+    /// recovered run regenerates the identical event sequence.
+    Barrier(u64),
 }
 
 /// The modelled Sender machine: pulls records from a [`Source`], batches
@@ -51,6 +55,9 @@ pub struct Sender<S> {
     env: MemEnv,
     bundles_sent: usize,
     since_watermark: usize,
+    barrier_interval: Option<u64>,
+    since_barrier: u64,
+    next_epoch: u64,
     scratch: Vec<u64>,
 }
 
@@ -68,8 +75,22 @@ impl<S: Source> Sender<S> {
             env: env.clone(),
             bundles_sent: 0,
             since_watermark: 0,
+            barrier_interval: None,
+            since_barrier: 0,
+            next_epoch: 1,
             scratch: Vec::new(),
         }
+    }
+
+    /// Enables checkpoint barrier injection: a [`IngressEvent::Barrier`]
+    /// is emitted after every `interval` bundles, with epochs counting up
+    /// from 1. Barriers flow in-band, so the engine snapshots a consistent
+    /// stream prefix; replaying the same source regenerates the identical
+    /// barrier cadence.
+    pub fn with_barriers(mut self, interval: u64) -> Self {
+        assert!(interval > 0, "barrier interval must be positive");
+        self.barrier_interval = Some(interval);
+        self
     }
 
     /// The underlying source.
@@ -95,12 +116,21 @@ impl<S: Source> Sender<S> {
                 self.source.low_watermark(),
             )));
         }
+        if let Some(interval) = self.barrier_interval {
+            if self.since_barrier >= interval {
+                self.since_barrier = 0;
+                let epoch = self.next_epoch;
+                self.next_epoch += 1;
+                return Ok(IngressEvent::Barrier(epoch));
+            }
+        }
         self.scratch.clear();
         self.source.fill(self.cfg.bundle_rows, &mut self.scratch);
         let bundle = RecordBundle::from_rows(&self.env, self.source.schema(), &self.scratch)?;
         let wire_ns = self.cfg.nic.transfer_ns(bundle.bytes() as u64);
         self.bundles_sent += 1;
         self.since_watermark += 1;
+        self.since_barrier += 1;
         Ok(IngressEvent::Bundle(bundle, wire_ns))
     }
 }
@@ -132,10 +162,46 @@ mod tests {
                     kinds.push('B');
                 }
                 IngressEvent::Watermark(_) => kinds.push('W'),
+                IngressEvent::Barrier(_) => kinds.push('C'),
             }
         }
         assert_eq!(kinds, vec!['B', 'B', 'B', 'W', 'B', 'B', 'B', 'W']);
         assert_eq!(s.bundles_sent(), 6);
+    }
+
+    #[test]
+    fn barriers_follow_their_cadence_and_replay_identically() {
+        let env = env();
+        let cfg = SenderConfig {
+            bundle_rows: 10,
+            bundles_per_watermark: 5,
+            nic: NicModel::unlimited(),
+        };
+        let run = |seed: u64| {
+            let mut s = Sender::new(&env, KvSource::new(seed, 100, 1000), cfg).with_barriers(2);
+            let mut kinds = Vec::new();
+            let mut epochs = Vec::new();
+            for _ in 0..12 {
+                match s.next_event().unwrap() {
+                    IngressEvent::Bundle(..) => kinds.push('B'),
+                    IngressEvent::Watermark(_) => kinds.push('W'),
+                    IngressEvent::Barrier(e) => {
+                        kinds.push('C');
+                        epochs.push(e);
+                    }
+                }
+            }
+            (kinds, epochs)
+        };
+        let (kinds, epochs) = run(3);
+        // Barrier after every 2 bundles; watermark after every 5.
+        assert_eq!(
+            kinds,
+            vec!['B', 'B', 'C', 'B', 'B', 'C', 'B', 'W', 'B', 'C', 'B', 'B']
+        );
+        assert_eq!(epochs, vec![1, 2, 3]);
+        // Same seed => byte-identical replay of the event sequence.
+        assert_eq!(run(3), (kinds, epochs));
     }
 
     #[test]
@@ -159,6 +225,7 @@ mod tests {
                         );
                     }
                 }
+                IngressEvent::Barrier(_) => {}
             }
         }
     }

@@ -8,10 +8,10 @@
 //!
 //! | rule            | scope                                           | what it flags |
 //! |-----------------|--------------------------------------------------|---------------|
-//! | `raw-alloc`     | hot-path modules (kpa, records::bundle, core ops) | `Vec::with_capacity`, `with_capacity`, `vec![..]`, `Box::new`, `.collect()` |
+//! | `raw-alloc`     | hot-path modules (kpa, records::bundle, core ops, checkpoint) | `Vec::with_capacity`, `with_capacity`, `vec![..]`, `Box::new`, `.collect()` |
 //! | `wall-clock`    | every workspace source file                      | `Instant`, `SystemTime`, `thread::sleep` |
-//! | `hash-iter`     | engine crates (core, kpa, simmem, records)       | `HashMap` / `HashSet` (default hasher ⇒ nondeterministic iteration) |
-//! | `no-panic`      | sbx-core, sbx-kpa, sbx-simmem                    | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `hash-iter`     | engine crates (core, kpa, simmem, records, checkpoint) | `HashMap` / `HashSet` (default hasher ⇒ nondeterministic iteration) |
+//! | `no-panic`      | sbx-core, sbx-kpa, sbx-simmem, sbx-checkpoint    | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `unsafe-forbid` | every crate root (`lib.rs` / `main.rs`)          | missing `#![forbid(unsafe_code)]` |
 //! | `dep-allowlist` | every `Cargo.toml`                               | dependencies outside the approved set |
 //! | `unused-allow`  | everywhere                                       | allow markers that suppress no finding |
@@ -61,11 +61,13 @@ const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
 /// True for files in hot-path modules where the `raw-alloc` rule applies:
-/// all of `sbx-kpa`, the record-bundle layout, and the engine operators.
+/// all of `sbx-kpa`, the record-bundle layout, the engine operators, and
+/// the snapshot encode/persist path (barriers run on the data path).
 pub fn in_raw_alloc_scope(rel: &str) -> bool {
     rel.starts_with("crates/kpa/src/")
         || rel == "crates/records/src/bundle.rs"
         || rel.starts_with("crates/core/src/ops/")
+        || rel.starts_with("crates/checkpoint/src/")
 }
 
 /// True for files in engine crates where `hash-iter` applies.
@@ -75,6 +77,7 @@ pub fn in_hash_iter_scope(rel: &str) -> bool {
         "crates/kpa/src/",
         "crates/simmem/src/",
         "crates/records/src/",
+        "crates/checkpoint/src/",
     ]
     .iter()
     .any(|p| rel.starts_with(p))
@@ -82,9 +85,14 @@ pub fn in_hash_iter_scope(rel: &str) -> bool {
 
 /// True for files where the `no-panic` rule applies.
 pub fn in_no_panic_scope(rel: &str) -> bool {
-    ["crates/core/src/", "crates/kpa/src/", "crates/simmem/src/"]
-        .iter()
-        .any(|p| rel.starts_with(p))
+    [
+        "crates/core/src/",
+        "crates/kpa/src/",
+        "crates/simmem/src/",
+        "crates/checkpoint/src/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
 }
 
 /// Runs every token-level rule against one source file.
@@ -363,6 +371,18 @@ mod tests {
         let f = lint_source(ENGINE, src);
         assert_eq!(f.len(), 5);
         assert!(f.iter().all(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn checkpoint_crate_is_in_all_engine_scopes() {
+        let rel = "crates/checkpoint/src/lib.rs";
+        assert!(in_no_panic_scope(rel));
+        assert!(in_raw_alloc_scope(rel));
+        assert!(in_hash_iter_scope(rel));
+        let f = lint_source(rel, "fn f() { x.unwrap(); let v = it.collect(); }");
+        let rules = rules_of(&f);
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"raw-alloc"));
     }
 
     #[test]

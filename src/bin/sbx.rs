@@ -4,10 +4,17 @@
 //! sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]
 //!                  [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]
 //!                  [--keys N] [--rate N] [--samples-csv PATH]
+//!                  [--checkpoint-interval N]
+//! sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]
+//!                    [bench flags]
 //! sbx figure <2|7|8|9|10|11|ablation>
 //! sbx machines
 //! sbx list
 //! ```
+//!
+//! `recover` crashes the run after the given bundle count, restores the
+//! latest barrier snapshot, resumes, and verifies the committed outputs
+//! are byte-identical to a fault-free run (exactly-once).
 
 // Reporting binaries talk to stdout by design.
 #![allow(clippy::print_stdout, clippy::print_stderr)]
@@ -33,7 +40,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]\n\
          \x20                [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]\n\
-         \x20                [--keys N] [--rate N]\n\
+         \x20                [--keys N] [--rate N] [--checkpoint-interval N]\n\
+         \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
+         \x20                [bench flags]\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
         BENCHMARKS.join(", ")
@@ -52,6 +61,8 @@ struct BenchArgs {
     keys: u64,
     rate: u64,
     samples_csv: Option<String>,
+    checkpoint_interval: Option<u64>,
+    crash_after: Option<u64>,
 }
 
 impl Default for BenchArgs {
@@ -66,6 +77,8 @@ impl Default for BenchArgs {
             keys: 10_000,
             rate: 20_000_000,
             samples_csv: None,
+            checkpoint_interval: None,
+            crash_after: None,
         }
     }
 }
@@ -93,6 +106,16 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             "--keys" => out.keys = value.parse().map_err(|_| "bad --keys")?,
             "--samples-csv" => out.samples_csv = Some(value.clone()),
             "--rate" => out.rate = value.parse().map_err(|_| "bad --rate")?,
+            "--checkpoint-interval" => {
+                let iv: u64 = value.parse().map_err(|_| "bad --checkpoint-interval")?;
+                if iv == 0 {
+                    return Err("--checkpoint-interval must be positive".into());
+                }
+                out.checkpoint_interval = Some(iv);
+            }
+            "--crash-after-bundles" => {
+                out.crash_after = Some(value.parse().map_err(|_| "bad --crash-after-bundles")?);
+            }
             "--nic" => {
                 out.nic = match value.as_str() {
                     "rdma" => NicModel::rdma_40g(),
@@ -133,6 +156,21 @@ fn pipeline_for(name: &str) -> Pipeline {
     }
 }
 
+/// Runs a single-stream benchmark, checkpointed when `interval` is set.
+fn run_single<S: Source>(
+    engine: Engine,
+    src: S,
+    pipeline: Pipeline,
+    bundles: usize,
+    interval: Option<u64>,
+    coord: &mut CheckpointCoordinator,
+) -> Result<RunReport, streambox_hbm::engine::EngineError> {
+    match interval {
+        Some(iv) => engine.run_with_hooks(src, pipeline, bundles, Some(iv), coord),
+        None => engine.run(src, pipeline, bundles),
+    }
+}
+
 fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     let cfg = RunConfig {
         machine: MachineConfig::knl(),
@@ -145,32 +183,49 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         },
         ..RunConfig::default()
     };
+    if a.crash_after.is_some() {
+        return Err("--crash-after-bundles only applies to 'sbx recover'".into());
+    }
+    let ck = a.checkpoint_interval;
+    if ck.is_some() && matches!(a.name.as_str(), "join" | "filter") {
+        return Err("--checkpoint-interval is not supported for two-stream benchmarks".into());
+    }
     println!(
         "running '{}' on {} ({} cores, {}, {})",
         a.name, cfg.machine.name, a.cores, a.nic.name, a.mode
     );
     let engine = Engine::new(cfg);
     let pipeline = pipeline_for(&a.name);
+    let mut coord = CheckpointCoordinator::new();
     let report = match a.name.as_str() {
         "join" | "filter" => {
             let l = KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000);
             let r = KvSource::new(2, a.keys, a.rate).with_value_range(1_000_000);
             engine.run_pair(l, r, pipeline, a.bundles / 2)?
         }
-        "power-grid" => engine.run(
+        "power-grid" => run_single(
+            engine,
             PowerGridSource::new(1, 100, 20, a.rate),
             pipeline,
             a.bundles,
+            ck,
+            &mut coord,
         )?,
-        "ysb" => engine.run(
+        "ysb" => run_single(
+            engine,
             YsbSource::new(1, 10_000, 1_000, a.rate),
             pipeline,
             a.bundles,
+            ck,
+            &mut coord,
         )?,
-        _ => engine.run(
+        _ => run_single(
+            engine,
             KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000),
             pipeline,
             a.bundles,
+            ck,
+            &mut coord,
         )?,
     };
     println!(
@@ -198,6 +253,18 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(s) = report.samples.last() {
         println!("  knob (k_low, k_high): ({:.2}, {:.2})", s.k_low, s.k_high);
     }
+    if ck.is_some() {
+        println!(
+            "  checkpoints    : {:>10} committed, last epoch {}, {} KiB store ({} KiB DRAM used)",
+            coord.samples().len(),
+            coord.store().latest_epoch().unwrap_or(0),
+            coord.store().total_bytes() / 1024,
+            coord
+                .samples()
+                .last()
+                .map_or(0, |s| s.dram_used_bytes / 1024),
+        );
+    }
     if let Some(path) = &a.samples_csv {
         let mut csv = String::from(
             "at_secs,hbm_usage,hbm_used_bytes,dram_bw_gbps,hbm_bw_gbps,k_low,k_high,records\n",
@@ -219,6 +286,95 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         println!("  samples        : written to {path}");
     }
     Ok(())
+}
+
+/// Crash-injected run followed by recovery and an exactly-once check
+/// against a fault-free oracle over the same deterministic stream.
+fn recover_demo<S: Source>(
+    cfg: &RunConfig,
+    mk_src: impl Fn() -> S,
+    mk_pipe: impl Fn() -> Pipeline,
+    bundles: usize,
+    interval: u64,
+    crash_after: u64,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut oracle = CheckpointCoordinator::new();
+    let base = run_with_recovery(cfg, &mk_src, &mk_pipe, bundles, interval, &mut oracle)?;
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(crash_after));
+    let out = run_with_recovery(cfg, &mk_src, &mk_pipe, bundles, interval, &mut coord)?;
+    println!(
+        "  crash+recover  : {} crash(es), resumed from epoch(s) {:?}",
+        out.crashes, out.resumed_epochs
+    );
+    println!(
+        "  checkpoints    : {} committed, {} KiB store",
+        coord.samples().len(),
+        coord.store().total_bytes() / 1024
+    );
+    println!(
+        "  outputs        : {} committed records vs {} fault-free",
+        coord.committed().len(),
+        oracle.committed().len()
+    );
+    if coord.committed() != oracle.committed()
+        || out.report.records_in != base.report.records_in
+        || out.report.output_records != base.report.output_records
+    {
+        return Err("exactly-once VIOLATED: recovered outputs diverge from fault-free run".into());
+    }
+    println!("  exactly-once   : VERIFIED (committed outputs byte-identical to fault-free run)");
+    Ok(())
+}
+
+fn run_recover(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    if matches!(a.name.as_str(), "join" | "filter") {
+        return Err("recover supports single-stream benchmarks only".into());
+    }
+    let interval = a.checkpoint_interval.unwrap_or(10);
+    let crash_after = a.crash_after.unwrap_or(a.bundles as u64 / 2);
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores: a.cores,
+        mode: a.mode,
+        sender: SenderConfig {
+            bundle_rows: a.bundle_rows,
+            bundles_per_watermark: 10,
+            nic: a.nic,
+        },
+        ..RunConfig::default()
+    };
+    println!(
+        "recovering '{}': crash after bundle {crash_after}, checkpoint every {interval} bundles",
+        a.name
+    );
+    let name = a.name.clone();
+    let mk_pipe = || pipeline_for(&name);
+    match a.name.as_str() {
+        "power-grid" => recover_demo(
+            &cfg,
+            || PowerGridSource::new(1, 100, 20, a.rate),
+            mk_pipe,
+            a.bundles,
+            interval,
+            crash_after,
+        ),
+        "ysb" => recover_demo(
+            &cfg,
+            || YsbSource::new(1, 10_000, 1_000, a.rate),
+            mk_pipe,
+            a.bundles,
+            interval,
+            crash_after,
+        ),
+        _ => recover_demo(
+            &cfg,
+            || KvSource::new(1, a.keys, a.rate).with_value_range(1_000_000),
+            mk_pipe,
+            a.bundles,
+            interval,
+            crash_after,
+        ),
+    }
 }
 
 fn run_figure(which: &str) -> Result<(), String> {
@@ -261,6 +417,19 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("bench") => match parse_bench_args(&args[1..]) {
             Ok(a) => match run_bench(a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
+        Some("recover") => match parse_bench_args(&args[1..]) {
+            Ok(a) => match run_recover(a) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -344,6 +513,22 @@ mod tests {
         assert!(parse_bench_args(&s(&["topk", "--nic", "carrier-pigeon"])).is_err());
         assert!(parse_bench_args(&s(&["topk", "--mode", "quantum"])).is_err());
         assert!(parse_bench_args(&s(&["topk", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        let a = parse_bench_args(&s(&[
+            "topk",
+            "--checkpoint-interval",
+            "7",
+            "--crash-after-bundles",
+            "12",
+        ]))
+        .unwrap();
+        assert_eq!(a.checkpoint_interval, Some(7));
+        assert_eq!(a.crash_after, Some(12));
+        assert!(parse_bench_args(&s(&["topk", "--checkpoint-interval", "0"])).is_err());
+        assert!(parse_bench_args(&s(&["topk", "--checkpoint-interval", "x"])).is_err());
     }
 
     #[test]

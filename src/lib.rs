@@ -21,6 +21,8 @@
 //! * [`engine`] — the runtime: operators, pipelines, scheduler tags, the
 //!   HBM/DRAM demand balancer.
 //! * [`ingress`] — workload generators, NIC-rate ingestion, parsers.
+//! * [`checkpoint`] — barrier snapshot store, crash injection, and
+//!   exactly-once recovery.
 //! * [`baselines`] — the Flink-class row engine used for comparisons.
 //!
 //! ## Example
@@ -40,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub use sbx_baselines as baselines;
+pub use sbx_checkpoint as checkpoint;
 pub use sbx_engine as engine;
 pub use sbx_ingress as ingress;
 pub use sbx_kpa as kpa;
@@ -49,6 +52,10 @@ pub use sbx_simmem as simmem;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use sbx_baselines::{RowEngine, RowEngineConfig, RowPipeline};
+    pub use sbx_checkpoint::{
+        coordinated_epoch, run_with_recovery, CheckpointCoordinator, CrashPlan, RecoveryOutcome,
+        SnapshotStore,
+    };
     pub use sbx_engine::ops::AggKind;
     pub use sbx_engine::{
         benchmarks, Cluster, ClusterReport, Engine, EngineMode, Pipeline, PipelineBuilder,

@@ -1,0 +1,230 @@
+//! End-to-end checkpoint/recovery integration tests: barrier snapshots,
+//! crash injection, exactly-once recovery, and snapshot accounting in the
+//! DRAM pool (DESIGN.md §9).
+//!
+//! The exactly-once criterion everywhere: the coordinator's *committed*
+//! output sequence after crash + recovery must be byte-identical to the
+//! committed sequence of a fault-free run over the same deterministic
+//! stream — no loss, no duplication, same order.
+
+use sbx_prng::SbxRng;
+use streambox_hbm::engine::{CheckpointHooks, CrashPhase};
+use streambox_hbm::prelude::*;
+
+fn base_cfg() -> RunConfig {
+    RunConfig {
+        cores: 16,
+        collect_outputs: true,
+        sender: SenderConfig {
+            bundle_rows: 1_000,
+            bundles_per_watermark: 4,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    }
+}
+
+/// The acceptance scenario: a TopK-per-key run is killed mid-window, well
+/// past its latest checkpoint; recovery restores the snapshot, rewinds the
+/// sender, and the windowed outputs come out identical to an uninterrupted
+/// run — with the snapshot bytes visible in the DRAM pool accounting.
+#[test]
+fn topk_crash_mid_window_recovers_identically() {
+    // 10 k records per event-second and 1 k-row bundles: each bundle
+    // covers 0.1 s of event time, so 40 bundles span four 1 s windows and
+    // a crash at bundle 17 (t = 1.7 s) falls mid-window, with window 0
+    // already externalized and window 1 half-built.
+    let mk_src = || KvSource::new(11, 25, 10_000).with_value_range(1_000);
+    let mk_pipe = || benchmarks::topk_per_key(3);
+    let cfg = base_cfg();
+
+    let mut oracle = CheckpointCoordinator::new();
+    let base = run_with_recovery(&cfg, mk_src, mk_pipe, 40, 5, &mut oracle).expect("oracle");
+    assert_eq!(base.crashes, 0);
+    assert!(base.report.windows_closed >= 4);
+    assert!(!oracle.committed().is_empty());
+
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(17));
+    let out = run_with_recovery(&cfg, mk_src, mk_pipe, 40, 5, &mut coord).expect("recover");
+    assert_eq!(out.crashes, 1);
+    // Bundle 17 is past the epoch-3 barrier (bundle 15).
+    assert_eq!(out.resumed_epochs, vec![3]);
+
+    // Exactly-once: committed outputs byte-identical to the fault-free run.
+    assert_eq!(coord.committed(), oracle.committed());
+    assert_eq!(out.report.records_in, base.report.records_in);
+    assert_eq!(out.report.output_records, base.report.output_records);
+    assert_eq!(out.report.windows_closed, base.report.windows_closed);
+
+    // Snapshot bytes are real DRAM-pool allocations, visible in the
+    // accounting the balancer watches. (Across a crash the store also
+    // retains snapshots from the dead engine's pool, so only the snapshot
+    // just persisted is guaranteed to be in the *current* pool's usage.)
+    assert!(!coord.samples().is_empty());
+    for s in coord.samples() {
+        assert!(s.snapshot_bytes > 0);
+        assert!(
+            s.dram_used_bytes >= s.snapshot_bytes,
+            "a fresh snapshot's bytes must show up in DRAM accounting"
+        );
+    }
+}
+
+/// Property test: whatever the crash point (bundle offsets, barrier
+/// phases) and whatever the checkpoint cadence, recovery is exactly-once
+/// and snapshots never exceed the DRAM pool's capacity.
+#[test]
+fn random_crash_points_recover_exactly_once() {
+    let mut rng = SbxRng::seed_from_u64(0x5b57_ec04);
+    let phases = [
+        CrashPhase::BarrierBeforeAlignment,
+        CrashPhase::BarrierAligned,
+        CrashPhase::BarrierBeforeCommit,
+        CrashPhase::BarrierCommitted,
+        CrashPhase::RoundEnd,
+    ];
+    let cfg = RunConfig {
+        cores: 8,
+        sender: SenderConfig {
+            bundle_rows: 500,
+            bundles_per_watermark: 3,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    };
+    let bundles = 18usize;
+    for case in 0..12u64 {
+        let interval = rng.random_range(1..8);
+        let seed = rng.random_range(1..1_000_000);
+        let mk_src = || KvSource::new(seed, 40, 1_000_000).with_value_range(1_000);
+        let mk_pipe = benchmarks::sum_per_key;
+
+        let mut oracle = CheckpointCoordinator::new();
+        let base = run_with_recovery(&cfg, mk_src, mk_pipe, bundles, interval, &mut oracle)
+            .expect("oracle");
+
+        let plan = if case % 2 == 0 {
+            CrashPlan::AfterBundles(rng.random_range(1..bundles as u64))
+        } else {
+            CrashPlan::AtBarrier {
+                epoch: rng.random_range(1..4),
+                phase: phases[rng.random_range(0..phases.len() as u64) as usize],
+            }
+        };
+        let mut coord = CheckpointCoordinator::with_crash(plan);
+        let out = run_with_recovery(&cfg, mk_src, mk_pipe, bundles, interval, &mut coord)
+            .expect("recover");
+        // An AtBarrier plan may target an epoch the cadence never reaches;
+        // otherwise exactly one crash fires.
+        assert!(out.crashes <= 1, "case {case}: {plan:?}");
+
+        assert_eq!(
+            coord.committed(),
+            oracle.committed(),
+            "case {case}: outputs diverged under {plan:?} (interval {interval})"
+        );
+        assert_eq!(out.report.records_in, base.report.records_in, "case {case}");
+        assert_eq!(
+            out.report.output_records, base.report.output_records,
+            "case {case}"
+        );
+
+        // Snapshots live inside the accounted pool: never over capacity.
+        let dram_capacity = cfg.machine.dram.capacity_bytes;
+        for s in coord.samples() {
+            assert!(s.store_bytes <= dram_capacity, "case {case}");
+            assert!(s.dram_used_bytes <= dram_capacity, "case {case}");
+        }
+    }
+}
+
+/// A crash after the final checkpoint of the run: only the post-snapshot
+/// tail is replayed, and the tail's outputs still come out exactly once.
+#[test]
+fn crash_after_last_checkpoint_replays_only_the_tail() {
+    let mk_src = || KvSource::new(13, 30, 1_000_000).with_value_range(100);
+    let mk_pipe = benchmarks::sum_per_key;
+    let cfg = base_cfg();
+    let mut oracle = CheckpointCoordinator::new();
+    let base = run_with_recovery(&cfg, mk_src, mk_pipe, 24, 4, &mut oracle).expect("oracle");
+
+    // Barriers fire after bundles 4, 8, ..., 20; bundle 22 is past the
+    // last one, so recovery resumes from epoch 5 and replays 21..=24.
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(22));
+    let out = run_with_recovery(&cfg, mk_src, mk_pipe, 24, 4, &mut coord).expect("recover");
+    assert_eq!(out.crashes, 1);
+    assert_eq!(out.resumed_epochs, vec![5]);
+    assert_eq!(coord.committed(), oracle.committed());
+    assert_eq!(out.report.output_records, base.report.output_records);
+}
+
+/// Per-shard coordinated checkpoints on a cluster: every shard sees the
+/// same barrier cadence, so the coordinated epoch (min over shards) is the
+/// common prefix a cluster-wide recovery would restore.
+#[test]
+fn cluster_checkpoints_coordinate_across_shards() {
+    let mk_src = || KvSource::new(17, 100, 1_000_000).with_value_range(1_000);
+    let cluster = Cluster::new(2, base_cfg());
+
+    let mut a = CheckpointCoordinator::new();
+    let mut b = CheckpointCoordinator::new();
+    {
+        let mut hooks: [&mut dyn CheckpointHooks; 2] = [&mut a, &mut b];
+        let report = cluster
+            .run_checkpointed(mk_src, benchmarks::sum_per_key, 0, 16, 4, &mut hooks)
+            .expect("cluster run");
+        assert_eq!(report.per_instance.len(), 2);
+        assert!(report.records_in() > 0);
+    }
+    // Identical cadence on every shard: both stores hold the same epochs
+    // and the coordinated epoch is their (equal) latest.
+    assert_eq!(a.store().epochs(), b.store().epochs());
+    let coord_epoch = coordinated_epoch(&[a.store(), b.store()]);
+    assert_eq!(coord_epoch, a.store().latest_epoch());
+    assert!(coord_epoch.unwrap_or(0) >= 3, "16 bundles / interval 4");
+    // Both shards' snapshots restore to matching replay offsets.
+    let sa = a.store().latest().expect("decode").expect("snapshot");
+    let sb = b.store().latest().expect("decode").expect("snapshot");
+    assert_eq!(sa.epoch, sb.epoch);
+    assert_eq!(sa.bundles_sent, sb.bundles_sent);
+    // A wrong-sized hook slice is a config error, not a panic.
+    let mut only: [&mut dyn CheckpointHooks; 1] = [&mut a];
+    assert!(cluster
+        .run_checkpointed(mk_src, benchmarks::sum_per_key, 0, 4, 2, &mut only)
+        .is_err());
+}
+
+/// Resuming with a mismatched pipeline (different stateful operator count)
+/// is a typed configuration error.
+#[test]
+fn snapshot_pipeline_mismatch_is_config_error() {
+    use streambox_hbm::engine::EngineError;
+    let mk_src = || KvSource::new(19, 20, 1_000_000);
+    let cfg = base_cfg();
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(9));
+    let err = run_with_recovery(&cfg, mk_src, benchmarks::sum_per_key, 16, 4, &mut coord);
+    assert!(err.is_ok(), "matching pipeline recovers fine");
+    let snap = coord
+        .store()
+        .latest()
+        .expect("decode")
+        .expect("snapshot exists");
+    // The snapshot holds one stateful operator's state; a stateless
+    // pipeline has nowhere to put it.
+    let stateless = PipelineBuilder::new(streambox_hbm::records::WindowSpec::fixed(1_000_000_000))
+        .windowed()
+        .build();
+    let engine = Engine::new(cfg);
+    let out = engine.resume_with_hooks(
+        mk_src(),
+        stateless,
+        16,
+        Some(4),
+        &mut CheckpointCoordinator::new(),
+        &snap,
+    );
+    assert!(
+        matches!(out, Err(EngineError::Config(_))),
+        "mismatched pipeline must be a config error, got {out:?}"
+    );
+}

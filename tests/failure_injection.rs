@@ -171,3 +171,91 @@ fn single_record_bundles_work() {
     assert_eq!(report.records_in, 8);
     assert!(report.output_records >= 1);
 }
+
+/// Crashing in the middle of barrier processing — before alignment, after
+/// alignment, or just before the snapshot commits — must fall back to the
+/// *previous* epoch's snapshot and still be exactly-once; crashing after
+/// the commit resumes from the epoch that just committed.
+#[test]
+fn crash_during_barrier_alignment_recovers_from_prior_epoch() {
+    use streambox_hbm::engine::CrashPhase;
+    let mk_src = || KvSource::new(21, 50, 1_000_000).with_value_range(100);
+    let cfg = base_cfg();
+    let mut oracle = CheckpointCoordinator::new();
+    let base = run_with_recovery(&cfg, mk_src, benchmarks::sum_per_key, 20, 4, &mut oracle)
+        .expect("oracle");
+
+    for (phase, resumed) in [
+        (CrashPhase::BarrierBeforeAlignment, 2),
+        (CrashPhase::BarrierAligned, 2),
+        (CrashPhase::BarrierBeforeCommit, 2),
+        (CrashPhase::BarrierCommitted, 3),
+    ] {
+        let plan = CrashPlan::AtBarrier { epoch: 3, phase };
+        let mut coord = CheckpointCoordinator::with_crash(plan);
+        let out = run_with_recovery(&cfg, mk_src, benchmarks::sum_per_key, 20, 4, &mut coord)
+            .expect("recover");
+        assert_eq!(out.crashes, 1, "{phase:?}");
+        assert_eq!(out.resumed_epochs, vec![resumed], "{phase:?}");
+        assert_eq!(coord.committed(), oracle.committed(), "{phase:?}");
+        assert_eq!(
+            out.report.output_records, base.report.output_records,
+            "{phase:?}"
+        );
+    }
+}
+
+/// A barrier crossing operators that hold no window state (a filter dropped
+/// every record) snapshots empty state; crash + recovery through such a
+/// snapshot stays clean and exactly-once (zero outputs, full input replay).
+#[test]
+fn empty_windows_at_snapshot_time_are_clean() {
+    let mk_pipe = || {
+        PipelineBuilder::new(WindowSpec::fixed(1_000_000_000))
+            .filter(Col(0), |_| false)
+            .windowed()
+            .keyed_aggregate(Col(0), Col(1), AggKind::Count)
+            .build()
+    };
+    let mk_src = || KvSource::new(22, 100, 100_000);
+    let cfg = base_cfg();
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(10));
+    let out = run_with_recovery(&cfg, mk_src, mk_pipe, 16, 3, &mut coord).expect("recover");
+    assert_eq!(out.crashes, 1);
+    assert!(out.resumed_epochs[0] > 0, "a snapshot existed before crash");
+    assert_eq!(out.report.output_records, 0);
+    assert!(out.report.records_in > 0);
+    assert!(coord.committed().is_empty());
+    // The snapshots themselves are tiny but real allocations.
+    assert!(coord.samples().iter().all(|s| s.snapshot_bytes > 0));
+}
+
+/// A barrier that arrives behind a late watermark: watermarks outpace the
+/// checkpoint cadence and jittered records straggle near the horizon, so
+/// snapshots are taken while late data for already-advanced watermarks is
+/// still in flight. Recovery must reproduce the fault-free output exactly.
+#[test]
+fn barrier_behind_late_watermark_is_exactly_once() {
+    let mut cfg = base_cfg();
+    // Watermarks every 2 bundles, barriers only every 5: each barrier
+    // trails several watermark rounds.
+    cfg.sender.bundles_per_watermark = 2;
+    let mk_src = || {
+        KvSource::new(23, 10, 100_000)
+            .with_value_range(100)
+            .with_jitter(200_000_000)
+    };
+    let mut oracle = CheckpointCoordinator::new();
+    let base = run_with_recovery(&cfg, mk_src, benchmarks::sum_per_key, 20, 5, &mut oracle)
+        .expect("oracle");
+    assert!(base.report.windows_closed > 0);
+
+    let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(13));
+    let out = run_with_recovery(&cfg, mk_src, benchmarks::sum_per_key, 20, 5, &mut coord)
+        .expect("recover");
+    assert_eq!(out.crashes, 1);
+    assert_eq!(coord.committed(), oracle.committed());
+    assert_eq!(out.report.records_in, base.report.records_in);
+    assert_eq!(out.report.output_records, base.report.output_records);
+    assert_eq!(out.report.windows_closed, base.report.windows_closed);
+}

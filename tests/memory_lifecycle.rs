@@ -120,6 +120,53 @@ fn urgent_reserve_keeps_window_closes_working() {
     assert!(report.output_records > 0);
 }
 
+/// Crash injection tears a run down mid-flight with bundles still staged
+/// in the watermark batch, the sink, and operator state; recovery then
+/// replays them. Every bundle pinned across that whole crash + recover
+/// cycle must still be reclaimed — the snapshot store holds materialized
+/// row copies, never bundle references.
+#[test]
+fn crash_and_recovery_leave_no_live_bundles() {
+    let before = live_bundles();
+    let cfg = RunConfig {
+        cores: 16,
+        collect_outputs: false,
+        sender: small_sender(),
+        ..RunConfig::default()
+    };
+    let mk_src = || KvSource::new(6, 100, 100_000).with_value_range(100);
+    let plans = [
+        CrashPlan::AfterBundles(13),
+        // Mid-barrier: the alignment flush has drained the batch into the
+        // sink when the crash lands — the subtlest RC path.
+        CrashPlan::AtBarrier {
+            epoch: 3,
+            phase: streambox_hbm::engine::CrashPhase::BarrierAligned,
+        },
+    ];
+    for plan in plans {
+        let mut coord = CheckpointCoordinator::with_crash(plan);
+        let out = run_with_recovery(
+            &cfg,
+            mk_src,
+            || benchmarks::topk_per_key(3),
+            25,
+            5,
+            &mut coord,
+        )
+        .expect("recover");
+        assert_eq!(out.crashes, 1, "{plan:?}");
+        assert!(out.report.records_in > 0);
+        // The coordinator (snapshots, committed outputs) is still alive
+        // here: nothing it holds may pin a bundle.
+        assert_eq!(
+            live_bundles(),
+            before,
+            "crash + recovery must release every RC-pinned bundle ({plan:?})"
+        );
+    }
+}
+
 #[test]
 fn repeated_runs_are_deterministic() {
     let run_once = || {
