@@ -1,0 +1,7 @@
+//! `cargo bench --bench obs_overhead` — instrumentation cost of sbx-obs
+//! (no-op vs metrics vs metrics+trace) on the Figure-7 YSB pipeline.
+
+fn main() {
+    let out = sbx_bench::obs_overhead::run();
+    sbx_bench::save_experiment("obs_overhead", &out);
+}

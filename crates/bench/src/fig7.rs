@@ -98,6 +98,7 @@ pub fn run() -> String {
         NicModel::rdma_40g().record_rate_limit(56) / 1e6,
         NicModel::ethernet_10g().record_rate_limit(56) / 1e6,
     );
+    // sbx-lint: allow(no-adhoc-io, figure banner printed with the table)
     println!("{limits}");
     let mut out = limits;
     out.push_str(&a.print());

@@ -21,6 +21,7 @@ pub fn time_fn<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> f64 {
     let min = secs.iter().copied().fold(f64::INFINITY, f64::min);
     let max = secs.iter().copied().fold(0.0f64, f64::max);
     let mean = secs.iter().sum::<f64>() / samples as f64;
+    // sbx-lint: allow(no-adhoc-io, bench timing line is the deliverable)
     println!(
         "{name:<28} {:>9.3} ms min  {:>9.3} ms mean  {:>9.3} ms max  ({samples} samples)",
         min * 1e3,

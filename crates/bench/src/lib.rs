@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod obs_overhead;
 pub mod table;
 
 /// Core counts used on the x-axis of the paper's sweeps.
@@ -36,6 +37,7 @@ pub fn save_experiment(name: &str, content: &str) {
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{name}.txt"));
         if std::fs::write(&path, content).is_ok() {
+            // sbx-lint: allow(no-adhoc-io, bench harness echoes the artifact path)
             println!("(saved to {})", path.display());
         }
     }

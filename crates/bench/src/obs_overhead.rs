@@ -1,0 +1,106 @@
+//! Instrumentation overhead: host-side cost of sbx-obs on the Figure-7
+//! YSB pipeline, comparing the no-op recorders against metrics-only and
+//! metrics+tracing runs.
+//!
+//! Simulated results (throughput, bandwidth, delay) are identical across
+//! modes by construction — the recorders never touch simulated time — so
+//! the interesting number is host wall-clock per run. EXPERIMENTS.md
+//! records the measured overhead; `tests/observability.rs` asserts the
+//! simulated-throughput side of the 3% budget.
+
+use sbx_engine::{benchmarks, Engine, RunConfig};
+use sbx_ingress::{NicModel, SenderConfig, YsbSource};
+use sbx_obs::Obs;
+use sbx_simmem::MachineConfig;
+
+use crate::harness::time_fn;
+use crate::table::{f1, Table};
+
+const NUM_ADS: u64 = 10_000;
+const NUM_CAMPAIGNS: u64 = 1_000;
+const EVENT_RATE: u64 = 10_000_000;
+const BUNDLE_ROWS: usize = 20_000;
+const BUNDLES: usize = 50;
+const CORES: u32 = 32;
+const SAMPLES: usize = 5;
+
+/// One Figure-7-style YSB run under the given recorders; returns
+/// simulated throughput in M records/s.
+pub fn ysb_run(obs: Obs) -> f64 {
+    let cfg = RunConfig {
+        machine: MachineConfig::knl(),
+        cores: CORES,
+        sender: SenderConfig {
+            bundle_rows: BUNDLE_ROWS,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        obs,
+        ..RunConfig::default()
+    };
+    Engine::new(cfg)
+        .run(
+            YsbSource::new(7, NUM_ADS, NUM_CAMPAIGNS, EVENT_RATE),
+            benchmarks::ysb(NUM_CAMPAIGNS),
+            BUNDLES,
+        )
+        .expect("run succeeds")
+        .throughput_mrps()
+}
+
+/// A named recorder-mode constructor under measurement.
+type Mode = (&'static str, fn() -> Obs);
+
+/// The three recorder modes under measurement.
+fn modes() -> [Mode; 3] {
+    [
+        ("no-op", Obs::noop as fn() -> Obs),
+        ("metrics", Obs::metrics_only),
+        ("metrics+trace", Obs::enabled),
+    ]
+}
+
+/// Times each mode and renders the overhead table.
+pub fn run() -> String {
+    let mut table = Table::new(
+        "Observability overhead: Figure-7 YSB pipeline, host wall-clock per run",
+        &["mode", "host ms/run", "overhead %", "sim M rec/s"],
+    );
+    // Whole-process warmup so the first timed mode isn't also paying the
+    // host's cold caches and frequency ramp.
+    for _ in 0..3 {
+        std::hint::black_box(ysb_run(Obs::noop()));
+    }
+    let mut baseline = 0.0f64;
+    for (name, mk) in modes() {
+        let mut sim_mrps = 0.0;
+        let mean = time_fn(&format!("ysb obs={name}"), SAMPLES, || {
+            sim_mrps = ysb_run(mk());
+        });
+        if baseline == 0.0 {
+            baseline = mean;
+        }
+        let overhead = (mean - baseline) / baseline * 100.0;
+        table.row(vec![
+            name.to_string(),
+            f1(mean * 1e3),
+            f1(overhead),
+            f1(sim_mrps),
+        ]);
+    }
+    table.print()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recorders must not perturb the simulation: all three modes report
+    /// the same simulated throughput on the same seeded stream.
+    #[test]
+    fn simulated_results_agree_across_modes() {
+        let noop = ysb_run(Obs::noop());
+        let metrics = ysb_run(Obs::metrics_only());
+        assert!((noop - metrics).abs() / noop < 1e-9, "{noop} vs {metrics}");
+    }
+}

@@ -73,6 +73,7 @@ impl Table {
     /// Prints the rendered table to stdout and returns it.
     pub fn print(&self) -> String {
         let s = self.render();
+        // sbx-lint: allow(no-adhoc-io, table rendering prints by contract)
         println!("{s}");
         s
     }

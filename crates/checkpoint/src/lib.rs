@@ -32,6 +32,7 @@ use sbx_engine::{
     PipelineSnapshot, RunConfig, RunReport, StateEntry, StreamData,
 };
 use sbx_ingress::Source;
+use sbx_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use sbx_simmem::{AccessProfile, MemEnv, MemKind, PoolVec, Priority};
 
 /// First word of every encoded snapshot: `b"SBXCKPT1"` as a big-endian
@@ -372,6 +373,33 @@ pub struct CheckpointCoordinator {
     plan: Option<CrashPlan>,
     samples: Vec<CheckpointSample>,
     retain: usize,
+    metrics: CkptMetrics,
+}
+
+/// Checkpoint instruments (`checkpoint.*`); inert until
+/// [`CheckpointCoordinator::with_metrics`] installs live handles.
+#[derive(Debug)]
+struct CkptMetrics {
+    /// `checkpoint.commits` — committed snapshots.
+    commits: Counter,
+    /// `checkpoint.snapshot_bytes` — cumulative persisted snapshot bytes.
+    snapshot_bytes: Counter,
+    /// `checkpoint.store_bytes` — store footprint after each commit (its
+    /// max is the retention high-water mark).
+    store_bytes: Gauge,
+    /// `checkpoint.commit_secs` — modelled persistence latency per commit.
+    commit_secs: Histogram,
+}
+
+impl Default for CkptMetrics {
+    fn default() -> Self {
+        CkptMetrics {
+            commits: Counter::noop(),
+            snapshot_bytes: Counter::noop(),
+            store_bytes: Gauge::noop(),
+            commit_secs: Histogram::noop(),
+        }
+    }
 }
 
 impl CheckpointCoordinator {
@@ -384,7 +412,22 @@ impl CheckpointCoordinator {
             plan: None,
             samples: Vec::new(),
             retain: 4,
+            metrics: CkptMetrics::default(),
         }
+    }
+
+    /// Registers checkpoint instruments in `registry`: commit count,
+    /// snapshot bytes, store footprint and modelled commit latency
+    /// (`checkpoint.*`). With a no-op registry this leaves the coordinator
+    /// unobserved.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.metrics = CkptMetrics {
+            commits: registry.counter("checkpoint.commits"),
+            snapshot_bytes: registry.counter("checkpoint.snapshot_bytes"),
+            store_bytes: registry.gauge("checkpoint.store_bytes"),
+            commit_secs: registry.histogram("checkpoint.commit_secs"),
+        };
+        self
     }
 
     /// A coordinator armed with `plan`.
@@ -483,7 +526,16 @@ impl CheckpointHooks for CheckpointCoordinator {
         // Snapshot persistence is a sequential DRAM write; merging it into
         // the round makes checkpoint pressure visible to the bandwidth
         // monitor and the demand balancer.
-        Ok(AccessProfile::new().seq(MemKind::Dram, bytes as f64))
+        let profile = AccessProfile::new().seq(MemKind::Dram, bytes as f64);
+        self.metrics.commits.incr();
+        self.metrics.snapshot_bytes.add(bytes);
+        self.metrics
+            .store_bytes
+            .set(self.store.total_bytes() as f64);
+        self.metrics
+            .commit_secs
+            .record(env.cost().time_secs(&profile, env.machine().cores));
+        Ok(profile)
     }
 
     fn on_output(&mut self, data: &StreamData) {
@@ -749,6 +801,33 @@ mod tests {
             },
             ..RunConfig::default()
         }
+    }
+
+    #[test]
+    fn coordinator_metrics_track_commits() {
+        let reg = MetricsRegistry::active();
+        let mut coord = CheckpointCoordinator::new().with_metrics(&reg);
+        let mk_src = || KvSource::new(7, 50, 100_000).with_value_range(1_000);
+        let out = run_with_recovery(
+            &quick_cfg(),
+            mk_src,
+            benchmarks::sum_per_key,
+            20,
+            3,
+            &mut coord,
+        )
+        .unwrap();
+        assert_eq!(out.crashes, 0);
+        let dump = reg.snapshot();
+        let commits = dump.counter("checkpoint.commits").unwrap();
+        assert_eq!(commits as usize, coord.samples().len());
+        let total: u64 = coord.samples().iter().map(|s| s.snapshot_bytes).sum();
+        assert_eq!(dump.counter("checkpoint.snapshot_bytes"), Some(total));
+        let hist = dump.histogram("checkpoint.commit_secs").unwrap();
+        assert_eq!(hist.snapshot.count, commits);
+        assert!(hist.snapshot.sum > 0.0, "commit latency must be modelled");
+        let store = dump.gauge("checkpoint.store_bytes").unwrap();
+        assert!(store.max > 0.0);
     }
 
     #[test]

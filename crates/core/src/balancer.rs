@@ -1,3 +1,4 @@
+use sbx_obs::{Counter, MetricsRegistry};
 use sbx_simmem::{MemKind, Priority};
 
 use crate::ImpactTag;
@@ -13,6 +14,69 @@ const HBM_PRESSURE: f64 = 0.80;
 /// §5) — while bandwidth saturation only slows tasks down, so under joint
 /// pressure the knob sheds capacity first.
 const DRAM_PRESSURE: f64 = 0.90;
+
+/// One demand-balance knob adjustment, as reported by
+/// [`DemandBalancer::update`]: which knob moved, in which direction, and
+/// what resource pressure triggered it. The observability layer counts
+/// moves per variant (`balancer.move.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnobMove {
+    /// `k_low` lowered: HBM capacity pressure sheds low-impact KPAs to DRAM.
+    ShedLow,
+    /// `k_high` lowered: HBM pressure persists with `k_low` exhausted and
+    /// output-delay headroom available.
+    ShedHigh,
+    /// `k_low` raised: DRAM bandwidth pressure pulls KPAs back to HBM.
+    PullLow,
+    /// `k_high` raised: DRAM pressure persists with `k_low` saturated.
+    PullHigh,
+}
+
+impl KnobMove {
+    /// All variants, in metric order.
+    pub const ALL: [KnobMove; 4] = [
+        KnobMove::ShedLow,
+        KnobMove::ShedHigh,
+        KnobMove::PullLow,
+        KnobMove::PullHigh,
+    ];
+
+    /// Dense index for per-variant counters.
+    pub fn index(self) -> usize {
+        match self {
+            KnobMove::ShedLow => 0,
+            KnobMove::ShedHigh => 1,
+            KnobMove::PullLow => 2,
+            KnobMove::PullHigh => 3,
+        }
+    }
+
+    /// Which knob moved.
+    pub fn knob(self) -> &'static str {
+        match self {
+            KnobMove::ShedLow | KnobMove::PullLow => "k_low",
+            KnobMove::ShedHigh | KnobMove::PullHigh => "k_high",
+        }
+    }
+
+    /// The resource pressure that triggered the move.
+    pub fn trigger(self) -> &'static str {
+        match self {
+            KnobMove::ShedLow | KnobMove::ShedHigh => "hbm_pressure",
+            KnobMove::PullLow | KnobMove::PullHigh => "dram_bandwidth",
+        }
+    }
+
+    /// Counter name for this move (`balancer.move.<direction>.<trigger>`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            KnobMove::ShedLow => "balancer.move.shed_low.hbm_pressure",
+            KnobMove::ShedHigh => "balancer.move.shed_high.hbm_pressure",
+            KnobMove::PullLow => "balancer.move.pull_low.dram_bandwidth",
+            KnobMove::PullHigh => "balancer.move.pull_high.dram_bandwidth",
+        }
+    }
+}
 
 /// Snapshot of the knob (see [`DemandBalancer::knob`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -43,6 +107,11 @@ pub struct DemandBalancer {
     k_high: f64,
     acc_low: f64,
     acc_high: f64,
+    /// Placement-decision counters per tier (`balancer.placed.{hbm,dram}`);
+    /// inert unless [`DemandBalancer::with_metrics`] installed live ones.
+    /// Clones share the counters, so worker-thread balancer copies
+    /// aggregate into the same totals.
+    placed: [Counter; 2],
 }
 
 impl Default for DemandBalancer {
@@ -60,7 +129,19 @@ impl DemandBalancer {
             k_high: 1.0,
             acc_low: 0.0,
             acc_high: 0.0,
+            placed: [Counter::noop(), Counter::noop()],
         }
+    }
+
+    /// Registers per-tier placement-decision counters
+    /// (`balancer.placed.{hbm,dram}`) in `registry`. With a no-op registry
+    /// this leaves the balancer unobserved.
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.placed = [
+            registry.counter("balancer.placed.hbm"),
+            registry.counter("balancer.placed.dram"),
+        ];
+        self
     }
 
     /// The current knob values.
@@ -73,14 +154,16 @@ impl DemandBalancer {
 
     /// Decides the placement of a new KPA for a task tagged `tag`.
     pub fn place(&mut self, tag: ImpactTag) -> (MemKind, Priority) {
-        match tag {
+        let decision = match tag {
             ImpactTag::Urgent => (MemKind::Hbm, Priority::Reserved),
             ImpactTag::High => (
                 Self::draw(&mut self.acc_high, self.k_high),
                 Priority::Normal,
             ),
             ImpactTag::Low => (Self::draw(&mut self.acc_low, self.k_low), Priority::Normal),
-        }
+        };
+        self.placed[decision.0.index()].incr();
+        decision
     }
 
     fn draw(acc: &mut f64, k: f64) -> MemKind {
@@ -111,7 +194,15 @@ impl DemandBalancer {
     /// * `dram_bw_frac` — DRAM bandwidth usage as a fraction of its peak.
     /// * `delay_headroom` — whether output delay is at least 10% below the
     ///   target (gates `k_high` reductions).
-    pub fn update(&mut self, hbm_usage: f64, dram_bw_frac: f64, delay_headroom: bool) {
+    ///
+    /// Returns the knob move taken this sample, or `None` when the knob
+    /// held (balanced, pinned at a bound, or lacking delay headroom).
+    pub fn update(
+        &mut self,
+        hbm_usage: f64,
+        dram_bw_frac: f64,
+        delay_headroom: bool,
+    ) -> Option<KnobMove> {
         let hbm_over = hbm_usage - HBM_PRESSURE;
         let dram_over = dram_bw_frac - DRAM_PRESSURE;
 
@@ -119,17 +210,24 @@ impl DemandBalancer {
             // HBM capacity is the scarcer resource: shed new KPAs to DRAM.
             if self.k_low > 0.0 {
                 self.k_low = (self.k_low - BALANCER_DELTA).max(0.0);
-            } else if delay_headroom {
+                return Some(KnobMove::ShedLow);
+            }
+            if delay_headroom && self.k_high > 0.0 {
                 self.k_high = (self.k_high - BALANCER_DELTA).max(0.0);
+                return Some(KnobMove::ShedHigh);
             }
         } else if dram_over > 0.0 && dram_over > hbm_over {
             // DRAM bandwidth is the scarcer resource: pull KPAs back to HBM.
             if self.k_low < 1.0 {
                 self.k_low = (self.k_low + BALANCER_DELTA).min(1.0);
-            } else {
+                return Some(KnobMove::PullLow);
+            }
+            if self.k_high < 1.0 {
                 self.k_high = (self.k_high + BALANCER_DELTA).min(1.0);
+                return Some(KnobMove::PullHigh);
             }
         }
+        None
     }
 }
 
@@ -153,7 +251,7 @@ mod tests {
     fn urgent_always_gets_reserved_hbm() {
         let mut b = DemandBalancer::new();
         for _ in 0..10 {
-            b.update(1.0, 0.0, true); // crush k_low to zero
+            let _ = b.update(1.0, 0.0, true); // crush k_low to zero
         }
         assert_eq!(
             b.place(ImpactTag::Urgent),
@@ -166,7 +264,7 @@ mod tests {
         let mut b = DemandBalancer::new();
         // Drive k_low to 0.75 (five downward steps of 0.05).
         for _ in 0..5 {
-            b.update(1.0, 0.0, true);
+            let _ = b.update(1.0, 0.0, true);
         }
         assert!((b.knob().k_low - 0.75).abs() < 1e-12);
         let hbm = (0..1000)
@@ -179,14 +277,14 @@ mod tests {
     fn k_high_only_moves_after_k_low_exhausted_and_with_headroom() {
         let mut b = DemandBalancer::new();
         for _ in 0..20 {
-            b.update(1.0, 0.0, true);
+            let _ = b.update(1.0, 0.0, true);
         }
         assert_eq!(b.knob().k_low, 0.0);
         assert_eq!(b.knob().k_high, 1.0);
         // Without delay headroom k_high must hold.
-        b.update(1.0, 0.0, false);
+        let _ = b.update(1.0, 0.0, false);
         assert_eq!(b.knob().k_high, 1.0);
-        b.update(1.0, 0.0, true);
+        let _ = b.update(1.0, 0.0, true);
         assert!((b.knob().k_high - 0.95).abs() < 1e-12);
     }
 
@@ -194,18 +292,18 @@ mod tests {
     fn dram_bandwidth_pressure_raises_knob() {
         let mut b = DemandBalancer::new();
         for _ in 0..4 {
-            b.update(1.0, 0.0, true);
+            let _ = b.update(1.0, 0.0, true);
         }
         let before = b.knob().k_low;
-        b.update(0.1, 1.0, true); // DRAM saturated, HBM empty
+        let _ = b.update(0.1, 1.0, true); // DRAM saturated, HBM empty
         assert!((b.knob().k_low - (before + BALANCER_DELTA)).abs() < 1e-12);
     }
 
     #[test]
     fn balanced_state_leaves_knob_alone() {
         let mut b = DemandBalancer::new();
-        b.update(0.5, 0.5, true);
-        b.update(0.85, 0.95, true); // equal overage on both sides: hold
+        let _ = b.update(0.5, 0.5, true);
+        let _ = b.update(0.85, 0.95, true); // equal overage on both sides: hold
         assert_eq!(
             b.knob(),
             KnobState {
@@ -216,15 +314,52 @@ mod tests {
     }
 
     #[test]
+    fn update_reports_each_move_with_trigger() {
+        let mut b = DemandBalancer::new();
+        assert_eq!(b.update(1.0, 0.0, true), Some(KnobMove::ShedLow));
+        assert_eq!(b.update(0.5, 0.5, true), None, "balanced: knob holds");
+        for _ in 0..25 {
+            let _ = b.update(1.0, 0.0, true);
+        }
+        assert_eq!(b.knob().k_low, 0.0);
+        assert_eq!(b.update(1.0, 0.0, false), None, "no headroom: no move");
+        assert_eq!(b.update(1.0, 0.0, true), Some(KnobMove::ShedHigh));
+        assert_eq!(b.update(0.0, 1.0, true), Some(KnobMove::PullLow));
+        for _ in 0..60 {
+            let _ = b.update(0.0, 1.0, true);
+        }
+        assert_eq!(b.update(0.0, 1.0, true), None, "pinned at 1.0: no move");
+        assert_eq!(KnobMove::ShedHigh.knob(), "k_high");
+        assert_eq!(KnobMove::ShedHigh.trigger(), "hbm_pressure");
+        assert_eq!(KnobMove::PullLow.trigger(), "dram_bandwidth");
+    }
+
+    #[test]
+    fn placement_decisions_are_counted_per_tier() {
+        let reg = MetricsRegistry::active();
+        let mut b = DemandBalancer::new().with_metrics(&reg);
+        for _ in 0..5 {
+            let _ = b.update(1.0, 0.0, true); // k_low -> 0.75
+        }
+        for _ in 0..100 {
+            let _ = b.place(ImpactTag::Low);
+        }
+        let _ = b.place(ImpactTag::Urgent);
+        let dump = reg.snapshot();
+        assert_eq!(dump.counter("balancer.placed.hbm"), Some(76));
+        assert_eq!(dump.counter("balancer.placed.dram"), Some(25));
+    }
+
+    #[test]
     fn knob_stays_within_bounds() {
         let mut b = DemandBalancer::new();
         for _ in 0..100 {
-            b.update(1.0, 0.0, true);
+            let _ = b.update(1.0, 0.0, true);
         }
         assert_eq!(b.knob().k_low, 0.0);
         assert_eq!(b.knob().k_high, 0.0);
         for _ in 0..100 {
-            b.update(0.0, 1.0, true);
+            let _ = b.update(0.0, 1.0, true);
         }
         assert_eq!(b.knob().k_low, 1.0);
         assert_eq!(b.knob().k_high, 1.0);

@@ -1,10 +1,12 @@
 use sbx_ingress::{IngestFormat, IngressEvent, Sender, SenderConfig, Source};
+use sbx_obs::{Obs, Span};
 use sbx_records::Watermark;
 use sbx_simmem::{AccessProfile, AllocError, MachineConfig, MemEnv, MemKind};
 
 use crate::checkpoint::{
     CheckpointBarrier, CheckpointHooks, CrashPhase, CrashSite, NoopHooks, PipelineSnapshot,
 };
+use crate::observe::{OpMetrics, RunMetrics};
 use crate::{
     DemandBalancer, EngineError, EngineMode, ImpactTag, Message, Pipeline, RoundSample, RunReport,
     StreamData,
@@ -38,6 +40,12 @@ pub struct RunConfig {
     /// formats are decoded for real per bundle and their parse cost is
     /// charged to the pipeline.
     pub ingest_format: IngestFormat,
+    /// Observability sinks (DESIGN.md §10). The default no-op handles cost
+    /// nothing; [`sbx_obs::Obs::enabled`] collects per-operator/per-pool
+    /// metrics and a span per operator invocation. Tracing forces the
+    /// stateless prefix to run serially so span order is deterministic;
+    /// metrics alone keep data parallelism eligible.
+    pub obs: Obs,
 }
 
 impl Default for RunConfig {
@@ -52,6 +60,7 @@ impl Default for RunConfig {
             collect_outputs: false,
             record_trace: false,
             ingest_format: IngestFormat::Raw,
+            obs: Obs::noop(),
         }
     }
 }
@@ -85,19 +94,32 @@ pub struct Engine {
     env: MemEnv,
     balancer: DemandBalancer,
     trace: Vec<sbx_simmem::TaskSpec>,
+    /// Shared id counter for replay tasks and trace spans: when both are
+    /// recorded, a span and its task share one identity.
     next_task: u64,
+    /// Run-level instruments; always live so report statistics derive from
+    /// them (see [`crate::observe`]).
+    rm: RunMetrics,
+    /// Per-operator instruments in chain order, built per run; inert when
+    /// observability is off.
+    op_metrics: Vec<OpMetrics>,
 }
 
 impl Engine {
     /// An engine for `cfg` with fresh memory pools.
     pub fn new(cfg: RunConfig) -> Self {
         let machine = cfg.machine.with_cores(cfg.cores);
+        let env = MemEnv::new_observed(machine, &cfg.obs.metrics);
+        let balancer = DemandBalancer::new().with_metrics(&cfg.obs.metrics);
+        let rm = RunMetrics::for_run(&cfg.obs.metrics);
         Engine {
             cfg,
-            env: MemEnv::new(machine),
-            balancer: DemandBalancer::new(),
+            env,
+            balancer,
             trace: Vec::new(),
             next_task: 0,
+            rm,
+            op_metrics: Vec::new(),
         }
     }
 
@@ -305,6 +327,8 @@ impl Engine {
             .spec(MemKind::Dram)
             .bandwidth_bytes_per_sec;
 
+        self.op_metrics = OpMetrics::for_pipeline(&self.cfg.obs.metrics, &pipeline);
+
         let mut round = Round::default();
         let mut samples: Vec<RoundSample> = Vec::new();
         let mut records_in = 0u64;
@@ -314,9 +338,6 @@ impl Engine {
         let mut outputs = Vec::new();
         let mut next_to_close = 0u64;
         let mut max_window_seen = 0u64;
-        let mut delay_sum = 0.0f64;
-        let mut delay_max = 0.0f64;
-        let mut delay_count = 0u64;
         let mut last_watermark = 0u64;
         let mut cur_epoch = 0u64;
 
@@ -325,6 +346,12 @@ impl Engine {
             bundles_in = snap.bundles_in;
             windows_closed = snap.windows_closed;
             output_records = snap.output_records;
+            // Seed the run counters so exported totals match the report's
+            // whole-run view rather than only the post-resume suffix.
+            self.rm.records_in.add(snap.records_in);
+            self.rm.bundles_in.add(snap.bundles_in);
+            self.rm.windows_closed.add(snap.windows_closed);
+            self.rm.output_records.add(snap.output_records);
             next_to_close = snap.next_to_close;
             max_window_seen = snap.max_window_seen;
             last_watermark = snap.watermark;
@@ -405,6 +432,8 @@ impl Engine {
                     round.records += b.rows() as u64;
                     records_in += b.rows() as u64;
                     bundles_in += 1;
+                    self.rm.records_in.add(b.rows() as u64);
+                    self.rm.bundles_in.incr();
                     let wid = if b.is_empty() {
                         next_to_close
                     } else {
@@ -479,6 +508,7 @@ impl Engine {
                     for msg in sink.drain(..) {
                         if let Message::Data { data, .. } = msg {
                             output_records += data.len() as u64;
+                            self.rm.output_records.add(data.len() as u64);
                             hooks.on_output(&data);
                             if self.cfg.collect_outputs {
                                 if let StreamData::Bundle(b) = data {
@@ -512,6 +542,7 @@ impl Engine {
             for msg in sink {
                 if let Message::Data { data, .. } = msg {
                     output_records += data.len() as u64;
+                    self.rm.output_records.add(data.len() as u64);
                     hooks.on_output(&data);
                     if self.cfg.collect_outputs {
                         if let StreamData::Bundle(b) = data {
@@ -536,10 +567,15 @@ impl Engine {
                 }
                 let close_secs = cost.time_secs(&round.close_profile, cores);
                 if round.closed_windows > 0 {
-                    delay_sum += close_secs * round.closed_windows as f64;
-                    delay_max = delay_max.max(close_secs);
-                    delay_count += round.closed_windows;
+                    // Single source of output-delay statistics: the report's
+                    // max/avg derive from this histogram (weighted by the
+                    // windows closed this round), and the exported metrics
+                    // carry the same distribution.
+                    self.rm
+                        .output_delay
+                        .record_n(close_secs, round.closed_windows);
                     windows_closed += round.closed_windows;
+                    self.rm.windows_closed.add(round.closed_windows);
                 }
                 let dram_bytes = round.profile.bytes_on(MemKind::Dram);
                 let hbm_bytes = round.profile.bytes_on(MemKind::Hbm);
@@ -552,7 +588,7 @@ impl Engine {
                     (0.0, 0.0)
                 };
                 let hbm_usage = self.env.pool(MemKind::Hbm).usage();
-                samples.push(RoundSample {
+                let sample = RoundSample {
                     at_secs: self.env.clock().now_secs(),
                     hbm_usage,
                     hbm_used_bytes: self.env.pool(MemKind::Hbm).used_bytes(),
@@ -561,10 +597,16 @@ impl Engine {
                     k_low: self.balancer.knob().k_low,
                     k_high: self.balancer.knob().k_high,
                     records: round.records,
-                });
+                };
+                self.rm.record_round(&sample);
+                samples.push(sample);
                 let headroom = close_secs < 0.9 * self.cfg.target_delay_secs;
-                self.balancer
-                    .update(hbm_usage, dram_bw / dram_bw_limit, headroom);
+                if let Some(mv) = self
+                    .balancer
+                    .update(hbm_usage, dram_bw / dram_bw_limit, headroom)
+                {
+                    self.rm.note_knob_move(mv);
+                }
                 round = Round::default();
                 self.crash_check(hooks, CrashPhase::RoundEnd, cur_epoch, bundles_in)?;
             }
@@ -580,6 +622,14 @@ impl Engine {
         } else {
             0.0
         };
+        // Fold the allocator's high-water mark into the usage gauge: it
+        // bounds every per-round sample, so the gauge max is exact even for
+        // peaks hit mid-round (or runs with no completed round).
+        self.rm
+            .hbm_used
+            .set(self.env.pool(MemKind::Hbm).stats().high_water_bytes as f64);
+        // Peak and delay statistics derive from the run instruments — the
+        // same values the metrics export carries.
         Ok(RunReport {
             records_in,
             bundles_in,
@@ -587,15 +637,11 @@ impl Engine {
             output_records,
             sim_secs,
             throughput_rps: throughput,
-            peak_hbm_bw_gbps: samples.iter().map(|s| s.hbm_bw_gbps).fold(0.0, f64::max),
-            peak_dram_bw_gbps: samples.iter().map(|s| s.dram_bw_gbps).fold(0.0, f64::max),
-            hbm_peak_used_bytes: self.env.pool(MemKind::Hbm).stats().high_water_bytes,
-            max_output_delay_secs: delay_max,
-            avg_output_delay_secs: if delay_count > 0 {
-                delay_sum / delay_count as f64
-            } else {
-                0.0
-            },
+            peak_hbm_bw_gbps: self.rm.hbm_bw.max(),
+            peak_dram_bw_gbps: self.rm.dram_bw.max(),
+            hbm_peak_used_bytes: self.rm.hbm_used.max() as u64,
+            max_output_delay_secs: self.rm.output_delay.max(),
+            avg_output_delay_secs: self.rm.output_delay.mean(),
             samples,
             outputs,
             trace: std::mem::take(&mut self.trace),
@@ -622,14 +668,32 @@ impl Engine {
     ) -> Result<Vec<Message>, EngineError> {
         let cost = self.env.cost().clone();
         let cores = self.cfg.cores;
-        let mut frontier: Vec<(Message, Option<sbx_simmem::TaskId>)> =
-            frontier.into_iter().map(|m| (m, None)).collect();
-        for op in &mut pipeline.ops_mut()[start..] {
+        let tracing = self.cfg.obs.trace.is_enabled();
+        // Span timestamps are simulated: children become available when
+        // their parent's modelled execution interval ends.
+        let base_ns = self.env.clock().now_ns();
+        // Frontier entries carry the parent invocation's id (shared by
+        // replay tasks and trace spans) and availability time.
+        let mut frontier: Vec<(Message, Option<u64>, u64)> =
+            frontier.into_iter().map(|m| (m, None, base_ns)).collect();
+        for (op_off, op) in pipeline.ops_mut()[start..].iter_mut().enumerate() {
+            let op_index = start + op_off;
+            let op_name = op.name();
             let mut next = Vec::new();
-            for (m, parent) in frontier {
+            for (m, parent, avail_ns) in frontier {
                 let data_len = match &m {
                     Message::Data { data, .. } => data.len(),
                     Message::Watermark(_) | Message::Barrier(_) => 0,
+                };
+                let is_data = matches!(&m, Message::Data { .. });
+                let cat = if closing {
+                    "close"
+                } else {
+                    match &m {
+                        Message::Data { .. } => "task",
+                        Message::Watermark(_) => "watermark",
+                        Message::Barrier(_) => "barrier",
+                    }
                 };
                 let mut ctx = crate::OpCtx::new(
                     &self.env,
@@ -642,6 +706,7 @@ impl Engine {
                     crate::pipeline::OpNode::Stateless(op) => op.apply(&mut ctx, m)?,
                     crate::pipeline::OpNode::Stateful(op) => op.on_message(&mut ctx, m)?,
                 };
+                let tally = ctx.exec().take_tally();
                 let task = ctx
                     .take_profile()
                     .cpu(data_len as f64 * ENGINE_OVERHEAD_CYCLES);
@@ -651,23 +716,58 @@ impl Engine {
                 if closing {
                     round.close_profile = round.close_profile.merge(&task);
                 }
-                let task_id = if self.cfg.record_trace {
-                    let id = sbx_simmem::TaskId(self.next_task);
+                let om = self.op_metrics.get(op_index);
+                let (mut records_out, mut bundles_out) = (0u64, 0u64);
+                if om.is_some() || tracing {
+                    for o in &outs {
+                        if let Message::Data { data, .. } = o {
+                            records_out += data.len() as u64;
+                            bundles_out += 1;
+                        }
+                    }
+                }
+                if let Some(om) = om {
+                    om.note(is_data, data_len as u64, records_out, bundles_out, &tally);
+                    if closing {
+                        om.close_secs.record(task_secs);
+                    }
+                }
+                let id = if self.cfg.record_trace || tracing {
+                    let id = self.next_task;
                     self.next_task += 1;
-                    self.trace.push(sbx_simmem::TaskSpec {
-                        id,
-                        profile: task,
-                        deps: parent.into_iter().collect(),
-                    });
                     Some(id)
                 } else {
                     None
                 };
-                next.extend(outs.into_iter().map(|o| (o, task_id)));
+                let dur_ns = (task_secs * 1e9) as u64;
+                if let Some(id) = id {
+                    if self.cfg.record_trace {
+                        self.trace.push(sbx_simmem::TaskSpec {
+                            id: sbx_simmem::TaskId(id),
+                            profile: task,
+                            deps: parent.map(sbx_simmem::TaskId).into_iter().collect(),
+                        });
+                    }
+                    if tracing {
+                        self.cfg.obs.trace.record(Span {
+                            id,
+                            parent,
+                            name: op_name,
+                            cat,
+                            lane: op_index as u64,
+                            start_ns: avail_ns,
+                            dur_ns,
+                            records_in: data_len as u64,
+                            records_out,
+                        });
+                    }
+                }
+                let child_avail = avail_ns + dur_ns;
+                next.extend(outs.into_iter().map(|o| (o, id, child_avail)));
             }
             frontier = next;
         }
-        Ok(frontier.into_iter().map(|(m, _)| m).collect())
+        Ok(frontier.into_iter().map(|(m, _, _)| m).collect())
     }
 
     /// Flushes a round's buffered bundles through the pipeline. When the
@@ -686,8 +786,14 @@ impl Engine {
             return Ok(Vec::new());
         }
         let prefix_len = pipeline.stateless_prefix_len();
-        let parallel =
-            self.cfg.threads > 1 && prefix_len > 0 && batch.len() > 1 && !self.cfg.record_trace;
+        // Span tracing (like replay-trace recording) forces the serial
+        // path: span ids and timestamps then depend only on message order,
+        // making same-seed exports byte-identical.
+        let parallel = self.cfg.threads > 1
+            && prefix_len > 0
+            && batch.len() > 1
+            && !self.cfg.record_trace
+            && !self.cfg.obs.trace.is_enabled();
         let mut sink = Vec::new();
         if parallel {
             let staged = self.run_prefix_parallel(pipeline, round, batch)?;
@@ -725,8 +831,10 @@ impl Engine {
         // Priority-ordered shared queue: Urgent tasks are claimed first
         // (paper §5), FIFO within a tag; workers drain it cooperatively.
         let queue =
-            crate::scheduler::TaskBatch::new(batch.into_iter().map(|(m, t)| ((m, t), t)).collect());
+            crate::scheduler::TaskBatch::new(batch.into_iter().map(|(m, t)| ((m, t), t)).collect())
+                .with_claim_counters(self.rm.claims.clone());
         let balancers: Vec<DemandBalancer> = (0..nworkers).map(|_| self.balancer.clone()).collect();
+        let op_metrics = &self.op_metrics;
 
         type WorkerOut =
             Result<(Vec<(usize, Vec<Message>, ImpactTag)>, AccessProfile, f64), EngineError>;
@@ -744,18 +852,32 @@ impl Engine {
                         let mut max_task = 0.0f64;
                         while let Some((idx, (msg, tag))) = queue.claim() {
                             let mut frontier = vec![msg];
-                            for op in prefix.iter() {
+                            for (oi, op) in prefix.iter().enumerate() {
+                                let om = op_metrics.get(oi);
                                 let mut next = Vec::new();
                                 for m in frontier {
                                     let data_len = m.data_len();
+                                    let is_data = matches!(&m, Message::Data { .. });
                                     let mut ctx =
                                         crate::OpCtx::new(env, &mut bal, mode, threads, tag);
-                                    next.extend(op.apply(&mut ctx, m)?);
+                                    let outs = op.apply(&mut ctx, m)?;
+                                    let tally = ctx.exec().take_tally();
                                     let t = ctx
                                         .take_profile()
                                         .cpu(data_len as f64 * ENGINE_OVERHEAD_CYCLES);
                                     max_task = max_task.max(cost.time_secs(&t, cores));
                                     prof = prof.merge(&t);
+                                    if let Some(om) = om {
+                                        let (mut ro, mut bo) = (0u64, 0u64);
+                                        for o in &outs {
+                                            if let Message::Data { data, .. } = o {
+                                                ro += data.len() as u64;
+                                                bo += 1;
+                                            }
+                                        }
+                                        om.note(is_data, data_len as u64, ro, bo, &tally);
+                                    }
+                                    next.extend(outs);
                                 }
                                 frontier = next;
                             }

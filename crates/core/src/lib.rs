@@ -49,12 +49,13 @@ mod engine;
 mod error;
 mod metrics;
 mod mode;
+mod observe;
 mod operator;
 pub mod ops;
 mod pipeline;
 mod scheduler;
 
-pub use balancer::{DemandBalancer, KnobState, BALANCER_DELTA};
+pub use balancer::{DemandBalancer, KnobMove, KnobState, BALANCER_DELTA};
 pub use checkpoint::{
     CheckpointBarrier, CheckpointHooks, CrashPhase, CrashSite, EntryRepr, NoopHooks, OpState,
     PipelineSnapshot, StateEntry,
@@ -65,5 +66,6 @@ pub use engine::{Engine, RunConfig, ENGINE_OVERHEAD_CYCLES};
 pub use error::EngineError;
 pub use metrics::{RoundSample, RunReport};
 pub use mode::{EngineMode, ImpactTag};
+pub use observe::{round_samples_from_dump, ROUND_FIELDS, ROUND_SERIES};
 pub use operator::{OpCtx, Operator, StatelessOperator};
 pub use pipeline::{benchmarks, Pipeline, PipelineBuilder};

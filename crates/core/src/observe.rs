@@ -1,0 +1,273 @@
+//! Engine-side observability instruments (DESIGN.md §10).
+//!
+//! This module owns the engine's [`sbx_obs`] instruments: run-level
+//! counters/gauges, the per-round `engine.round` series (Figure 10's time
+//! series), per-operator metrics, and the reconstruction of
+//! [`RoundSample`]s from an exported metrics dump — the path `sbx report`
+//! uses to rebuild Figure 10 purely from a JSONL file.
+//!
+//! The engine always keeps run-level instruments on *some* registry: the
+//! caller's when observability is enabled, otherwise a private active one.
+//! That makes the instruments the single source of truth for
+//! [`RunReport`](crate::RunReport)'s peak/delay fields, whether or not the
+//! run is exported.
+
+use sbx_kpa::PrimGroup;
+use sbx_obs::{Counter, Gauge, Histogram, MetricsDump, MetricsRegistry, Series};
+
+use crate::balancer::KnobMove;
+use crate::{ImpactTag, Pipeline, RoundSample};
+
+/// Name of the per-round metrics series (one row per watermark round).
+pub const ROUND_SERIES: &str = "engine.round";
+
+/// Field names of the [`ROUND_SERIES`] rows, in column order. These mirror
+/// [`RoundSample`] exactly; `hbm_used_bytes` and `records` are stored as
+/// `f64` (exact below 2^53).
+pub const ROUND_FIELDS: [&str; 8] = [
+    "at_secs",
+    "hbm_usage",
+    "hbm_used_bytes",
+    "dram_bw_gbps",
+    "hbm_bw_gbps",
+    "k_low",
+    "k_high",
+    "records",
+];
+
+/// Run-level instruments, registered once per engine.
+#[derive(Debug)]
+pub(crate) struct RunMetrics {
+    /// `engine.records_in`.
+    pub records_in: Counter,
+    /// `engine.bundles_in`.
+    pub bundles_in: Counter,
+    /// `engine.output_records`.
+    pub output_records: Counter,
+    /// `engine.windows_closed`.
+    pub windows_closed: Counter,
+    /// `engine.hbm_bw_gbps` — per-round HBM bandwidth; its max is the
+    /// report's peak.
+    pub hbm_bw: Gauge,
+    /// `engine.dram_bw_gbps`.
+    pub dram_bw: Gauge,
+    /// `engine.hbm_used_bytes` — sampled per round and set to the pool
+    /// high-water mark before report assembly, so its max is exact.
+    pub hbm_used: Gauge,
+    /// `engine.output_delay_secs` — one weighted entry per closing round.
+    pub output_delay: Histogram,
+    /// The [`ROUND_SERIES`] series.
+    pub rounds: Series,
+    /// `balancer.move.*` — knob moves keyed by direction and trigger.
+    pub knob_moves: [Counter; 4],
+    /// `scheduler.claimed.{urgent,high,low}`.
+    pub claims: [Counter; 3],
+}
+
+impl RunMetrics {
+    /// Instruments on `registry` when it is active, otherwise on a private
+    /// active registry (so report fields always derive from instruments).
+    pub fn for_run(registry: &MetricsRegistry) -> Self {
+        let reg = if registry.is_enabled() {
+            registry.clone()
+        } else {
+            MetricsRegistry::active()
+        };
+        RunMetrics {
+            records_in: reg.counter("engine.records_in"),
+            bundles_in: reg.counter("engine.bundles_in"),
+            output_records: reg.counter("engine.output_records"),
+            windows_closed: reg.counter("engine.windows_closed"),
+            hbm_bw: reg.gauge("engine.hbm_bw_gbps"),
+            dram_bw: reg.gauge("engine.dram_bw_gbps"),
+            hbm_used: reg.gauge("engine.hbm_used_bytes"),
+            output_delay: reg.histogram("engine.output_delay_secs"),
+            rounds: reg.series(ROUND_SERIES, &ROUND_FIELDS),
+            knob_moves: KnobMove::ALL.map(|m| reg.counter(m.metric_name())),
+            claims: [ImpactTag::Urgent, ImpactTag::High, ImpactTag::Low]
+                .map(|t| reg.counter(&format!("scheduler.claimed.{t}"))),
+        }
+    }
+
+    /// Records one end-of-round sample: bandwidth/usage gauges plus a row
+    /// of the [`ROUND_SERIES`] series.
+    pub fn record_round(&self, s: &RoundSample) {
+        self.hbm_bw.set(s.hbm_bw_gbps);
+        self.dram_bw.set(s.dram_bw_gbps);
+        self.hbm_used.set(s.hbm_used_bytes as f64);
+        self.rounds.push(&[
+            s.at_secs,
+            s.hbm_usage,
+            s.hbm_used_bytes as f64,
+            s.dram_bw_gbps,
+            s.hbm_bw_gbps,
+            s.k_low,
+            s.k_high,
+            s.records as f64,
+        ]);
+    }
+
+    /// Counts one demand-balance knob move with its trigger reason.
+    pub fn note_knob_move(&self, mv: KnobMove) {
+        self.knob_moves[mv.index()].incr();
+    }
+}
+
+/// Per-operator instruments, named `op.<index:02>.<name>.<metric>`.
+#[derive(Debug)]
+pub(crate) struct OpMetrics {
+    /// Operator invocations (one per message driven through the operator).
+    pub invocations: Counter,
+    /// Records in data messages entering the operator.
+    pub records_in: Counter,
+    /// Records in data messages leaving the operator.
+    pub records_out: Counter,
+    /// Data messages entering the operator.
+    pub bundles_in: Counter,
+    /// Data messages leaving the operator.
+    pub bundles_out: Counter,
+    /// KPA primitive bytes by [`PrimGroup`] (extract/sort/merge/materialize).
+    pub prim_bytes: [Counter; PrimGroup::COUNT],
+    /// Simulated seconds of window-closing invocations.
+    pub close_secs: Histogram,
+}
+
+impl OpMetrics {
+    /// One [`OpMetrics`] per operator of `pipeline`, in chain order. With a
+    /// no-op registry every handle is inert.
+    pub fn for_pipeline(registry: &MetricsRegistry, pipeline: &Pipeline) -> Vec<OpMetrics> {
+        pipeline
+            .op_names()
+            .into_iter()
+            .enumerate()
+            .map(|(i, name)| OpMetrics::new(registry, i, name))
+            .collect()
+    }
+
+    fn new(reg: &MetricsRegistry, index: usize, name: &str) -> Self {
+        let p = format!("op.{index:02}.{name}");
+        OpMetrics {
+            invocations: reg.counter(&format!("{p}.invocations")),
+            records_in: reg.counter(&format!("{p}.records_in")),
+            records_out: reg.counter(&format!("{p}.records_out")),
+            bundles_in: reg.counter(&format!("{p}.bundles_in")),
+            bundles_out: reg.counter(&format!("{p}.bundles_out")),
+            prim_bytes: [
+                PrimGroup::Extract,
+                PrimGroup::Sort,
+                PrimGroup::Merge,
+                PrimGroup::Materialize,
+            ]
+            .map(|g| reg.counter(&format!("{p}.{}_bytes", g.label()))),
+            close_secs: reg.histogram(&format!("{p}.close_secs")),
+        }
+    }
+
+    /// Accounts one invocation over a message carrying `records_in` records
+    /// (`is_data` false for watermarks/barriers), producing
+    /// `records_out`/`bundles_out`, with `tally` bytes per primitive group.
+    pub fn note(
+        &self,
+        is_data: bool,
+        records_in: u64,
+        records_out: u64,
+        bundles_out: u64,
+        tally: &[f64; PrimGroup::COUNT],
+    ) {
+        self.invocations.incr();
+        if is_data {
+            self.bundles_in.incr();
+            self.records_in.add(records_in);
+        }
+        self.records_out.add(records_out);
+        self.bundles_out.add(bundles_out);
+        for (counter, &bytes) in self.prim_bytes.iter().zip(tally.iter()) {
+            if bytes > 0.0 {
+                counter.add(bytes as u64);
+            }
+        }
+    }
+}
+
+/// Rebuilds the per-round [`RoundSample`]s from an exported metrics dump.
+///
+/// This is the inverse of the engine's per-round [`ROUND_SERIES`] export:
+/// because `f64` values round-trip bit-exactly through the JSONL encoding,
+/// the reconstruction equals the in-memory `RunReport::samples` field for
+/// the same run. Returns an empty vector when the dump has no round series.
+pub fn round_samples_from_dump(dump: &MetricsDump) -> Vec<RoundSample> {
+    let Some(series) = dump.series(ROUND_SERIES) else {
+        return Vec::new();
+    };
+    let idx: Vec<Option<usize>> = ROUND_FIELDS.iter().map(|f| series.field_index(f)).collect();
+    let get = |row: &[f64], field: usize| -> f64 {
+        idx[field].and_then(|j| row.get(j).copied()).unwrap_or(0.0)
+    };
+    series
+        .rows
+        .iter()
+        .map(|row| RoundSample {
+            at_secs: get(row, 0),
+            hbm_usage: get(row, 1),
+            hbm_used_bytes: get(row, 2) as u64,
+            dram_bw_gbps: get(row, 3),
+            hbm_bw_gbps: get(row, 4),
+            k_low: get(row, 5),
+            k_high: get(row, 6),
+            records: get(row, 7) as u64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_series_round_trips_samples() {
+        let reg = MetricsRegistry::active();
+        let rm = RunMetrics::for_run(&reg);
+        let samples = vec![
+            RoundSample {
+                at_secs: 0.1,
+                hbm_usage: 0.5,
+                hbm_used_bytes: 123_456,
+                dram_bw_gbps: 1.0 / 3.0,
+                hbm_bw_gbps: 2.5,
+                k_low: 0.95,
+                k_high: 1.0,
+                records: 1_000,
+            },
+            RoundSample {
+                at_secs: 0.2,
+                hbm_usage: 0.75,
+                hbm_used_bytes: 1 << 40,
+                dram_bw_gbps: 0.0,
+                hbm_bw_gbps: 1e-12,
+                k_low: 0.0,
+                k_high: 0.85,
+                records: 0,
+            },
+        ];
+        for s in &samples {
+            rm.record_round(s);
+        }
+        let parsed = MetricsDump::parse_jsonl(&reg.snapshot().to_jsonl()).unwrap();
+        assert_eq!(round_samples_from_dump(&parsed), samples);
+    }
+
+    #[test]
+    fn missing_series_yields_no_samples() {
+        let dump = MetricsRegistry::active().snapshot();
+        assert!(round_samples_from_dump(&dump).is_empty());
+    }
+
+    #[test]
+    fn noop_registry_still_backs_run_metrics() {
+        let rm = RunMetrics::for_run(&MetricsRegistry::noop());
+        rm.records_in.add(7);
+        rm.hbm_bw.set(3.0);
+        assert_eq!(rm.records_in.get(), 7);
+        assert_eq!(rm.hbm_bw.max(), 3.0);
+    }
+}

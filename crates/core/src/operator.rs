@@ -338,7 +338,7 @@ mod tests {
         let mut bal = DemandBalancer::new();
         // Push k_low to 0: Low-tagged tasks go to DRAM.
         for _ in 0..25 {
-            bal.update(1.0, 0.0, true);
+            let _ = bal.update(1.0, 0.0, true);
         }
         let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::Low);
         assert_eq!(ctx.place().0, MemKind::Dram);

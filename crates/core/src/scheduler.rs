@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use sbx_obs::Counter;
 use sbx_simmem::sync::Mutex;
 
 use crate::ImpactTag;
@@ -23,9 +24,14 @@ use crate::ImpactTag;
 pub(crate) struct TaskBatch<T> {
     /// Claim order: original indices sorted by (tag, submission index).
     order: Vec<usize>,
+    /// Tag per submission index, kept for per-tag claim accounting.
+    tags: Vec<ImpactTag>,
     /// Task payloads, taken by the claiming worker.
     items: Vec<Mutex<Option<T>>>,
     cursor: AtomicUsize,
+    /// Claim counters per tag (`scheduler.claimed.{urgent,high,low}`);
+    /// inert unless installed via [`TaskBatch::with_claim_counters`].
+    claims: [Counter; 3],
 }
 
 impl<T> TaskBatch<T> {
@@ -36,12 +42,20 @@ impl<T> TaskBatch<T> {
         order.sort_by_key(|&i| (tags[i], i));
         TaskBatch {
             order,
+            tags,
             items: tasks
                 .into_iter()
                 .map(|(t, _)| Mutex::new(Some(t)))
                 .collect(),
             cursor: AtomicUsize::new(0),
+            claims: [Counter::noop(), Counter::noop(), Counter::noop()],
         }
+    }
+
+    /// Installs per-tag claim counters, indexed `[Urgent, High, Low]`.
+    pub(crate) fn with_claim_counters(mut self, claims: [Counter; 3]) -> Self {
+        self.claims = claims;
+        self
     }
 
     /// Number of tasks in the batch.
@@ -58,6 +72,12 @@ impl<T> TaskBatch<T> {
         // Each fetch_add slot is claimed exactly once, so the payload is
         // always present; `?` keeps the path panic-free regardless.
         let task = self.items[idx].lock().take()?;
+        let tag_idx = match self.tags.get(idx) {
+            Some(ImpactTag::Urgent) | None => 0,
+            Some(ImpactTag::High) => 1,
+            Some(ImpactTag::Low) => 2,
+        };
+        self.claims[tag_idx].incr();
         Some((idx, task))
     }
 }
@@ -122,6 +142,27 @@ mod tests {
             }
         });
         assert!(claimed.lock().iter().all(|&c| c));
+    }
+
+    #[test]
+    fn claims_are_counted_per_tag() {
+        let reg = sbx_obs::MetricsRegistry::active();
+        let batch = TaskBatch::new(vec![
+            (0u32, ImpactTag::Low),
+            (1, ImpactTag::Urgent),
+            (2, ImpactTag::High),
+            (3, ImpactTag::Low),
+        ])
+        .with_claim_counters([
+            reg.counter("scheduler.claimed.urgent"),
+            reg.counter("scheduler.claimed.high"),
+            reg.counter("scheduler.claimed.low"),
+        ]);
+        while batch.claim().is_some() {}
+        let dump = reg.snapshot();
+        assert_eq!(dump.counter("scheduler.claimed.urgent"), Some(1));
+        assert_eq!(dump.counter("scheduler.claimed.high"), Some(1));
+        assert_eq!(dump.counter("scheduler.claimed.low"), Some(2));
     }
 
     #[test]

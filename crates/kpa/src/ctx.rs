@@ -1,4 +1,44 @@
-use sbx_simmem::{AccessProfile, MemEnv};
+use sbx_simmem::{AccessProfile, MemEnv, MemKind};
+
+/// Primitive groups the observability layer breaks KPA byte traffic down by
+/// (paper Table 2 / DESIGN.md §10). Primitives outside these groups (select,
+/// key-swap, partition, reduce, hash, join) are charged but not grouped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrimGroup {
+    /// Extract / extract-fused: building KPAs out of record bundles.
+    Extract,
+    /// In-place KPA sort.
+    Sort,
+    /// Two-way and multi-way KPA merge.
+    Merge,
+    /// Materializing a KPA back into a record bundle.
+    Materialize,
+}
+
+impl PrimGroup {
+    /// Number of groups (size of a tally array).
+    pub const COUNT: usize = 4;
+
+    /// Dense index for per-group tables.
+    pub fn index(self) -> usize {
+        match self {
+            PrimGroup::Extract => 0,
+            PrimGroup::Sort => 1,
+            PrimGroup::Merge => 2,
+            PrimGroup::Materialize => 3,
+        }
+    }
+
+    /// Metric-name label (`op.<idx>.<name>.<label>_bytes`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PrimGroup::Extract => "extract",
+            PrimGroup::Sort => "sort",
+            PrimGroup::Merge => "merge",
+            PrimGroup::Materialize => "materialize",
+        }
+    }
+}
 
 /// Execution context threaded through every primitive: access to the
 /// hybrid-memory environment plus an accumulator for the task's
@@ -26,6 +66,10 @@ use sbx_simmem::{AccessProfile, MemEnv};
 pub struct ExecCtx {
     env: MemEnv,
     profile: AccessProfile,
+    /// Bytes moved per [`PrimGroup`], drained by the engine into per-operator
+    /// counters after each invocation. Fixed-size: no allocation on the hot
+    /// path.
+    tally: [f64; PrimGroup::COUNT],
 }
 
 impl ExecCtx {
@@ -34,6 +78,7 @@ impl ExecCtx {
         ExecCtx {
             env: env.clone(),
             profile: AccessProfile::new(),
+            tally: [0.0; PrimGroup::COUNT],
         }
     }
 
@@ -45,6 +90,19 @@ impl ExecCtx {
     /// Accumulates `p` into the task profile.
     pub fn charge(&mut self, p: &AccessProfile) {
         self.profile = self.profile.merge(p);
+    }
+
+    /// Accumulates `p` and attributes its byte traffic (across both tiers)
+    /// to the primitive group `group` for per-operator metrics.
+    pub fn charge_as(&mut self, group: PrimGroup, p: &AccessProfile) {
+        self.tally[group.index()] += p.bytes_on(MemKind::Hbm) + p.bytes_on(MemKind::Dram);
+        self.charge(p);
+    }
+
+    /// Returns bytes tallied per [`PrimGroup`] since the last take,
+    /// resetting the tally.
+    pub fn take_tally(&mut self) -> [f64; PrimGroup::COUNT] {
+        std::mem::take(&mut self.tally)
     }
 
     /// Returns the accumulated profile, resetting the accumulator.
@@ -73,5 +131,30 @@ mod tests {
         let p = ctx.take_profile();
         assert_eq!(p.rand_accesses[MemKind::Dram.index()], 2.0);
         assert_eq!(ctx.profile().cpu_cycles, 0.0);
+    }
+
+    #[test]
+    fn charge_as_tallies_bytes_by_group() {
+        let env = MemEnv::new(MachineConfig::knl().scaled(0.001));
+        let mut ctx = ExecCtx::new(&env);
+        ctx.charge_as(
+            PrimGroup::Sort,
+            &AccessProfile::new().seq(MemKind::Hbm, 100.0),
+        );
+        ctx.charge_as(
+            PrimGroup::Sort,
+            &AccessProfile::new().rand(MemKind::Dram, 2.0), // 2 cache lines
+        );
+        ctx.charge_as(
+            PrimGroup::Merge,
+            &AccessProfile::new().seq(MemKind::Dram, 7.0),
+        );
+        let tally = ctx.take_tally();
+        assert_eq!(tally[PrimGroup::Sort.index()], 100.0 + 2.0 * 64.0);
+        assert_eq!(tally[PrimGroup::Merge.index()], 7.0);
+        assert_eq!(tally[PrimGroup::Extract.index()], 0.0);
+        // Taking resets; profile accumulation is unaffected.
+        assert_eq!(ctx.take_tally(), [0.0; PrimGroup::COUNT]);
+        assert!(ctx.profile().seq_bytes[MemKind::Hbm.index()] > 0.0);
     }
 }

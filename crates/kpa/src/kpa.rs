@@ -6,7 +6,7 @@ use sbx_simmem::{AllocError, MemEnv, MemKind, PoolVec, Priority};
 
 use sbx_records::{BundleId, Col, RecordBundle, RecordRef, Schema};
 
-use crate::{profile, ExecCtx};
+use crate::{profile, ExecCtx, PrimGroup};
 
 /// Allocates a pair of `n`-slot buffers on `want`, spilling to DRAM when the
 /// preferred tier is full. Returns the buffers and the tier actually used.
@@ -20,6 +20,7 @@ pub(crate) fn alloc_pair_bufs(
         Ok((k, p)) => Ok((k, p, want)),
         Err(_) if want == MemKind::Hbm => {
             let (k, p) = try_alloc_pair(env, n, MemKind::Dram, prio)?;
+            env.note_spill();
             Ok((k, p, MemKind::Dram))
         }
         Err(e) => Err(e),
@@ -101,7 +102,10 @@ impl Kpa {
             keys.push(bundle.value(row, col));
             ptrs.push(bundle.record_ref(row).pack());
         }
-        ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
+        ctx.charge_as(
+            PrimGroup::Extract,
+            &profile::extract(n, bundle.schema().record_bytes(), got),
+        );
         let mut sources = BTreeMap::new();
         sources.insert(bundle.id(), Arc::clone(bundle));
         let schema = Arc::clone(bundle.schema());
@@ -137,7 +141,8 @@ impl Kpa {
             keys.push(bundle.value(row, col));
             ptrs.push(bundle.record_ref(row).pack());
         }
-        ctx.charge(
+        ctx.charge_as(
+            PrimGroup::Extract,
             &sbx_simmem::AccessProfile::new()
                 .seq(got, n as f64 * profile::PAIR_BYTES)
                 .cpu(n as f64 * profile::EXTRACT_CYCLES),
@@ -179,7 +184,10 @@ impl Kpa {
                 ptrs.push(bundle.record_ref(row).pack());
             }
         }
-        ctx.charge(&profile::extract(n, bundle.schema().record_bytes(), got));
+        ctx.charge_as(
+            PrimGroup::Extract,
+            &profile::extract(n, bundle.schema().record_bytes(), got),
+        );
         ctx.charge(&sbx_simmem::AccessProfile::new().cpu(n as f64 * profile::SELECT_CYCLES));
         let sorted = keys.len() <= 1;
         let mut sources = BTreeMap::new();
@@ -302,11 +310,10 @@ impl Kpa {
             assert_eq!(b.schema().ncols(), ncols, "source schemas disagree");
             rows.extend_from_slice(b.row(row));
         }
-        ctx.charge(&profile::materialize(
-            self.len(),
-            schema.record_bytes(),
-            self.kind(),
-        ));
+        ctx.charge_as(
+            PrimGroup::Materialize,
+            &profile::materialize(self.len(), schema.record_bytes(), self.kind()),
+        );
         RecordBundle::from_rows(ctx.env(), schema, &rows)
     }
 
@@ -412,7 +419,7 @@ impl Kpa {
         } else {
             MemKind::Dram
         };
-        ctx.charge(&profile::merge(total, in_kind, got));
+        ctx.charge_as(PrimGroup::Merge, &profile::merge(total, in_kind, got));
 
         let mut sources = a.sources.clone();
         for (id, b) in &b.sources {
@@ -531,7 +538,8 @@ impl Kpa {
         };
         let passes = 1.0;
         let cmp_factor = (kpas.len() as f64).log2().ceil().max(1.0);
-        ctx.charge(
+        ctx.charge_as(
+            PrimGroup::Merge,
             &sbx_simmem::AccessProfile::new()
                 .seq(in_kind, total as f64 * profile::PAIR_BYTES * passes)
                 .seq(got, total as f64 * profile::PAIR_BYTES * passes)

@@ -43,7 +43,7 @@ pub mod profile;
 mod reduce;
 mod sort;
 
-pub use ctx::ExecCtx;
+pub use ctx::{ExecCtx, PrimGroup};
 pub use join::{join_sorted, JoinStats};
 pub use kpa::Kpa;
 pub use reduce::{agg, reduce_keyed, reduce_unkeyed_bundle, reduce_unkeyed_kpa, KeyGroup};

@@ -3,7 +3,7 @@ use std::ops::Range;
 use sbx_simmem::{AllocError, Priority};
 
 use crate::kpa::alloc_pair_bufs;
-use crate::{profile, ExecCtx, Kpa};
+use crate::{profile, ExecCtx, Kpa, PrimGroup};
 
 impl Kpa {
     /// **Sort** (Table 2): sorts the KPA by resident key with a
@@ -84,7 +84,7 @@ impl Kpa {
             }
         }
 
-        ctx.charge(&profile::sort(n, kind));
+        ctx.charge_as(PrimGroup::Sort, &profile::sort(n, kind));
         self.set_sorted(true);
         Ok(())
     }

@@ -44,6 +44,11 @@ pub struct Token {
 }
 
 /// An `// sbx-lint: allow(rule, reason)` suppression marker.
+///
+/// The `allow-file(rule, reason)` form sets [`AllowMarker::file_wide`] and
+/// suppresses every finding of the rule in the file rather than only those
+/// on the marker's own or next line — for crates whose whole purpose
+/// violates a rule (e.g. reporting binaries and `no-adhoc-io`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowMarker {
     /// 1-based line the marker comment sits on.
@@ -52,6 +57,8 @@ pub struct AllowMarker {
     pub rule: String,
     /// Free-text justification (required).
     pub reason: String,
+    /// Whether the marker covers the whole file (`allow-file` form).
+    pub file_wide: bool,
 }
 
 /// Result of scanning one source file.
@@ -299,10 +306,15 @@ fn skip_raw_or_byte_string(bytes: &[char], start: usize, line: &mut u32) -> usiz
     j
 }
 
-/// Parses `sbx-lint: allow(rule, reason...)` out of a line comment body.
+/// Parses `sbx-lint: allow(rule, reason...)` — or the file-wide
+/// `allow-file(rule, reason...)` form — out of a line comment body.
 fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
     let rest = comment.trim().strip_prefix("sbx-lint:")?.trim();
-    let inner = rest.strip_prefix("allow(")?.strip_suffix(')')?;
+    let (file_wide, inner) = match rest.strip_prefix("allow-file(") {
+        Some(inner) => (true, inner),
+        None => (false, rest.strip_prefix("allow(")?),
+    };
+    let inner = inner.strip_suffix(')')?;
     let (rule, reason) = inner.split_once(',')?;
     let rule = rule.trim();
     let reason = reason.trim();
@@ -313,6 +325,7 @@ fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
         line,
         rule: rule.to_string(),
         reason: reason.to_string(),
+        file_wide,
     })
 }
 
@@ -474,6 +487,21 @@ mod tests {
     fn marker_without_reason_is_rejected() {
         let s = scan("// sbx-lint: allow(no-panic)\n// sbx-lint: allow(no-panic, )\n");
         assert!(s.markers.is_empty());
+    }
+
+    #[test]
+    fn file_wide_markers_are_parsed() {
+        let s = scan("// sbx-lint: allow-file(no-adhoc-io, reporting binary)\nfn f() {}");
+        assert_eq!(s.markers.len(), 1);
+        assert!(s.markers[0].file_wide);
+        assert_eq!(s.markers[0].rule, "no-adhoc-io");
+        // The line-scoped form stays line-scoped.
+        let line = scan("// sbx-lint: allow(no-panic, checked)\nx.unwrap();");
+        assert!(!line.markers[0].file_wide);
+        // Reason stays mandatory for the file-wide form too.
+        assert!(scan("// sbx-lint: allow-file(no-adhoc-io)\n")
+            .markers
+            .is_empty());
     }
 
     #[test]

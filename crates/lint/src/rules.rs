@@ -11,10 +11,15 @@
 //! | `raw-alloc`     | hot-path modules (kpa, records::bundle, core ops, checkpoint) | `Vec::with_capacity`, `with_capacity`, `vec![..]`, `Box::new`, `.collect()` |
 //! | `wall-clock`    | every workspace source file                      | `Instant`, `SystemTime`, `thread::sleep` |
 //! | `hash-iter`     | engine crates (core, kpa, simmem, records, checkpoint) | `HashMap` / `HashSet` (default hasher ⇒ nondeterministic iteration) |
-//! | `no-panic`      | sbx-core, sbx-kpa, sbx-simmem, sbx-checkpoint    | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `no-panic`      | sbx-core, sbx-kpa, sbx-simmem, sbx-checkpoint, sbx-obs | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `no-adhoc-io`   | every workspace source file                      | `println!`, `eprintln!`, `print!`, `eprint!`, `dbg!` (report through sbx-obs instead) |
 //! | `unsafe-forbid` | every crate root (`lib.rs` / `main.rs`)          | missing `#![forbid(unsafe_code)]` |
 //! | `dep-allowlist` | every `Cargo.toml`                               | dependencies outside the approved set |
 //! | `unused-allow`  | everywhere                                       | allow markers that suppress no finding |
+//!
+//! Reporting binaries whose whole purpose is stdout (the `sbx` CLI, the
+//! bench tables, sbx-lint's own `main.rs`) escape `no-adhoc-io` with one
+//! file-wide `// sbx-lint: allow-file(no-adhoc-io, <reason>)` marker.
 
 use crate::lexer::{scan, Token};
 use std::fmt;
@@ -59,6 +64,10 @@ pub const ALLOWED_DEPS: &[&str] = &[
 const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 /// Macros (`name!`) that are `no-panic` violations.
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Macros (`name!`) that are `no-adhoc-io` violations: ad-hoc stdout/stderr
+/// writes bypass the sbx-obs metrics/trace exports and make runs noisy and
+/// nondeterministic to diff.
+const ADHOC_IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
 /// True for files in hot-path modules where the `raw-alloc` rule applies:
 /// all of `sbx-kpa`, the record-bundle layout, the engine operators, and
@@ -78,6 +87,7 @@ pub fn in_hash_iter_scope(rel: &str) -> bool {
         "crates/simmem/src/",
         "crates/records/src/",
         "crates/checkpoint/src/",
+        "crates/obs/src/",
     ]
     .iter()
     .any(|p| rel.starts_with(p))
@@ -90,6 +100,7 @@ pub fn in_no_panic_scope(rel: &str) -> bool {
         "crates/kpa/src/",
         "crates/simmem/src/",
         "crates/checkpoint/src/",
+        "crates/obs/src/",
     ]
     .iter()
     .any(|p| rel.starts_with(p))
@@ -141,6 +152,20 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
                 ));
             }
             _ => {}
+        }
+
+        // no-adhoc-io: applies everywhere; reporting binaries carry a
+        // file-wide allow-file marker.
+        if ADHOC_IO_MACROS.contains(&t.text.as_str()) && is_macro_invocation(toks, i) {
+            raw.push(finding(
+                "no-adhoc-io",
+                t.line,
+                format!(
+                    "`{}!` is ad-hoc stdout/stderr I/O; record through the \
+                     sbx-obs registry or justify a reporting site",
+                    t.text
+                ),
+            ));
         }
 
         // hash-iter: engine crates only.
@@ -286,8 +311,9 @@ pub fn lint_manifest(rel: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
-/// Suppresses findings covered by a marker on the same or previous line,
-/// then reports any marker that suppressed nothing.
+/// Suppresses findings covered by a marker on the same or previous line
+/// (or anywhere in the file, for `allow-file` markers), then reports any
+/// marker that suppressed nothing.
 fn apply_markers(
     raw: Vec<Finding>,
     markers: &[crate::lexer::AllowMarker],
@@ -298,7 +324,8 @@ fn apply_markers(
     for f in raw {
         let mut suppressed = false;
         for (mi, m) in markers.iter().enumerate() {
-            if m.rule == f.rule && (m.line == f.line || m.line + 1 == f.line) {
+            let covers = m.file_wide || m.line == f.line || m.line + 1 == f.line;
+            if m.rule == f.rule && covers {
                 used[mi] = true;
                 suppressed = true;
             }
@@ -461,6 +488,61 @@ mod tests {
         assert!(lint_source(ENGINE, src).is_empty());
         let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}";
         assert!(lint_source(NEUTRAL, src).is_empty());
+    }
+
+    // --- no-adhoc-io ----------------------------------------------------
+
+    #[test]
+    fn no_adhoc_io_flags_print_macros_everywhere() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); \
+                   eprint!(\"w\"); dbg!(q); }";
+        for rel in [ENGINE, NEUTRAL, "src/bin/sbx.rs"] {
+            let f = lint_source(rel, src);
+            assert_eq!(
+                f.iter().filter(|f| f.rule == "no-adhoc-io").count(),
+                5,
+                "{rel}: {f:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_adhoc_io_ignores_tests_and_lookalikes() {
+        // `println` as a plain identifier (no `!`) and prints inside test
+        // code are fine; writeln! to an owned buffer is fine.
+        let src = "fn f(w: &mut String) { writeln!(w, \"x\").ok(); let println = 3; }\n\
+                   #[cfg(test)] mod t { fn g() { println!(\"dbg\"); } }";
+        assert!(lint_source(ENGINE, src).is_empty());
+    }
+
+    #[test]
+    fn no_adhoc_io_file_wide_marker_covers_all_sites() {
+        let src = "// sbx-lint: allow-file(no-adhoc-io, reporting binary)\n\
+                   fn f() { println!(\"a\"); }\nfn g() { eprintln!(\"b\"); }";
+        assert!(lint_source(NEUTRAL, src).is_empty());
+        // A line-scoped marker only covers its own/next line.
+        let partial = "// sbx-lint: allow(no-adhoc-io, one-off banner)\n\
+                       fn f() { println!(\"a\"); }\nfn g() { eprintln!(\"b\"); }";
+        let f = lint_source(NEUTRAL, partial);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-adhoc-io").count(), 1);
+    }
+
+    #[test]
+    fn unused_file_wide_marker_is_reported() {
+        let src = "// sbx-lint: allow-file(no-adhoc-io, nothing here prints)\nfn f() {}";
+        let f = lint_source(NEUTRAL, src);
+        assert_eq!(rules_of(&f), vec!["unused-allow"]);
+    }
+
+    #[test]
+    fn obs_crate_is_in_engine_scopes() {
+        let rel = "crates/obs/src/metrics.rs";
+        assert!(in_no_panic_scope(rel));
+        assert!(in_hash_iter_scope(rel));
+        let f = lint_source(rel, "fn f() { x.unwrap(); let m: HashMap<u8, u8>; }");
+        let rules = rules_of(&f);
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"hash-iter"));
     }
 
     // --- unsafe-forbid --------------------------------------------------

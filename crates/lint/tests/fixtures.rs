@@ -53,6 +53,22 @@ fn hash_iter_fixtures() {
 }
 
 #[test]
+fn no_adhoc_io_fixtures() {
+    // The rule applies workspace-wide, so check an engine path and a
+    // neutral one.
+    for rel in [ENGINE, "crates/bench/src/fixture.rs"] {
+        let bad = lint_source(rel, &fixture("no_adhoc_io_bad.rs"));
+        assert_eq!(
+            count(&bad, "no-adhoc-io"),
+            3,
+            "bad fixture at {rel}: {bad:?}"
+        );
+    }
+    let ok = lint_source("crates/bench/src/fixture.rs", &fixture("no_adhoc_io_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
 fn unsafe_forbid_fixtures() {
     let bad = lint_crate_root("crates/x/src/lib.rs", &fixture("unsafe_forbid_bad.rs"));
     assert_eq!(count(&bad, "unsafe-forbid"), 1, "bad fixture: {bad:?}");

@@ -1,0 +1,14 @@
+//! Bad fixture for `no-adhoc-io`: ad-hoc stdout/stderr writes that bypass
+//! the sbx-obs exports. Expected findings: 3.
+
+fn report_progress(done: usize, total: usize) {
+    println!("progress: {done}/{total}");
+}
+
+fn warn_on_spill(bytes: u64) {
+    eprintln!("spilled {bytes} bytes to DRAM");
+}
+
+fn debug_peek(v: &[u64]) -> usize {
+    dbg!(v.len())
+}

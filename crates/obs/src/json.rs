@@ -1,0 +1,264 @@
+//! Minimal hand-rolled JSON support.
+//!
+//! The workspace is intentionally dependency-free, so sbx-obs carries its
+//! own writer and a parser for the *flat* object lines it emits (string and
+//! number values only — exporters encode nested data, such as histogram
+//! buckets, as compact strings). Numbers are formatted with `f64`'s
+//! `Display`, which is the shortest representation that round-trips, so
+//! `str::parse::<f64>` recovers the exported value bit-exactly.
+
+/// Appends `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u00");
+                let b = c as u32;
+                for shift in [4u32, 0] {
+                    let nib = (b >> shift) & 0xf;
+                    out.push(char::from_digit(nib, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats an `f64` as a JSON number.
+///
+/// Uses `Display` (shortest round-tripping form). Non-finite values are not
+/// representable in JSON and are emitted as `0`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// A scalar value inside a flat JSON object line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (also used for `true`/`false`/`null` → 1/0/0).
+    Num(f64),
+}
+
+impl JsonValue {
+    /// Returns the string content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            JsonValue::Num(_) => None,
+        }
+    }
+
+    /// Returns the numeric content, if this is a number value.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Str(_) => None,
+            JsonValue::Num(v) => Some(*v),
+        }
+    }
+}
+
+/// Parses one flat JSON object line (`{"k":"v","n":1.5,...}`) into ordered
+/// key/value pairs. Nested objects and arrays are rejected.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect_byte(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(pairs);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect_byte(b':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        pairs.push((key, value));
+        p.skip_ws();
+        match p.next() {
+            Some(b',') => {}
+            Some(b'}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(got) if got == b => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", b as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => self.parse_string().map(JsonValue::Str),
+            Some(b't') => self.parse_lit("true", 1.0),
+            Some(b'f') => self.parse_lit("false", 0.0),
+            Some(b'n') => self.parse_lit("null", 0.0),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(format!("unsupported value start {other:?}")),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, value: f64) -> Result<JsonValue, String> {
+        let end = self.pos + lit.len();
+        if self.bytes.get(self.pos..end) == Some(lit.as_bytes()) {
+            self.pos = end;
+            Ok(JsonValue::Num(value))
+        } else {
+            Err(format!("expected literal {lit}"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("bad utf8 in number: {e}"))?;
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Consume the raw run up to the next escape or closing quote so
+            // multi-byte UTF-8 passes through untouched.
+            let start = self.pos;
+            while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                self.pos += 1;
+            }
+            let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|e| format!("bad utf8 in string: {e}"))?;
+            out.push_str(run);
+            match self.next() {
+                // The scan loop above stops only at '"', '\\' or EOF.
+                None => return Err("unterminated string".to_owned()),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let end = self.pos + 4;
+                        let hex = self
+                            .bytes
+                            .get(self.pos..end)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        self.pos = end;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(_) => return Ok(out),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let mut out = String::new();
+        write_str("a\"b\\c\nd\u{1}e→", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001e→\"");
+        let line = format!("{{\"k\":{out}}}");
+        let pairs = parse_flat_object(&line).unwrap();
+        assert_eq!(pairs[0].1, JsonValue::Str("a\"b\\c\nd\u{1}e→".to_owned()));
+    }
+
+    #[test]
+    fn f64_display_round_trips_exactly() {
+        for v in [
+            0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1.0 / 3.0,
+            6.02e23,
+            5e-324,
+            f64::MAX,
+            123_456_789.123_456_79,
+        ] {
+            let s = fmt_f64(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "value {v} via {s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+    }
+
+    #[test]
+    fn parses_flat_objects() {
+        let pairs =
+            parse_flat_object(r#"{"type":"counter","name":"x","value":12,"f":-1.5e-3}"#).unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0].1.as_str(), Some("counter"));
+        assert_eq!(pairs[2].1.as_f64(), Some(12.0));
+        assert_eq!(pairs[3].1.as_f64(), Some(-1.5e-3));
+        assert!(parse_flat_object(r#"{"k":[1]}"#).is_err());
+        assert!(parse_flat_object(r#"{"k":1"#).is_err());
+        assert!(parse_flat_object("{}").unwrap().is_empty());
+    }
+}

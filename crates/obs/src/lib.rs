@@ -1,0 +1,110 @@
+//! sbx-obs: dependency-free observability for the StreamBox-HBM engine.
+//!
+//! The crate provides two recorders, bundled into an [`Obs`] handle that the
+//! engine threads through `RunConfig`:
+//!
+//! - a [`MetricsRegistry`] of named counters, gauges, log-bucketed
+//!   histograms and row series;
+//! - a [`TraceCollector`] of per-operator-invocation [`Span`]s with JSONL
+//!   and Chrome-trace/Perfetto export.
+//!
+//! Everything is keyed to the **simulated clock**: callers pass in simulated
+//! timestamps, and sbx-obs never reads wall-clock time, so exports are
+//! deterministic and byte-identical across same-seed runs (and sbx-lint's
+//! wall-clock rule holds). The default recorders are no-ops — inert,
+//! allocation-free handles — so instrumented hot paths pay only a branch
+//! when observability is off.
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+mod sync;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram};
+pub use metrics::{
+    Counter, Gauge, GaugeDump, HistogramDump, MetricsDump, MetricsRegistry, Series, SeriesDump,
+};
+pub use trace::{Span, TraceCollector};
+
+/// Observability handle: a metrics registry plus a trace collector.
+///
+/// `Default` (and [`Obs::noop`]) record nothing; [`Obs::enabled`] records
+/// both metrics and spans. The handle is a cheap `Arc` clone — the engine,
+/// CLI and tests can share one instance.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    /// Counters, gauges, histograms and series.
+    pub metrics: MetricsRegistry,
+    /// Per-operator-invocation spans.
+    pub trace: TraceCollector,
+}
+
+impl Obs {
+    /// Records nothing (the default).
+    pub fn noop() -> Self {
+        Obs {
+            metrics: MetricsRegistry::noop(),
+            trace: TraceCollector::noop(),
+        }
+    }
+
+    /// Records both metrics and spans.
+    pub fn enabled() -> Self {
+        Obs {
+            metrics: MetricsRegistry::active(),
+            trace: TraceCollector::active(),
+        }
+    }
+
+    /// Records metrics only (no spans); keeps the parallel stateless prefix
+    /// eligible since span ordering is the only determinism constraint.
+    pub fn metrics_only() -> Self {
+        Obs {
+            metrics: MetricsRegistry::active(),
+            trace: TraceCollector::noop(),
+        }
+    }
+
+    /// True if either recorder is active.
+    pub fn is_enabled(&self) -> bool {
+        self.metrics.is_enabled() || self.trace.is_enabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_modes() {
+        assert!(!Obs::noop().is_enabled());
+        assert!(!Obs::default().is_enabled());
+        let on = Obs::enabled();
+        assert!(on.is_enabled() && on.metrics.is_enabled() && on.trace.is_enabled());
+        let m = Obs::metrics_only();
+        assert!(m.is_enabled() && !m.trace.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        other.metrics.counter("x").add(2);
+        assert_eq!(obs.metrics.counter("x").get(), 2);
+        other.trace.record(Span {
+            id: 1,
+            parent: None,
+            name: "op",
+            cat: "task",
+            lane: 0,
+            start_ns: 0,
+            dur_ns: 1,
+            records_in: 0,
+            records_out: 0,
+        });
+        assert_eq!(obs.trace.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Poison-tolerant locking.
+//!
+//! Observability must never take the engine down: if a panicking thread
+//! poisons a mutex, later recorders simply keep using the inner value.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard even if the mutex was poisoned.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -1,0 +1,219 @@
+//! Span-based tracing of the simulated task graph.
+//!
+//! Each operator invocation records one [`Span`]: its identity (shared with
+//! the engine's `TaskSpec` task ids, so a trace lines up with a recorded
+//! task graph), its parent along the operator chain, and its *simulated*
+//! start/duration in nanoseconds. Because every timestamp comes from the
+//! simulated clock, two runs with the same seed export byte-identical
+//! traces.
+//!
+//! Two export formats:
+//! - JSONL: one flat object per span, in record order.
+//! - Chrome trace (`{"traceEvents":[...]}` with `"X"` complete events),
+//!   loadable in Perfetto or `chrome://tracing`. Lanes (`tid`) are operator
+//!   indices, so each pipeline stage renders as its own track.
+
+use std::sync::{Arc, Mutex};
+
+use crate::json::{fmt_f64, write_str};
+use crate::sync::lock;
+
+/// One operator invocation in the simulated task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Task identity; shared with the engine's `TaskSpec` ids.
+    pub id: u64,
+    /// Parent span along the operator chain, if any.
+    pub parent: Option<u64>,
+    /// Operator name (e.g. `window_into`).
+    pub name: &'static str,
+    /// Category: `task`, `watermark`, `barrier`, or `close`.
+    pub cat: &'static str,
+    /// Display lane: the operator's index in the pipeline.
+    pub lane: u64,
+    /// Simulated start time in nanoseconds.
+    pub start_ns: u64,
+    /// Simulated duration in nanoseconds (from the cost model).
+    pub dur_ns: u64,
+    /// Records entering this invocation.
+    pub records_in: u64,
+    /// Records produced by this invocation.
+    pub records_out: u64,
+}
+
+#[derive(Debug, Default)]
+struct TraceInner {
+    spans: Mutex<Vec<Span>>,
+}
+
+/// Collects spans for one run. The default handle is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl TraceCollector {
+    /// An inert collector: recording does nothing and allocates nothing.
+    pub fn noop() -> Self {
+        TraceCollector { inner: None }
+    }
+
+    /// An active collector.
+    pub fn active() -> Self {
+        TraceCollector {
+            inner: Some(Arc::new(TraceInner::default())),
+        }
+    }
+
+    /// True if spans are being collected. Instrumented code should check
+    /// this before building a [`Span`].
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one span (dropped by no-op collectors).
+    pub fn record(&self, span: Span) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.spans).push(span);
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| lock(&i.spans).len())
+    }
+
+    /// True if no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of all spans in record order.
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| lock(&i.spans).clone())
+    }
+
+    /// Exports spans as JSONL, one flat object per line, in record order.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            out.push_str(&format!("{{\"type\":\"span\",\"id\":{}", s.id));
+            if let Some(parent) = s.parent {
+                out.push_str(&format!(",\"parent\":{parent}"));
+            }
+            out.push_str(",\"name\":");
+            write_str(s.name, &mut out);
+            out.push_str(",\"cat\":");
+            write_str(s.cat, &mut out);
+            out.push_str(&format!(
+                ",\"lane\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
+                s.lane, s.start_ns, s.dur_ns, s.records_in, s.records_out
+            ));
+        }
+        out
+    }
+
+    /// Exports spans in Chrome trace format (Perfetto / `chrome://tracing`).
+    ///
+    /// Each span becomes an `"X"` complete event; `ts`/`dur` are simulated
+    /// microseconds, `tid` is the operator lane.
+    pub fn export_chrome(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let spans = self.spans();
+        for (i, s) in spans.iter().enumerate() {
+            out.push_str("{\"name\":");
+            write_str(s.name, &mut out);
+            out.push_str(",\"cat\":");
+            write_str(s.cat, &mut out);
+            out.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"span\":{}",
+                fmt_f64(s.start_ns as f64 / 1000.0),
+                fmt_f64(s.dur_ns as f64 / 1000.0),
+                s.lane,
+                s.id
+            ));
+            if let Some(parent) = s.parent {
+                out.push_str(&format!(",\"parent\":{parent}"));
+            }
+            out.push_str(&format!(
+                ",\"records_in\":{},\"records_out\":{}}}}}",
+                s.records_in, s.records_out
+            ));
+            if i + 1 < spans.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_object;
+
+    fn sample() -> Span {
+        Span {
+            id: 7,
+            parent: Some(3),
+            name: "window_into",
+            cat: "task",
+            lane: 2,
+            start_ns: 1_500,
+            dur_ns: 250,
+            records_in: 100,
+            records_out: 90,
+        }
+    }
+
+    #[test]
+    fn noop_collector_is_inert() {
+        let t = TraceCollector::noop();
+        assert!(!t.is_enabled());
+        t.record(sample());
+        assert!(t.is_empty());
+        assert!(t.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_objects() {
+        let t = TraceCollector::active();
+        t.record(sample());
+        t.record(Span {
+            parent: None,
+            ..sample()
+        });
+        let text = t.export_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let pairs = parse_flat_object(lines[0]).unwrap();
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_f64())
+        };
+        assert_eq!(get("id"), Some(7.0));
+        assert_eq!(get("parent"), Some(3.0));
+        assert_eq!(get("start_ns"), Some(1500.0));
+        // Root span omits the parent key entirely.
+        assert!(!lines[1].contains("parent"));
+    }
+
+    #[test]
+    fn chrome_export_has_complete_events_in_microseconds() {
+        let t = TraceCollector::active();
+        t.record(sample());
+        let text = t.export_chrome();
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":1.5"));
+        assert!(text.contains("\"dur\":0.25"));
+        assert!(text.contains("\"tid\":2"));
+    }
+}

@@ -1,5 +1,7 @@
 use std::sync::Arc;
 
+use sbx_obs::{Counter, MetricsRegistry};
+
 use crate::{
     AccessProfile, BandwidthMonitor, CostModel, MachineConfig, MemKind, MemPool, SimClock,
 };
@@ -14,6 +16,10 @@ struct EnvInner {
     monitor: BandwidthMonitor,
     clock: SimClock,
     cost: CostModel,
+    /// Cumulative modelled traffic per tier (`bw.<kind>.total_bytes`).
+    traffic: [Counter; 2],
+    /// KPA allocations that fell back from HBM to DRAM (`pool.hbm.spills`).
+    spills: Counter,
 }
 
 /// The shared hybrid-memory environment: one pool per tier, a bandwidth
@@ -42,13 +48,26 @@ pub struct MemEnv {
 impl MemEnv {
     /// Builds pools, monitor and cost model for `machine`.
     pub fn new(machine: MachineConfig) -> Self {
+        MemEnv::new_observed(machine, &MetricsRegistry::noop())
+    }
+
+    /// Like [`MemEnv::new`], but registers pool instruments plus per-kind
+    /// traffic counters (`bw.<kind>.total_bytes`) and the HBM→DRAM spill
+    /// counter (`pool.hbm.spills`) in `registry`. With a no-op registry this
+    /// is identical to `new`.
+    pub fn new_observed(machine: MachineConfig, registry: &MetricsRegistry) -> Self {
         let pools = [
-            MemPool::new(
+            MemPool::new_observed(
                 MemKind::Hbm,
                 machine.spec(MemKind::Hbm),
                 HBM_RESERVE_FRACTION,
+                registry,
             ),
-            MemPool::new(MemKind::Dram, machine.spec(MemKind::Dram), 0.0),
+            MemPool::new_observed(MemKind::Dram, machine.spec(MemKind::Dram), 0.0, registry),
+        ];
+        let traffic = [
+            registry.counter("bw.hbm.total_bytes"),
+            registry.counter("bw.dram.total_bytes"),
         ];
         MemEnv {
             inner: Arc::new(EnvInner {
@@ -57,8 +76,16 @@ impl MemEnv {
                 monitor: BandwidthMonitor::new(),
                 clock: SimClock::new(),
                 machine,
+                traffic,
+                spills: registry.counter("pool.hbm.spills"),
             }),
         }
+    }
+
+    /// Records one HBM→DRAM allocation fallback (a KPA that could not fit in
+    /// HBM and was spilled to DRAM). Called by the KPA allocator.
+    pub fn note_spill(&self) {
+        self.inner.spills.incr();
     }
 
     /// The machine configuration this environment simulates.
@@ -98,6 +125,7 @@ impl MemEnv {
         for kind in MemKind::ALL {
             let bytes = profile.bytes_on(kind) as u64;
             self.inner.monitor.record_spread(kind, bytes, start, dur_ns);
+            self.inner.traffic[kind.index()].add(bytes);
         }
         self.inner.clock.advance(dur_ns);
         secs
@@ -112,6 +140,7 @@ impl MemEnv {
             self.inner
                 .monitor
                 .record_spread(kind, bytes, start_ns, dur_ns);
+            self.inner.traffic[kind.index()].add(bytes);
         }
     }
 }
@@ -142,6 +171,23 @@ mod tests {
         assert!((secs - 1.0).abs() < 1e-9);
         assert_eq!(env.clock().now_ns(), 1_000_000_000);
         assert_eq!(env.monitor().total_bytes(MemKind::Dram), 80_000_000_000);
+    }
+
+    #[test]
+    fn observed_env_counts_traffic_and_spills() {
+        let reg = MetricsRegistry::active();
+        let env = MemEnv::new_observed(MachineConfig::knl(), &reg);
+        let p = AccessProfile::new()
+            .seq(MemKind::Hbm, 1000.0)
+            .seq(MemKind::Dram, 500.0);
+        env.charge(&p, 64);
+        env.charge_traffic(&p, 0, 1_000);
+        env.note_spill();
+        let dump = reg.snapshot();
+        assert_eq!(dump.counter("bw.hbm.total_bytes"), Some(2000));
+        assert_eq!(dump.counter("bw.dram.total_bytes"), Some(1000));
+        assert_eq!(dump.counter("pool.hbm.spills"), Some(1));
+        assert!(dump.counter("pool.hbm.allocs").is_some());
     }
 
     #[test]

@@ -35,6 +35,15 @@ impl MemKind {
             MemKind::Dram => MemKind::Hbm,
         }
     }
+
+    /// Lowercase label used in metric names (`pool.hbm.allocs`, ...).
+    #[inline]
+    pub fn label(self) -> &'static str {
+        match self {
+            MemKind::Hbm => "hbm",
+            MemKind::Dram => "dram",
+        }
+    }
 }
 
 impl fmt::Display for MemKind {

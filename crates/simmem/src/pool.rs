@@ -3,6 +3,8 @@ use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use sbx_obs::{Counter, Gauge, MetricsRegistry};
+
 use crate::sync::Mutex;
 use crate::{AllocError, MemKind, MemSpec};
 
@@ -47,6 +49,34 @@ struct Freelists {
     cached_bytes: u64,
 }
 
+/// Per-pool observability handles (`pool.<kind>.*`). All handles are inert
+/// no-ops unless the pool was built with [`MemPool::new_observed`] against an
+/// active registry.
+#[derive(Debug, Clone, Default)]
+struct PoolMetrics {
+    allocs: Counter,
+    failed_allocs: Counter,
+    frees: Counter,
+    alloc_bytes: Counter,
+    freed_bytes: Counter,
+    /// Accounted bytes; its high-water mark is the capacity peak.
+    used: Gauge,
+}
+
+impl PoolMetrics {
+    fn new(registry: &MetricsRegistry, kind: MemKind) -> Self {
+        let name = |metric: &str| format!("pool.{}.{metric}", kind.label());
+        PoolMetrics {
+            allocs: registry.counter(&name("allocs")),
+            failed_allocs: registry.counter(&name("failed_allocs")),
+            frees: registry.counter(&name("frees")),
+            alloc_bytes: registry.counter(&name("alloc_bytes")),
+            freed_bytes: registry.counter(&name("freed_bytes")),
+            used: registry.gauge(&name("used_bytes")),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct PoolInner {
     kind: MemKind,
@@ -57,6 +87,7 @@ struct PoolInner {
     allocs: AtomicU64,
     failed_allocs: AtomicU64,
     freelists: Mutex<Freelists>,
+    metrics: PoolMetrics,
 }
 
 /// An accounted slab allocator for one memory tier.
@@ -94,6 +125,22 @@ impl MemPool {
     ///
     /// Panics if `reserve_fraction` is not within `[0, 1]`.
     pub fn new(kind: MemKind, spec: MemSpec, reserve_fraction: f64) -> Self {
+        MemPool::new_observed(kind, spec, reserve_fraction, &MetricsRegistry::noop())
+    }
+
+    /// Like [`MemPool::new`], but registers `pool.<kind>.*` instruments
+    /// (alloc/free counts and bytes, used-bytes gauge with high-water mark)
+    /// in `registry`. With a no-op registry this is identical to `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserve_fraction` is not within `[0, 1]`.
+    pub fn new_observed(
+        kind: MemKind,
+        spec: MemSpec,
+        reserve_fraction: f64,
+        registry: &MetricsRegistry,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&reserve_fraction),
             "reserve_fraction must be in [0,1], got {reserve_fraction}"
@@ -111,6 +158,7 @@ impl MemPool {
                     by_class: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
                     cached_bytes: 0,
                 }),
+                metrics: PoolMetrics::new(registry, kind),
             }),
         }
     }
@@ -174,6 +222,8 @@ impl MemPool {
                 fl.cached_bytes -= bytes;
                 drop(fl);
                 self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.allocs.incr();
+                self.inner.metrics.alloc_bytes.add(bytes);
                 return Ok(PoolVec {
                     buf,
                     pool: self.inner.clone(),
@@ -192,6 +242,7 @@ impl MemPool {
         loop {
             if used + bytes > ceiling {
                 self.inner.failed_allocs.fetch_add(1, Ordering::Relaxed);
+                self.inner.metrics.failed_allocs.incr();
                 return Err(AllocError {
                     kind: self.inner.kind,
                     requested_bytes: bytes,
@@ -212,6 +263,9 @@ impl MemPool {
             .high_water_bytes
             .fetch_max(used + bytes, Ordering::AcqRel);
         self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.allocs.incr();
+        self.inner.metrics.alloc_bytes.add(bytes);
+        self.inner.metrics.used.set((used + bytes) as f64);
         Ok(PoolVec {
             buf: Vec::with_capacity(slots),
             pool: self.inner.clone(),
@@ -229,7 +283,9 @@ impl MemPool {
         }
         fl.cached_bytes = 0;
         drop(fl);
-        self.inner.used_bytes.fetch_sub(released, Ordering::AcqRel);
+        let used = self.inner.used_bytes.fetch_sub(released, Ordering::AcqRel) - released;
+        self.inner.metrics.used.set(used as f64);
+        self.inner.metrics.freed_bytes.add(released);
     }
 
     /// Snapshot of allocator statistics.
@@ -314,6 +370,7 @@ impl fmt::Debug for PoolVec {
 
 impl Drop for PoolVec {
     fn drop(&mut self) {
+        self.pool.metrics.frees.incr();
         match self.class {
             Some(c) if self.buf.capacity() >= class_slots(c) => {
                 self.buf.clear();
@@ -325,9 +382,13 @@ impl Drop for PoolVec {
             _ => {
                 // Oversized (or reallocated beyond class) buffers release
                 // their accounting outright.
-                self.pool
+                let used = self
+                    .pool
                     .used_bytes
-                    .fetch_sub(self.accounted_bytes, Ordering::AcqRel);
+                    .fetch_sub(self.accounted_bytes, Ordering::AcqRel)
+                    - self.accounted_bytes;
+                self.pool.metrics.used.set(used as f64);
+                self.pool.metrics.freed_bytes.add(self.accounted_bytes);
             }
         }
     }
@@ -427,6 +488,32 @@ mod tests {
         assert_eq!(pool.usage(), 0.0);
         let _v = pool.alloc_u64(MIN_CLASS_SLOTS, Priority::Normal).unwrap();
         assert!((pool.usage() - 1.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_pool_registers_metrics() {
+        let reg = MetricsRegistry::active();
+        let spec = MemSpec {
+            capacity_bytes: 8 * MIN_CLASS_SLOTS as u64, // one class-0 buffer
+            bandwidth_bytes_per_sec: 375e9,
+            latency_ns: 172.0,
+        };
+        let pool = MemPool::new_observed(MemKind::Hbm, spec, 0.0, &reg);
+        let v = pool.alloc_u64(1, Priority::Normal).unwrap();
+        assert!(pool.alloc_u64(1, Priority::Normal).is_err());
+        let peak = pool.used_bytes();
+        drop(v);
+        pool.trim();
+        let dump = reg.snapshot();
+        assert_eq!(dump.counter("pool.hbm.allocs"), Some(1));
+        assert_eq!(dump.counter("pool.hbm.failed_allocs"), Some(1));
+        assert_eq!(dump.counter("pool.hbm.frees"), Some(1));
+        assert_eq!(dump.counter("pool.hbm.alloc_bytes"), Some(peak));
+        assert_eq!(dump.counter("pool.hbm.freed_bytes"), Some(peak));
+        let used = dump.gauge("pool.hbm.used_bytes").unwrap();
+        assert_eq!(used.value, 0.0);
+        assert_eq!(used.max, peak as f64);
+        assert_eq!(used.max, pool.stats().high_water_bytes as f64);
     }
 
     #[test]

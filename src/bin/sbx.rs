@@ -5,8 +5,10 @@
 //!                  [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]
 //!                  [--keys N] [--rate N] [--samples-csv PATH]
 //!                  [--checkpoint-interval N]
+//!                  [--metrics-out PATH] [--trace-out PATH]
 //! sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]
 //!                    [bench flags]
+//! sbx report <metrics.jsonl>
 //! sbx figure <2|7|8|9|10|11|ablation>
 //! sbx machines
 //! sbx list
@@ -15,8 +17,16 @@
 //! `recover` crashes the run after the given bundle count, restores the
 //! latest barrier snapshot, resumes, and verifies the committed outputs
 //! are byte-identical to a fault-free run (exactly-once).
+//!
+//! `--metrics-out` exports the run's metrics registry as JSONL;
+//! `--trace-out` additionally records one span per operator invocation
+//! (in simulated time) and writes a Chrome trace loadable in Perfetto —
+//! or span JSONL if the path ends in `.jsonl`. `sbx report` rebuilds the
+//! run summary and the Figure-10 time series purely from an exported
+//! metrics file.
 
 // Reporting binaries talk to stdout by design.
+// sbx-lint: allow-file(no-adhoc-io, CLI front-end reports to stdout by design)
 #![allow(clippy::print_stdout, clippy::print_stderr)]
 
 use std::process::ExitCode;
@@ -41,8 +51,10 @@ fn usage() -> ExitCode {
         "usage:\n  sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]\n\
          \x20                [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]\n\
          \x20                [--keys N] [--rate N] [--checkpoint-interval N]\n\
+         \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
          \x20                [bench flags]\n\
+         \x20 sbx report <metrics.jsonl>\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
         BENCHMARKS.join(", ")
@@ -63,6 +75,8 @@ struct BenchArgs {
     samples_csv: Option<String>,
     checkpoint_interval: Option<u64>,
     crash_after: Option<u64>,
+    metrics_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 impl Default for BenchArgs {
@@ -79,6 +93,8 @@ impl Default for BenchArgs {
             samples_csv: None,
             checkpoint_interval: None,
             crash_after: None,
+            metrics_out: None,
+            trace_out: None,
         }
     }
 }
@@ -105,6 +121,8 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             }
             "--keys" => out.keys = value.parse().map_err(|_| "bad --keys")?,
             "--samples-csv" => out.samples_csv = Some(value.clone()),
+            "--metrics-out" => out.metrics_out = Some(value.clone()),
+            "--trace-out" => out.trace_out = Some(value.clone()),
             "--rate" => out.rate = value.parse().map_err(|_| "bad --rate")?,
             "--checkpoint-interval" => {
                 let iv: u64 = value.parse().map_err(|_| "bad --checkpoint-interval")?;
@@ -172,6 +190,14 @@ fn run_single<S: Source>(
 }
 
 fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
+    // Tracing implies metrics; metrics alone keep the parallel prefix.
+    let obs = if a.trace_out.is_some() {
+        Obs::enabled()
+    } else if a.metrics_out.is_some() {
+        Obs::metrics_only()
+    } else {
+        Obs::noop()
+    };
     let cfg = RunConfig {
         machine: MachineConfig::knl(),
         cores: a.cores,
@@ -181,6 +207,7 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
             bundles_per_watermark: 10,
             nic: a.nic,
         },
+        obs: obs.clone(),
         ..RunConfig::default()
     };
     if a.crash_after.is_some() {
@@ -284,6 +311,103 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
         std::fs::write(path, csv)?;
         println!("  samples        : written to {path}");
+    }
+    if let Some(path) = &a.metrics_out {
+        std::fs::write(path, obs.metrics.export_jsonl())?;
+        println!("  metrics        : written to {path}");
+    }
+    if let Some(path) = &a.trace_out {
+        // Span JSONL for `.jsonl` paths; Chrome trace (Perfetto) otherwise.
+        let text = if path.ends_with(".jsonl") {
+            obs.trace.export_jsonl()
+        } else {
+            obs.trace.export_chrome()
+        };
+        std::fs::write(path, text)?;
+        println!(
+            "  trace          : {} spans written to {path}",
+            obs.trace.len()
+        );
+    }
+    Ok(())
+}
+
+/// `sbx report`: rebuilds a run summary and the Figure-10 time series
+/// purely from a metrics JSONL export.
+fn run_report(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let dump = MetricsDump::parse_jsonl(&text)?;
+    println!("report from {path}");
+    let c = |name: &str| dump.counter(name).unwrap_or(0);
+    println!(
+        "  input          : {:>10} records in {} bundles",
+        c("engine.records_in"),
+        c("engine.bundles_in")
+    );
+    println!(
+        "  windows        : {:>10} closed, {} output records",
+        c("engine.windows_closed"),
+        c("engine.output_records")
+    );
+    let gmax = |name: &str| dump.gauge(name).map_or(0.0, |g| g.max);
+    println!(
+        "  bandwidth peak : {:>10.1} GB/s HBM, {:.1} GB/s DRAM",
+        gmax("engine.hbm_bw_gbps"),
+        gmax("engine.dram_bw_gbps")
+    );
+    println!(
+        "  HBM high water : {:>10.0} KiB",
+        gmax("engine.hbm_used_bytes") / 1024.0
+    );
+    if let Some(h) = dump.histogram("engine.output_delay_secs") {
+        println!(
+            "  output delay   : {:>10.4} s max ({:.4} s avg, {} windows)",
+            h.snapshot.max,
+            h.snapshot.mean(),
+            h.snapshot.count
+        );
+    }
+    let ops: Vec<&(String, u64)> = dump
+        .counters
+        .iter()
+        .filter(|(name, _)| name.starts_with("op.") && name.ends_with(".invocations"))
+        .collect();
+    if !ops.is_empty() {
+        println!("  operators:");
+        for (name, invocations) in ops {
+            let stem = name.trim_end_matches("invocations");
+            println!(
+                "    {:<28} {:>8} invocations, {:>10} records in, {:>10} out",
+                name.trim_start_matches("op.")
+                    .trim_end_matches(".invocations"),
+                invocations,
+                c(&format!("{stem}records_in")),
+                c(&format!("{stem}records_out"))
+            );
+        }
+    }
+    let samples = round_samples_from_dump(&dump);
+    if samples.is_empty() {
+        println!("  no 'engine.round' series: Figure-10 table unavailable");
+        return Ok(());
+    }
+    println!("  figure-10 series ({} rounds):", samples.len());
+    println!(
+        "    {:>8} {:>9} {:>12} {:>8} {:>8} {:>6} {:>6} {:>10}",
+        "at_secs", "hbm_use", "hbm_KiB", "dram_bw", "hbm_bw", "k_low", "k_high", "records"
+    );
+    for s in &samples {
+        println!(
+            "    {:>8.3} {:>9.3} {:>12} {:>8.1} {:>8.1} {:>6.2} {:>6.2} {:>10}",
+            s.at_secs,
+            s.hbm_usage,
+            s.hbm_used_bytes / 1024,
+            s.dram_bw_gbps,
+            s.hbm_bw_gbps,
+            s.k_low,
+            s.k_high,
+            s.records
+        );
     }
     Ok(())
 }
@@ -441,6 +565,16 @@ fn main() -> ExitCode {
                 usage()
             }
         },
+        Some("report") => match args.get(1) {
+            Some(path) => match run_report(path) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            None => usage(),
+        },
         Some("figure") => match args.get(1) {
             Some(which) => match run_figure(which) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -504,6 +638,23 @@ mod tests {
     fn parses_samples_csv_flag() {
         let a = parse_bench_args(&s(&["sum", "--samples-csv", "/tmp/x.csv"])).unwrap();
         assert_eq!(a.samples_csv.as_deref(), Some("/tmp/x.csv"));
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let a = parse_bench_args(&s(&[
+            "sum",
+            "--metrics-out",
+            "/tmp/m.jsonl",
+            "--trace-out",
+            "/tmp/t.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/m.jsonl"));
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/t.json"));
+        let plain = parse_bench_args(&s(&["sum"])).unwrap();
+        assert!(plain.metrics_out.is_none() && plain.trace_out.is_none());
+        assert!(parse_bench_args(&s(&["sum", "--metrics-out"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`ingress`] — workload generators, NIC-rate ingestion, parsers.
 //! * [`checkpoint`] — barrier snapshot store, crash injection, and
 //!   exactly-once recovery.
+//! * [`obs`] — simulated-time observability: metrics registry, span
+//!   tracing, JSONL and Chrome-trace export.
 //! * [`baselines`] — the Flink-class row engine used for comparisons.
 //!
 //! ## Example
@@ -46,6 +48,7 @@ pub use sbx_checkpoint as checkpoint;
 pub use sbx_engine as engine;
 pub use sbx_ingress as ingress;
 pub use sbx_kpa as kpa;
+pub use sbx_obs as obs;
 pub use sbx_records as records;
 pub use sbx_simmem as simmem;
 
@@ -58,13 +61,14 @@ pub mod prelude {
     };
     pub use sbx_engine::ops::AggKind;
     pub use sbx_engine::{
-        benchmarks, Cluster, ClusterReport, Engine, EngineMode, Pipeline, PipelineBuilder,
-        RunConfig, RunReport,
+        benchmarks, round_samples_from_dump, Cluster, ClusterReport, Engine, EngineMode, Pipeline,
+        PipelineBuilder, RunConfig, RunReport,
     };
     pub use sbx_ingress::{
         IngestFormat, KvSource, NicModel, PowerGridSource, Sender, SenderConfig, Source, YsbSource,
     };
     pub use sbx_kpa::{ExecCtx, Kpa};
+    pub use sbx_obs::{MetricsDump, MetricsRegistry, Obs, TraceCollector};
     pub use sbx_records::{Col, EventTime, RecordBundle, Schema, Watermark, WindowSpec};
     pub use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
 }
