@@ -1,0 +1,7 @@
+//! `cargo bench --bench kernel_scaling` — host-time scaling of the
+//! merge-path grouping kernels across worker-pool widths.
+
+fn main() {
+    let out = sbx_bench::kernel_scaling::run();
+    sbx_bench::save_experiment("kernel_scaling", &out);
+}

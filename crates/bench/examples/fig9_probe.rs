@@ -1,0 +1,28 @@
+//! Calibration probe for the Figure 9 bands: prints the four ablation
+//! points at 64 and 2 cores plus the derived losses the tests assert.
+//! Not part of the figure suite — a scratch harness for recalibrating
+//! mode constants after kernel cost changes.
+#![allow(clippy::print_stdout)]
+
+use sbx_bench::fig9::ablation_point;
+use sbx_engine::EngineMode;
+
+fn main() {
+    let hybrid = ablation_point(EngineMode::Hybrid, 64);
+    let caching = ablation_point(EngineMode::CachingKpa, 64);
+    let dram = ablation_point(EngineMode::DramOnly, 64);
+    let nokpa = ablation_point(EngineMode::CachingNoKpa, 64);
+    println!("64 cores: hybrid={hybrid:.2} caching={caching:.2} dram={dram:.2} nokpa={nokpa:.2}");
+    println!(
+        "dram_loss={:.3} (band 0.25..0.65)  caching_loss={:.3} (band 0.05..0.40)  nokpa_factor={:.2} (band 3..9)",
+        1.0 - dram / hybrid,
+        1.0 - caching / hybrid,
+        hybrid / nokpa
+    );
+    let hybrid2 = ablation_point(EngineMode::Hybrid, 2);
+    let dram2 = ablation_point(EngineMode::DramOnly, 2);
+    println!(
+        "2 cores: hybrid={hybrid2:.2} dram={dram2:.2} loss={:.3} (< 0.15)",
+        1.0 - dram2 / hybrid2
+    );
+}

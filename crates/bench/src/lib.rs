@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod kernel_scaling;
 pub mod obs_overhead;
 pub mod table;
 

@@ -93,6 +93,9 @@ pub struct Engine {
     cfg: RunConfig,
     env: MemEnv,
     balancer: DemandBalancer,
+    /// Worker pool shared by every task context of the run (clones share
+    /// spawn statistics); sized once from `cfg.threads`.
+    pool: sbx_kpa::WorkerPool,
     trace: Vec<sbx_simmem::TaskSpec>,
     /// Shared id counter for replay tasks and trace spans: when both are
     /// recorded, a span and its task share one identity.
@@ -112,10 +115,12 @@ impl Engine {
         let env = MemEnv::new_observed(machine, &cfg.obs.metrics);
         let balancer = DemandBalancer::new().with_metrics(&cfg.obs.metrics);
         let rm = RunMetrics::for_run(&cfg.obs.metrics);
+        let pool = sbx_kpa::WorkerPool::new(cfg.threads);
         Engine {
             cfg,
             env,
             balancer,
+            pool,
             trace: Vec::new(),
             next_task: 0,
             rm,
@@ -370,8 +375,9 @@ impl Engine {
                             snap.ops.len()
                         )));
                     };
-                    let mut ctx = crate::OpCtx::new(
+                    let mut ctx = crate::OpCtx::with_pool(
                         &self.env,
+                        self.pool.clone(),
                         &mut self.balancer,
                         self.cfg.mode,
                         self.cfg.threads,
@@ -695,8 +701,9 @@ impl Engine {
                         Message::Barrier(_) => "barrier",
                     }
                 };
-                let mut ctx = crate::OpCtx::new(
+                let mut ctx = crate::OpCtx::with_pool(
                     &self.env,
+                    self.pool.clone(),
                     &mut self.balancer,
                     self.cfg.mode,
                     self.cfg.threads,
@@ -835,6 +842,7 @@ impl Engine {
                 .with_claim_counters(self.rm.claims.clone());
         let balancers: Vec<DemandBalancer> = (0..nworkers).map(|_| self.balancer.clone()).collect();
         let op_metrics = &self.op_metrics;
+        let pool = &self.pool;
 
         type WorkerOut =
             Result<(Vec<(usize, Vec<Message>, ImpactTag)>, AccessProfile, f64), EngineError>;
@@ -858,8 +866,14 @@ impl Engine {
                                 for m in frontier {
                                     let data_len = m.data_len();
                                     let is_data = matches!(&m, Message::Data { .. });
-                                    let mut ctx =
-                                        crate::OpCtx::new(env, &mut bal, mode, threads, tag);
+                                    let mut ctx = crate::OpCtx::with_pool(
+                                        env,
+                                        pool.clone(),
+                                        &mut bal,
+                                        mode,
+                                        threads,
+                                        tag,
+                                    );
                                     let outs = op.apply(&mut ctx, m)?;
                                     let tally = ctx.exec().take_tally();
                                     let t = ctx

@@ -8,6 +8,13 @@
 //! `log2(64) * (log2(64)+1) / 2 = 21` compare-exchange stages of 32 lanes
 //! each, data-independent and branch-predictable — exactly the structure a
 //! vectorizing compiler (or hand-written SIMD) exploits.
+//!
+//! All comparisons use the *compound* `(key, ptr)` order — the canonical
+//! total order `Kpa::sort` sorts in — so chunk sorting commutes with
+//! chunking: any partition of the input into chunks, sorted and k-way
+//! merged in compound order, yields the same byte-identical array. That
+//! property is what makes the merge-path sort deterministic across thread
+//! counts (see `mergepath`).
 
 /// Pairs per bitonic block (matches `profile::SORT_BLOCK`).
 pub const BLOCK: usize = 64;
@@ -31,7 +38,8 @@ pub fn sort_block(keys: &mut [u64], ptrs: &mut [u64]) {
                 let l = i ^ j;
                 if l > i {
                     let ascending = (i & k) == 0;
-                    if (ascending && keys[i] > keys[l]) || (!ascending && keys[i] < keys[l]) {
+                    let (a, b) = ((keys[i], ptrs[i]), (keys[l], ptrs[l]));
+                    if (ascending && a > b) || (!ascending && a < b) {
                         keys.swap(i, l);
                         ptrs.swap(i, l);
                     }
@@ -84,7 +92,7 @@ fn insertion_sort(keys: &mut [u64], ptrs: &mut [u64]) {
     for i in 1..keys.len() {
         let (k, p) = (keys[i], ptrs[i]);
         let mut j = i;
-        while j > 0 && keys[j - 1] > k {
+        while j > 0 && (keys[j - 1], ptrs[j - 1]) > (k, p) {
             keys[j] = keys[j - 1];
             ptrs[j] = ptrs[j - 1];
             j -= 1;
@@ -108,7 +116,7 @@ fn merge_in_place(
     sp.clear();
     let (mut i, mut j) = (start, mid);
     while i < mid && j < end {
-        if keys[i] <= keys[j] {
+        if (keys[i], ptrs[i]) <= (keys[j], ptrs[j]) {
             sk.push(keys[i]);
             sp.push(ptrs[i]);
             i += 1;

@@ -1,3 +1,4 @@
+use sbx_pool::WorkerPool;
 use sbx_simmem::{AccessProfile, MemEnv, MemKind};
 
 /// Primitive groups the observability layer breaks KPA byte traffic down by
@@ -70,21 +71,37 @@ pub struct ExecCtx {
     /// counters after each invocation. Fixed-size: no allocation on the hot
     /// path.
     tally: [f64; PrimGroup::COUNT],
+    /// Worker pool the grouping kernels fan out on; serial by default.
+    pool: WorkerPool,
 }
 
 impl ExecCtx {
-    /// A fresh context over `env` with an empty profile.
+    /// A fresh context over `env` with an empty profile and a serial
+    /// worker pool (primitives without an explicit thread count run on
+    /// the calling thread).
     pub fn new(env: &MemEnv) -> Self {
+        Self::with_pool(env, WorkerPool::serial())
+    }
+
+    /// A fresh context over `env` drawing kernel parallelism from `pool`
+    /// (the engine shares one pool across every task's context).
+    pub fn with_pool(env: &MemEnv, pool: WorkerPool) -> Self {
         ExecCtx {
             env: env.clone(),
             profile: AccessProfile::new(),
             tally: [0.0; PrimGroup::COUNT],
+            pool,
         }
     }
 
     /// The hybrid-memory environment.
     pub fn env(&self) -> &MemEnv {
         &self.env
+    }
+
+    /// The worker pool grouping kernels (sort/merge/join) fan out on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Accumulates `p` into the task profile.

@@ -6,7 +6,7 @@ use sbx_simmem::{AllocError, MemEnv, MemKind, PoolVec, Priority};
 
 use sbx_records::{BundleId, Col, RecordBundle, RecordRef, Schema};
 
-use crate::{profile, ExecCtx, PrimGroup};
+use crate::{mergepath, profile, ExecCtx, PrimGroup};
 
 /// Allocates a pair of `n`-slot buffers on `want`, spilling to DRAM when the
 /// preferred tier is full. Returns the buffers and the tier actually used.
@@ -376,6 +376,11 @@ impl Kpa {
     /// **Merge** (Table 2): merges two KPAs sorted on the same resident
     /// column into one sorted KPA on `out_kind` (falling back to DRAM).
     ///
+    /// Both inputs are merge-path co-partitioned across the context's
+    /// worker pool (see [`crate::mergepath`]): every lane claims an equal
+    /// output span, so the merge scales with threads while the result
+    /// stays byte-identical to the sequential left-wins-ties merge.
+    ///
     /// The output inherits the links to all source bundles of both inputs
     /// (paper §5.1).
     ///
@@ -397,22 +402,27 @@ impl Kpa {
         assert_eq!(a.resident, b.resident, "resident columns must match");
         let total = a.len() + b.len();
         let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), total, out_kind, prio)?;
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < a.len() && j < b.len() {
-            if a.keys[i] <= b.keys[j] {
-                keys.push(a.keys[i]);
-                ptrs.push(a.ptrs[i]);
-                i += 1;
-            } else {
-                keys.push(b.keys[j]);
-                ptrs.push(b.ptrs[j]);
-                j += 1;
-            }
-        }
-        keys.extend_from_slice(&a.keys[i..]);
-        ptrs.extend_from_slice(&a.ptrs[i..]);
-        keys.extend_from_slice(&b.keys[j..]);
-        ptrs.extend_from_slice(&b.ptrs[j..]);
+        keys.resize(total, 0);
+        ptrs.resize(total, 0);
+        let runs = [
+            mergepath::Run {
+                keys: &a.keys,
+                ptrs: &a.ptrs,
+            },
+            mergepath::Run {
+                keys: &b.keys,
+                ptrs: &b.ptrs,
+            },
+        ];
+        let width = ctx.pool().width();
+        mergepath::merge_runs_pooled(
+            ctx.pool(),
+            width,
+            &runs,
+            mergepath::RankBy::Key,
+            &mut keys,
+            &mut ptrs,
+        );
         // Charge the scan of both inputs on their (possibly distinct) tiers.
         let in_kind = if a.kind() == b.kind() {
             a.kind()
@@ -436,8 +446,94 @@ impl Kpa {
         })
     }
 
-    /// Merges any number of sorted KPAs pairwise until one remains
-    /// (the window-closure step of Keyed Aggregation, paper Fig. 4a).
+    /// Merges any number of sorted KPAs into one in a *single pass* (the
+    /// window-closure step of Keyed Aggregation, paper Fig. 4a): all runs
+    /// are merge-path co-partitioned across the context's worker pool, so
+    /// each pair moves exactly once regardless of how many KPAs close the
+    /// window. Charges one read + one write pass with `log2(k)`
+    /// comparisons per pair (see [`profile::merge_kway`]).
+    ///
+    /// Equal keys come out in input-list order, matching what the previous
+    /// pairwise-rounds structure ([`Kpa::merge_many_pairwise`]) produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] on output allocation failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kpas` is empty, any input is unsorted, or resident
+    /// columns differ.
+    pub fn merge_many(
+        ctx: &mut ExecCtx,
+        mut kpas: Vec<Kpa>,
+        out_kind: MemKind,
+        prio: Priority,
+    ) -> Result<Kpa, AllocError> {
+        assert!(!kpas.is_empty(), "merge_many needs at least one input");
+        if kpas.len() == 1 {
+            if let Some(k) = kpas.pop() {
+                return Ok(k);
+            }
+        }
+        let resident = kpas[0].resident();
+        for k in &kpas {
+            assert!(k.is_sorted(), "merge_many requires sorted inputs");
+            assert_eq!(k.resident(), resident, "resident columns must match");
+        }
+        let total: usize = kpas.iter().map(Kpa::len).sum();
+        let (mut keys, mut ptrs, got) = alloc_pair_bufs(ctx.env(), total, out_kind, prio)?;
+        keys.resize(total, 0);
+        ptrs.resize(total, 0);
+        let runs: Vec<mergepath::Run<'_>> = kpas
+            .iter()
+            .map(|k| mergepath::Run {
+                keys: &k.keys,
+                ptrs: &k.ptrs,
+            })
+            // sbx-lint: allow(raw-alloc, k run descriptors; pair data lives in pool buffers)
+            .collect();
+        let width = ctx.pool().width();
+        mergepath::merge_runs_pooled(
+            ctx.pool(),
+            width,
+            &runs,
+            mergepath::RankBy::Key,
+            &mut keys,
+            &mut ptrs,
+        );
+        let in_kind = if kpas.iter().all(|k| k.kind() == kpas[0].kind()) {
+            kpas[0].kind()
+        } else {
+            MemKind::Dram
+        };
+        ctx.charge_as(
+            PrimGroup::Merge,
+            &profile::merge_kway(total, kpas.len(), in_kind, got),
+        );
+
+        let mut sources = BTreeMap::new();
+        for k in &kpas {
+            for (id, b) in &k.sources {
+                sources.entry(*id).or_insert_with(|| Arc::clone(b));
+            }
+        }
+        let schema = Arc::clone(&kpas[0].schema);
+        Ok(Kpa {
+            keys,
+            ptrs,
+            resident,
+            schema,
+            sources,
+            sorted: true,
+        })
+    }
+
+    /// Merges sorted KPAs pairwise in `log2(k)` rounds — the structure
+    /// [`Kpa::merge_many`] replaced. Kept as the multipass baseline arm of
+    /// the merge-strategy ablation: it moves every pair once per round, so
+    /// its charged traffic grows with `log2(k)` where the single-pass
+    /// merges stay flat.
     ///
     /// # Errors
     ///
@@ -446,13 +542,13 @@ impl Kpa {
     /// # Panics
     ///
     /// Panics if `kpas` is empty, or on the conditions of [`Kpa::merge`].
-    pub fn merge_many(
+    pub fn merge_many_pairwise(
         ctx: &mut ExecCtx,
         mut kpas: Vec<Kpa>,
         out_kind: MemKind,
         prio: Priority,
     ) -> Result<Kpa, AllocError> {
-        assert!(!kpas.is_empty(), "merge_many needs at least one input");
+        assert!(!kpas.is_empty(), "merge_many_pairwise needs >= 1 input");
         while kpas.len() > 1 {
             // sbx-lint: allow(raw-alloc, round handle list; pair data lives in pool buffers)
             let mut next = Vec::with_capacity(kpas.len().div_ceil(2));
@@ -634,6 +730,16 @@ impl Kpa {
     pub(crate) fn keys_mut_parts(&mut self) -> (&mut Vec<u64>, &mut Vec<u64>) {
         // PoolVec derefs to Vec<u64>; split borrows for the sorter.
         (&mut self.keys, &mut self.ptrs)
+    }
+
+    /// Swaps this KPA's pair buffers with equally-sized scratch buffers on
+    /// the *same tier* (the sorter's zero-copy "adopt the merge output"
+    /// move; the old buffers drop with the scratch handles).
+    pub(crate) fn swap_pair_bufs(&mut self, keys: &mut PoolVec, ptrs: &mut PoolVec) {
+        debug_assert_eq!(self.keys.len(), keys.len());
+        debug_assert_eq!(self.keys.kind(), keys.kind());
+        std::mem::swap(&mut self.keys, keys);
+        std::mem::swap(&mut self.ptrs, ptrs);
     }
 
     pub(crate) fn set_sorted(&mut self, sorted: bool) {

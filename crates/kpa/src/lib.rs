@@ -39,6 +39,7 @@ mod ctx;
 pub mod hash;
 mod join;
 mod kpa;
+pub mod mergepath;
 pub mod profile;
 mod reduce;
 mod sort;
@@ -47,3 +48,4 @@ pub use ctx::{ExecCtx, PrimGroup};
 pub use join::{join_sorted, JoinStats};
 pub use kpa::Kpa;
 pub use reduce::{agg, reduce_keyed, reduce_unkeyed_bundle, reduce_unkeyed_kpa, KeyGroup};
+pub use sbx_pool::WorkerPool;

@@ -1,20 +1,69 @@
-use std::ops::Range;
-
 use sbx_simmem::{AllocError, Priority};
 
 use crate::kpa::alloc_pair_bufs;
+use crate::mergepath::{self, RankBy, Run};
 use crate::{profile, ExecCtx, Kpa, PrimGroup};
+
+/// A unit of sorter work shipped to the worker pool. One pool scope
+/// services both phases of a sort: chunk jobs sort disjoint slices of the
+/// KPA in place and *return the borrows* so the orchestrating thread can
+/// re-read them as merge inputs; span jobs then k-way merge every chunk
+/// into one claimed slice of the scratch output (merge-path
+/// co-partitioning, see [`crate::mergepath`]).
+enum Job<'x> {
+    Chunk {
+        keys: &'x mut [u64],
+        ptrs: &'x mut [u64],
+    },
+    Span {
+        runs: Vec<Run<'x>>,
+        lo: Vec<usize>,
+        hi: Vec<usize>,
+        out_keys: &'x mut [u64],
+        out_ptrs: &'x mut [u64],
+    },
+}
+
+enum Out<'x> {
+    Chunk(&'x mut [u64], &'x mut [u64]),
+    Done,
+}
+
+fn run_job<'x>(job: Job<'x>) -> Out<'x> {
+    match job {
+        Job::Chunk { keys, ptrs } => {
+            crate::bitonic::sort_chunk(&mut keys[..], &mut ptrs[..]);
+            Out::Chunk(keys, ptrs)
+        }
+        Job::Span {
+            runs,
+            lo,
+            hi,
+            out_keys,
+            out_ptrs,
+        } => {
+            mergepath::merge_span(&runs, &lo, &hi, RankBy::Compound, out_keys, out_ptrs);
+            Out::Done
+        }
+    }
+}
 
 impl Kpa {
     /// **Sort** (Table 2): sorts the KPA by resident key with a
-    /// multi-threaded merge-sort (paper §4.2).
+    /// multi-threaded single-pass merge-sort (paper §4.2).
     ///
-    /// The input is split into `threads` chunks, each chunk is sorted by a
-    /// separate thread with an in-cache kernel (standing in for the paper's
-    /// hand-tuned AVX-512 bitonic sort), and the sorted chunks are then
-    /// merged pairwise in parallel rounds, ping-ponging between the KPA and
-    /// a scratch buffer allocated on the same tier (spilling to DRAM if the
-    /// tier is full).
+    /// The input is split into `threads` chunks, each sorted in place with
+    /// the in-cache bitonic kernel (one read+write pass), then all chunks
+    /// are merged KPA→scratch in *one* k-way pass: each worker
+    /// binary-searches the merge path to claim an equal output span, so
+    /// every thread cooperates on the single merge and no pairwise
+    /// ping-pong rounds (or serial final merge) remain. Scratch is
+    /// allocated on the KPA's tier (spilling to DRAM when full) and the
+    /// sorted scratch is adopted as the KPA's buffers; with `threads == 1`
+    /// the sort runs fully in place and allocates no scratch at all.
+    ///
+    /// The sort order is the *compound* `(key, ptr)` order, so the result
+    /// is byte-identical for every `threads` value.
     ///
     /// # Errors
     ///
@@ -28,164 +77,91 @@ impl Kpa {
         let threads = threads.clamp(1, n);
         let kind = self.kind();
 
-        // Scratch ping-pong buffers, capacity-accounted like the KPA itself.
-        let (mut sk, mut sp, _got) = alloc_pair_bufs(ctx.env(), n, kind, Priority::Normal)?;
+        if threads == 1 {
+            // Single run: sort in place, no scratch allocation, no merge.
+            let (keys, ptrs) = self.keys_mut_parts();
+            crate::bitonic::sort_chunk(keys, ptrs);
+            ctx.charge_as(PrimGroup::Sort, &profile::sort(n, kind));
+            self.set_sorted(true);
+            return Ok(());
+        }
+
+        // One scratch pair for the single merge pass (no ping-pong),
+        // capacity-accounted like the KPA itself.
+        let (mut sk, mut sp, got) = alloc_pair_bufs(ctx.env(), n, kind, Priority::Normal)?;
         sk.resize(n, 0);
         sp.resize(n, 0);
 
         {
+            let pool = ctx.pool();
             let (keys, ptrs) = self.keys_mut_parts();
-
-            // Phase 1: sort chunks in parallel.
             let chunk = n.div_ceil(threads);
-            // sbx-lint: allow(raw-alloc, per-thread run list; pair data stays in pool buffers)
-            let mut runs: Vec<Range<usize>> = Vec::with_capacity(threads);
-            {
-                // sbx-lint: allow(raw-alloc, per-thread job list of borrowed slices)
-                let mut jobs: Vec<(&mut [u64], &mut [u64])> = Vec::with_capacity(threads);
-                let (mut krest, mut prest) = (&mut keys[..], &mut ptrs[..]);
-                let mut start = 0usize;
-                while start < n {
-                    let len = chunk.min(n - start);
-                    let (kh, kt) = krest.split_at_mut(len);
-                    let (ph, pt) = prest.split_at_mut(len);
-                    jobs.push((kh, ph));
-                    krest = kt;
-                    prest = pt;
-                    runs.push(start..start + len);
-                    start += len;
-                }
-                std::thread::scope(|s| {
-                    for (kchunk, pchunk) in jobs {
-                        s.spawn(move || sort_chunk(kchunk, pchunk));
+            pool.scope(threads, run_job, |waves| {
+                // Phase 1: sort chunks in parallel, in place.
+                // sbx-lint: allow(raw-alloc, per-invocation job list of borrowed slices)
+                let mut jobs: Vec<Job<'_>> = Vec::with_capacity(threads);
+                {
+                    let (mut kr, mut pr) = (&mut keys[..], &mut ptrs[..]);
+                    while !kr.is_empty() {
+                        let len = chunk.min(kr.len());
+                        let (kh, kt) = kr.split_at_mut(len);
+                        let (ph, pt) = pr.split_at_mut(len);
+                        jobs.push(Job::Chunk { keys: kh, ptrs: ph });
+                        kr = kt;
+                        pr = pt;
                     }
-                });
-            }
+                }
+                // sbx-lint: allow(raw-alloc, per-invocation run list; pair data stays in pool buffers)
+                let mut runs: Vec<Run<'_>> = Vec::with_capacity(threads);
+                for out in waves.run(jobs) {
+                    if let Out::Chunk(k, p) = out {
+                        runs.push(Run { keys: k, ptrs: p });
+                    }
+                }
 
-            // Phase 2: pairwise parallel merge rounds.
-            let mut src_is_self = true;
-            while runs.len() > 1 {
-                let next_runs = {
-                    let (src_k, src_p, dst_k, dst_p): (&[u64], &[u64], &mut [u64], &mut [u64]) =
-                        if src_is_self {
-                            (keys, ptrs, &mut sk, &mut sp)
-                        } else {
-                            (&sk, &sp, keys, ptrs)
-                        };
-                    merge_round(src_k, src_p, dst_k, dst_p, &runs)
-                };
-                runs = next_runs;
-                src_is_self = !src_is_self;
-            }
-            if !src_is_self {
-                // Result ended up in scratch; move it home.
-                keys.copy_from_slice(&sk);
-                ptrs.copy_from_slice(&sp);
-            }
+                // Phase 2: one k-way merge pass, co-partitioned so every
+                // worker claims an equal span of the output.
+                let cuts = mergepath::plan_spans(&runs, RankBy::Compound, threads);
+                // sbx-lint: allow(raw-alloc, per-invocation span-job list of borrowed slices)
+                let mut spans: Vec<Job<'_>> = Vec::with_capacity(threads);
+                {
+                    let (mut okr, mut opr) = (&mut sk[..], &mut sp[..]);
+                    let mut done = 0usize;
+                    for p in 0..threads {
+                        let next = mergepath::span_rank(n, threads, p + 1);
+                        let len = next - done;
+                        let (kh, kt) = okr.split_at_mut(len);
+                        let (ph, pt) = opr.split_at_mut(len);
+                        spans.push(Job::Span {
+                            runs: runs.clone(),
+                            lo: cuts[p].clone(),
+                            hi: cuts[p + 1].clone(),
+                            out_keys: kh,
+                            out_ptrs: ph,
+                        });
+                        okr = kt;
+                        opr = pt;
+                        done = next;
+                    }
+                }
+                waves.run(spans);
+            });
+        }
+
+        if got == kind {
+            // Adopt the merged scratch as the KPA's buffers (zero copy).
+            self.swap_pair_bufs(&mut sk, &mut sp);
+        } else {
+            // Scratch spilled to another tier: copy home so the KPA stays
+            // where it was placed.
+            let (keys, ptrs) = self.keys_mut_parts();
+            keys.copy_from_slice(&sk);
+            ptrs.copy_from_slice(&sp);
         }
 
         ctx.charge_as(PrimGroup::Sort, &profile::sort(n, kind));
         self.set_sorted(true);
         Ok(())
-    }
-}
-
-/// Sorts one chunk of parallel key/pointer arrays by key, using the
-/// bitonic block kernel + block merges (paper §4.2).
-fn sort_chunk(keys: &mut [u64], ptrs: &mut [u64]) {
-    crate::bitonic::sort_chunk(keys, ptrs);
-}
-
-/// One round of pairwise merges from `src` into `dst`; returns the merged
-/// run boundaries. Unpaired trailing runs are copied through.
-fn merge_round(
-    src_k: &[u64],
-    src_p: &[u64],
-    dst_k: &mut [u64],
-    dst_p: &mut [u64],
-    runs: &[Range<usize>],
-) -> Vec<Range<usize>> {
-    struct Job<'a> {
-        a: Range<usize>,
-        b: Option<Range<usize>>,
-        dst_k: &'a mut [u64],
-        dst_p: &'a mut [u64],
-    }
-
-    // sbx-lint: allow(raw-alloc, per-round merge-job list of borrowed slices)
-    let mut jobs: Vec<Job<'_>> = Vec::with_capacity(runs.len().div_ceil(2));
-    // sbx-lint: allow(raw-alloc, per-round run list; pair data stays in pool buffers)
-    let mut out_runs = Vec::with_capacity(jobs.capacity());
-    {
-        let (mut krest, mut prest) = (dst_k, dst_p);
-        let mut i = 0;
-        while i < runs.len() {
-            let a = runs[i].clone();
-            let b = runs.get(i + 1).cloned();
-            let out_len = a.len() + b.as_ref().map_or(0, std::iter::ExactSizeIterator::len);
-            let out_start = a.start;
-            let (kh, kt) = krest.split_at_mut(out_len);
-            let (ph, pt) = prest.split_at_mut(out_len);
-            jobs.push(Job {
-                a,
-                b,
-                dst_k: kh,
-                dst_p: ph,
-            });
-            krest = kt;
-            prest = pt;
-            out_runs.push(out_start..out_start + out_len);
-            i += 2;
-        }
-    }
-
-    std::thread::scope(|s| {
-        for job in jobs {
-            s.spawn(move || match job.b {
-                Some(b) => merge_two(
-                    &src_k[job.a.clone()],
-                    &src_p[job.a.clone()],
-                    &src_k[b.clone()],
-                    &src_p[b],
-                    job.dst_k,
-                    job.dst_p,
-                ),
-                None => {
-                    job.dst_k.copy_from_slice(&src_k[job.a.clone()]);
-                    job.dst_p.copy_from_slice(&src_p[job.a]);
-                }
-            });
-        }
-    });
-
-    out_runs
-}
-
-fn merge_two(ak: &[u64], ap: &[u64], bk: &[u64], bp: &[u64], dk: &mut [u64], dp: &mut [u64]) {
-    let (mut i, mut j, mut o) = (0usize, 0usize, 0usize);
-    while i < ak.len() && j < bk.len() {
-        if ak[i] <= bk[j] {
-            dk[o] = ak[i];
-            dp[o] = ap[i];
-            i += 1;
-        } else {
-            dk[o] = bk[j];
-            dp[o] = bp[j];
-            j += 1;
-        }
-        o += 1;
-    }
-    while i < ak.len() {
-        dk[o] = ak[i];
-        dp[o] = ap[i];
-        i += 1;
-        o += 1;
-    }
-    while j < bk.len() {
-        dk[o] = bk[j];
-        dp[o] = bp[j];
-        j += 1;
-        o += 1;
     }
 }
 
@@ -256,6 +232,82 @@ mod tests {
     }
 
     #[test]
+    fn sort_output_is_bit_identical_across_thread_counts() {
+        use sbx_prng::SbxRng;
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut rng = SbxRng::seed_from_u64(99);
+        // Duplicate-heavy keys force tie-breaks onto the pointer order.
+        let keys: Vec<u64> = (0..5_000).map(|_| rng.random_range(0..50)).collect();
+        // Bundle IDs differ per KPA instance, so compare rows (unique per
+        // record and instance-independent) rather than packed refs.
+        let rows_of = |kpa: &Kpa| -> Vec<u64> {
+            (0..kpa.len())
+                .map(|i| u64::from(kpa.record_ref(i).row))
+                .collect()
+        };
+        let reference = {
+            let mut kpa = kpa_of(&env, &mut ctx, &keys);
+            kpa.sort(&mut ctx, 1).unwrap();
+            (kpa.keys().to_vec(), rows_of(&kpa))
+        };
+        for threads in [2usize, 4, 8] {
+            let mut kpa = kpa_of(&env, &mut ctx, &keys);
+            kpa.sort(&mut ctx, threads).unwrap();
+            assert_eq!(kpa.keys(), &reference.0[..], "keys, threads={threads}");
+            assert_eq!(rows_of(&kpa), reference.1, "pointers, threads={threads}");
+        }
+    }
+
+    #[test]
+    fn serial_sort_allocates_no_scratch() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut kpa = kpa_of(&env, &mut ctx, &[5, 3, 9, 1, 2, 8, 0, 7]);
+        let before = env.pool(MemKind::Hbm).used_bytes();
+        kpa.sort(&mut ctx, 1).unwrap();
+        assert_eq!(
+            env.pool(MemKind::Hbm).used_bytes(),
+            before,
+            "threads == 1 sorts in place without scratch buffers"
+        );
+        assert_eq!(kpa.keys(), &[0, 1, 2, 3, 5, 7, 8, 9]);
+    }
+
+    #[test]
+    fn parallel_sort_uses_one_scratch_pair() {
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut kpa = kpa_of(&env, &mut ctx, &[5, 3, 9, 1, 2, 8, 0, 7]);
+        let before = env.pool(MemKind::Hbm).used_bytes();
+        kpa.sort(&mut ctx, 4).unwrap();
+        // Freed buffers stay accounted in the pool's freelist cache, so the
+        // single scratch pair (== the KPA's own footprint) is the expected
+        // residue of a parallel sort.
+        assert_eq!(
+            env.pool(MemKind::Hbm).used_bytes() - before,
+            kpa.footprint_bytes(),
+            "exactly one cached scratch pair remains"
+        );
+    }
+
+    #[test]
+    fn sort_spills_scratch_but_keeps_kpa_on_its_tier() {
+        // HBM just fits the KPA (and not a second scratch pair).
+        let mut machine = MachineConfig::knl().scaled(0.01);
+        machine.hbm.capacity_bytes = 40 * 1024;
+        let env = MemEnv::new(machine);
+        let mut ctx = ExecCtx::new(&env);
+        let keys: Vec<u64> = (0..2000).rev().collect();
+        let mut kpa = kpa_of(&env, &mut ctx, &keys);
+        assert_eq!(kpa.kind(), MemKind::Hbm);
+        kpa.sort(&mut ctx, 4).unwrap();
+        assert_eq!(kpa.kind(), MemKind::Hbm, "KPA stays on its tier");
+        let expect: Vec<u64> = (0..2000).collect();
+        assert_eq!(kpa.keys(), &expect[..]);
+    }
+
+    #[test]
     fn sort_handles_tiny_inputs() {
         let env = env();
         let mut ctx = ExecCtx::new(&env);
@@ -289,7 +341,8 @@ mod tests {
         let parts_a = mk_parts(&mut ctx, 17);
         let parts_b = mk_parts(&mut ctx, 17);
 
-        let pairwise = Kpa::merge_many(&mut ctx, parts_a, MemKind::Hbm, Priority::Normal).unwrap();
+        let pairwise =
+            Kpa::merge_many_pairwise(&mut ctx, parts_a, MemKind::Hbm, Priority::Normal).unwrap();
         let kway = Kpa::merge_many_kway(&mut ctx, parts_b, MemKind::Hbm, Priority::Normal).unwrap();
         assert_eq!(pairwise.keys(), kway.keys());
         assert_eq!(pairwise.source_count(), kway.source_count());
@@ -338,19 +391,6 @@ mod tests {
         kpa.set_sorted(false);
         kpa.sort(&mut ctx, 2).unwrap();
         assert_eq!(kpa.value_at(0, Col(1)), 101);
-    }
-
-    #[test]
-    fn merge_two_handles_asymmetric_runs() {
-        let ak = [1u64, 4, 9];
-        let ap = [10u64, 40, 90];
-        let bk = [5u64];
-        let bp = [50u64];
-        let mut dk = [0u64; 4];
-        let mut dp = [0u64; 4];
-        merge_two(&ak, &ap, &bk, &bp, &mut dk, &mut dp);
-        assert_eq!(dk, [1, 4, 5, 9]);
-        assert_eq!(dp, [10, 40, 50, 90]);
     }
 
     const _: fn() = || {

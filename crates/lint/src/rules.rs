@@ -74,6 +74,7 @@ const ADHOC_IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "db
 /// the snapshot encode/persist path (barriers run on the data path).
 pub fn in_raw_alloc_scope(rel: &str) -> bool {
     rel.starts_with("crates/kpa/src/")
+        || rel.starts_with("crates/pool/src/")
         || rel == "crates/records/src/bundle.rs"
         || rel.starts_with("crates/core/src/ops/")
         || rel.starts_with("crates/checkpoint/src/")
@@ -84,6 +85,7 @@ pub fn in_hash_iter_scope(rel: &str) -> bool {
     [
         "crates/core/src/",
         "crates/kpa/src/",
+        "crates/pool/src/",
         "crates/simmem/src/",
         "crates/records/src/",
         "crates/checkpoint/src/",
@@ -98,6 +100,7 @@ pub fn in_no_panic_scope(rel: &str) -> bool {
     [
         "crates/core/src/",
         "crates/kpa/src/",
+        "crates/pool/src/",
         "crates/simmem/src/",
         "crates/checkpoint/src/",
         "crates/obs/src/",
@@ -403,6 +406,18 @@ mod tests {
     #[test]
     fn checkpoint_crate_is_in_all_engine_scopes() {
         let rel = "crates/checkpoint/src/lib.rs";
+        assert!(in_no_panic_scope(rel));
+        assert!(in_raw_alloc_scope(rel));
+        assert!(in_hash_iter_scope(rel));
+        let f = lint_source(rel, "fn f() { x.unwrap(); let v = it.collect(); }");
+        let rules = rules_of(&f);
+        assert!(rules.contains(&"no-panic"));
+        assert!(rules.contains(&"raw-alloc"));
+    }
+
+    #[test]
+    fn pool_crate_is_in_all_engine_scopes() {
+        let rel = "crates/pool/src/lib.rs";
         assert!(in_no_panic_scope(rel));
         assert!(in_raw_alloc_scope(rel));
         assert!(in_hash_iter_scope(rel));

@@ -1,0 +1,180 @@
+//! Randomized property tests for the merge-path co-partitioning machinery
+//! and the thread-count determinism of the kernels built on it.
+//!
+//! Cases come from a fixed-seed [`SbxRng`], so every run checks the same
+//! inputs (deterministic, offline-friendly).
+
+use sbx_prng::SbxRng;
+use streambox_hbm::kpa::mergepath::{
+    merge_runs_pooled, merge_runs_serial, plan_spans, span_rank, RankBy, Run,
+};
+use streambox_hbm::kpa::{join_sorted, ExecCtx, Kpa, WorkerPool};
+use streambox_hbm::prelude::*;
+
+const CASES: u64 = 32;
+
+fn env() -> MemEnv {
+    MemEnv::new(MachineConfig::knl().scaled(0.05))
+}
+
+/// Random sorted runs with duplicate-heavy keys. `by` controls whether
+/// runs are ordered by the compound `(key, ptr)` value or by key alone.
+fn random_runs(rng: &mut SbxRng, by: RankBy) -> Vec<(Vec<u64>, Vec<u64>)> {
+    let run_count = rng.random_range(1..7) as usize;
+    let key_space = 1 + rng.random_range(0..40);
+    (0..run_count)
+        .map(|_| {
+            let n = rng.random_range(0..500) as usize;
+            let mut pairs: Vec<(u64, u64)> = (0..n)
+                .map(|_| (rng.random_range(0..key_space), rng.random()))
+                .collect();
+            match by {
+                RankBy::Compound => pairs.sort_unstable(),
+                RankBy::Key => pairs.sort_unstable_by_key(|&(k, _)| k),
+            }
+            (
+                pairs.iter().map(|&(k, _)| k).collect(),
+                pairs.iter().map(|&(_, p)| p).collect(),
+            )
+        })
+        .collect()
+}
+
+fn as_runs(data: &[(Vec<u64>, Vec<u64>)]) -> Vec<Run<'_>> {
+    data.iter().map(|(k, p)| Run { keys: k, ptrs: p }).collect()
+}
+
+/// The span plan tiles the output exactly: cuts start at zero, end at the
+/// run lengths, never decrease, and every boundary's cut widths sum to its
+/// target output rank.
+#[test]
+fn spans_tile_the_output_exactly() {
+    let mut rng = SbxRng::seed_from_u64(0x6d70_0001);
+    for case in 0..CASES {
+        for by in [RankBy::Compound, RankBy::Key] {
+            let data = random_runs(&mut rng, by);
+            let runs = as_runs(&data);
+            let total: usize = runs.iter().map(Run::len).sum();
+            let parts = 1 + (rng.random_range(0..8) as usize);
+            let cuts = plan_spans(&runs, by, parts);
+            assert_eq!(cuts.len(), parts + 1, "case {case}");
+            assert!(cuts[0].iter().all(|&c| c == 0), "case {case}");
+            for (r, run) in runs.iter().enumerate() {
+                assert_eq!(cuts[parts][r], run.len(), "case {case} run {r}");
+            }
+            for p in 0..=parts {
+                let sum: usize = cuts[p].iter().sum();
+                assert_eq!(sum, span_rank(total, parts, p), "case {case} row {p}");
+                if p > 0 {
+                    for (r, &c) in cuts[p].iter().enumerate() {
+                        assert!(c >= cuts[p - 1][r], "case {case} row {p} run {r}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The pooled partitioned merge produces byte-identical output to the
+/// serial k-way merge oracle at every width, in both rank orders.
+#[test]
+fn pooled_merge_matches_serial_oracle() {
+    let mut rng = SbxRng::seed_from_u64(0x6d70_0002);
+    let pool = WorkerPool::new(8);
+    for case in 0..CASES {
+        for by in [RankBy::Compound, RankBy::Key] {
+            let data = random_runs(&mut rng, by);
+            let runs = as_runs(&data);
+            let total: usize = runs.iter().map(Run::len).sum();
+            let mut want_k = vec![0u64; total];
+            let mut want_p = vec![0u64; total];
+            merge_runs_serial(&runs, by, &mut want_k, &mut want_p);
+            for width in [1usize, 2, 3, 5, 8] {
+                let mut got_k = vec![0u64; total];
+                let mut got_p = vec![0u64; total];
+                merge_runs_pooled(&pool, width, &runs, by, &mut got_k, &mut got_p);
+                assert_eq!(got_k, want_k, "case {case} width {width} keys");
+                assert_eq!(got_p, want_p, "case {case} width {width} ptrs");
+            }
+        }
+    }
+}
+
+fn kpa_from_keys(env: &MemEnv, ctx: &mut ExecCtx, keys: &[u64]) -> Kpa {
+    let rows: Vec<u64> = keys
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &k)| [k, i as u64, 0])
+        .collect();
+    let b = RecordBundle::from_rows(env, Schema::kvt(), &rows).expect("fits");
+    Kpa::extract(ctx, &b, Col(0), MemKind::Hbm, Priority::Normal).expect("fits")
+}
+
+/// `Kpa::sort` is bit-identical across thread counts: identical keys and
+/// identical referenced rows at every position, for duplicate-heavy and
+/// uniform key distributions alike.
+#[test]
+fn sort_is_deterministic_across_thread_counts() {
+    let mut rng = SbxRng::seed_from_u64(0x6d70_0003);
+    for case in 0..12u64 {
+        let n = rng.random_range(1..4_000) as usize;
+        let key_space = 1 + rng.random_range(0..100);
+        let keys: Vec<u64> = (0..n).map(|_| rng.random_range(0..key_space)).collect();
+
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut reference = kpa_from_keys(&env, &mut ctx, &keys);
+        reference.sort(&mut ctx, 1).expect("sort");
+        let want: Vec<(u64, u32)> = (0..reference.len())
+            .map(|i| (reference.keys()[i], reference.record_ref(i).row))
+            .collect();
+
+        for threads in [2usize, 3, 5, 8] {
+            let mut ctx = ExecCtx::with_pool(&env, WorkerPool::new(threads));
+            let mut kpa = kpa_from_keys(&env, &mut ctx, &keys);
+            kpa.sort(&mut ctx, threads).expect("sort");
+            let got: Vec<(u64, u32)> = (0..kpa.len())
+                .map(|i| (kpa.keys()[i], kpa.record_ref(i).row))
+                .collect();
+            assert_eq!(got, want, "case {case} threads {threads}");
+        }
+    }
+}
+
+/// The partitioned join emits exactly the serial emission sequence at
+/// every pool width.
+#[test]
+fn partitioned_join_preserves_emission_order() {
+    let mut rng = SbxRng::seed_from_u64(0x6d70_0004);
+    for case in 0..12u64 {
+        let key_space = 1 + rng.random_range(0..30);
+        let ln = rng.random_range(0..800) as usize;
+        let rn = rng.random_range(0..800) as usize;
+        let mut lkeys: Vec<u64> = (0..ln).map(|_| rng.random_range(0..key_space)).collect();
+        let mut rkeys: Vec<u64> = (0..rn).map(|_| rng.random_range(0..key_space)).collect();
+        lkeys.sort_unstable();
+        rkeys.sort_unstable();
+
+        let env = env();
+        let mut ctx = ExecCtx::new(&env);
+        let mut left = kpa_from_keys(&env, &mut ctx, &lkeys);
+        let mut right = kpa_from_keys(&env, &mut ctx, &rkeys);
+        left.sort(&mut ctx, 1).expect("sort");
+        right.sort(&mut ctx, 1).expect("sort");
+
+        let mut want = Vec::new();
+        let want_stats = join_sorted(&mut ctx, &left, &right, 32, |_, li, _, ri| {
+            want.push((li, ri));
+        });
+
+        for width in [2usize, 4, 7] {
+            let mut ctx = ExecCtx::with_pool(&env, WorkerPool::new(width));
+            let mut got = Vec::new();
+            let stats = join_sorted(&mut ctx, &left, &right, 32, |_, li, _, ri| {
+                got.push((li, ri));
+            });
+            assert_eq!(stats, want_stats, "case {case} width {width}");
+            assert_eq!(got, want, "case {case} width {width}");
+        }
+    }
+}
