@@ -27,6 +27,7 @@ pub mod harness;
 pub mod kernel_scaling;
 pub mod obs_overhead;
 pub mod table;
+pub mod trajectory;
 
 /// Core counts used on the x-axis of the paper's sweeps.
 pub const CORE_SWEEP: [u32; 5] = [2, 16, 32, 48, 64];

@@ -1,0 +1,663 @@
+//! Bench trajectory: persisted performance snapshots with a regression
+//! gate (DESIGN.md §10).
+//!
+//! `sbx-bench trajectory` (the `benches/trajectory.rs` target) runs a fixed
+//! set of scenarios — YSB end-to-end at two core counts plus the modelled
+//! kernel pass-bytes — and writes the resulting metrics to the next
+//! `BENCH_<n>.json` in the trajectory directory. Before writing, it
+//! compares against the highest existing snapshot and **fails on
+//! regression**: simulated metrics are deterministic (every value descends
+//! from the simulated clock or accounted byte counters and round-trips
+//! bit-exactly through the JSON encoding), so they are compared exactly by
+//! direction; optional host wall-clock metrics get a wide noise band.
+//!
+//! The file is a valid JSON array but is written and parsed line-wise (one
+//! flat object per line) so the dependency-free `sbx_obs::json` parser can
+//! read it back.
+
+use std::path::{Path, PathBuf};
+
+use sbx_engine::{benchmarks, Engine, RunConfig};
+use sbx_ingress::{NicModel, SenderConfig, YsbSource};
+use sbx_obs::json::{fmt_f64, parse_flat_object, write_str, JsonValue};
+use sbx_obs::Obs;
+use sbx_simmem::MachineConfig;
+
+use crate::kernel_scaling;
+
+/// Trajectory file schema version; bumped when scenarios or metric
+/// definitions change incompatibly (older files are then only noted, not
+/// compared).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Relative noise band for host wall-clock metrics ([`Direction::Host`]):
+/// a regression only when the new value exceeds the old by more than this
+/// fraction.
+pub const HOST_NOISE_BAND: f64 = 0.5;
+
+/// How a metric's change maps to regression/improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better (e.g. throughput); any exact decrease regresses.
+    Higher,
+    /// Lower is better (e.g. simulated latency); any exact increase
+    /// regresses.
+    Lower,
+    /// Deterministic output (e.g. record counts); any change regresses.
+    Exact,
+    /// Host wall-clock, lower is better, compared with [`HOST_NOISE_BAND`].
+    Host,
+}
+
+impl Direction {
+    /// Stable serialization tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+            Direction::Exact => "exact",
+            Direction::Host => "host",
+        }
+    }
+
+    /// Parses a serialization tag.
+    pub fn from_tag(tag: &str) -> Option<Direction> {
+        match tag {
+            "higher" => Some(Direction::Higher),
+            "lower" => Some(Direction::Lower),
+            "exact" => Some(Direction::Exact),
+            "host" => Some(Direction::Host),
+            _ => None,
+        }
+    }
+}
+
+/// One measured value of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Scenario key (e.g. `ysb_c8`).
+    pub scenario: String,
+    /// Metric name within the scenario (e.g. `throughput_mrps`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Regression semantics.
+    pub direction: Direction,
+}
+
+/// A full trajectory snapshot: what one `BENCH_<n>.json` holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Schema version of the snapshot.
+    pub schema: u64,
+    /// Kernel-cost handicap the snapshot was taken with (1 = nominal).
+    pub cost_scale: f64,
+    /// All metrics, in scenario order.
+    pub metrics: Vec<Metric>,
+}
+
+impl Trajectory {
+    /// Serializes the snapshot as a line-wise JSON array (see module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"schema\":{},\"cost_scale\":{}}}",
+            self.schema,
+            fmt_f64(self.cost_scale)
+        ));
+        for m in &self.metrics {
+            out.push_str(",\n{\"type\":\"metric\",\"scenario\":");
+            write_str(&m.scenario, &mut out);
+            out.push_str(",\"name\":");
+            write_str(&m.name, &mut out);
+            out.push_str(&format!(
+                ",\"value\":{},\"direction\":\"{}\"}}",
+                fmt_f64(m.value),
+                m.direction.tag()
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Parses a snapshot written by [`Trajectory::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse_json(text: &str) -> Result<Trajectory, String> {
+        let mut schema = 0u64;
+        let mut cost_scale = 1.0f64;
+        let mut metrics = Vec::new();
+        for (line_no, raw) in text.lines().enumerate() {
+            let line = raw.trim().trim_start_matches(',');
+            let line = line.strip_suffix(',').unwrap_or(line).trim();
+            if line.is_empty() || line == "[" || line == "]" {
+                continue;
+            }
+            let pairs =
+                parse_flat_object(line).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+            let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let str_of = |key: &str| {
+                get(key)
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or_default()
+                    .to_owned()
+            };
+            match str_of("type").as_str() {
+                "meta" => {
+                    schema = get("schema").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+                    cost_scale = get("cost_scale").and_then(JsonValue::as_f64).unwrap_or(1.0);
+                }
+                "metric" => {
+                    let dir = str_of("direction");
+                    metrics.push(Metric {
+                        scenario: str_of("scenario"),
+                        name: str_of("name"),
+                        value: get("value").and_then(JsonValue::as_f64).unwrap_or(0.0),
+                        direction: Direction::from_tag(&dir).ok_or_else(|| {
+                            format!("line {}: bad direction {dir:?}", line_no + 1)
+                        })?,
+                    });
+                }
+                other => return Err(format!("line {}: unknown type {other:?}", line_no + 1)),
+            }
+        }
+        Ok(Trajectory {
+            schema,
+            cost_scale,
+            metrics,
+        })
+    }
+
+    /// Looks up a metric by scenario and name.
+    pub fn metric(&self, scenario: &str, name: &str) -> Option<&Metric> {
+        self.metrics
+            .iter()
+            .find(|m| m.scenario == scenario && m.name == name)
+    }
+}
+
+/// Configuration of one trajectory run.
+#[derive(Debug, Clone)]
+pub struct TrajectoryConfig {
+    /// Directory holding `BENCH_<n>.json` files (the repository root in CI).
+    pub dir: PathBuf,
+    /// Also run host wall-clock kernel scenarios (off by default: host time
+    /// is noisy, and without it the snapshot is byte-deterministic).
+    pub include_host: bool,
+    /// Kernel-cost handicap: the modelled core clock is divided by this, so
+    /// `2.0` emulates every CPU-cycle cost constant being inflated 2×. The
+    /// regression tests use this to prove the comparator catches slowdowns.
+    pub cost_scale: f64,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            dir: PathBuf::from("."),
+            include_host: false,
+            cost_scale: 1.0,
+        }
+    }
+}
+
+/// YSB core counts the trajectory sweeps.
+pub const YSB_CORES: [u32; 2] = [8, 32];
+
+const YSB_BUNDLES: usize = 30;
+
+fn ysb_scenario(cores: u32, cost_scale: f64) -> Result<Vec<Metric>, String> {
+    let mut machine = MachineConfig::knl();
+    // The handicap makes every modelled CPU cycle `cost_scale`× longer —
+    // exactly what an accidentally inflated kernel cost constant would do.
+    machine.core_ghz /= cost_scale.max(1e-9);
+    let obs = Obs::metrics_only();
+    let cfg = RunConfig {
+        machine,
+        cores,
+        sender: SenderConfig {
+            bundle_rows: 20_000,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        obs: obs.clone(),
+        ..RunConfig::default()
+    };
+    let report = Engine::new(cfg)
+        .run(
+            YsbSource::new(7, 10_000, 1_000, 10_000_000),
+            benchmarks::ysb(1_000),
+            YSB_BUNDLES,
+        )
+        .map_err(|e| format!("ysb at {cores} cores failed: {e:?}"))?;
+    let dump = obs.metrics.snapshot();
+    let scenario = format!("ysb_c{cores}");
+    let m = |name: &str, value: f64, direction: Direction| Metric {
+        scenario: scenario.clone(),
+        name: name.to_owned(),
+        value,
+        direction,
+    };
+    Ok(vec![
+        m(
+            "throughput_mrps",
+            report.throughput_mrps(),
+            Direction::Higher,
+        ),
+        m("sim_secs", report.sim_secs, Direction::Lower),
+        m(
+            "output_records",
+            report.output_records as f64,
+            Direction::Exact,
+        ),
+        m(
+            "windows_closed",
+            report.windows_closed as f64,
+            Direction::Exact,
+        ),
+        m(
+            "max_output_delay_secs",
+            report.max_output_delay_secs,
+            Direction::Lower,
+        ),
+        m(
+            "p99_output_delay_secs",
+            report.p99_output_delay_secs,
+            Direction::Lower,
+        ),
+        m(
+            "hbm_pass_bytes",
+            dump.counter("bw.hbm.total_bytes").unwrap_or(0) as f64,
+            Direction::Lower,
+        ),
+        m(
+            "dram_pass_bytes",
+            dump.counter("bw.dram.total_bytes").unwrap_or(0) as f64,
+            Direction::Lower,
+        ),
+        m(
+            "hbm_peak_used_bytes",
+            report.hbm_peak_used_bytes as f64,
+            Direction::Lower,
+        ),
+    ])
+}
+
+fn kernel_model_scenario() -> Vec<Metric> {
+    let (sort_old, sort_new, merge_old, merge_new) = kernel_scaling::modelled_pass_bytes();
+    let m = |name: &str, value: f64| Metric {
+        scenario: "kernel_model".to_owned(),
+        name: name.to_owned(),
+        value,
+        direction: Direction::Lower,
+    };
+    vec![
+        m("sort_multipass_mb", sort_old),
+        m("sort_mergepath_mb", sort_new),
+        m("merge_multipass_mb", merge_old),
+        m("merge_kway_mb", merge_new),
+    ]
+}
+
+fn host_scenario() -> Vec<Metric> {
+    let (sort_ms, merge_ms, join_ms) = kernel_scaling::measure_width(4);
+    let m = |name: &str, value: f64| Metric {
+        scenario: "host_kernels_w4".to_owned(),
+        name: name.to_owned(),
+        value,
+        direction: Direction::Host,
+    };
+    vec![
+        m("host_sort_ms", sort_ms),
+        m("host_merge_ms", merge_ms),
+        m("host_join_ms", join_ms),
+    ]
+}
+
+/// Runs every scenario of `cfg` and returns the snapshot (not yet written).
+///
+/// # Errors
+///
+/// Returns a message if a scenario's engine run fails.
+pub fn collect(cfg: &TrajectoryConfig) -> Result<Trajectory, String> {
+    let mut metrics = Vec::new();
+    for cores in YSB_CORES {
+        metrics.extend(ysb_scenario(cores, cfg.cost_scale)?);
+    }
+    metrics.extend(kernel_model_scenario());
+    if cfg.include_host {
+        metrics.extend(host_scenario());
+    }
+    Ok(Trajectory {
+        schema: SCHEMA_VERSION,
+        cost_scale: cfg.cost_scale,
+        metrics,
+    })
+}
+
+/// Result of comparing a new snapshot against its predecessor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Comparison {
+    /// Regressions (gate failures), one line each.
+    pub regressions: Vec<String>,
+    /// Improvements, one line each (informational).
+    pub improvements: Vec<String>,
+    /// Notes: new/renamed metrics, schema changes.
+    pub notes: Vec<String>,
+}
+
+impl Comparison {
+    /// True if the gate passes (no regressions).
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the comparison as a deterministic text block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.regressions {
+            out.push_str(&format!("REGRESSION  {r}\n"));
+        }
+        for i in &self.improvements {
+            out.push_str(&format!("improvement {i}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note        {n}\n"));
+        }
+        if self.regressions.is_empty() && self.improvements.is_empty() {
+            out.push_str("no metric moved: trajectory is bit-stable\n");
+        }
+        out
+    }
+}
+
+/// Compares `cur` against the earlier snapshot `prev`. Simulated metrics
+/// compare exactly by direction; [`Direction::Host`] metrics use
+/// [`HOST_NOISE_BAND`]. A metric present in `prev` but missing from `cur`
+/// is a regression (lost coverage); a new metric is a note.
+pub fn compare(prev: &Trajectory, cur: &Trajectory) -> Comparison {
+    let mut cmp = Comparison::default();
+    if prev.schema != cur.schema {
+        cmp.notes.push(format!(
+            "schema changed {} -> {}: snapshots are not comparable, skipping metric checks",
+            prev.schema, cur.schema
+        ));
+        return cmp;
+    }
+    if prev.cost_scale != cur.cost_scale {
+        cmp.notes.push(format!(
+            "cost_scale differs ({} -> {}): comparing anyway",
+            fmt_f64(prev.cost_scale),
+            fmt_f64(cur.cost_scale)
+        ));
+    }
+    for p in &prev.metrics {
+        let key = format!("{}.{}", p.scenario, p.name);
+        let Some(c) = cur.metric(&p.scenario, &p.name) else {
+            cmp.regressions.push(format!(
+                "{key}: metric disappeared (was {})",
+                fmt_f64(p.value)
+            ));
+            continue;
+        };
+        let moved = format!("{key}: {} -> {}", fmt_f64(p.value), fmt_f64(c.value));
+        match p.direction {
+            Direction::Exact => {
+                if c.value != p.value {
+                    cmp.regressions.push(format!("{moved} (expected exact)"));
+                }
+            }
+            Direction::Higher => {
+                if c.value < p.value {
+                    cmp.regressions.push(moved);
+                } else if c.value > p.value {
+                    cmp.improvements.push(moved);
+                }
+            }
+            Direction::Lower => {
+                if c.value > p.value {
+                    cmp.regressions.push(moved);
+                } else if c.value < p.value {
+                    cmp.improvements.push(moved);
+                }
+            }
+            Direction::Host => {
+                if c.value > p.value * (1.0 + HOST_NOISE_BAND) {
+                    cmp.regressions
+                        .push(format!("{moved} (beyond {HOST_NOISE_BAND:.0?} host band)"));
+                } else if c.value < p.value / (1.0 + HOST_NOISE_BAND) {
+                    cmp.improvements.push(moved);
+                }
+            }
+        }
+    }
+    for c in &cur.metrics {
+        if prev.metric(&c.scenario, &c.name).is_none() {
+            cmp.notes.push(format!(
+                "new metric {}.{} = {}",
+                c.scenario,
+                c.name,
+                fmt_f64(c.value)
+            ));
+        }
+    }
+    cmp
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in `dir`, if any.
+///
+/// # Errors
+///
+/// Returns a message if `dir` cannot be read.
+pub fn latest_in(dir: &Path) -> Result<Option<(u64, PathBuf)>, String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {dir:?}: {e}"))?;
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(num) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let Ok(n) = num.parse::<u64>() else { continue };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, entry.path()));
+        }
+    }
+    Ok(best)
+}
+
+/// Outcome of one trajectory run: where the snapshot landed and how it
+/// compared to its predecessor.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Path of the snapshot written by this run.
+    pub path: PathBuf,
+    /// Its index `n` in `BENCH_<n>.json`.
+    pub index: u64,
+    /// Index of the predecessor compared against, if one existed.
+    pub compared_to: Option<u64>,
+    /// The comparison (empty when there was no predecessor).
+    pub comparison: Comparison,
+    /// The snapshot itself.
+    pub trajectory: Trajectory,
+}
+
+impl Outcome {
+    /// True if the regression gate passes.
+    pub fn is_ok(&self) -> bool {
+        self.comparison.is_ok()
+    }
+
+    /// Renders a deterministic summary (paths aside) of the run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "trajectory snapshot {} ({} metrics)",
+            self.path.display(),
+            self.trajectory.metrics.len()
+        ));
+        match self.compared_to {
+            Some(prev) => out.push_str(&format!(", compared against BENCH_{prev}.json:\n")),
+            None => out.push_str(", no predecessor to compare against\n"),
+        }
+        if self.compared_to.is_some() {
+            out.push_str(&self.comparison.render());
+        }
+        out.push_str(if self.is_ok() {
+            "trajectory gate: PASS\n"
+        } else {
+            "trajectory gate: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Runs the scenarios, compares against the latest existing snapshot in
+/// `cfg.dir`, writes the next `BENCH_<n>.json`, and returns the outcome.
+/// The snapshot is written even when the gate fails, so the failing point
+/// is preserved for inspection.
+///
+/// # Errors
+///
+/// Returns a message on scenario failure or filesystem errors.
+pub fn run(cfg: &TrajectoryConfig) -> Result<Outcome, String> {
+    let cur = collect(cfg)?;
+    let prev = latest_in(&cfg.dir)?;
+    let (index, compared_to, comparison) = match &prev {
+        Some((n, path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+            let prev_traj = Trajectory::parse_json(&text)?;
+            (n + 1, Some(*n), compare(&prev_traj, &cur))
+        }
+        None => (1, None, Comparison::default()),
+    };
+    let path = cfg.dir.join(format!("BENCH_{index}.json"));
+    std::fs::write(&path, cur.to_json()).map_err(|e| format!("write {path:?}: {e}"))?;
+    Ok(Outcome {
+        path,
+        index,
+        compared_to,
+        comparison,
+        trajectory: cur,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(scenario: &str, name: &str, value: f64, direction: Direction) -> Metric {
+        Metric {
+            scenario: scenario.to_owned(),
+            name: name.to_owned(),
+            value,
+            direction,
+        }
+    }
+
+    fn snapshot(values: &[(&str, &str, f64, Direction)]) -> Trajectory {
+        Trajectory {
+            schema: SCHEMA_VERSION,
+            cost_scale: 1.0,
+            metrics: values
+                .iter()
+                .map(|(s, n, v, d)| metric(s, n, *v, *d))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let t = snapshot(&[
+            ("ysb_c8", "throughput_mrps", 1.0 / 3.0, Direction::Higher),
+            ("ysb_c8", "sim_secs", 5e-324, Direction::Lower),
+            ("kernel_model", "sort_mergepath_mb", 16.0, Direction::Lower),
+            ("host_kernels_w4", "host_sort_ms", 12.5, Direction::Host),
+        ]);
+        let text = t.to_json();
+        assert!(text.starts_with("[\n") && text.ends_with("]\n"));
+        assert_eq!(Trajectory::parse_json(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn identical_snapshots_pass_bit_stable() {
+        let t = snapshot(&[("s", "a", 1.5, Direction::Higher)]);
+        let cmp = compare(&t, &t.clone());
+        assert!(cmp.is_ok());
+        assert!(cmp.render().contains("bit-stable"));
+    }
+
+    #[test]
+    fn direction_semantics_drive_the_gate() {
+        let prev = snapshot(&[
+            ("s", "up", 10.0, Direction::Higher),
+            ("s", "down", 10.0, Direction::Lower),
+            ("s", "fixed", 10.0, Direction::Exact),
+        ]);
+        // Higher got lower, Lower got higher, Exact changed: 3 regressions.
+        let worse = snapshot(&[
+            ("s", "up", 9.0, Direction::Higher),
+            ("s", "down", 11.0, Direction::Lower),
+            ("s", "fixed", 10.5, Direction::Exact),
+        ]);
+        assert_eq!(compare(&prev, &worse).regressions.len(), 3);
+        // Higher got higher, Lower got lower: improvements, Exact equal.
+        let better = snapshot(&[
+            ("s", "up", 11.0, Direction::Higher),
+            ("s", "down", 9.0, Direction::Lower),
+            ("s", "fixed", 10.0, Direction::Exact),
+        ]);
+        let cmp = compare(&prev, &better);
+        assert!(cmp.is_ok());
+        assert_eq!(cmp.improvements.len(), 2);
+    }
+
+    #[test]
+    fn host_metrics_get_a_noise_band() {
+        let prev = snapshot(&[("h", "host_ms", 10.0, Direction::Host)]);
+        // +40% is inside the band; +60% is not.
+        let noisy = snapshot(&[("h", "host_ms", 14.0, Direction::Host)]);
+        assert!(compare(&prev, &noisy).is_ok());
+        let slow = snapshot(&[("h", "host_ms", 16.0, Direction::Host)]);
+        assert!(!compare(&prev, &slow).is_ok());
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression_and_new_is_a_note() {
+        let prev = snapshot(&[("s", "a", 1.0, Direction::Exact)]);
+        let cur = snapshot(&[("s", "b", 2.0, Direction::Exact)]);
+        let cmp = compare(&prev, &cur);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(cmp.regressions[0].contains("disappeared"));
+        assert_eq!(cmp.notes.len(), 1);
+        assert!(cmp.notes[0].contains("new metric"));
+    }
+
+    #[test]
+    fn schema_mismatch_skips_comparison() {
+        let mut prev = snapshot(&[("s", "a", 1.0, Direction::Exact)]);
+        prev.schema = SCHEMA_VERSION + 1;
+        let cur = snapshot(&[("s", "a", 2.0, Direction::Exact)]);
+        let cmp = compare(&prev, &cur);
+        assert!(cmp.is_ok());
+        assert!(cmp.notes[0].contains("schema changed"));
+    }
+
+    #[test]
+    fn latest_in_picks_the_highest_index() {
+        let dir = std::env::temp_dir().join("sbx_traj_latest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for n in [1u64, 2, 10] {
+            std::fs::write(dir.join(format!("BENCH_{n}.json")), "[\n]\n").unwrap();
+        }
+        std::fs::write(dir.join("BENCH_x.json"), "junk").unwrap();
+        let (n, path) = latest_in(&dir).unwrap().unwrap();
+        assert_eq!(n, 10);
+        assert!(path.ends_with("BENCH_10.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

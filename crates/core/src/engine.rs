@@ -100,6 +100,9 @@ pub struct Engine {
     /// Shared id counter for replay tasks and trace spans: when both are
     /// recorded, a span and its task share one identity.
     next_task: u64,
+    /// Watermark round currently being accumulated (0-based); stamped onto
+    /// spans so traces align with the per-round series.
+    cur_round: u64,
     /// Run-level instruments; always live so report statistics derive from
     /// them (see [`crate::observe`]).
     rm: RunMetrics,
@@ -123,6 +126,7 @@ impl Engine {
             pool,
             trace: Vec::new(),
             next_task: 0,
+            cur_round: 0,
             rm,
             op_metrics: Vec::new(),
         }
@@ -331,6 +335,11 @@ impl Engine {
             .machine()
             .spec(MemKind::Dram)
             .bandwidth_bytes_per_sec;
+        let hbm_bw_limit = self
+            .env
+            .machine()
+            .spec(MemKind::Hbm)
+            .bandwidth_bytes_per_sec;
 
         self.op_metrics = OpMetrics::for_pipeline(&self.cfg.obs.metrics, &pipeline);
 
@@ -401,6 +410,11 @@ impl Engine {
         // batch, letting the stateless pipeline prefix run on parallel
         // worker threads (the paper's data parallelism across bundles).
         let mut batch: Vec<(Message, ImpactTag)> = Vec::new();
+
+        // Cumulative event counters at the previous round boundary, so the
+        // tier timeline carries per-round deltas.
+        let mut prev_spills = self.rm.spills.get();
+        let mut prev_knob_moves = self.rm.knob_moves_total();
 
         loop {
             let ev = feed()?;
@@ -613,6 +627,30 @@ impl Engine {
                 {
                     self.rm.note_knob_move(mv);
                 }
+                // Memory-tier timeline point (after the balancer update so
+                // the round's own knob move is part of its delta).
+                let hpool = self.env.pool(MemKind::Hbm);
+                let dpool = self.env.pool(MemKind::Dram);
+                let spills_now = self.rm.spills.get();
+                let knob_moves_now = self.rm.knob_moves_total();
+                self.rm.record_tier(&sbx_obs::TierPoint {
+                    at_secs: sample.at_secs,
+                    hbm_live_bytes: hpool.live_bytes() as f64,
+                    hbm_used_bytes: sample.hbm_used_bytes as f64,
+                    hbm_occupancy: hbm_usage,
+                    dram_live_bytes: dpool.live_bytes() as f64,
+                    dram_used_bytes: dpool.used_bytes() as f64,
+                    dram_occupancy: dpool.usage(),
+                    hbm_bw_util: hbm_bw / hbm_bw_limit,
+                    dram_bw_util: dram_bw / dram_bw_limit,
+                    spills: spills_now.saturating_sub(prev_spills) as f64,
+                    knob_moves: knob_moves_now.saturating_sub(prev_knob_moves) as f64,
+                    k_low: self.balancer.knob().k_low,
+                    k_high: self.balancer.knob().k_high,
+                });
+                prev_spills = spills_now;
+                prev_knob_moves = knob_moves_now;
+                self.cur_round += 1;
                 round = Round::default();
                 self.crash_check(hooks, CrashPhase::RoundEnd, cur_epoch, bundles_in)?;
             }
@@ -628,14 +666,18 @@ impl Engine {
         } else {
             0.0
         };
-        // Fold the allocator's high-water mark into the usage gauge: it
-        // bounds every per-round sample, so the gauge max is exact even for
-        // peaks hit mid-round (or runs with no completed round).
+        // Final quiescent usage sample: every round boundary already set the
+        // gauge, but a run with no completed round would otherwise report
+        // zero. Deliberately NOT the allocator's `high_water_bytes`: that
+        // mark is taken mid-flight while kernel workers allocate scratch
+        // concurrently, so it varies with host thread interleaving, whereas
+        // round-boundary `used_bytes` totals are deterministic.
         self.rm
             .hbm_used
-            .set(self.env.pool(MemKind::Hbm).stats().high_water_bytes as f64);
+            .set(self.env.pool(MemKind::Hbm).used_bytes() as f64);
         // Peak and delay statistics derive from the run instruments — the
         // same values the metrics export carries.
+        let [p50_delay, p95_delay, p99_delay] = self.rm.output_delay.percentiles();
         Ok(RunReport {
             records_in,
             bundles_in,
@@ -648,6 +690,9 @@ impl Engine {
             hbm_peak_used_bytes: self.rm.hbm_used.max() as u64,
             max_output_delay_secs: self.rm.output_delay.max(),
             avg_output_delay_secs: self.rm.output_delay.mean(),
+            p50_output_delay_secs: p50_delay,
+            p95_output_delay_secs: p95_delay,
+            p99_output_delay_secs: p99_delay,
             samples,
             outputs,
             trace: std::mem::take(&mut self.trace),
@@ -762,6 +807,7 @@ impl Engine {
                             name: op_name,
                             cat,
                             lane: op_index as u64,
+                            round: self.cur_round,
                             start_ns: avail_ns,
                             dur_ns,
                             records_in: data_len as u64,

@@ -44,12 +44,21 @@ pub struct RunReport {
     pub peak_hbm_bw_gbps: f64,
     /// Peak DRAM bandwidth over any round, GB/s.
     pub peak_dram_bw_gbps: f64,
-    /// High-water HBM usage in bytes.
+    /// Peak HBM usage in bytes, sampled at round boundaries (quiescent
+    /// points, so the value is deterministic across same-seed runs; the
+    /// allocator's mid-flight high-water mark is intentionally not used —
+    /// it races with concurrent kernel-worker scratch allocations).
     pub hbm_peak_used_bytes: u64,
     /// Worst window-close output delay, seconds.
     pub max_output_delay_secs: f64,
     /// Mean window-close output delay, seconds.
     pub avg_output_delay_secs: f64,
+    /// Median window-close output delay, seconds (histogram estimate).
+    pub p50_output_delay_secs: f64,
+    /// 95th-percentile window-close output delay, seconds.
+    pub p95_output_delay_secs: f64,
+    /// 99th-percentile window-close output delay, seconds.
+    pub p99_output_delay_secs: f64,
     /// Per-round monitor samples (Figure 10's time series).
     pub samples: Vec<RoundSample>,
     /// Sink output bundles (only when `collect_outputs` was set).
@@ -103,6 +112,9 @@ mod tests {
             hbm_peak_used_bytes: 1 << 20,
             max_output_delay_secs: 0.8,
             avg_output_delay_secs: 0.5,
+            p50_output_delay_secs: 0.5,
+            p95_output_delay_secs: 0.75,
+            p99_output_delay_secs: 0.8,
             samples: Vec::new(),
             outputs: Vec::new(),
             trace: Vec::new(),

@@ -13,7 +13,10 @@
 //! run is exported.
 
 use sbx_kpa::PrimGroup;
-use sbx_obs::{Counter, Gauge, Histogram, MetricsDump, MetricsRegistry, Series};
+use sbx_obs::{
+    Counter, Gauge, Histogram, MetricsDump, MetricsRegistry, Series, TierPoint, TIER_FIELDS,
+    TIER_SERIES,
+};
 
 use crate::balancer::KnobMove;
 use crate::{ImpactTag, Pipeline, RoundSample};
@@ -51,13 +54,21 @@ pub(crate) struct RunMetrics {
     pub hbm_bw: Gauge,
     /// `engine.dram_bw_gbps`.
     pub dram_bw: Gauge,
-    /// `engine.hbm_used_bytes` — sampled per round and set to the pool
-    /// high-water mark before report assembly, so its max is exact.
+    /// `engine.hbm_used_bytes` — sampled at round boundaries (quiescent
+    /// points), plus once before report assembly; its max is the report's
+    /// deterministic peak.
     pub hbm_used: Gauge,
     /// `engine.output_delay_secs` — one weighted entry per closing round.
     pub output_delay: Histogram,
     /// The [`ROUND_SERIES`] series.
     pub rounds: Series,
+    /// The memory-tier timeline series ([`TIER_SERIES`], one row per
+    /// round; see `sbx_obs::timeline`).
+    pub tier: Series,
+    /// `pool.hbm.spills` — shares the environment's counter cell when the
+    /// caller's registry is active (counters are keyed by name), so the
+    /// engine can difference it per round for the tier timeline.
+    pub spills: Counter,
     /// `balancer.move.*` — knob moves keyed by direction and trigger.
     pub knob_moves: [Counter; 4],
     /// `scheduler.claimed.{urgent,high,low}`.
@@ -83,6 +94,8 @@ impl RunMetrics {
             hbm_used: reg.gauge("engine.hbm_used_bytes"),
             output_delay: reg.histogram("engine.output_delay_secs"),
             rounds: reg.series(ROUND_SERIES, &ROUND_FIELDS),
+            tier: reg.series(TIER_SERIES, &TIER_FIELDS),
+            spills: reg.counter("pool.hbm.spills"),
             knob_moves: KnobMove::ALL.map(|m| reg.counter(m.metric_name())),
             claims: [ImpactTag::Urgent, ImpactTag::High, ImpactTag::Low]
                 .map(|t| reg.counter(&format!("scheduler.claimed.{t}"))),
@@ -110,6 +123,31 @@ impl RunMetrics {
     /// Counts one demand-balance knob move with its trigger reason.
     pub fn note_knob_move(&self, mv: KnobMove) {
         self.knob_moves[mv.index()].incr();
+    }
+
+    /// Total knob moves so far, across all directions and triggers.
+    pub fn knob_moves_total(&self) -> u64 {
+        self.knob_moves.iter().map(Counter::get).sum()
+    }
+
+    /// Records one end-of-round memory-tier timeline point (a row of
+    /// [`TIER_SERIES`], field order per [`TIER_FIELDS`]).
+    pub fn record_tier(&self, p: &TierPoint) {
+        self.tier.push(&[
+            p.at_secs,
+            p.hbm_live_bytes,
+            p.hbm_used_bytes,
+            p.hbm_occupancy,
+            p.dram_live_bytes,
+            p.dram_used_bytes,
+            p.dram_occupancy,
+            p.hbm_bw_util,
+            p.dram_bw_util,
+            p.spills,
+            p.knob_moves,
+            p.k_low,
+            p.k_high,
+        ]);
     }
 }
 

@@ -104,6 +104,9 @@ pub fn in_no_panic_scope(rel: &str) -> bool {
         "crates/simmem/src/",
         "crates/checkpoint/src/",
         "crates/obs/src/",
+        // The trajectory module is library code on the CI-gate path (the
+        // bench tables and harness stay exempt).
+        "crates/bench/src/trajectory.rs",
     ]
     .iter()
     .any(|p| rel.starts_with(p))
@@ -401,6 +404,15 @@ mod tests {
         let f = lint_source(ENGINE, src);
         assert_eq!(f.len(), 5);
         assert!(f.iter().all(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn trajectory_module_is_no_panic_but_bench_tables_are_not() {
+        let rel = "crates/bench/src/trajectory.rs";
+        assert!(in_no_panic_scope(rel));
+        assert!(rules_of(&lint_source(rel, "fn f() { x.unwrap(); }")).contains(&"no-panic"));
+        assert!(!in_no_panic_scope("crates/bench/src/fig7.rs"));
+        assert!(!in_no_panic_scope("crates/bench/src/harness.rs"));
     }
 
     #[test]

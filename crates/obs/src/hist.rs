@@ -179,6 +179,13 @@ impl HistSnapshot {
         }
         self.max
     }
+
+    /// The `[p50, p95, p99]` quantile estimates — the percentiles surfaced
+    /// by `RunReport` and `sbx report` (see [`HistSnapshot::quantile`] for
+    /// the estimation error bound).
+    pub fn percentiles(&self) -> [f64; 3] {
+        [self.quantile(0.5), self.quantile(0.95), self.quantile(0.99)]
+    }
 }
 
 /// A histogram handle. The default (no-op) handle is inert and allocation
@@ -242,6 +249,11 @@ impl Histogram {
     /// Estimated `q`-quantile; see [`HistSnapshot::quantile`].
     pub fn quantile(&self, q: f64) -> f64 {
         self.snapshot().quantile(q)
+    }
+
+    /// The `[p50, p95, p99]` quantile estimates of one snapshot.
+    pub fn percentiles(&self) -> [f64; 3] {
+        self.snapshot().percentiles()
     }
 
     /// A point-in-time copy of the histogram's state.
@@ -350,6 +362,19 @@ mod tests {
                 "q={q}: est {est} vs exact {truth} (bucket width {width})"
             );
         }
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_bounded() {
+        let h = active();
+        for i in 1..=1000 {
+            h.record(i as f64 / 10.0);
+        }
+        let [p50, p95, p99] = h.percentiles();
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p50 >= h.min() && p99 <= h.max());
+        assert_eq!(h.percentiles()[0], h.quantile(0.5));
+        assert_eq!(Histogram::noop().percentiles(), [0.0; 3]);
     }
 
     #[test]

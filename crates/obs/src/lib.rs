@@ -20,13 +20,20 @@
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 mod sync;
+pub mod timeline;
 pub mod trace;
 
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{
     Counter, Gauge, GaugeDump, HistogramDump, MetricsDump, MetricsRegistry, Series, SeriesDump,
 };
+pub use profile::{
+    parse_spans_jsonl, spans_to_recs, CriticalPath, OperatorAttribution, PathStep,
+    PrimitiveAttribution, RoundPath, SpanRec, PRIMITIVE_LABELS,
+};
+pub use timeline::{TierPoint, Timeline, TIER_FIELDS, TIER_SERIES};
 pub use trace::{Span, TraceCollector};
 
 /// Observability handle: a metrics registry plus a trace collector.
@@ -100,6 +107,7 @@ mod tests {
             name: "op",
             cat: "task",
             lane: 0,
+            round: 0,
             start_ns: 0,
             dur_ns: 1,
             records_in: 0,

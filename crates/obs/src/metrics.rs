@@ -395,13 +395,14 @@ impl MetricsDump {
             out.push_str("{\"type\":\"histogram\",\"name\":");
             write_str(&h.name, &mut out);
             out.push_str(&format!(
-                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}",
                 s.count,
                 fmt_f64(s.sum),
                 fmt_f64(s.min),
                 fmt_f64(s.max),
                 fmt_f64(s.quantile(0.5)),
                 fmt_f64(s.quantile(0.9)),
+                fmt_f64(s.quantile(0.95)),
                 fmt_f64(s.quantile(0.99)),
             ));
             out.push_str(",\"buckets\":");

@@ -1,0 +1,319 @@
+//! Memory-tier timelines reconstructed from the metrics registry.
+//!
+//! The engine records one [`TIER_SERIES`] row per watermark round: HBM and
+//! DRAM occupancy (live versus freelist-cached bytes), bandwidth
+//! utilisation against the machine spec, and the round's spill and
+//! knob-move activity. This module turns that series (live or re-parsed
+//! from a metrics JSONL export) into an aligned [`Timeline`] with its own
+//! JSONL export and a deterministic text rendering — the `sbx report
+//! --timeline` view.
+//!
+//! Every value originates from simulated time or accounted byte counters,
+//! so a timeline is byte-identical across same-seed runs.
+
+use crate::json::fmt_f64;
+use crate::metrics::MetricsDump;
+
+/// Name of the per-round memory-tier series.
+pub const TIER_SERIES: &str = "engine.tier";
+
+/// Field names of [`TIER_SERIES`], in row order.
+///
+/// - `at_secs` — simulated time of the round boundary;
+/// - `*_live_bytes` — bytes in live allocations (used minus freelist cache);
+/// - `*_used_bytes` — accounted bytes including freelist-cached slabs;
+/// - `*_occupancy` — used bytes over pool capacity, 0..=1;
+/// - `*_bw_util` — the round's bandwidth over the machine spec, 0..=1;
+/// - `spills` / `knob_moves` — events within the round (deltas, not
+///   cumulative);
+/// - `k_low` / `k_high` — balancer knob positions at the round boundary.
+pub const TIER_FIELDS: [&str; 13] = [
+    "at_secs",
+    "hbm_live_bytes",
+    "hbm_used_bytes",
+    "hbm_occupancy",
+    "dram_live_bytes",
+    "dram_used_bytes",
+    "dram_occupancy",
+    "hbm_bw_util",
+    "dram_bw_util",
+    "spills",
+    "knob_moves",
+    "k_low",
+    "k_high",
+];
+
+/// One round boundary on the memory-tier timeline. Field meanings match
+/// [`TIER_FIELDS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierPoint {
+    /// Simulated time of the round boundary, seconds.
+    pub at_secs: f64,
+    /// HBM bytes in live allocations.
+    pub hbm_live_bytes: f64,
+    /// HBM accounted bytes (live plus freelist-cached).
+    pub hbm_used_bytes: f64,
+    /// HBM used bytes over capacity, 0..=1.
+    pub hbm_occupancy: f64,
+    /// DRAM bytes in live allocations.
+    pub dram_live_bytes: f64,
+    /// DRAM accounted bytes (live plus freelist-cached).
+    pub dram_used_bytes: f64,
+    /// DRAM used bytes over capacity, 0..=1.
+    pub dram_occupancy: f64,
+    /// HBM bandwidth this round over the machine spec, 0..=1.
+    pub hbm_bw_util: f64,
+    /// DRAM bandwidth this round over the machine spec, 0..=1.
+    pub dram_bw_util: f64,
+    /// HBM→DRAM spills within the round.
+    pub spills: f64,
+    /// Balancer knob moves within the round.
+    pub knob_moves: f64,
+    /// Balancer low-watermark knob position at the boundary.
+    pub k_low: f64,
+    /// Balancer high-watermark knob position at the boundary.
+    pub k_high: f64,
+}
+
+impl TierPoint {
+    fn from_row(row: &[f64], idx: &[usize; 13]) -> TierPoint {
+        let get = |i: usize| row.get(idx[i]).copied().unwrap_or(0.0);
+        TierPoint {
+            at_secs: get(0),
+            hbm_live_bytes: get(1),
+            hbm_used_bytes: get(2),
+            hbm_occupancy: get(3),
+            dram_live_bytes: get(4),
+            dram_used_bytes: get(5),
+            dram_occupancy: get(6),
+            hbm_bw_util: get(7),
+            dram_bw_util: get(8),
+            spills: get(9),
+            knob_moves: get(10),
+            k_low: get(11),
+            k_high: get(12),
+        }
+    }
+}
+
+/// A per-round memory-tier timeline (see [`TIER_SERIES`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    /// One point per watermark round, in round order.
+    pub points: Vec<TierPoint>,
+}
+
+impl Timeline {
+    /// Reconstructs the timeline from a metrics dump (live snapshot or
+    /// re-parsed JSONL export). Returns an empty timeline when the dump has
+    /// no [`TIER_SERIES`] rows (e.g. a run recorded without observability).
+    pub fn from_dump(dump: &MetricsDump) -> Timeline {
+        let Some(series) = dump.series(TIER_SERIES) else {
+            return Timeline::default();
+        };
+        let mut idx = [usize::MAX; 13];
+        for (slot, field) in idx.iter_mut().zip(TIER_FIELDS.iter()) {
+            match series.field_index(field) {
+                Some(i) => *slot = i,
+                // A dump from a different schema version: treat missing
+                // fields as zero rather than misaligning the rest.
+                None => *slot = usize::MAX,
+            }
+        }
+        Timeline {
+            points: series
+                .rows
+                .iter()
+                .map(|row| TierPoint::from_row(row, &idx))
+                .collect(),
+        }
+    }
+
+    /// True if no rounds were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total spills across the run.
+    pub fn total_spills(&self) -> u64 {
+        self.points.iter().map(|p| p.spills as u64).sum()
+    }
+
+    /// Total knob moves across the run.
+    pub fn total_knob_moves(&self) -> u64 {
+        self.points.iter().map(|p| p.knob_moves as u64).sum()
+    }
+
+    /// Peak HBM occupancy across the run, 0..=1.
+    pub fn peak_hbm_occupancy(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.hbm_occupancy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Exports the timeline as JSONL, one flat `{"type":"tier",...}` object
+    /// per round, fields in [`TIER_FIELDS`] order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for p in &self.points {
+            let values = [
+                p.at_secs,
+                p.hbm_live_bytes,
+                p.hbm_used_bytes,
+                p.hbm_occupancy,
+                p.dram_live_bytes,
+                p.dram_used_bytes,
+                p.dram_occupancy,
+                p.hbm_bw_util,
+                p.dram_bw_util,
+                p.spills,
+                p.knob_moves,
+                p.k_low,
+                p.k_high,
+            ];
+            out.push_str("{\"type\":\"tier\"");
+            for (field, value) in TIER_FIELDS.iter().zip(values.iter()) {
+                out.push_str(&format!(",\"{field}\":{}", fmt_f64(*value)));
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders a deterministic text view: one line per round with ASCII
+    /// occupancy/bandwidth bars plus spill and knob annotations.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("memory-tier timeline: no rounds recorded\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "memory-tier timeline: {} rounds, peak HBM occupancy {:.1}%, {} spills, {} knob moves\n",
+            self.points.len(),
+            100.0 * self.peak_hbm_occupancy(),
+            self.total_spills(),
+            self.total_knob_moves(),
+        ));
+        out.push_str(
+            "  round    t(s)  HBM occ [bar]        live MiB  bw%   DRAM occ  bw%   events\n",
+        );
+        for (round, p) in self.points.iter().enumerate() {
+            let mut events = String::new();
+            if p.spills > 0.0 {
+                events.push_str(&format!(" spills={}", p.spills as u64));
+            }
+            if p.knob_moves > 0.0 {
+                events.push_str(&format!(
+                    " knobs={} (k_low={} k_high={})",
+                    p.knob_moves as u64, p.k_low as u64, p.k_high as u64
+                ));
+            }
+            out.push_str(&format!(
+                "  {:>5} {:>7.3}  {:>6.1}% [{}] {:>9.2}  {:>4.1}  {:>7.1}% {:>5.1} {}\n",
+                round,
+                p.at_secs,
+                100.0 * p.hbm_occupancy,
+                bar(p.hbm_occupancy, 10),
+                p.hbm_live_bytes / (1024.0 * 1024.0),
+                100.0 * p.hbm_bw_util,
+                100.0 * p.dram_occupancy,
+                100.0 * p.dram_bw_util,
+                events,
+            ));
+        }
+        out
+    }
+}
+
+/// A `width`-character ASCII bar filled proportionally to `frac` (0..=1).
+fn bar(frac: f64, width: usize) -> String {
+    let filled = ((frac.clamp(0.0, 1.0) * width as f64).round() as usize).min(width);
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::active();
+        let series = reg.series(TIER_SERIES, &TIER_FIELDS);
+        series.push(&[
+            1.0, 1000.0, 2000.0, 0.25, 500.0, 800.0, 0.1, 0.5, 0.2, 0.0, 0.0, 2.0, 6.0,
+        ]);
+        series.push(&[
+            2.0, 3000.0, 4000.0, 0.5, 600.0, 900.0, 0.2, 0.9, 0.4, 3.0, 1.0, 1.0, 6.0,
+        ]);
+        reg
+    }
+
+    #[test]
+    fn reconstructs_points_from_dump() {
+        let tl = Timeline::from_dump(&sample_registry().snapshot());
+        assert_eq!(tl.points.len(), 2);
+        assert_eq!(tl.points[0].at_secs, 1.0);
+        assert_eq!(tl.points[1].hbm_occupancy, 0.5);
+        assert_eq!(tl.total_spills(), 3);
+        assert_eq!(tl.total_knob_moves(), 1);
+        assert_eq!(tl.peak_hbm_occupancy(), 0.5);
+    }
+
+    #[test]
+    fn survives_a_jsonl_round_trip() {
+        let dump = sample_registry().snapshot();
+        let reparsed = MetricsDump::parse_jsonl(&dump.to_jsonl()).unwrap();
+        assert_eq!(Timeline::from_dump(&dump), Timeline::from_dump(&reparsed));
+    }
+
+    #[test]
+    fn jsonl_lines_are_flat_tier_objects() {
+        let tl = Timeline::from_dump(&sample_registry().snapshot());
+        let text = tl.to_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let pairs = crate::json::parse_flat_object(lines[1]).unwrap();
+        let get = |k: &str| {
+            pairs
+                .iter()
+                .find(|(key, _)| key == k)
+                .and_then(|(_, v)| v.as_f64())
+        };
+        assert_eq!(get("at_secs"), Some(2.0));
+        assert_eq!(get("spills"), Some(3.0));
+        assert_eq!(get("k_high"), Some(6.0));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_annotated() {
+        let tl = Timeline::from_dump(&sample_registry().snapshot());
+        let a = tl.render();
+        let b = tl.render();
+        assert_eq!(a, b);
+        assert!(a.contains("2 rounds"));
+        assert!(a.contains("spills=3"));
+        assert!(a.contains("knobs=1"));
+        assert!(a.contains('#'));
+    }
+
+    #[test]
+    fn empty_dump_yields_empty_timeline() {
+        let tl = Timeline::from_dump(&MetricsDump::default());
+        assert!(tl.is_empty());
+        assert!(tl.render().contains("no rounds"));
+        assert!(tl.to_jsonl().is_empty());
+    }
+
+    #[test]
+    fn bar_clamps_and_fills() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 4), "####");
+    }
+}

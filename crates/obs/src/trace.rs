@@ -31,6 +31,10 @@ pub struct Span {
     pub cat: &'static str,
     /// Display lane: the operator's index in the pipeline.
     pub lane: u64,
+    /// Watermark round (0-based) the invocation ran in. The engine closes a
+    /// round per watermark, so this aligns spans with the per-round metric
+    /// series (`engine.round` / `engine.tier`).
+    pub round: u64,
     /// Simulated start time in nanoseconds.
     pub start_ns: u64,
     /// Simulated duration in nanoseconds (from the cost model).
@@ -108,8 +112,8 @@ impl TraceCollector {
             out.push_str(",\"cat\":");
             write_str(s.cat, &mut out);
             out.push_str(&format!(
-                ",\"lane\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
-                s.lane, s.start_ns, s.dur_ns, s.records_in, s.records_out
+                ",\"lane\":{},\"round\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
+                s.lane, s.round, s.start_ns, s.dur_ns, s.records_in, s.records_out
             ));
         }
         out
@@ -138,8 +142,8 @@ impl TraceCollector {
                 out.push_str(&format!(",\"parent\":{parent}"));
             }
             out.push_str(&format!(
-                ",\"records_in\":{},\"records_out\":{}}}}}",
-                s.records_in, s.records_out
+                ",\"round\":{},\"records_in\":{},\"records_out\":{}}}}}",
+                s.round, s.records_in, s.records_out
             ));
             if i + 1 < spans.len() {
                 out.push(',');
@@ -163,6 +167,7 @@ mod tests {
             name: "window_into",
             cat: "task",
             lane: 2,
+            round: 1,
             start_ns: 1_500,
             dur_ns: 250,
             records_in: 100,
@@ -199,6 +204,7 @@ mod tests {
         };
         assert_eq!(get("id"), Some(7.0));
         assert_eq!(get("parent"), Some(3.0));
+        assert_eq!(get("round"), Some(1.0));
         assert_eq!(get("start_ns"), Some(1500.0));
         // Root span omits the parent key entirely.
         assert!(!lines[1].contains("parent"));

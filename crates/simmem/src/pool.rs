@@ -179,6 +179,13 @@ impl MemPool {
         self.inner.used_bytes.load(Ordering::Acquire)
     }
 
+    /// Bytes in live allocations: [`MemPool::used_bytes`] minus buffers
+    /// parked on the freelists (the tier-timeline's occupancy signal).
+    pub fn live_bytes(&self) -> u64 {
+        let cached = self.inner.freelists.lock().cached_bytes;
+        self.used_bytes().saturating_sub(cached)
+    }
+
     /// Fraction of capacity in use, in `[0, 1]`.
     pub fn usage(&self) -> f64 {
         if self.inner.capacity_bytes == 0 {

@@ -8,7 +8,8 @@
 //!                  [--metrics-out PATH] [--trace-out PATH]
 //! sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]
 //!                    [bench flags]
-//! sbx report <metrics.jsonl>
+//! sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>]
+//!                            [--top N]
 //! sbx figure <2|7|8|9|10|11|ablation>
 //! sbx machines
 //! sbx list
@@ -23,7 +24,11 @@
 //! (in simulated time) and writes a Chrome trace loadable in Perfetto —
 //! or span JSONL if the path ends in `.jsonl`. `sbx report` rebuilds the
 //! run summary and the Figure-10 time series purely from an exported
-//! metrics file.
+//! metrics file; `--timeline` adds the per-round memory-tier timeline,
+//! and `--critical-path <spans.jsonl>` runs critical-path attribution
+//! over a span JSONL export (top-k controlled by `--top`). Because every
+//! exported value is simulated-time, both renderings are byte-identical
+//! across same-seed runs.
 
 // Reporting binaries talk to stdout by design.
 // sbx-lint: allow-file(no-adhoc-io, CLI front-end reports to stdout by design)
@@ -54,7 +59,7 @@ fn usage() -> ExitCode {
          \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
          \x20                [bench flags]\n\
-         \x20 sbx report <metrics.jsonl>\n\
+         \x20 sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>] [--top N]\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
         BENCHMARKS.join(", ")
@@ -274,7 +279,11 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         report.max_output_delay_secs, report.avg_output_delay_secs
     );
     println!(
-        "  HBM high water : {:>10} KiB",
+        "  delay quantiles: {:>10.4} s p50, {:.4} s p95, {:.4} s p99",
+        report.p50_output_delay_secs, report.p95_output_delay_secs, report.p99_output_delay_secs
+    );
+    println!(
+        "  HBM peak used  : {:>10} KiB (round-boundary peak)",
         report.hbm_peak_used_bytes / 1024
     );
     if let Some(s) = report.samples.last() {
@@ -332,9 +341,63 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Arguments of `sbx report`.
+#[derive(Debug, Clone, PartialEq)]
+struct ReportArgs {
+    /// Metrics JSONL export to rebuild the report from.
+    path: String,
+    /// Render the per-round memory-tier timeline.
+    timeline: bool,
+    /// Span JSONL export to run critical-path attribution over.
+    critical_path: Option<String>,
+    /// Top-k rows in the critical-path tables.
+    top: usize,
+}
+
+fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
+    let mut out = ReportArgs {
+        path: args
+            .first()
+            .cloned()
+            .ok_or_else(|| "report needs a metrics.jsonl path".to_owned())?,
+        timeline: false,
+        critical_path: None,
+        top: 5,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeline" => {
+                out.timeline = true;
+                i += 1;
+            }
+            "--critical-path" => {
+                out.critical_path = Some(
+                    args.get(i + 1)
+                        .ok_or("--critical-path needs a spans.jsonl path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--top" => {
+                out.top = args
+                    .get(i + 1)
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --top")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
 /// `sbx report`: rebuilds a run summary and the Figure-10 time series
-/// purely from a metrics JSONL export.
-fn run_report(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+/// purely from a metrics JSONL export; optionally renders the memory-tier
+/// timeline and span critical-path attribution.
+fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = a.path.as_str();
     let text = std::fs::read_to_string(path)?;
     let dump = MetricsDump::parse_jsonl(&text)?;
     println!("report from {path}");
@@ -356,7 +419,7 @@ fn run_report(path: &str) -> Result<(), Box<dyn std::error::Error>> {
         gmax("engine.dram_bw_gbps")
     );
     println!(
-        "  HBM high water : {:>10.0} KiB",
+        "  HBM peak used  : {:>10.0} KiB (round-boundary peak)",
         gmax("engine.hbm_used_bytes") / 1024.0
     );
     if let Some(h) = dump.histogram("engine.output_delay_secs") {
@@ -366,6 +429,8 @@ fn run_report(path: &str) -> Result<(), Box<dyn std::error::Error>> {
             h.snapshot.mean(),
             h.snapshot.count
         );
+        let [p50, p95, p99] = h.snapshot.percentiles();
+        println!("  delay quantiles: {p50:>10.4} s p50, {p95:.4} s p95, {p99:.4} s p99");
     }
     let ops: Vec<&(String, u64)> = dump
         .counters
@@ -389,24 +454,36 @@ fn run_report(path: &str) -> Result<(), Box<dyn std::error::Error>> {
     let samples = round_samples_from_dump(&dump);
     if samples.is_empty() {
         println!("  no 'engine.round' series: Figure-10 table unavailable");
-        return Ok(());
-    }
-    println!("  figure-10 series ({} rounds):", samples.len());
-    println!(
-        "    {:>8} {:>9} {:>12} {:>8} {:>8} {:>6} {:>6} {:>10}",
-        "at_secs", "hbm_use", "hbm_KiB", "dram_bw", "hbm_bw", "k_low", "k_high", "records"
-    );
-    for s in &samples {
+    } else {
+        println!("  figure-10 series ({} rounds):", samples.len());
         println!(
-            "    {:>8.3} {:>9.3} {:>12} {:>8.1} {:>8.1} {:>6.2} {:>6.2} {:>10}",
-            s.at_secs,
-            s.hbm_usage,
-            s.hbm_used_bytes / 1024,
-            s.dram_bw_gbps,
-            s.hbm_bw_gbps,
-            s.k_low,
-            s.k_high,
-            s.records
+            "    {:>8} {:>9} {:>12} {:>8} {:>8} {:>6} {:>6} {:>10}",
+            "at_secs", "hbm_use", "hbm_KiB", "dram_bw", "hbm_bw", "k_low", "k_high", "records"
+        );
+        for s in &samples {
+            println!(
+                "    {:>8.3} {:>9.3} {:>12} {:>8.1} {:>8.1} {:>6.2} {:>6.2} {:>10}",
+                s.at_secs,
+                s.hbm_usage,
+                s.hbm_used_bytes / 1024,
+                s.dram_bw_gbps,
+                s.hbm_bw_gbps,
+                s.k_low,
+                s.k_high,
+                s.records
+            );
+        }
+    }
+    if a.timeline {
+        print!("{}", Timeline::from_dump(&dump).render());
+    }
+    if let Some(spans_path) = &a.critical_path {
+        let spans_text = std::fs::read_to_string(spans_path)?;
+        let spans = parse_spans_jsonl(&spans_text)?;
+        println!("critical path from {spans_path} ({} spans)", spans.len());
+        print!(
+            "{}",
+            CriticalPath::compute(&spans).render(a.top, Some(&dump))
         );
     }
     Ok(())
@@ -565,15 +642,18 @@ fn main() -> ExitCode {
                 usage()
             }
         },
-        Some("report") => match args.get(1) {
-            Some(path) => match run_report(path) {
+        Some("report") => match parse_report_args(&args[1..]) {
+            Ok(a) => match run_report(&a) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }
             },
-            None => usage(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
         },
         Some("figure") => match args.get(1) {
             Some(which) => match run_figure(which) {
@@ -680,6 +760,30 @@ mod tests {
         assert_eq!(a.crash_after, Some(12));
         assert!(parse_bench_args(&s(&["topk", "--checkpoint-interval", "0"])).is_err());
         assert!(parse_bench_args(&s(&["topk", "--checkpoint-interval", "x"])).is_err());
+    }
+
+    #[test]
+    fn parses_report_flags() {
+        let a = parse_report_args(&s(&[
+            "m.jsonl",
+            "--timeline",
+            "--critical-path",
+            "t.jsonl",
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!(a.path, "m.jsonl");
+        assert!(a.timeline);
+        assert_eq!(a.critical_path.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.top, 3);
+        let plain = parse_report_args(&s(&["m.jsonl"])).unwrap();
+        assert!(!plain.timeline && plain.critical_path.is_none());
+        assert_eq!(plain.top, 5);
+        assert!(parse_report_args(&s(&[])).is_err());
+        assert!(parse_report_args(&s(&["m.jsonl", "--critical-path"])).is_err());
+        assert!(parse_report_args(&s(&["m.jsonl", "--top", "x"])).is_err());
+        assert!(parse_report_args(&s(&["m.jsonl", "--wat"])).is_err());
     }
 
     #[test]

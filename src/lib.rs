@@ -68,7 +68,10 @@ pub mod prelude {
         IngestFormat, KvSource, NicModel, PowerGridSource, Sender, SenderConfig, Source, YsbSource,
     };
     pub use sbx_kpa::{ExecCtx, Kpa};
-    pub use sbx_obs::{MetricsDump, MetricsRegistry, Obs, TraceCollector};
+    pub use sbx_obs::{
+        parse_spans_jsonl, CriticalPath, MetricsDump, MetricsRegistry, Obs, SpanRec, Timeline,
+        TraceCollector,
+    };
     pub use sbx_records::{Col, EventTime, RecordBundle, Schema, Watermark, WindowSpec};
     pub use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
 }
