@@ -1,3 +1,5 @@
+// sbx-lint: out-of-scope(raw-alloc, baseline engine measured for contrast; not the production data path)
+// sbx-lint: out-of-scope(no-panic, baseline engine measured for contrast; not the production data path)
 use std::collections::BTreeMap;
 
 use sbx_ingress::{IngressEvent, Sender, SenderConfig, Source};

@@ -3,6 +3,8 @@
 //! data parallelism), and the coalesced Extract (paper §4.3 optimization 1,
 //! measured at the primitive level).
 
+// sbx-lint: out-of-scope(raw-alloc, bench harness; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench harness; a failed run should abort loudly)
 use sbx_engine::ops::{AggKind, KeyedAggregate};
 use sbx_engine::{benchmarks, Engine, PipelineBuilder, RunConfig};
 use sbx_ingress::{KvSource, NicModel, SenderConfig};

@@ -9,6 +9,8 @@
 //! reports the throughput cost and snapshot footprint at each cadence,
 //! with an uncheckpointed baseline as the reference.
 
+// sbx-lint: out-of-scope(raw-alloc, bench harness; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench harness; a failed run should abort loudly)
 use sbx_checkpoint::CheckpointCoordinator;
 use sbx_engine::{benchmarks, Engine, RunConfig, RunReport};
 use sbx_ingress::{KvSource, NicModel, SenderConfig};

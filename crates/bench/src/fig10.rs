@@ -7,6 +7,8 @@
 //! must shed allocations to DRAM — exactly the regime the paper's balancer
 //! is built for.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_engine::ops::AggKind;
 use sbx_engine::{Engine, Pipeline, PipelineBuilder, RunConfig, RunReport};
 use sbx_ingress::{KvSource, NicModel, SenderConfig};

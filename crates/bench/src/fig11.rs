@@ -10,6 +10,8 @@
 //! branchy byte-parsing code far slower than a Broadwell Xeon, which is the
 //! paper's observation that "data parsing on X56 is 3-4x faster than KNL").
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use std::time::Instant; // sbx-lint: allow(wall-clock, host parser microbenchmark, not engine time)
 
 use sbx_engine::{benchmarks, Engine, RunConfig};

@@ -7,6 +7,8 @@
 //! the figure series are produced by evaluating those calibrated profiles
 //! at the paper's 100 M-pair scale across the core sweep.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_prng::SbxRng;
 
 use sbx_kpa::hash::group_pairs;

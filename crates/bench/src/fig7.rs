@@ -2,6 +2,8 @@
 //! StreamBox-HBM with RDMA and 10 GbE ingestion on KNL, and the Flink-class
 //! row engine on KNL and X56 over 10 GbE.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_baselines::{RowEngine, RowEngineConfig, RowPipeline};
 use sbx_engine::{benchmarks, Engine, RunConfig};
 use sbx_ingress::{NicModel, SenderConfig, YsbSource};

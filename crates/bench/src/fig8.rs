@@ -1,6 +1,8 @@
 //! Figure 8: the nine synthetic benchmarks — throughput and peak HBM
 //! bandwidth vs cores, under RDMA ingestion and 1 s target delay.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_engine::{benchmarks, Engine, Pipeline, RunConfig, RunReport};
 use sbx_ingress::{KvSource, NicModel, PowerGridSource, SenderConfig};
 use sbx_simmem::MachineConfig;

@@ -2,6 +2,8 @@
 //! hardware-cached KPA placement vs DRAM-only vs full records under
 //! hardware caching (no KPA).
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_engine::{benchmarks, Engine, EngineMode, RunConfig};
 use sbx_ingress::{KvSource, NicModel, SenderConfig};
 use sbx_simmem::MachineConfig;

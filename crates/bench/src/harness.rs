@@ -5,6 +5,7 @@
 //! model), so this is one of the few sanctioned wall-clock sites in the
 //! workspace — everything engine-side takes time from `SimClock`.
 
+// sbx-lint: out-of-scope(raw-alloc, bench harness scaffolding; host-side)
 use std::time::Instant; // sbx-lint: allow(wall-clock, host microbenchmark harness)
 
 /// Runs `f` once for warmup and then `samples` timed times, printing

@@ -9,6 +9,8 @@
 //! host. The modelled columns show the memory-traffic reduction that
 //! feeds Figures 7-9.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use std::sync::Arc;
 use std::time::Instant; // sbx-lint: allow(wall-clock, host microbench is the point of this table)
 

@@ -8,6 +8,8 @@
 //! records the measured overhead; `tests/observability.rs` asserts the
 //! simulated-throughput side of the 3% budget.
 
+// sbx-lint: out-of-scope(raw-alloc, bench table; host-side measurement setup)
+// sbx-lint: out-of-scope(no-panic, bench table; a failed run should abort loudly)
 use sbx_engine::{benchmarks, Engine, RunConfig};
 use sbx_ingress::{NicModel, SenderConfig, YsbSource};
 use sbx_obs::Obs;

@@ -1,5 +1,6 @@
 //! Minimal fixed-width table printing shared by the figure harnesses.
 
+// sbx-lint: out-of-scope(raw-alloc, table formatting; host-side reporting)
 /// A printable results table: a title, column headers and string rows.
 #[derive(Debug, Clone, Default)]
 pub struct Table {

@@ -15,6 +15,7 @@
 //! flat object per line) so the dependency-free `sbx_obs::json` parser can
 //! read it back.
 
+// sbx-lint: out-of-scope(raw-alloc, snapshot encode/compare; runs once per gate, stays in no-panic scope)
 use std::path::{Path, PathBuf};
 
 use sbx_engine::{benchmarks, Engine, RunConfig};

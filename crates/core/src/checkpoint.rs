@@ -16,6 +16,7 @@
 //! primitive (§4.3) to produce self-contained records, which restore
 //! re-extracts into fresh KPAs.
 
+// sbx-lint: out-of-scope(raw-alloc, snapshot assembly at epoch barriers; bounded by operator-state size)
 use std::sync::Arc;
 
 use sbx_kpa::Kpa;

@@ -9,6 +9,7 @@
 //! results are the union of the instances' outputs, and cluster throughput
 //! is their sum (the machines run concurrently).
 
+// sbx-lint: out-of-scope(raw-alloc, cluster topology setup; once per run)
 use sbx_ingress::{Partitioned, Source};
 
 use crate::{Engine, EngineError, Pipeline, RunConfig, RunReport};

@@ -1,3 +1,4 @@
+// sbx-lint: out-of-scope(raw-alloc, engine control plane; allocations here are per-task and per-window bookkeeping, record data stays in simmem pools)
 use sbx_ingress::{IngestFormat, IngressEvent, Sender, SenderConfig, Source};
 use sbx_obs::{Obs, Span};
 use sbx_records::Watermark;
@@ -660,6 +661,18 @@ impl Engine {
             }
         }
 
+        // Leak sweep at engine drop: the final flush closed every window, so
+        // once the pipeline (and with it every KPA it still held) is gone,
+        // the only bundles legitimately alive are the emitted outputs — any
+        // other surviving shadow entry is a pointer-plane leak.
+        #[cfg(feature = "sanitize")]
+        {
+            drop(pipeline);
+            let keep: Vec<u64> = outputs.iter().map(|b| b.id().0 as u64).collect();
+            let _scope = sbx_sanitize::op_scope(self.next_task, "engine-drop");
+            self.env.sanitizer().sweep_leaks(&keep);
+        }
+
         let sim_secs = self.env.clock().now_secs();
         let throughput = if sim_secs > 0.0 {
             records_in as f64 / sim_secs
@@ -754,6 +767,11 @@ impl Engine {
                     self.cfg.threads,
                     tag,
                 );
+                // Attribute every shadow-table event inside this operator
+                // invocation to its prospective span id (`next_task` is the
+                // id the invocation's span/task gets below when tracing).
+                #[cfg(feature = "sanitize")]
+                let _scope = sbx_sanitize::op_scope(self.next_task, op_name);
                 let outs = match op {
                     crate::pipeline::OpNode::Stateless(op) => op.apply(&mut ctx, m)?,
                     crate::pipeline::OpNode::Stateful(op) => op.on_message(&mut ctx, m)?,
@@ -920,6 +938,8 @@ impl Engine {
                                         threads,
                                         tag,
                                     );
+                                    #[cfg(feature = "sanitize")]
+                                    let _scope = sbx_sanitize::op_scope(0, op.name());
                                     let outs = op.apply(&mut ctx, m)?;
                                     let tally = ctx.exec().take_tally();
                                     let t = ctx

@@ -12,6 +12,7 @@
 //! [`RunReport`](crate::RunReport)'s peak/delay fields, whether or not the
 //! run is exported.
 
+// sbx-lint: out-of-scope(raw-alloc, observability aggregation; runs at export, off the simulated data path)
 use sbx_kpa::PrimGroup;
 use sbx_obs::{
     Counter, Gauge, Histogram, MetricsDump, MetricsRegistry, Series, TierPoint, TIER_FIELDS,

@@ -1,3 +1,4 @@
+// sbx-lint: out-of-scope(raw-alloc, pipeline construction; boxed operators built once per pipeline)
 use std::sync::Arc;
 
 use sbx_records::{Col, WindowSpec};

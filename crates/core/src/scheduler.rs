@@ -37,7 +37,9 @@ pub(crate) struct TaskBatch<T> {
 impl<T> TaskBatch<T> {
     /// Builds a batch from `(task, tag)` pairs in submission order.
     pub(crate) fn new(tasks: Vec<(T, ImpactTag)>) -> Self {
+        // sbx-lint: allow(raw-alloc, batch scaffolding; one allocation per wave, not per record)
         let mut order: Vec<usize> = (0..tasks.len()).collect();
+        // sbx-lint: allow(raw-alloc, batch scaffolding; one allocation per wave, not per record)
         let tags: Vec<ImpactTag> = tasks.iter().map(|(_, t)| *t).collect();
         order.sort_by_key(|&i| (tags[i], i));
         TaskBatch {
@@ -46,6 +48,7 @@ impl<T> TaskBatch<T> {
             items: tasks
                 .into_iter()
                 .map(|(t, _)| Mutex::new(Some(t)))
+                // sbx-lint: allow(raw-alloc, batch scaffolding; one allocation per wave, not per record)
                 .collect(),
             cursor: AtomicUsize::new(0),
             claims: [Counter::noop(), Counter::noop(), Counter::noop()],
@@ -67,6 +70,7 @@ impl<T> TaskBatch<T> {
     /// Claims the next task in priority order, returning its original
     /// submission index and payload; `None` once the batch is drained.
     pub(crate) fn claim(&self) -> Option<(usize, T)> {
+        // sbx-lint: allow(atomic-ordering, claim ticket; uniqueness only, payload hand-off is via the slot mutex)
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed);
         let &idx = self.order.get(slot)?;
         // Each fetch_add slot is claimed exactly once, so the payload is

@@ -5,6 +5,8 @@
 //! end) and reports the decode cost so the engine charges it to the
 //! pipeline.
 
+// sbx-lint: out-of-scope(raw-alloc, wire-format cost model; staging buffers sized per bundle)
+// sbx-lint: out-of-scope(no-panic, round-trips of self-encoded data; a parse failure is a modelling bug worth aborting on)
 use std::sync::Arc;
 
 use sbx_records::Schema;

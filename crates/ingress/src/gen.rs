@@ -204,6 +204,7 @@ impl PowerGridSource {
     /// A grid of `houses` x `plugs_per_house` plugs.
     pub fn new(seed: u64, houses: u64, plugs_per_house: u64, event_rate: u64) -> Self {
         PowerGridSource {
+            // sbx-lint: allow(raw-alloc, schema column names; once per source)
             schema: Schema::new(vec!["house", "plug", "load", "ts"], sbx_records::Col(3)),
             rng: SbxRng::seed_from_u64(seed),
             houses: houses.max(1),

@@ -13,6 +13,7 @@ use super::ParseError;
 /// Panics if `record` and `names` lengths differ.
 pub fn encode(record: &[u64], names: &[&str]) -> String {
     assert_eq!(record.len(), names.len(), "record/name arity mismatch");
+    // sbx-lint: allow(raw-alloc, encode scratch sized to the record; freed on return)
     let mut s = String::with_capacity(record.len() * 24);
     s.push('{');
     for (i, (v, n)) in record.iter().zip(names).enumerate() {

@@ -54,6 +54,7 @@ fn get_varint(bytes: &[u8], i: &mut usize) -> Result<u64, ParseError> {
 
 /// Encodes a record as consecutive `(tag, varint)` fields.
 pub fn encode(record: &[u64]) -> Vec<u8> {
+    // sbx-lint: allow(raw-alloc, encode scratch sized to the record; freed on return)
     let mut out = Vec::with_capacity(record.len() * 6);
     for (i, &v) in record.iter().enumerate() {
         // Field number i+1, wire type 0 (varint).

@@ -9,6 +9,7 @@ use super::ParseError;
 
 /// Encodes a record as comma-separated decimal integers.
 pub fn encode(record: &[u64]) -> String {
+    // sbx-lint: allow(raw-alloc, encode scratch sized to the record; freed on return)
     let mut s = String::with_capacity(record.len() * 12);
     for (i, v) in record.iter().enumerate() {
         if i > 0 {

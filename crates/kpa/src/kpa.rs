@@ -38,6 +38,52 @@ fn try_alloc_pair(
     Ok((keys, ptrs))
 }
 
+/// Provenance link between a KPA's pointers and the shadow table of the
+/// environment that issued them: the sanitizer handle plus, per source
+/// bundle, the shadow generation the pointers were captured against.
+/// A later relocation (spill, knob move, checkpoint restore) bumps the
+/// shadow generation, so resolving through this link flags the pointers
+/// as stale-tier.
+#[cfg(feature = "sanitize")]
+#[derive(Clone)]
+struct ShadowLink {
+    san: sbx_sanitize::Sanitizer,
+    expected: BTreeMap<u32, u32>,
+}
+
+#[cfg(feature = "sanitize")]
+impl ShadowLink {
+    /// Captures the current shadow generation of `bundle` at extraction.
+    fn capture(env: &MemEnv, bundle: &Arc<RecordBundle>) -> ShadowLink {
+        let san = env.sanitizer().clone();
+        let mut expected = BTreeMap::new();
+        if let Some(g) = san.generation(bundle.id().0 as u64) {
+            expected.insert(bundle.id().0, g);
+        }
+        ShadowLink { san, expected }
+    }
+
+    /// Unions the captured generations of two links (merge inherits the
+    /// provenance of all source bundles of both inputs).
+    fn union(mut self, other: &ShadowLink) -> ShadowLink {
+        for (&id, &g) in &other.expected {
+            self.expected.entry(id).or_insert(g);
+        }
+        self
+    }
+
+    /// Validates one packed pointer; false means the dereference would be
+    /// invalid (a report has been recorded).
+    fn check(&self, raw: u64) -> bool {
+        let r = RecordRef::unpack(raw);
+        self.san.resolve(
+            r.bundle.0 as u64,
+            r.row,
+            self.expected.get(&r.bundle.0).copied(),
+        )
+    }
+}
+
 /// A Key Pointer Array: the only data structure StreamBox-HBM places in HBM.
 ///
 /// A `Kpa` pairs one *resident* key column (a copy of one column of the full
@@ -77,6 +123,8 @@ pub struct Kpa {
     // unions) is deterministic.
     sources: BTreeMap<BundleId, Arc<RecordBundle>>,
     sorted: bool,
+    #[cfg(feature = "sanitize")]
+    shadow: ShadowLink,
 }
 
 impl Kpa {
@@ -116,6 +164,8 @@ impl Kpa {
             schema,
             sources,
             sorted: n <= 1,
+            #[cfg(feature = "sanitize")]
+            shadow: ShadowLink::capture(ctx.env(), bundle),
         })
     }
 
@@ -157,6 +207,8 @@ impl Kpa {
             schema,
             sources,
             sorted: n <= 1,
+            #[cfg(feature = "sanitize")]
+            shadow: ShadowLink::capture(ctx.env(), bundle),
         })
     }
 
@@ -200,6 +252,8 @@ impl Kpa {
             schema,
             sources,
             sorted,
+            #[cfg(feature = "sanitize")]
+            shadow: ShadowLink::capture(ctx.env(), bundle),
         })
     }
 
@@ -232,6 +286,8 @@ impl Kpa {
             schema: Arc::clone(&self.schema),
             sources: self.sources.clone(),
             sorted,
+            #[cfg(feature = "sanitize")]
+            shadow: self.shadow.clone(),
         })
     }
 
@@ -244,6 +300,11 @@ impl Kpa {
             return;
         }
         for i in 0..self.keys.len() {
+            #[cfg(feature = "sanitize")]
+            if !self.ptr_ok(i) {
+                self.keys[i] = 0;
+                continue;
+            }
             let r = RecordRef::unpack(self.ptrs[i]);
             let b = &self.sources[&r.bundle];
             self.keys[i] = b.value(r.row as usize, col);
@@ -279,6 +340,11 @@ impl Kpa {
         // sbx-lint: allow(raw-alloc, per-call scratch bounded by column count)
         let mut vals = vec![0u64; cols.len()];
         for i in 0..self.keys.len() {
+            #[cfg(feature = "sanitize")]
+            if !self.ptr_ok(i) {
+                self.keys[i] = 0;
+                continue;
+            }
             let r = RecordRef::unpack(self.ptrs[i]);
             let b = &self.sources[&r.bundle];
             for (j, &c) in cols.iter().enumerate() {
@@ -306,6 +372,13 @@ impl Kpa {
         // sbx-lint: allow(raw-alloc, row staging scratch; the output bundle itself is pool-accounted by from_rows)
         let mut rows = Vec::with_capacity(self.len() * ncols);
         for i in 0..self.len() {
+            #[cfg(feature = "sanitize")]
+            if !self.ptr_ok(i) {
+                // Copy-out of an invalid pointer: the finding is recorded;
+                // emit a zero row so the fault-free oracle run completes.
+                rows.resize(rows.len() + ncols, 0);
+                continue;
+            }
             let (b, row) = self.deref(i);
             assert_eq!(b.schema().ncols(), ncols, "source schemas disagree");
             rows.extend_from_slice(b.row(row));
@@ -367,6 +440,8 @@ impl Kpa {
                     schema: Arc::clone(&self.schema),
                     sources: self.sources.clone(),
                     sorted,
+                    #[cfg(feature = "sanitize")]
+                    shadow: self.shadow.clone(),
                 },
             ));
         }
@@ -443,6 +518,8 @@ impl Kpa {
             schema,
             sources,
             sorted: true,
+            #[cfg(feature = "sanitize")]
+            shadow: a.shadow.clone().union(&b.shadow),
         })
     }
 
@@ -526,6 +603,11 @@ impl Kpa {
             schema,
             sources,
             sorted: true,
+            #[cfg(feature = "sanitize")]
+            shadow: kpas
+                .iter()
+                .skip(1)
+                .fold(kpas[0].shadow.clone(), |acc, k| acc.union(&k.shadow)),
         })
     }
 
@@ -656,6 +738,11 @@ impl Kpa {
             sources,
             schema,
             sorted: true,
+            #[cfg(feature = "sanitize")]
+            shadow: kpas
+                .iter()
+                .skip(1)
+                .fold(kpas[0].shadow.clone(), |acc, k| acc.union(&k.shadow)),
         })
     }
 
@@ -704,8 +791,25 @@ impl Kpa {
         (&self.sources[&r.bundle], r.row as usize)
     }
 
+    /// With the `sanitize` feature, validates pointer `i` against the
+    /// shadow table; `false` means dereferencing it would be invalid and a
+    /// [`sbx_sanitize::Report`] has been recorded. Callers substitute a
+    /// benign value so the fault-free-oracle run completes.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    fn ptr_ok(&self, i: usize) -> bool {
+        self.shadow.check(self.ptrs[i])
+    }
+
     /// The full-record column `col` of pair `i` (a random DRAM access).
+    ///
+    /// Under `--features sanitize` the resolution is validated first; an
+    /// invalid pointer records a finding and yields `0`.
     pub fn value_at(&self, i: usize, col: Col) -> u64 {
+        #[cfg(feature = "sanitize")]
+        if !self.ptr_ok(i) {
+            return 0;
+        }
         let (b, row) = self.deref(i);
         b.value(row, col)
     }
@@ -759,6 +863,31 @@ impl Kpa {
             "mark_sorted on unsorted keys"
         );
         self.sorted = true;
+    }
+}
+
+/// Fault-injection hooks for the sanitizer's seeded-bug corpus. These model
+/// pointer-plane bugs *in shadow state only*: the real objects stay healthy
+/// and the guarded dereference paths substitute benign values, so the
+/// [`sbx_sanitize::Report`] is the sole observable.
+#[cfg(feature = "sanitize")]
+impl Kpa {
+    /// Overwrites pointer `i` with a forged packed [`RecordRef`] (wild- and
+    /// stale-pointer fixtures).
+    pub fn corrupt_ptr(&mut self, i: usize, raw: u64) {
+        self.ptrs[i] = raw;
+    }
+
+    /// Rebinds shadow validation to another environment's sanitizer,
+    /// modelling a KPA resolved against the wrong memory pool.
+    pub fn rebind_sanitizer(&mut self, env: &MemEnv) {
+        self.shadow.san = env.sanitizer().clone();
+    }
+
+    /// The shadow generation this KPA's pointers were captured against for
+    /// `bundle`, if it is one of the KPA's sources.
+    pub fn expected_generation(&self, bundle: BundleId) -> Option<u32> {
+        self.shadow.expected.get(&bundle.0).copied()
     }
 }
 

@@ -17,6 +17,7 @@
 //!   `#[cfg(test)]` (and items annotated `#[test]`), so rules can skip
 //!   test-only code.
 
+// sbx-lint: out-of-scope(raw-alloc, host-side lint tool; not engine code)
 /// Classification of one scanned token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
@@ -49,6 +50,12 @@ pub struct Token {
 /// suppresses every finding of the rule in the file rather than only those
 /// on the marker's own or next line — for crates whose whole purpose
 /// violates a rule (e.g. reporting binaries and `no-adhoc-io`).
+///
+/// The `out-of-scope(rule, reason)` form sets [`AllowMarker::opt_out`]:
+/// it declares the whole file outside a scoped rule's default
+/// workspace-wide scope (e.g. a bench table opting out of `no-panic`).
+/// Unlike `allow`/`allow-file` it is a scope declaration, not a
+/// suppression, so it is never reported as `unused-allow`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowMarker {
     /// 1-based line the marker comment sits on.
@@ -59,6 +66,9 @@ pub struct AllowMarker {
     pub reason: String,
     /// Whether the marker covers the whole file (`allow-file` form).
     pub file_wide: bool,
+    /// Whether the marker opts the file out of a scoped rule entirely
+    /// (`out-of-scope` form; implies file-wide).
+    pub opt_out: bool,
 }
 
 /// Result of scanning one source file.
@@ -307,12 +317,16 @@ fn skip_raw_or_byte_string(bytes: &[char], start: usize, line: &mut u32) -> usiz
 }
 
 /// Parses `sbx-lint: allow(rule, reason...)` — or the file-wide
-/// `allow-file(rule, reason...)` form — out of a line comment body.
+/// `allow-file(rule, reason...)` / `out-of-scope(rule, reason...)`
+/// forms — out of a line comment body.
 fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
     let rest = comment.trim().strip_prefix("sbx-lint:")?.trim();
-    let (file_wide, inner) = match rest.strip_prefix("allow-file(") {
-        Some(inner) => (true, inner),
-        None => (false, rest.strip_prefix("allow(")?),
+    let (file_wide, opt_out, inner) = if let Some(inner) = rest.strip_prefix("allow-file(") {
+        (true, false, inner)
+    } else if let Some(inner) = rest.strip_prefix("out-of-scope(") {
+        (true, true, inner)
+    } else {
+        (false, false, rest.strip_prefix("allow(")?)
     };
     let inner = inner.strip_suffix(')')?;
     let (rule, reason) = inner.split_once(',')?;
@@ -326,6 +340,7 @@ fn parse_marker(comment: &str, line: u32) -> Option<AllowMarker> {
         rule: rule.to_string(),
         reason: reason.to_string(),
         file_wide,
+        opt_out,
     })
 }
 
@@ -500,6 +515,22 @@ mod tests {
         assert!(!line.markers[0].file_wide);
         // Reason stays mandatory for the file-wide form too.
         assert!(scan("// sbx-lint: allow-file(no-adhoc-io)\n")
+            .markers
+            .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_markers_are_parsed() {
+        let s = scan("// sbx-lint: out-of-scope(no-panic, bench table; panics abort the run)\n");
+        assert_eq!(s.markers.len(), 1);
+        assert!(s.markers[0].opt_out);
+        assert!(s.markers[0].file_wide);
+        assert_eq!(s.markers[0].rule, "no-panic");
+        // allow/allow-file forms are not opt-outs.
+        let a = scan("// sbx-lint: allow-file(no-adhoc-io, reporting binary)\n");
+        assert!(!a.markers[0].opt_out);
+        // Reason stays mandatory.
+        assert!(scan("// sbx-lint: out-of-scope(no-panic)\n")
             .markers
             .is_empty());
     }

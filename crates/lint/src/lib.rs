@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+// sbx-lint: out-of-scope(raw-alloc, host-side lint tool; not engine code)
 pub mod lexer;
 pub mod rules;
 
@@ -143,6 +144,74 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
+/// Renders findings as a JSON array with a stable order and stable key
+/// order, so CI diffs and downstream tooling see byte-identical output
+/// for identical findings. Hand-rolled (the workspace builds offline
+/// with no serde); strings are escaped per RFC 8259.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by_key(|f| (&f.file, f.line, f.rule, &f.message));
+    let mut out = String::from("[");
+    for (i, f) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule),
+            json_string(&f.message)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Renders findings as GitHub Actions workflow annotations
+/// (`::error file=...,line=...::...`), one per line, in the same stable
+/// order as [`render_json`] — so a CI step can surface each finding
+/// inline on the pull-request diff.
+pub fn render_github(findings: &[Finding]) -> String {
+    let mut sorted: Vec<&Finding> = findings.iter().collect();
+    sorted.sort_by_key(|f| (&f.file, f.line, f.rule, &f.message));
+    let mut out = String::new();
+    for f in sorted {
+        // Annotation properties use %-escaping for ',' and ':'; the free
+        // message part only needs newlines escaped.
+        out.push_str(&format!(
+            "::error file={},line={},title=sbx-lint [{}]::{}\n",
+            f.file,
+            f.line.max(1),
+            f.rule,
+            f.message.replace('%', "%25").replace('\n', "%0A")
+        ));
+    }
+    out
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Workspace-relative path with forward slashes (stable across hosts).
 fn rel_path(root: &Path, p: &Path) -> String {
     let rel = p.strip_prefix(root).unwrap_or(p);
@@ -172,5 +241,54 @@ mod tests {
         let root = Path::new("/a/b");
         let p = Path::new("/a/b/crates/kpa/src/sort.rs");
         assert_eq!(rel_path(root, p), "crates/kpa/src/sort.rs");
+    }
+
+    fn finding(file: &str, line: u32, rule: &'static str, message: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    #[test]
+    fn json_output_is_stable_sorted_and_escaped() {
+        // Deliberately out of order; the renderer must sort by
+        // (file, line, rule, message) regardless of input order.
+        let findings = vec![
+            finding(
+                "b.rs",
+                2,
+                "no-panic",
+                "`panic!` with \"quotes\"\nand a newline",
+            ),
+            finding("a.rs", 9, "raw-alloc", "later file first"),
+            finding("a.rs", 1, "wall-clock", "x"),
+        ];
+        let json = render_json(&findings);
+        let a1 = json.find("a.rs\", \"line\": 1").expect("a.rs:1 present");
+        let a9 = json.find("a.rs\", \"line\": 9").expect("a.rs:9 present");
+        let b2 = json.find("b.rs\", \"line\": 2").expect("b.rs:2 present");
+        assert!(a1 < a9 && a9 < b2, "not sorted: {json}");
+        assert!(json.contains(r#"\"quotes\""#), "quote escaping: {json}");
+        assert!(json.contains(r"\n"), "newline escaping: {json}");
+        // Reordering the input changes nothing.
+        let mut shuffled = findings.clone();
+        shuffled.rotate_left(1);
+        assert_eq!(json, render_json(&shuffled));
+        assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn github_annotations_name_file_line_and_rule() {
+        let out = render_github(&[finding("crates/x/src/a.rs", 7, "hash-iter", "msg")]);
+        assert_eq!(
+            out,
+            "::error file=crates/x/src/a.rs,line=7,title=sbx-lint [hash-iter]::msg\n"
+        );
+        // Whole-file findings (line 0) anchor to line 1.
+        let out = render_github(&[finding("Cargo.toml", 0, "dep-allowlist", "dep")]);
+        assert!(out.contains("line=1,"), "{out}");
     }
 }

@@ -1,5 +1,13 @@
 //! Command-line entry point: lints the workspace and exits non-zero on
 //! any finding, so CI can gate on `cargo run -p sbx-lint`.
+//!
+//! Output modes:
+//!
+//! * default — one human-readable line per finding;
+//! * `--json` — a stable-sorted JSON array (see [`sbx_lint::render_json`])
+//!   for machine consumption;
+//! * `--github` — GitHub Actions `::error` annotations so findings show
+//!   up inline on the pull-request diff.
 
 #![forbid(unsafe_code)]
 // sbx-lint: allow-file(no-adhoc-io, the linter reports its findings on stdout)
@@ -8,18 +16,44 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    let mut json = false;
+    let mut github = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--github" => github = true,
+            other => {
+                eprintln!("sbx-lint: unknown argument `{other}` (expected --json or --github)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let root = sbx_lint::workspace_root();
     match sbx_lint::lint_workspace(&root) {
-        Ok(findings) if findings.is_empty() => {
-            println!("sbx-lint: workspace clean ({})", root.display());
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                println!("{}", sbx_lint::render_json(&findings));
+            } else if github {
+                print!("{}", sbx_lint::render_github(&findings));
+                if findings.is_empty() {
+                    println!("sbx-lint: workspace clean ({})", root.display());
+                } else {
+                    println!("sbx-lint: {} finding(s)", findings.len());
+                }
+            } else if findings.is_empty() {
+                println!("sbx-lint: workspace clean ({})", root.display());
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("sbx-lint: {} finding(s)", findings.len());
             }
-            println!("sbx-lint: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("sbx-lint: I/O error: {e}");

@@ -6,21 +6,29 @@
 //! are themselves findings (`unused-allow`), so stale justifications cannot
 //! accumulate.
 //!
-//! | rule            | scope                                           | what it flags |
-//! |-----------------|--------------------------------------------------|---------------|
-//! | `raw-alloc`     | hot-path modules (kpa, records::bundle, core ops, checkpoint) | `Vec::with_capacity`, `with_capacity`, `vec![..]`, `Box::new`, `.collect()` |
-//! | `wall-clock`    | every workspace source file                      | `Instant`, `SystemTime`, `thread::sleep` |
-//! | `hash-iter`     | engine crates (core, kpa, simmem, records, checkpoint) | `HashMap` / `HashSet` (default hasher ⇒ nondeterministic iteration) |
-//! | `no-panic`      | sbx-core, sbx-kpa, sbx-simmem, sbx-checkpoint, sbx-obs | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `no-adhoc-io`   | every workspace source file                      | `println!`, `eprintln!`, `print!`, `eprint!`, `dbg!` (report through sbx-obs instead) |
-//! | `unsafe-forbid` | every crate root (`lib.rs` / `main.rs`)          | missing `#![forbid(unsafe_code)]` |
-//! | `dep-allowlist` | every `Cargo.toml`                               | dependencies outside the approved set |
-//! | `unused-allow`  | everywhere                                       | allow markers that suppress no finding |
+//! Every token rule applies **workspace-wide by default**. The rules in
+//! [`SCOPED_RULES`] can be opted out of per file with a
+//! `// sbx-lint: out-of-scope(<rule>, <reason>)` declaration at the top of
+//! the file — so a file's lint scope is visible in the file itself rather
+//! than in a central path list here.
+//!
+//! | rule              | opt-out? | what it flags |
+//! |-------------------|----------|---------------|
+//! | `raw-alloc`       | yes      | `Vec::with_capacity`, `with_capacity`, `vec![..]`, `Box::new`, `.collect()` (hot paths allocate from simmem pools) |
+//! | `wall-clock`      | no       | `Instant`, `SystemTime`, `thread::sleep` |
+//! | `hash-iter`       | yes      | `HashMap` / `HashSet` (default hasher ⇒ nondeterministic iteration) |
+//! | `no-panic`        | yes      | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `atomic-ordering` | yes      | bare `Ordering::Relaxed` (counter modules opt out; anything else must justify the site) |
+//! | `no-adhoc-io`     | no       | `println!`, `eprintln!`, `print!`, `eprint!`, `dbg!` (report through sbx-obs instead) |
+//! | `unsafe-forbid`   | no       | crate root (`lib.rs` / `main.rs`) missing `#![forbid(unsafe_code)]` |
+//! | `dep-allowlist`   | no       | `Cargo.toml` dependencies outside the approved set |
+//! | `unused-allow`    | no       | allow markers that suppress no finding, and `out-of-scope` markers naming rules that have no scope to leave |
 //!
 //! Reporting binaries whose whole purpose is stdout (the `sbx` CLI, the
 //! bench tables, sbx-lint's own `main.rs`) escape `no-adhoc-io` with one
 //! file-wide `// sbx-lint: allow-file(no-adhoc-io, <reason>)` marker.
 
+// sbx-lint: out-of-scope(raw-alloc, host-side lint tool; not engine code)
 use crate::lexer::{scan, Token};
 use std::fmt;
 
@@ -69,48 +77,11 @@ const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"]
 /// nondeterministic to diff.
 const ADHOC_IO_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
 
-/// True for files in hot-path modules where the `raw-alloc` rule applies:
-/// all of `sbx-kpa`, the record-bundle layout, the engine operators, and
-/// the snapshot encode/persist path (barriers run on the data path).
-pub fn in_raw_alloc_scope(rel: &str) -> bool {
-    rel.starts_with("crates/kpa/src/")
-        || rel.starts_with("crates/pool/src/")
-        || rel == "crates/records/src/bundle.rs"
-        || rel.starts_with("crates/core/src/ops/")
-        || rel.starts_with("crates/checkpoint/src/")
-}
-
-/// True for files in engine crates where `hash-iter` applies.
-pub fn in_hash_iter_scope(rel: &str) -> bool {
-    [
-        "crates/core/src/",
-        "crates/kpa/src/",
-        "crates/pool/src/",
-        "crates/simmem/src/",
-        "crates/records/src/",
-        "crates/checkpoint/src/",
-        "crates/obs/src/",
-    ]
-    .iter()
-    .any(|p| rel.starts_with(p))
-}
-
-/// True for files where the `no-panic` rule applies.
-pub fn in_no_panic_scope(rel: &str) -> bool {
-    [
-        "crates/core/src/",
-        "crates/kpa/src/",
-        "crates/pool/src/",
-        "crates/simmem/src/",
-        "crates/checkpoint/src/",
-        "crates/obs/src/",
-        // The trajectory module is library code on the CI-gate path (the
-        // bench tables and harness stay exempt).
-        "crates/bench/src/trajectory.rs",
-    ]
-    .iter()
-    .any(|p| rel.starts_with(p))
-}
+/// Rules that apply workspace-wide by default but that a file may leave
+/// entirely with an `// sbx-lint: out-of-scope(<rule>, <reason>)`
+/// declaration. An `out-of-scope` marker naming any other rule is itself
+/// an `unused-allow` finding.
+pub const SCOPED_RULES: &[&str] = &["raw-alloc", "hash-iter", "no-panic", "atomic-ordering"];
 
 /// Runs every token-level rule against one source file.
 ///
@@ -122,6 +93,13 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
     let scanned = scan(src);
     let toks = &scanned.tokens;
     let mut raw: Vec<Finding> = Vec::new();
+
+    // A scoped rule applies unless the file declares itself out of scope.
+    let in_scope = |rule: &str| !scanned.markers.iter().any(|m| m.opt_out && m.rule == rule);
+    let raw_alloc = in_scope("raw-alloc");
+    let hash_iter = in_scope("hash-iter");
+    let no_panic = in_scope("no-panic");
+    let atomic_ordering = in_scope("atomic-ordering");
 
     let finding = |rule: &'static str, line: u32, message: String| Finding {
         rule,
@@ -174,8 +152,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
             ));
         }
 
-        // hash-iter: engine crates only.
-        if in_hash_iter_scope(rel) && (t.text == "HashMap" || t.text == "HashSet") {
+        // hash-iter: workspace-wide, opt out per file.
+        if hash_iter && (t.text == "HashMap" || t.text == "HashSet") {
             raw.push(finding(
                 "hash-iter",
                 t.line,
@@ -187,8 +165,22 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
             ));
         }
 
-        // no-panic: core/kpa/simmem only.
-        if in_no_panic_scope(rel) {
+        // atomic-ordering: workspace-wide, opt out per file (counter
+        // modules). A bare relaxed access provides no happens-before edge,
+        // so any site outside a counter module must say why that is fine.
+        if atomic_ordering && t.text == "Relaxed" && follows_path(toks, i, "Ordering") {
+            raw.push(finding(
+                "atomic-ordering",
+                t.line,
+                "`Ordering::Relaxed` provides no happens-before edge; \
+                 justify the site with an allow marker or use a stronger \
+                 ordering"
+                    .to_string(),
+            ));
+        }
+
+        // no-panic: workspace-wide, opt out per file.
+        if no_panic {
             if PANIC_METHODS.contains(&t.text.as_str()) && is_method_call(toks, i) {
                 raw.push(finding(
                     "no-panic",
@@ -205,8 +197,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
             }
         }
 
-        // raw-alloc: hot-path modules only.
-        if in_raw_alloc_scope(rel) {
+        // raw-alloc: workspace-wide, opt out per file (cold paths).
+        if raw_alloc {
             match t.text.as_str() {
                 "with_capacity" if is_path_or_method(toks, i) => {
                     raw.push(finding(
@@ -320,6 +312,11 @@ pub fn lint_manifest(rel: &str, src: &str) -> Vec<Finding> {
 /// Suppresses findings covered by a marker on the same or previous line
 /// (or anywhere in the file, for `allow-file` markers), then reports any
 /// marker that suppressed nothing.
+///
+/// `out-of-scope` markers are scope declarations, not suppressions: they
+/// already took effect before the rules ran, so they are exempt from the
+/// unused check — but one naming a rule outside [`SCOPED_RULES`] is
+/// reported, since it declares an exit from a scope that does not exist.
 fn apply_markers(
     raw: Vec<Finding>,
     markers: &[crate::lexer::AllowMarker],
@@ -330,6 +327,9 @@ fn apply_markers(
     for f in raw {
         let mut suppressed = false;
         for (mi, m) in markers.iter().enumerate() {
+            if m.opt_out {
+                continue;
+            }
             let covers = m.file_wide || m.line == f.line || m.line + 1 == f.line;
             if m.rule == f.rule && covers {
                 used[mi] = true;
@@ -341,6 +341,21 @@ fn apply_markers(
         }
     }
     for (mi, m) in markers.iter().enumerate() {
+        if m.opt_out {
+            if !SCOPED_RULES.contains(&m.rule.as_str()) {
+                out.push(Finding {
+                    rule: "unused-allow",
+                    file: rel.to_string(),
+                    line: m.line,
+                    message: format!(
+                        "out-of-scope({}) names a rule without a per-file \
+                         scope; only {SCOPED_RULES:?} can be opted out of",
+                        m.rule
+                    ),
+                });
+            }
+            continue;
+        }
         if !used[mi] {
             out.push(Finding {
                 rule: "unused-allow",
@@ -407,46 +422,56 @@ mod tests {
     }
 
     #[test]
-    fn trajectory_module_is_no_panic_but_bench_tables_are_not() {
-        let rel = "crates/bench/src/trajectory.rs";
-        assert!(in_no_panic_scope(rel));
-        assert!(rules_of(&lint_source(rel, "fn f() { x.unwrap(); }")).contains(&"no-panic"));
-        assert!(!in_no_panic_scope("crates/bench/src/fig7.rs"));
-        assert!(!in_no_panic_scope("crates/bench/src/harness.rs"));
+    fn scoped_rules_apply_on_any_path_by_default() {
+        // No central path list: every file is in every scoped rule's scope
+        // until it declares otherwise.
+        let src = "fn f() { x.unwrap(); let v = it.collect(); let m: HashMap<u8, u8>; }";
+        for rel in [
+            "crates/checkpoint/src/lib.rs",
+            "crates/pool/src/lib.rs",
+            "crates/bench/src/fig7.rs",
+            "src/bin/sbx.rs",
+        ] {
+            let rules = rules_of(&lint_source(rel, src));
+            assert!(rules.contains(&"no-panic"), "{rel}");
+            assert!(rules.contains(&"raw-alloc"), "{rel}");
+            assert!(rules.contains(&"hash-iter"), "{rel}");
+        }
     }
 
     #[test]
-    fn checkpoint_crate_is_in_all_engine_scopes() {
-        let rel = "crates/checkpoint/src/lib.rs";
-        assert!(in_no_panic_scope(rel));
-        assert!(in_raw_alloc_scope(rel));
-        assert!(in_hash_iter_scope(rel));
-        let f = lint_source(rel, "fn f() { x.unwrap(); let v = it.collect(); }");
-        let rules = rules_of(&f);
-        assert!(rules.contains(&"no-panic"));
-        assert!(rules.contains(&"raw-alloc"));
+    fn out_of_scope_marker_disables_one_rule_file_wide() {
+        let src = "// sbx-lint: out-of-scope(no-panic, bench table; a panic aborts the run)\n\
+                   fn f() { x.unwrap(); let v = it.collect(); }\nfn g() { y.expect(\"m\"); }";
+        let rules = rules_of(&lint_source(NEUTRAL, src));
+        assert!(!rules.contains(&"no-panic"), "{rules:?}");
+        // Only the named rule leaves scope.
+        assert!(rules.contains(&"raw-alloc"), "{rules:?}");
     }
 
     #[test]
-    fn pool_crate_is_in_all_engine_scopes() {
-        let rel = "crates/pool/src/lib.rs";
-        assert!(in_no_panic_scope(rel));
-        assert!(in_raw_alloc_scope(rel));
-        assert!(in_hash_iter_scope(rel));
-        let f = lint_source(rel, "fn f() { x.unwrap(); let v = it.collect(); }");
-        let rules = rules_of(&f);
-        assert!(rules.contains(&"no-panic"));
-        assert!(rules.contains(&"raw-alloc"));
+    fn out_of_scope_of_unscoped_rule_is_reported() {
+        // wall-clock has no per-file scope to leave.
+        let src = "// sbx-lint: out-of-scope(wall-clock, wishful thinking)\nfn f() {}";
+        let f = lint_source(NEUTRAL, src);
+        assert_eq!(rules_of(&f), vec!["unused-allow"]);
+        assert!(f[0].message.contains("wall-clock"));
     }
 
     #[test]
-    fn no_panic_ignores_tests_lookalikes_and_out_of_scope() {
-        // unwrap_or_else is a distinct identifier; unwrap in test code and
-        // in non-engine crates is fine.
+    fn out_of_scope_marker_is_not_unused_allow() {
+        // A file may declare itself cold before any violation exists.
+        let src = "// sbx-lint: out-of-scope(raw-alloc, cold path)\nfn f() {}";
+        assert!(lint_source(NEUTRAL, src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_ignores_tests_and_lookalikes() {
+        // unwrap_or_else is a distinct identifier; unwrap in test code is
+        // fine.
         let clean = "fn f() { x.unwrap_or_else(PoisonError::into_inner); }\n\
                      #[cfg(test)] mod t { fn g() { x.unwrap(); } }";
         assert!(lint_source(ENGINE, clean).is_empty());
-        assert!(lint_source(NEUTRAL, "fn f() { x.unwrap(); }").is_empty());
     }
 
     // --- raw-alloc ------------------------------------------------------
@@ -460,11 +485,12 @@ mod tests {
     }
 
     #[test]
-    fn raw_alloc_passes_pool_based_code_and_cold_path() {
+    fn raw_alloc_passes_pool_based_code_and_opted_out_cold_path() {
         let pool = "fn f(p: &MemPool) -> Result<(), AllocError> {\n\
                     let b = p.alloc_u64(64, Priority::Normal)?; Ok(()) }";
         assert!(lint_source(HOT, pool).is_empty());
-        let cold = "fn f() { let a = Vec::with_capacity(4); }";
+        let cold = "// sbx-lint: out-of-scope(raw-alloc, engine setup; runs once per pipeline)\n\
+                    fn f() { let a = Vec::with_capacity(4); }";
         assert!(lint_source("crates/core/src/engine.rs", cold).is_empty());
     }
 
@@ -510,11 +536,45 @@ mod tests {
     }
 
     #[test]
-    fn hash_iter_passes_btreemap_and_non_engine_code() {
+    fn hash_iter_passes_btreemap_and_opted_out_files() {
         let src = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u64, u64>) {}";
         assert!(lint_source(ENGINE, src).is_empty());
-        let src = "use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}";
+        let src = "// sbx-lint: out-of-scope(hash-iter, lookup-only caches; never iterated)\n\
+                   use std::collections::HashMap;\nfn f(m: &HashMap<u64, u64>) {}";
         assert!(lint_source(NEUTRAL, src).is_empty());
+    }
+
+    // --- atomic-ordering ------------------------------------------------
+
+    #[test]
+    fn atomic_ordering_flags_bare_relaxed() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); \
+                   let v = c.load(Ordering::Relaxed); }";
+        let f = lint_source(ENGINE, src);
+        assert_eq!(rules_of(&f), vec!["atomic-ordering"; 2]);
+    }
+
+    #[test]
+    fn atomic_ordering_passes_stronger_orderings_and_lookalikes() {
+        let src = "fn f(c: &AtomicU64) { c.load(Ordering::Acquire); \
+                   c.store(0, Ordering::Release); c.fetch_add(1, Ordering::AcqRel); \
+                   let Relaxed = 3; m.insert(Relaxed, 4); }";
+        assert!(lint_source(ENGINE, src).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_marker_justifies_a_site() {
+        let src = "// sbx-lint: allow(atomic-ordering, monotonic id counter; uniqueness only)\n\
+                   fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(lint_source(ENGINE, src).is_empty());
+    }
+
+    #[test]
+    fn atomic_ordering_counter_modules_opt_out() {
+        let src = "// sbx-lint: out-of-scope(atomic-ordering, counter module; relaxed \
+                   increments aggregated at quiescence)\n\
+                   fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }";
+        assert!(lint_source("crates/obs/src/metrics.rs", src).is_empty());
     }
 
     // --- no-adhoc-io ----------------------------------------------------
@@ -563,10 +623,10 @@ mod tests {
 
     #[test]
     fn obs_crate_is_in_engine_scopes() {
-        let rel = "crates/obs/src/metrics.rs";
-        assert!(in_no_panic_scope(rel));
-        assert!(in_hash_iter_scope(rel));
-        let f = lint_source(rel, "fn f() { x.unwrap(); let m: HashMap<u8, u8>; }");
+        let f = lint_source(
+            "crates/obs/src/metrics.rs",
+            "fn f() { x.unwrap(); let m: HashMap<u8, u8>; }",
+        );
         let rules = rules_of(&f);
         assert!(rules.contains(&"no-panic"));
         assert!(rules.contains(&"hash-iter"));

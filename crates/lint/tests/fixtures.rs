@@ -87,12 +87,30 @@ fn dep_allowlist_fixtures() {
 }
 
 #[test]
-fn fixtures_out_of_scope_are_clean() {
-    // The same bad fixtures are fine outside their rules' scopes: raw
-    // allocation is legal in cold paths, panics are legal outside the
-    // engine crates, hash maps are legal outside engine crates.
+fn atomic_ordering_fixtures() {
+    let bad = lint_source(ENGINE, &fixture("atomic_ordering_bad.rs"));
+    assert_eq!(count(&bad, "atomic-ordering"), 2, "bad fixture: {bad:?}");
+    let ok = lint_source(ENGINE, &fixture("atomic_ordering_ok.rs"));
+    assert!(ok.is_empty(), "ok fixture should be clean: {ok:?}");
+}
+
+#[test]
+fn fixtures_opted_out_are_clean() {
+    // Scoped rules apply everywhere by default; the same bad fixtures go
+    // clean once the file declares itself out of the rule's scope (a cold
+    // path, a non-engine tool, a counter module).
     let cold = "crates/bench/src/fixture.rs";
-    assert!(lint_source(cold, &fixture("raw_alloc_bad.rs")).is_empty());
-    assert!(lint_source(cold, &fixture("no_panic_bad.rs")).is_empty());
-    assert!(lint_source(cold, &fixture("hash_iter_bad.rs")).is_empty());
+    for (fix, rule) in [
+        ("raw_alloc_bad.rs", "raw-alloc"),
+        ("no_panic_bad.rs", "no-panic"),
+        ("hash_iter_bad.rs", "hash-iter"),
+        ("atomic_ordering_bad.rs", "atomic-ordering"),
+    ] {
+        let src = format!(
+            "// sbx-lint: out-of-scope({rule}, fixture exercising the opt-out form)\n{}",
+            fixture(fix)
+        );
+        let f = lint_source(cold, &src);
+        assert!(f.is_empty(), "{fix} with opt-out should be clean: {f:?}");
+    }
 }

@@ -1,0 +1,8 @@
+// Bad: bare relaxed atomics outside a counter module — no happens-before
+// edge, no justification.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed);
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,22 @@
+// Ok: stronger orderings need no justification; a relaxed site carries a
+// justified allow marker; `Relaxed` as a plain identifier is not an
+// atomic ordering.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn publish(c: &AtomicU64, v: u64) {
+    c.store(v, Ordering::Release);
+}
+
+pub fn read(c: &AtomicU64) -> u64 {
+    c.load(Ordering::Acquire)
+}
+
+pub fn next_id(c: &AtomicU64) -> u64 {
+    // sbx-lint: allow(atomic-ordering, monotonic id counter; uniqueness is all that matters)
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn lookalike() -> u64 {
+    let Relaxed = 7u64;
+    Relaxed
+}

@@ -12,6 +12,7 @@
 //! quantiles are estimates (interpolated within a bucket, so the error is
 //! bounded by the bucket width).
 
+// sbx-lint: out-of-scope(atomic-ordering, counter module; concurrent histogram increments merged at export)
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 

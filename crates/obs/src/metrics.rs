@@ -10,6 +10,8 @@
 //! supplied by the caller — the registry never reads a clock, keeping
 //! exports deterministic (see DESIGN.md §10).
 
+// sbx-lint: out-of-scope(atomic-ordering, counter module; relaxed increments are aggregated at export time)
+// sbx-lint: out-of-scope(raw-alloc, metrics registry and export; off the simulated data path)
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};

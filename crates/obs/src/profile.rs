@@ -13,6 +13,7 @@
 //! Everything here is a pure function of the exported artifacts, so the
 //! rendered report is byte-identical across same-seed runs.
 
+// sbx-lint: out-of-scope(raw-alloc, profile aggregation at export time)
 use std::collections::BTreeMap;
 
 use crate::json::{parse_flat_object, JsonValue};

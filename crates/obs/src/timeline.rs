@@ -11,6 +11,7 @@
 //! Every value originates from simulated time or accounted byte counters,
 //! so a timeline is byte-identical across same-seed runs.
 
+// sbx-lint: out-of-scope(raw-alloc, timeline rendering at export time)
 use crate::json::fmt_f64;
 use crate::metrics::MetricsDump;
 

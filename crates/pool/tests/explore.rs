@@ -1,0 +1,274 @@
+//! Bounded schedule exploration of the wave protocol (loom-lite).
+//!
+//! [`sbx_pool::Waves::run`] deals job `i` to lane `i % lanes` (lane 0 =
+//! the calling thread), the caller runs its own jobs, and remote results
+//! return over one shared back channel in *arrival order*, landing in
+//! `out[i]` by job index. The correctness claim is that the output — and
+//! the shadow state of every buffer the jobs touch — is identical on
+//! every possible interleaving of lane steps.
+//!
+//! These tests model that protocol as a [`ScheduleModel`]: each worker
+//! lane advances in two atomic actions (claim a job off its queue, then
+//! complete it onto the back channel), the caller lane runs its own jobs
+//! and then collects, and an embedded [`ShadowTable`] tracks each job's
+//! buffer (registered at deal, resolved at claim/complete, freed at
+//! write-back). The explorer enumerates every interleaving and asserts
+//! sanitizer-clean, leak-free, bit-identical output against the serial
+//! schedule.
+
+use std::collections::VecDeque;
+
+use sbx_sanitize::explorer::{explore, run_serial, ExploreConfig, ScheduleModel};
+use sbx_sanitize::{Scope, ShadowTable};
+
+/// Deterministic per-job result (stands in for the worker closure).
+fn job_result(job: usize) -> u64 {
+    (job as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xABCD
+}
+
+fn job_alloc(job: usize) -> u64 {
+    job as u64 + 1
+}
+
+/// One wave of `Waves::run` as a cloneable protocol model.
+///
+/// Lane 0 is the caller; lanes `1..lanes` are workers. Worker steps:
+/// claim (pop own queue, read the job buffer) then complete (read again,
+/// push `(idx, result)` onto the shared back channel). Caller steps: run
+/// one own job (read buffer, write `out[idx]`, release buffer), then —
+/// once its own list is drained — collect one back-channel entry into
+/// `out[idx]` and release that buffer.
+#[derive(Clone)]
+struct WaveModel {
+    /// Pending jobs per worker lane, FIFO (mpsc channel order).
+    queues: Vec<VecDeque<usize>>,
+    /// Job a worker has claimed but not yet completed.
+    inflight: Vec<Option<usize>>,
+    /// The caller lane's own jobs, in deal order.
+    own: VecDeque<usize>,
+    /// Shared back channel: results in arrival order.
+    back: VecDeque<(usize, u64)>,
+    /// Remote results not yet collected by the caller.
+    uncollected: usize,
+    /// Output slots, written by job index.
+    out: Vec<Option<u64>>,
+    /// Shadow state of the per-job buffers.
+    shadow: ShadowTable,
+}
+
+impl WaveModel {
+    /// Deals `jobs` jobs round-robin over `lanes` lanes, registering each
+    /// job's buffer in the shadow table (exactly what the issuing thread
+    /// does up-front in `Waves::run` — channel sends never block).
+    fn deal(jobs: usize, lanes: usize) -> WaveModel {
+        assert!(lanes >= 2, "a wave with one lane runs inline");
+        let mut shadow = ShadowTable::new();
+        let deal = Scope {
+            span: 1,
+            owner: "deal",
+        };
+        let mut queues = vec![VecDeque::new(); lanes - 1];
+        let mut own = VecDeque::new();
+        let mut uncollected = 0usize;
+        for i in 0..jobs {
+            shadow.register(job_alloc(i), 1, 0, deal);
+            let lane = i % lanes;
+            if lane == 0 {
+                own.push_back(i);
+            } else {
+                queues[lane - 1].push_back(i);
+                uncollected += 1;
+            }
+        }
+        WaveModel {
+            queues,
+            inflight: vec![None; lanes - 1],
+            own,
+            back: VecDeque::new(),
+            uncollected,
+            out: vec![None; jobs],
+            shadow,
+        }
+    }
+
+    fn scope(&self, lane: usize, owner: &'static str) -> Scope {
+        Scope {
+            span: 100 + lane as u64,
+            owner,
+        }
+    }
+}
+
+impl ScheduleModel for WaveModel {
+    fn enabled_lanes(&self) -> Vec<usize> {
+        let mut lanes = Vec::new();
+        // The caller runs its own jobs first, then blocks on collection
+        // until a result has actually arrived.
+        if !self.own.is_empty() || (self.uncollected > 0 && !self.back.is_empty()) {
+            lanes.push(0);
+        }
+        for w in 0..self.queues.len() {
+            if self.inflight[w].is_some() || !self.queues[w].is_empty() {
+                lanes.push(w + 1);
+            }
+        }
+        lanes
+    }
+
+    fn step(&mut self, lane: usize) {
+        if lane == 0 {
+            if let Some(i) = self.own.pop_front() {
+                // Caller-lane job: read the buffer, write the slot, release.
+                let sc = self.scope(0, "caller");
+                self.shadow.resolve(job_alloc(i), 0, None, sc);
+                self.out[i] = Some(job_result(i));
+                self.shadow.free(job_alloc(i), sc);
+            } else if let Some((i, res)) = self.back.pop_front() {
+                // Collection: results land by job index, so arrival order
+                // cannot change the output.
+                let sc = self.scope(0, "collect");
+                self.shadow.resolve(job_alloc(i), 0, None, sc);
+                self.out[i] = Some(res);
+                self.shadow.free(job_alloc(i), sc);
+                self.uncollected -= 1;
+            }
+            return;
+        }
+        let w = lane - 1;
+        let sc = self.scope(lane, "worker");
+        match self.inflight[w].take() {
+            None => {
+                if let Some(i) = self.queues[w].pop_front() {
+                    // Claim: first read of the job buffer.
+                    self.shadow.resolve(job_alloc(i), 0, None, sc);
+                    self.inflight[w] = Some(i);
+                }
+            }
+            Some(i) => {
+                // Complete: read again, send the result back.
+                self.shadow.resolve(job_alloc(i), 0, None, sc);
+                self.back.push_back((i, job_result(i)));
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.own.is_empty()
+            && self.uncollected == 0
+            && self.inflight.iter().all(Option::is_none)
+            && self.queues.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// Checks one completed schedule against the canonical serial run.
+fn verify_against(canonical: &[Option<u64>]) -> impl Fn(&WaveModel) -> Result<(), String> + '_ {
+    move |m: &WaveModel| {
+        if !m.shadow.reports().is_empty() {
+            return Err(format!("sanitizer findings: {:?}", m.shadow.reports()));
+        }
+        if m.shadow.live_count() != 0 {
+            return Err(format!("{} job buffers leaked", m.shadow.live_count()));
+        }
+        if m.out != canonical {
+            return Err(format!("output {:?} != canonical {canonical:?}", m.out));
+        }
+        Ok(())
+    }
+}
+
+fn explore_wave(jobs: usize, lanes: usize, max_schedules: u64) -> u64 {
+    let seed = WaveModel::deal(jobs, lanes);
+    let canonical = run_serial(&seed, 10_000).expect("serial schedule terminates");
+    assert!(canonical.out.iter().all(Option::is_some));
+    let cfg = ExploreConfig {
+        max_schedules,
+        max_depth: 10_000,
+    };
+    let report = explore(&seed, cfg, verify_against(&canonical.out));
+    assert!(
+        report.failures.is_empty(),
+        "schedule failures: {:#?}",
+        report.failures
+    );
+    assert!(
+        !report.truncated,
+        "interleaving space not exhausted within {max_schedules} schedules"
+    );
+    report.schedules
+}
+
+#[test]
+fn wave_protocol_clean_on_every_schedule_two_lanes() {
+    let n = explore_wave(6, 2, 500_000);
+    assert!(n > 1, "expected a nontrivial interleaving space, got {n}");
+}
+
+#[test]
+fn wave_protocol_clean_on_every_schedule_three_lanes() {
+    let n = explore_wave(4, 3, 500_000);
+    assert!(n > 1, "expected a nontrivial interleaving space, got {n}");
+}
+
+#[test]
+fn wave_protocol_clean_odd_jobs_over_three_lanes() {
+    explore_wave(5, 3, 500_000);
+}
+
+/// A deliberately racy collector: results are written to the *next free
+/// slot* instead of their job index, so the output depends on back-channel
+/// arrival order. The explorer must find a schedule where it diverges.
+#[derive(Clone)]
+struct RacyCollect {
+    inner: WaveModel,
+    next_slot: usize,
+}
+
+impl ScheduleModel for RacyCollect {
+    fn enabled_lanes(&self) -> Vec<usize> {
+        self.inner.enabled_lanes()
+    }
+    fn step(&mut self, lane: usize) {
+        if lane == 0 && self.inner.own.is_empty() {
+            if let Some((i, res)) = self.inner.back.pop_front() {
+                let sc = self.inner.scope(0, "collect");
+                self.inner.shadow.resolve(job_alloc(i), 0, None, sc);
+                self.inner.out[self.next_slot] = Some(res);
+                self.next_slot += 1;
+                self.inner.shadow.free(job_alloc(i), sc);
+                self.inner.uncollected -= 1;
+            }
+            return;
+        }
+        self.inner.step(lane);
+        if lane == 0 {
+            self.next_slot += 1;
+        }
+    }
+    fn is_done(&self) -> bool {
+        self.inner.is_done()
+    }
+}
+
+#[test]
+fn explorer_catches_arrival_order_dependent_collection() {
+    let seed = RacyCollect {
+        inner: WaveModel::deal(5, 3),
+        next_slot: 0,
+    };
+    let canonical = run_serial(&seed, 10_000).expect("serial schedule terminates");
+    let cfg = ExploreConfig {
+        max_schedules: 500_000,
+        max_depth: 10_000,
+    };
+    let report = explore(&seed, cfg, |m: &RacyCollect| {
+        if m.inner.out == canonical.inner.out {
+            Ok(())
+        } else {
+            Err("output diverged from canonical".into())
+        }
+    });
+    assert!(
+        !report.failures.is_empty(),
+        "the racy collector must diverge on some schedule"
+    );
+}

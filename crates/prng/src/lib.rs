@@ -132,6 +132,7 @@ impl SbxRng {
 
     /// A vector of `len` values drawn from `range`.
     pub fn vec_in(&mut self, len: usize, range: Range<u64>) -> Vec<u64> {
+        // sbx-lint: allow(raw-alloc, workload-vector builder for sources and tests)
         (0..len).map(|_| self.random_range(range.clone())).collect()
     }
 }

@@ -70,6 +70,10 @@ pub struct RecordBundle {
     schema: Arc<Schema>,
     data: PoolVec,
     rows: usize,
+    /// Sanitizer handle so the shadow entry is retired exactly when the
+    /// last `Arc<RecordBundle>` drops.
+    #[cfg(feature = "sanitize")]
+    shadow: sbx_sanitize::Sanitizer,
 }
 
 impl RecordBundle {
@@ -104,11 +108,18 @@ impl RecordBundle {
         data.extend_from_slice(rows);
         let nrows = rows.len() / ncols;
         LIVE_BUNDLES.fetch_add(1, Ordering::AcqRel);
+        // sbx-lint: allow(atomic-ordering, monotonic id counter; uniqueness is all that matters)
+        let id = BundleId(NEXT_BUNDLE_ID.fetch_add(1, Ordering::Relaxed));
+        #[cfg(feature = "sanitize")]
+        env.sanitizer()
+            .register(id.0 as u64, nrows as u32, MemKind::Dram.index() as u8);
         Ok(Arc::new(RecordBundle {
-            id: BundleId(NEXT_BUNDLE_ID.fetch_add(1, Ordering::Relaxed)),
+            id,
             schema,
             data,
             rows: nrows,
+            #[cfg(feature = "sanitize")]
+            shadow: env.sanitizer().clone(),
         }))
     }
 
@@ -190,6 +201,8 @@ impl fmt::Debug for RecordBundle {
 impl Drop for RecordBundle {
     fn drop(&mut self) {
         LIVE_BUNDLES.fetch_sub(1, Ordering::AcqRel);
+        #[cfg(feature = "sanitize")]
+        self.shadow.free(self.id.0 as u64);
     }
 }
 

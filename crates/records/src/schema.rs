@@ -1,3 +1,4 @@
+// sbx-lint: out-of-scope(raw-alloc, schema construction; once per pipeline)
 use std::fmt;
 use std::sync::Arc;
 

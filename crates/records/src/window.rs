@@ -93,11 +93,13 @@ impl WindowSpec {
     /// All windows containing `ts`, earliest first.
     pub fn windows_of(&self, ts: EventTime) -> Vec<WindowId> {
         match *self {
+            // sbx-lint: allow(raw-alloc, single-entry window-id list for fixed windows)
             WindowSpec::Fixed { .. } => vec![self.window_of(ts)],
             WindowSpec::Sliding { size, slide } => {
                 let latest = ts.raw() / slide;
                 let overlap = size / slide;
                 let earliest = latest.saturating_sub(overlap - 1);
+                // sbx-lint: allow(raw-alloc, at most size/slide window ids per record)
                 (earliest..=latest).map(WindowId).collect()
             }
         }

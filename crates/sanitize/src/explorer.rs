@@ -1,0 +1,287 @@
+//! Bounded deterministic schedule explorer (loom-lite).
+//!
+//! The sbx-pool wave protocol is a small concurrent state machine: a
+//! caller deals jobs to lanes, each lane claims and completes jobs, and
+//! the caller collects results in back-channel arrival order. Instead of
+//! running real threads and hoping a race shows up, a test expresses the
+//! protocol as a [`ScheduleModel`] — a *cloneable* value whose `step`
+//! advances one lane by one atomic protocol action — and [`explore`]
+//! enumerates every interleaving of lane steps up to a bound, invoking a
+//! verifier on each completed schedule.
+//!
+//! Because the model (including any embedded [`crate::ShadowTable`]) is a
+//! plain `Clone` value, each branch of the depth-first search forks its
+//! own copy: no locks, no global state, perfectly deterministic.
+
+/// A cloneable concurrent-protocol model explored by [`explore`].
+///
+/// `Clone` must deep-copy the whole model state: every DFS branch forks
+/// the model and advances its copy independently.
+pub trait ScheduleModel: Clone {
+    /// Lanes that can take a step from the current state. Must be empty
+    /// once [`is_done`](Self::is_done) returns true; a non-done state
+    /// with no enabled lanes is reported as a deadlock.
+    fn enabled_lanes(&self) -> Vec<usize>;
+
+    /// Advances `lane` by one atomic protocol action. Only called with a
+    /// lane previously returned by [`enabled_lanes`](Self::enabled_lanes).
+    fn step(&mut self, lane: usize);
+
+    /// True once the protocol has run to completion.
+    fn is_done(&self) -> bool;
+}
+
+/// Bounds for [`explore`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum number of complete schedules to enumerate before
+    /// truncating the search (reported via [`ExploreReport::truncated`]).
+    pub max_schedules: u64,
+    /// Maximum steps along any single schedule; exceeding it is reported
+    /// as a failure (a livelocked model would otherwise never terminate).
+    pub max_depth: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 100_000,
+            max_depth: 4096,
+        }
+    }
+}
+
+/// Outcome of an [`explore`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Complete schedules enumerated.
+    pub schedules: u64,
+    /// True if the search hit [`ExploreConfig::max_schedules`] before
+    /// exhausting the interleaving space.
+    pub truncated: bool,
+    /// Human-readable failures: verifier rejections, deadlocks, and
+    /// depth overruns, each tagged with the schedule (lane trace) that
+    /// produced it. Capped at 16 entries.
+    pub failures: Vec<String>,
+}
+
+impl ExploreReport {
+    /// True when the exploration completed without truncation and every
+    /// schedule passed verification.
+    pub fn is_clean(&self) -> bool {
+        !self.truncated && self.failures.is_empty()
+    }
+}
+
+const MAX_FAILURES: usize = 16;
+
+/// Exhaustively enumerates lane interleavings of `seed` (bounded by
+/// `cfg`), calling `verify` on every completed model. `verify` returns
+/// `Err(reason)` to record a failure for that schedule.
+pub fn explore<M, V>(seed: &M, cfg: ExploreConfig, mut verify: V) -> ExploreReport
+where
+    M: ScheduleModel,
+    V: FnMut(&M) -> Result<(), String>,
+{
+    let mut report = ExploreReport::default();
+    let mut trace: Vec<usize> = Vec::new();
+    dfs(seed, &cfg, &mut verify, &mut report, &mut trace);
+    report
+}
+
+fn dfs<M, V>(
+    model: &M,
+    cfg: &ExploreConfig,
+    verify: &mut V,
+    report: &mut ExploreReport,
+    trace: &mut Vec<usize>,
+) where
+    M: ScheduleModel,
+    V: FnMut(&M) -> Result<(), String>,
+{
+    if report.truncated {
+        return;
+    }
+    if model.is_done() {
+        report.schedules += 1;
+        if report.schedules >= cfg.max_schedules {
+            report.truncated = true;
+        }
+        if let Err(reason) = verify(model) {
+            fail(report, trace, &reason);
+        }
+        return;
+    }
+    if trace.len() >= cfg.max_depth {
+        fail(report, trace, "max_depth exceeded (livelock?)");
+        return;
+    }
+    let lanes = model.enabled_lanes();
+    if lanes.is_empty() {
+        fail(
+            report,
+            trace,
+            "deadlock: no enabled lanes before completion",
+        );
+        return;
+    }
+    for lane in lanes {
+        let mut next = model.clone();
+        next.step(lane);
+        trace.push(lane);
+        dfs(&next, cfg, verify, report, trace);
+        trace.pop();
+        if report.truncated {
+            return;
+        }
+    }
+}
+
+fn fail(report: &mut ExploreReport, trace: &[usize], reason: &str) {
+    if report.failures.len() < MAX_FAILURES {
+        report
+            .failures
+            .push(format!("schedule {trace:?}: {reason}"));
+    }
+}
+
+/// Runs `seed` to completion along the canonical serial schedule (always
+/// the lowest enabled lane) and returns the finished model. Useful as
+/// the baseline for bit-identical-output assertions.
+pub fn run_serial<M: ScheduleModel>(seed: &M, max_steps: usize) -> Option<M> {
+    let mut m = seed.clone();
+    let mut steps = 0usize;
+    while !m.is_done() {
+        let lanes = m.enabled_lanes();
+        let lane = *lanes.first()?;
+        m.step(lane);
+        steps += 1;
+        if steps > max_steps {
+            return None;
+        }
+    }
+    Some(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two lanes each append their id `per_lane` times to a shared log.
+    #[derive(Clone)]
+    struct Interleave {
+        remaining: [usize; 2],
+        log: Vec<usize>,
+    }
+
+    impl ScheduleModel for Interleave {
+        fn enabled_lanes(&self) -> Vec<usize> {
+            (0..2).filter(|&l| self.remaining[l] > 0).collect()
+        }
+        fn step(&mut self, lane: usize) {
+            self.remaining[lane] -= 1;
+            self.log.push(lane);
+        }
+        fn is_done(&self) -> bool {
+            self.remaining.iter().all(|&r| r == 0)
+        }
+    }
+
+    #[test]
+    fn enumerates_all_interleavings() {
+        let seed = Interleave {
+            remaining: [2, 2],
+            log: Vec::new(),
+        };
+        let report = explore(&seed, ExploreConfig::default(), |m| {
+            if m.log.len() == 4 {
+                Ok(())
+            } else {
+                Err("wrong length".into())
+            }
+        });
+        // C(4,2) = 6 interleavings of 2+2 steps.
+        assert_eq!(report.schedules, 6);
+        assert!(report.is_clean(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn verifier_failures_carry_the_lane_trace() {
+        let seed = Interleave {
+            remaining: [1, 1],
+            log: Vec::new(),
+        };
+        let report = explore(&seed, ExploreConfig::default(), |m| {
+            if m.log == [0, 1] {
+                Ok(())
+            } else {
+                Err("lane 1 ran first".into())
+            }
+        });
+        assert_eq!(report.schedules, 2);
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            report.failures[0].contains("[1, 0]"),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let seed = Interleave {
+            remaining: [3, 3],
+            log: Vec::new(),
+        };
+        let cfg = ExploreConfig {
+            max_schedules: 5,
+            max_depth: 64,
+        };
+        let report = explore(&seed, cfg, |_| Ok(()));
+        assert!(report.truncated);
+        assert_eq!(report.schedules, 5);
+    }
+
+    #[derive(Clone)]
+    struct Deadlocks {
+        stepped: bool,
+    }
+
+    impl ScheduleModel for Deadlocks {
+        fn enabled_lanes(&self) -> Vec<usize> {
+            if self.stepped {
+                Vec::new()
+            } else {
+                [0].to_vec()
+            }
+        }
+        fn step(&mut self, _lane: usize) {
+            self.stepped = true;
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn deadlock_is_a_failure() {
+        let report = explore(
+            &Deadlocks { stepped: false },
+            ExploreConfig::default(),
+            |_| Ok(()),
+        );
+        assert_eq!(report.schedules, 0);
+        assert_eq!(report.failures.len(), 1);
+        assert!(report.failures[0].contains("deadlock"));
+    }
+
+    #[test]
+    fn run_serial_takes_lowest_lane() {
+        let seed = Interleave {
+            remaining: [2, 1],
+            log: Vec::new(),
+        };
+        let done = run_serial(&seed, 100).expect("terminates");
+        assert_eq!(done.log, [0, 0, 1]);
+    }
+}

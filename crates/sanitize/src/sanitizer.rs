@@ -1,0 +1,227 @@
+//! The shared process wrapper around a [`ShadowTable`], plus the
+//! thread-local span/owner scope.
+//!
+//! Each memory environment owns one [`Sanitizer`] (cheaply cloneable;
+//! clones share the table). A process-global allocation index maps every
+//! registered allocation id to the pool that issued it, which is what
+//! lets a resolution miss be classified as *cross-pool confusion* (some
+//! other pool owns the allocation) rather than a *wild pointer* (no pool
+//! ever issued it).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use crate::table::{Scope, ShadowTable};
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process-global index: allocation id -> pool id that registered it.
+fn alloc_index() -> &'static Mutex<BTreeMap<u64, u64>> {
+    static INDEX: OnceLock<Mutex<BTreeMap<u64, u64>>> = OnceLock::new();
+    INDEX.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    static SCOPE_STACK: RefCell<Vec<Scope>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pushes a span/owner scope for the current thread; shadow operations
+/// performed while the guard lives are attributed to it. Dropping the
+/// guard pops the scope.
+pub fn op_scope(span: u64, owner: &'static str) -> ScopeGuard {
+    SCOPE_STACK.with(|s| s.borrow_mut().push(Scope { span, owner }));
+    ScopeGuard { _private: () }
+}
+
+/// The innermost active scope, or the default ([`crate::UNATTRIBUTED`],
+/// span 0) outside any [`op_scope`].
+pub fn current_scope() -> Scope {
+    SCOPE_STACK.with(|s| s.borrow().last().copied().unwrap_or_default())
+}
+
+/// RAII guard returned by [`op_scope`]; pops the scope on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _private: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    pool: u64,
+    table: Mutex<ShadowTable>,
+}
+
+/// The shadow-state sanitizer beside one memory pool environment.
+///
+/// Cheaply cloneable; clones share the shadow table. All operations take
+/// their span/owner attribution from the thread-local [`op_scope`].
+#[derive(Debug, Clone)]
+pub struct Sanitizer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Sanitizer {
+    fn default() -> Self {
+        Sanitizer::new()
+    }
+}
+
+impl Sanitizer {
+    /// A fresh sanitizer with a process-unique pool id.
+    pub fn new() -> Self {
+        Sanitizer {
+            inner: Arc::new(Inner {
+                // sbx-lint: allow(atomic-ordering, monotonic pool-id counter; uniqueness is all that matters)
+                pool: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+                table: Mutex::new(ShadowTable::new()),
+            }),
+        }
+    }
+
+    /// The process-unique id of the pool this sanitizer shadows.
+    pub fn pool_id(&self) -> u64 {
+        self.inner.pool
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ShadowTable> {
+        self.inner
+            .table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers allocation `alloc` (`rows` rows on `tier`), attributed
+    /// to the current scope. Returns the initial generation.
+    pub fn register(&self, alloc: u64, rows: u32, tier: u8) -> u32 {
+        let g = self.lock().register(alloc, rows, tier, current_scope());
+        alloc_index()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(alloc, self.inner.pool);
+        g
+    }
+
+    /// Drop-path free (see [`ShadowTable::free`]); also retires the
+    /// allocation from the global cross-pool index.
+    pub fn free(&self, alloc: u64) {
+        self.lock().free(alloc, current_scope());
+        alloc_index()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&alloc);
+    }
+
+    /// Models a premature reclamation (see [`ShadowTable::inject_free`]).
+    pub fn inject_free(&self, alloc: u64) {
+        self.lock().inject_free(alloc, current_scope());
+    }
+
+    /// Models a tier move (see [`ShadowTable::relocate`]).
+    pub fn relocate(&self, alloc: u64, new_tier: u8) -> Option<u32> {
+        self.lock().relocate(alloc, new_tier, current_scope())
+    }
+
+    /// Validates one pointer resolution (see [`ShadowTable::resolve`]).
+    ///
+    /// An allocation unknown to this pool but live in another pool's
+    /// shadow table is reported as [`crate::BugClass::CrossPool`] rather
+    /// than a wild pointer.
+    pub fn resolve(&self, alloc: u64, row: u32, expected_gen: Option<u32>) -> bool {
+        let scope = current_scope();
+        let mut t = self.lock();
+        if !t.contains(alloc) {
+            let foreign = alloc_index()
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .get(&alloc)
+                .copied()
+                .filter(|&p| p != self.inner.pool);
+            if let Some(other) = foreign {
+                t.report_foreign(alloc, row, other, scope);
+                return false;
+            }
+        }
+        t.resolve(alloc, row, expected_gen, scope)
+    }
+
+    /// The current generation of `alloc`, if tracked by this pool.
+    pub fn generation(&self, alloc: u64) -> Option<u32> {
+        self.lock().generation(alloc)
+    }
+
+    /// Engine-drop leak sweep (see [`ShadowTable::sweep_leaks`]).
+    pub fn sweep_leaks(&self, exclude: &[u64]) -> usize {
+        self.lock().sweep_leaks(exclude, current_scope())
+    }
+
+    /// Number of live allocations tracked.
+    pub fn live_count(&self) -> usize {
+        self.lock().live_count()
+    }
+
+    /// A snapshot of the findings recorded so far.
+    pub fn reports(&self) -> Vec<crate::Report> {
+        self.lock().reports().to_vec()
+    }
+
+    /// Discards recorded findings.
+    pub fn clear_reports(&self) {
+        self.lock().clear_reports();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BugClass;
+
+    #[test]
+    fn scopes_nest_and_pop() {
+        assert_eq!(current_scope().span, 0);
+        let _a = op_scope(1, "outer");
+        assert_eq!(current_scope().owner, "outer");
+        {
+            let _b = op_scope(2, "inner");
+            assert_eq!(current_scope().span, 2);
+        }
+        assert_eq!(current_scope().span, 1);
+    }
+
+    #[test]
+    fn cross_pool_resolution_is_distinguished_from_wild() {
+        let a = Sanitizer::new();
+        let b = Sanitizer::new();
+        // Unique alloc id for this test (pool ids keep tests independent).
+        let alloc = 0xC0DE_0000 + a.pool_id();
+        a.register(alloc, 8, 0);
+        assert!(!b.resolve(alloc, 0, None));
+        let reports = b.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, BugClass::CrossPool);
+        // A genuinely unknown id stays a wild pointer.
+        assert!(!b.resolve(0xDEAD_BEEF_0000 + b.pool_id(), 0, None));
+        assert_eq!(b.reports()[1].class, BugClass::WildPointer);
+        a.free(alloc);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let s = Sanitizer::new();
+        let c = s.clone();
+        let alloc = 0xAB00_0000 + s.pool_id();
+        s.register(alloc, 2, 1);
+        assert!(c.resolve(alloc, 1, None));
+        c.free(alloc);
+        assert_eq!(s.live_count(), 0);
+    }
+}

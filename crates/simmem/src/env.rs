@@ -20,6 +20,9 @@ struct EnvInner {
     traffic: [Counter; 2],
     /// KPA allocations that fell back from HBM to DRAM (`pool.hbm.spills`).
     spills: Counter,
+    /// Shadow-state table for the pointer-provenance sanitizer.
+    #[cfg(feature = "sanitize")]
+    sanitizer: sbx_sanitize::Sanitizer,
 }
 
 /// The shared hybrid-memory environment: one pool per tier, a bandwidth
@@ -78,8 +81,18 @@ impl MemEnv {
                 machine,
                 traffic,
                 spills: registry.counter("pool.hbm.spills"),
+                #[cfg(feature = "sanitize")]
+                sanitizer: sbx_sanitize::Sanitizer::new(),
             }),
         }
+    }
+
+    /// The pointer-provenance shadow table beside this environment's pools.
+    /// Every allocation created against this environment registers here, and
+    /// every KPA pointer resolution validates against it.
+    #[cfg(feature = "sanitize")]
+    pub fn sanitizer(&self) -> &sbx_sanitize::Sanitizer {
+        &self.inner.sanitizer
     }
 
     /// Records one HBM→DRAM allocation fallback (a KPA that could not fit in

@@ -9,6 +9,7 @@
 //! memory tier's bandwidth. The result is a makespan and per-tier bandwidth
 //! series from which figure rows are produced.
 
+// sbx-lint: out-of-scope(raw-alloc, capacity-model bookkeeping; per-phase, not per-record)
 use std::collections::{BTreeMap, VecDeque};
 
 use crate::{AccessProfile, CostModel, GraphError, MemKind};

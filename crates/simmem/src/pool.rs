@@ -1,3 +1,4 @@
+// sbx-lint: allow-file(atomic-ordering, allocation statistics counters; the byte accounting itself uses acquire/release)
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -155,6 +156,7 @@ impl MemPool {
                 allocs: AtomicU64::new(0),
                 failed_allocs: AtomicU64::new(0),
                 freelists: Mutex::new(Freelists {
+                    // sbx-lint: allow(raw-alloc, freelist scaffolding built once per pool)
                     by_class: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
                     cached_bytes: 0,
                 }),
@@ -274,6 +276,7 @@ impl MemPool {
         self.inner.metrics.alloc_bytes.add(bytes);
         self.inner.metrics.used.set((used + bytes) as f64);
         Ok(PoolVec {
+            // sbx-lint: allow(raw-alloc, the pool's own backing store; this is where accounted memory comes from)
             buf: Vec::with_capacity(slots),
             pool: self.inner.clone(),
             class,

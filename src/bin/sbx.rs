@@ -30,6 +30,8 @@
 //! exported value is simulated-time, both renderings are byte-identical
 //! across same-seed runs.
 
+// sbx-lint: out-of-scope(no-panic, CLI entry point; bad arguments abort with a message)
+// sbx-lint: out-of-scope(raw-alloc, CLI-side reporting and table formatting)
 // Reporting binaries talk to stdout by design.
 // sbx-lint: allow-file(no-adhoc-io, CLI front-end reports to stdout by design)
 #![allow(clippy::print_stdout, clippy::print_stderr)]
