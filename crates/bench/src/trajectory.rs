@@ -2,8 +2,10 @@
 //! gate (DESIGN.md §10).
 //!
 //! `sbx-bench trajectory` (the `benches/trajectory.rs` target) runs a fixed
-//! set of scenarios — YSB end-to-end at two core counts plus the modelled
-//! kernel pass-bytes — and writes the resulting metrics to the next
+//! set of scenarios — YSB end-to-end at two core counts, YSB over the
+//! cluster tier at two shard counts plus a 4→8 rescale's modelled shuffle
+//! bytes, and the modelled kernel pass-bytes — and writes the resulting
+//! metrics to the next
 //! `BENCH_<n>.json` in the trajectory directory. Before writing, it
 //! compares against the highest existing snapshot and **fails on
 //! regression**: simulated metrics are deterministic (every value descends
@@ -17,7 +19,9 @@
 
 // sbx-lint: out-of-scope(raw-alloc, snapshot encode/compare; runs once per gate, stays in no-panic scope)
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use sbx_cluster::{ClusterConfig, ElasticPlan, Retarget, ShardedCluster};
 use sbx_engine::{benchmarks, Engine, RunConfig};
 use sbx_ingress::{NicModel, SenderConfig, YsbSource};
 use sbx_obs::json::{fmt_f64, parse_flat_object, write_str, JsonValue};
@@ -285,6 +289,118 @@ fn ysb_scenario(cores: u32, cost_scale: f64) -> Result<Vec<Metric>, String> {
     ])
 }
 
+/// Shard counts the cluster trajectory sweeps (DESIGN.md §12).
+pub const CLUSTER_SHARDS: [u32; 2] = [4, 16];
+
+fn cluster_engine_cfg(cost_scale: f64) -> RunConfig {
+    let mut machine = MachineConfig::knl();
+    machine.core_ghz /= cost_scale.max(1e-9);
+    RunConfig {
+        machine,
+        cores: 8,
+        // Deterministic KPA placement, as in the fig10 scenarios.
+        threads: 1,
+        sender: SenderConfig {
+            bundle_rows: 20_000,
+            bundles_per_watermark: 10,
+            nic: NicModel::rdma_40g(),
+        },
+        ..RunConfig::default()
+    }
+}
+
+fn cluster_scenario(shards: u32, cost_scale: f64) -> Result<Vec<Metric>, String> {
+    let cfg = ClusterConfig {
+        shards,
+        key_col: 2,
+        key_map: Some(Arc::new(|ad| ad % 1_000)),
+        engine: cluster_engine_cfg(cost_scale),
+        ..ClusterConfig::default()
+    };
+    let report = ShardedCluster::new(cfg)
+        .run(
+            || YsbSource::new(7, 10_000, 1_000, 10_000_000),
+            || benchmarks::ysb(1_000),
+            YSB_BUNDLES,
+            5,
+        )
+        .map_err(|e| format!("cluster ysb at {shards} shards failed: {e}"))?;
+    let scenario = format!("ysb_shards{shards}");
+    let m = |name: &str, value: f64, direction: Direction| Metric {
+        scenario: scenario.clone(),
+        name: name.to_owned(),
+        value,
+        direction,
+    };
+    Ok(vec![
+        m(
+            "throughput_mrps",
+            report.throughput_rps() / 1e6,
+            Direction::Higher,
+        ),
+        m("sim_secs", report.sim_secs, Direction::Lower),
+        m(
+            "output_records",
+            report.output_records as f64,
+            Direction::Exact,
+        ),
+        m(
+            "committed_rows",
+            report.committed.len() as f64,
+            Direction::Exact,
+        ),
+    ])
+}
+
+fn cluster_rescale_scenario(cost_scale: f64) -> Result<Vec<Metric>, String> {
+    let cfg = ClusterConfig {
+        shards: 4,
+        key_col: 2,
+        key_map: Some(Arc::new(|ad| ad % 1_000)),
+        engine: cluster_engine_cfg(cost_scale),
+        ..ClusterConfig::default()
+    };
+    let report = ShardedCluster::new(cfg)
+        .run_elastic(
+            || YsbSource::new(7, 10_000, 1_000, 10_000_000),
+            || benchmarks::ysb(1_000),
+            YSB_BUNDLES,
+            5,
+            ElasticPlan {
+                at_epoch: 2,
+                retarget: Retarget::Shards(8),
+            },
+        )
+        .map_err(|e| format!("cluster rescale failed: {e}"))?;
+    let rescale = report
+        .rescale
+        .ok_or_else(|| "rescale summary missing".to_owned())?;
+    let m = |name: &str, value: f64, direction: Direction| Metric {
+        scenario: "cluster_rescale_4to8".to_owned(),
+        name: name.to_owned(),
+        value,
+        direction,
+    };
+    Ok(vec![
+        m(
+            "shuffle_wire_bytes",
+            rescale.wire_bytes as f64,
+            Direction::Lower,
+        ),
+        m(
+            "shuffle_secs",
+            rescale.shuffle_ns as f64 / 1e9,
+            Direction::Lower,
+        ),
+        m(
+            "moved_slots",
+            rescale.moved_slots.len() as f64,
+            Direction::Exact,
+        ),
+        m("sim_secs", report.sim_secs, Direction::Lower),
+    ])
+}
+
 fn kernel_model_scenario() -> Vec<Metric> {
     let (sort_old, sort_new, merge_old, merge_new) = kernel_scaling::modelled_pass_bytes();
     let m = |name: &str, value: f64| Metric {
@@ -326,6 +442,10 @@ pub fn collect(cfg: &TrajectoryConfig) -> Result<Trajectory, String> {
     for cores in YSB_CORES {
         metrics.extend(ysb_scenario(cores, cfg.cost_scale)?);
     }
+    for shards in CLUSTER_SHARDS {
+        metrics.extend(cluster_scenario(shards, cfg.cost_scale)?);
+    }
+    metrics.extend(cluster_rescale_scenario(cfg.cost_scale)?);
     metrics.extend(kernel_model_scenario());
     if cfg.include_host {
         metrics.extend(host_scenario());

@@ -463,6 +463,21 @@ impl CheckpointCoordinator {
         &self.store
     }
 
+    /// Persists an externally produced snapshot — the redistributed state a
+    /// rescaled shard resumes from — so recovery treats it exactly like a
+    /// checkpoint this coordinator committed itself: a later crash before
+    /// any new epoch completes falls back to it rather than to scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Alloc`] when the DRAM pool cannot hold the
+    /// encoded snapshot.
+    pub fn seed(&mut self, env: &MemEnv, snap: &PipelineSnapshot) -> Result<u64, EngineError> {
+        let bytes = self.store.persist(env, snap)?;
+        self.store.prune_to_last(self.retain);
+        Ok(bytes)
+    }
+
     /// Accounting samples, one per committed checkpoint.
     pub fn samples(&self) -> &[CheckpointSample] {
         &self.samples

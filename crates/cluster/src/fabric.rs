@@ -1,0 +1,161 @@
+//! Simulated inter-node fabric: a traffic matrix of shuffle bytes priced
+//! by the [`LinkModel`] of `sbx-ingress`.
+//!
+//! No real network exists — like the NIC ingestion model, the fabric only
+//! charges simulated time and exports byte counters. A shuffle is priced
+//! by serializing each node's egress (and ingress) over its single link
+//! and taking the slowest node: all nodes transfer concurrently, but each
+//! node's own link is half-duplex-serialized, the same first-order model
+//! the ingestion NIC uses for bundle delivery.
+
+// sbx-lint: out-of-scope(raw-alloc, control plane; one traffic matrix per rescale, not per record)
+use sbx_ingress::LinkModel;
+
+/// Shuffle bytes exchanged between every ordered pair of nodes. The
+/// diagonal (a node "sending" to itself) is tracked for occupancy
+/// accounting but never priced: local state movement is free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    nodes: usize,
+    bytes: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// An all-zero matrix over `nodes` nodes (covering both the old and
+    /// new topology of a rescale: pass `max(old, new)`).
+    pub fn new(nodes: usize) -> Self {
+        TrafficMatrix {
+            nodes,
+            bytes: vec![0; nodes * nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Adds `bytes` to the `src → dst` cell.
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.bytes[src * self.nodes + dst] += bytes;
+    }
+
+    /// Bytes on the `src → dst` cell.
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.nodes + dst]
+    }
+
+    /// Total bytes crossing links (off-diagonal sum): the modelled shuffle
+    /// volume reported by benchmarks and `sbx report`.
+    pub fn wire_bytes(&self) -> u64 {
+        let mut total = 0;
+        for s in 0..self.nodes {
+            for d in 0..self.nodes {
+                if s != d {
+                    total += self.get(s, d);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total bytes including local (diagonal) movement.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Bytes leaving `node` over the wire.
+    pub fn egress(&self, node: usize) -> u64 {
+        (0..self.nodes)
+            .filter(|&d| d != node)
+            .map(|d| self.get(node, d))
+            .sum()
+    }
+
+    /// Bytes arriving at `node` over the wire.
+    pub fn ingress(&self, node: usize) -> u64 {
+        (0..self.nodes)
+            .filter(|&s| s != node)
+            .map(|s| self.get(s, node))
+            .sum()
+    }
+
+    /// Simulated wall time of executing this shuffle over `link`:
+    /// every node serializes its own egress then ingress on its link;
+    /// nodes proceed concurrently, so the shuffle completes when the
+    /// busiest link drains.
+    pub fn shuffle_ns(&self, link: &LinkModel) -> u64 {
+        (0..self.nodes)
+            .map(|n| {
+                let out: u64 = (0..self.nodes)
+                    .filter(|&d| d != n)
+                    .map(|d| link.transfer_ns(self.get(n, d)))
+                    .sum();
+                let inn: u64 = (0..self.nodes)
+                    .filter(|&s| s != n)
+                    .map(|s| link.transfer_ns(self.get(s, n)))
+                    .sum();
+                out + inn
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-link utilization rows `(src, dst, bytes)` for every non-empty
+    /// off-diagonal cell, in deterministic `(src, dst)` order.
+    pub fn link_rows(&self) -> Vec<(usize, usize, u64)> {
+        let mut rows = Vec::new();
+        for s in 0..self.nodes {
+            for d in 0..self.nodes {
+                if s != d && self.get(s, d) > 0 {
+                    rows.push((s, d, self.get(s, d)));
+                }
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbx_ingress::NicModel;
+
+    #[test]
+    fn wire_bytes_exclude_the_diagonal() {
+        let mut m = TrafficMatrix::new(3);
+        m.add(0, 0, 1_000); // local, free
+        m.add(0, 1, 100);
+        m.add(2, 1, 50);
+        assert_eq!(m.wire_bytes(), 150);
+        assert_eq!(m.total_bytes(), 1_150);
+        assert_eq!(m.egress(0), 100);
+        assert_eq!(m.ingress(1), 150);
+        assert_eq!(m.link_rows(), vec![(0, 1, 100), (2, 1, 50)]);
+    }
+
+    #[test]
+    fn shuffle_time_is_bottleneck_link_time() {
+        let link = LinkModel {
+            nic: NicModel::rdma_40g(),
+            latency_ns: 1_000,
+        };
+        let mut m = TrafficMatrix::new(4);
+        // Node 1 receives from everyone: its ingress serializes.
+        for s in [0usize, 2, 3] {
+            m.add(s, 1, 1 << 20);
+        }
+        let expect: u64 = (0..3).map(|_| link.transfer_ns(1 << 20)).sum();
+        assert_eq!(m.shuffle_ns(&link), expect);
+        // A strictly faster link is never slower.
+        let fast = LinkModel::unlimited();
+        assert!(m.shuffle_ns(&fast) <= m.shuffle_ns(&link));
+    }
+
+    #[test]
+    fn empty_shuffle_costs_nothing() {
+        let m = TrafficMatrix::new(8);
+        assert_eq!(m.shuffle_ns(&LinkModel::cross_rack_10g()), 0);
+        assert_eq!(m.wire_bytes(), 0);
+    }
+}

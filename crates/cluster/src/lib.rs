@@ -1,0 +1,83 @@
+//! `sbx-cluster`: the sharded distributed tier of the StreamBox-HBM
+//! reproduction.
+//!
+//! A [`ShardedCluster`] runs one logical pipeline on N independent
+//! per-shard engines (each with its own simulated machine, HBM/DRAM
+//! tiers, and checkpoint store) behind a hash-slot key router:
+//!
+//! * **Routing** ([`route`]) — keys hash to one of [`DEFAULT_SLOTS`]
+//!   slots; a dense slot→shard table makes route totality structural and
+//!   lets rescaling move *slots*, never re-hash keys.
+//! * **Lockstep sharding** ([`source`]) — every shard consumes the same
+//!   logical record blocks and keeps only its owned rows, so bundle
+//!   counts, watermark cadence, and barrier epochs align across shards
+//!   and a coordinated epoch is an exact cut of the logical stream.
+//! * **Priced fabric** ([`fabric`]) — shuffles charge simulated time over
+//!   the [`sbx_ingress::LinkModel`] the cluster is configured with; no
+//!   real network exists.
+//! * **Keyed shuffle** ([`shuffle`]) — materialized window state from a
+//!   coordinated snapshot set is repartitioned row-by-row onto a new
+//!   route table.
+//! * **Elastic rescaling** ([`run`]) — grow, shrink, or rebalance at a
+//!   chosen epoch via the cut → shuffle → resume protocol, with
+//!   exactly-once committed outputs even when crashes land inside the
+//!   rescale epoch.
+//!
+//! Everything is deterministic: same seeds, same shard count, same fault
+//! schedule → byte-identical committed outputs and metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+use sbx_engine::EngineError;
+
+pub mod fabric;
+pub mod route;
+pub mod run;
+pub mod shuffle;
+pub mod source;
+
+pub use fabric::TrafficMatrix;
+pub use route::{merge_slot_counts, RouteTable, SlotStats, DEFAULT_SLOTS};
+pub use run::{
+    ClusterConfig, ClusterCrash, ClusterRunReport, ElasticPlan, RescalePhase, RescaleSummary,
+    Retarget, ShardSummary, ShardedCluster,
+};
+pub use shuffle::{redistribute, ShufflePlan};
+pub use source::{KeyMap, RoutedSource};
+
+/// Errors from cluster runs.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// A per-shard engine failed.
+    Engine(EngineError),
+    /// The topology, rescale plan, or snapshot set is invalid.
+    Topology(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Engine(e) => write!(f, "shard engine failed: {e}"),
+            ClusterError::Topology(msg) => write!(f, "invalid cluster topology: {msg}"),
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Engine(e) => Some(e),
+            ClusterError::Topology(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for ClusterError {
+    fn from(e: EngineError) -> Self {
+        ClusterError::Engine(e)
+    }
+}

@@ -1,0 +1,750 @@
+//! The sharded cluster driver: runs one logical pipeline across N
+//! per-shard engines, cuts coordinated epochs, and rescales elastically.
+//!
+//! # Rescale protocol (DESIGN.md §12)
+//!
+//! A rescale is a *planned crash* at a coordinated epoch:
+//!
+//! 1. **Phase 1 — run to the cut.** Every old shard runs with barrier
+//!    snapshotting and a cut trigger that tears the engine down immediately
+//!    after the cut epoch's snapshot commits. Routed sources advance in
+//!    logical-block lockstep, so the cut covers exactly
+//!    `cut * interval * bundle_rows` logical records on every shard.
+//!    User-injected crashes compose: a shard that dies mid-phase recovers
+//!    through its own checkpoints (discarding pending outputs) and still
+//!    stops at the cut.
+//! 2. **Shuffle.** The per-shard snapshots at the cut epoch are
+//!    redistributed across the new route table ([`crate::shuffle`]), and
+//!    the moved bytes are priced over the configured [`LinkModel`].
+//! 3. **Phase 2 — resume on the new topology.** Each new shard seeds its
+//!    checkpoint store with its redistributed snapshot and resumes from it,
+//!    replaying the deterministic sender to the cut offset. Crashes after
+//!    the cut recover exactly like ordinary checkpointed runs — falling
+//!    back to the seeded snapshot if no newer epoch has committed.
+//!
+//! Committed outputs are the union of phase-1 and phase-2 committed
+//! buffers; as a canonical multiset they are byte-identical to a
+//! fault-free single-topology run of the same stream.
+
+// sbx-lint: out-of-scope(raw-alloc, cluster driver; per-shard summaries and snapshot lists, not per-record data)
+use std::sync::Arc;
+
+use sbx_checkpoint::{run_with_recovery, CheckpointCoordinator, CrashPlan, MAX_CRASHES};
+use sbx_engine::{
+    CheckpointHooks, CrashPhase, CrashSite, Engine, EngineError, Pipeline, PipelineSnapshot,
+    RunConfig, StreamData,
+};
+use sbx_ingress::{LinkModel, Source};
+use sbx_obs::{MetricsRegistry, Obs, TraceCollector};
+use sbx_simmem::{AccessProfile, MemEnv};
+
+use crate::route::{merge_slot_counts, RouteTable, SlotStats, DEFAULT_SLOTS};
+use crate::shuffle::{redistribute, ShufflePlan};
+use crate::source::{KeyMap, RoutedSource};
+use crate::ClusterError;
+
+/// Configuration of a sharded cluster run.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of shards in the initial topology.
+    pub shards: u32,
+    /// Number of routing slots (rebalance granularity).
+    pub slots: u32,
+    /// Raw key column records are routed on.
+    pub key_col: usize,
+    /// Optional raw-key → routing-key map (e.g. YSB ad → campaign), so
+    /// records route by the key the pipeline aggregates on.
+    pub key_map: Option<KeyMap>,
+    /// Per-shard engine configuration (each shard gets its own machine).
+    pub engine: RunConfig,
+    /// The inter-node link shuffles are priced over.
+    pub link: LinkModel,
+    /// Cluster-level metrics sink; per-shard engine registries are folded
+    /// in under `cluster.shard<i>.engine.*`. No-op by default.
+    pub metrics: MetricsRegistry,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            shards: 4,
+            slots: DEFAULT_SLOTS,
+            key_col: 0,
+            key_map: None,
+            engine: RunConfig::default(),
+            link: LinkModel::intra_rack_rdma(),
+            metrics: MetricsRegistry::noop(),
+        }
+    }
+}
+
+/// What the cluster rescales *to* at the cut epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Retarget {
+    /// Grow or shrink to this many shards (uniform slot deal).
+    Shards(u32),
+    /// Keep the shard count but move hot slots off overloaded shards until
+    /// the hottest carries at most `tolerance` × the mean load (from the
+    /// per-slot record counts observed in phase 1).
+    Rebalance {
+        /// Load tolerance as a multiple of the mean shard load.
+        tolerance: f64,
+    },
+}
+
+/// An elastic rescale: cut a coordinated epoch, retarget, resume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ElasticPlan {
+    /// Barrier epoch to cut at (must complete before the stream ends:
+    /// `at_epoch * interval < bundles`).
+    pub at_epoch: u64,
+    /// The new topology.
+    pub retarget: Retarget,
+}
+
+/// Which side of the rescale cut a fault-injection plan targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescalePhase {
+    /// While the old topology runs toward the cut (phase 1).
+    BeforeCut,
+    /// After the new topology resumed from the redistributed state
+    /// (phase 2). In a run without a rescale this phase never executes.
+    AfterCut,
+}
+
+/// A crash injected into one shard of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterCrash {
+    /// Shard index the plan arms on (old topology for
+    /// [`RescalePhase::BeforeCut`], new topology for
+    /// [`RescalePhase::AfterCut`]).
+    pub shard: u32,
+    /// Which phase of an elastic run the plan arms in. Runs without a
+    /// rescale arm [`RescalePhase::BeforeCut`] plans only.
+    pub phase: RescalePhase,
+    /// The crash plan itself.
+    pub plan: CrashPlan,
+}
+
+/// Per-shard outcome of a cluster run (one topology phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardSummary {
+    /// Shard index within its topology.
+    pub shard: u32,
+    /// Records this shard ingested during its phase.
+    pub records_in: u64,
+    /// Output records this shard externalized during its phase.
+    pub output_records: u64,
+    /// Rows in this shard's committed output buffer.
+    pub committed_rows: usize,
+    /// Injected crashes this shard recovered from.
+    pub crashes: u64,
+    /// Shard-local simulated time at the end of its phase.
+    pub sim_secs: f64,
+}
+
+/// What the rescale moved and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RescaleSummary {
+    /// Coordinated epoch the topology changed at.
+    pub at_epoch: u64,
+    /// Shards before the cut.
+    pub from_shards: u32,
+    /// Shards after the cut.
+    pub to_shards: u32,
+    /// Slots whose owner changed, ascending.
+    pub moved_slots: Vec<u32>,
+    /// State bytes that crossed inter-node links.
+    pub wire_bytes: u64,
+    /// State bytes that stayed on their node (free).
+    pub local_bytes: u64,
+    /// Simulated duration of the shuffle under the link model.
+    pub shuffle_ns: u64,
+    /// Per-link moved bytes `(src, dst, bytes)`, ascending by `(src, dst)`.
+    pub links: Vec<(usize, usize, u64)>,
+}
+
+/// Outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRunReport {
+    /// Old-topology summaries when the run rescaled (empty otherwise).
+    pub phase1: Vec<ShardSummary>,
+    /// Final-topology per-shard summaries.
+    pub shards: Vec<ShardSummary>,
+    /// The rescale, when one happened.
+    pub rescale: Option<RescaleSummary>,
+    /// Records routed per slot across the whole run (the hot-shard
+    /// signal; includes replayed records when crashes were injected).
+    pub slot_loads: Vec<u64>,
+    /// Total records ingested across all shards (each logical record
+    /// counted once).
+    pub records_in: u64,
+    /// Total output records externalized across all shards.
+    pub output_records: u64,
+    /// Committed output rows of every shard, phase 1 first, in shard
+    /// order. Row order *within* a shard is its emission order; use
+    /// [`ClusterRunReport::canonical_outputs`] to compare across
+    /// topologies.
+    pub committed: Vec<Vec<u64>>,
+    /// Cluster simulated time: the slowest shard's clock (shards run
+    /// concurrently; phase-2 clocks include phase 1 and the shuffle).
+    pub sim_secs: f64,
+}
+
+impl ClusterRunReport {
+    /// The committed outputs as a canonical (sorted) multiset of rows —
+    /// the representation that is byte-identical across shard counts and
+    /// fault schedules for commutative aggregations.
+    pub fn canonical_outputs(&self) -> Vec<Vec<u64>> {
+        let mut rows = self.committed.clone();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Cluster throughput in records per second of simulated time.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.records_in as f64 / self.sim_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-shard record loads of the final topology.
+    pub fn shard_loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.records_in).collect()
+    }
+}
+
+/// Checkpoint hooks that stack the rescale cut on top of a shard's own
+/// coordinator: the engine is torn down immediately after the cut epoch's
+/// snapshot commits, while user-armed crash plans keep firing through the
+/// inner coordinator (a crash *during* the rescale epoch composes with the
+/// cut).
+struct CutHooks<'a> {
+    inner: &'a mut CheckpointCoordinator,
+    cut: u64,
+}
+
+impl CheckpointHooks for CutHooks<'_> {
+    fn on_checkpoint(
+        &mut self,
+        env: &MemEnv,
+        snap: PipelineSnapshot,
+    ) -> Result<AccessProfile, EngineError> {
+        self.inner.on_checkpoint(env, snap)
+    }
+
+    fn on_output(&mut self, data: &StreamData) {
+        self.inner.on_output(data);
+    }
+
+    fn should_crash(&mut self, site: CrashSite) -> bool {
+        if self.inner.should_crash(site) {
+            return true;
+        }
+        site.phase == CrashPhase::BarrierCommitted && site.epoch == self.cut
+    }
+}
+
+/// A sharded StreamBox-HBM cluster: N per-shard engines behind a key
+/// router, with coordinated checkpoint cuts and elastic rescaling.
+pub struct ShardedCluster {
+    cfg: ClusterConfig,
+}
+
+impl ShardedCluster {
+    /// A cluster for `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards` or `cfg.slots` is zero.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.slots > 0, "need at least one slot");
+        ShardedCluster { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cfg
+    }
+
+    /// Runs `bundles` logical bundles of `make_source`'s stream through
+    /// `make_pipeline` on every shard, checkpointing every
+    /// `barrier_interval` bundles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] on engine failure or misconfiguration.
+    pub fn run<S: Source>(
+        &self,
+        make_source: impl Fn() -> S,
+        make_pipeline: impl Fn() -> Pipeline,
+        bundles: usize,
+        barrier_interval: u64,
+    ) -> Result<ClusterRunReport, ClusterError> {
+        self.run_faulty(
+            make_source,
+            make_pipeline,
+            bundles,
+            barrier_interval,
+            None,
+            None,
+        )
+    }
+
+    /// Runs with an elastic rescale at `plan.at_epoch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError`] on engine failure or misconfiguration.
+    pub fn run_elastic<S: Source>(
+        &self,
+        make_source: impl Fn() -> S,
+        make_pipeline: impl Fn() -> Pipeline,
+        bundles: usize,
+        barrier_interval: u64,
+        plan: ElasticPlan,
+    ) -> Result<ClusterRunReport, ClusterError> {
+        self.run_faulty(
+            make_source,
+            make_pipeline,
+            bundles,
+            barrier_interval,
+            Some(plan),
+            None,
+        )
+    }
+
+    /// The full-control entry point: optional rescale, optional injected
+    /// crash. Exactly-once holds across every combination — committed
+    /// outputs match a fault-free single-topology oracle as a canonical
+    /// multiset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::Topology`] when the rescale epoch would not
+    /// complete before the stream ends, and [`ClusterError::Engine`] for
+    /// engine failures.
+    pub fn run_faulty<S: Source>(
+        &self,
+        make_source: impl Fn() -> S,
+        make_pipeline: impl Fn() -> Pipeline,
+        bundles: usize,
+        barrier_interval: u64,
+        plan: Option<ElasticPlan>,
+        crash: Option<ClusterCrash>,
+    ) -> Result<ClusterRunReport, ClusterError> {
+        if barrier_interval == 0 {
+            return Err(ClusterError::Topology(
+                "barrier interval must be positive".into(),
+            ));
+        }
+        if let Some(p) = &plan {
+            if p.at_epoch == 0 {
+                return Err(ClusterError::Topology("rescale epoch must be >= 1".into()));
+            }
+            // The cut barrier must be pulled before the stream ends: the
+            // barrier for epoch e follows bundle e * interval.
+            if p.at_epoch * barrier_interval >= bundles as u64 {
+                return Err(ClusterError::Topology(format!(
+                    "rescale epoch {} needs more than {} bundles at interval {}",
+                    p.at_epoch, bundles, barrier_interval
+                )));
+            }
+            if let Retarget::Shards(n) = p.retarget {
+                if n == 0 {
+                    return Err(ClusterError::Topology(
+                        "cannot rescale to zero shards".into(),
+                    ));
+                }
+            }
+        }
+        let table = RouteTable::uniform(self.cfg.shards, self.cfg.slots);
+        let report = match plan {
+            None => self.run_static(
+                &make_source,
+                &make_pipeline,
+                bundles,
+                barrier_interval,
+                &table,
+                crash,
+            )?,
+            Some(p) => self.run_rescale(
+                &make_source,
+                &make_pipeline,
+                bundles,
+                barrier_interval,
+                &table,
+                p,
+                crash,
+            )?,
+        };
+        self.export_metrics(&report);
+        Ok(report)
+    }
+
+    /// A routed shard-local view of the logical stream.
+    fn routed<S: Source>(
+        &self,
+        inner: S,
+        table: &RouteTable,
+        shard: u32,
+        stats: &Arc<SlotStats>,
+    ) -> RoutedSource<S> {
+        let mut src = RoutedSource::new(inner, self.cfg.key_col, table.clone(), shard)
+            .with_stats(Arc::clone(stats));
+        if let Some(map) = &self.cfg.key_map {
+            src = src.with_key_map(Arc::clone(map));
+        }
+        src
+    }
+
+    /// A per-shard engine config with its own metrics registry (folded
+    /// into the cluster registry after the shard finishes).
+    fn shard_engine_cfg(&self) -> (RunConfig, MetricsRegistry) {
+        let mut cfg = self.cfg.engine.clone();
+        let reg = if self.cfg.metrics.is_enabled() {
+            MetricsRegistry::active()
+        } else {
+            MetricsRegistry::noop()
+        };
+        cfg.obs = Obs {
+            metrics: reg.clone(),
+            trace: TraceCollector::noop(),
+        };
+        (cfg, reg)
+    }
+
+    fn run_static<S: Source>(
+        &self,
+        make_source: &impl Fn() -> S,
+        make_pipeline: &impl Fn() -> Pipeline,
+        bundles: usize,
+        interval: u64,
+        table: &RouteTable,
+        crash: Option<ClusterCrash>,
+    ) -> Result<ClusterRunReport, ClusterError> {
+        let mut shards = Vec::new();
+        let mut committed = Vec::new();
+        let mut stats = Vec::new();
+        let mut sim_secs = 0.0f64;
+        for shard in 0..table.shards() {
+            let st = SlotStats::new(self.cfg.slots);
+            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let mut coord = CheckpointCoordinator::new();
+            if let Some(c) = crash {
+                if c.shard == shard && c.phase == RescalePhase::BeforeCut {
+                    coord.arm(c.plan);
+                }
+            }
+            let outcome = run_with_recovery(
+                &engine_cfg,
+                || self.routed(make_source(), table, shard, &st),
+                make_pipeline,
+                bundles,
+                interval,
+                &mut coord,
+            )?;
+            self.cfg.metrics.adopt(
+                &format!("cluster.shard{shard}.engine."),
+                &shard_reg.snapshot(),
+            );
+            sim_secs = sim_secs.max(outcome.report.sim_secs);
+            shards.push(ShardSummary {
+                shard,
+                records_in: outcome.report.records_in,
+                output_records: outcome.report.output_records,
+                committed_rows: coord.committed().len(),
+                crashes: outcome.crashes,
+                sim_secs: outcome.report.sim_secs,
+            });
+            committed.extend(coord.committed().iter().cloned());
+            stats.push(st);
+        }
+        Ok(ClusterRunReport {
+            phase1: Vec::new(),
+            rescale: None,
+            slot_loads: merge_slot_counts(&stats),
+            records_in: shards.iter().map(|s| s.records_in).sum(),
+            output_records: shards.iter().map(|s| s.output_records).sum(),
+            committed,
+            sim_secs,
+            shards,
+        })
+    }
+
+    /// Phase 1 of a rescale: one shard runs (and recovers from injected
+    /// crashes) until the cut epoch's snapshot commits, then unwinds.
+    /// Returns the user crashes survived.
+    fn run_to_cut<S: Source>(
+        engine_cfg: &RunConfig,
+        make_source: impl Fn() -> S,
+        make_pipeline: &impl Fn() -> Pipeline,
+        bundles: usize,
+        interval: u64,
+        cut: u64,
+        coord: &mut CheckpointCoordinator,
+    ) -> Result<u64, ClusterError> {
+        let mut crashes = 0u64;
+        loop {
+            let engine = Engine::new(engine_cfg.clone());
+            let snap = coord.store().latest()?;
+            let mut hooks = CutHooks { inner: coord, cut };
+            let result = match &snap {
+                Some(s) => engine.resume_with_hooks(
+                    make_source(),
+                    make_pipeline(),
+                    bundles,
+                    Some(interval),
+                    &mut hooks,
+                    s,
+                ),
+                None => engine.run_with_hooks(
+                    make_source(),
+                    make_pipeline(),
+                    bundles,
+                    Some(interval),
+                    &mut hooks,
+                ),
+            };
+            match result {
+                Ok(_) => {
+                    return Err(ClusterError::Topology(format!(
+                        "stream ended before the cut epoch {cut} was reached"
+                    )))
+                }
+                Err(EngineError::Crashed(_)) => {
+                    if coord.store().latest_epoch() == Some(cut) {
+                        // The cut fired right after the cut epoch committed:
+                        // nothing can be pending (outputs ahead of the cut
+                        // barrier were committed by the commit itself).
+                        coord.discard_pending();
+                        return Ok(crashes);
+                    }
+                    crashes += 1;
+                    if crashes > MAX_CRASHES {
+                        return Err(ClusterError::Topology(format!(
+                            "shard exceeded {MAX_CRASHES} crashes before the cut"
+                        )));
+                    }
+                    coord.discard_pending();
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_rescale<S: Source>(
+        &self,
+        make_source: &impl Fn() -> S,
+        make_pipeline: &impl Fn() -> Pipeline,
+        bundles: usize,
+        interval: u64,
+        table: &RouteTable,
+        plan: ElasticPlan,
+        crash: Option<ClusterCrash>,
+    ) -> Result<ClusterRunReport, ClusterError> {
+        let cut = plan.at_epoch;
+
+        // ---- Phase 1: every old shard runs to the cut. ----
+        let mut phase1 = Vec::new();
+        let mut committed = Vec::new();
+        let mut stats = Vec::new();
+        let mut cut_snaps = Vec::new();
+        for shard in 0..table.shards() {
+            let st = SlotStats::new(self.cfg.slots);
+            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let mut coord = CheckpointCoordinator::new();
+            if let Some(c) = crash {
+                if c.shard == shard && c.phase == RescalePhase::BeforeCut {
+                    coord.arm(c.plan);
+                }
+            }
+            let crashes = Self::run_to_cut(
+                &engine_cfg,
+                || self.routed(make_source(), table, shard, &st),
+                make_pipeline,
+                bundles,
+                interval,
+                cut,
+                &mut coord,
+            )?;
+            self.cfg.metrics.adopt(
+                &format!("cluster.phase1.shard{shard}.engine."),
+                &shard_reg.snapshot(),
+            );
+            let snap = coord.store().at_epoch(cut)?.ok_or_else(|| {
+                ClusterError::Topology(format!("shard {shard} lost its cut-epoch snapshot"))
+            })?;
+            phase1.push(ShardSummary {
+                shard,
+                records_in: snap.records_in,
+                output_records: snap.output_records,
+                committed_rows: coord.committed().len(),
+                crashes,
+                sim_secs: snap.clock_ns as f64 / 1e9,
+            });
+            committed.extend(coord.committed().iter().cloned());
+            cut_snaps.push(snap);
+            stats.push(st);
+        }
+
+        // ---- Retarget and shuffle. ----
+        let phase1_loads = merge_slot_counts(&stats);
+        let new_table = match plan.retarget {
+            Retarget::Shards(n) => table.rescaled_uniform(n),
+            Retarget::Rebalance { tolerance } => table.rebalanced(&phase1_loads, tolerance).0,
+        };
+        let moved_slots: Vec<u32> = (0..self.cfg.slots)
+            .filter(|&s| table.owner_of_slot(s) != new_table.owner_of_slot(s))
+            .collect();
+        let ShufflePlan {
+            snapshots,
+            traffic,
+            shuffle_ns,
+        } = redistribute(
+            &cut_snaps,
+            &new_table,
+            &self.cfg.link,
+            self.cfg.key_map.as_ref(),
+        )?;
+        let rescale = RescaleSummary {
+            at_epoch: cut,
+            from_shards: table.shards(),
+            to_shards: new_table.shards(),
+            moved_slots,
+            wire_bytes: traffic.wire_bytes(),
+            local_bytes: traffic.total_bytes() - traffic.wire_bytes(),
+            shuffle_ns,
+            links: traffic.link_rows(),
+        };
+
+        // ---- Phase 2: resume every new shard from its redistributed
+        // snapshot. ----
+        let mut shards = Vec::new();
+        let mut sim_secs = 0.0f64;
+        for (shard, base) in snapshots.iter().enumerate() {
+            let shard = shard as u32;
+            let st = SlotStats::new(self.cfg.slots);
+            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let mut coord = CheckpointCoordinator::new();
+            if let Some(c) = crash {
+                if c.shard == shard && c.phase == RescalePhase::AfterCut {
+                    coord.arm(c.plan);
+                }
+            }
+            let mut crashes = 0u64;
+            let report = loop {
+                let engine = Engine::new(engine_cfg.clone());
+                if coord.store().is_empty() {
+                    // Seed the store with the redistributed snapshot so a
+                    // crash before any new epoch commits falls back to the
+                    // post-shuffle state, not to scratch.
+                    coord.seed(engine.env(), base)?;
+                }
+                let snap = coord
+                    .store()
+                    .latest()?
+                    .ok_or_else(|| ClusterError::Topology("seeded store has no snapshot".into()))?;
+                let result = engine.resume_with_hooks(
+                    self.routed(make_source(), &new_table, shard, &st),
+                    make_pipeline(),
+                    bundles,
+                    Some(interval),
+                    &mut coord,
+                    &snap,
+                );
+                match result {
+                    Ok(r) => {
+                        coord.commit_pending();
+                        break r;
+                    }
+                    Err(EngineError::Crashed(_)) if crashes < MAX_CRASHES => {
+                        crashes += 1;
+                        coord.discard_pending();
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            };
+            self.cfg.metrics.adopt(
+                &format!("cluster.shard{shard}.engine."),
+                &shard_reg.snapshot(),
+            );
+            sim_secs = sim_secs.max(report.sim_secs);
+            shards.push(ShardSummary {
+                shard,
+                records_in: report.records_in,
+                output_records: report.output_records,
+                committed_rows: coord.committed().len(),
+                crashes,
+                sim_secs: report.sim_secs,
+            });
+            committed.extend(coord.committed().iter().cloned());
+            stats.push(st);
+        }
+
+        Ok(ClusterRunReport {
+            records_in: phase1.iter().map(|s| s.records_in).sum::<u64>()
+                + shards.iter().map(|s| s.records_in).sum::<u64>(),
+            output_records: phase1.iter().map(|s| s.output_records).sum::<u64>()
+                + shards.iter().map(|s| s.output_records).sum::<u64>(),
+            phase1,
+            rescale: Some(rescale),
+            slot_loads: merge_slot_counts(&stats),
+            committed,
+            sim_secs,
+            shards,
+        })
+    }
+
+    /// Exports the cluster-level view of `report` into the configured
+    /// metrics registry (deterministic: all values derive from simulated
+    /// state). `sbx report` rebuilds its shard and link tables purely from
+    /// this export.
+    fn export_metrics(&self, report: &ClusterRunReport) {
+        let m = &self.cfg.metrics;
+        if !m.is_enabled() {
+            return;
+        }
+        m.gauge("cluster.shards").set(report.shards.len() as f64);
+        m.gauge("cluster.slots").set(self.cfg.slots as f64);
+        m.gauge("cluster.sim_secs").set(report.sim_secs);
+        for s in &report.shards {
+            let p = format!("cluster.shard{}.", s.shard);
+            m.counter(&format!("{p}records_in")).add(s.records_in);
+            m.counter(&format!("{p}output_records"))
+                .add(s.output_records);
+            m.counter(&format!("{p}committed_rows"))
+                .add(s.committed_rows as u64);
+            m.counter(&format!("{p}crashes")).add(s.crashes);
+        }
+        for s in &report.phase1 {
+            let p = format!("cluster.phase1.shard{}.", s.shard);
+            m.counter(&format!("{p}records_in")).add(s.records_in);
+            m.counter(&format!("{p}output_records"))
+                .add(s.output_records);
+        }
+        for (slot, load) in report.slot_loads.iter().enumerate() {
+            m.counter(&format!("cluster.slot{slot}.records")).add(*load);
+        }
+        if let Some(r) = &report.rescale {
+            m.counter("cluster.rescale.at_epoch").add(r.at_epoch);
+            m.counter("cluster.rescale.from_shards")
+                .add(u64::from(r.from_shards));
+            m.counter("cluster.rescale.to_shards")
+                .add(u64::from(r.to_shards));
+            m.counter("cluster.rescale.moved_slots")
+                .add(r.moved_slots.len() as u64);
+            m.counter("cluster.shuffle.wire_bytes").add(r.wire_bytes);
+            m.counter("cluster.shuffle.local_bytes").add(r.local_bytes);
+            m.counter("cluster.shuffle.ns").add(r.shuffle_ns);
+            for (src, dst, bytes) in &r.links {
+                m.counter(&format!("cluster.link.{src}.{dst}.bytes"))
+                    .add(*bytes);
+            }
+        }
+    }
+}

@@ -28,6 +28,64 @@ fn ts_for(count: u64, event_rate: u64) -> u64 {
     (count as u128 * TICKS_PER_SEC as u128 / event_rate as u128) as u64
 }
 
+/// Deterministic Zipf-distributed rank sampler over `{0, .., n-1}` (rank 0
+/// most popular), using the rejection-free inverse-CDF approximation of
+/// Gray et al. ("Quickly generating billion-record synthetic databases").
+///
+/// Drives the skewed cluster workloads: a Zipf key stream concentrates
+/// traffic on the slots owning the low ranks, producing the hot shard the
+/// rebalance trigger must detect and move.
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    n: u64,
+    theta: f64,
+    zetan: f64,
+    eta: f64,
+    threshold2: f64,
+}
+
+impl ZipfKeys {
+    /// A Zipf sampler over `n` ranks with exponent `theta` in `(0, 1)`;
+    /// `theta` near 1 is heavily skewed (YCSB's default is 0.99).
+    pub fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(1);
+        let theta = theta.clamp(0.01, 0.999);
+        let mut zetan = 0.0;
+        for i in 1..=n {
+            zetan += 1.0 / (i as f64).powf(theta);
+        }
+        let zeta2 = 1.0 + 0.5f64.powf(theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfKeys {
+            n,
+            theta,
+            zetan,
+            eta,
+            threshold2: 1.0 + 0.5f64.powf(theta),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one rank in `[0, n)` from `rng` (rank 0 most popular).
+    pub fn sample(&self, rng: &mut SbxRng) -> u64 {
+        let u = rng.random_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < self.threshold2 {
+            return 1;
+        }
+        let rank =
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(1.0 / (1.0 - self.theta))) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
 /// Generator for the 3-column (`key,value,ts`) and 4-column
 /// (`key,key2,value,ts`) synthetic benchmarks.
 ///
@@ -44,6 +102,7 @@ pub struct KvSource {
     value_range: u64,
     event_rate: u64,
     jitter_ticks: u64,
+    zipf: Option<ZipfKeys>,
     count: u64,
 }
 
@@ -59,6 +118,7 @@ impl KvSource {
             value_range: u64::MAX,
             event_rate: event_rate.max(1),
             jitter_ticks: 0,
+            zipf: None,
             count: 0,
         }
     }
@@ -82,6 +142,14 @@ impl KvSource {
         self.jitter_ticks = ticks;
         self
     }
+
+    /// Draws keys from a Zipf distribution with exponent `theta` instead of
+    /// uniformly: key 0 is the hottest, so skewed streams concentrate on a
+    /// narrow key range (the cluster tier's hot-shard scenario).
+    pub fn with_zipf(mut self, theta: f64) -> Self {
+        self.zipf = Some(ZipfKeys::new(self.key_cardinality, theta));
+        self
+    }
 }
 
 impl Source for KvSource {
@@ -98,7 +166,11 @@ impl Source for KvSource {
                 self.rng.random_range(0..=self.jitter_ticks)
             };
             let ts = front.saturating_sub(jitter);
-            out.push(self.rng.random_range(0..self.key_cardinality));
+            let key = match &self.zipf {
+                Some(z) => z.sample(&mut self.rng),
+                None => self.rng.random_range(0..self.key_cardinality),
+            };
+            out.push(key);
             if let Some(c2) = self.key2_cardinality {
                 out.push(self.rng.random_range(0..c2));
             }
@@ -448,6 +520,25 @@ mod tests {
             let mean = PowerGridSource::mean_load(row[0], row[1]);
             assert!(row[2] >= mean / 2 && row[2] <= mean + mean / 2);
         }
+    }
+
+    #[test]
+    fn zipf_keys_are_skewed_deterministic_and_in_range() {
+        let mut a = KvSource::new(5, 1_000, 1_000).with_zipf(0.99);
+        let mut b = KvSource::new(5, 1_000, 1_000).with_zipf(0.99);
+        let (mut va, mut vb) = (Vec::new(), Vec::new());
+        a.fill(2_000, &mut va);
+        b.fill(2_000, &mut vb);
+        assert_eq!(va, vb, "same seed => same skewed stream");
+        let keys: Vec<u64> = va.chunks(3).map(|r| r[0]).collect();
+        assert!(keys.iter().all(|&k| k < 1_000));
+        // Rank 0 dominates: it must appear far more often than a uniform
+        // draw would give (2000/1000 = 2 expected occurrences).
+        let hot = keys.iter().filter(|&&k| k == 0).count();
+        assert!(hot > 100, "rank 0 appeared only {hot} times");
+        // Skew is strictly ordered: the hot decile outweighs the rest.
+        let low = keys.iter().filter(|&&k| k < 100).count();
+        assert!(low * 2 > keys.len(), "low ranks got {low}/{}", keys.len());
     }
 
     #[test]

@@ -74,6 +74,61 @@ impl NicModel {
     }
 }
 
+/// A modelled point-to-point inter-node link: a [`NicModel`] payload rate
+/// plus a propagation/switching latency floor.
+///
+/// The same bandwidth/latency pricing the sender applies to ingest governs
+/// shard-to-shard traffic in the distributed tier (`sbx-cluster`): state
+/// shuffled between shards during a rescale is charged wire time here, so
+/// scale-out results stay grounded in the paper's cost model instead of
+/// assuming free interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Payload rate and per-transfer overhead of the link.
+    pub nic: NicModel,
+    /// One-way propagation + switching latency in nanoseconds, charged
+    /// once per transfer on top of the NIC serialization time.
+    pub latency_ns: u64,
+}
+
+impl LinkModel {
+    /// Same-rack link over the paper's 40 Gb/s InfiniBand fabric: RDMA
+    /// payload rate with ~1.5 µs of switch latency.
+    pub fn intra_rack_rdma() -> Self {
+        LinkModel {
+            nic: NicModel::rdma_40g(),
+            latency_ns: 1_500,
+        }
+    }
+
+    /// Cross-rack link: 10 GbE payload rate with ~25 µs latency (one more
+    /// switching tier plus the ZeroMQ copy path).
+    pub fn cross_rack_10g() -> Self {
+        LinkModel {
+            nic: NicModel::ethernet_10g(),
+            latency_ns: 25_000,
+        }
+    }
+
+    /// A free link for experiments that isolate engine behaviour from the
+    /// interconnect.
+    pub fn unlimited() -> Self {
+        LinkModel {
+            nic: NicModel::unlimited(),
+            latency_ns: 0,
+        }
+    }
+
+    /// Simulated wire time to move `bytes` across the link, nanoseconds.
+    /// Zero-byte transfers are free: no message is sent at all.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        self.latency_ns + self.nic.transfer_ns(bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,6 +154,21 @@ mod tests {
     #[test]
     fn unlimited_nic_only_charges_overhead() {
         assert_eq!(NicModel::unlimited().transfer_ns(u64::MAX), 0);
+    }
+
+    #[test]
+    fn link_adds_latency_on_top_of_nic_time() {
+        let link = LinkModel::intra_rack_rdma();
+        let bytes = 1 << 20;
+        assert_eq!(
+            link.transfer_ns(bytes),
+            1_500 + NicModel::rdma_40g().transfer_ns(bytes)
+        );
+        // Empty transfers send nothing and cost nothing.
+        assert_eq!(link.transfer_ns(0), 0);
+        assert_eq!(LinkModel::unlimited().transfer_ns(1 << 30), 0);
+        // Cross-rack is strictly slower for the same payload.
+        assert!(LinkModel::cross_rack_10g().transfer_ns(bytes) > link.transfer_ns(bytes));
     }
 
     #[test]

@@ -296,6 +296,24 @@ impl MetricsRegistry {
     pub fn export_jsonl(&self) -> String {
         self.snapshot().to_jsonl()
     }
+
+    /// Folds another registry's exported counters and gauges into this one
+    /// under `prefix` (`prefix` + name). Counter values accumulate, gauges
+    /// are re-set. Used by the cluster tier to merge per-shard engine
+    /// registries into one cluster-wide export
+    /// (`cluster.shard0.records_in`, ...); histograms and series are
+    /// per-shard detail and are not adopted.
+    pub fn adopt(&self, prefix: &str, dump: &MetricsDump) {
+        if self.inner.is_none() {
+            return;
+        }
+        for (name, value) in &dump.counters {
+            self.counter(&format!("{prefix}{name}")).add(*value);
+        }
+        for g in &dump.gauges {
+            self.gauge(&format!("{prefix}{}", g.name)).set(g.value);
+        }
+    }
 }
 
 /// An exported gauge.

@@ -8,6 +8,11 @@
 //!                  [--metrics-out PATH] [--trace-out PATH]
 //! sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]
 //!                    [bench flags]
+//! sbx cluster <name> [--shards N] [--slots N] [--bundles N] [--bundle-rows N]
+//!                    [--interval N] [--keys N] [--rate N] [--skew THETA]
+//!                    [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]
+//!                    [--link rdma|eth|unlimited] [--cores N]
+//!                    [--metrics-out PATH]
 //! sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>]
 //!                            [--top N]
 //! sbx figure <2|7|8|9|10|11|ablation>
@@ -29,6 +34,15 @@
 //! over a span JSONL export (top-k controlled by `--top`). Because every
 //! exported value is simulated-time, both renderings are byte-identical
 //! across same-seed runs.
+//!
+//! `cluster` runs a benchmark sharded across N per-shard engines behind
+//! the hash-slot router (`sbx-cluster`), optionally cutting a coordinated
+//! epoch mid-run to grow/shrink (`--rescale-at` + `--rescale-to`) or to
+//! rebalance hot slots (`--rescale-at` + `--rebalance`); `--skew` draws
+//! keys from a Zipf distribution to manufacture a hot shard. A metrics
+//! export of a cluster run feeds `sbx report`, which renders the
+//! per-shard occupancy/skew table and per-link utilization purely from
+//! the exported `cluster.*` counters.
 
 // sbx-lint: out-of-scope(no-panic, CLI entry point; bad arguments abort with a message)
 // sbx-lint: out-of-scope(raw-alloc, CLI-side reporting and table formatting)
@@ -61,6 +75,10 @@ fn usage() -> ExitCode {
          \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
          \x20                [bench flags]\n\
+         \x20 sbx cluster <name> [--shards N] [--slots N] [--bundles N] [--bundle-rows N]\n\
+         \x20                [--interval N] [--keys N] [--rate N] [--skew THETA]\n\
+         \x20                [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]\n\
+         \x20                [--link rdma|eth|unlimited] [--cores N] [--metrics-out PATH]\n\
          \x20 sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>] [--top N]\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
@@ -343,6 +361,295 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Arguments of `sbx cluster`.
+#[derive(Debug, Clone, PartialEq)]
+struct ClusterArgs {
+    name: String,
+    shards: u32,
+    slots: u32,
+    bundles: usize,
+    bundle_rows: usize,
+    interval: u64,
+    keys: u64,
+    rate: u64,
+    cores: u32,
+    /// Zipf theta for the key draw; uniform keys when absent.
+    skew: Option<f64>,
+    /// Coordinated epoch to rescale at.
+    rescale_at: Option<u64>,
+    /// Grow/shrink target shard count.
+    rescale_to: Option<u32>,
+    /// Hot-shard rebalance tolerance (× mean load).
+    rebalance: Option<f64>,
+    link: LinkModel,
+    metrics_out: Option<String>,
+}
+
+impl Default for ClusterArgs {
+    fn default() -> Self {
+        ClusterArgs {
+            name: String::new(),
+            shards: 4,
+            slots: 64,
+            bundles: 40,
+            bundle_rows: 20_000,
+            interval: 5,
+            // Millions of simulated users: the cluster's reason to exist.
+            keys: 2_000_000,
+            rate: 20_000_000,
+            cores: 16,
+            skew: None,
+            rescale_at: None,
+            rescale_to: None,
+            rebalance: None,
+            link: LinkModel::intra_rack_rdma(),
+            metrics_out: None,
+        }
+    }
+}
+
+fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
+    let mut out = ClusterArgs {
+        name: args.first().cloned().unwrap_or_default(),
+        ..Default::default()
+    };
+    if !BENCHMARKS.contains(&out.name.as_str()) {
+        return Err(format!("unknown benchmark '{}'", out.name));
+    }
+    if matches!(out.name.as_str(), "join" | "filter") {
+        return Err("cluster supports single-stream benchmarks only".into());
+    }
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag {
+            "--shards" => out.shards = value.parse().map_err(|_| "bad --shards")?,
+            "--slots" => out.slots = value.parse().map_err(|_| "bad --slots")?,
+            "--bundles" => out.bundles = value.parse().map_err(|_| "bad --bundles")?,
+            "--bundle-rows" => {
+                out.bundle_rows = value.parse().map_err(|_| "bad --bundle-rows")?;
+            }
+            "--interval" => out.interval = value.parse().map_err(|_| "bad --interval")?,
+            "--keys" => out.keys = value.parse().map_err(|_| "bad --keys")?,
+            "--rate" => out.rate = value.parse().map_err(|_| "bad --rate")?,
+            "--cores" => out.cores = value.parse().map_err(|_| "bad --cores")?,
+            "--skew" => out.skew = Some(value.parse().map_err(|_| "bad --skew")?),
+            "--rescale-at" => {
+                out.rescale_at = Some(value.parse().map_err(|_| "bad --rescale-at")?);
+            }
+            "--rescale-to" => {
+                out.rescale_to = Some(value.parse().map_err(|_| "bad --rescale-to")?);
+            }
+            "--rebalance" => out.rebalance = Some(value.parse().map_err(|_| "bad --rebalance")?),
+            "--metrics-out" => out.metrics_out = Some(value.clone()),
+            "--link" => {
+                out.link = match value.as_str() {
+                    "rdma" => LinkModel::intra_rack_rdma(),
+                    "eth" => LinkModel::cross_rack_10g(),
+                    "unlimited" => LinkModel::unlimited(),
+                    other => return Err(format!("unknown link '{other}'")),
+                }
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+    if out.shards == 0 {
+        return Err("--shards must be positive".into());
+    }
+    if !(1..=64).contains(&out.shards) {
+        return Err("--shards must be in 1..=64".into());
+    }
+    if out.interval == 0 {
+        return Err("--interval must be positive".into());
+    }
+    if out.rescale_to.is_some() && out.rebalance.is_some() {
+        return Err("--rescale-to and --rebalance are mutually exclusive".into());
+    }
+    if out.rescale_at.is_some() && out.rescale_to.is_none() && out.rebalance.is_none() {
+        return Err("--rescale-at needs --rescale-to or --rebalance".into());
+    }
+    if out.rescale_at.is_none() && (out.rescale_to.is_some() || out.rebalance.is_some()) {
+        return Err("--rescale-to/--rebalance need --rescale-at".into());
+    }
+    Ok(out)
+}
+
+fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use std::sync::Arc;
+
+    let metrics = if a.metrics_out.is_some() {
+        MetricsRegistry::active()
+    } else {
+        MetricsRegistry::noop()
+    };
+    // YSB aggregates per campaign, so the cluster must route records (and
+    // shuffle state) by the ad→campaign projection, not the raw ad id.
+    const YSB_CAMPAIGNS: u64 = 1_000;
+    let (key_col, key_map): (usize, Option<streambox_hbm::cluster::KeyMap>) = if a.name == "ysb" {
+        (2, Some(Arc::new(|ad| ad % YSB_CAMPAIGNS)))
+    } else {
+        (0, None)
+    };
+    let cfg = ClusterConfig {
+        shards: a.shards,
+        slots: a.slots,
+        key_col,
+        key_map,
+        engine: RunConfig {
+            machine: MachineConfig::knl(),
+            cores: a.cores,
+            // One worker thread per shard engine: exported HBM-placement
+            // gauges must not depend on host-contention-sensitive KPA
+            // placement interleaving, so same-seed runs export the same
+            // bytes (see the fig10 tests for the same pinning).
+            threads: 1,
+            sender: SenderConfig {
+                bundle_rows: a.bundle_rows,
+                bundles_per_watermark: 10,
+                nic: NicModel::rdma_40g(),
+            },
+            ..RunConfig::default()
+        },
+        link: a.link,
+        metrics: metrics.clone(),
+    };
+    let plan = a.rescale_at.map(|at_epoch| ElasticPlan {
+        at_epoch,
+        retarget: match (a.rescale_to, a.rebalance) {
+            (Some(n), _) => Retarget::Shards(n),
+            (None, Some(tolerance)) => Retarget::Rebalance { tolerance },
+            (None, None) => unreachable!("validated"),
+        },
+    });
+    println!(
+        "clustering '{}' across {} shards ({} slots, {} keys, link {}{})",
+        a.name,
+        a.shards,
+        a.slots,
+        a.keys,
+        a.link.nic.name,
+        a.skew.map_or(String::new(), |t| format!(", zipf {t}")),
+    );
+    let cluster = ShardedCluster::new(cfg);
+    let name = a.name.clone();
+    let mk_pipe = move || {
+        if name == "ysb" {
+            benchmarks::ysb(YSB_CAMPAIGNS)
+        } else {
+            pipeline_for(&name)
+        }
+    };
+    let run = |mk_src: &dyn Fn() -> KvSource| match plan {
+        Some(p) => cluster.run_elastic(mk_src, &mk_pipe, a.bundles, a.interval, p),
+        None => cluster.run(mk_src, &mk_pipe, a.bundles, a.interval),
+    };
+    let report = match a.name.as_str() {
+        "ysb" => {
+            let mk_src = || YsbSource::new(1, a.keys, YSB_CAMPAIGNS, a.rate);
+            match plan {
+                Some(p) => cluster.run_elastic(mk_src, &mk_pipe, a.bundles, a.interval, p)?,
+                None => cluster.run(mk_src, &mk_pipe, a.bundles, a.interval)?,
+            }
+        }
+        "power-grid" => {
+            let mk_src = || PowerGridSource::new(1, a.keys.max(1), 20, a.rate);
+            match plan {
+                Some(p) => cluster.run_elastic(mk_src, &mk_pipe, a.bundles, a.interval, p)?,
+                None => cluster.run(mk_src, &mk_pipe, a.bundles, a.interval)?,
+            }
+        }
+        _ => {
+            let skew = a.skew;
+            let keys = a.keys;
+            let rate = a.rate;
+            let mk_src = move || {
+                let src = KvSource::new(1, keys, rate).with_value_range(1_000_000);
+                match skew {
+                    Some(theta) => src.with_zipf(theta),
+                    None => src,
+                }
+            };
+            run(&mk_src)?
+        }
+    };
+    println!(
+        "  cluster        : {:>10.2} M records/s ({} records, {} outputs, {:.4} s simulated)",
+        report.throughput_rps() / 1e6,
+        report.records_in,
+        report.output_records,
+        report.sim_secs
+    );
+    let shard_table = |label: &str, shards: &[streambox_hbm::cluster::ShardSummary]| {
+        let total: u64 = shards.iter().map(|s| s.records_in).sum();
+        println!("  {label}:");
+        println!(
+            "    {:>5} {:>12} {:>7} {:>10} {:>8} {:>9}",
+            "shard", "records", "share%", "outputs", "crashes", "sim_secs"
+        );
+        for s in shards {
+            println!(
+                "    {:>5} {:>12} {:>7.2} {:>10} {:>8} {:>9.4}",
+                s.shard,
+                s.records_in,
+                100.0 * s.records_in as f64 / total.max(1) as f64,
+                s.output_records,
+                s.crashes,
+                s.sim_secs
+            );
+        }
+    };
+    if let Some(r) = &report.rescale {
+        shard_table("shards before the cut", &report.phase1);
+        println!(
+            "  rescale        : {} -> {} shards at epoch {}, {} slots moved",
+            r.from_shards,
+            r.to_shards,
+            r.at_epoch,
+            r.moved_slots.len()
+        );
+        println!(
+            "  shuffle        : {} KiB over links, {} KiB local, {:.6} s simulated",
+            r.wire_bytes / 1024,
+            r.local_bytes / 1024,
+            r.shuffle_ns as f64 / 1e9
+        );
+        for (src, dst, bytes) in &r.links {
+            println!("    link {src}->{dst}: {:>10} KiB", bytes / 1024);
+        }
+        shard_table("shards after the cut", &report.shards);
+    } else {
+        shard_table("shard table", &report.shards);
+    }
+    let hot_slots = {
+        let mut slots: Vec<(usize, u64)> = report
+            .slot_loads
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(_, l)| *l > 0)
+            .collect();
+        slots.sort_by_key(|&(slot, load)| (u64::MAX - load, slot));
+        slots.truncate(5);
+        slots
+    };
+    if !hot_slots.is_empty() {
+        let hottest: Vec<String> = hot_slots
+            .iter()
+            .map(|(slot, load)| format!("{slot}:{load}"))
+            .collect();
+        println!("  hottest slots  : {}", hottest.join(", "));
+    }
+    if let Some(path) = &a.metrics_out {
+        std::fs::write(path, metrics.export_jsonl())?;
+        println!("  metrics        : written to {path}");
+    }
+    Ok(())
+}
+
 /// Arguments of `sbx report`.
 #[derive(Debug, Clone, PartialEq)]
 struct ReportArgs {
@@ -476,6 +783,7 @@ fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+    cluster_report(&dump);
     if a.timeline {
         print!("{}", Timeline::from_dump(&dump).render());
     }
@@ -489,6 +797,99 @@ fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     Ok(())
+}
+
+/// Renders the cluster tier's shard occupancy/skew table and per-link
+/// utilization, derived purely from exported `cluster.*` counters (absent
+/// for single-engine runs). Deterministic: same-seed runs export the same
+/// bytes, so this section renders identically.
+fn cluster_report(dump: &MetricsDump) {
+    let shards = dump.gauge("cluster.shards").map_or(0.0, |g| g.value) as u32;
+    if shards == 0 {
+        return;
+    }
+    let c = |name: &str| dump.counter(name).unwrap_or(0);
+    let slots = dump.gauge("cluster.slots").map_or(0.0, |g| g.value) as u32;
+    println!("  cluster        : {shards} shards over {slots} slots");
+    let per_shard: Vec<(u32, u64, u64, u64)> = (0..shards)
+        .map(|s| {
+            (
+                s,
+                c(&format!("cluster.shard{s}.records_in")),
+                c(&format!("cluster.shard{s}.output_records")),
+                c(&format!("cluster.shard{s}.crashes")),
+            )
+        })
+        .collect();
+    let total: u64 = per_shard.iter().map(|(_, r, _, _)| r).sum();
+    let max = per_shard.iter().map(|(_, r, _, _)| *r).max().unwrap_or(0);
+    println!(
+        "    {:>5} {:>12} {:>7} {:>10} {:>8}",
+        "shard", "records", "share%", "outputs", "crashes"
+    );
+    for (s, records, outputs, crashes) in &per_shard {
+        println!(
+            "    {:>5} {:>12} {:>7.2} {:>10} {:>8}",
+            s,
+            records,
+            100.0 * *records as f64 / total.max(1) as f64,
+            outputs,
+            crashes
+        );
+    }
+    let mean = total as f64 / f64::from(shards.max(1));
+    println!(
+        "    skew           : max/mean {:.3} (hot shard {:.2}% of traffic)",
+        max as f64 / mean.max(1.0),
+        100.0 * max as f64 / total.max(1) as f64
+    );
+    // Hottest slots, from the per-slot routing counters.
+    let mut hot: Vec<(u32, u64)> = (0..slots)
+        .map(|slot| (slot, c(&format!("cluster.slot{slot}.records"))))
+        .filter(|(_, l)| *l > 0)
+        .collect();
+    hot.sort_by_key(|&(slot, load)| (u64::MAX - load, slot));
+    hot.truncate(5);
+    if !hot.is_empty() {
+        let rendered: Vec<String> = hot
+            .iter()
+            .map(|(slot, load)| format!("{slot}:{load}"))
+            .collect();
+        println!("    hottest slots  : {}", rendered.join(", "));
+    }
+    let wire = c("cluster.shuffle.wire_bytes");
+    if c("cluster.rescale.to_shards") > 0 {
+        println!(
+            "    rescale        : {} -> {} shards at epoch {}, {} slots moved",
+            c("cluster.rescale.from_shards"),
+            c("cluster.rescale.to_shards"),
+            c("cluster.rescale.at_epoch"),
+            c("cluster.rescale.moved_slots")
+        );
+        println!(
+            "    shuffle        : {} KiB over links, {} KiB local, {:.6} s simulated",
+            wire / 1024,
+            c("cluster.shuffle.local_bytes") / 1024,
+            c("cluster.shuffle.ns") as f64 / 1e9
+        );
+        // Per-link utilization rows: every exported cluster.link.S.D.bytes.
+        for (name, bytes) in &dump.counters {
+            let Some(rest) = name.strip_prefix("cluster.link.") else {
+                continue;
+            };
+            let Some(pair) = rest.strip_suffix(".bytes") else {
+                continue;
+            };
+            let Some((src, dst)) = pair.split_once('.') else {
+                continue;
+            };
+            println!(
+                "    link {src}->{dst}      : {:>10} KiB ({:.1}% of shuffle)",
+                bytes / 1024,
+                100.0 * *bytes as f64 / wire.max(1) as f64
+            );
+        }
+    }
 }
 
 /// Crash-injected run followed by recovery and an exactly-once check
@@ -644,6 +1045,19 @@ fn main() -> ExitCode {
                 usage()
             }
         },
+        Some("cluster") => match parse_cluster_args(&args[1..]) {
+            Ok(a) => match run_cluster(a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage()
+            }
+        },
         Some("report") => match parse_report_args(&args[1..]) {
             Ok(a) => match run_report(&a) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -786,6 +1200,60 @@ mod tests {
         assert!(parse_report_args(&s(&["m.jsonl", "--critical-path"])).is_err());
         assert!(parse_report_args(&s(&["m.jsonl", "--top", "x"])).is_err());
         assert!(parse_report_args(&s(&["m.jsonl", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let a = parse_cluster_args(&s(&[
+            "ysb",
+            "--shards",
+            "8",
+            "--slots",
+            "128",
+            "--rescale-at",
+            "3",
+            "--rescale-to",
+            "16",
+            "--skew",
+            "1.2",
+            "--link",
+            "eth",
+            "--metrics-out",
+            "/tmp/c.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.name, "ysb");
+        assert_eq!(a.shards, 8);
+        assert_eq!(a.slots, 128);
+        assert_eq!(a.rescale_at, Some(3));
+        assert_eq!(a.rescale_to, Some(16));
+        assert_eq!(a.skew, Some(1.2));
+        assert_eq!(a.metrics_out.as_deref(), Some("/tmp/c.jsonl"));
+        let plain = parse_cluster_args(&s(&["sum"])).unwrap();
+        assert_eq!(plain.shards, 4);
+        assert!(plain.rescale_at.is_none() && plain.skew.is_none());
+    }
+
+    #[test]
+    fn rejects_inconsistent_cluster_flags() {
+        // A retarget needs a cut epoch, and vice versa.
+        assert!(parse_cluster_args(&s(&["sum", "--rescale-to", "8"])).is_err());
+        assert!(parse_cluster_args(&s(&["sum", "--rescale-at", "2"])).is_err());
+        // Rescale and rebalance are mutually exclusive retargets.
+        assert!(parse_cluster_args(&s(&[
+            "sum",
+            "--rescale-at",
+            "2",
+            "--rescale-to",
+            "8",
+            "--rebalance",
+            "1.25",
+        ]))
+        .is_err());
+        assert!(parse_cluster_args(&s(&["sum", "--shards", "0"])).is_err());
+        assert!(parse_cluster_args(&s(&["join", "--shards", "2"])).is_err());
+        assert!(parse_cluster_args(&s(&["sum", "--link", "pigeon"])).is_err());
+        assert!(parse_cluster_args(&s(&["sum", "--wat"])).is_err());
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`ingress`] — workload generators, NIC-rate ingestion, parsers.
 //! * [`checkpoint`] — barrier snapshot store, crash injection, and
 //!   exactly-once recovery.
+//! * [`cluster`] — the sharded distributed tier: hash-slot key routing,
+//!   priced inter-node shuffles, and checkpoint-coordinated elastic
+//!   rescaling.
 //! * [`obs`] — simulated-time observability: metrics registry, span
 //!   tracing, JSONL and Chrome-trace export.
 //! * [`baselines`] — the Flink-class row engine used for comparisons.
@@ -45,6 +48,7 @@
 
 pub use sbx_baselines as baselines;
 pub use sbx_checkpoint as checkpoint;
+pub use sbx_cluster as cluster;
 pub use sbx_engine as engine;
 pub use sbx_ingress as ingress;
 pub use sbx_kpa as kpa;
@@ -59,13 +63,17 @@ pub mod prelude {
         coordinated_epoch, run_with_recovery, CheckpointCoordinator, CrashPlan, RecoveryOutcome,
         SnapshotStore,
     };
+    pub use sbx_cluster::{
+        ClusterConfig, ClusterRunReport, ElasticPlan, Retarget, RouteTable, ShardedCluster,
+    };
     pub use sbx_engine::ops::AggKind;
     pub use sbx_engine::{
         benchmarks, round_samples_from_dump, Cluster, ClusterReport, Engine, EngineMode, Pipeline,
         PipelineBuilder, RunConfig, RunReport,
     };
     pub use sbx_ingress::{
-        IngestFormat, KvSource, NicModel, PowerGridSource, Sender, SenderConfig, Source, YsbSource,
+        IngestFormat, KvSource, LinkModel, NicModel, PowerGridSource, Sender, SenderConfig, Source,
+        YsbSource,
     };
     pub use sbx_kpa::{ExecCtx, Kpa};
     pub use sbx_obs::{
