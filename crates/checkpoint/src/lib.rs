@@ -641,6 +641,9 @@ pub fn run_with_recovery<S: Source>(
             Err(EngineError::Crashed(_)) if crashes < MAX_CRASHES => {
                 crashes += 1;
                 coord.discard_pending();
+                // Drop the crashed attempt's spans so the exported trace
+                // holds exactly one surviving attempt per id range.
+                cfg.obs.trace.clear();
                 resumed_epochs.push(coord.store().latest_epoch().unwrap_or(0));
             }
             Err(e) => return Err(e),

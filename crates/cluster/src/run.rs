@@ -35,7 +35,9 @@ use sbx_engine::{
     RunConfig, StreamData,
 };
 use sbx_ingress::{LinkModel, Source};
-use sbx_obs::{MetricsRegistry, Obs, TraceCollector};
+use sbx_obs::{
+    spans_to_recs, ClusterTrace, FabricEvent, MetricsRegistry, Obs, SpanStream, TraceCollector,
+};
 use sbx_simmem::{AccessProfile, MemEnv};
 
 use crate::route::{merge_slot_counts, RouteTable, SlotStats, DEFAULT_SLOTS};
@@ -62,6 +64,12 @@ pub struct ClusterConfig {
     /// Cluster-level metrics sink; per-shard engine registries are folded
     /// in under `cluster.shard<i>.engine.*`. No-op by default.
     pub metrics: MetricsRegistry,
+    /// Record per-shard span streams and stitch them (with priced fabric
+    /// spans) into [`ClusterRunReport::trace`]. Off by default; implies
+    /// the per-shard sequential span-ordering constraint, so cluster runs
+    /// that trace should use `engine.threads = 1` for byte-identical
+    /// exports.
+    pub trace: bool,
 }
 
 impl Default for ClusterConfig {
@@ -74,6 +82,7 @@ impl Default for ClusterConfig {
             engine: RunConfig::default(),
             link: LinkModel::intra_rack_rdma(),
             metrics: MetricsRegistry::noop(),
+            trace: false,
         }
     }
 }
@@ -189,6 +198,11 @@ pub struct ClusterRunReport {
     /// Cluster simulated time: the slowest shard's clock (shards run
     /// concurrently; phase-2 clocks include phase 1 and the shuffle).
     pub sim_secs: f64,
+    /// The stitched cluster trace, when [`ClusterConfig::trace`] was on:
+    /// one span stream per shard per topology era plus priced fabric
+    /// spans (barrier-alignment waits and shuffle link transfers), in a
+    /// shared id space.
+    pub trace: Option<ClusterTrace>,
 }
 
 impl ClusterRunReport {
@@ -402,19 +416,37 @@ impl ShardedCluster {
     }
 
     /// A per-shard engine config with its own metrics registry (folded
-    /// into the cluster registry after the shard finishes).
-    fn shard_engine_cfg(&self) -> (RunConfig, MetricsRegistry) {
+    /// into the cluster registry after the shard finishes) and its own
+    /// trace collector (harvested into a [`SpanStream`] when tracing).
+    fn shard_engine_cfg(&self) -> (RunConfig, MetricsRegistry, TraceCollector) {
         let mut cfg = self.cfg.engine.clone();
         let reg = if self.cfg.metrics.is_enabled() {
             MetricsRegistry::active()
         } else {
             MetricsRegistry::noop()
         };
+        let trace = if self.cfg.trace {
+            TraceCollector::active()
+        } else {
+            TraceCollector::noop()
+        };
         cfg.obs = Obs {
             metrics: reg.clone(),
-            trace: TraceCollector::noop(),
+            trace: trace.clone(),
         };
-        (cfg, reg)
+        (cfg, reg, trace)
+    }
+
+    /// Harvests a finished shard's span collector into a tagged stream.
+    fn harvest(&self, shard: u32, slot_epoch: u32, trace: &TraceCollector) -> Option<SpanStream> {
+        if !self.cfg.trace {
+            return None;
+        }
+        Some(SpanStream {
+            shard,
+            slot_epoch,
+            spans: spans_to_recs(&trace.spans()),
+        })
     }
 
     fn run_static<S: Source>(
@@ -429,10 +461,11 @@ impl ShardedCluster {
         let mut shards = Vec::new();
         let mut committed = Vec::new();
         let mut stats = Vec::new();
+        let mut streams = Vec::new();
         let mut sim_secs = 0.0f64;
         for shard in 0..table.shards() {
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::BeforeCut {
@@ -451,6 +484,7 @@ impl ShardedCluster {
                 &format!("cluster.shard{shard}.engine."),
                 &shard_reg.snapshot(),
             );
+            streams.extend(self.harvest(shard, 0, &shard_trace));
             sim_secs = sim_secs.max(outcome.report.sim_secs);
             shards.push(ShardSummary {
                 shard,
@@ -472,6 +506,11 @@ impl ShardedCluster {
             committed,
             sim_secs,
             shards,
+            trace: if self.cfg.trace {
+                Some(ClusterTrace::stitch(&streams, &[]))
+            } else {
+                None
+            },
         })
     }
 
@@ -530,6 +569,10 @@ impl ShardedCluster {
                         )));
                     }
                     coord.discard_pending();
+                    // Drop the crashed attempt's spans: the resumed engine
+                    // restarts span ids at zero, and the trace documents
+                    // the surviving attempt only.
+                    engine_cfg.obs.trace.clear();
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -554,9 +597,10 @@ impl ShardedCluster {
         let mut committed = Vec::new();
         let mut stats = Vec::new();
         let mut cut_snaps = Vec::new();
+        let mut streams = Vec::new();
         for shard in 0..table.shards() {
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::BeforeCut {
@@ -576,6 +620,7 @@ impl ShardedCluster {
                 &format!("cluster.phase1.shard{shard}.engine."),
                 &shard_reg.snapshot(),
             );
+            streams.extend(self.harvest(shard, 0, &shard_trace));
             let snap = coord.store().at_epoch(cut)?.ok_or_else(|| {
                 ClusterError::Topology(format!("shard {shard} lost its cut-epoch snapshot"))
             })?;
@@ -622,6 +667,41 @@ impl ShardedCluster {
             links: traffic.link_rows(),
         };
 
+        // Fabric spans, priced from the same quantities the rescale
+        // charged: each old shard waits from its own cut clock to the
+        // cluster-wide cut (straggler alignment), then every link drains
+        // its moved bytes in parallel starting at the aligned clock.
+        // Phase-2 engines resume at `clock_base + shuffle_ns`, which
+        // bounds every link transfer, so all stitched edges stay causal.
+        let mut fabric = Vec::new();
+        if self.cfg.trace {
+            let clock_base = cut_snaps.iter().map(|s| s.clock_ns).max().unwrap_or(0);
+            for (shard, snap) in cut_snaps.iter().enumerate() {
+                fabric.push(FabricEvent {
+                    name: format!("barrier.wait.shard{shard}"),
+                    cat: String::from("barrier"),
+                    src_shard: shard as u32,
+                    dst_shard: shard as u32,
+                    epoch: cut,
+                    start_ns: snap.clock_ns,
+                    dur_ns: clock_base.saturating_sub(snap.clock_ns),
+                    bytes: 0,
+                });
+            }
+            for &(src, dst, bytes) in &rescale.links {
+                fabric.push(FabricEvent {
+                    name: format!("link.{src}->{dst}"),
+                    cat: String::from("shuffle"),
+                    src_shard: src as u32,
+                    dst_shard: dst as u32,
+                    epoch: cut,
+                    start_ns: clock_base,
+                    dur_ns: self.cfg.link.transfer_ns(bytes),
+                    bytes,
+                });
+            }
+        }
+
         // ---- Phase 2: resume every new shard from its redistributed
         // snapshot. ----
         let mut shards = Vec::new();
@@ -629,7 +709,7 @@ impl ShardedCluster {
         for (shard, base) in snapshots.iter().enumerate() {
             let shard = shard as u32;
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::AfterCut {
@@ -665,6 +745,9 @@ impl ShardedCluster {
                     Err(EngineError::Crashed(_)) if crashes < MAX_CRASHES => {
                         crashes += 1;
                         coord.discard_pending();
+                        // Spans restart at id zero on resume; keep only
+                        // the surviving attempt.
+                        engine_cfg.obs.trace.clear();
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -673,6 +756,7 @@ impl ShardedCluster {
                 &format!("cluster.shard{shard}.engine."),
                 &shard_reg.snapshot(),
             );
+            streams.extend(self.harvest(shard, 1, &shard_trace));
             sim_secs = sim_secs.max(report.sim_secs);
             shards.push(ShardSummary {
                 shard,
@@ -697,6 +781,11 @@ impl ShardedCluster {
             committed,
             sim_secs,
             shards,
+            trace: if self.cfg.trace {
+                Some(ClusterTrace::stitch(&streams, &fabric))
+            } else {
+                None
+            },
         })
     }
 
@@ -738,12 +827,21 @@ impl ShardedCluster {
                 .add(u64::from(r.to_shards));
             m.counter("cluster.rescale.moved_slots")
                 .add(r.moved_slots.len() as u64);
+            for slot in &r.moved_slots {
+                // Markers name the exact slots the retarget moved, so the
+                // health report can tie its hot-slot verdict to the
+                // router's actual decision.
+                m.counter(&format!("cluster.rescale.moved.slot{slot}"))
+                    .add(1);
+            }
             m.counter("cluster.shuffle.wire_bytes").add(r.wire_bytes);
             m.counter("cluster.shuffle.local_bytes").add(r.local_bytes);
             m.counter("cluster.shuffle.ns").add(r.shuffle_ns);
             for (src, dst, bytes) in &r.links {
                 m.counter(&format!("cluster.link.{src}.{dst}.bytes"))
                     .add(*bytes);
+                m.counter(&format!("cluster.link.{src}.{dst}.ns"))
+                    .add(self.cfg.link.transfer_ns(*bytes));
             }
         }
     }

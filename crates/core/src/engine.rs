@@ -104,6 +104,9 @@ pub struct Engine {
     /// Watermark round currently being accumulated (0-based); stamped onto
     /// spans so traces align with the per-round series.
     cur_round: u64,
+    /// Checkpoint epoch currently in effect (0 before the first barrier);
+    /// stamped onto spans so cluster traces can cut per-epoch chains.
+    cur_epoch: u64,
     /// Run-level instruments; always live so report statistics derive from
     /// them (see [`crate::observe`]).
     rm: RunMetrics,
@@ -128,6 +131,7 @@ impl Engine {
             trace: Vec::new(),
             next_task: 0,
             cur_round: 0,
+            cur_epoch: 0,
             rm,
             op_metrics: Vec::new(),
         }
@@ -354,7 +358,7 @@ impl Engine {
         let mut next_to_close = 0u64;
         let mut max_window_seen = 0u64;
         let mut last_watermark = 0u64;
-        let mut cur_epoch = 0u64;
+        self.cur_epoch = 0;
 
         if let Some(snap) = resume {
             records_in = snap.records_in;
@@ -370,7 +374,7 @@ impl Engine {
             next_to_close = snap.next_to_close;
             max_window_seen = snap.max_window_seen;
             last_watermark = snap.watermark;
-            cur_epoch = snap.epoch;
+            self.cur_epoch = snap.epoch;
             self.env.clock().advance_to(snap.clock_ns);
             self.balancer.restore(snap.knob);
             // Rebuild every stateful operator's window state from the
@@ -426,7 +430,7 @@ impl Engine {
             let mut sink = Vec::new();
             let is_wm = match ev {
                 IngressEvent::Bundle(b, wire_ns) => {
-                    self.crash_check(hooks, CrashPhase::Ingest, cur_epoch, bundles_in)?;
+                    self.crash_check(hooks, CrashPhase::Ingest, self.cur_epoch, bundles_in)?;
                     let fmt = self.cfg.ingest_format;
                     let wire_ns = if fmt == IngestFormat::Raw {
                         wire_ns
@@ -494,7 +498,7 @@ impl Engine {
                     true
                 }
                 IngressEvent::Barrier(epoch) => {
-                    cur_epoch = epoch;
+                    self.cur_epoch = epoch;
                     self.crash_check(hooks, CrashPhase::BarrierBeforeAlignment, epoch, bundles_in)?;
                     // Barrier alignment: drain every bundle buffered ahead
                     // of the barrier so the snapshot covers a consistent
@@ -653,7 +657,7 @@ impl Engine {
                 prev_knob_moves = knob_moves_now;
                 self.cur_round += 1;
                 round = Round::default();
-                self.crash_check(hooks, CrashPhase::RoundEnd, cur_epoch, bundles_in)?;
+                self.crash_check(hooks, CrashPhase::RoundEnd, self.cur_epoch, bundles_in)?;
             }
 
             if last {
@@ -826,6 +830,7 @@ impl Engine {
                             cat,
                             lane: op_index as u64,
                             round: self.cur_round,
+                            epoch: self.cur_epoch,
                             start_ns: avail_ns,
                             dur_ns,
                             records_in: data_len as u64,

@@ -1,0 +1,1330 @@
+//! Cluster-wide observability: cross-shard span stitching, the distributed
+//! critical path, and the shard-health monitor (DESIGN.md §13).
+//!
+//! Each shard engine records its own span stream on the simulated clock
+//! (DESIGN.md §10); the cluster driver prices fabric work (shuffle links,
+//! barrier alignment) from the `TrafficMatrix`/`LinkModel` and hands both to
+//! the deterministic stitcher here. The stitcher merges the per-shard
+//! streams into one cluster trace with a shared id space — ids are
+//! reassigned in (era, shard) order with the fabric block between eras, so
+//! parent ids always precede child ids — and adds availability edges:
+//! *spine* edges linking each round's root to the latest same-stream span
+//! that had finished by the root's start, and *cross-shard* edges routing
+//! era-1 roots through the inbound shuffle link that produced their state.
+//! Every synthesized edge satisfies `child.start_ns >= parent.end_ns`.
+//!
+//! On the stitched DAG, [`ClusterCriticalPath`] walks the longest chain and
+//! attributes the end-to-end makespan into {operator compute, shuffle
+//! transfer, barrier wait, straggler slack, fabric} with a cursor scan whose
+//! integer contributions sum *exactly* to the makespan (gaps and remainders
+//! land in `fabric`). [`HealthReport`] is a pure function of the cluster
+//! metrics dump — no new clocks — so both artifacts are byte-identical
+//! across same-seed runs.
+
+use std::collections::BTreeMap;
+
+use crate::json::{fmt_f64, parse_flat_object, write_str, JsonValue};
+use crate::metrics::MetricsDump;
+use crate::profile::SpanRec;
+
+/// Sentinel shard id of the fabric track (shuffle links and barrier
+/// alignment). Real shard ids are small; the sentinel sorts last.
+pub const FABRIC_SHARD: u32 = u32::MAX;
+
+/// One shard engine's span stream, tagged with its `(shard, slot-epoch)`
+/// identity. `slot_epoch` counts route-table eras: 0 before a rescale cut
+/// (and for static runs), 1 after.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStream {
+    /// Shard id within its era.
+    pub shard: u32,
+    /// Route-table era the stream ran under.
+    pub slot_epoch: u32,
+    /// The stream's spans, ids local to the stream.
+    pub spans: Vec<SpanRec>,
+}
+
+/// A fabric event priced by the cluster driver: a barrier-alignment wait
+/// (`cat == "barrier"`, the straggler gap between a shard's cut and the
+/// cluster-wide cut clock) or a shuffle link transfer (`cat == "shuffle"`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricEvent {
+    /// Display name (e.g. `barrier.wait` or `link.0->2`).
+    pub name: String,
+    /// `barrier` (straggler wait) or `shuffle` (link transfer).
+    pub cat: String,
+    /// Shard whose era-0 stream this event extends.
+    pub src_shard: u32,
+    /// Destination shard (links); equals `src_shard` for barrier waits.
+    pub dst_shard: u32,
+    /// Checkpoint epoch of the cut this event belongs to.
+    pub epoch: u64,
+    /// Simulated start, nanoseconds.
+    pub start_ns: u64,
+    /// Simulated duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Bytes moved (0 for barrier waits).
+    pub bytes: u64,
+}
+
+/// One span of a stitched cluster trace: a [`SpanRec`] in the shared id
+/// space plus its track identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpan {
+    /// Owning shard, or [`FABRIC_SHARD`] for fabric spans.
+    pub shard: u32,
+    /// Route-table era (0 for fabric spans).
+    pub slot_epoch: u32,
+    /// The span, with stitched id/parent.
+    pub span: SpanRec,
+}
+
+/// A stitched cluster trace: every shard stream plus the fabric, in one id
+/// space, with spine and cross-shard availability edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterTrace {
+    /// Stitched spans in id order per stream block.
+    pub spans: Vec<ClusterSpan>,
+}
+
+/// Re-ids one stream into the shared id space, rewrites parents, and adds
+/// spine edges from each round's root to the latest earlier span of the
+/// same stream that had finished by the root's start. Roots with no spine
+/// predecessor attach to `inbound` (the shard's inbound shuffle edge) when
+/// its end precedes the root. Returns the stream tip `(end_ns, id)`.
+fn stitch_stream(
+    stream: &SpanStream,
+    next_id: &mut u64,
+    inbound: Option<(u64, u64)>,
+    out: &mut Vec<ClusterSpan>,
+) -> Option<(u64, u64)> {
+    // Old-id order preserves parent-before-child (engines allocate span ids
+    // in dependency order).
+    let mut idx = Vec::new();
+    for i in 0..stream.spans.len() {
+        idx.push(i);
+    }
+    idx.sort_by_key(|&i| (stream.spans[i].id, i));
+    let mut assigned = Vec::new();
+    let mut id_map: BTreeMap<u64, u64> = BTreeMap::new();
+    for &i in &idx {
+        let new_id = *next_id;
+        *next_id += 1;
+        id_map.entry(stream.spans[i].id).or_insert(new_id);
+        assigned.push((i, new_id));
+    }
+    // end_ns -> smallest stitched id finishing at that time, over spans
+    // processed so far: the spine-edge candidates.
+    let mut finished: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut tip: Option<(u64, u64)> = None;
+    for &(i, new_id) in &assigned {
+        let s = &stream.spans[i];
+        let parent = match s.parent {
+            Some(p) if p < s.id => id_map.get(&p).copied(),
+            _ => {
+                let spine = finished
+                    .range(..=s.start_ns)
+                    .next_back()
+                    .map(|(_, &pid)| pid);
+                match spine {
+                    Some(pid) => Some(pid),
+                    None => inbound
+                        .filter(|&(iend, _)| iend <= s.start_ns)
+                        .map(|(_, pid)| pid),
+                }
+            }
+        };
+        let end = s.end_ns();
+        finished.entry(end).or_insert(new_id);
+        let better = match tip {
+            None => true,
+            Some((tend, tid)) => end > tend || (end == tend && new_id < tid),
+        };
+        if better {
+            tip = Some((end, new_id));
+        }
+        let mut span = s.clone();
+        span.id = new_id;
+        span.parent = parent;
+        out.push(ClusterSpan {
+            shard: stream.shard,
+            slot_epoch: stream.slot_epoch,
+            span,
+        });
+    }
+    tip
+}
+
+impl ClusterTrace {
+    /// Deterministically stitches per-shard streams and fabric events into
+    /// one cluster trace. Streams are processed in `(slot_epoch, shard)`
+    /// order; the fabric block takes the ids between era 0 and era 1, so
+    /// parent ids precede child ids across every synthesized edge.
+    pub fn stitch(streams: &[SpanStream], fabric: &[FabricEvent]) -> ClusterTrace {
+        let mut order = Vec::new();
+        for i in 0..streams.len() {
+            order.push(i);
+        }
+        order.sort_by_key(|&i| (streams[i].slot_epoch, streams[i].shard, i));
+
+        let mut out = Vec::new();
+        let mut next_id = 0u64;
+        // Tip per era-0 shard stream: the attachment point for fabric spans.
+        let mut era0_tips: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for &i in &order {
+            let s = &streams[i];
+            if s.slot_epoch != 0 {
+                continue;
+            }
+            if let Some(t) = stitch_stream(s, &mut next_id, None, &mut out) {
+                era0_tips.insert(s.shard, t);
+            }
+        }
+
+        // Fabric block: barrier waits chain onto their shard's tip, link
+        // transfers onto their source's barrier wait (or tip). Edges are
+        // only created when the parent has finished by the child's start.
+        let mut barrier_of: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut inbound_of: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        let mut fabric_tip: Option<(u64, u64)> = None;
+        for e in fabric {
+            let id = next_id;
+            next_id += 1;
+            let start = e.start_ns;
+            let end = start.saturating_add(e.dur_ns);
+            let tip_parent = era0_tips
+                .get(&e.src_shard)
+                .filter(|&&(tend, _)| tend <= start)
+                .map(|&(_, pid)| pid);
+            let parent = if e.cat == "barrier" {
+                tip_parent
+            } else {
+                match barrier_of.get(&e.src_shard) {
+                    Some(&(bend, bid)) if bend <= start => Some(bid),
+                    _ => tip_parent,
+                }
+            };
+            if e.cat == "barrier" {
+                barrier_of.insert(e.src_shard, (end, id));
+            } else {
+                let better = match inbound_of.get(&e.dst_shard) {
+                    None => true,
+                    Some(&(iend, _)) => end > iend,
+                };
+                if better {
+                    inbound_of.insert(e.dst_shard, (end, id));
+                }
+            }
+            let better_tip = match fabric_tip {
+                None => true,
+                Some((tend, _)) => end > tend,
+            };
+            if better_tip {
+                fabric_tip = Some((end, id));
+            }
+            out.push(ClusterSpan {
+                shard: FABRIC_SHARD,
+                slot_epoch: 0,
+                span: SpanRec {
+                    id,
+                    parent,
+                    name: e.name.clone(),
+                    cat: e.cat.clone(),
+                    lane: if e.cat == "barrier" { 0 } else { 1 },
+                    round: 0,
+                    epoch: e.epoch,
+                    start_ns: start,
+                    dur_ns: e.dur_ns,
+                    records_in: e.bytes,
+                    records_out: e.bytes,
+                },
+            });
+        }
+
+        // Era-1 streams: first roots attach to their shard's inbound link
+        // (falling back to the latest fabric span), crossing the shard
+        // boundary through the shuffle edge.
+        for &i in &order {
+            let s = &streams[i];
+            if s.slot_epoch == 0 {
+                continue;
+            }
+            let inbound = match inbound_of.get(&s.shard) {
+                Some(&t) => Some(t),
+                None => fabric_tip,
+            };
+            stitch_stream(s, &mut next_id, inbound, &mut out);
+        }
+
+        ClusterTrace { spans: out }
+    }
+
+    /// Exports the stitched trace as JSONL: the §10 span line format plus
+    /// `shard`/`slot_epoch` keys, so `parse_spans_jsonl` still reads it.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for cs in &self.spans {
+            let s = &cs.span;
+            out.push_str(&format!("{{\"type\":\"span\",\"id\":{}", s.id));
+            if let Some(parent) = s.parent {
+                out.push_str(&format!(",\"parent\":{parent}"));
+            }
+            out.push_str(&format!(
+                ",\"shard\":{},\"slot_epoch\":{}",
+                cs.shard, cs.slot_epoch
+            ));
+            out.push_str(",\"name\":");
+            write_str(&s.name, &mut out);
+            out.push_str(",\"cat\":");
+            write_str(&s.cat, &mut out);
+            out.push_str(&format!(
+                ",\"lane\":{},\"round\":{},\"epoch\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
+                s.lane, s.round, s.epoch, s.start_ns, s.dur_ns, s.records_in, s.records_out
+            ));
+        }
+        out
+    }
+
+    /// Exports the stitched trace in Chrome trace format (Perfetto): one
+    /// process (track group) per shard plus a `fabric` process, named via
+    /// `process_name` metadata events; `tid` is the operator lane.
+    pub fn export_chrome(&self) -> String {
+        let pid_of = |shard: u32| -> u64 {
+            if shard == FABRIC_SHARD {
+                0
+            } else {
+                shard as u64 + 1
+            }
+        };
+        let mut shards = Vec::new();
+        for cs in &self.spans {
+            if !shards.contains(&cs.shard) {
+                shards.push(cs.shard);
+            }
+        }
+        shards.sort_unstable();
+        let mut events = Vec::new();
+        for &sh in &shards {
+            let label = if sh == FABRIC_SHARD {
+                String::from("fabric")
+            } else {
+                format!("shard {sh}")
+            };
+            let mut ev = format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":",
+                pid_of(sh)
+            );
+            write_str(&label, &mut ev);
+            ev.push_str("}}");
+            events.push(ev);
+        }
+        for cs in &self.spans {
+            let s = &cs.span;
+            let mut ev = String::from("{\"name\":");
+            write_str(&s.name, &mut ev);
+            ev.push_str(",\"cat\":");
+            write_str(&s.cat, &mut ev);
+            ev.push_str(&format!(
+                ",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"span\":{}",
+                fmt_f64(s.start_ns as f64 / 1000.0),
+                fmt_f64(s.dur_ns as f64 / 1000.0),
+                pid_of(cs.shard),
+                s.lane,
+                s.id
+            ));
+            if let Some(parent) = s.parent {
+                ev.push_str(&format!(",\"parent\":{parent}"));
+            }
+            ev.push_str(&format!(
+                ",\"slot_epoch\":{},\"round\":{},\"epoch\":{},\"records_in\":{},\"records_out\":{}}}}}",
+                cs.slot_epoch, s.round, s.epoch, s.records_in, s.records_out
+            ));
+            events.push(ev);
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+/// Parses a stitched cluster trace JSONL export back into [`ClusterSpan`]s,
+/// in file order. Lines without a `shard` key default to shard 0, era 0, so
+/// single-engine span exports load as a one-shard cluster.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_cluster_spans_jsonl(text: &str) -> Result<Vec<ClusterSpan>, String> {
+    let mut out = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let pairs = parse_flat_object(line).map_err(|e| format!("line {}: {e}", line_no + 1))?;
+        let get = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let kind = get("type").and_then(JsonValue::as_str).unwrap_or("");
+        if kind != "span" {
+            return Err(format!("line {}: not a span line ({kind:?})", line_no + 1));
+        }
+        let num = |key: &str| get(key).and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+        let text_of = |key: &str| {
+            get(key)
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_owned()
+        };
+        let shard = match get("shard").and_then(JsonValue::as_f64) {
+            // u32::MAX survives the f64 round trip exactly (it needs 32
+            // bits of mantissa), so the fabric sentinel parses back.
+            Some(v) => v as u32,
+            None => 0,
+        };
+        out.push(ClusterSpan {
+            shard,
+            slot_epoch: num("slot_epoch") as u32,
+            span: SpanRec {
+                id: num("id"),
+                parent: get("parent").and_then(JsonValue::as_f64).map(|p| p as u64),
+                name: text_of("name"),
+                cat: text_of("cat"),
+                lane: num("lane"),
+                round: num("round"),
+                epoch: num("epoch"),
+                start_ns: num("start_ns"),
+                dur_ns: num("dur_ns"),
+                records_in: num("records_in"),
+                records_out: num("records_out"),
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// One step of the distributed critical chain, root first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedStep {
+    /// Stitched span id.
+    pub id: u64,
+    /// Owning shard ([`FABRIC_SHARD`] for fabric steps).
+    pub shard: u32,
+    /// Route-table era.
+    pub slot_epoch: u32,
+    /// Span name.
+    pub name: String,
+    /// Span category.
+    pub cat: String,
+    /// Simulated start, nanoseconds.
+    pub start_ns: u64,
+    /// Simulated duration, nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Critical-versus-slack totals for one shard stream (or the fabric row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardAttribution {
+    /// Shard id, or [`FABRIC_SHARD`] for the fabric row.
+    pub shard: u32,
+    /// Route-table era (0 for the fabric row).
+    pub slot_epoch: u32,
+    /// Total span nanoseconds recorded by this stream.
+    pub total_ns: u64,
+    /// Nanoseconds this stream contributed to the critical chain.
+    pub critical_ns: u64,
+}
+
+impl ShardAttribution {
+    /// Stream time off the critical chain.
+    pub fn slack_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.critical_ns)
+    }
+}
+
+/// The longest chain within one checkpoint epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochPath {
+    /// Checkpoint epoch.
+    pub epoch: u64,
+    /// Summed nanoseconds on the epoch's longest chain.
+    pub critical_ns: u64,
+    /// Steps on that chain.
+    pub steps: u64,
+    /// Simulated end of the chain, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// Distributed critical path over a stitched cluster trace.
+///
+/// The five attribution buckets partition the makespan exactly:
+/// `compute_ns + shuffle_ns + barrier_wait_ns + straggler_ns + fabric_ns
+/// == makespan_ns`, with every gap or integer remainder landing in
+/// `fabric_ns`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterCriticalPath {
+    /// End of the last stitched span: the end-to-end simulated makespan.
+    pub makespan_ns: u64,
+    /// Chain time in operator invocations (task/watermark/close spans).
+    pub compute_ns: u64,
+    /// Chain time in fabric shuffle-link transfers.
+    pub shuffle_ns: u64,
+    /// Chain time in engine barrier drives (alignment and commit work).
+    pub barrier_wait_ns: u64,
+    /// Chain time in fabric barrier waits: the gap between a shard's own
+    /// cut and the cluster-wide cut clock (waiting for the slowest shard).
+    pub straggler_ns: u64,
+    /// Makespan not covered by chain spans: scheduling gaps and integer
+    /// remainders.
+    pub fabric_ns: u64,
+    /// The distributed chain, root first.
+    pub steps: Vec<DistributedStep>,
+    /// Per-stream critical-vs-slack rows, `(slot_epoch, shard)` ascending,
+    /// fabric row last.
+    pub per_shard: Vec<ShardAttribution>,
+    /// Longest chain per checkpoint epoch, ascending by epoch.
+    pub per_epoch: Vec<EpochPath>,
+}
+
+/// Latest-ending span (ties toward the smallest id) among `spans`.
+fn latest_tip<'a>(spans: impl Iterator<Item = &'a ClusterSpan>) -> Option<&'a ClusterSpan> {
+    let mut tip: Option<&ClusterSpan> = None;
+    for cs in spans {
+        let better = match tip {
+            None => true,
+            Some(t) => {
+                cs.span.end_ns() > t.span.end_ns()
+                    || (cs.span.end_ns() == t.span.end_ns() && cs.span.id < t.span.id)
+            }
+        };
+        if better {
+            tip = Some(cs);
+        }
+    }
+    tip
+}
+
+impl ClusterCriticalPath {
+    /// Runs the analysis over a stitched trace. Empty input is all-zero.
+    pub fn compute(trace: &ClusterTrace) -> ClusterCriticalPath {
+        let spans = &trace.spans;
+        let mut by_id: BTreeMap<u64, &ClusterSpan> = BTreeMap::new();
+        for cs in spans {
+            by_id.entry(cs.span.id).or_insert(cs);
+        }
+        let tip = latest_tip(spans.iter());
+        let mut chain = Vec::new();
+        let mut cur = tip;
+        while let Some(cs) = cur {
+            chain.push(cs);
+            // Ids are allocated in dependency order, so the walk terminates
+            // even on corrupted inputs.
+            cur = cs
+                .span
+                .parent
+                .and_then(|p| by_id.get(&p).copied())
+                .filter(|pcs| pcs.span.id < cs.span.id);
+        }
+        chain.reverse();
+
+        let makespan_ns = tip.map_or(0, |t| t.span.end_ns());
+
+        // Stream totals for the critical-vs-slack table.
+        let mut totals: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut fabric_total = 0u64;
+        for cs in spans {
+            if cs.shard == FABRIC_SHARD {
+                fabric_total += cs.span.dur_ns;
+            } else {
+                *totals.entry((cs.slot_epoch, cs.shard)).or_insert(0) += cs.span.dur_ns;
+            }
+        }
+
+        // Cursor scan over the chain: every nanosecond from 0 to the
+        // makespan is assigned to exactly one bucket, so the five buckets
+        // partition the makespan exactly in integer arithmetic.
+        let mut compute_ns = 0u64;
+        let mut shuffle_ns = 0u64;
+        let mut barrier_wait_ns = 0u64;
+        let mut straggler_ns = 0u64;
+        let mut fabric_ns = 0u64;
+        let mut crit: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+        let mut fabric_crit = 0u64;
+        let mut cursor = 0u64;
+        for cs in &chain {
+            let s = &cs.span;
+            if s.start_ns > cursor {
+                fabric_ns += s.start_ns - cursor;
+                cursor = s.start_ns;
+            }
+            let end = s.end_ns();
+            if end > cursor {
+                let contrib = end - cursor;
+                cursor = end;
+                if cs.shard == FABRIC_SHARD {
+                    fabric_crit += contrib;
+                    if s.cat == "barrier" {
+                        straggler_ns += contrib;
+                    } else {
+                        shuffle_ns += contrib;
+                    }
+                } else {
+                    *crit.entry((cs.slot_epoch, cs.shard)).or_insert(0) += contrib;
+                    if s.cat == "barrier" {
+                        barrier_wait_ns += contrib;
+                    } else {
+                        compute_ns += contrib;
+                    }
+                }
+            }
+        }
+
+        let mut per_shard = Vec::new();
+        for (&(era, shard), &total_ns) in &totals {
+            per_shard.push(ShardAttribution {
+                shard,
+                slot_epoch: era,
+                total_ns,
+                critical_ns: crit.get(&(era, shard)).copied().unwrap_or(0),
+            });
+        }
+        if fabric_total > 0 || fabric_crit > 0 {
+            per_shard.push(ShardAttribution {
+                shard: FABRIC_SHARD,
+                slot_epoch: 0,
+                total_ns: fabric_total,
+                critical_ns: fabric_crit,
+            });
+        }
+
+        // Per-epoch longest chains: restrict the same walk to one epoch's
+        // spans (fabric spans carry the cut epoch).
+        let mut epochs: BTreeMap<u64, Vec<&ClusterSpan>> = BTreeMap::new();
+        for cs in spans {
+            epochs.entry(cs.span.epoch).or_default().push(cs);
+        }
+        let mut per_epoch = Vec::new();
+        for (&epoch, members) in &epochs {
+            let mut member_ids: BTreeMap<u64, &ClusterSpan> = BTreeMap::new();
+            for cs in members {
+                member_ids.entry(cs.span.id).or_insert(cs);
+            }
+            let etip = latest_tip(members.iter().copied());
+            let mut critical_ns = 0u64;
+            let mut steps = 0u64;
+            let end_ns = etip.map_or(0, |t| t.span.end_ns());
+            let mut cur = etip;
+            while let Some(cs) = cur {
+                critical_ns += cs.span.dur_ns;
+                steps += 1;
+                cur = cs
+                    .span
+                    .parent
+                    .and_then(|p| member_ids.get(&p).copied())
+                    .filter(|pcs| pcs.span.id < cs.span.id);
+            }
+            per_epoch.push(EpochPath {
+                epoch,
+                critical_ns,
+                steps,
+                end_ns,
+            });
+        }
+
+        let mut steps = Vec::new();
+        for cs in &chain {
+            steps.push(DistributedStep {
+                id: cs.span.id,
+                shard: cs.shard,
+                slot_epoch: cs.slot_epoch,
+                name: cs.span.name.clone(),
+                cat: cs.span.cat.clone(),
+                start_ns: cs.span.start_ns,
+                dur_ns: cs.span.dur_ns,
+            });
+        }
+
+        ClusterCriticalPath {
+            makespan_ns,
+            compute_ns,
+            shuffle_ns,
+            barrier_wait_ns,
+            straggler_ns,
+            fabric_ns,
+            steps,
+            per_shard,
+            per_epoch,
+        }
+    }
+
+    /// Sum of the five attribution buckets; equals `makespan_ns` exactly.
+    pub fn attributed_ns(&self) -> u64 {
+        self.compute_ns
+            + self.shuffle_ns
+            + self.barrier_wait_ns
+            + self.straggler_ns
+            + self.fabric_ns
+    }
+
+    /// Renders a deterministic text report: the attribution split, the
+    /// per-shard critical-vs-slack table, per-epoch chains, and the last
+    /// `k` chain steps.
+    pub fn render(&self, k: usize) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pct = |ns: u64| {
+            if self.makespan_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / self.makespan_ns as f64
+            }
+        };
+        let shard_label = |shard: u32, era: u32| {
+            if shard == FABRIC_SHARD {
+                String::from("fabric")
+            } else {
+                format!("shard {shard} era {era}")
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster critical path: {} steps, {:.3} ms makespan\n",
+            self.steps.len(),
+            ms(self.makespan_ns),
+        ));
+        if self.steps.is_empty() {
+            out.push_str("  (no spans)\n");
+            return out;
+        }
+        out.push_str("  attribution (partitions the makespan exactly):\n");
+        for (label, ns) in [
+            ("compute", self.compute_ns),
+            ("shuffle", self.shuffle_ns),
+            ("barrier-wait", self.barrier_wait_ns),
+            ("straggler-slack", self.straggler_ns),
+            ("fabric", self.fabric_ns),
+        ] {
+            out.push_str(&format!(
+                "    {:<16} {:>10.3} ms ({:>5.1}%)\n",
+                label,
+                ms(ns),
+                pct(ns)
+            ));
+        }
+        out.push_str("  per-shard critical vs slack:\n");
+        for row in &self.per_shard {
+            out.push_str(&format!(
+                "    {:<16} total {:>10.3} ms  crit {:>10.3} ms  slack {:>10.3} ms\n",
+                shard_label(row.shard, row.slot_epoch),
+                ms(row.total_ns),
+                ms(row.critical_ns),
+                ms(row.slack_ns()),
+            ));
+        }
+        out.push_str("  per-epoch longest chains:\n");
+        for e in &self.per_epoch {
+            out.push_str(&format!(
+                "    epoch {:>3}  crit {:>10.3} ms in {:>4} steps, ends at {:.3} ms\n",
+                e.epoch,
+                ms(e.critical_ns),
+                e.steps,
+                ms(e.end_ns),
+            ));
+        }
+        let tail = k.min(self.steps.len());
+        out.push_str(&format!(
+            "  chain tail (last {} of {} steps):\n",
+            tail,
+            self.steps.len()
+        ));
+        for step in &self.steps[self.steps.len() - tail..] {
+            out.push_str(&format!(
+                "    {:<16} {:<18} {:<9} @{:.3} +{:.3} ms\n",
+                shard_label(step.shard, step.slot_epoch),
+                step.name,
+                step.cat,
+                ms(step.start_ns),
+                ms(step.dur_ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Thresholds for the shard-health detectors. Every detector is a pure
+/// function of the cluster metrics dump — no new clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthConfig {
+    /// A shard trips `straggler` when its last round timestamp exceeds this
+    /// multiple of the mean across shards.
+    pub straggler_ratio: f64,
+    /// A round trips `watermark-lag` when the spread of per-shard round
+    /// timestamps exceeds this many simulated seconds.
+    pub watermark_lag_secs: f64,
+    /// The hottest slot trips `slot-skew` when its record count exceeds
+    /// this multiple of the mean slot load.
+    pub skew_ratio: f64,
+    /// A link trips `link-saturation` when its transfer time is at least
+    /// this fraction of the whole shuffle's drain time.
+    pub saturation_ratio: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            straggler_ratio: 1.5,
+            watermark_lag_secs: 0.5,
+            skew_ratio: 2.0,
+            saturation_ratio: 0.5,
+        }
+    }
+}
+
+/// One tripped health detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthSignal {
+    /// Detector: `slot-skew`, `link-saturation`, `straggler`, or
+    /// `watermark-lag`.
+    pub kind: String,
+    /// What tripped it (`slot12`, `link0->2`, `shard1`, `round3`).
+    pub subject: String,
+    /// Round index the signal refers to (0 for run-level detectors).
+    pub round: u64,
+    /// Observed value (ratio or seconds, per detector).
+    pub value: f64,
+    /// The configured threshold it exceeded.
+    pub threshold: f64,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Shard-health report: tripped signals plus the hot-slot/rebalance facts
+/// the Zipf scenario asserts on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HealthReport {
+    /// Tripped signals, sorted by (kind, round, subject).
+    pub signals: Vec<HealthSignal>,
+    /// The hottest routing slot by record count, when slot counters exist.
+    pub hot_slot: Option<u32>,
+    /// Slots the rebalance retarget actually moved, ascending.
+    pub moved_slots: Vec<u32>,
+}
+
+impl HealthReport {
+    /// Evaluates every detector against a cluster metrics dump.
+    pub fn compute(dump: &MetricsDump, cfg: &HealthConfig) -> HealthReport {
+        let mut signals = Vec::new();
+
+        // Rebalance facts: which slots the retarget moved.
+        let mut moved_slots = Vec::new();
+        for (name, _) in &dump.counters {
+            if let Some(rest) = name.strip_prefix("cluster.rescale.moved.slot") {
+                if let Ok(j) = rest.parse::<u32>() {
+                    moved_slots.push(j);
+                }
+            }
+        }
+        moved_slots.sort_unstable();
+
+        // Slot-occupancy skew from `cluster.slot<j>.records`.
+        let mut slots = Vec::new();
+        for (name, value) in &dump.counters {
+            if let Some(rest) = name.strip_prefix("cluster.slot") {
+                if let Some(idx) = rest.strip_suffix(".records") {
+                    if let Ok(j) = idx.parse::<u32>() {
+                        slots.push((j, *value));
+                    }
+                }
+            }
+        }
+        slots.sort_unstable();
+        let mut hot_slot = None;
+        if let Some(&first) = slots.first() {
+            let mut total = 0u64;
+            let mut hot = first;
+            for &(j, v) in &slots {
+                total += v;
+                if v > hot.1 {
+                    hot = (j, v);
+                }
+            }
+            hot_slot = Some(hot.0);
+            let mean = total as f64 / slots.len() as f64;
+            if mean > 0.0 {
+                let ratio = hot.1 as f64 / mean;
+                if ratio > cfg.skew_ratio {
+                    let moved = if moved_slots.contains(&hot.0) {
+                        "; moved by rebalance"
+                    } else {
+                        ""
+                    };
+                    signals.push(HealthSignal {
+                        kind: String::from("slot-skew"),
+                        subject: format!("slot{}", hot.0),
+                        round: 0,
+                        value: ratio,
+                        threshold: cfg.skew_ratio,
+                        detail: format!(
+                            "hot slot {} carries {} records, {ratio:.2}x the mean slot load{moved}",
+                            hot.0, hot.1
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Link saturation from `cluster.link.<s>.<d>.ns` vs the shuffle's
+        // overall drain time.
+        let total_shuffle_ns = dump.counter("cluster.shuffle.ns").unwrap_or(0);
+        if total_shuffle_ns > 0 {
+            for (name, value) in &dump.counters {
+                let Some(rest) = name.strip_prefix("cluster.link.") else {
+                    continue;
+                };
+                let Some(pair) = rest.strip_suffix(".ns") else {
+                    continue;
+                };
+                let Some((s, d)) = pair.split_once('.') else {
+                    continue;
+                };
+                let (Ok(src), Ok(dst)) = (s.parse::<u32>(), d.parse::<u32>()) else {
+                    continue;
+                };
+                let ratio = *value as f64 / total_shuffle_ns as f64;
+                if ratio >= cfg.saturation_ratio {
+                    signals.push(HealthSignal {
+                        kind: String::from("link-saturation"),
+                        subject: format!("link{src}->{dst}"),
+                        round: 0,
+                        value: ratio,
+                        threshold: cfg.saturation_ratio,
+                        detail: format!(
+                            "link {src}->{dst} holds {} ns of the {} ns shuffle drain",
+                            value, total_shuffle_ns
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Straggler score and watermark lag from the adopted per-shard
+        // round series (`cluster.shard<i>.engine.engine.round`).
+        let mut shard_rows: Vec<(u32, Vec<f64>)> = Vec::new();
+        for s in &dump.series {
+            let Some(rest) = s.name.strip_prefix("cluster.shard") else {
+                continue;
+            };
+            let Some((idx, tail)) = rest.split_once('.') else {
+                continue;
+            };
+            if tail != "engine.engine.round" {
+                continue;
+            }
+            let Ok(shard) = idx.parse::<u32>() else {
+                continue;
+            };
+            let Some(col) = s.field_index("at_secs") else {
+                continue;
+            };
+            let mut ats = Vec::new();
+            for row in &s.rows {
+                ats.push(row.get(col).copied().unwrap_or(0.0));
+            }
+            shard_rows.push((shard, ats));
+        }
+        shard_rows.sort_by_key(|&(shard, _)| shard);
+        if shard_rows.len() >= 2 {
+            let mut sum = 0.0f64;
+            let mut lasts = Vec::new();
+            for (shard, ats) in &shard_rows {
+                let last = ats.last().copied().unwrap_or(0.0);
+                sum += last;
+                lasts.push((*shard, last, ats.len()));
+            }
+            let mean = sum / lasts.len() as f64;
+            if mean > 0.0 {
+                for &(shard, last, rounds) in &lasts {
+                    let score = last / mean;
+                    if score > cfg.straggler_ratio {
+                        signals.push(HealthSignal {
+                            kind: String::from("straggler"),
+                            subject: format!("shard{shard}"),
+                            round: rounds.saturating_sub(1) as u64,
+                            value: score,
+                            threshold: cfg.straggler_ratio,
+                            detail: format!(
+                                "shard {shard} finished round {} at {last:.3}s, {score:.2}x the {mean:.3}s mean",
+                                rounds.saturating_sub(1)
+                            ),
+                        });
+                    }
+                }
+            }
+            let mut max_rounds = 0usize;
+            for (_, ats) in &shard_rows {
+                max_rounds = max_rounds.max(ats.len());
+            }
+            for r in 0..max_rounds {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut n = 0u32;
+                for (_, ats) in &shard_rows {
+                    if let Some(&v) = ats.get(r) {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                        n += 1;
+                    }
+                }
+                if n >= 2 {
+                    let lag = hi - lo;
+                    if lag > cfg.watermark_lag_secs {
+                        signals.push(HealthSignal {
+                            kind: String::from("watermark-lag"),
+                            subject: format!("round{r}"),
+                            round: r as u64,
+                            value: lag,
+                            threshold: cfg.watermark_lag_secs,
+                            detail: format!(
+                                "round {r} watermark spread is {lag:.3}s across {n} shards"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        signals.sort_by(|a, b| {
+            a.kind
+                .cmp(&b.kind)
+                .then(a.round.cmp(&b.round))
+                .then(a.subject.cmp(&b.subject))
+        });
+        HealthReport {
+            signals,
+            hot_slot,
+            moved_slots,
+        }
+    }
+
+    /// True when the hottest slot is one the rebalance actually moved — the
+    /// fact the Zipf scenario's report must state.
+    pub fn hot_slot_moved(&self) -> bool {
+        match self.hot_slot {
+            Some(j) => self.moved_slots.contains(&j),
+            None => false,
+        }
+    }
+
+    /// Serializes the report as deterministic JSONL: one line per tripped
+    /// signal plus a trailing summary line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.signals {
+            out.push_str("{\"type\":\"health\",\"kind\":");
+            write_str(&s.kind, &mut out);
+            out.push_str(",\"subject\":");
+            write_str(&s.subject, &mut out);
+            out.push_str(&format!(
+                ",\"round\":{},\"value\":{},\"threshold\":{}",
+                s.round,
+                fmt_f64(s.value),
+                fmt_f64(s.threshold)
+            ));
+            out.push_str(",\"detail\":");
+            write_str(&s.detail, &mut out);
+            out.push_str("}\n");
+        }
+        out.push_str("{\"type\":\"health\",\"kind\":\"summary\",\"subject\":");
+        let hot = match self.hot_slot {
+            Some(j) => format!("slot{j}"),
+            None => String::from("none"),
+        };
+        write_str(&hot, &mut out);
+        out.push_str(&format!(
+            ",\"round\":0,\"value\":{},\"threshold\":0",
+            self.signals.len()
+        ));
+        let mut moved = String::from("moved slots: [");
+        for (i, m) in self.moved_slots.iter().enumerate() {
+            if i > 0 {
+                moved.push(',');
+            }
+            moved.push_str(&m.to_string());
+        }
+        moved.push(']');
+        out.push_str(",\"detail\":");
+        write_str(&moved, &mut out);
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders a deterministic text report for `sbx report --health`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cluster health: {} signal(s) tripped\n",
+            self.signals.len()
+        ));
+        if self.signals.is_empty() {
+            out.push_str("  all detectors silent (balanced cluster)\n");
+        }
+        for s in &self.signals {
+            out.push_str(&format!(
+                "  {:<16} {:<12} value {:>9.3} > {:>7.3}  {}\n",
+                s.kind, s.subject, s.value, s.threshold, s.detail
+            ));
+        }
+        if let Some(j) = self.hot_slot {
+            let moved = if self.moved_slots.contains(&j) {
+                "moved by rebalance"
+            } else {
+                "not moved by rebalance"
+            };
+            out.push_str(&format!("  hot slot: {j} ({moved})\n"));
+        }
+        if !self.moved_slots.is_empty() {
+            let mut list = String::new();
+            for (i, m) in self.moved_slots.iter().enumerate() {
+                if i > 0 {
+                    list.push_str(", ");
+                }
+                list.push_str(&m.to_string());
+            }
+            out.push_str(&format!("  rebalance moved slots: {list}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn rec(id: u64, parent: Option<u64>, start: u64, dur: u64) -> SpanRec {
+        SpanRec {
+            id,
+            parent,
+            name: format!("op{id}"),
+            cat: "task".to_owned(),
+            lane: 0,
+            round: 0,
+            epoch: 0,
+            start_ns: start,
+            dur_ns: dur,
+            records_in: 1,
+            records_out: 1,
+        }
+    }
+
+    fn two_shard_trace() -> ClusterTrace {
+        let streams = vec![
+            SpanStream {
+                shard: 0,
+                slot_epoch: 0,
+                spans: vec![rec(0, None, 0, 100), rec(1, Some(0), 100, 50)],
+            },
+            SpanStream {
+                shard: 1,
+                slot_epoch: 0,
+                spans: vec![rec(0, None, 0, 300)],
+            },
+            SpanStream {
+                shard: 0,
+                slot_epoch: 1,
+                spans: vec![rec(0, None, 500, 80), rec(1, Some(0), 580, 10)],
+            },
+        ];
+        let fabric = vec![
+            FabricEvent {
+                name: "barrier.wait".to_owned(),
+                cat: "barrier".to_owned(),
+                src_shard: 0,
+                dst_shard: 0,
+                epoch: 1,
+                start_ns: 150,
+                dur_ns: 150,
+                bytes: 0,
+            },
+            FabricEvent {
+                name: "link.1->0".to_owned(),
+                cat: "shuffle".to_owned(),
+                src_shard: 1,
+                dst_shard: 0,
+                epoch: 1,
+                start_ns: 300,
+                dur_ns: 200,
+                bytes: 4096,
+            },
+        ];
+        ClusterTrace::stitch(&streams, &fabric)
+    }
+
+    #[test]
+    fn stitch_assigns_unique_ids_and_valid_edges() {
+        let trace = two_shard_trace();
+        let mut seen = std::collections::BTreeSet::new();
+        for cs in &trace.spans {
+            assert!(seen.insert(cs.span.id), "duplicate id {}", cs.span.id);
+        }
+        let by_id: BTreeMap<u64, &ClusterSpan> =
+            trace.spans.iter().map(|cs| (cs.span.id, cs)).collect();
+        for cs in &trace.spans {
+            if let Some(p) = cs.span.parent {
+                let parent = by_id[&p];
+                assert!(parent.span.id < cs.span.id, "parent id precedes child");
+                // Availability: the child starts no earlier than its parent
+                // finished (spine, fabric, and cross-shard edges alike).
+                assert!(
+                    cs.span.start_ns >= parent.span.end_ns(),
+                    "span {} starts at {} before parent {} ends at {}",
+                    cs.span.id,
+                    cs.span.start_ns,
+                    parent.span.id,
+                    parent.span.end_ns()
+                );
+            }
+        }
+        // Era-1 roots cross the shard boundary through the inbound link.
+        let era1_root = trace
+            .spans
+            .iter()
+            .find(|cs| cs.slot_epoch == 1 && cs.span.start_ns == 500)
+            .unwrap();
+        let link = trace
+            .spans
+            .iter()
+            .find(|cs| cs.span.cat == "shuffle")
+            .unwrap();
+        assert_eq!(era1_root.span.parent, Some(link.span.id));
+        assert_eq!(link.shard, FABRIC_SHARD);
+    }
+
+    #[test]
+    fn critical_path_attribution_partitions_makespan() {
+        let trace = two_shard_trace();
+        let cp = ClusterCriticalPath::compute(&trace);
+        assert_eq!(cp.makespan_ns, 590);
+        assert_eq!(cp.attributed_ns(), cp.makespan_ns);
+        assert!(cp.shuffle_ns > 0, "chain crosses the shuffle link");
+        assert!(cp.compute_ns > 0);
+        // The chain ends in era 1 on shard 0.
+        let last = cp.steps.last().unwrap();
+        assert_eq!((last.shard, last.slot_epoch), (0, 1));
+        // Per-shard rows cover both eras plus the fabric.
+        assert!(cp.per_shard.iter().any(|r| r.shard == FABRIC_SHARD));
+        assert!(cp
+            .per_shard
+            .iter()
+            .all(|r| r.critical_ns <= r.total_ns || r.shard == FABRIC_SHARD));
+        let text = cp.render(5);
+        assert!(text.contains("straggler-slack"));
+        assert!(text.contains("fabric"));
+    }
+
+    #[test]
+    fn cluster_jsonl_round_trips() {
+        let trace = two_shard_trace();
+        let text = trace.export_jsonl();
+        let parsed = parse_cluster_spans_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), trace.spans.len());
+        for (a, b) in parsed.iter().zip(trace.spans.iter()) {
+            assert_eq!(a, b);
+        }
+        // The plain §10 parser reads the same lines (extra keys ignored).
+        let plain = crate::parse_spans_jsonl(&text).unwrap();
+        assert_eq!(plain.len(), trace.spans.len());
+        assert!(parse_cluster_spans_jsonl("{\"type\":\"gauge\",\"name\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn chrome_export_names_one_track_per_shard_plus_fabric() {
+        let trace = two_shard_trace();
+        let text = trace.export_chrome();
+        assert!(text.contains("\"name\":\"process_name\""));
+        assert!(text.contains("\"name\":\"fabric\""));
+        assert!(text.contains("\"name\":\"shard 0\""));
+        assert!(text.contains("\"name\":\"shard 1\""));
+        assert!(text.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    }
+
+    fn skewed_dump() -> MetricsDump {
+        let reg = MetricsRegistry::active();
+        // Slot 3 is 16x the mean of the others.
+        for (slot, records) in [(0u32, 10u64), (1, 10), (2, 10), (3, 400)] {
+            reg.counter(&format!("cluster.slot{slot}.records"))
+                .add(records);
+        }
+        reg.counter("cluster.rescale.moved.slot3").add(1);
+        // One link holds 90% of the shuffle drain.
+        reg.counter("cluster.shuffle.ns").add(1_000);
+        reg.counter("cluster.link.0.1.ns").add(900);
+        reg.counter("cluster.link.1.0.ns").add(100);
+        // Shard 1 lags far behind shard 0.
+        let s0 = reg.series("cluster.shard0.engine.engine.round", &["at_secs"]);
+        s0.push(&[0.1]);
+        s0.push(&[0.2]);
+        let s1 = reg.series("cluster.shard1.engine.engine.round", &["at_secs"]);
+        s1.push(&[0.1]);
+        s1.push(&[1.4]);
+        reg.snapshot()
+    }
+
+    fn balanced_dump() -> MetricsDump {
+        let reg = MetricsRegistry::active();
+        for slot in 0..4u32 {
+            reg.counter(&format!("cluster.slot{slot}.records")).add(100);
+        }
+        reg.counter("cluster.shuffle.ns").add(1_000);
+        reg.counter("cluster.link.0.1.ns").add(250);
+        reg.counter("cluster.link.1.0.ns").add(250);
+        for shard in 0..2u32 {
+            let s = reg.series(
+                &format!("cluster.shard{shard}.engine.engine.round"),
+                &["at_secs"],
+            );
+            s.push(&[0.1]);
+            s.push(&[0.2]);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn detectors_trip_on_skewed_fixture() {
+        let report = HealthReport::compute(&skewed_dump(), &HealthConfig::default());
+        let kinds: Vec<&str> = report.signals.iter().map(|s| s.kind.as_str()).collect();
+        assert!(kinds.contains(&"slot-skew"));
+        assert!(kinds.contains(&"link-saturation"));
+        assert!(kinds.contains(&"straggler"));
+        assert!(kinds.contains(&"watermark-lag"));
+        assert_eq!(report.hot_slot, Some(3));
+        assert_eq!(report.moved_slots, vec![3]);
+        assert!(report.hot_slot_moved());
+        let text = report.render();
+        assert!(text.contains("hot slot: 3 (moved by rebalance)"));
+        // Deterministic JSONL: recomputation is byte-identical.
+        let again = HealthReport::compute(&skewed_dump(), &HealthConfig::default());
+        assert_eq!(report.to_jsonl(), again.to_jsonl());
+    }
+
+    #[test]
+    fn detectors_stay_silent_on_balanced_fixture() {
+        let report = HealthReport::compute(&balanced_dump(), &HealthConfig::default());
+        assert!(report.signals.is_empty(), "signals: {:?}", report.signals);
+        assert!(!report.hot_slot_moved());
+        assert!(report.render().contains("all detectors silent"));
+        // The summary line still closes the JSONL.
+        assert!(report.to_jsonl().contains("\"kind\":\"summary\""));
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let cp = ClusterCriticalPath::compute(&ClusterTrace::default());
+        assert_eq!(cp.makespan_ns, 0);
+        assert_eq!(cp.attributed_ns(), 0);
+        assert!(cp.render(3).contains("no spans"));
+        assert!(
+            HealthReport::compute(&MetricsDump::default(), &HealthConfig::default())
+                .signals
+                .is_empty()
+        );
+    }
+}

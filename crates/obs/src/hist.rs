@@ -81,6 +81,25 @@ impl HistCore {
         f64_update(&self.max, |cur| cur.max(v));
     }
 
+    /// Folds a snapshot from another histogram into this one: bucket counts,
+    /// count and sum add; min/max fold only when the snapshot is non-empty.
+    /// The sum lands in ONE f64 addition so adopting a shard snapshot into a
+    /// zeroed cluster histogram reproduces the shard's sum bit-for-bit.
+    pub(crate) fn absorb(&self, snap: &HistSnapshot) {
+        if snap.count == 0 {
+            return;
+        }
+        for &(idx, c) in &snap.buckets {
+            if idx < BUCKETS {
+                self.buckets[idx].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        f64_update(&self.sum, |cur| cur + snap.sum);
+        f64_update(&self.min, |cur| cur.min(snap.min));
+        f64_update(&self.max, |cur| cur.max(snap.max));
+    }
+
     pub(crate) fn snapshot(&self) -> HistSnapshot {
         let count = self.count.load(Ordering::Acquire);
         let mut buckets = Vec::new();
@@ -215,6 +234,15 @@ impl Histogram {
     pub fn record_n(&self, v: f64, n: u64) {
         if let Some(core) = &self.0 {
             core.record_n(v, n);
+        }
+    }
+
+    /// Folds a snapshot from another histogram into this one (discarded by
+    /// no-op handles). Adopting a shard snapshot into a fresh histogram
+    /// reproduces the shard's exact count/sum/min/max and buckets.
+    pub fn absorb(&self, snap: &HistSnapshot) {
+        if let Some(core) = &self.0 {
+            core.absorb(snap);
         }
     }
 
@@ -376,6 +404,28 @@ mod tests {
         assert!(p50 >= h.min() && p99 <= h.max());
         assert_eq!(h.percentiles()[0], h.quantile(0.5));
         assert_eq!(Histogram::noop().percentiles(), [0.0; 3]);
+    }
+
+    #[test]
+    fn absorb_round_trips_a_snapshot_exactly() {
+        let src = active();
+        for v in [0.001, 0.25, 1.5, 7.75, 1024.0, 0.0] {
+            src.record(v);
+        }
+        let snap = src.snapshot();
+        let dst = active();
+        dst.absorb(&snap);
+        let got = dst.snapshot();
+        assert_eq!(got.count, snap.count);
+        assert_eq!(got.sum.to_bits(), snap.sum.to_bits());
+        assert_eq!(got.min, snap.min);
+        assert_eq!(got.max, snap.max);
+        assert_eq!(got.buckets, snap.buckets);
+        // Absorbing an empty snapshot leaves min/max semantics intact.
+        let empty = active();
+        empty.absorb(&active().snapshot());
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), 0.0);
     }
 
     #[test]

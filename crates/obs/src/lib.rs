@@ -17,6 +17,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cluster;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -25,6 +26,11 @@ mod sync;
 pub mod timeline;
 pub mod trace;
 
+pub use cluster::{
+    parse_cluster_spans_jsonl, ClusterCriticalPath, ClusterSpan, ClusterTrace, DistributedStep,
+    EpochPath, FabricEvent, HealthConfig, HealthReport, HealthSignal, ShardAttribution, SpanStream,
+    FABRIC_SHARD,
+};
 pub use hist::{HistSnapshot, Histogram};
 pub use metrics::{
     Counter, Gauge, GaugeDump, HistogramDump, MetricsDump, MetricsRegistry, Series, SeriesDump,
@@ -108,6 +114,7 @@ mod tests {
             cat: "task",
             lane: 0,
             round: 0,
+            epoch: 0,
             start_ns: 0,
             dur_ns: 1,
             records_in: 0,

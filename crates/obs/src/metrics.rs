@@ -297,12 +297,14 @@ impl MetricsRegistry {
         self.snapshot().to_jsonl()
     }
 
-    /// Folds another registry's exported counters and gauges into this one
-    /// under `prefix` (`prefix` + name). Counter values accumulate, gauges
-    /// are re-set. Used by the cluster tier to merge per-shard engine
+    /// Folds another registry's exported instruments into this one under
+    /// `prefix` (`prefix` + name). Counter values accumulate, gauges are
+    /// re-set (then re-set to their max so the high-water mark survives),
+    /// histogram snapshots are absorbed bucket-for-bucket, and series rows
+    /// are appended. Used by the cluster tier to merge per-shard engine
     /// registries into one cluster-wide export
-    /// (`cluster.shard0.records_in`, ...); histograms and series are
-    /// per-shard detail and are not adopted.
+    /// (`cluster.shard0.engine.records_in`, ...), so per-shard delay
+    /// quantiles and round series survive into the cluster dump.
     pub fn adopt(&self, prefix: &str, dump: &MetricsDump) {
         if self.inner.is_none() {
             return;
@@ -311,7 +313,22 @@ impl MetricsRegistry {
             self.counter(&format!("{prefix}{name}")).add(*value);
         }
         for g in &dump.gauges {
-            self.gauge(&format!("{prefix}{}", g.name)).set(g.value);
+            let gauge = self.gauge(&format!("{prefix}{}", g.name));
+            // Setting the max first raises the high-water mark; the second
+            // set restores the last observed value.
+            gauge.set(g.max);
+            gauge.set(g.value);
+        }
+        for h in &dump.histograms {
+            self.histogram(&format!("{prefix}{}", h.name))
+                .absorb(&h.snapshot);
+        }
+        for s in &dump.series {
+            let fields: Vec<&str> = s.fields.iter().map(String::as_str).collect();
+            let series = self.series(&format!("{prefix}{}", s.name), &fields);
+            for row in &s.rows {
+                series.push(row);
+            }
         }
     }
 }
@@ -616,6 +633,53 @@ mod tests {
         assert_eq!(row[1].to_bits(), (1.0f64 / 3.0).to_bits());
         let hd = parsed.histogram("delay_secs").unwrap();
         assert_eq!(hd.snapshot.sum.to_bits(), (0.125f64 + 0.7 * 3.0).to_bits());
+    }
+
+    #[test]
+    fn adopt_carries_histograms_and_series_under_prefix() {
+        let shard = MetricsRegistry::active();
+        shard.counter("records_in").add(10);
+        let g = shard.gauge("hbm.used");
+        g.set(9.0);
+        g.set(2.0);
+        let h = shard.histogram("engine.output_delay_secs");
+        h.record(0.125);
+        h.record_n(0.7, 3);
+        let s = shard.series("engine.round", &["at_secs", "hbm_usage"]);
+        s.push(&[0.1, 0.5]);
+        s.push(&[0.2, 1.0 / 3.0]);
+
+        let cluster = MetricsRegistry::active();
+        cluster.adopt("cluster.shard0.engine.", &shard.snapshot());
+        let dump = cluster.snapshot();
+
+        assert_eq!(dump.counter("cluster.shard0.engine.records_in"), Some(10));
+        let adopted_gauge = dump.gauge("cluster.shard0.engine.hbm.used").unwrap();
+        assert_eq!(adopted_gauge.value, 2.0);
+        assert_eq!(adopted_gauge.max, 9.0, "high-water mark survives adoption");
+        // The shard histogram round-trips exactly: count, bit-exact sum,
+        // min/max and every bucket.
+        let shard_h = shard.snapshot();
+        let shard_h = &shard_h
+            .histogram("engine.output_delay_secs")
+            .unwrap()
+            .snapshot;
+        let adopted = dump
+            .histogram("cluster.shard0.engine.engine.output_delay_secs")
+            .unwrap();
+        assert_eq!(adopted.snapshot.count, shard_h.count);
+        assert_eq!(adopted.snapshot.sum.to_bits(), shard_h.sum.to_bits());
+        assert_eq!(adopted.snapshot.min, shard_h.min);
+        assert_eq!(adopted.snapshot.max, shard_h.max);
+        assert_eq!(adopted.snapshot.buckets, shard_h.buckets);
+        // Series rows and fields survive with the prefix.
+        let adopted_s = dump.series("cluster.shard0.engine.engine.round").unwrap();
+        assert_eq!(adopted_s.fields, vec!["at_secs", "hbm_usage"]);
+        assert_eq!(adopted_s.rows.len(), 2);
+        assert_eq!(adopted_s.rows[1][1].to_bits(), (1.0f64 / 3.0).to_bits());
+        // And the adopted dump still round-trips through JSONL bit-exact.
+        let exported = cluster.export_jsonl();
+        assert_eq!(MetricsDump::parse_jsonl(&exported).unwrap(), dump);
     }
 
     #[test]

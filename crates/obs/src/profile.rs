@@ -36,6 +36,8 @@ pub struct SpanRec {
     pub lane: u64,
     /// Watermark round the invocation ran in.
     pub round: u64,
+    /// Checkpoint epoch the invocation ran in (0 before the first barrier).
+    pub epoch: u64,
     /// Simulated start time, nanoseconds.
     pub start_ns: u64,
     /// Simulated duration, nanoseconds.
@@ -61,6 +63,7 @@ impl SpanRec {
             cat: s.cat.to_owned(),
             lane: s.lane,
             round: s.round,
+            epoch: s.epoch,
             start_ns: s.start_ns,
             dur_ns: s.dur_ns,
             records_in: s.records_in,
@@ -107,6 +110,7 @@ pub fn parse_spans_jsonl(text: &str) -> Result<Vec<SpanRec>, String> {
             cat: text_of("cat"),
             lane: num("lane"),
             round: num("round"),
+            epoch: num("epoch"),
             start_ns: num("start_ns"),
             dur_ns: num("dur_ns"),
             records_in: num("records_in"),
@@ -460,6 +464,7 @@ mod tests {
             cat: "task".to_owned(),
             lane,
             round,
+            epoch: 0,
             start_ns: start,
             dur_ns: dur,
             records_in: 10,
@@ -556,6 +561,7 @@ mod tests {
             cat: "close",
             lane: 1,
             round: 2,
+            epoch: 1,
             start_ns: 500,
             dur_ns: 40,
             records_in: 9,

@@ -35,6 +35,10 @@ pub struct Span {
     /// round per watermark, so this aligns spans with the per-round metric
     /// series (`engine.round` / `engine.tier`).
     pub round: u64,
+    /// Checkpoint epoch the invocation ran in (0 before the first barrier).
+    /// Cluster traces use this to cut per-epoch critical paths and to align
+    /// spans with the rescale cut point.
+    pub epoch: u64,
     /// Simulated start time in nanoseconds.
     pub start_ns: u64,
     /// Simulated duration in nanoseconds (from the cost model).
@@ -82,6 +86,15 @@ impl TraceCollector {
         }
     }
 
+    /// Discards all recorded spans, keeping the collector active. Recovery
+    /// loops call this when an attempt crashes so only the surviving
+    /// attempt's spans remain in the export.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.spans).clear();
+        }
+    }
+
     /// Number of spans recorded so far.
     pub fn len(&self) -> usize {
         self.inner.as_ref().map_or(0, |i| lock(&i.spans).len())
@@ -112,8 +125,8 @@ impl TraceCollector {
             out.push_str(",\"cat\":");
             write_str(s.cat, &mut out);
             out.push_str(&format!(
-                ",\"lane\":{},\"round\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
-                s.lane, s.round, s.start_ns, s.dur_ns, s.records_in, s.records_out
+                ",\"lane\":{},\"round\":{},\"epoch\":{},\"start_ns\":{},\"dur_ns\":{},\"records_in\":{},\"records_out\":{}}}\n",
+                s.lane, s.round, s.epoch, s.start_ns, s.dur_ns, s.records_in, s.records_out
             ));
         }
         out
@@ -142,8 +155,8 @@ impl TraceCollector {
                 out.push_str(&format!(",\"parent\":{parent}"));
             }
             out.push_str(&format!(
-                ",\"round\":{},\"records_in\":{},\"records_out\":{}}}}}",
-                s.round, s.records_in, s.records_out
+                ",\"round\":{},\"epoch\":{},\"records_in\":{},\"records_out\":{}}}}}",
+                s.round, s.epoch, s.records_in, s.records_out
             ));
             if i + 1 < spans.len() {
                 out.push(',');
@@ -168,6 +181,7 @@ mod tests {
             cat: "task",
             lane: 2,
             round: 1,
+            epoch: 1,
             start_ns: 1_500,
             dur_ns: 250,
             records_in: 100,
@@ -182,6 +196,17 @@ mod tests {
         t.record(sample());
         assert!(t.is_empty());
         assert!(t.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn clear_discards_spans_but_stays_active() {
+        let t = TraceCollector::active();
+        t.record(sample());
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+        t.record(sample());
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

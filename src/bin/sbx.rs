@@ -12,9 +12,10 @@
 //!                    [--interval N] [--keys N] [--rate N] [--skew THETA]
 //!                    [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]
 //!                    [--link rdma|eth|unlimited] [--cores N]
-//!                    [--metrics-out PATH]
+//!                    [--metrics-out PATH] [--trace-out PATH] [--health-out PATH]
 //! sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>]
-//!                            [--top N]
+//!                            [--cluster-critical-path <stitched.jsonl>]
+//!                            [--health] [--top N]
 //! sbx figure <2|7|8|9|10|11|ablation>
 //! sbx machines
 //! sbx list
@@ -43,6 +44,18 @@
 //! export of a cluster run feeds `sbx report`, which renders the
 //! per-shard occupancy/skew table and per-link utilization purely from
 //! the exported `cluster.*` counters.
+//!
+//! Cluster observability (DESIGN.md §13): `sbx cluster --trace-out PATH`
+//! records every shard engine's span stream, stitches them with priced
+//! fabric spans (barrier-alignment waits and shuffle link transfers)
+//! into one cluster trace, and writes span JSONL (`.jsonl` paths) or a
+//! Perfetto trace with one track per shard plus a fabric track;
+//! `--health-out PATH` writes the shard-health detector report as
+//! deterministic JSONL. `sbx report --cluster-critical-path
+//! <stitched.jsonl>` runs the distributed critical-path analysis, whose
+//! {compute, shuffle, barrier-wait, straggler-slack, fabric} split
+//! partitions the simulated makespan exactly; `--health` re-evaluates
+//! the health detectors from the metrics export.
 
 // sbx-lint: out-of-scope(no-panic, CLI entry point; bad arguments abort with a message)
 // sbx-lint: out-of-scope(raw-alloc, CLI-side reporting and table formatting)
@@ -79,7 +92,9 @@ fn usage() -> ExitCode {
          \x20                [--interval N] [--keys N] [--rate N] [--skew THETA]\n\
          \x20                [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]\n\
          \x20                [--link rdma|eth|unlimited] [--cores N] [--metrics-out PATH]\n\
+         \x20                [--trace-out PATH] [--health-out PATH]\n\
          \x20 sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>] [--top N]\n\
+         \x20                [--cluster-critical-path <stitched.jsonl>] [--health]\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
         BENCHMARKS.join(", ")
@@ -383,6 +398,11 @@ struct ClusterArgs {
     rebalance: Option<f64>,
     link: LinkModel,
     metrics_out: Option<String>,
+    /// Stitched cluster trace output: span JSONL for `.jsonl` paths,
+    /// Chrome trace (Perfetto) otherwise.
+    trace_out: Option<String>,
+    /// Shard-health detector report (deterministic JSONL).
+    health_out: Option<String>,
 }
 
 impl Default for ClusterArgs {
@@ -404,6 +424,8 @@ impl Default for ClusterArgs {
             rebalance: None,
             link: LinkModel::intra_rack_rdma(),
             metrics_out: None,
+            trace_out: None,
+            health_out: None,
         }
     }
 }
@@ -445,6 +467,8 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
             }
             "--rebalance" => out.rebalance = Some(value.parse().map_err(|_| "bad --rebalance")?),
             "--metrics-out" => out.metrics_out = Some(value.clone()),
+            "--trace-out" => out.trace_out = Some(value.clone()),
+            "--health-out" => out.health_out = Some(value.clone()),
             "--link" => {
                 out.link = match value.as_str() {
                     "rdma" => LinkModel::intra_rack_rdma(),
@@ -481,7 +505,10 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
 fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
     use std::sync::Arc;
 
-    let metrics = if a.metrics_out.is_some() {
+    // Health detectors are pure functions of the cluster metrics, so
+    // `--health-out` implies an active registry even without
+    // `--metrics-out`.
+    let metrics = if a.metrics_out.is_some() || a.health_out.is_some() {
         MetricsRegistry::active()
     } else {
         MetricsRegistry::noop()
@@ -516,6 +543,7 @@ fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
         },
         link: a.link,
         metrics: metrics.clone(),
+        trace: a.trace_out.is_some(),
     };
     let plan = a.rescale_at.map(|at_epoch| ElasticPlan {
         at_epoch,
@@ -647,6 +675,29 @@ fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(path, metrics.export_jsonl())?;
         println!("  metrics        : written to {path}");
     }
+    if let Some(path) = &a.trace_out {
+        let trace = report.trace.as_ref().ok_or("cluster trace missing")?;
+        // Span JSONL for `.jsonl` paths; Chrome trace (Perfetto) otherwise.
+        let text = if path.ends_with(".jsonl") {
+            trace.export_jsonl()
+        } else {
+            trace.export_chrome()
+        };
+        std::fs::write(path, text)?;
+        println!(
+            "  cluster trace  : {} stitched spans written to {path}",
+            trace.spans.len()
+        );
+    }
+    if let Some(path) = &a.health_out {
+        let health = HealthReport::compute(&metrics.snapshot(), &HealthConfig::default());
+        std::fs::write(path, health.to_jsonl())?;
+        println!(
+            "  health         : {} signal(s) written to {path}",
+            health.signals.len()
+        );
+        print!("{}", health.render());
+    }
     Ok(())
 }
 
@@ -659,6 +710,11 @@ struct ReportArgs {
     timeline: bool,
     /// Span JSONL export to run critical-path attribution over.
     critical_path: Option<String>,
+    /// Stitched cluster-trace JSONL to run the distributed critical-path
+    /// analysis over.
+    cluster_critical_path: Option<String>,
+    /// Re-evaluate the shard-health detectors from the metrics export.
+    health: bool,
     /// Top-k rows in the critical-path tables.
     top: usize,
 }
@@ -671,6 +727,8 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
             .ok_or_else(|| "report needs a metrics.jsonl path".to_owned())?,
         timeline: false,
         critical_path: None,
+        cluster_critical_path: None,
+        health: false,
         top: 5,
     };
     let mut i = 1;
@@ -680,10 +738,22 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
                 out.timeline = true;
                 i += 1;
             }
+            "--health" => {
+                out.health = true;
+                i += 1;
+            }
             "--critical-path" => {
                 out.critical_path = Some(
                     args.get(i + 1)
                         .ok_or("--critical-path needs a spans.jsonl path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--cluster-critical-path" => {
+                out.cluster_critical_path = Some(
+                    args.get(i + 1)
+                        .ok_or("--cluster-critical-path needs a stitched spans.jsonl path")?
                         .clone(),
                 );
                 i += 2;
@@ -796,6 +866,22 @@ fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
             CriticalPath::compute(&spans).render(a.top, Some(&dump))
         );
     }
+    if let Some(spans_path) = &a.cluster_critical_path {
+        let spans_text = std::fs::read_to_string(spans_path)?;
+        let spans = parse_cluster_spans_jsonl(&spans_text)?;
+        let trace = ClusterTrace { spans };
+        println!(
+            "distributed critical path from {spans_path} ({} spans)",
+            trace.spans.len()
+        );
+        print!("{}", ClusterCriticalPath::compute(&trace).render(a.top));
+    }
+    if a.health {
+        print!(
+            "{}",
+            HealthReport::compute(&dump, &HealthConfig::default()).render()
+        );
+    }
     Ok(())
 }
 
@@ -843,6 +929,45 @@ fn cluster_report(dump: &MetricsDump) {
         max as f64 / mean.max(1.0),
         100.0 * max as f64 / total.max(1) as f64
     );
+    // Per-shard output-delay quantiles and straggler scores, from the
+    // adopted per-shard engine histograms and round series. Same-seed
+    // runs export the same bytes, so the table renders identically.
+    let last_at = |s: u32| -> Option<f64> {
+        let name = format!("cluster.shard{s}.engine.engine.round");
+        let series = dump.series.iter().find(|d| d.name == name)?;
+        let col = series.field_index("at_secs")?;
+        series.rows.last().and_then(|row| row.get(col).copied())
+    };
+    let delays: Vec<(u32, [f64; 3], u64, Option<f64>)> = (0..shards)
+        .filter_map(|s| {
+            let h = dump.histogram(&format!("cluster.shard{s}.engine.engine.output_delay_secs"))?;
+            Some((s, h.snapshot.percentiles(), h.snapshot.count, last_at(s)))
+        })
+        .collect();
+    if !delays.is_empty() {
+        let finish_mean = {
+            let finished: Vec<f64> = delays.iter().filter_map(|(_, _, _, at)| *at).collect();
+            if finished.is_empty() {
+                0.0
+            } else {
+                finished.iter().sum::<f64>() / finished.len() as f64
+            }
+        };
+        println!(
+            "    {:>5} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            "shard", "p50_delay", "p95_delay", "p99_delay", "windows", "straggler"
+        );
+        for (s, [p50, p95, p99], count, at) in &delays {
+            let score = match at {
+                Some(at) if finish_mean > 0.0 => format!("{:.2}x", at / finish_mean),
+                _ => String::from("-"),
+            };
+            println!(
+                "    {:>5} {:>9.4}s {:>9.4}s {:>9.4}s {:>8} {:>10}",
+                s, p50, p95, p99, count, score
+            );
+        }
+    }
     // Hottest slots, from the per-slot routing counters.
     let mut hot: Vec<(u32, u64)> = (0..slots)
         .map(|slot| (slot, c(&format!("cluster.slot{slot}.records"))))
@@ -1203,6 +1328,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_cluster_report_flags() {
+        let a = parse_report_args(&s(&[
+            "m.jsonl",
+            "--cluster-critical-path",
+            "stitched.jsonl",
+            "--health",
+        ]))
+        .unwrap();
+        assert_eq!(a.cluster_critical_path.as_deref(), Some("stitched.jsonl"));
+        assert!(a.health);
+        let plain = parse_report_args(&s(&["m.jsonl"])).unwrap();
+        assert!(plain.cluster_critical_path.is_none() && !plain.health);
+        assert!(parse_report_args(&s(&["m.jsonl", "--cluster-critical-path"])).is_err());
+    }
+
+    #[test]
     fn parses_cluster_flags() {
         let a = parse_cluster_args(&s(&[
             "ysb",
@@ -1232,6 +1373,23 @@ mod tests {
         let plain = parse_cluster_args(&s(&["sum"])).unwrap();
         assert_eq!(plain.shards, 4);
         assert!(plain.rescale_at.is_none() && plain.skew.is_none());
+        assert!(plain.trace_out.is_none() && plain.health_out.is_none());
+    }
+
+    #[test]
+    fn parses_cluster_observability_flags() {
+        let a = parse_cluster_args(&s(&[
+            "ysb",
+            "--trace-out",
+            "/tmp/trace.jsonl",
+            "--health-out",
+            "/tmp/health.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(a.health_out.as_deref(), Some("/tmp/health.jsonl"));
+        assert!(parse_cluster_args(&s(&["ysb", "--trace-out"])).is_err());
+        assert!(parse_cluster_args(&s(&["ysb", "--health-out"])).is_err());
     }
 
     #[test]

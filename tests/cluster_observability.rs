@@ -1,0 +1,267 @@
+//! Cluster-wide observability tests (DESIGN.md §13): cross-shard span
+//! stitching, distributed critical-path attribution that partitions the
+//! simulated makespan exactly, byte-identical same-seed exports, and the
+//! shard-health monitor naming the hot slot the rebalance actually moved.
+
+use std::sync::Arc;
+
+use streambox_hbm::prelude::*;
+
+const BUNDLES: usize = 30;
+const INTERVAL: u64 = 5;
+const CUT: u64 = 2;
+const YSB_CAMPAIGNS: u64 = 1_000;
+
+/// A traced YSB cluster config: one worker thread per shard engine so the
+/// span order (and hence every export) is deterministic across runs.
+fn ysb_cfg(shards: u32, metrics: MetricsRegistry) -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        shards,
+        key_col: 2, // ad_id
+        key_map: Some(Arc::new(|ad| ad % YSB_CAMPAIGNS)),
+        metrics,
+        trace: true,
+        ..ClusterConfig::default()
+    };
+    cfg.engine.cores = 16;
+    cfg.engine.threads = 1;
+    cfg.engine.sender = SenderConfig {
+        bundle_rows: 2_000,
+        bundles_per_watermark: 10,
+        nic: NicModel::rdma_40g(),
+    };
+    cfg
+}
+
+fn ysb_rescale_run(metrics: MetricsRegistry) -> ClusterRunReport {
+    ShardedCluster::new(ysb_cfg(4, metrics))
+        .run_elastic(
+            || YsbSource::new(1, 50_000, YSB_CAMPAIGNS, 20_000_000),
+            || benchmarks::ysb(YSB_CAMPAIGNS),
+            BUNDLES,
+            INTERVAL,
+            ElasticPlan {
+                at_epoch: CUT,
+                retarget: Retarget::Shards(6),
+            },
+        )
+        .expect("ysb rescale run")
+}
+
+/// Acceptance: the 4-shard YSB rescale produces a stitched trace whose
+/// distributed critical-path attribution — {compute, shuffle,
+/// barrier-wait, straggler-slack} plus the fabric remainder — sums
+/// *exactly* to the end-to-end simulated makespan in integer nanoseconds.
+#[test]
+fn ysb_rescale_attribution_partitions_the_makespan_exactly() {
+    let report = ysb_rescale_run(MetricsRegistry::noop());
+    let trace = report.trace.as_ref().expect("trace enabled");
+    assert!(!trace.spans.is_empty());
+    let path = ClusterCriticalPath::compute(trace);
+    assert!(path.makespan_ns > 0);
+    assert_eq!(
+        path.compute_ns
+            + path.shuffle_ns
+            + path.barrier_wait_ns
+            + path.straggler_ns
+            + path.fabric_ns,
+        path.makespan_ns,
+        "the five buckets must partition the makespan exactly"
+    );
+    assert_eq!(path.attributed_ns(), path.makespan_ns);
+    // The chain crosses the rescale: era-1 work cannot start before the
+    // fabric, so compute appears on both sides and the shuffle/straggler
+    // buckets exist (the run moved real state over real links).
+    assert!(path.compute_ns > 0, "chain must contain operator compute");
+    let eras: Vec<u32> = path.steps.iter().map(|s| s.slot_epoch).collect();
+    assert!(
+        eras.contains(&1),
+        "the critical chain must reach post-rescale work"
+    );
+    // Per-shard critical + slack must reproduce each stream's total.
+    for row in &path.per_shard {
+        assert_eq!(row.critical_ns + row.slack_ns(), row.total_ns);
+    }
+    // Per-epoch chains cover the cut epoch.
+    assert!(path.per_epoch.iter().any(|e| e.epoch == CUT));
+}
+
+/// Acceptance: two same-seed runs export byte-identical stitched traces
+/// (JSONL and Perfetto), metrics, and health reports.
+#[test]
+fn same_seed_runs_export_byte_identical_cluster_artifacts() {
+    let run = || {
+        let reg = MetricsRegistry::active();
+        let report = ysb_rescale_run(reg.clone());
+        let trace = report.trace.expect("trace enabled");
+        let health = HealthReport::compute(&reg.snapshot(), &HealthConfig::default());
+        (
+            trace.export_jsonl(),
+            trace.export_chrome(),
+            reg.export_jsonl(),
+            health.to_jsonl(),
+        )
+    };
+    let (jsonl_a, chrome_a, metrics_a, health_a) = run();
+    let (jsonl_b, chrome_b, metrics_b, health_b) = run();
+    assert_eq!(jsonl_a, jsonl_b, "stitched JSONL must be byte-identical");
+    assert_eq!(chrome_a, chrome_b, "Perfetto export must be byte-identical");
+    assert_eq!(metrics_a, metrics_b, "metrics must be byte-identical");
+    assert_eq!(health_a, health_b, "health must be byte-identical");
+}
+
+/// Stitcher properties on real harvested streams: ids are unique across
+/// shards, every edge is causal (`parent.end <= child.start`) with the
+/// parent id strictly below the child id, and at least one edge crosses
+/// the shard boundary through the fabric.
+#[test]
+fn stitched_trace_edges_are_causal_and_ids_unique() {
+    let report = ysb_rescale_run(MetricsRegistry::noop());
+    let trace = report.trace.as_ref().expect("trace enabled");
+    let mut ids = std::collections::BTreeSet::new();
+    for cs in &trace.spans {
+        assert!(ids.insert(cs.span.id), "duplicate id {}", cs.span.id);
+    }
+    let by_id: std::collections::BTreeMap<u64, &ClusterSpan> =
+        trace.spans.iter().map(|cs| (cs.span.id, cs)).collect();
+    let mut cross_shard_edges = 0u64;
+    let mut fabric_spans = 0u64;
+    for cs in &trace.spans {
+        if cs.shard == FABRIC_SHARD {
+            fabric_spans += 1;
+        }
+        let Some(pid) = cs.span.parent else { continue };
+        let parent = by_id.get(&pid).expect("parent id must exist");
+        assert!(pid < cs.span.id, "parent ids precede child ids");
+        assert!(
+            parent.span.start_ns + parent.span.dur_ns <= cs.span.start_ns,
+            "child availability must not precede parent end ({} -> {})",
+            pid,
+            cs.span.id
+        );
+        if parent.shard != cs.shard {
+            cross_shard_edges += 1;
+        }
+    }
+    assert!(fabric_spans > 0, "rescale must synthesize fabric spans");
+    assert!(
+        cross_shard_edges > 0,
+        "era-1 roots must cross the shard boundary through the fabric"
+    );
+    // Round-trip: the JSONL export parses back to the same spans.
+    let parsed = parse_cluster_spans_jsonl(&trace.export_jsonl()).expect("parse");
+    assert_eq!(&parsed, &trace.spans);
+}
+
+/// Acceptance (Zipf rebalance scenario): with a Zipf-skewed key draw and a
+/// `Retarget::Rebalance` cut, the health report must name the same hot
+/// slot the router actually moved, and trip the slot-skew detector on it.
+#[test]
+fn zipf_rebalance_health_names_the_moved_hot_slot() {
+    let reg = MetricsRegistry::active();
+    let mut cfg = ClusterConfig {
+        shards: 5,
+        metrics: reg.clone(),
+        ..ClusterConfig::default()
+    };
+    cfg.engine.cores = 16;
+    cfg.engine.threads = 1;
+    cfg.engine.sender = SenderConfig {
+        bundle_rows: 2_000,
+        bundles_per_watermark: 10,
+        nic: NicModel::rdma_40g(),
+    };
+    let report = ShardedCluster::new(cfg)
+        .run_elastic(
+            || KvSource::new(1, 50_000, 20_000_000).with_zipf(1.0),
+            benchmarks::sum_per_key,
+            BUNDLES,
+            INTERVAL,
+            ElasticPlan {
+                at_epoch: CUT,
+                retarget: Retarget::Rebalance { tolerance: 1.05 },
+            },
+        )
+        .expect("zipf rebalance run");
+    let rescale = report.rescale.as_ref().expect("rescale happened");
+    let health = HealthReport::compute(&reg.snapshot(), &HealthConfig::default());
+    let hot = health.hot_slot.expect("slot counters exported");
+    // The report's hot slot is the run's actual hottest routing slot...
+    let hottest = report
+        .slot_loads
+        .iter()
+        .enumerate()
+        .max_by_key(|&(slot, load)| (load, u64::MAX - slot as u64))
+        .map(|(slot, _)| slot as u32)
+        .expect("slot loads");
+    assert_eq!(hot, hottest);
+    // ...and it is one the Rebalance retarget actually moved.
+    assert!(
+        rescale.moved_slots.contains(&hot),
+        "rebalance must move the hot slot (moved {:?}, hot {hot})",
+        rescale.moved_slots
+    );
+    assert_eq!(health.moved_slots, rescale.moved_slots);
+    assert!(health.hot_slot_moved());
+    // The skew detector tripped on exactly that slot, and its detail names
+    // the rebalance.
+    let skew = health
+        .signals
+        .iter()
+        .find(|s| s.kind == "slot-skew")
+        .expect("slot-skew must trip on a zipf draw");
+    assert_eq!(skew.subject, format!("slot{hot}"));
+    assert!(skew.detail.contains("moved by rebalance"));
+}
+
+/// A balanced uniform-key cluster keeps every detector silent: no
+/// straggler, no watermark lag, no slot skew, no link saturation.
+#[test]
+fn balanced_cluster_health_is_silent() {
+    let reg = MetricsRegistry::active();
+    let mut cfg = ClusterConfig {
+        shards: 4,
+        metrics: reg.clone(),
+        ..ClusterConfig::default()
+    };
+    cfg.engine.threads = 1;
+    ShardedCluster::new(cfg)
+        .run(
+            || KvSource::new(1, 50_000, 20_000_000),
+            benchmarks::sum_per_key,
+            BUNDLES,
+            INTERVAL,
+        )
+        .expect("balanced run");
+    let health = HealthReport::compute(&reg.snapshot(), &HealthConfig::default());
+    assert!(
+        health.signals.is_empty(),
+        "balanced cluster tripped: {:?}",
+        health.signals
+    );
+    assert!(!health.hot_slot_moved());
+}
+
+/// A static (no-rescale) traced run still stitches: one era-0 stream per
+/// shard, no fabric spans, all chains intra-shard, and the critical path
+/// still partitions the makespan.
+#[test]
+fn static_run_stitches_without_fabric_spans() {
+    let report = ShardedCluster::new(ysb_cfg(4, MetricsRegistry::noop()))
+        .run(
+            || YsbSource::new(1, 50_000, YSB_CAMPAIGNS, 20_000_000),
+            || benchmarks::ysb(YSB_CAMPAIGNS),
+            BUNDLES,
+            INTERVAL,
+        )
+        .expect("static run");
+    let trace = report.trace.as_ref().expect("trace enabled");
+    assert!(trace.spans.iter().all(|cs| cs.shard != FABRIC_SHARD));
+    assert!(trace.spans.iter().all(|cs| cs.slot_epoch == 0));
+    let shards: std::collections::BTreeSet<u32> = trace.spans.iter().map(|cs| cs.shard).collect();
+    assert_eq!(shards.len(), 4, "one stream per shard");
+    let path = ClusterCriticalPath::compute(trace);
+    assert_eq!(path.attributed_ns(), path.makespan_ns);
+    assert_eq!(path.shuffle_ns, 0);
+    assert_eq!(path.straggler_ns, 0);
+}

@@ -46,6 +46,7 @@ fn rec(id: u64, parent: Option<u64>, lane: u64, round: u64, start: u64, dur: u64
         cat: "task".to_owned(),
         lane,
         round,
+        epoch: 0,
         start_ns: start,
         dur_ns: dur,
         records_in: 1,
