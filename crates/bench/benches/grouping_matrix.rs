@@ -1,0 +1,18 @@
+//! `cargo bench --bench grouping_matrix` — the cardinality × skew × window
+//! size sweep over the pluggable GroupBy backends (DESIGN.md §14).
+//!
+//! Pass `--quick` (after `--`) to run only the small-window half of the
+//! matrix (the CI smoke configuration).
+
+// Bench output is the deliverable.
+#![allow(clippy::print_stdout)]
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let out = if quick {
+        sbx_bench::grouping_matrix::run_quick()
+    } else {
+        sbx_bench::grouping_matrix::run()
+    };
+    let _ = out;
+}

@@ -23,6 +23,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod grouping_matrix;
 pub mod harness;
 pub mod kernel_scaling;
 pub mod obs_overhead;

@@ -417,6 +417,121 @@ fn kernel_model_scenario() -> Vec<Metric> {
     ]
 }
 
+/// Minimum modelled steady-state speedup the adaptive GroupBy must hold
+/// over the pure sort-merge path on the low-cardinality scenario. A
+/// shortfall is a hard scenario error, not just a gate regression.
+pub const GROUPBY_MIN_SPEEDUP: f64 = 1.3;
+
+/// Order-sensitive FNV-1a fold of output rows, truncated to 32 bits so the
+/// value survives the f64 metric encoding exactly.
+fn output_checksum(rows: &[u64]) -> f64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in rows {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h >> 32) as f64
+}
+
+/// Low-cardinality YSB-like grouping: 50 k-row Count windows over 1 000
+/// campaign keys. Runs all four backends through the grouping-matrix
+/// harness (which enforces byte-identical outputs and the
+/// adaptive-vs-best-static bound) and additionally holds the adaptive
+/// backend to [`GROUPBY_MIN_SPEEDUP`]× over sort-merge.
+fn groupby_lowcard_scenario() -> Result<Vec<Metric>, String> {
+    use crate::grouping_matrix::{run_cell, Cell};
+    let cell = Cell {
+        rows: 50_000,
+        domain: 1_000,
+        theta: 0.0,
+        bundles: 16,
+    };
+    let runs = run_cell(&cell, 7); // [sort, hash, row, adaptive]
+    let sort = runs[0].steady_secs;
+    let adaptive = runs[3].steady_secs;
+    let speedup = sort / adaptive.max(1e-12);
+    if speedup < GROUPBY_MIN_SPEEDUP {
+        return Err(format!(
+            "adaptive GroupBy speedup {speedup:.2}x over sort-merge is below \
+             the {GROUPBY_MIN_SPEEDUP}x bar on the low-cardinality scenario"
+        ));
+    }
+    let hash_windows = runs[3].picks.iter().filter(|p| p.as_str() == "H").count();
+    let m = |name: &str, value: f64, direction: Direction| Metric {
+        scenario: "groupby_lowcard".to_owned(),
+        name: name.to_owned(),
+        value,
+        direction,
+    };
+    Ok(vec![
+        m("sort_steady_ms", sort * 1e3, Direction::Lower),
+        m(
+            "hash_steady_ms",
+            runs[1].steady_secs * 1e3,
+            Direction::Lower,
+        ),
+        m("adaptive_steady_ms", adaptive * 1e3, Direction::Lower),
+        m("adaptive_speedup_vs_sort", speedup, Direction::Higher),
+        m(
+            "adaptive_hash_windows",
+            hash_windows as f64,
+            Direction::Exact,
+        ),
+        m(
+            "output_checksum",
+            output_checksum(&runs[3].out),
+            Direction::Exact,
+        ),
+    ])
+}
+
+/// High-cardinality uniform sweep: 2 M-row windows over an 8 M-key
+/// domain, where the grouping table spills the on-package budget and
+/// sort-merge wins. The adaptive backend must stay on sort every window
+/// and its output must match the sort-merge reference byte for byte.
+fn groupby_highcard_scenario() -> Result<Vec<Metric>, String> {
+    use crate::grouping_matrix::{gen_keys, run_backend, Cell, GroupingSpec};
+    let cell = Cell {
+        rows: 2_000_000,
+        domain: 8_000_000,
+        theta: 0.0,
+        bundles: 4,
+    };
+    let keys = gen_keys(&cell, 7);
+    let sort = run_backend(&cell, GroupingSpec::SortMerge, &keys);
+    let adaptive = run_backend(&cell, GroupingSpec::Adaptive, &keys);
+    if adaptive.out != sort.out {
+        return Err(
+            "adaptive output diverges from sort-merge on the high-cardinality sweep".to_owned(),
+        );
+    }
+    let sort_windows = adaptive.picks.iter().filter(|p| p.as_str() == "S").count();
+    let m = |name: &str, value: f64, direction: Direction| Metric {
+        scenario: "groupby_highcard".to_owned(),
+        name: name.to_owned(),
+        value,
+        direction,
+    };
+    Ok(vec![
+        m("sort_steady_ms", sort.steady_secs * 1e3, Direction::Lower),
+        m(
+            "adaptive_steady_ms",
+            adaptive.steady_secs * 1e3,
+            Direction::Lower,
+        ),
+        m(
+            "adaptive_sort_windows",
+            sort_windows as f64,
+            Direction::Exact,
+        ),
+        m(
+            "output_checksum",
+            output_checksum(&adaptive.out),
+            Direction::Exact,
+        ),
+    ])
+}
+
 fn host_scenario() -> Vec<Metric> {
     let (sort_ms, merge_ms, join_ms) = kernel_scaling::measure_width(4);
     let m = |name: &str, value: f64| Metric {
@@ -447,6 +562,8 @@ pub fn collect(cfg: &TrajectoryConfig) -> Result<Trajectory, String> {
     }
     metrics.extend(cluster_rescale_scenario(cfg.cost_scale)?);
     metrics.extend(kernel_model_scenario());
+    metrics.extend(groupby_lowcard_scenario()?);
+    metrics.extend(groupby_highcard_scenario()?);
     if cfg.include_host {
         metrics.extend(host_scenario());
     }

@@ -781,9 +781,11 @@ impl Engine {
                     crate::pipeline::OpNode::Stateful(op) => op.on_message(&mut ctx, m)?,
                 };
                 let tally = ctx.exec().take_tally();
+                let events = ctx.take_events();
                 let task = ctx
                     .take_profile()
                     .cpu(data_len as f64 * ENGINE_OVERHEAD_CYCLES);
+                self.rm.note_events(events);
                 let task_secs = cost.time_secs(&task, cores);
                 round.max_task_secs = round.max_task_secs.max(task_secs);
                 round.profile = round.profile.merge(&task);

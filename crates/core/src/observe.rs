@@ -74,6 +74,11 @@ pub(crate) struct RunMetrics {
     pub knob_moves: [Counter; 4],
     /// `scheduler.claimed.{urgent,high,low}`.
     pub claims: [Counter; 3],
+    /// Registry the instruments above live on, kept for dynamically-named
+    /// event counters (`engine.<event>`).
+    reg: MetricsRegistry,
+    /// Cache of event counters, one per distinct event name seen.
+    events: std::collections::BTreeMap<&'static str, Counter>,
 }
 
 impl RunMetrics {
@@ -100,6 +105,20 @@ impl RunMetrics {
             knob_moves: KnobMove::ALL.map(|m| reg.counter(m.metric_name())),
             claims: [ImpactTag::Urgent, ImpactTag::High, ImpactTag::Low]
                 .map(|t| reg.counter(&format!("scheduler.claimed.{t}"))),
+            reg,
+            events: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Counts operator-noted engine events (e.g. the adaptive GroupBy's
+    /// `groupby.backend.*` decisions) as `engine.<event>` counters.
+    pub fn note_events(&mut self, events: Vec<&'static str>) {
+        let reg = &self.reg;
+        for ev in events {
+            self.events
+                .entry(ev)
+                .or_insert_with(|| reg.counter(&format!("engine.{ev}")))
+                .incr();
         }
     }
 

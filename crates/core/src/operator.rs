@@ -33,6 +33,10 @@ pub struct OpCtx<'a> {
     pub threads: usize,
     /// Impact tag of the task being executed.
     pub tag: ImpactTag,
+    /// Engine events noted by operators during this task (e.g. adaptive
+    /// grouping backend decisions); the engine drains them into
+    /// `engine.<event>` counters after each task.
+    events: Vec<&'static str>,
 }
 
 impl<'a> OpCtx<'a> {
@@ -67,7 +71,19 @@ impl<'a> OpCtx<'a> {
             mode,
             threads,
             tag,
+            events: Vec::new(),
         }
+    }
+
+    /// Notes a named engine event (surfaced as an `engine.<event>` counter
+    /// by the engine's task loop; a plain buffer in standalone harnesses).
+    pub fn note_event(&mut self, event: &'static str) {
+        self.events.push(event);
+    }
+
+    /// Drains the events noted since the last call.
+    pub fn take_events(&mut self) -> Vec<&'static str> {
+        std::mem::take(&mut self.events)
     }
 
     /// The hybrid-memory environment.

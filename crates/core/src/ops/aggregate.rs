@@ -1,11 +1,16 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use sbx_kpa::{agg, reduce_keyed};
+use sbx_kpa::{profile, reduce_keyed, Kpa};
 use sbx_records::{Col, RecordBundle, Schema, WindowId, WindowSpec};
 
+use super::grouping::{
+    decide_backend, AdaptState, AggParams, BackendChoice, GroupingBackend, HashShardBackend,
+    RowBaselineBackend, SortMergeBackend, EV_BACKEND_HASH, EV_BACKEND_ROW, EV_BACKEND_SORT,
+    PORT_HASH_SCALAR, PORT_HASH_VALUES, PORT_PANE_BUNDLE, PORT_ROW_SCALAR, PORT_ROW_VALUES,
+};
 use crate::checkpoint::{OpState, StateEntry};
-use crate::ops::{closable, single, window_start, LateGuard};
+use crate::ops::{closable, single, window_start, GroupingSpec, LateGuard};
 use crate::{EngineError, ImpactTag, Message, OpCtx, Operator, StreamData};
 
 /// Which per-key aggregate a [`KeyedAggregate`] computes — the benchmark
@@ -35,6 +40,13 @@ pub enum AggKind {
 /// For `Sum` and `Count` the operator applies the paper's *early
 /// aggregation* optimization: each arriving KPA is pre-reduced to per-key
 /// partials, shrinking window state and the final merge.
+///
+/// Since the pluggable-grouping work (DESIGN.md §14) the sort-merge path
+/// above is one of several [`GroupingSpec`] backends: [`with_grouping`]
+/// selects sharded hashing, the row-engine baseline, or the per-window
+/// adaptive sort-vs-hash decision, all emitting byte-identical results.
+///
+/// [`with_grouping`]: KeyedAggregate::with_grouping
 pub struct KeyedAggregate {
     key_col: Col,
     value_col: Col,
@@ -42,7 +54,9 @@ pub struct KeyedAggregate {
     spec: WindowSpec,
     key_map: Option<Box<dyn Fn(u64) -> u64 + Send>>,
     early_aggregation: bool,
-    state: BTreeMap<WindowId, Vec<sbx_kpa::Kpa>>,
+    grouping: GroupingSpec,
+    adapt: AdaptState,
+    state: BTreeMap<WindowId, Box<dyn GroupingBackend>>,
     /// Pane-combining mode: per-pane partial bundles (key, partial, 0),
     /// each pane computed once and shared by every window containing it.
     pane_state: BTreeMap<u64, Vec<Arc<RecordBundle>>>,
@@ -63,6 +77,8 @@ impl KeyedAggregate {
             spec,
             key_map: None,
             early_aggregation: matches!(kind, AggKind::Sum | AggKind::Count),
+            grouping: GroupingSpec::SortMerge,
+            adapt: AdaptState::default(),
             state: BTreeMap::new(),
             pane_state: BTreeMap::new(),
             pane_combining: false,
@@ -88,7 +104,30 @@ impl KeyedAggregate {
             matches!(self.kind, AggKind::Sum | AggKind::Count),
             "pane combining requires a combinable aggregate (Sum or Count)"
         );
+        assert!(
+            self.grouping == GroupingSpec::SortMerge,
+            "pane combining shares partial bundles across windows and is only \
+             implemented for the sort-merge grouping backend"
+        );
         self.pane_combining = true;
+        self
+    }
+
+    /// Selects the grouping backend (DESIGN.md §14): the paper's KPA
+    /// sort-merge path (default), sharded hashing, the row-engine baseline,
+    /// or the per-window adaptive sort-vs-hash decision. All backends emit
+    /// byte-identical window results; only the modelled cost differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pane combining is enabled and `grouping` is not
+    /// [`GroupingSpec::SortMerge`].
+    pub fn with_grouping(mut self, grouping: GroupingSpec) -> Self {
+        assert!(
+            !self.pane_combining || grouping == GroupingSpec::SortMerge,
+            "pane combining is only implemented for the sort-merge backend"
+        );
+        self.grouping = grouping;
         self
     }
 
@@ -118,11 +157,61 @@ impl KeyedAggregate {
         self.late.dropped()
     }
 
+    fn params(&self) -> AggParams {
+        AggParams {
+            kind: self.kind,
+            value_col: self.value_col,
+            early: self.early_aggregation,
+        }
+    }
+
+    /// Creates the grouping backend for a new window, running the adaptive
+    /// decision when configured. `kpa` is the window's first arriving KPA
+    /// (already key-swapped and key-mapped).
+    fn new_backend(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        kpa: &Kpa,
+    ) -> Result<Box<dyn GroupingBackend>, EngineError> {
+        let backend: Box<dyn GroupingBackend> = match self.grouping {
+            // sbx-lint: allow(raw-alloc, one boxed backend per window)
+            GroupingSpec::RowBaseline => Box::new(RowBaselineBackend::new(ctx, self.kind)?),
+            spec => {
+                let choice = match spec {
+                    GroupingSpec::SortMerge => BackendChoice::Sort,
+                    GroupingSpec::Hash => BackendChoice::Hash,
+                    _ => {
+                        if self.adapt.windows_seen > 0 {
+                            // Window 0 skips the sketch: the decision is
+                            // the sort default regardless (`decide_backend`).
+                            let prof = profile::sketch(kpa.len(), kpa.kind());
+                            ctx.charged(16, |e| e.charge(&prof));
+                        }
+                        let env = ctx.env();
+                        decide_backend(&env, kpa, &self.params(), kpa.kind(), &self.adapt)
+                    }
+                };
+                match choice {
+                    // sbx-lint: allow(raw-alloc, one boxed backend per window)
+                    BackendChoice::Sort => Box::new(SortMergeBackend::new()),
+                    // sbx-lint: allow(raw-alloc, one boxed backend per window)
+                    BackendChoice::Hash => Box::new(HashShardBackend::new(ctx, self.kind)?),
+                }
+            }
+        };
+        ctx.note_event(match backend.label() {
+            "hash" => EV_BACKEND_HASH,
+            "row" => EV_BACKEND_ROW,
+            _ => EV_BACKEND_SORT,
+        });
+        Ok(backend)
+    }
+
     fn ingest(
         &mut self,
         ctx: &mut OpCtx<'_>,
         w: WindowId,
-        mut kpa: sbx_kpa::Kpa,
+        mut kpa: Kpa,
     ) -> Result<(), EngineError> {
         if kpa.resident() != self.key_col {
             ctx.charged(16, |e| kpa.key_swap(e, self.key_col));
@@ -130,46 +219,15 @@ impl KeyedAggregate {
         if let Some(map) = &self.key_map {
             ctx.charged(16, |e| kpa.update_keys(e, map));
         }
-        ctx.sort(&mut kpa)?;
-        if self.early_aggregation && kpa.len() > 1 {
-            kpa = self.pre_reduce(ctx, kpa)?;
+        if !self.state.contains_key(&w) {
+            let backend = self.new_backend(ctx, &kpa)?;
+            self.state.insert(w, backend);
         }
-        self.state.entry(w).or_default().push(kpa);
+        let p = self.params();
+        if let Some(backend) = self.state.get_mut(&w) {
+            backend.ingest(ctx, kpa, &p)?;
+        }
         Ok(())
-    }
-
-    /// Early aggregation: reduce one sorted KPA to per-key partials stored
-    /// in a fresh (small) bundle, and return a KPA over it.
-    fn pre_reduce(
-        &self,
-        ctx: &mut OpCtx<'_>,
-        kpa: sbx_kpa::Kpa,
-    ) -> Result<sbx_kpa::Kpa, EngineError> {
-        let value_col = self.value_col;
-        let mut rows: Vec<u64> = Vec::new();
-        ctx.charged(16, |e| {
-            reduce_keyed(e, &kpa, value_col, |g| {
-                // Early aggregation is only enabled for Sum and Count
-                // (see `new`); any other kind never reaches this closure,
-                // and the Sum arm is a safe default for it.
-                let partial = match self.kind {
-                    AggKind::Count => g.values.len() as u64,
-                    _ => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
-                };
-                rows.extend_from_slice(&[g.key, partial, 0]);
-            })
-        });
-        let env = ctx.env();
-        let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &rows)?;
-        // The partial bundle was just written: fuse its extraction
-        // (paper §4.3 optimization 1).
-        let (kind, prio) = ctx.place();
-        let mut out = ctx.charged(24, |e| {
-            sbx_kpa::Kpa::extract_fused(e, &bundle, Col(0), kind, prio)
-        })?;
-        // reduce_keyed emitted the partials in ascending key order.
-        out.mark_sorted();
-        Ok(out)
     }
 
     /// Pane-mode ingest: pre-reduce the pane's KPA to per-key partials and
@@ -276,59 +334,15 @@ impl KeyedAggregate {
 
     fn close(&mut self, ctx: &mut OpCtx<'_>, w: WindowId) -> Result<Message, EngineError> {
         ctx.tag = ImpactTag::Urgent;
-        let kpas = self.state.remove(&w).unwrap_or_default();
         let start = window_start(&self.spec, w).raw();
         let mut rows: Vec<u64> = Vec::new();
-        if !kpas.is_empty() {
-            let merged = ctx.merge_many(kpas)?;
-            // When early aggregation ran, the stored "values" are partials
-            // living in column 1 of the partial bundles.
-            let value_col = if self.early_aggregation {
-                Col(1)
-            } else {
-                self.value_col
-            };
-            let kind = self.kind;
-            let early = self.early_aggregation;
-            ctx.charged(16, |e| {
-                reduce_keyed(e, &merged, value_col, |g| {
-                    match kind {
-                        AggKind::Sum => {
-                            rows.extend_from_slice(&[
-                                g.key,
-                                g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
-                                start,
-                            ]);
-                        }
-                        AggKind::Count => {
-                            // With early aggregation the values are partial
-                            // counts; otherwise each value is one record.
-                            let c = if early {
-                                g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
-                            } else {
-                                g.values.len() as u64
-                            };
-                            rows.extend_from_slice(&[g.key, c, start]);
-                        }
-                        AggKind::Avg => {
-                            rows.extend_from_slice(&[g.key, agg::average(g.values), start]);
-                        }
-                        AggKind::Median => {
-                            let mut v = g.values.to_vec();
-                            rows.extend_from_slice(&[g.key, agg::median(&mut v), start]);
-                        }
-                        AggKind::TopK(k) => {
-                            for v in agg::top_k(g.values, k) {
-                                rows.extend_from_slice(&[g.key, v, start]);
-                            }
-                        }
-                        AggKind::UniqueCount => {
-                            let mut v = g.values.to_vec();
-                            rows.extend_from_slice(&[g.key, agg::unique_count(&mut v), start]);
-                        }
-                    }
-                })
-            });
+        if let Some(mut backend) = self.state.remove(&w) {
+            let p = self.params();
+            let records = backend.records();
+            let groups = backend.close(ctx, &p, start, &mut rows)?;
+            // Feed the closed window into the adaptive history (cheap and
+            // deterministic, so it runs for every backend spec).
+            self.adapt.observe_window(records, groups);
         }
         let env = ctx.env();
         let out = RecordBundle::from_rows(&env, Arc::clone(&self.out_schema), &rows)?;
@@ -342,6 +356,7 @@ impl std::fmt::Debug for KeyedAggregate {
             .field("key_col", &self.key_col)
             .field("value_col", &self.value_col)
             .field("kind", &self.kind)
+            .field("grouping", &self.grouping)
             .field("open_windows", &self.state.len())
             .finish()
     }
@@ -349,7 +364,14 @@ impl std::fmt::Debug for KeyedAggregate {
 
 impl Operator for KeyedAggregate {
     fn name(&self) -> &'static str {
-        "KeyedAggregate"
+        // Backend-qualified names keep per-operator spans and metrics
+        // distinguishable in traces (op.KeyedAggregate(hash).* etc.).
+        match self.grouping {
+            GroupingSpec::SortMerge => "KeyedAggregate",
+            GroupingSpec::Hash => "KeyedAggregate(hash)",
+            GroupingSpec::RowBaseline => "KeyedAggregate(row)",
+            GroupingSpec::Adaptive => "KeyedAggregate(adaptive)",
+        }
     }
 
     fn on_message(
@@ -404,17 +426,24 @@ impl Operator for KeyedAggregate {
     fn snapshot(&self, ctx: &mut OpCtx<'_>) -> Result<OpState, EngineError> {
         let mut st = OpState {
             horizon: self.late.horizon().map(|h| h.time().raw()),
-            scalars: [self.pane_next_window].to_vec(),
+            // The adaptive window history rides along so recovered runs
+            // keep making the same backend decisions.
+            scalars: [
+                self.pane_next_window,
+                self.adapt.records_ema,
+                self.adapt.groups_ema,
+                self.adapt.windows_seen,
+            ]
+            .to_vec(),
             entries: Vec::new(),
         };
-        for (w, kpas) in &self.state {
-            for kpa in kpas {
-                st.entries.push(StateEntry::from_kpa(ctx, w.0, 0, kpa)?);
-            }
+        for (w, backend) in &self.state {
+            backend.snapshot(ctx, w.0, &mut st.entries)?;
         }
         for (pane, bundles) in &self.pane_state {
             for b in bundles {
-                st.entries.push(StateEntry::from_bundle(*pane, 1, b));
+                st.entries
+                    .push(StateEntry::from_bundle(*pane, PORT_PANE_BUNDLE, b));
             }
         }
         Ok(st)
@@ -425,17 +454,40 @@ impl Operator for KeyedAggregate {
             self.late.observe(sbx_records::Watermark::from(raw));
         }
         self.pane_next_window = state.scalars.first().copied().unwrap_or(0);
+        self.adapt = AdaptState {
+            records_ema: state.scalars.get(1).copied().unwrap_or(0),
+            groups_ema: state.scalars.get(2).copied().unwrap_or(0),
+            windows_seen: state.scalars.get(3).copied().unwrap_or(0),
+        };
         for e in &state.entries {
-            if e.port == 0 {
-                self.state
-                    .entry(WindowId(e.window))
-                    .or_default()
-                    .push(e.to_kpa(ctx)?);
-            } else {
+            if e.port == PORT_PANE_BUNDLE {
                 self.pane_state
                     .entry(e.window)
                     .or_default()
                     .push(e.to_bundle(ctx)?);
+                continue;
+            }
+            // The entry's port, not the configured spec, decides which
+            // backend kind to rebuild: under adaptive grouping different
+            // windows may have snapshotted different backends.
+            let w = WindowId(e.window);
+            if !self.state.contains_key(&w) {
+                let backend: Box<dyn GroupingBackend> = match e.port {
+                    PORT_HASH_SCALAR | PORT_HASH_VALUES => {
+                        // sbx-lint: allow(raw-alloc, one boxed backend per restored window)
+                        Box::new(HashShardBackend::new(ctx, self.kind)?)
+                    }
+                    PORT_ROW_SCALAR | PORT_ROW_VALUES => {
+                        // sbx-lint: allow(raw-alloc, one boxed backend per restored window)
+                        Box::new(RowBaselineBackend::new(ctx, self.kind)?)
+                    }
+                    // sbx-lint: allow(raw-alloc, one boxed backend per restored window)
+                    _ => Box::new(SortMergeBackend::new()),
+                };
+                self.state.insert(w, backend);
+            }
+            if let Some(backend) = self.state.get_mut(&w) {
+                backend.restore_entry(ctx, e)?;
             }
         }
         Ok(())
@@ -451,11 +503,20 @@ mod tests {
     use sbx_simmem::{MachineConfig, MemEnv};
 
     fn run_agg(kind: AggKind, rows: &[(u64, u64, u64)], early: bool) -> Vec<(u64, u64, u64)> {
+        run_agg_with(kind, rows, early, GroupingSpec::SortMerge)
+    }
+
+    fn run_agg_with(
+        kind: AggKind,
+        rows: &[(u64, u64, u64)],
+        early: bool,
+        grouping: GroupingSpec,
+    ) -> Vec<(u64, u64, u64)> {
         let env = MemEnv::new(MachineConfig::knl().scaled(0.01));
         let mut bal = DemandBalancer::new();
         let spec = WindowSpec::fixed(10);
         let mut window = WindowInto::new(spec);
-        let mut agg_op = KeyedAggregate::new(spec, Col(0), Col(1), kind);
+        let mut agg_op = KeyedAggregate::new(spec, Col(0), Col(1), kind).with_grouping(grouping);
         if !early {
             agg_op = agg_op.without_early_aggregation();
         }
@@ -527,6 +588,56 @@ mod tests {
             run_agg(AggKind::TopK(2), &rows, false),
             vec![(1, 30, 0), (1, 20, 0), (2, 5, 0), (2, 5, 0)]
         );
+    }
+
+    /// Every grouping backend must emit byte-identical window results for
+    /// every aggregate kind (the DESIGN.md §14 bit-stability contract, at
+    /// the operator level).
+    #[test]
+    fn grouping_backends_are_output_transparent() {
+        let rows: Vec<(u64, u64, u64)> =
+            (0..300).map(|i| (i % 13, (i * 7) % 101, i % 20)).collect();
+        for kind in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Avg,
+            AggKind::Median,
+            AggKind::TopK(2),
+            AggKind::UniqueCount,
+        ] {
+            let early = matches!(kind, AggKind::Sum | AggKind::Count);
+            let reference = run_agg_with(kind, &rows, early, GroupingSpec::SortMerge);
+            for grouping in [
+                GroupingSpec::Hash,
+                GroupingSpec::RowBaseline,
+                GroupingSpec::Adaptive,
+            ] {
+                let got = run_agg_with(kind, &rows, early, grouping);
+                assert_eq!(got, reference, "{grouping:?} diverged for {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn operator_name_reflects_grouping_backend() {
+        let spec = WindowSpec::fixed(10);
+        let mk = |g| KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum).with_grouping(g);
+        assert_eq!(mk(GroupingSpec::SortMerge).name(), "KeyedAggregate");
+        assert_eq!(mk(GroupingSpec::Hash).name(), "KeyedAggregate(hash)");
+        assert_eq!(mk(GroupingSpec::RowBaseline).name(), "KeyedAggregate(row)");
+        assert_eq!(
+            mk(GroupingSpec::Adaptive).name(),
+            "KeyedAggregate(adaptive)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pane combining")]
+    fn pane_combining_rejects_hash_grouping() {
+        let spec = WindowSpec::sliding(20, 10);
+        let _ = KeyedAggregate::new(spec, Col(0), Col(1), AggKind::Sum)
+            .with_pane_combining()
+            .with_grouping(GroupingSpec::Hash);
     }
 
     #[test]

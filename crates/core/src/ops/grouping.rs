@@ -1,0 +1,1016 @@
+//! Pluggable grouping backends for [`KeyedAggregate`] and the adaptive
+//! sort-vs-hash decision (DESIGN.md §14).
+//!
+//! The paper's central bet is that sort-based KPA grouping beats hashing on
+//! HBM because sequential bandwidth dwarfs random access — but its own
+//! Figure 2 concedes the low-cardinality regime to hashing, and HBM
+//! analytics work (Kara et al.) confirms hash probes gain little from
+//! bandwidth while scans gain a lot. This module stops hard-coding the bet:
+//! GroupBy is parameterized over a [`GroupingBackend`] — the adapter shape
+//! of map-bench `Collection`/`CollectionHandle` harnesses, specialized to
+//! windowed aggregation — with three implementations:
+//!
+//! - [`SortMergeBackend`]: the paper's KPA path (sort each arriving KPA,
+//!   merge at close, keyed reduction), verbatim from the original operator.
+//! - [`HashShardBackend`]: a sharded open-addressing table generalized from
+//!   `sbx_kpa::hash`, with a fixed shard count fanned over the worker-pool
+//!   wave lanes. Shard assignment depends only on the key hash and drains
+//!   are globally key-sorted, so outputs are bit-identical across thread
+//!   counts.
+//! - [`RowBaselineBackend`]: a single DRAM table charged at the row
+//!   engine's calibrated per-record cost — the Flink-class baseline, kept
+//!   as a measurable floor.
+//!
+//! On top sits the per-window *adaptive* decision ([`decide_backend`]):
+//! a deterministic cardinality/skew sketch of the first KPA plus the
+//! exponentially-smoothed history of closed windows feeds the recalibrated
+//! cost model (`profile::sort_chunked` vs `profile::hash_group_grown`),
+//! and the cheaper backend wins.
+//! Every construction emits a `groupby.backend.*` event that the engine
+//! surfaces as `engine.groupby.backend.*` counters.
+
+use sbx_kpa::hash::{fib_hash, HashAgg, HashGrouper};
+use sbx_kpa::sketch::GroupSketch;
+use sbx_kpa::{agg, profile, reduce_keyed, Kpa};
+use sbx_records::{Col, RecordBundle, Schema};
+use sbx_simmem::{AccessProfile, AllocError, MemEnv, MemKind, Priority};
+
+use crate::checkpoint::StateEntry;
+use crate::ops::AggKind;
+use crate::{EngineError, OpCtx};
+
+/// Which grouping backend a [`KeyedAggregate`](crate::ops::KeyedAggregate)
+/// uses (CLI: `--grouping {sort,hash,row,adaptive}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupingSpec {
+    /// The paper's KPA sort-merge path (default).
+    #[default]
+    SortMerge,
+    /// Sharded open-addressing hash tables with deterministic drains.
+    Hash,
+    /// Single-table row-engine baseline (measurement floor; never chosen
+    /// by the adaptive policy).
+    RowBaseline,
+    /// Per-window sort-vs-hash decision from the cardinality sketch, the
+    /// window history, and the recalibrated cost model.
+    Adaptive,
+}
+
+impl GroupingSpec {
+    /// Parses a CLI spelling (`sort`, `hash`, `row`, `adaptive`).
+    pub fn parse(s: &str) -> Option<GroupingSpec> {
+        match s {
+            "sort" => Some(GroupingSpec::SortMerge),
+            "hash" => Some(GroupingSpec::Hash),
+            "row" => Some(GroupingSpec::RowBaseline),
+            "adaptive" => Some(GroupingSpec::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            GroupingSpec::SortMerge => "sort",
+            GroupingSpec::Hash => "hash",
+            GroupingSpec::RowBaseline => "row",
+            GroupingSpec::Adaptive => "adaptive",
+        }
+    }
+}
+
+/// Backend-decision events, surfaced by the engine as
+/// `engine.groupby.backend.*` counters (one increment per window).
+pub(crate) const EV_BACKEND_SORT: &str = "groupby.backend.sort";
+/// See [`EV_BACKEND_SORT`].
+pub(crate) const EV_BACKEND_HASH: &str = "groupby.backend.hash";
+/// See [`EV_BACKEND_SORT`].
+pub(crate) const EV_BACKEND_ROW: &str = "groupby.backend.row";
+
+/// Snapshot-entry ports (see `KeyedAggregate::snapshot`): the port both
+/// routes an entry to the right backend kind on restore and versions the
+/// row layout within.
+pub(crate) const PORT_SORT_KPA: u8 = 0;
+/// Pane-combining partial bundles (not a backend port).
+pub(crate) const PORT_PANE_BUNDLE: u8 = 1;
+/// Hash backend, scalar `(key, sum, count)` rows.
+pub(crate) const PORT_HASH_SCALAR: u8 = 2;
+/// Hash backend, `(key, value, 0)` rows in per-key insertion order.
+pub(crate) const PORT_HASH_VALUES: u8 = 3;
+/// Row baseline, scalar rows.
+pub(crate) const PORT_ROW_SCALAR: u8 = 4;
+/// Row baseline, value rows.
+pub(crate) const PORT_ROW_VALUES: u8 = 5;
+
+/// Per-operator aggregation parameters threaded to the backends.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AggParams {
+    /// The aggregate computed per key.
+    pub kind: AggKind,
+    /// Value column dereferenced per record.
+    pub value_col: Col,
+    /// Whether the sort path pre-reduces arriving KPAs to partials.
+    pub early: bool,
+}
+
+impl AggParams {
+    /// `Count` never dereferences the value column — the hash backends
+    /// exploit this by touching keys only.
+    fn count_only(&self) -> bool {
+        matches!(self.kind, AggKind::Count)
+    }
+}
+
+/// The table mode a [`HashGrouper`]-based backend needs for `kind`:
+/// `Sum`/`Count` are exact from the scalar `(sum, count)` lanes; everything
+/// else needs the per-key value multiset (`agg::average` sums in `u128`, so
+/// even `Avg` cannot use the wrapping scalar sum).
+fn hash_mode(kind: AggKind) -> HashAgg {
+    match kind {
+        AggKind::Sum | AggKind::Count => HashAgg::SumCount,
+        _ => HashAgg::Values,
+    }
+}
+
+/// One window's grouping state behind [`KeyedAggregate`]: ingest sorted or
+/// hashed, drain in ascending key order at window close, snapshot/restore
+/// through the checkpoint barrier machinery.
+///
+/// The contract every implementation upholds: for the same multiset of
+/// `(key, value)` pairs, [`GroupingBackend::close`] appends *byte-identical*
+/// `[key, aggregate, window-start]` rows — ascending keys, `agg::*`
+/// semantics per kind — regardless of backend, thread count, or arrival
+/// interleaving within the window.
+pub(crate) trait GroupingBackend: Send + std::fmt::Debug {
+    /// Backend label for spans and events.
+    fn label(&self) -> &'static str;
+
+    /// Absorbs one windowed KPA (already key-swapped and key-mapped).
+    fn ingest(&mut self, ctx: &mut OpCtx<'_>, kpa: Kpa, p: &AggParams) -> Result<(), EngineError>;
+
+    /// Drains the window into `rows` (`[key, agg, start]` triples, ascending
+    /// keys) and returns the number of distinct groups.
+    fn close(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        p: &AggParams,
+        start: u64,
+        rows: &mut Vec<u64>,
+    ) -> Result<u64, EngineError>;
+
+    /// Records ingested so far (feeds the adaptive window history).
+    fn records(&self) -> u64;
+
+    /// Appends this window's state entries to a checkpoint snapshot.
+    fn snapshot(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        window: u64,
+        out: &mut Vec<StateEntry>,
+    ) -> Result<(), EngineError>;
+
+    /// Rebuilds state from one snapshot entry previously produced by
+    /// [`GroupingBackend::snapshot`] on the same backend kind.
+    fn restore_entry(&mut self, ctx: &mut OpCtx<'_>, e: &StateEntry) -> Result<(), EngineError>;
+}
+
+/// Emits one group's output rows exactly as the original `KeyedAggregate`
+/// close path did — shared by the sort backend's reduce closure and the
+/// hash backends' drains, so their bytes cannot diverge.
+pub(crate) fn emit_group(
+    kind: AggKind,
+    early: bool,
+    key: u64,
+    values: &[u64],
+    start: u64,
+    rows: &mut Vec<u64>,
+) {
+    match kind {
+        AggKind::Sum => {
+            rows.extend_from_slice(&[
+                key,
+                values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                start,
+            ]);
+        }
+        AggKind::Count => {
+            // With early aggregation the values are partial counts;
+            // otherwise each value is one record.
+            let c = if early {
+                values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+            } else {
+                values.len() as u64
+            };
+            rows.extend_from_slice(&[key, c, start]);
+        }
+        AggKind::Avg => {
+            rows.extend_from_slice(&[key, agg::average(values), start]);
+        }
+        AggKind::Median => {
+            let mut v = values.to_vec();
+            rows.extend_from_slice(&[key, agg::median(&mut v), start]);
+        }
+        AggKind::TopK(k) => {
+            for v in agg::top_k(values, k) {
+                rows.extend_from_slice(&[key, v, start]);
+            }
+        }
+        AggKind::UniqueCount => {
+            let mut v = values.to_vec();
+            rows.extend_from_slice(&[key, agg::unique_count(&mut v), start]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort-merge backend (the paper's path, ported verbatim)
+// ---------------------------------------------------------------------------
+
+/// The KPA sort-merge grouping path: sort each arriving KPA (pre-reducing
+/// to partials when early aggregation applies), merge all of them at close,
+/// and run the keyed reduction.
+#[derive(Debug, Default)]
+pub(crate) struct SortMergeBackend {
+    kpas: Vec<Kpa>,
+    records: u64,
+}
+
+impl SortMergeBackend {
+    /// An empty window.
+    pub(crate) fn new() -> Self {
+        SortMergeBackend::default()
+    }
+
+    /// Early aggregation: reduce one sorted KPA to per-key partials stored
+    /// in a fresh (small) bundle, and return a KPA over it.
+    fn pre_reduce(ctx: &mut OpCtx<'_>, kpa: Kpa, p: &AggParams) -> Result<Kpa, EngineError> {
+        let value_col = p.value_col;
+        let kind = p.kind;
+        let mut rows: Vec<u64> = Vec::new();
+        ctx.charged(16, |e| {
+            reduce_keyed(e, &kpa, value_col, |g| {
+                // Early aggregation is only enabled for Sum and Count
+                // (see `KeyedAggregate::new`); any other kind never
+                // reaches this closure, and the Sum arm is a safe default.
+                let partial = match kind {
+                    AggKind::Count => g.values.len() as u64,
+                    _ => g.values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+                };
+                rows.extend_from_slice(&[g.key, partial, 0]);
+            })
+        });
+        let env = ctx.env();
+        let bundle = RecordBundle::from_rows(&env, Schema::kvt(), &rows)?;
+        // The partial bundle was just written: fuse its extraction
+        // (paper §4.3 optimization 1).
+        let (kind, prio) = ctx.place();
+        let mut out = ctx.charged(24, |e| Kpa::extract_fused(e, &bundle, Col(0), kind, prio))?;
+        // reduce_keyed emitted the partials in ascending key order.
+        out.mark_sorted();
+        Ok(out)
+    }
+}
+
+impl GroupingBackend for SortMergeBackend {
+    fn label(&self) -> &'static str {
+        "sort"
+    }
+
+    fn ingest(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        mut kpa: Kpa,
+        p: &AggParams,
+    ) -> Result<(), EngineError> {
+        self.records += kpa.len() as u64;
+        ctx.sort(&mut kpa)?;
+        if p.early && kpa.len() > 1 {
+            kpa = Self::pre_reduce(ctx, kpa, p)?;
+        }
+        self.kpas.push(kpa);
+        Ok(())
+    }
+
+    fn close(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        p: &AggParams,
+        start: u64,
+        rows: &mut Vec<u64>,
+    ) -> Result<u64, EngineError> {
+        let kpas = std::mem::take(&mut self.kpas);
+        if kpas.is_empty() {
+            return Ok(0);
+        }
+        let merged = ctx.merge_many(kpas)?;
+        // When early aggregation ran, the stored "values" are partials
+        // living in column 1 of the partial bundles.
+        let value_col = if p.early { Col(1) } else { p.value_col };
+        let kind = p.kind;
+        let early = p.early;
+        let mut groups = 0u64;
+        ctx.charged(16, |e| {
+            reduce_keyed(e, &merged, value_col, |g| {
+                groups += 1;
+                emit_group(kind, early, g.key, g.values, start, rows);
+            })
+        });
+        Ok(groups)
+    }
+
+    fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn snapshot(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        window: u64,
+        out: &mut Vec<StateEntry>,
+    ) -> Result<(), EngineError> {
+        for kpa in &self.kpas {
+            out.push(StateEntry::from_kpa(ctx, window, PORT_SORT_KPA, kpa)?);
+        }
+        Ok(())
+    }
+
+    fn restore_entry(&mut self, ctx: &mut OpCtx<'_>, e: &StateEntry) -> Result<(), EngineError> {
+        let kpa = e.to_kpa(ctx)?;
+        self.records += kpa.len() as u64;
+        self.kpas.push(kpa);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash backends
+// ---------------------------------------------------------------------------
+
+/// Number of hash shards, fixed regardless of thread count so that table
+/// shapes — and therefore every observable byte — are independent of
+/// parallelism. Eight matches the wave-lane width the engine typically
+/// runs grouping at; with fewer threads the pool folds shards onto lanes.
+pub(crate) const SHARD_COUNT: usize = 8;
+
+/// The shard owning `key`: top three bits of the Fibonacci hash (the slot
+/// index within a shard uses the low bits, so the two are independent).
+#[inline]
+fn shard_of(key: u64) -> usize {
+    (fib_hash(key) >> 61) as usize
+}
+
+/// Initial per-shard capacity (slots grow/spill on demand).
+const SHARD_SEED_KEYS: usize = 128;
+
+/// Shared core of the hash-table backends: `SHARD_COUNT` tables for the
+/// parallel backend, one for the row baseline.
+#[derive(Debug)]
+struct HashCore {
+    shards: Vec<HashGrouper>,
+    records: u64,
+}
+
+impl HashCore {
+    fn new(
+        ctx: &mut OpCtx<'_>,
+        n_shards: usize,
+        kind: AggKind,
+        mem_kind: MemKind,
+        prio: Priority,
+    ) -> Result<Self, EngineError> {
+        let mode = hash_mode(kind);
+        let mut shards: Vec<HashGrouper> = Vec::new();
+        for _ in 0..n_shards {
+            shards.push(HashGrouper::with_mode(
+                ctx.exec(),
+                SHARD_SEED_KEYS,
+                mode,
+                mem_kind,
+                prio,
+            )?);
+        }
+        Ok(HashCore { shards, records: 0 })
+    }
+
+    fn groups(&self) -> usize {
+        self.shards.iter().map(HashGrouper::len).sum()
+    }
+
+    fn slots(&self) -> usize {
+        self.shards.iter().map(HashGrouper::slots).sum()
+    }
+
+    fn table_kind(&self) -> MemKind {
+        self.shards.first().map_or(MemKind::Dram, HashGrouper::kind)
+    }
+
+    fn mode(&self) -> HashAgg {
+        self.shards
+            .first()
+            .map_or(HashAgg::SumCount, HashGrouper::mode)
+    }
+
+    /// Gathers this KPA's `(key, value)` pairs by shard. `Count` reads no
+    /// values (the hash advantage the adaptive policy exploits).
+    fn gather(kpa: &Kpa, p: &AggParams, n_shards: usize) -> Vec<Vec<(u64, u64)>> {
+        let mut parts: Vec<Vec<(u64, u64)>> = Vec::new();
+        for _ in 0..n_shards {
+            parts.push(Vec::new());
+        }
+        let keys = kpa.keys();
+        let count_only = p.count_only();
+        for (i, &k) in keys.iter().enumerate() {
+            let v = if count_only {
+                0
+            } else {
+                kpa.value_at(i, p.value_col)
+            };
+            parts[if n_shards > 1 { shard_of(k) } else { 0 }].push((k, v));
+        }
+        parts
+    }
+
+    /// Inserts pre-gathered pairs, one job per shard over the worker-pool
+    /// wave lanes. Job outputs return in job order, so shard identity —
+    /// and every downstream byte — is independent of lane count.
+    fn insert_parallel(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        parts: Vec<Vec<(u64, u64)>>,
+    ) -> Result<(), EngineError> {
+        let shards = std::mem::take(&mut self.shards);
+        let mut jobs: Vec<(HashGrouper, Vec<(u64, u64)>)> = Vec::new();
+        for (t, part) in shards.into_iter().zip(parts) {
+            jobs.push((t, part));
+        }
+        let lanes = ctx.threads.min(jobs.len()).max(1);
+        let results = ctx.exec().pool().run(
+            lanes,
+            |(mut t, pairs): (HashGrouper, Vec<(u64, u64)>)| -> Result<HashGrouper, AllocError> {
+                for (k, v) in pairs {
+                    t.try_insert(k, v)?;
+                }
+                Ok(t)
+            },
+            jobs,
+        );
+        for r in results {
+            self.shards.push(r.map_err(EngineError::from)?);
+        }
+        Ok(())
+    }
+
+    /// Drains every shard into globally key-sorted output rows via
+    /// [`emit_group`], matching the sort path's ascending-key emission.
+    fn drain(&self, p: &AggParams, start: u64, rows: &mut Vec<u64>) -> u64 {
+        match self.mode() {
+            HashAgg::SumCount => {
+                let mut entries: Vec<(u64, u64, u64)> = Vec::new();
+                for sh in &self.shards {
+                    for e in sh.iter() {
+                        entries.push(e);
+                    }
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                let groups = entries.len() as u64;
+                for (k, s, c) in entries {
+                    match p.kind {
+                        AggKind::Count => rows.extend_from_slice(&[k, c, start]),
+                        // Scalar mode exists only for Sum and Count.
+                        _ => rows.extend_from_slice(&[k, s, start]),
+                    }
+                }
+                groups
+            }
+            HashAgg::Values => {
+                let mut entries: Vec<(u64, Vec<u64>)> = Vec::new();
+                for sh in &self.shards {
+                    for e in sh.drain_values_sorted() {
+                        entries.push(e);
+                    }
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                let groups = entries.len() as u64;
+                for (k, vals) in entries {
+                    // Hash state is never pre-reduced: early = false.
+                    emit_group(p.kind, false, k, &vals, start, rows);
+                }
+                groups
+            }
+        }
+    }
+
+    /// One snapshot entry per window: scalar `(key, sum, count)` triples or
+    /// `(key, value, 0)` triples in per-key insertion order, key-sorted.
+    fn snapshot_entry(&self, window: u64, scalar_port: u8, values_port: u8) -> StateEntry {
+        let mut rows: Vec<u64> = Vec::new();
+        match self.mode() {
+            HashAgg::SumCount => {
+                let mut entries: Vec<(u64, u64, u64)> = Vec::new();
+                for sh in &self.shards {
+                    for e in sh.iter() {
+                        entries.push(e);
+                    }
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                for (k, s, c) in entries {
+                    rows.extend_from_slice(&[k, s, c]);
+                }
+                StateEntry::from_rows(window, scalar_port, 3, 2, rows)
+            }
+            HashAgg::Values => {
+                let mut entries: Vec<(u64, Vec<u64>)> = Vec::new();
+                for sh in &self.shards {
+                    for e in sh.drain_values_sorted() {
+                        entries.push(e);
+                    }
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                for (k, vals) in entries {
+                    for v in vals {
+                        rows.extend_from_slice(&[k, v, 0]);
+                    }
+                }
+                StateEntry::from_rows(window, values_port, 3, 2, rows)
+            }
+        }
+    }
+
+    /// Rebuilds shard state from a snapshot entry. Scalar entries fold
+    /// `(sum, count)` partials; value entries replay the inserts (which
+    /// rebuilds the scalar lanes too). Restores the exact record count.
+    fn restore_rows(&mut self, e: &StateEntry) -> Result<(), EngineError> {
+        let n_shards = self.shards.len();
+        match self.mode() {
+            HashAgg::SumCount => {
+                for chunk in e.rows.chunks_exact(3) {
+                    let (k, s, c) = (chunk[0], chunk[1], chunk[2]);
+                    let sh = if n_shards > 1 { shard_of(k) } else { 0 };
+                    self.shards[sh]
+                        .merge_entry(k, s, c)
+                        .map_err(EngineError::from)?;
+                    self.records += c;
+                }
+            }
+            HashAgg::Values => {
+                for chunk in e.rows.chunks_exact(3) {
+                    let (k, v) = (chunk[0], chunk[1]);
+                    let sh = if n_shards > 1 { shard_of(k) } else { 0 };
+                    self.shards[sh]
+                        .try_insert(k, v)
+                        .map_err(EngineError::from)?;
+                    self.records += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The sharded hash grouping backend: `SHARD_COUNT` open-addressing tables
+/// (pool-accounted, growing and tier-spilling on demand) fanned over the
+/// worker-pool wave lanes, charged at the cardinality-aware probe cost
+/// (`profile::hash_group_carded`) so a cache-resident table is cheap and a
+/// spilled one pays the full Figure-2 rate.
+#[derive(Debug)]
+pub(crate) struct HashShardBackend {
+    core: HashCore,
+}
+
+impl HashShardBackend {
+    /// Fresh shard tables at the placement chosen for this task.
+    pub(crate) fn new(ctx: &mut OpCtx<'_>, kind: AggKind) -> Result<Self, EngineError> {
+        let (mem_kind, prio) = ctx.place();
+        Ok(HashShardBackend {
+            core: HashCore::new(ctx, SHARD_COUNT, kind, mem_kind, prio)?,
+        })
+    }
+}
+
+impl GroupingBackend for HashShardBackend {
+    fn label(&self) -> &'static str {
+        "hash"
+    }
+
+    fn ingest(&mut self, ctx: &mut OpCtx<'_>, kpa: Kpa, p: &AggParams) -> Result<(), EngineError> {
+        let n = kpa.len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.core.records += n as u64;
+        let parts = HashCore::gather(&kpa, p, SHARD_COUNT);
+        self.core.insert_parallel(ctx, parts)?;
+        // Charge at the observed table size: the model stays honest even
+        // when the adaptive estimate that chose this backend was wrong.
+        let mut prof =
+            profile::hash_group_carded(n, self.core.groups().max(1), self.core.table_kind());
+        if !p.count_only() {
+            // One random value dereference per pair (same gather the sort
+            // path pays inside its keyed reduction).
+            prof = prof.merge(&AccessProfile::new().rand(MemKind::Dram, n as f64));
+        }
+        ctx.charged(16, |e| e.charge(&prof));
+        Ok(())
+    }
+
+    fn close(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        p: &AggParams,
+        start: u64,
+        rows: &mut Vec<u64>,
+    ) -> Result<u64, EngineError> {
+        let prof = profile::hash_drain(
+            self.core.slots(),
+            self.core.groups(),
+            self.core.table_kind(),
+        );
+        ctx.charged(16, |e| e.charge(&prof));
+        Ok(self.core.drain(p, start, rows))
+    }
+
+    fn records(&self) -> u64 {
+        self.core.records
+    }
+
+    fn snapshot(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        window: u64,
+        out: &mut Vec<StateEntry>,
+    ) -> Result<(), EngineError> {
+        let prof = profile::hash_drain(
+            self.core.slots(),
+            self.core.groups(),
+            self.core.table_kind(),
+        );
+        ctx.charged(16, |e| e.charge(&prof));
+        out.push(
+            self.core
+                .snapshot_entry(window, PORT_HASH_SCALAR, PORT_HASH_VALUES),
+        );
+        Ok(())
+    }
+
+    fn restore_entry(&mut self, _ctx: &mut OpCtx<'_>, e: &StateEntry) -> Result<(), EngineError> {
+        self.core.restore_rows(e)
+    }
+}
+
+/// Extra CPU cycles per record the row-engine baseline pays on top of the
+/// hash probe itself (record dispatch, row copies, virtual-call overhead).
+/// Mirrors `sbx-baselines`' calibrated `ROW_ENGINE_CYCLES_PER_RECORD_KNL`
+/// (5 900) minus the `HASH_CYCLES` (500) already charged by the grouping
+/// profile; the two constants are cross-checked by that crate's tests.
+const ROW_ENGINE_EXTRA_CYCLES: f64 = 5_400.0;
+
+/// The Flink-class row-engine baseline as a grouping backend: one DRAM
+/// hash table, serial inserts, charged at the row engine's calibrated
+/// per-record cost. Exists to be measured against (the adaptive policy
+/// never selects it).
+#[derive(Debug)]
+pub(crate) struct RowBaselineBackend {
+    core: HashCore,
+}
+
+impl RowBaselineBackend {
+    /// A fresh single-shard DRAM table.
+    pub(crate) fn new(ctx: &mut OpCtx<'_>, kind: AggKind) -> Result<Self, EngineError> {
+        Ok(RowBaselineBackend {
+            core: HashCore::new(ctx, 1, kind, MemKind::Dram, Priority::Normal)?,
+        })
+    }
+}
+
+impl GroupingBackend for RowBaselineBackend {
+    fn label(&self) -> &'static str {
+        "row"
+    }
+
+    fn ingest(&mut self, ctx: &mut OpCtx<'_>, kpa: Kpa, p: &AggParams) -> Result<(), EngineError> {
+        let n = kpa.len();
+        if n == 0 {
+            return Ok(());
+        }
+        self.core.records += n as u64;
+        let parts = HashCore::gather(&kpa, p, 1);
+        self.core.insert_parallel(ctx, parts)?;
+        let prof = profile::hash_group(n, MemKind::Dram).cpu(n as f64 * ROW_ENGINE_EXTRA_CYCLES);
+        ctx.charged(16, |e| e.charge(&prof));
+        Ok(())
+    }
+
+    fn close(
+        &mut self,
+        ctx: &mut OpCtx<'_>,
+        p: &AggParams,
+        start: u64,
+        rows: &mut Vec<u64>,
+    ) -> Result<u64, EngineError> {
+        let prof = profile::hash_drain(self.core.slots(), self.core.groups(), MemKind::Dram);
+        ctx.charged(16, |e| e.charge(&prof));
+        Ok(self.core.drain(p, start, rows))
+    }
+
+    fn records(&self) -> u64 {
+        self.core.records
+    }
+
+    fn snapshot(
+        &self,
+        ctx: &mut OpCtx<'_>,
+        window: u64,
+        out: &mut Vec<StateEntry>,
+    ) -> Result<(), EngineError> {
+        let prof = profile::hash_drain(self.core.slots(), self.core.groups(), MemKind::Dram);
+        ctx.charged(16, |e| e.charge(&prof));
+        out.push(
+            self.core
+                .snapshot_entry(window, PORT_ROW_SCALAR, PORT_ROW_VALUES),
+        );
+        Ok(())
+    }
+
+    fn restore_entry(&mut self, _ctx: &mut OpCtx<'_>, e: &StateEntry) -> Result<(), EngineError> {
+        self.core.restore_rows(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive decision
+// ---------------------------------------------------------------------------
+
+/// Exponentially-smoothed history of closed windows feeding the adaptive
+/// decision (integer arithmetic only: `ema ← (3·ema + x) / 4`).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AdaptState {
+    /// Smoothed records per window.
+    pub records_ema: u64,
+    /// Smoothed distinct groups per window.
+    pub groups_ema: u64,
+    /// Windows closed so far.
+    pub windows_seen: u64,
+}
+
+impl AdaptState {
+    /// Folds one closed window into the history.
+    pub(crate) fn observe_window(&mut self, records: u64, groups: u64) {
+        if self.windows_seen == 0 {
+            self.records_ema = records;
+            self.groups_ema = groups;
+        } else {
+            self.records_ema = (3 * self.records_ema + records) / 4;
+            self.groups_ema = (3 * self.groups_ema + groups) / 4;
+        }
+        self.windows_seen += 1;
+    }
+}
+
+/// The adaptive choice for one window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BackendChoice {
+    /// KPA sort-merge.
+    Sort,
+    /// Sharded hash.
+    Hash,
+}
+
+/// Decides the backend for a new window from the first arriving KPA.
+///
+/// Deterministic by construction: inputs are the key bytes (via the
+/// [`GroupSketch`]), the closed-window history, the machine model, and the
+/// KPA tier — never thread counts, wall-clock, or allocator state. The
+/// first window always takes the paper's sort-merge default (no history to
+/// trust; mispredicting hash on a high-cardinality window costs far more
+/// than one sorted window forgoes).
+///
+/// Later windows estimate the window's records (history, floored by this
+/// KPA) and distinct groups (sketch vs. history, capped by records), then
+/// discount the table footprint by the heavy-hitter share — skewed streams
+/// keep their hot slots resident even at high nominal cardinality.
+///
+/// Both sides are modelled the way the backends actually charge a
+/// bundle-fed window: the sort side as per-bundle chunk sorts plus one
+/// close-time k-way merge and the keyed reduction
+/// ([`profile::sort_chunked`]); the hash side with the table *growing*
+/// across the window, so early bundles probe a resident table even when
+/// the final one spills ([`profile::hash_group_grown`]), plus the
+/// close-time drain. The cheaper modelled profile wins.
+pub(crate) fn decide_backend(
+    env: &MemEnv,
+    kpa: &Kpa,
+    p: &AggParams,
+    table_kind: MemKind,
+    adapt: &AdaptState,
+) -> BackendChoice {
+    if adapt.windows_seen == 0 {
+        return BackendChoice::Sort;
+    }
+    let mut sk = GroupSketch::new();
+    sk.observe_all(kpa.keys());
+    let est_records = adapt.records_ema.max(kpa.len() as u64).max(1);
+    let est_groups = adapt
+        .groups_ema
+        .max(sk.distinct_estimate())
+        .clamp(1, est_records);
+    // A key owning h‰ of the stream keeps its slot hot; discount half the
+    // heavy share from the effective (cache-relevant) table size.
+    let heavy = sk.heavy_permille();
+    let eff_groups = est_groups
+        .saturating_sub(est_groups.saturating_mul(heavy) / 2000)
+        .max(1);
+
+    let n = est_records as usize;
+    // This KPA is one bundle of the window; the backends charge per
+    // bundle. Cap the chunk count so a tiny probe KPA cannot inflate the
+    // modelled merge fan-in beyond anything the engine produces.
+    let chunk = kpa.len().max(1);
+    let chunks = n.div_ceil(chunk).min(1024);
+    let cores = env.machine().cores;
+    let cost = env.cost();
+
+    let mut sort_prof = profile::sort_chunked(n, chunk, table_kind)
+        .merge(&profile::merge_kway(n, chunks, table_kind, table_kind))
+        .merge(&profile::reduce_keyed(n, table_kind));
+    if p.early {
+        // Early aggregation adds a per-bundle pre-reduce pass (and the
+        // re-extraction of the partials) before the close-time merge.
+        sort_prof = sort_prof
+            .merge(&profile::reduce_keyed(n, table_kind))
+            .merge(&profile::extract(n, 24, table_kind));
+    }
+
+    let g = eff_groups as usize;
+    let slots = (eff_groups as f64 * profile::HASH_LOAD_INV) as usize;
+    let mut hash_prof = profile::hash_group_grown(n, g, table_kind)
+        .merge(&profile::hash_drain(slots, g, table_kind));
+    if !p.count_only() {
+        hash_prof = hash_prof.merge(&AccessProfile::new().rand(MemKind::Dram, n as f64));
+    }
+    if cost.time_secs(&hash_prof, cores) < cost.time_secs(&sort_prof, cores) {
+        BackendChoice::Hash
+    } else {
+        BackendChoice::Sort
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DemandBalancer, EngineMode, ImpactTag};
+    use sbx_simmem::{MachineConfig, MemEnv};
+
+    fn mk_kpa(env: &MemEnv, ctx: &mut OpCtx<'_>, pairs: &[(u64, u64)]) -> Kpa {
+        let mut flat: Vec<u64> = Vec::new();
+        for &(k, v) in pairs {
+            flat.extend_from_slice(&[k, v, 0]);
+        }
+        let b = RecordBundle::from_rows(env, Schema::kvt(), &flat).unwrap();
+        ctx.extract(&b, Col(0)).unwrap()
+    }
+
+    fn harness() -> (MemEnv, DemandBalancer) {
+        (
+            MemEnv::new(MachineConfig::knl().scaled(0.01)),
+            DemandBalancer::new(),
+        )
+    }
+
+    fn close_with(
+        backend: &mut dyn GroupingBackend,
+        ctx: &mut OpCtx<'_>,
+        p: &AggParams,
+    ) -> Vec<u64> {
+        let mut rows = Vec::new();
+        backend.close(ctx, p, 0, &mut rows).unwrap();
+        rows
+    }
+
+    /// All three backends must produce byte-identical close rows for every
+    /// aggregate kind.
+    #[test]
+    fn backends_agree_on_every_kind() {
+        let (env, mut bal) = harness();
+        let pairs: Vec<(u64, u64)> = (0..500u64).map(|i| (i % 17, (i * 13) % 97)).collect();
+        for kind in [
+            AggKind::Sum,
+            AggKind::Count,
+            AggKind::Avg,
+            AggKind::Median,
+            AggKind::TopK(3),
+            AggKind::UniqueCount,
+        ] {
+            let p = AggParams {
+                kind,
+                value_col: Col(1),
+                early: matches!(kind, AggKind::Sum | AggKind::Count),
+            };
+            let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+            let mut sort_b = SortMergeBackend::new();
+            let mut hash_b = HashShardBackend::new(&mut ctx, kind).unwrap();
+            let mut row_b = RowBaselineBackend::new(&mut ctx, kind).unwrap();
+            for chunk in pairs.chunks(100) {
+                let kpa = mk_kpa(&env, &mut ctx, chunk);
+                sort_b.ingest(&mut ctx, kpa, &p).unwrap();
+                let kpa = mk_kpa(&env, &mut ctx, chunk);
+                hash_b.ingest(&mut ctx, kpa, &p).unwrap();
+                let kpa = mk_kpa(&env, &mut ctx, chunk);
+                row_b.ingest(&mut ctx, kpa, &p).unwrap();
+            }
+            let a = close_with(&mut sort_b, &mut ctx, &p);
+            let b = close_with(&mut hash_b, &mut ctx, &p);
+            let c = close_with(&mut row_b, &mut ctx, &p);
+            assert_eq!(a, b, "sort vs hash rows for {kind:?}");
+            assert_eq!(a, c, "sort vs row rows for {kind:?}");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn hash_snapshot_roundtrips_scalar_and_values() {
+        let (env, mut bal) = harness();
+        for kind in [AggKind::Sum, AggKind::Median] {
+            let p = AggParams {
+                kind,
+                value_col: Col(1),
+                early: false,
+            };
+            let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+            let mut orig = HashShardBackend::new(&mut ctx, kind).unwrap();
+            let pairs: Vec<(u64, u64)> = (0..300u64).map(|i| (i % 23, i)).collect();
+            let kpa = mk_kpa(&env, &mut ctx, &pairs);
+            orig.ingest(&mut ctx, kpa, &p).unwrap();
+
+            let mut entries = Vec::new();
+            orig.snapshot(&mut ctx, 0, &mut entries).unwrap();
+            assert_eq!(entries.len(), 1);
+
+            let mut restored = HashShardBackend::new(&mut ctx, kind).unwrap();
+            restored.restore_entry(&mut ctx, &entries[0]).unwrap();
+            assert_eq!(restored.records(), orig.records());
+            assert_eq!(
+                close_with(&mut orig, &mut ctx, &p),
+                close_with(&mut restored, &mut ctx, &p),
+                "restore must reproduce close bytes for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_cold_start_is_sort_then_history_drives_hash() {
+        let (env, mut bal) = harness();
+        let mut ctx = OpCtx::new(&env, &mut bal, EngineMode::Hybrid, 2, ImpactTag::High);
+        let p = AggParams {
+            kind: AggKind::Count,
+            value_col: Col(1),
+            early: true,
+        };
+        let pairs: Vec<(u64, u64)> = (0..2000u64).map(|i| (i % 100, i)).collect();
+        let kpa = mk_kpa(&env, &mut ctx, &pairs);
+
+        let mut adapt = AdaptState::default();
+        assert_eq!(
+            decide_backend(&env, &kpa, &p, MemKind::Hbm, &adapt),
+            BackendChoice::Sort,
+            "window 0 takes the paper default"
+        );
+        // Low-cardinality history: hash must win from window 1 on.
+        adapt.observe_window(2000, 100);
+        assert_eq!(
+            decide_backend(&env, &kpa, &p, MemKind::Hbm, &adapt),
+            BackendChoice::Hash
+        );
+        // High-cardinality history: sort wins even though the bundle's own
+        // sketch only sees 100 keys.
+        let mut adapt_hi = AdaptState::default();
+        adapt_hi.observe_window(8_000_000, 4_000_000);
+        assert_eq!(
+            decide_backend(&env, &kpa, &p, MemKind::Hbm, &adapt_hi),
+            BackendChoice::Sort
+        );
+    }
+
+    #[test]
+    fn ema_smooths_and_first_window_seeds() {
+        let mut a = AdaptState::default();
+        a.observe_window(1000, 10);
+        assert_eq!((a.records_ema, a.groups_ema, a.windows_seen), (1000, 10, 1));
+        a.observe_window(2000, 30);
+        assert_eq!(a.records_ema, (3 * 1000 + 2000) / 4);
+        assert_eq!(a.groups_ema, (3 * 10 + 30) / 4);
+    }
+
+    #[test]
+    fn grouping_spec_parses_cli_spellings() {
+        assert_eq!(GroupingSpec::parse("sort"), Some(GroupingSpec::SortMerge));
+        assert_eq!(GroupingSpec::parse("hash"), Some(GroupingSpec::Hash));
+        assert_eq!(GroupingSpec::parse("row"), Some(GroupingSpec::RowBaseline));
+        assert_eq!(
+            GroupingSpec::parse("adaptive"),
+            Some(GroupingSpec::Adaptive)
+        );
+        assert_eq!(GroupingSpec::parse("bogus"), None);
+        assert_eq!(GroupingSpec::Adaptive.label(), "adaptive");
+        assert_eq!(GroupingSpec::default(), GroupingSpec::SortMerge);
+    }
+}

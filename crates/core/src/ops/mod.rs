@@ -20,6 +20,7 @@ mod avg_all;
 mod cogroup;
 mod external_join;
 mod filter;
+mod grouping;
 mod pardo;
 mod power_grid;
 mod temporal_join;
@@ -32,6 +33,7 @@ pub use avg_all::AvgAll;
 pub use cogroup::{Cogroup, SideAgg};
 pub use external_join::ExternalJoin;
 pub use filter::Filter;
+pub use grouping::GroupingSpec;
 pub use pardo::{MapRecords, Sample};
 pub use power_grid::PowerGrid;
 pub use temporal_join::TemporalJoin;

@@ -157,6 +157,39 @@ impl PipelineBuilder {
         self
     }
 
+    /// Appends a keyed aggregation on an explicit grouping backend
+    /// (DESIGN.md §14; CLI `--grouping`).
+    pub fn keyed_aggregate_grouped(
+        mut self,
+        key: Col,
+        value: Col,
+        kind: AggKind,
+        grouping: crate::ops::GroupingSpec,
+    ) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(
+            KeyedAggregate::new(self.spec, key, value, kind).with_grouping(grouping),
+        )));
+        self
+    }
+
+    /// [`keyed_aggregate_mapped`](Self::keyed_aggregate_mapped) on an
+    /// explicit grouping backend.
+    pub fn keyed_aggregate_mapped_grouped(
+        mut self,
+        key: Col,
+        value: Col,
+        kind: AggKind,
+        grouping: crate::ops::GroupingSpec,
+        map: impl Fn(u64) -> u64 + Send + 'static,
+    ) -> Self {
+        self.ops.push(OpNode::Stateful(Box::new(
+            KeyedAggregate::new(self.spec, key, value, kind)
+                .with_grouping(grouping)
+                .with_key_map(map),
+        )));
+        self
+    }
+
     /// Appends a sampling ParDo keeping roughly `fraction` of records.
     pub fn sample(mut self, col: Col, fraction: f64) -> Self {
         self.ops
@@ -352,6 +385,27 @@ pub mod benchmarks {
             .filter(Col(3), |ad_type| ad_type < 2)
             .windowed()
             .keyed_aggregate_mapped(Col(2), Col(0), AggKind::Count, move |ad| ad % num_campaigns)
+            .build()
+    }
+
+    /// [`ysb`] on an explicit grouping backend (`--grouping`): YSB's
+    /// per-campaign count is the paper benchmark whose low cardinality
+    /// favors the hash backend.
+    pub fn ysb_grouped(num_campaigns: u64, grouping: crate::ops::GroupingSpec) -> Pipeline {
+        PipelineBuilder::new(spec())
+            .filter(Col(3), |ad_type| ad_type < 2)
+            .windowed()
+            .keyed_aggregate_mapped_grouped(Col(2), Col(0), AggKind::Count, grouping, move |ad| {
+                ad % num_campaigns
+            })
+            .build()
+    }
+
+    /// [`sum_per_key`] on an explicit grouping backend (`--grouping`).
+    pub fn sum_per_key_grouped(grouping: crate::ops::GroupingSpec) -> Pipeline {
+        PipelineBuilder::new(spec())
+            .windowed()
+            .keyed_aggregate_grouped(Col(0), Col(1), AggKind::Sum, grouping)
             .build()
     }
 }

@@ -1,5 +1,5 @@
 //! Random-access hash grouping: the algorithm StreamBox-HBM *avoids* on
-//! HBM.
+//! HBM — until the table fits in cache.
 //!
 //! This is the Figure-2 `Hash` contender (derived from the partition +
 //! open-addressing scheme of the state-of-the-art KNL hash join the paper
@@ -7,24 +7,48 @@
 //! aggregates `(key, value)` pairs into an open-addressing table with linear
 //! probing; probes are dependent random accesses, which is why the paper
 //! finds hashing gains almost nothing from HBM's bandwidth.
+//!
+//! Beyond the paper's measurement, the table now also serves as the *hash
+//! grouping backend* of the engine's pluggable GroupBy (DESIGN.md §14):
+//! it supports every reduce kind of [`crate::reduce`] — scalar `(sum,
+//! count)` lanes for `Sum`/`Count`, and pool-accounted per-key value
+//! chains ([`HashAgg::Values`]) for order-insensitive aggregates like
+//! median, top-k and unique-count — and it grows by reallocating
+//! pool-accounted buffers, spilling to the sibling tier instead of failing
+//! when its own tier is exhausted.
 
-use sbx_simmem::{AllocError, MemKind, PoolVec, Priority};
+use sbx_simmem::{AllocError, MemEnv, MemKind, PoolVec, Priority};
 
 use crate::{profile, ExecCtx};
 
 const LOAD_FACTOR_NUM: usize = 7; // grow above 7/10 occupancy
 const LOAD_FACTOR_DEN: usize = 10;
 
-/// Fibonacci multiplicative hash.
+/// Fibonacci multiplicative hash (also the hash the deterministic
+/// cardinality sketch in [`crate::sketch`] builds on).
 #[inline]
-fn hash(key: u64) -> u64 {
+pub fn fib_hash(key: u64) -> u64 {
     key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// An open-addressing hash table aggregating per-key `sum` and `count`.
+/// What a [`HashGrouper`] accumulates per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashAgg {
+    /// Scalar `(wrapping sum, count)` lanes — exact for `Sum`/`Count`.
+    SumCount,
+    /// Scalar lanes plus the full per-key value multiset, kept as a
+    /// pool-accounted chain arena — needed by average/median/top-k/
+    /// unique-count, whose results are not derivable from `(sum, count)`
+    /// (average sums in `u128`).
+    Values,
+}
+
+/// An open-addressing hash table aggregating `(key, value)` pairs per key.
 ///
 /// Keys, sums and counts live in pool-accounted buffers on a chosen tier so
-/// that the table's footprint and traffic are simulated faithfully.
+/// that the table's footprint and traffic are simulated faithfully. In
+/// [`HashAgg::Values`] mode a per-key chain arena additionally records
+/// every inserted value in insertion order.
 ///
 /// # Example
 ///
@@ -43,44 +67,106 @@ fn hash(key: u64) -> u64 {
 /// ```
 #[derive(Debug)]
 pub struct HashGrouper {
+    env: MemEnv,
     keys: PoolVec,
     sums: PoolVec,
     counts: PoolVec,
+    /// `Values` mode: per-slot 1-based index of the key's newest chain node.
+    heads: Option<PoolVec>,
+    /// `Values` mode: chain arena of `[value, previous-node-index]` pairs.
+    arena: Option<PoolVec>,
     mask: usize,
     len: usize,
     kind: MemKind,
     prio: Priority,
+    mode: HashAgg,
+}
+
+/// Allocates `slots` u64s on `kind`, spilling to the sibling tier when
+/// `kind` is exhausted. Returns the buffer and the tier it landed on.
+fn alloc_spill(
+    env: &MemEnv,
+    kind: MemKind,
+    prio: Priority,
+    slots: usize,
+) -> Result<(PoolVec, MemKind), AllocError> {
+    match env.pool(kind).alloc_u64(slots, prio) {
+        Ok(v) => Ok((v, kind)),
+        Err(e) => {
+            let other = match kind {
+                MemKind::Hbm => MemKind::Dram,
+                MemKind::Dram => MemKind::Hbm,
+            };
+            match env.pool(other).alloc_u64(slots, prio) {
+                Ok(v) => Ok((v, other)),
+                Err(_) => Err(e),
+            }
+        }
+    }
+}
+
+fn zeroed(mut v: PoolVec, slots: usize) -> PoolVec {
+    v.resize(slots, 0);
+    v
 }
 
 impl HashGrouper {
-    /// Creates a table sized for at least `expected_keys` distinct keys on
-    /// tier `kind`.
+    /// Creates a scalar `(sum, count)` table sized for at least
+    /// `expected_keys` distinct keys on tier `kind`.
     ///
     /// # Errors
     ///
-    /// Returns [`AllocError`] if the tier cannot hold the table.
+    /// Returns [`AllocError`] if neither tier can hold the table.
     pub fn with_slots(
         ctx: &mut ExecCtx,
         expected_keys: usize,
         kind: MemKind,
         prio: Priority,
     ) -> Result<Self, AllocError> {
+        Self::with_mode(ctx, expected_keys, HashAgg::SumCount, kind, prio)
+    }
+
+    /// Creates a table in `mode` sized for at least `expected_keys`
+    /// distinct keys on tier `kind` (spilling to the sibling tier when
+    /// `kind` is exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] if neither tier can hold the table.
+    pub fn with_mode(
+        ctx: &mut ExecCtx,
+        expected_keys: usize,
+        mode: HashAgg,
+        kind: MemKind,
+        prio: Priority,
+    ) -> Result<Self, AllocError> {
         let slots =
             (expected_keys.max(8) * LOAD_FACTOR_DEN / LOAD_FACTOR_NUM + 1).next_power_of_two();
-        let mut keys = ctx.env().pool(kind).alloc_u64(slots, prio)?;
-        let mut sums = ctx.env().pool(kind).alloc_u64(slots, prio)?;
-        let mut counts = ctx.env().pool(kind).alloc_u64(slots, prio)?;
-        keys.resize(slots, 0);
-        sums.resize(slots, 0);
-        counts.resize(slots, 0);
+        let env = ctx.env().clone();
+        let (keys, tier) = alloc_spill(&env, kind, prio, slots)?;
+        let keys = zeroed(keys, slots);
+        let sums = zeroed(env.pool(tier).alloc_u64(slots, prio)?, slots);
+        let counts = zeroed(env.pool(tier).alloc_u64(slots, prio)?, slots);
+        let (heads, arena) = match mode {
+            HashAgg::SumCount => (None, None),
+            HashAgg::Values => {
+                let heads = zeroed(env.pool(tier).alloc_u64(slots, prio)?, slots);
+                let arena = env.pool(tier).alloc_u64(slots * 2, prio)?;
+                (Some(heads), Some(arena))
+            }
+        };
         Ok(HashGrouper {
+            env,
             keys,
             sums,
             counts,
+            heads,
+            arena,
             mask: slots - 1,
             len: 0,
-            kind,
+            kind: tier,
             prio,
+            mode,
         })
     }
 
@@ -94,43 +180,120 @@ impl HashGrouper {
         self.len == 0
     }
 
-    /// The tier holding the table.
+    /// The tier holding the table (may differ from the requested tier
+    /// after a spill).
     pub fn kind(&self) -> MemKind {
         self.kind
+    }
+
+    /// Accumulation mode of the table.
+    pub fn mode(&self) -> HashAgg {
+        self.mode
+    }
+
+    /// Number of open-addressing slots currently allocated.
+    pub fn slots(&self) -> usize {
+        self.keys.len()
     }
 
     /// Adds `value` to `key`'s running sum and increments its count.
     ///
     /// # Panics
     ///
-    /// Panics if the table needs to grow and the tier is exhausted; grow
-    /// failures in the baseline engines are treated as fatal configuration
-    /// errors, matching engines that pre-allocate their hash tables.
+    /// Panics only when the table needs to grow and *both* tiers are
+    /// exhausted; grow failures in the baseline engines are treated as
+    /// fatal configuration errors, matching engines that pre-allocate
+    /// their hash tables. Use [`HashGrouper::try_insert`] to handle the
+    /// exhaustion case gracefully.
     pub fn insert(&mut self, key: u64, value: u64) {
-        if (self.len + 1) * LOAD_FACTOR_DEN > self.keys.len() * LOAD_FACTOR_NUM {
-            self.grow();
+        if let Err(e) = self.try_insert(key, value) {
+            // sbx-lint: allow(no-panic, both tiers exhausted is a fatal configuration error for the pre-sized baseline engines)
+            panic!("hash table grow failed on both tiers: {e}");
         }
-        let mut i = (hash(key) as usize) & self.mask;
+    }
+
+    /// Adds `value` to `key`'s running sum and increments its count,
+    /// growing (and spilling across tiers) as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the table must grow and both tiers are
+    /// exhausted.
+    pub fn try_insert(&mut self, key: u64, value: u64) -> Result<(), AllocError> {
+        if (self.len + 1) * LOAD_FACTOR_DEN > self.keys.len() * LOAD_FACTOR_NUM {
+            self.grow()?;
+        }
+        let mut i = (fib_hash(key) as usize) & self.mask;
         loop {
             if self.counts[i] == 0 {
                 self.keys[i] = key;
                 self.sums[i] = value;
                 self.counts[i] = 1;
                 self.len += 1;
-                return;
+                return self.push_value(i, value);
             }
             if self.keys[i] == key {
                 self.sums[i] = self.sums[i].wrapping_add(value);
                 self.counts[i] += 1;
-                return;
+                return self.push_value(i, value);
             }
             i = (i + 1) & self.mask;
         }
     }
 
+    /// Folds a pre-aggregated `(sum, count)` partial into `key`'s slot —
+    /// the checkpoint-restore and shard-merge path for scalar tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the table must grow and both tiers are
+    /// exhausted.
+    pub fn merge_entry(&mut self, key: u64, sum: u64, count: u64) -> Result<(), AllocError> {
+        if (self.len + 1) * LOAD_FACTOR_DEN > self.keys.len() * LOAD_FACTOR_NUM {
+            self.grow()?;
+        }
+        let mut i = (fib_hash(key) as usize) & self.mask;
+        loop {
+            if self.counts[i] == 0 {
+                self.keys[i] = key;
+                self.sums[i] = sum;
+                self.counts[i] = count;
+                self.len += 1;
+                return Ok(());
+            }
+            if self.keys[i] == key {
+                self.sums[i] = self.sums[i].wrapping_add(sum);
+                self.counts[i] += count;
+                return Ok(());
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Appends `value` to slot `i`'s chain (Values mode only).
+    fn push_value(&mut self, slot: usize, value: u64) -> Result<(), AllocError> {
+        if self.mode != HashAgg::Values {
+            return Ok(());
+        }
+        let (Some(heads), Some(arena)) = (self.heads.as_mut(), self.arena.as_mut()) else {
+            return Ok(());
+        };
+        if arena.len() + 2 > arena.capacity() {
+            let want = (arena.capacity() * 2).max(16);
+            let (mut fresh, _) = alloc_spill(&self.env, self.kind, self.prio, want)?;
+            fresh.extend_from_slice(arena);
+            *arena = fresh;
+        }
+        let prev = heads[slot];
+        arena.push(value);
+        arena.push(prev);
+        heads[slot] = (arena.len() / 2) as u64;
+        Ok(())
+    }
+
     /// The `(sum, count)` aggregate for `key`, if present.
     pub fn get(&self, key: u64) -> Option<(u64, u64)> {
-        let mut i = (hash(key) as usize) & self.mask;
+        let mut i = (fib_hash(key) as usize) & self.mask;
         loop {
             if self.counts[i] == 0 {
                 return None;
@@ -142,43 +305,118 @@ impl HashGrouper {
         }
     }
 
+    /// The values inserted for `key` in insertion order (Values mode;
+    /// `None` for scalar tables or absent keys).
+    pub fn values_of(&self, key: u64) -> Option<Vec<u64>> {
+        let heads = self.heads.as_ref()?;
+        let arena = self.arena.as_ref()?;
+        let mut i = (fib_hash(key) as usize) & self.mask;
+        loop {
+            if self.counts[i] == 0 {
+                return None;
+            }
+            if self.keys[i] == key {
+                // sbx-lint: allow(raw-alloc, per-key gather bounded by the key's multiplicity; drain/lookup path)
+                let mut vals = Vec::with_capacity(self.counts[i] as usize);
+                let mut node = heads[i];
+                while node != 0 {
+                    let base = (node as usize - 1) * 2;
+                    vals.push(arena[base]);
+                    node = arena[base + 1];
+                }
+                vals.reverse();
+                return Some(vals);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
     /// Iterates over `(key, sum, count)` for every stored key, in table
-    /// order.
+    /// order. Table order depends on capacity history — callers that need
+    /// a deterministic order must use [`HashGrouper::drain_sorted`].
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         (0..self.keys.len())
             .filter(|&i| self.counts[i] != 0)
             .map(move |i| (self.keys[i], self.sums[i], self.counts[i]))
     }
 
-    fn grow(&mut self) {
-        let new_slots = self.keys.len() * 2;
-        // sbx-lint: allow(raw-alloc, rehash staging bounded by live entries; table storage is pool-accounted)
-        let entries: Vec<(u64, u64, u64)> = self.iter().collect();
-        // Rebuild in place with doubled capacity. PoolVec tracks the class
-        // it was accounted under; growth beyond it releases that accounting
-        // on drop, so the simulated footprint stays conservative.
-        self.keys.clear();
-        self.keys.resize(new_slots, 0);
-        self.sums.clear();
-        self.sums.resize(new_slots, 0);
-        self.counts.clear();
-        self.counts.resize(new_slots, 0);
-        self.mask = new_slots - 1;
-        self.len = 0;
-        for (k, s, c) in entries {
-            let mut i = (hash(k) as usize) & self.mask;
-            loop {
-                if self.counts[i] == 0 {
-                    self.keys[i] = k;
-                    self.sums[i] = s;
-                    self.counts[i] = c;
-                    self.len += 1;
-                    break;
+    /// Every `(key, sum, count)` entry in ascending key order — the
+    /// deterministic drain used by the grouping backend, matching the
+    /// ascending-key emission of sort-merge's keyed reduction.
+    pub fn drain_sorted(&self) -> Vec<(u64, u64, u64)> {
+        // sbx-lint: allow(raw-alloc, drain scratch bounded by distinct keys; window-close path)
+        let mut out: Vec<(u64, u64, u64)> = self.iter().collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// Every `(key, values)` entry in ascending key order, values in
+    /// insertion order (Values mode; empty for scalar tables).
+    pub fn drain_values_sorted(&self) -> Vec<(u64, Vec<u64>)> {
+        let mut out: Vec<(u64, Vec<u64>)> = Vec::new();
+        if self.mode != HashAgg::Values {
+            return out;
+        }
+        for i in 0..self.keys.len() {
+            if self.counts[i] != 0 {
+                if let Some(vals) = self.values_of(self.keys[i]) {
+                    out.push((self.keys[i], vals));
                 }
-                i = (i + 1) & self.mask;
             }
         }
-        let _ = self.prio;
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// Doubles the table, reallocating pool-accounted buffers and spilling
+    /// to the sibling tier when this one is exhausted.
+    fn grow(&mut self) -> Result<(), AllocError> {
+        let new_slots = self.keys.len() * 2;
+        let (keys, tier) = alloc_spill(&self.env, self.kind, self.prio, new_slots)?;
+        let mut keys = zeroed(keys, new_slots);
+        let mut sums = zeroed(
+            self.env.pool(tier).alloc_u64(new_slots, self.prio)?,
+            new_slots,
+        );
+        let mut counts = zeroed(
+            self.env.pool(tier).alloc_u64(new_slots, self.prio)?,
+            new_slots,
+        );
+        let mut heads = match self.mode {
+            HashAgg::SumCount => None,
+            HashAgg::Values => Some(zeroed(
+                self.env.pool(tier).alloc_u64(new_slots, self.prio)?,
+                new_slots,
+            )),
+        };
+        let mask = new_slots - 1;
+        for old in 0..self.keys.len() {
+            if self.counts[old] == 0 {
+                continue;
+            }
+            let mut i = (fib_hash(self.keys[old]) as usize) & mask;
+            loop {
+                if counts[i] == 0 {
+                    keys[i] = self.keys[old];
+                    sums[i] = self.sums[old];
+                    counts[i] = self.counts[old];
+                    if let (Some(nh), Some(oh)) = (heads.as_mut(), self.heads.as_ref()) {
+                        nh[i] = oh[old];
+                    }
+                    break;
+                }
+                i = (i + 1) & mask;
+            }
+        }
+        self.keys = keys;
+        self.sums = sums;
+        self.counts = counts;
+        if heads.is_some() {
+            self.heads = heads.take();
+        }
+        self.mask = mask;
+        self.kind = tier;
+        Ok(())
     }
 }
 
@@ -204,7 +442,7 @@ pub fn group_pairs(
     // the table grow as needed.
     let mut table = HashGrouper::with_slots(ctx, (keys.len() / 64).max(8), kind, prio)?;
     for (&k, &v) in keys.iter().zip(values) {
-        table.insert(k, v);
+        table.try_insert(k, v)?;
     }
     ctx.charge(&profile::hash_group(keys.len(), kind));
     Ok(table)
@@ -256,9 +494,9 @@ mod tests {
         // hashing; brute force a pair that shares an initial slot.
         let mask = 63usize;
         let base = 1u64;
-        let slot = (hash(base) as usize) & mask;
+        let slot = (fib_hash(base) as usize) & mask;
         let other = (2..10_000u64)
-            .find(|&k| (hash(k) as usize) & mask == slot)
+            .find(|&k| (fib_hash(k) as usize) & mask == slot)
             .expect("collision exists");
         t.insert(base, 1);
         t.insert(other, 2);
@@ -293,5 +531,92 @@ mod tests {
         let mut t = HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
         t.insert(0, 42);
         assert_eq!(t.get(0), Some((42, 1)));
+    }
+
+    #[test]
+    fn values_mode_keeps_per_key_multisets_in_insertion_order() {
+        let (_env, mut ctx) = ctx();
+        let mut t = HashGrouper::with_mode(
+            &mut ctx,
+            4,
+            HashAgg::Values,
+            MemKind::Dram,
+            Priority::Normal,
+        )
+        .unwrap();
+        t.insert(7, 30);
+        t.insert(9, 1);
+        t.insert(7, 10);
+        t.insert(7, 20);
+        assert_eq!(t.values_of(7), Some(vec![30, 10, 20]));
+        assert_eq!(t.values_of(9), Some(vec![1]));
+        assert_eq!(t.values_of(8), None);
+        // Scalar lanes stay exact alongside the chains.
+        assert_eq!(t.get(7), Some((60, 3)));
+    }
+
+    #[test]
+    fn values_survive_growth() {
+        let (_env, mut ctx) = ctx();
+        let mut t = HashGrouper::with_mode(
+            &mut ctx,
+            4,
+            HashAgg::Values,
+            MemKind::Dram,
+            Priority::Normal,
+        )
+        .unwrap();
+        for k in 0..2_000u64 {
+            t.insert(k % 97, k);
+        }
+        let vals = t.values_of(13).unwrap();
+        let expect: Vec<u64> = (0..2_000u64).filter(|k| k % 97 == 13).collect();
+        assert_eq!(vals, expect);
+    }
+
+    #[test]
+    fn drain_sorted_is_ascending_and_capacity_independent() {
+        let (_env, mut ctx) = ctx();
+        let mut small =
+            HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
+        let mut large =
+            HashGrouper::with_slots(&mut ctx, 4096, MemKind::Dram, Priority::Normal).unwrap();
+        for k in [9u64, 3, 0, 77, 3, 12, 9] {
+            small.insert(k, k + 1);
+            large.insert(k, k + 1);
+        }
+        let a = small.drain_sorted();
+        assert_eq!(a, large.drain_sorted());
+        let keys: Vec<u64> = a.iter().map(|e| e.0).collect();
+        assert_eq!(keys, vec![0, 3, 9, 12, 77]);
+    }
+
+    #[test]
+    fn grow_spills_to_the_sibling_tier_instead_of_erroring() {
+        // An HBM pool too small for the grown table: the grow must land on
+        // DRAM and inserts must keep succeeding.
+        let mut mc = MachineConfig::knl();
+        mc.hbm = sbx_simmem::MemSpec::new(0.0001, 375.0, 172.0); // ~100 KiB
+        let env = MemEnv::new(mc);
+        let mut ctx = ExecCtx::new(&env);
+        let mut t = HashGrouper::with_slots(&mut ctx, 8, MemKind::Hbm, Priority::Normal).unwrap();
+        for k in 0..50_000u64 {
+            t.try_insert(k, 1).unwrap();
+        }
+        assert_eq!(t.len(), 50_000);
+        assert_eq!(t.kind(), MemKind::Dram, "table should have spilled");
+        assert_eq!(t.get(49_999), Some((1, 1)));
+    }
+
+    #[test]
+    fn merge_entry_folds_partials_exactly() {
+        let (_env, mut ctx) = ctx();
+        let mut t = HashGrouper::with_slots(&mut ctx, 4, MemKind::Dram, Priority::Normal).unwrap();
+        t.merge_entry(5, 100, 3).unwrap();
+        t.merge_entry(5, 11, 2).unwrap();
+        t.merge_entry(6, 1, 1).unwrap();
+        assert_eq!(t.get(5), Some((111, 5)));
+        assert_eq!(t.get(6), Some((1, 1)));
+        assert_eq!(t.len(), 2);
     }
 }

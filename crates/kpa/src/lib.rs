@@ -28,8 +28,11 @@
 //! engine aggregates per task to drive the timing model.
 //!
 //! The [`hash`] module implements the random-access hash-grouping
-//! alternative used as the DRAM-preferred baseline in Figure 2 and by the
-//! Flink-class comparison engine.
+//! alternative used as the DRAM-preferred baseline in Figure 2, by the
+//! Flink-class comparison engine, and — since the pluggable-grouping work
+//! (DESIGN.md §14) — as the hash backend of the engine's GroupBy. The
+//! [`sketch`] module provides the deterministic cardinality/skew estimate
+//! that drives the adaptive sort-vs-hash backend decision.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +45,7 @@ mod kpa;
 pub mod mergepath;
 pub mod profile;
 mod reduce;
+pub mod sketch;
 mod sort;
 
 pub use ctx::{ExecCtx, PrimGroup};

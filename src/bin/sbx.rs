@@ -3,6 +3,7 @@
 //! ```text
 //! sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]
 //!                  [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]
+//!                  [--grouping sort|hash|row|adaptive]
 //!                  [--keys N] [--rate N] [--samples-csv PATH]
 //!                  [--checkpoint-interval N]
 //!                  [--metrics-out PATH] [--trace-out PATH]
@@ -84,6 +85,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]\n\
          \x20                [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]\n\
+         \x20                [--grouping sort|hash|row|adaptive] (sum and ysb)\n\
          \x20                [--keys N] [--rate N] [--checkpoint-interval N]\n\
          \x20                [--metrics-out PATH] [--trace-out PATH]\n\
          \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
@@ -110,6 +112,7 @@ struct BenchArgs {
     bundle_rows: usize,
     nic: NicModel,
     mode: EngineMode,
+    grouping: GroupingSpec,
     keys: u64,
     rate: u64,
     samples_csv: Option<String>,
@@ -128,6 +131,7 @@ impl Default for BenchArgs {
             bundle_rows: 20_000,
             nic: NicModel::rdma_40g(),
             mode: EngineMode::Hybrid,
+            grouping: GroupingSpec::SortMerge,
             keys: 10_000,
             rate: 20_000_000,
             samples_csv: None,
@@ -191,6 +195,10 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
                     other => return Err(format!("unknown mode '{other}'")),
                 }
             }
+            "--grouping" => {
+                out.grouping = GroupingSpec::parse(value)
+                    .ok_or_else(|| format!("unknown grouping '{value}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 2;
@@ -211,6 +219,22 @@ fn pipeline_for(name: &str) -> Pipeline {
         "power-grid" => benchmarks::power_grid(),
         "ysb" => benchmarks::ysb(1_000),
         _ => unreachable!("validated"),
+    }
+}
+
+/// [`pipeline_for`] honoring `--grouping`: the non-default backends are
+/// wired for the keyed-aggregation benchmarks with grouped constructors.
+fn grouped_pipeline_for(name: &str, grouping: GroupingSpec) -> Result<Pipeline, String> {
+    if grouping == GroupingSpec::SortMerge {
+        return Ok(pipeline_for(name));
+    }
+    match name {
+        "sum" => Ok(benchmarks::sum_per_key_grouped(grouping)),
+        "ysb" => Ok(benchmarks::ysb_grouped(1_000, grouping)),
+        _ => Err(format!(
+            "--grouping {} is only wired for benchmarks 'sum' and 'ysb'",
+            grouping.label()
+        )),
     }
 }
 
@@ -262,7 +286,7 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         a.name, cfg.machine.name, a.cores, a.nic.name, a.mode
     );
     let engine = Engine::new(cfg);
-    let pipeline = pipeline_for(&a.name);
+    let pipeline = grouped_pipeline_for(&a.name, a.grouping)?;
     let mut coord = CheckpointCoordinator::new();
     let report = match a.name.as_str() {
         "join" | "filter" => {
@@ -1077,7 +1101,9 @@ fn run_recover(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         a.name
     );
     let name = a.name.clone();
-    let mk_pipe = || pipeline_for(&name);
+    // Validate the grouping/benchmark combination once, up front.
+    grouped_pipeline_for(&name, a.grouping)?;
+    let mk_pipe = || grouped_pipeline_for(&name, a.grouping).expect("validated above");
     match a.name.as_str() {
         "power-grid" => recover_demo(
             &cfg,
@@ -1285,6 +1311,31 @@ mod tests {
         assert!(parse_bench_args(&s(&["topk", "--nic", "carrier-pigeon"])).is_err());
         assert!(parse_bench_args(&s(&["topk", "--mode", "quantum"])).is_err());
         assert!(parse_bench_args(&s(&["topk", "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn parses_grouping_flag() {
+        let a = parse_bench_args(&s(&["ysb", "--grouping", "adaptive"])).unwrap();
+        assert_eq!(a.grouping, GroupingSpec::Adaptive);
+        let d = parse_bench_args(&s(&["ysb"])).unwrap();
+        assert_eq!(d.grouping, GroupingSpec::SortMerge);
+        for g in ["sort", "hash", "row"] {
+            assert!(parse_bench_args(&s(&["sum", "--grouping", g])).is_ok());
+        }
+        assert!(parse_bench_args(&s(&["sum", "--grouping", "btree"])).is_err());
+    }
+
+    #[test]
+    fn grouping_is_wired_for_keyed_agg_benchmarks() {
+        for g in [GroupingSpec::Hash, GroupingSpec::Adaptive] {
+            assert!(grouped_pipeline_for("sum", g).is_ok());
+            assert!(grouped_pipeline_for("ysb", g).is_ok());
+            assert!(grouped_pipeline_for("join", g).is_err());
+        }
+        // The default backend keeps every benchmark available.
+        for name in BENCHMARKS {
+            assert!(grouped_pipeline_for(name, GroupingSpec::SortMerge).is_ok());
+        }
     }
 
     #[test]

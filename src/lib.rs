@@ -66,7 +66,7 @@ pub mod prelude {
     pub use sbx_cluster::{
         ClusterConfig, ClusterRunReport, ElasticPlan, Retarget, RouteTable, ShardedCluster,
     };
-    pub use sbx_engine::ops::AggKind;
+    pub use sbx_engine::ops::{AggKind, GroupingSpec};
     pub use sbx_engine::{
         benchmarks, round_samples_from_dump, Cluster, ClusterReport, Engine, EngineMode, Pipeline,
         PipelineBuilder, RunConfig, RunReport,

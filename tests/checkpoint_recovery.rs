@@ -228,3 +228,54 @@ fn snapshot_pipeline_mismatch_is_config_error() {
         "mismatched pipeline must be a config error, got {out:?}"
     );
 }
+
+/// The hash and adaptive grouping backends (DESIGN.md §14) survive a
+/// mid-window crash exactly-once: the committed outputs after recovery are
+/// byte-identical to a fault-free oracle — and to the sort-merge path's
+/// oracle, so the backend choice stays invisible across a crash. For the
+/// adaptive run the crash lands after the backend has flipped to hash (the
+/// low-cardinality stream converges there after its cold-start window), so
+/// recovery restores a hash table plus the decision history mid-window.
+#[test]
+fn hash_and_adaptive_groupby_crash_mid_window_recover_identically() {
+    let mk_src = || KvSource::new(23, 25, 10_000).with_value_range(1_000);
+    let cfg = base_cfg();
+
+    let mut sort_oracle = CheckpointCoordinator::new();
+    let sort_base = run_with_recovery(
+        &cfg,
+        mk_src,
+        benchmarks::sum_per_key,
+        40,
+        5,
+        &mut sort_oracle,
+    )
+    .expect("sort oracle");
+    assert!(sort_base.report.windows_closed >= 3);
+
+    for grouping in [GroupingSpec::Hash, GroupingSpec::Adaptive] {
+        let mk_pipe = || benchmarks::sum_per_key_grouped(grouping);
+
+        let mut oracle = CheckpointCoordinator::new();
+        let base = run_with_recovery(&cfg, mk_src, mk_pipe, 40, 5, &mut oracle).expect("oracle");
+        assert_eq!(base.crashes, 0);
+
+        // Bundle 17 (t = 1.7 s) is mid-window-1, past the epoch-3 barrier.
+        let mut coord = CheckpointCoordinator::with_crash(CrashPlan::AfterBundles(17));
+        let out = run_with_recovery(&cfg, mk_src, mk_pipe, 40, 5, &mut coord).expect("recover");
+        assert_eq!(out.crashes, 1, "{grouping:?}");
+        assert_eq!(out.resumed_epochs, vec![3], "{grouping:?}");
+
+        // Exactly-once against the backend's own fault-free run...
+        assert_eq!(coord.committed(), oracle.committed(), "{grouping:?}");
+        assert_eq!(out.report.records_in, base.report.records_in);
+        assert_eq!(out.report.output_records, base.report.output_records);
+        assert_eq!(out.report.windows_closed, base.report.windows_closed);
+        // ...and output-transparent against the sort-merge oracle.
+        assert_eq!(
+            coord.committed(),
+            sort_oracle.committed(),
+            "{grouping:?} committed bytes must match the sort-merge path"
+        );
+    }
+}
