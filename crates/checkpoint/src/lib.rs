@@ -642,8 +642,12 @@ pub fn run_with_recovery<S: Source>(
                 crashes += 1;
                 coord.discard_pending();
                 // Drop the crashed attempt's spans so the exported trace
-                // holds exactly one surviving attempt per id range.
+                // holds exactly one surviving attempt per id range — and
+                // the crashed attempt's flight-recorder state (rings,
+                // detector history, incidents, committed-epoch note) so
+                // only the surviving attempt's evidence is exported.
                 cfg.obs.trace.clear();
+                cfg.obs.recorder.clear();
                 resumed_epochs.push(coord.store().latest_epoch().unwrap_or(0));
             }
             Err(e) => return Err(e),

@@ -36,7 +36,8 @@ use sbx_engine::{
 };
 use sbx_ingress::{LinkModel, Source};
 use sbx_obs::{
-    spans_to_recs, ClusterTrace, FabricEvent, MetricsRegistry, Obs, SpanStream, TraceCollector,
+    spans_to_recs, ClusterTrace, FabricEvent, FlightRecorder, Incident, MetricsRegistry, Obs,
+    RecorderConfig, SpanStream, TraceCollector,
 };
 use sbx_simmem::{AccessProfile, MemEnv};
 
@@ -70,6 +71,11 @@ pub struct ClusterConfig {
     /// that trace should use `engine.threads = 1` for byte-identical
     /// exports.
     pub trace: bool,
+    /// Per-shard flight-recorder configuration: every shard engine gets
+    /// its own always-on [`FlightRecorder`] built from this, and the
+    /// incidents it captures are folded (shard-tagged) into
+    /// [`ClusterRunReport::incidents`].
+    pub recorder: RecorderConfig,
 }
 
 impl Default for ClusterConfig {
@@ -83,6 +89,7 @@ impl Default for ClusterConfig {
             link: LinkModel::intra_rack_rdma(),
             metrics: MetricsRegistry::noop(),
             trace: false,
+            recorder: RecorderConfig::default(),
         }
     }
 }
@@ -203,6 +210,10 @@ pub struct ClusterRunReport {
     /// spans (barrier-alignment waits and shuffle link transfers), in a
     /// shared id space.
     pub trace: Option<ClusterTrace>,
+    /// Incidents captured by the per-shard flight recorders, tagged with
+    /// their shard index, phase-1 shards first, in shard order. Always
+    /// collected (the recorders are always on); empty on healthy runs.
+    pub incidents: Vec<Incident>,
 }
 
 impl ClusterRunReport {
@@ -416,9 +427,11 @@ impl ShardedCluster {
     }
 
     /// A per-shard engine config with its own metrics registry (folded
-    /// into the cluster registry after the shard finishes) and its own
-    /// trace collector (harvested into a [`SpanStream`] when tracing).
-    fn shard_engine_cfg(&self) -> (RunConfig, MetricsRegistry, TraceCollector) {
+    /// into the cluster registry after the shard finishes), its own
+    /// trace collector (harvested into a [`SpanStream`] when tracing),
+    /// and its own always-on flight recorder (incidents folded into
+    /// [`ClusterRunReport::incidents`], shard-tagged).
+    fn shard_engine_cfg(&self) -> (RunConfig, MetricsRegistry, TraceCollector, FlightRecorder) {
         let mut cfg = self.cfg.engine.clone();
         let reg = if self.cfg.metrics.is_enabled() {
             MetricsRegistry::active()
@@ -430,11 +443,13 @@ impl ShardedCluster {
         } else {
             TraceCollector::noop()
         };
+        let recorder = FlightRecorder::new(self.cfg.recorder.clone());
         cfg.obs = Obs {
             metrics: reg.clone(),
             trace: trace.clone(),
+            recorder: recorder.clone(),
         };
-        (cfg, reg, trace)
+        (cfg, reg, trace, recorder)
     }
 
     /// Harvests a finished shard's span collector into a tagged stream.
@@ -462,10 +477,11 @@ impl ShardedCluster {
         let mut committed = Vec::new();
         let mut stats = Vec::new();
         let mut streams = Vec::new();
+        let mut incidents = Vec::new();
         let mut sim_secs = 0.0f64;
         for shard in 0..table.shards() {
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace, recorder) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::BeforeCut {
@@ -485,6 +501,12 @@ impl ShardedCluster {
                 &shard_reg.snapshot(),
             );
             streams.extend(self.harvest(shard, 0, &shard_trace));
+            incidents.extend(
+                recorder
+                    .incidents()
+                    .into_iter()
+                    .map(|i| i.with_shard(shard)),
+            );
             sim_secs = sim_secs.max(outcome.report.sim_secs);
             shards.push(ShardSummary {
                 shard,
@@ -511,6 +533,7 @@ impl ShardedCluster {
             } else {
                 None
             },
+            incidents,
         })
     }
 
@@ -569,10 +592,12 @@ impl ShardedCluster {
                         )));
                     }
                     coord.discard_pending();
-                    // Drop the crashed attempt's spans: the resumed engine
-                    // restarts span ids at zero, and the trace documents
+                    // Drop the crashed attempt's spans and recorder state:
+                    // the resumed engine restarts span ids at zero, and
+                    // both the trace and the incident evidence document
                     // the surviving attempt only.
                     engine_cfg.obs.trace.clear();
+                    engine_cfg.obs.recorder.clear();
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -598,9 +623,10 @@ impl ShardedCluster {
         let mut stats = Vec::new();
         let mut cut_snaps = Vec::new();
         let mut streams = Vec::new();
+        let mut incidents = Vec::new();
         for shard in 0..table.shards() {
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace, recorder) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::BeforeCut {
@@ -621,6 +647,12 @@ impl ShardedCluster {
                 &shard_reg.snapshot(),
             );
             streams.extend(self.harvest(shard, 0, &shard_trace));
+            incidents.extend(
+                recorder
+                    .incidents()
+                    .into_iter()
+                    .map(|i| i.with_shard(shard)),
+            );
             let snap = coord.store().at_epoch(cut)?.ok_or_else(|| {
                 ClusterError::Topology(format!("shard {shard} lost its cut-epoch snapshot"))
             })?;
@@ -709,7 +741,7 @@ impl ShardedCluster {
         for (shard, base) in snapshots.iter().enumerate() {
             let shard = shard as u32;
             let st = SlotStats::new(self.cfg.slots);
-            let (engine_cfg, shard_reg, shard_trace) = self.shard_engine_cfg();
+            let (engine_cfg, shard_reg, shard_trace, recorder) = self.shard_engine_cfg();
             let mut coord = CheckpointCoordinator::new();
             if let Some(c) = crash {
                 if c.shard == shard && c.phase == RescalePhase::AfterCut {
@@ -746,8 +778,9 @@ impl ShardedCluster {
                         crashes += 1;
                         coord.discard_pending();
                         // Spans restart at id zero on resume; keep only
-                        // the surviving attempt.
+                        // the surviving attempt's trace and incidents.
                         engine_cfg.obs.trace.clear();
+                        engine_cfg.obs.recorder.clear();
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -757,6 +790,12 @@ impl ShardedCluster {
                 &shard_reg.snapshot(),
             );
             streams.extend(self.harvest(shard, 1, &shard_trace));
+            incidents.extend(
+                recorder
+                    .incidents()
+                    .into_iter()
+                    .map(|i| i.with_shard(shard)),
+            );
             sim_secs = sim_secs.max(report.sim_secs);
             shards.push(ShardSummary {
                 shard,
@@ -786,6 +825,7 @@ impl ShardedCluster {
             } else {
                 None
             },
+            incidents,
         })
     }
 

@@ -417,9 +417,13 @@ impl Engine {
         let mut batch: Vec<(Message, ImpactTag)> = Vec::new();
 
         // Cumulative event counters at the previous round boundary, so the
-        // tier timeline carries per-round deltas.
-        let mut prev_spills = self.rm.spills.get();
-        let mut prev_knob_moves = self.rm.knob_moves_total();
+        // tier timeline carries per-round deltas. Sourced from always-on
+        // state (the env's atomic spill count, a local move tally) rather
+        // than registry counters, so the flight recorder sees the same
+        // values whether or not metrics are attached.
+        let mut prev_spills = self.env.spill_count();
+        let mut knob_moves_cum: u64 = 0;
+        let mut prev_knob_moves: u64 = 0;
 
         loop {
             let ev = feed()?;
@@ -560,6 +564,10 @@ impl Engine {
                     let prof = hooks.on_checkpoint(&self.env, snap)?;
                     round.profile = round.profile.merge(&prof);
                     self.crash_check(hooks, CrashPhase::BarrierCommitted, epoch, bundles_in)?;
+                    // The commit survived both crash points: incidents
+                    // captured from here on cite this epoch as their
+                    // preceding recovery point.
+                    self.cfg.obs.recorder.note_commit(epoch);
                     false
                 }
             };
@@ -631,14 +639,15 @@ impl Engine {
                     .update(hbm_usage, dram_bw / dram_bw_limit, headroom)
                 {
                     self.rm.note_knob_move(mv);
+                    knob_moves_cum += 1;
                 }
                 // Memory-tier timeline point (after the balancer update so
                 // the round's own knob move is part of its delta).
                 let hpool = self.env.pool(MemKind::Hbm);
                 let dpool = self.env.pool(MemKind::Dram);
-                let spills_now = self.rm.spills.get();
-                let knob_moves_now = self.rm.knob_moves_total();
-                self.rm.record_tier(&sbx_obs::TierPoint {
+                let spills_now = self.env.spill_count();
+                let knob_moves_now = knob_moves_cum;
+                let tier_point = sbx_obs::TierPoint {
                     at_secs: sample.at_secs,
                     hbm_live_bytes: hpool.live_bytes() as f64,
                     hbm_used_bytes: sample.hbm_used_bytes as f64,
@@ -652,9 +661,83 @@ impl Engine {
                     knob_moves: knob_moves_now.saturating_sub(prev_knob_moves) as f64,
                     k_low: self.balancer.knob().k_low,
                     k_high: self.balancer.knob().k_high,
-                });
+                };
+                self.rm.record_tier(&tier_point);
                 prev_spills = spills_now;
                 prev_knob_moves = knob_moves_now;
+                // Flight recorder (DESIGN.md §15): one synthetic round span
+                // and one sample feed the always-on detectors. The terminal
+                // flush round is excluded — its mass window close is the
+                // stream ending, not an anomaly — and everything recorded
+                // here is simulated-time data at the quiescent boundary, so
+                // the recorder never perturbs the parallel schedule.
+                if !last {
+                    let recorder = self.cfg.obs.recorder.clone();
+                    recorder.record_span(sbx_obs::Span {
+                        id: self.cur_round,
+                        parent: None,
+                        name: "round",
+                        cat: "round",
+                        lane: 0,
+                        round: self.cur_round,
+                        epoch: self.cur_epoch,
+                        start_ns,
+                        dur_ns: (round_secs * 1e9) as u64,
+                        records_in: round.records,
+                        records_out: round.closed_windows,
+                    });
+                    let [delay_p50, delay_p95, delay_p99] = self.rm.output_delay.percentiles();
+                    let fired = recorder.on_round(sbx_obs::RoundPoint {
+                        round: self.cur_round,
+                        epoch: self.cur_epoch,
+                        at_secs: sample.at_secs,
+                        round_secs,
+                        close_secs,
+                        closed_windows: round.closed_windows as f64,
+                        records: round.records as f64,
+                        watermark_secs: last_watermark as f64 / 1e9,
+                        open_windows: (max_window_seen + 1).saturating_sub(next_to_close) as f64,
+                        hbm_occupancy: hbm_usage,
+                        dram_occupancy: tier_point.dram_occupancy,
+                        spills: tier_point.spills,
+                        knob_moves: tier_point.knob_moves,
+                        delay_p50,
+                        delay_p95,
+                        delay_p99,
+                    });
+                    for verdict in fired {
+                        // Freeze the evidence window around the firing
+                        // round: full trace spans when tracing is on, else
+                        // the recorder's span ring; tier slice via a bounded
+                        // series-window read.
+                        let (window, ring_spans) = recorder.freeze();
+                        let from_round = window.first().map_or(0, |p| p.round);
+                        let spans = if self.cfg.obs.trace.is_enabled() {
+                            let mut recs = Vec::new();
+                            for s in self.cfg.obs.trace.spans() {
+                                if s.round >= from_round {
+                                    recs.push(sbx_obs::SpanRec::from_span(&s));
+                                }
+                            }
+                            recs
+                        } else {
+                            sbx_obs::spans_to_recs(&ring_spans)
+                        };
+                        let tier = sbx_obs::Timeline::from_registry_window(
+                            self.rm.registry(),
+                            recorder.config().capture_rounds,
+                        );
+                        recorder.push_incident(sbx_obs::Incident::capture(
+                            verdict,
+                            self.cur_epoch,
+                            recorder.committed_epoch(),
+                            sample.at_secs,
+                            window,
+                            spans,
+                            tier.points,
+                        ));
+                    }
+                }
                 self.cur_round += 1;
                 round = Round::default();
                 self.crash_check(hooks, CrashPhase::RoundEnd, self.cur_epoch, bundles_in)?;
@@ -694,6 +777,7 @@ impl Engine {
             .set(self.env.pool(MemKind::Hbm).used_bytes() as f64);
         // Peak and delay statistics derive from the run instruments — the
         // same values the metrics export carries.
+        self.rm.note_recorder(&self.cfg.obs.recorder);
         let [p50_delay, p95_delay, p99_delay] = self.rm.output_delay.percentiles();
         Ok(RunReport {
             records_in,

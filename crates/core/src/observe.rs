@@ -66,10 +66,6 @@ pub(crate) struct RunMetrics {
     /// The memory-tier timeline series ([`TIER_SERIES`], one row per
     /// round; see `sbx_obs::timeline`).
     pub tier: Series,
-    /// `pool.hbm.spills` — shares the environment's counter cell when the
-    /// caller's registry is active (counters are keyed by name), so the
-    /// engine can difference it per round for the tier timeline.
-    pub spills: Counter,
     /// `balancer.move.*` — knob moves keyed by direction and trigger.
     pub knob_moves: [Counter; 4],
     /// `scheduler.claimed.{urgent,high,low}`.
@@ -101,7 +97,6 @@ impl RunMetrics {
             output_delay: reg.histogram("engine.output_delay_secs"),
             rounds: reg.series(ROUND_SERIES, &ROUND_FIELDS),
             tier: reg.series(TIER_SERIES, &TIER_FIELDS),
-            spills: reg.counter("pool.hbm.spills"),
             knob_moves: KnobMove::ALL.map(|m| reg.counter(m.metric_name())),
             claims: [ImpactTag::Urgent, ImpactTag::High, ImpactTag::Low]
                 .map(|t| reg.counter(&format!("scheduler.claimed.{t}"))),
@@ -140,14 +135,28 @@ impl RunMetrics {
         ]);
     }
 
+    /// Registry the run instruments live on (the caller's registry when it
+    /// was active, else the private fallback). Used for bounded
+    /// series-window reads on the incident capture path.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.reg
+    }
+
+    /// Publishes the flight recorder's end-of-run facts: its fixed memory
+    /// bound (`recorder.accounted_bytes`) and how many incidents it
+    /// captured (`recorder.incidents`).
+    pub fn note_recorder(&self, rec: &sbx_obs::FlightRecorder) {
+        self.reg
+            .gauge("recorder.accounted_bytes")
+            .set(rec.accounted_bytes() as f64);
+        self.reg
+            .gauge("recorder.incidents")
+            .set(rec.incident_count() as f64);
+    }
+
     /// Counts one demand-balance knob move with its trigger reason.
     pub fn note_knob_move(&self, mv: KnobMove) {
         self.knob_moves[mv.index()].incr();
-    }
-
-    /// Total knob moves so far, across all directions and triggers.
-    pub fn knob_moves_total(&self) -> u64 {
-        self.knob_moves.iter().map(Counter::get).sum()
     }
 
     /// Records one end-of-round memory-tier timeline point (a row of

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::detect::{sort_signals, ThresholdRule};
 use crate::json::{fmt_f64, parse_flat_object, write_str, JsonValue};
 use crate::metrics::MetricsDump;
 use crate::profile::SpanRec;
@@ -778,23 +779,14 @@ impl Default for HealthConfig {
     }
 }
 
-/// One tripped health detector.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HealthSignal {
-    /// Detector: `slot-skew`, `link-saturation`, `straggler`, or
-    /// `watermark-lag`.
-    pub kind: String,
-    /// What tripped it (`slot12`, `link0->2`, `shard1`, `round3`).
-    pub subject: String,
-    /// Round index the signal refers to (0 for run-level detectors).
-    pub round: u64,
-    /// Observed value (ratio or seconds, per detector).
-    pub value: f64,
-    /// The configured threshold it exceeded.
-    pub threshold: f64,
-    /// Human-readable explanation.
-    pub detail: String,
-}
+/// One tripped health detector: `slot-skew`, `link-saturation`,
+/// `straggler`, or `watermark-lag` on a subject like `slot12`,
+/// `link0->2`, `shard1`, or `round3`.
+///
+/// Since the detectors moved onto the shared rule framework
+/// (DESIGN.md §15) this is the same type as the engine-local detector
+/// verdict, [`crate::Signal`].
+pub type HealthSignal = crate::detect::Signal;
 
 /// Shard-health report: tripped signals plus the hot-slot/rebalance facts
 /// the Zipf scenario asserts on.
@@ -850,23 +842,22 @@ impl HealthReport {
             let mean = total as f64 / slots.len() as f64;
             if mean > 0.0 {
                 let ratio = hot.1 as f64 / mean;
-                if ratio > cfg.skew_ratio {
-                    let moved = if moved_slots.contains(&hot.0) {
-                        "; moved by rebalance"
-                    } else {
-                        ""
-                    };
-                    signals.push(HealthSignal {
-                        kind: String::from("slot-skew"),
-                        subject: format!("slot{}", hot.0),
-                        round: 0,
-                        value: ratio,
-                        threshold: cfg.skew_ratio,
-                        detail: format!(
-                            "hot slot {} carries {} records, {ratio:.2}x the mean slot load{moved}",
-                            hot.0, hot.1
-                        ),
-                    });
+                let moved = if moved_slots.contains(&hot.0) {
+                    "; moved by rebalance"
+                } else {
+                    ""
+                };
+                let rule = ThresholdRule::above("slot-skew", cfg.skew_ratio);
+                if let Some(sig) = rule.check(
+                    ratio,
+                    format!("slot{}", hot.0),
+                    0,
+                    format!(
+                        "hot slot {} carries {} records, {ratio:.2}x the mean slot load{moved}",
+                        hot.0, hot.1
+                    ),
+                ) {
+                    signals.push(sig);
                 }
             }
         }
@@ -889,18 +880,17 @@ impl HealthReport {
                     continue;
                 };
                 let ratio = *value as f64 / total_shuffle_ns as f64;
-                if ratio >= cfg.saturation_ratio {
-                    signals.push(HealthSignal {
-                        kind: String::from("link-saturation"),
-                        subject: format!("link{src}->{dst}"),
-                        round: 0,
-                        value: ratio,
-                        threshold: cfg.saturation_ratio,
-                        detail: format!(
-                            "link {src}->{dst} holds {} ns of the {} ns shuffle drain",
-                            value, total_shuffle_ns
-                        ),
-                    });
+                let rule = ThresholdRule::at_least("link-saturation", cfg.saturation_ratio);
+                if let Some(sig) = rule.check(
+                    ratio,
+                    format!("link{src}->{dst}"),
+                    0,
+                    format!(
+                        "link {src}->{dst} holds {} ns of the {} ns shuffle drain",
+                        value, total_shuffle_ns
+                    ),
+                ) {
+                    signals.push(sig);
                 }
             }
         }
@@ -941,20 +931,19 @@ impl HealthReport {
             }
             let mean = sum / lasts.len() as f64;
             if mean > 0.0 {
+                let rule = ThresholdRule::above("straggler", cfg.straggler_ratio);
                 for &(shard, last, rounds) in &lasts {
                     let score = last / mean;
-                    if score > cfg.straggler_ratio {
-                        signals.push(HealthSignal {
-                            kind: String::from("straggler"),
-                            subject: format!("shard{shard}"),
-                            round: rounds.saturating_sub(1) as u64,
-                            value: score,
-                            threshold: cfg.straggler_ratio,
-                            detail: format!(
-                                "shard {shard} finished round {} at {last:.3}s, {score:.2}x the {mean:.3}s mean",
-                                rounds.saturating_sub(1)
-                            ),
-                        });
+                    if let Some(sig) = rule.check(
+                        score,
+                        format!("shard{shard}"),
+                        rounds.saturating_sub(1) as u64,
+                        format!(
+                            "shard {shard} finished round {} at {last:.3}s, {score:.2}x the {mean:.3}s mean",
+                            rounds.saturating_sub(1)
+                        ),
+                    ) {
+                        signals.push(sig);
                     }
                 }
             }
@@ -975,28 +964,20 @@ impl HealthReport {
                 }
                 if n >= 2 {
                     let lag = hi - lo;
-                    if lag > cfg.watermark_lag_secs {
-                        signals.push(HealthSignal {
-                            kind: String::from("watermark-lag"),
-                            subject: format!("round{r}"),
-                            round: r as u64,
-                            value: lag,
-                            threshold: cfg.watermark_lag_secs,
-                            detail: format!(
-                                "round {r} watermark spread is {lag:.3}s across {n} shards"
-                            ),
-                        });
+                    let rule = ThresholdRule::above("watermark-lag", cfg.watermark_lag_secs);
+                    if let Some(sig) = rule.check(
+                        lag,
+                        format!("round{r}"),
+                        r as u64,
+                        format!("round {r} watermark spread is {lag:.3}s across {n} shards"),
+                    ) {
+                        signals.push(sig);
                     }
                 }
             }
         }
 
-        signals.sort_by(|a, b| {
-            a.kind
-                .cmp(&b.kind)
-                .then(a.round.cmp(&b.round))
-                .then(a.subject.cmp(&b.subject))
-        });
+        sort_signals(&mut signals);
         HealthReport {
             signals,
             hot_slot,

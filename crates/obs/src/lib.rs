@@ -14,14 +14,24 @@
 //! wall-clock rule holds). The default recorders are no-ops — inert,
 //! allocation-free handles — so instrumented hot paths pay only a branch
 //! when observability is off.
+//!
+//! The exception is the [`FlightRecorder`] (DESIGN.md §15): an always-on,
+//! fixed-capacity ring of recent round samples and spans with online
+//! anomaly [`detect`]ors on top, cheap enough (one ring push and one
+//! detector pass per quiescent round boundary) to run even when both
+//! opt-in recorders are off. When a detector fires, the engine freezes the
+//! rings into an [`Incident`] capture window.
 
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod detect;
 pub mod hist;
+pub mod incident;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod recorder;
 mod sync;
 pub mod timeline;
 pub mod trace;
@@ -31,7 +41,9 @@ pub use cluster::{
     EpochPath, FabricEvent, HealthConfig, HealthReport, HealthSignal, ShardAttribution, SpanStream,
     FABRIC_SHARD,
 };
+pub use detect::{sort_signals, Cusum, DetectorBank, DetectorConfig, Ewma, Signal, ThresholdRule};
 pub use hist::{HistSnapshot, Histogram};
+pub use incident::{Incident, IncidentReport, ROUND_POINT_FIELDS};
 pub use metrics::{
     Counter, Gauge, GaugeDump, HistogramDump, MetricsDump, MetricsRegistry, Series, SeriesDump,
 };
@@ -39,28 +51,37 @@ pub use profile::{
     parse_spans_jsonl, spans_to_recs, CriticalPath, OperatorAttribution, PathStep,
     PrimitiveAttribution, RoundPath, SpanRec, PRIMITIVE_LABELS,
 };
+pub use recorder::{FlightRecorder, RecorderConfig, RoundPoint};
 pub use timeline::{TierPoint, Timeline, TIER_FIELDS, TIER_SERIES};
 pub use trace::{Span, TraceCollector};
 
-/// Observability handle: a metrics registry plus a trace collector.
+/// Observability handle: a metrics registry, a trace collector, and the
+/// always-on flight recorder.
 ///
-/// `Default` (and [`Obs::noop`]) record nothing; [`Obs::enabled`] records
-/// both metrics and spans. The handle is a cheap `Arc` clone — the engine,
-/// CLI and tests can share one instance.
+/// `Default` (and [`Obs::noop`]) record nothing to the opt-in recorders;
+/// [`Obs::enabled`] records both metrics and spans. The flight recorder is
+/// active in every mode — its ring memory is fixed and its per-round cost
+/// is within the obs overhead budget — so anomaly detection needs no
+/// opt-in. The handle is a cheap `Arc` clone — the engine, CLI and tests
+/// can share one instance.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     /// Counters, gauges, histograms and series.
     pub metrics: MetricsRegistry,
     /// Per-operator-invocation spans.
     pub trace: TraceCollector,
+    /// Always-on ring of recent rounds/spans with online anomaly detectors.
+    pub recorder: FlightRecorder,
 }
 
 impl Obs {
-    /// Records nothing (the default).
+    /// Records nothing to the opt-in recorders (the default). The flight
+    /// recorder still runs.
     pub fn noop() -> Self {
         Obs {
             metrics: MetricsRegistry::noop(),
             trace: TraceCollector::noop(),
+            recorder: FlightRecorder::default(),
         }
     }
 
@@ -69,6 +90,7 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::active(),
             trace: TraceCollector::active(),
+            recorder: FlightRecorder::default(),
         }
     }
 
@@ -78,10 +100,12 @@ impl Obs {
         Obs {
             metrics: MetricsRegistry::active(),
             trace: TraceCollector::noop(),
+            recorder: FlightRecorder::default(),
         }
     }
 
-    /// True if either recorder is active.
+    /// True if either opt-in recorder is active (the always-on flight
+    /// recorder doesn't count: it never forces the serial prefix).
     pub fn is_enabled(&self) -> bool {
         self.metrics.is_enabled() || self.trace.is_enabled()
     }

@@ -253,6 +253,23 @@ impl MetricsRegistry {
         }))
     }
 
+    /// A bounded copy of the last `last_n` rows of the series named
+    /// `name`, or `None` when the registry is a no-op or the series does
+    /// not exist. Detectors and the flight recorder use this to read a
+    /// recent suffix without cloning a whole run's row history (as
+    /// [`MetricsRegistry::snapshot`] would).
+    pub fn series_window(&self, name: &str, last_n: usize) -> Option<SeriesDump> {
+        let inner = self.inner.as_ref()?;
+        let core = Arc::clone(lock(&inner.series).get(name)?);
+        let rows = lock(&core.rows);
+        let start = rows.len().saturating_sub(last_n);
+        Some(SeriesDump {
+            name: name.to_owned(),
+            fields: core.fields.clone(),
+            rows: rows[start..].to_vec(),
+        })
+    }
+
     /// A point-in-time copy of every registered instrument.
     pub fn snapshot(&self) -> MetricsDump {
         let mut dump = MetricsDump::default();

@@ -1,0 +1,397 @@
+//! Always-on flight recorder: fixed-capacity ring buffers of recent
+//! per-round samples and spans, plus the online detector bank that watches
+//! them (DESIGN.md §15).
+//!
+//! Unlike the full [`TraceCollector`](crate::TraceCollector) — which is
+//! opt-in because exhaustive span capture forces a serial execution prefix
+//! — the recorder runs on every engine, all the time. It only observes the
+//! quiescent round boundary (already serial) and one synthetic round span,
+//! so it neither perturbs the parallel schedule nor the simulated results;
+//! its host cost is bounded by the `obs_overhead` bench's <3% budget. Ring
+//! memory is pool-accounted: capacity is fixed up front and
+//! [`FlightRecorder::accounted_bytes`] reports the bound, exported as the
+//! `recorder.accounted_bytes` gauge.
+//!
+//! When a detector fires, [`FlightRecorder::freeze`] hands back the ring
+//! contents around the firing round so the engine can assemble an
+//! [`Incident`](crate::Incident) capture window.
+
+use std::mem::size_of;
+use std::sync::{Arc, Mutex};
+
+use crate::detect::{DetectorBank, DetectorConfig, Signal};
+use crate::incident::Incident;
+use crate::sync::lock;
+use crate::trace::Span;
+
+/// One quiescent round boundary, as sampled by the engine. Every field is
+/// a pure function of simulated time and accounted counters, so same-seed
+/// streams are byte-identical across hosts and thread counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPoint {
+    /// Watermark round index (0-based).
+    pub round: u64,
+    /// Checkpoint epoch in flight (0 before the first barrier).
+    pub epoch: u64,
+    /// Simulated time of the round boundary, seconds.
+    pub at_secs: f64,
+    /// Simulated duration of the whole round, seconds.
+    pub round_secs: f64,
+    /// Simulated time spent closing windows this round, seconds.
+    pub close_secs: f64,
+    /// Windows closed this round.
+    pub closed_windows: f64,
+    /// Records ingested this round.
+    pub records: f64,
+    /// Source low watermark at the boundary, seconds.
+    pub watermark_secs: f64,
+    /// Windows open behind the watermark (queue-depth proxy).
+    pub open_windows: f64,
+    /// HBM used bytes over capacity, 0..=1.
+    pub hbm_occupancy: f64,
+    /// DRAM used bytes over capacity, 0..=1.
+    pub dram_occupancy: f64,
+    /// HBM→DRAM spills within the round (delta, not cumulative).
+    pub spills: f64,
+    /// Balancer knob moves within the round (delta).
+    pub knob_moves: f64,
+    /// Output-delay p50 over the run so far, seconds.
+    pub delay_p50: f64,
+    /// Output-delay p95 over the run so far, seconds.
+    pub delay_p95: f64,
+    /// Output-delay p99 over the run so far, seconds.
+    pub delay_p99: f64,
+}
+
+/// Capacity and tuning for a [`FlightRecorder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecorderConfig {
+    /// Round samples retained (ring capacity).
+    pub round_capacity: usize,
+    /// Spans retained (ring capacity).
+    pub span_capacity: usize,
+    /// Rounds of history frozen into each incident's capture window.
+    pub capture_rounds: usize,
+    /// Detector tuning.
+    pub detect: DetectorConfig,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> RecorderConfig {
+        RecorderConfig {
+            round_capacity: 128,
+            span_capacity: 256,
+            capture_rounds: 8,
+            detect: DetectorConfig::default(),
+        }
+    }
+}
+
+/// A fixed-capacity ring: pushes overwrite the oldest entry once full.
+/// Backing storage grows to at most `cap` entries and is never reallocated
+/// past it, which is what makes the recorder's memory pool-accountable.
+#[derive(Debug)]
+struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    head: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    fn new(cap: usize) -> Ring<T> {
+        Ring {
+            buf: Vec::new(),
+            cap: cap.max(1),
+            head: 0,
+        }
+    }
+
+    fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Contents oldest-first.
+    fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        for i in 0..self.buf.len() {
+            out.push(self.buf[(self.head + i) % self.buf.len()].clone());
+        }
+        out
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[derive(Debug)]
+struct RecorderInner {
+    cfg: RecorderConfig,
+    rounds: Mutex<Ring<RoundPoint>>,
+    spans: Mutex<Ring<Span>>,
+    bank: Mutex<DetectorBank>,
+    incidents: Mutex<Vec<Incident>>,
+    committed_epoch: Mutex<Option<u64>>,
+}
+
+/// The always-on flight recorder. Cloning shares the underlying rings
+/// (like [`TraceCollector`](crate::TraceCollector)); `Default` is an
+/// *active* recorder — there is no no-op variant, because its cost is one
+/// ring push and one detector pass per round.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(RecorderConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A fresh recorder with the given capacities and detector tuning.
+    pub fn new(cfg: RecorderConfig) -> FlightRecorder {
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                rounds: Mutex::new(Ring::new(cfg.round_capacity)),
+                spans: Mutex::new(Ring::new(cfg.span_capacity)),
+                bank: Mutex::new(DetectorBank::new(cfg.detect.clone())),
+                incidents: Mutex::new(Vec::new()),
+                committed_epoch: Mutex::new(None),
+                cfg,
+            }),
+        }
+    }
+
+    /// The recorder's configuration.
+    pub fn config(&self) -> &RecorderConfig {
+        &self.inner.cfg
+    }
+
+    /// Fixed upper bound on ring memory, in bytes (capacity times entry
+    /// size; exported as the `recorder.accounted_bytes` gauge).
+    pub fn accounted_bytes(&self) -> u64 {
+        (self.inner.cfg.round_capacity * size_of::<RoundPoint>()
+            + self.inner.cfg.span_capacity * size_of::<Span>()) as u64
+    }
+
+    /// Records one span into the span ring (the engine pushes one
+    /// synthetic `round` span per boundary; full traces, when enabled,
+    /// supersede this for incident capture).
+    pub fn record_span(&self, span: Span) {
+        lock(&self.inner.spans).push(span);
+    }
+
+    /// Notes a committed checkpoint epoch; subsequent incidents carry it
+    /// as their recovery-point annotation.
+    pub fn note_commit(&self, epoch: u64) {
+        *lock(&self.inner.committed_epoch) = Some(epoch);
+    }
+
+    /// The most recently committed checkpoint epoch, if any.
+    pub fn committed_epoch(&self) -> Option<u64> {
+        *lock(&self.inner.committed_epoch)
+    }
+
+    /// Feeds one round boundary to the ring and the detector bank,
+    /// returning any signals that fired.
+    pub fn on_round(&self, point: RoundPoint) -> Vec<Signal> {
+        let fired = lock(&self.inner.bank).observe(&point);
+        lock(&self.inner.rounds).push(point);
+        fired
+    }
+
+    /// Freezes the capture window: the last `capture_rounds` round samples
+    /// and every ringed span from those rounds, oldest-first.
+    pub fn freeze(&self) -> (Vec<RoundPoint>, Vec<Span>) {
+        let rounds = lock(&self.inner.rounds);
+        let mut window = rounds.to_vec();
+        let keep = self.inner.cfg.capture_rounds.min(window.len());
+        window.drain(..window.len() - keep);
+        let from_round = window.first().map_or(0, |p| p.round);
+        drop(rounds);
+        let mut spans = Vec::new();
+        for s in lock(&self.inner.spans).to_vec() {
+            if s.round >= from_round {
+                spans.push(s);
+            }
+        }
+        (window, spans)
+    }
+
+    /// Files a captured incident.
+    pub fn push_incident(&self, incident: Incident) {
+        lock(&self.inner.incidents).push(incident);
+    }
+
+    /// All incidents filed so far, in capture order.
+    pub fn incidents(&self) -> Vec<Incident> {
+        lock(&self.inner.incidents).clone()
+    }
+
+    /// Number of incidents filed so far.
+    pub fn incident_count(&self) -> usize {
+        lock(&self.inner.incidents).len()
+    }
+
+    /// Round samples currently in the ring, oldest-first.
+    pub fn rounds(&self) -> Vec<RoundPoint> {
+        lock(&self.inner.rounds).to_vec()
+    }
+
+    /// Spans currently in the ring, oldest-first.
+    pub fn spans(&self) -> Vec<Span> {
+        lock(&self.inner.spans).to_vec()
+    }
+
+    /// Number of round samples currently held.
+    pub fn len(&self) -> usize {
+        lock(&self.inner.rounds).len()
+    }
+
+    /// True if no round has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets everything: rings, detector state, incidents, and the
+    /// committed-epoch note. Called when a crashed attempt rewinds to a
+    /// checkpoint so the retry re-records deterministically.
+    pub fn clear(&self) {
+        lock(&self.inner.rounds).clear();
+        lock(&self.inner.spans).clear();
+        lock(&self.inner.bank).reset();
+        lock(&self.inner.incidents).clear();
+        *lock(&self.inner.committed_epoch) = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(round: u64) -> RoundPoint {
+        RoundPoint {
+            round,
+            epoch: 0,
+            at_secs: round as f64,
+            round_secs: 0.1,
+            close_secs: 0.01,
+            closed_windows: 1.0,
+            records: 100.0,
+            watermark_secs: round as f64,
+            open_windows: 1.0,
+            hbm_occupancy: 0.2,
+            dram_occupancy: 0.1,
+            spills: 0.0,
+            knob_moves: 0.0,
+            delay_p50: 0.01,
+            delay_p95: 0.01,
+            delay_p99: 0.01,
+        }
+    }
+
+    fn span(id: u64, round: u64) -> Span {
+        Span {
+            id,
+            parent: None,
+            name: "round",
+            cat: "round",
+            lane: 0,
+            round,
+            epoch: 0,
+            start_ns: round * 1000,
+            dur_ns: 100,
+            records_in: 10,
+            records_out: 1,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut r = Ring::new(3);
+        for i in 0..5u64 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), [2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        r.clear();
+        assert_eq!(r.len(), 0);
+        assert!(r.to_vec().is_empty());
+    }
+
+    #[test]
+    fn ring_partial_fill_keeps_order() {
+        let mut r = Ring::new(8);
+        r.push(1u64);
+        r.push(2);
+        assert_eq!(r.to_vec(), [1, 2]);
+    }
+
+    #[test]
+    fn recorder_caps_memory_and_rounds() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            round_capacity: 4,
+            span_capacity: 4,
+            capture_rounds: 2,
+            detect: DetectorConfig::default(),
+        });
+        for r in 0..10 {
+            rec.on_round(point(r));
+            rec.record_span(span(r, r));
+        }
+        assert_eq!(rec.len(), 4);
+        assert_eq!(rec.rounds().first().map(|p| p.round), Some(6));
+        assert_eq!(rec.spans().len(), 4);
+        assert!(rec.accounted_bytes() > 0);
+        // The bound is a function of capacity only, not fill level.
+        let fresh = FlightRecorder::new(rec.config().clone());
+        assert_eq!(fresh.accounted_bytes(), rec.accounted_bytes());
+    }
+
+    #[test]
+    fn freeze_windows_rounds_and_spans() {
+        let rec = FlightRecorder::new(RecorderConfig {
+            round_capacity: 16,
+            span_capacity: 16,
+            capture_rounds: 3,
+            detect: DetectorConfig::default(),
+        });
+        for r in 0..8 {
+            rec.on_round(point(r));
+            rec.record_span(span(r, r));
+        }
+        let (rounds, spans) = rec.freeze();
+        assert_eq!(
+            rounds.iter().map(|p| p.round).collect::<Vec<_>>(),
+            [5, 6, 7]
+        );
+        assert!(spans.iter().all(|s| s.round >= 5));
+        assert_eq!(spans.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_state_and_clear_resets() {
+        let rec = FlightRecorder::default();
+        let other = rec.clone();
+        other.on_round(point(0));
+        other.note_commit(2);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec.committed_epoch(), Some(2));
+        rec.clear();
+        assert!(other.is_empty());
+        assert_eq!(other.committed_epoch(), None);
+        assert_eq!(other.incident_count(), 0);
+    }
+}

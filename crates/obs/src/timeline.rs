@@ -13,7 +13,7 @@
 
 // sbx-lint: out-of-scope(raw-alloc, timeline rendering at export time)
 use crate::json::fmt_f64;
-use crate::metrics::MetricsDump;
+use crate::metrics::{MetricsDump, MetricsRegistry, SeriesDump};
 
 /// Name of the per-round memory-tier series.
 pub const TIER_SERIES: &str = "engine.tier";
@@ -105,13 +105,9 @@ pub struct Timeline {
 }
 
 impl Timeline {
-    /// Reconstructs the timeline from a metrics dump (live snapshot or
-    /// re-parsed JSONL export). Returns an empty timeline when the dump has
-    /// no [`TIER_SERIES`] rows (e.g. a run recorded without observability).
-    pub fn from_dump(dump: &MetricsDump) -> Timeline {
-        let Some(series) = dump.series(TIER_SERIES) else {
-            return Timeline::default();
-        };
+    /// Reconstructs the timeline from one exported series (typically the
+    /// [`TIER_SERIES`] dump, whole or a `series_window` suffix).
+    pub fn from_series(series: &SeriesDump) -> Timeline {
         let mut idx = [usize::MAX; 13];
         for (slot, field) in idx.iter_mut().zip(TIER_FIELDS.iter()) {
             match series.field_index(field) {
@@ -127,6 +123,26 @@ impl Timeline {
                 .iter()
                 .map(|row| TierPoint::from_row(row, &idx))
                 .collect(),
+        }
+    }
+
+    /// Reconstructs the timeline from a metrics dump (live snapshot or
+    /// re-parsed JSONL export). Returns an empty timeline when the dump has
+    /// no [`TIER_SERIES`] rows (e.g. a run recorded without observability).
+    pub fn from_dump(dump: &MetricsDump) -> Timeline {
+        match dump.series(TIER_SERIES) {
+            Some(series) => Timeline::from_series(series),
+            None => Timeline::default(),
+        }
+    }
+
+    /// Reconstructs the last `last_n` rounds straight from a live registry
+    /// via [`MetricsRegistry::series_window`] — the incident capture path,
+    /// which must not clone the whole run's history at each fire.
+    pub fn from_registry_window(reg: &MetricsRegistry, last_n: usize) -> Timeline {
+        match reg.series_window(TIER_SERIES, last_n) {
+            Some(series) => Timeline::from_series(&series),
+            None => Timeline::default(),
         }
     }
 
@@ -301,6 +317,17 @@ mod tests {
         assert!(a.contains("spills=3"));
         assert!(a.contains("knobs=1"));
         assert!(a.contains('#'));
+    }
+
+    #[test]
+    fn registry_window_reads_bounded_suffix() {
+        let reg = sample_registry();
+        let tl = Timeline::from_registry_window(&reg, 1);
+        assert_eq!(tl.points.len(), 1);
+        assert_eq!(tl.points[0].at_secs, 2.0);
+        assert_eq!(Timeline::from_registry_window(&reg, 10).points.len(), 2);
+        assert!(Timeline::from_registry_window(&MetricsRegistry::noop(), 4).is_empty());
+        assert!(reg.series_window("not-there", 4).is_none());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sbx_obs::{Counter, MetricsRegistry};
@@ -20,6 +21,10 @@ struct EnvInner {
     traffic: [Counter; 2],
     /// KPA allocations that fell back from HBM to DRAM (`pool.hbm.spills`).
     spills: Counter,
+    /// The same spill count, kept in an always-on atomic so consumers that
+    /// must work under a no-op registry (the flight recorder's detectors)
+    /// see the real number.
+    spill_count: AtomicU64,
     /// Shadow-state table for the pointer-provenance sanitizer.
     #[cfg(feature = "sanitize")]
     sanitizer: sbx_sanitize::Sanitizer,
@@ -81,6 +86,7 @@ impl MemEnv {
                 machine,
                 traffic,
                 spills: registry.counter("pool.hbm.spills"),
+                spill_count: AtomicU64::new(0),
                 #[cfg(feature = "sanitize")]
                 sanitizer: sbx_sanitize::Sanitizer::new(),
             }),
@@ -99,6 +105,14 @@ impl MemEnv {
     /// HBM and was spilled to DRAM). Called by the KPA allocator.
     pub fn note_spill(&self) {
         self.inner.spills.incr();
+        self.inner.spill_count.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Cumulative HBM→DRAM spill fallbacks, counted regardless of whether a
+    /// metrics registry is attached. Equal to the `pool.hbm.spills` counter
+    /// whenever one is active.
+    pub fn spill_count(&self) -> u64 {
+        self.inner.spill_count.load(Ordering::Acquire)
     }
 
     /// The machine configuration this environment simulates.

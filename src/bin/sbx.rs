@@ -5,8 +5,8 @@
 //!                  [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]
 //!                  [--grouping sort|hash|row|adaptive]
 //!                  [--keys N] [--rate N] [--samples-csv PATH]
-//!                  [--checkpoint-interval N]
-//!                  [--metrics-out PATH] [--trace-out PATH]
+//!                  [--checkpoint-interval N] [--hbm-mib N]
+//!                  [--metrics-out PATH] [--trace-out PATH] [--incidents-out PATH]
 //! sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]
 //!                    [bench flags]
 //! sbx cluster <name> [--shards N] [--slots N] [--bundles N] [--bundle-rows N]
@@ -14,9 +14,10 @@
 //!                    [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]
 //!                    [--link rdma|eth|unlimited] [--cores N]
 //!                    [--metrics-out PATH] [--trace-out PATH] [--health-out PATH]
+//!                    [--incidents-out PATH]
 //! sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>]
 //!                            [--cluster-critical-path <stitched.jsonl>]
-//!                            [--health] [--top N]
+//!                            [--health] [--incidents <incidents.jsonl>] [--top N]
 //! sbx figure <2|7|8|9|10|11|ablation>
 //! sbx machines
 //! sbx list
@@ -57,6 +58,16 @@
 //! {compute, shuffle, barrier-wait, straggler-slack, fabric} split
 //! partitions the simulated makespan exactly; `--health` re-evaluates
 //! the health detectors from the metrics export.
+//!
+//! Incidents (DESIGN.md §15): every run carries an always-on flight
+//! recorder whose online anomaly detectors (spill storms, output-delay
+//! surges, watermark stalls, HBM pressure, backpressure) fire at round
+//! boundaries; `--incidents-out PATH` writes the captured incident
+//! reports — verdict plus the frozen evidence window — as deterministic
+//! JSONL (same-seed runs write the same bytes). On `sbx cluster` the
+//! file also folds in the fabric-level health signals. `--hbm-mib N`
+//! shrinks the simulated HBM capacity to manufacture degraded runs.
+//! `sbx report --incidents <incidents.jsonl>` renders the stories.
 
 // sbx-lint: out-of-scope(no-panic, CLI entry point; bad arguments abort with a message)
 // sbx-lint: out-of-scope(raw-alloc, CLI-side reporting and table formatting)
@@ -86,17 +97,18 @@ fn usage() -> ExitCode {
         "usage:\n  sbx bench <name> [--cores N] [--bundles N] [--bundle-rows N]\n\
          \x20                [--nic rdma|eth|unlimited] [--mode hybrid|caching|dram|nokpa]\n\
          \x20                [--grouping sort|hash|row|adaptive] (sum and ysb)\n\
-         \x20                [--keys N] [--rate N] [--checkpoint-interval N]\n\
-         \x20                [--metrics-out PATH] [--trace-out PATH]\n\
+         \x20                [--keys N] [--rate N] [--checkpoint-interval N] [--hbm-mib N]\n\
+         \x20                [--metrics-out PATH] [--trace-out PATH] [--incidents-out PATH]\n\
          \x20 sbx recover <name> [--crash-after-bundles N] [--checkpoint-interval N]\n\
          \x20                [bench flags]\n\
          \x20 sbx cluster <name> [--shards N] [--slots N] [--bundles N] [--bundle-rows N]\n\
          \x20                [--interval N] [--keys N] [--rate N] [--skew THETA]\n\
          \x20                [--rescale-at EPOCH] [--rescale-to N] [--rebalance TOL]\n\
          \x20                [--link rdma|eth|unlimited] [--cores N] [--metrics-out PATH]\n\
-         \x20                [--trace-out PATH] [--health-out PATH]\n\
+         \x20                [--trace-out PATH] [--health-out PATH] [--incidents-out PATH]\n\
          \x20 sbx report <metrics.jsonl> [--timeline] [--critical-path <spans.jsonl>] [--top N]\n\
          \x20                [--cluster-critical-path <stitched.jsonl>] [--health]\n\
+         \x20                [--incidents <incidents.jsonl>]\n\
          \x20 sbx figure <2|7|8|9|10|11|ablation>\n  sbx machines\n  sbx list\n\n\
          benchmarks: {}",
         BENCHMARKS.join(", ")
@@ -120,6 +132,11 @@ struct BenchArgs {
     crash_after: Option<u64>,
     metrics_out: Option<String>,
     trace_out: Option<String>,
+    /// Flight-recorder incident report (deterministic JSONL).
+    incidents_out: Option<String>,
+    /// Shrink the simulated HBM capacity to N MiB (degraded-machine runs
+    /// for incident demos; costs/bandwidths are untouched).
+    hbm_mib: Option<u64>,
 }
 
 impl Default for BenchArgs {
@@ -139,6 +156,8 @@ impl Default for BenchArgs {
             crash_after: None,
             metrics_out: None,
             trace_out: None,
+            incidents_out: None,
+            hbm_mib: None,
         }
     }
 }
@@ -167,6 +186,14 @@ fn parse_bench_args(args: &[String]) -> Result<BenchArgs, String> {
             "--samples-csv" => out.samples_csv = Some(value.clone()),
             "--metrics-out" => out.metrics_out = Some(value.clone()),
             "--trace-out" => out.trace_out = Some(value.clone()),
+            "--incidents-out" => out.incidents_out = Some(value.clone()),
+            "--hbm-mib" => {
+                let mib: u64 = value.parse().map_err(|_| "bad --hbm-mib")?;
+                if mib == 0 {
+                    return Err("--hbm-mib must be positive".into());
+                }
+                out.hbm_mib = Some(mib);
+            }
             "--rate" => out.rate = value.parse().map_err(|_| "bad --rate")?,
             "--checkpoint-interval" => {
                 let iv: u64 = value.parse().map_err(|_| "bad --checkpoint-interval")?;
@@ -262,8 +289,12 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         Obs::noop()
     };
-    let cfg = RunConfig {
-        machine: MachineConfig::knl(),
+    let mut machine = MachineConfig::knl();
+    if let Some(mib) = a.hbm_mib {
+        machine.hbm.capacity_bytes = mib * 1024 * 1024;
+    }
+    let mut cfg = RunConfig {
+        machine,
         cores: a.cores,
         mode: a.mode,
         sender: SenderConfig {
@@ -274,6 +305,13 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         obs: obs.clone(),
         ..RunConfig::default()
     };
+    if a.incidents_out.is_some() {
+        // Incident artifacts promise byte-identical same-seed exports;
+        // pool placement under host-thread interleaving is the one
+        // non-simulated input the recorder can see, so pin the serial
+        // spine (the same pinning the fig10/cluster exports use).
+        cfg.threads = 1;
+    }
     if a.crash_after.is_some() {
         return Err("--crash-after-bundles only applies to 'sbx recover'".into());
     }
@@ -333,14 +371,24 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
         "  bandwidth peak : {:>10.1} GB/s HBM, {:.1} GB/s DRAM",
         report.peak_hbm_bw_gbps, report.peak_dram_bw_gbps
     );
-    println!(
-        "  output delay   : {:>10.4} s max ({:.4} s avg)",
-        report.max_output_delay_secs, report.avg_output_delay_secs
-    );
-    println!(
-        "  delay quantiles: {:>10.4} s p50, {:.4} s p95, {:.4} s p99",
-        report.p50_output_delay_secs, report.p95_output_delay_secs, report.p99_output_delay_secs
-    );
+    if report.windows_closed == 0 {
+        // No window ever closed, so there are no delay observations:
+        // zeros here would read as "instant", which is the opposite of
+        // the truth.
+        println!("  output delay   : {:>10} (no windows closed)", "n/a");
+        println!("  delay quantiles: {:>10}", "n/a");
+    } else {
+        println!(
+            "  output delay   : {:>10.4} s max ({:.4} s avg)",
+            report.max_output_delay_secs, report.avg_output_delay_secs
+        );
+        println!(
+            "  delay quantiles: {:>10.4} s p50, {:.4} s p95, {:.4} s p99",
+            report.p50_output_delay_secs,
+            report.p95_output_delay_secs,
+            report.p99_output_delay_secs
+        );
+    }
     println!(
         "  HBM peak used  : {:>10} KiB (round-boundary peak)",
         report.hbm_peak_used_bytes / 1024
@@ -397,6 +445,14 @@ fn run_bench(a: BenchArgs) -> Result<(), Box<dyn std::error::Error>> {
             obs.trace.len()
         );
     }
+    if let Some(path) = &a.incidents_out {
+        let incidents = IncidentReport::new(obs.recorder.incidents());
+        std::fs::write(path, incidents.to_jsonl())?;
+        println!(
+            "  incidents      : {} incident(s) written to {path}",
+            incidents.len()
+        );
+    }
     Ok(())
 }
 
@@ -427,6 +483,9 @@ struct ClusterArgs {
     trace_out: Option<String>,
     /// Shard-health detector report (deterministic JSONL).
     health_out: Option<String>,
+    /// Flight-recorder incident report (per-shard incidents plus the
+    /// fabric-level health signals, deterministic JSONL).
+    incidents_out: Option<String>,
 }
 
 impl Default for ClusterArgs {
@@ -450,6 +509,7 @@ impl Default for ClusterArgs {
             metrics_out: None,
             trace_out: None,
             health_out: None,
+            incidents_out: None,
         }
     }
 }
@@ -493,6 +553,7 @@ fn parse_cluster_args(args: &[String]) -> Result<ClusterArgs, String> {
             "--metrics-out" => out.metrics_out = Some(value.clone()),
             "--trace-out" => out.trace_out = Some(value.clone()),
             "--health-out" => out.health_out = Some(value.clone()),
+            "--incidents-out" => out.incidents_out = Some(value.clone()),
             "--link" => {
                 out.link = match value.as_str() {
                     "rdma" => LinkModel::intra_rack_rdma(),
@@ -531,8 +592,10 @@ fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
 
     // Health detectors are pure functions of the cluster metrics, so
     // `--health-out` implies an active registry even without
-    // `--metrics-out`.
-    let metrics = if a.metrics_out.is_some() || a.health_out.is_some() {
+    // `--metrics-out`; `--incidents-out` folds the fabric-level health
+    // signals into the incident report, so it implies one too.
+    let metrics = if a.metrics_out.is_some() || a.health_out.is_some() || a.incidents_out.is_some()
+    {
         MetricsRegistry::active()
     } else {
         MetricsRegistry::noop()
@@ -568,6 +631,7 @@ fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
         link: a.link,
         metrics: metrics.clone(),
         trace: a.trace_out.is_some(),
+        recorder: RecorderConfig::default(),
     };
     let plan = a.rescale_at.map(|at_epoch| ElasticPlan {
         at_epoch,
@@ -722,6 +786,18 @@ fn run_cluster(a: ClusterArgs) -> Result<(), Box<dyn std::error::Error>> {
         );
         print!("{}", health.render());
     }
+    if let Some(path) = &a.incidents_out {
+        // Per-shard recorder incidents first, then the fabric-level
+        // health signals as evidence-free verdicts.
+        let mut incidents = IncidentReport::new(report.incidents.clone());
+        let health = HealthReport::compute(&metrics.snapshot(), &HealthConfig::default());
+        incidents.extend_from_health(&health);
+        std::fs::write(path, incidents.to_jsonl())?;
+        println!(
+            "  incidents      : {} incident(s) written to {path}",
+            incidents.len()
+        );
+    }
     Ok(())
 }
 
@@ -739,6 +815,8 @@ struct ReportArgs {
     cluster_critical_path: Option<String>,
     /// Re-evaluate the shard-health detectors from the metrics export.
     health: bool,
+    /// Incident JSONL export to render the incident stories from.
+    incidents: Option<String>,
     /// Top-k rows in the critical-path tables.
     top: usize,
 }
@@ -753,6 +831,7 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
         critical_path: None,
         cluster_critical_path: None,
         health: false,
+        incidents: None,
         top: 5,
     };
     let mut i = 1;
@@ -778,6 +857,14 @@ fn parse_report_args(args: &[String]) -> Result<ReportArgs, String> {
                 out.cluster_critical_path = Some(
                     args.get(i + 1)
                         .ok_or("--cluster-critical-path needs a stitched spans.jsonl path")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--incidents" => {
+                out.incidents = Some(
+                    args.get(i + 1)
+                        .ok_or("--incidents needs an incidents.jsonl path")?
                         .clone(),
                 );
                 i += 2;
@@ -826,14 +913,20 @@ fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
         gmax("engine.hbm_used_bytes") / 1024.0
     );
     if let Some(h) = dump.histogram("engine.output_delay_secs") {
-        println!(
-            "  output delay   : {:>10.4} s max ({:.4} s avg, {} windows)",
-            h.snapshot.max,
-            h.snapshot.mean(),
-            h.snapshot.count
-        );
-        let [p50, p95, p99] = h.snapshot.percentiles();
-        println!("  delay quantiles: {p50:>10.4} s p50, {p95:.4} s p95, {p99:.4} s p99");
+        if h.snapshot.count == 0 {
+            // No delay observations: zeros would read as "instant".
+            println!("  output delay   : {:>10} (no windows closed)", "n/a");
+            println!("  delay quantiles: {:>10}", "n/a");
+        } else {
+            println!(
+                "  output delay   : {:>10.4} s max ({:.4} s avg, {} windows)",
+                h.snapshot.max,
+                h.snapshot.mean(),
+                h.snapshot.count
+            );
+            let [p50, p95, p99] = h.snapshot.percentiles();
+            println!("  delay quantiles: {p50:>10.4} s p50, {p95:.4} s p95, {p99:.4} s p99");
+        }
     }
     let ops: Vec<&(String, u64)> = dump
         .counters
@@ -905,6 +998,15 @@ fn run_report(a: &ReportArgs) -> Result<(), Box<dyn std::error::Error>> {
             "{}",
             HealthReport::compute(&dump, &HealthConfig::default()).render()
         );
+    }
+    if let Some(incidents_path) = &a.incidents {
+        let incidents_text = std::fs::read_to_string(incidents_path)?;
+        let incidents = IncidentReport::parse_jsonl(&incidents_text)?;
+        println!(
+            "incidents from {incidents_path} ({} incident(s))",
+            incidents.len()
+        );
+        print!("{}", incidents.render());
     }
     Ok(())
 }

@@ -78,8 +78,10 @@ pub mod prelude {
     pub use sbx_kpa::{ExecCtx, Kpa};
     pub use sbx_obs::{
         parse_cluster_spans_jsonl, parse_spans_jsonl, ClusterCriticalPath, ClusterSpan,
-        ClusterTrace, CriticalPath, HealthConfig, HealthReport, MetricsDump, MetricsRegistry, Obs,
-        SpanRec, SpanStream, Timeline, TraceCollector, FABRIC_SHARD,
+        ClusterTrace, CriticalPath, DetectorBank, DetectorConfig, FlightRecorder, HealthConfig,
+        HealthReport, Incident, IncidentReport, MetricsDump, MetricsRegistry, Obs, RecorderConfig,
+        RoundPoint, Signal, SpanRec, SpanStream, ThresholdRule, Timeline, TraceCollector,
+        FABRIC_SHARD,
     };
     pub use sbx_records::{Col, EventTime, RecordBundle, Schema, Watermark, WindowSpec};
     pub use sbx_simmem::{MachineConfig, MemEnv, MemKind, Priority};
